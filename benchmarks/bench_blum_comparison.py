@@ -1,0 +1,117 @@
+"""Appendix E: (η, δ)-usefulness comparison with Blum et al.
+
+The appendix compares the database size each technique needs before every
+range query has absolute error at most η·N with probability 1 - δ.  The
+benchmark evaluates both analytic bounds over a sweep of domain sizes and
+privacy levels α, and backs the H̃ bound with a simulation of its realised
+worst-case absolute error.
+
+Expected shapes (asserted):
+
+* both requirements grow (poly-)logarithmically with the domain size;
+* the Blum et al. requirement grows like 1/α³ versus 1/α for H̃, so the
+  ratio between them widens rapidly as α shrinks;
+* the simulated worst-case absolute error of H̃ stays below the analytic
+  bound used in the appendix and does not depend on the database size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.blum import usefulness_comparison
+from repro.queries.hierarchical import HierarchicalQuery
+from repro.queries.workload import RangeWorkload
+
+
+def test_appendixE_usefulness_bounds(benchmark, report):
+    eta, delta = 0.01, 0.05
+    benchmark(usefulness_comparison, [2**10, 2**16], eta, delta, 1.0)
+
+    rows = []
+    for alpha in [1.0, 0.5, 0.1]:
+        for comparison in usefulness_comparison(
+            [2**8, 2**12, 2**16, 2**20], eta=eta, delta=delta, alpha=alpha
+        ):
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "domain_size": comparison.domain_size,
+                    "N_required_Htilde": round(comparison.hierarchical_required_size),
+                    "N_required_Blum_shape": round(comparison.blum_required_size),
+                    "ratio_Blum_over_Htilde": round(comparison.ratio, 3),
+                }
+            )
+    report(
+        "appendixE_usefulness_bounds",
+        rows,
+        title=f"Appendix E: database size needed for ({eta}, {delta})-usefulness",
+    )
+
+    by_alpha = {alpha: [r for r in rows if r["alpha"] == alpha] for alpha in [1.0, 0.5, 0.1]}
+    # Both bounds increase with domain size.
+    for alpha_rows in by_alpha.values():
+        assert alpha_rows[0]["N_required_Htilde"] < alpha_rows[-1]["N_required_Htilde"]
+    # Blum et al. scales as 1/alpha^3, H~ as 1/alpha: the relative advantage
+    # of H~ grows by ~100x when alpha drops from 1.0 to 0.1.
+    assert (
+        by_alpha[0.1][0]["ratio_Blum_over_Htilde"]
+        > 50 * by_alpha[1.0][0]["ratio_Blum_over_Htilde"]
+    )
+
+
+def test_appendixE_simulated_worst_case_error(benchmark, scale, report):
+    """Simulated worst-case absolute range error of H̃ versus the analytic bound."""
+    alpha = 1.0
+    delta = 0.05
+    domain_bits = min(scale.universal_domain_bits, 12)
+    domain_size = 2**domain_bits
+    query = HierarchicalQuery(domain_size)
+    height = query.height
+    workload = RangeWorkload.size_sweep(
+        domain_size, [2**i for i in range(1, domain_bits)], 50, rng=0
+    )
+
+    def worst_absolute_error(total_records: float, seed: int) -> float:
+        rng = np.random.default_rng(seed)
+        counts = rng.multinomial(int(total_records), np.full(domain_size, 1.0 / domain_size))
+        counts = counts.astype(float)
+        answer = query.answer(counts)
+        noisy = answer + rng.laplace(0.0, query.sensitivity / alpha, size=answer.size)
+        worst = 0.0
+        for size_workload in workload.values():
+            for spec in size_workload:
+                estimate = query.range_from_answer(noisy, spec.lo, spec.hi)
+                worst = max(worst, abs(estimate - counts[spec.lo : spec.hi + 1].sum()))
+        return worst
+
+    benchmark(worst_absolute_error, 10_000, 0)
+
+    # The appendix bound on the absolute error of any single range query.
+    analytic_bound = 16 * height**1.5 * np.log(2 * domain_size**2 / delta) / alpha
+    rows = []
+    for total_records in [10_000, 100_000, 1_000_000]:
+        observed = np.mean([worst_absolute_error(total_records, seed) for seed in range(3)])
+        rows.append(
+            {
+                "database_size_N": total_records,
+                "simulated_worst_abs_error": round(observed, 1),
+                "analytic_bound": round(analytic_bound, 1),
+                "relative_error_eta": round(observed / total_records, 5),
+            }
+        )
+    report(
+        "appendixE_simulated_worst_case",
+        rows,
+        title=(
+            "Appendix E: simulated worst-case absolute error of H~ over "
+            f"{sum(len(w) for w in workload.values())} range queries (domain 2^{domain_bits})"
+        ),
+    )
+
+    for row in rows:
+        assert row["simulated_worst_abs_error"] < row["analytic_bound"]
+    # The absolute error does not grow with the database size, so the
+    # relative error eta shrinks as N grows (the appendix's key contrast
+    # with Blum et al., whose absolute error grows as N^(2/3)).
+    assert rows[-1]["relative_error_eta"] < rows[0]["relative_error_eta"] / 10

@@ -1,0 +1,112 @@
+"""Figure 5: unattributed-histogram error across datasets and ε.
+
+For each of the three datasets (NetTrace connection counts, Social Network
+degree sequence, Search Logs keyword frequencies) and each
+ε ∈ {1.0, 0.1, 0.01}, the benchmark reports the average total squared
+error of the three estimators S̃ (raw), S̃r (sort + round), and S̄
+(constrained inference), averaged over repeated noise draws — the bars of
+Figure 5.
+
+Expected shape (asserted): S̄ improves on S̃ by at least an order of
+magnitude on every dataset at ε ≤ 0.1, and its relative advantage grows as
+ε decreases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_unattributed_comparison
+from repro.data.nettrace import NetTraceGenerator
+from repro.data.searchlogs import SearchLogsGenerator
+from repro.data.socialnetwork import SocialNetworkGenerator
+from repro.estimators.sorted import (
+    ConstrainedSortedEstimator,
+    SortAndRoundEstimator,
+    SortedLaplaceEstimator,
+)
+
+EPSILONS = [1.0, 0.1, 0.01]
+
+
+def _datasets(scale, rng):
+    nettrace = NetTraceGenerator(
+        num_active_hosts=scale.nettrace_hosts, domain_bits=16
+    ).generate(rng)
+    socialnetwork = SocialNetworkGenerator(
+        num_nodes=scale.socialnetwork_nodes
+    ).generate(rng)
+    searchlogs = SearchLogsGenerator(
+        num_keywords=scale.searchlogs_keywords, num_slots=1024
+    ).generate(rng)
+    return {
+        "NetTrace": nettrace.active_counts,
+        "Social Network": socialnetwork.degrees,
+        "Search Logs": searchlogs.keyword_counts,
+    }
+
+
+def test_figure5_unattributed_error(benchmark, scale, report):
+    rng = np.random.default_rng(5)
+    datasets = _datasets(scale, rng)
+    estimators = [
+        SortedLaplaceEstimator(),
+        SortAndRoundEstimator(),
+        ConstrainedSortedEstimator(),
+    ]
+
+    # Time one constrained estimate on the largest dataset (the dominant
+    # per-trial cost of the experiment).
+    largest = max(datasets.values(), key=lambda counts: counts.size)
+    benchmark(ConstrainedSortedEstimator().estimate, largest, 0.1, 0)
+
+    rows = []
+    improvements = {}
+    for name, counts in datasets.items():
+        comparison = run_unattributed_comparison(
+            counts,
+            estimators,
+            epsilons=EPSILONS,
+            trials=scale.unattributed_trials,
+            rng=rng,
+            dataset=name,
+        )
+        rows.extend(comparison.to_rows())
+        for epsilon in EPSILONS:
+            improvements[(name, epsilon)] = comparison.improvement("S~", "S_bar", epsilon)
+
+    report(
+        "figure5_unattributed_error",
+        rows,
+        title=(
+            "Figure 5: average total squared error of S~, S~r, S_bar "
+            f"({scale.unattributed_trials} trials, scale={scale.name})"
+        ),
+    )
+    gain_rows = [
+        {"dataset": name, "epsilon": epsilon, "error_ratio_Stilde_over_Sbar": round(value, 1)}
+        for (name, epsilon), value in sorted(improvements.items())
+    ]
+    report(
+        "figure5_improvement_factors",
+        gain_rows,
+        title="Figure 5: improvement of constrained inference over the raw baseline",
+    )
+
+    # Shape assertions from the paper's discussion of Figure 5: large gains
+    # at every privacy level, growing as epsilon shrinks.
+    for name in datasets:
+        assert improvements[(name, 0.1)] > 5.0
+        assert improvements[(name, 0.01)] > 10.0
+        assert improvements[(name, 0.01)] > improvements[(name, 1.0)]
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_figure5_single_cell_timing(benchmark, scale, epsilon):
+    """Per-ε timing of one S̄ release on the Social Network dataset."""
+    degrees = SocialNetworkGenerator(num_nodes=scale.socialnetwork_nodes).generate(
+        rng=0
+    ).degrees
+    estimator = ConstrainedSortedEstimator()
+    benchmark(estimator.estimate, degrees, epsilon, 0)

@@ -1,0 +1,133 @@
+"""Figure 6: range-query error of L̃, H̃, H̄ versus range size.
+
+For the NetTrace connection histogram and the Search Logs temporal series,
+and each ε ∈ {1.0, 0.1, 0.01}, the benchmark evaluates the three
+universal-histogram strategies on random range queries of dyadic sizes
+2^1 .. 2^(ℓ-2) and reports the average squared error per query — the six
+panels of Figure 6.
+
+Expected shapes (asserted):
+
+* the error of L̃ grows roughly linearly with the range size, while the
+  error of H̃ grows only mildly, so the curves cross for large ranges;
+* H̄ is uniformly no worse than H̃ (checked on the pure estimator in the
+  test suite; here the paper's rounded configuration is reported);
+* at ε = 1.0 and small ranges, L̃ is the most accurate strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import run_universal_comparison
+from repro.data.nettrace import NetTraceGenerator
+from repro.data.searchlogs import SearchLogsGenerator
+from repro.estimators.hierarchical import (
+    ConstrainedHierarchicalEstimator,
+    HierarchicalLaplaceEstimator,
+)
+from repro.estimators.identity import IdentityLaplaceEstimator
+from repro.queries.workload import RangeWorkload
+
+EPSILONS = [1.0, 0.1, 0.01]
+
+
+def _datasets(scale, rng):
+    domain_size = 2**scale.universal_domain_bits
+    nettrace = NetTraceGenerator(
+        num_active_hosts=min(scale.nettrace_hosts, domain_size // 2),
+        domain_bits=scale.universal_domain_bits,
+    ).generate(rng)
+    searchlogs = SearchLogsGenerator(
+        num_keywords=100, num_slots=domain_size
+    ).generate(rng)
+    return {"NetTrace": nettrace.counts, "Search Logs": searchlogs.term_series}
+
+
+def test_figure6_range_query_error(benchmark, scale, report):
+    rng = np.random.default_rng(6)
+    datasets = _datasets(scale, rng)
+    # Four configurations: the paper's three strategies, with the
+    # constrained estimator reported both in its pure (unbiased) form and
+    # with the Section 4.2 non-negativity heuristic.
+    constrained_pure = ConstrainedHierarchicalEstimator(nonnegative=False, round_output=False)
+    constrained_heuristic = ConstrainedHierarchicalEstimator(nonnegative=True)
+    constrained_heuristic.name = "H_bar+nn"
+    estimators = [
+        IdentityLaplaceEstimator(),
+        HierarchicalLaplaceEstimator(),
+        constrained_pure,
+        constrained_heuristic,
+    ]
+    domain_size = 2**scale.universal_domain_bits
+    range_sizes = RangeWorkload.dyadic_sizes(domain_size)
+
+    # Time one constrained release over the full domain (the dominant cost).
+    sample_counts = next(iter(datasets.values()))
+    benchmark(ConstrainedHierarchicalEstimator().fit, sample_counts, 0.1, 0)
+
+    rows = []
+    comparisons = {}
+    for name, counts in datasets.items():
+        comparison = run_universal_comparison(
+            counts,
+            estimators,
+            epsilons=EPSILONS,
+            range_sizes=range_sizes,
+            trials=scale.universal_trials,
+            queries_per_size=scale.queries_per_size,
+            rng=rng,
+            dataset=name,
+        )
+        comparisons[name] = comparison
+        rows.extend(comparison.to_rows())
+
+    report(
+        "figure6_range_query_error",
+        rows,
+        title=(
+            "Figure 6: average squared error per range query for L~, H~, H_bar "
+            f"(domain 2^{scale.universal_domain_bits}, {scale.universal_trials} trials, "
+            f"{scale.queries_per_size} queries/size, scale={scale.name})"
+        ),
+    )
+
+    crossover_rows = []
+    for name, comparison in comparisons.items():
+        for epsilon in EPSILONS:
+            crossover = comparison.crossover_size("L~", "H~", epsilon)
+            crossover_rows.append(
+                {
+                    "dataset": name,
+                    "epsilon": epsilon,
+                    "smallest_range_where_Htilde_beats_Ltilde": crossover
+                    if crossover is not None
+                    else "never",
+                }
+            )
+    report(
+        "figure6_crossovers",
+        crossover_rows,
+        title="Figure 6: L~ / H~ crossover range sizes",
+    )
+
+    # Shape assertions.
+    for name, comparison in comparisons.items():
+        for epsilon in EPSILONS:
+            identity_series = dict(comparison.series("L~", epsilon))
+            tree_series = dict(comparison.series("H~", epsilon))
+            constrained_series = dict(comparison.series("H_bar", epsilon))
+            smallest, largest = min(range_sizes), max(range_sizes)
+            # L~ error grows by orders of magnitude from the smallest to the
+            # largest range; H~ grows much more slowly.
+            assert identity_series[largest] > identity_series[smallest] * 20
+            assert tree_series[largest] < tree_series[smallest] * 50
+            # For the largest ranges the hierarchical strategies win.
+            assert tree_series[largest] < identity_series[largest]
+            assert constrained_series[largest] < identity_series[largest]
+            # The (pure) constrained estimator is no worse than the raw tree
+            # at either end of the sweep.
+            assert constrained_series[largest] <= tree_series[largest] * 1.1
+            assert constrained_series[smallest] <= tree_series[smallest] * 1.1
+        # At eps=1.0, unit-ish ranges favour L~ (lower sensitivity).
+        assert dict(comparison.series("L~", 1.0))[2] < dict(comparison.series("H~", 1.0))[2]

@@ -1,0 +1,100 @@
+"""Scaling of the constrained-inference algorithms.
+
+Both closed forms are claimed to run in time linear in the sequence /
+tree size (Section 3.1 and Theorem 3's two linear scans).  This benchmark
+times them across a sweep of sizes so the scaling is visible in the
+pytest-benchmark table, and cross-checks the quadratic Theorem 1 reference
+implementation and the cubic least-squares oracle on a small instance for
+context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference.hierarchical import HierarchicalInference
+from repro.inference.isotonic import isotonic_regression_minmax, isotonic_regression_pava
+from repro.inference.least_squares import ols_tree_inference
+from repro.queries.hierarchical import HierarchicalQuery, TreeLayout
+
+
+SIZES = [2**12, 2**14, 2**16, 2**18]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_isotonic_pava_scaling(benchmark, size):
+    rng = np.random.default_rng(size)
+    noisy = np.sort(rng.integers(0, 50, size=size).astype(float)) + rng.laplace(0, 10, size)
+    result = benchmark(isotonic_regression_pava, noisy)
+    assert result.size == size
+    assert np.all(np.diff(result) >= -1e-9)
+
+
+@pytest.mark.parametrize("size", [256, 1024, 4096])
+def test_isotonic_minmax_reference_scaling(benchmark, size):
+    """The O(n^2) Theorem 1 formula — reference implementation only."""
+    rng = np.random.default_rng(size)
+    noisy = rng.laplace(0, 10, size)
+    result = benchmark(isotonic_regression_minmax, noisy)
+    assert result.size == size
+
+
+@pytest.mark.parametrize("num_leaves", SIZES)
+def test_hierarchical_inference_scaling(benchmark, num_leaves):
+    layout = TreeLayout(num_leaves=num_leaves, branching=2)
+    rng = np.random.default_rng(num_leaves)
+    noisy = rng.laplace(0, 10, size=layout.num_nodes)
+    engine = HierarchicalInference(layout)
+    result = benchmark(engine.infer, noisy)
+    assert result.size == layout.num_nodes
+
+
+@pytest.mark.parametrize("num_leaves", [64, 256])
+def test_ols_oracle_scaling(benchmark, num_leaves):
+    """The dense least-squares oracle — cubic, validation-sized trees only."""
+    query = HierarchicalQuery(num_leaves)
+    rng = np.random.default_rng(num_leaves)
+    noisy = rng.laplace(0, 10, size=query.layout.num_nodes)
+    result = benchmark(ols_tree_inference, noisy, query)
+    assert result.size == query.layout.num_nodes
+
+
+def test_linear_time_claim(benchmark, report):
+    """Direct check that doubling the input roughly doubles the runtime."""
+    import time
+
+    benchmark(isotonic_regression_pava, np.random.default_rng(0).laplace(0, 10, 4096))
+    rows = []
+    timings = {}
+    for size in SIZES:
+        rng = np.random.default_rng(size)
+        noisy = rng.laplace(0, 10, size=size)
+        layout = TreeLayout(num_leaves=size, branching=2)
+        tree_noisy = rng.laplace(0, 10, size=layout.num_nodes)
+        engine = HierarchicalInference(layout)
+
+        start = time.perf_counter()
+        isotonic_regression_pava(noisy)
+        pava_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        engine.infer(tree_noisy)
+        tree_seconds = time.perf_counter() - start
+
+        timings[size] = (pava_seconds, tree_seconds)
+        rows.append(
+            {
+                "size": size,
+                "pava_seconds": round(pava_seconds, 4),
+                "tree_inference_seconds": round(tree_seconds, 4),
+            }
+        )
+    report("inference_scaling", rows, title="Linear-time inference: wall-clock scaling")
+
+    # Growing the input 64x should grow the runtime far less than a
+    # quadratic algorithm would (4096x); allow a generous factor of 400.
+    smallest, largest = SIZES[0], SIZES[-1]
+    growth = largest // smallest
+    assert timings[largest][0] < timings[smallest][0] * growth * 6
+    assert timings[largest][1] < max(timings[smallest][1], 1e-4) * growth * 6

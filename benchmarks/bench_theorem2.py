@@ -1,0 +1,96 @@
+"""Theorem 2: error(S̄) scales with the number of distinct counts, not n.
+
+The theorem bounds ``error(S̄) <= Σ_i (c₁ log³ nᵢ + c₂)/ε²`` over the runs
+of duplicate values, versus ``error(S̃) = 2n/ε²``.  The benchmark measures
+error(S̄) empirically while sweeping
+
+* the number of distinct values ``d`` at fixed ``n`` (error should grow
+  roughly linearly in ``d`` and stay far below 2n/ε²), and
+* the sequence length ``n`` at fixed ``d`` (error should grow
+  polylogarithmically, unlike the baseline's linear growth),
+
+and reports measured error alongside the theorem's shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.theory import error_sorted_laplace, theorem2_shape
+from repro.data.synthetic import piecewise_constant_counts
+from repro.estimators.sorted import ConstrainedSortedEstimator
+from repro.inference.isotonic import isotonic_regression
+from repro.queries.sorted import SortedCountQuery
+
+
+def _measured_error(counts: np.ndarray, epsilon: float, trials: int, seed: int) -> float:
+    truth = np.sort(counts)
+    query = SortedCountQuery(counts.size)
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(trials):
+        noisy = query.randomize(truth, epsilon, rng=rng).values
+        total += float(np.sum((isotonic_regression(noisy) - truth) ** 2))
+    return total / trials
+
+
+def test_theorem2_error_vs_distinct_values(benchmark, scale, report):
+    epsilon = 0.1
+    n = 4096
+    trials = max(5, scale.unattributed_trials // 2)
+    benchmark(_measured_error, piecewise_constant_counts(n, 16, rng=0), epsilon, 2, 0)
+
+    rows = []
+    for d in [1, 4, 16, 64, 256, 1024]:
+        counts = piecewise_constant_counts(n, num_pieces=d, low=0, high=10_000, rng=d)
+        measured = _measured_error(counts, epsilon, trials, seed=d)
+        rows.append(
+            {
+                "n": n,
+                "distinct_values_d": int(np.unique(counts).size),
+                "measured_error_S_bar": round(measured, 1),
+                "theorem2_shape": round(theorem2_shape(np.sort(counts), epsilon), 1),
+                "error_S_tilde": round(error_sorted_laplace(n, epsilon), 1),
+            }
+        )
+    report(
+        "theorem2_error_vs_d",
+        rows,
+        title=f"Theorem 2: error(S_bar) versus number of distinct values (n={n}, eps={epsilon})",
+    )
+
+    # Error grows with d and stays below the baseline even at d=256.
+    assert rows[0]["measured_error_S_bar"] < rows[-1]["measured_error_S_bar"]
+    assert rows[3]["measured_error_S_bar"] < rows[3]["error_S_tilde"]
+
+
+def test_theorem2_error_vs_sequence_length(benchmark, scale, report):
+    epsilon = 0.1
+    d = 8
+    trials = max(5, scale.unattributed_trials // 2)
+    benchmark(_measured_error, piecewise_constant_counts(1024, d, rng=1), epsilon, 2, 1)
+
+    rows = []
+    for n in [256, 1024, 4096, 16_384]:
+        counts = piecewise_constant_counts(n, num_pieces=d, low=0, high=10_000, rng=n)
+        measured = _measured_error(counts, epsilon, trials, seed=n)
+        rows.append(
+            {
+                "n": n,
+                "distinct_values_d": d,
+                "measured_error_S_bar": round(measured, 1),
+                "error_S_tilde": round(error_sorted_laplace(n, epsilon), 1),
+                "ratio": round(error_sorted_laplace(n, epsilon) / measured, 1),
+            }
+        )
+    report(
+        "theorem2_error_vs_n",
+        rows,
+        title=f"Theorem 2: error(S_bar) versus sequence length (d={d}, eps={epsilon})",
+    )
+
+    # The baseline grows linearly with n, so its advantage ratio must widen.
+    assert rows[-1]["ratio"] > rows[0]["ratio"]
+    # S_bar error grows much slower than linearly: over a 64x increase in n
+    # it grows by far less than 64x.
+    assert rows[-1]["measured_error_S_bar"] < rows[0]["measured_error_S_bar"] * 16

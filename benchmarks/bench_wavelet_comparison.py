@@ -1,0 +1,73 @@
+"""Related-work baseline: the Haar-wavelet (Privelet) strategy versus H.
+
+The paper's Related Work section (and Li et al., PODS 2010) state that the
+wavelet technique of Xiao et al. has error equivalent to a binary
+hierarchical query.  This benchmark measures the range-query error of the
+wavelet estimator alongside H̃ and H̄ on the same workloads, confirming
+that all three sit within a small constant factor of one another while L̃
+diverges for large ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import run_universal_comparison
+from repro.data.synthetic import zipf_counts
+from repro.estimators.hierarchical import (
+    ConstrainedHierarchicalEstimator,
+    HierarchicalLaplaceEstimator,
+)
+from repro.estimators.identity import IdentityLaplaceEstimator
+from repro.estimators.wavelet import WaveletEstimator
+
+
+def test_wavelet_versus_hierarchical(benchmark, scale, report):
+    domain_size = 2 ** min(scale.universal_domain_bits, 12)
+    counts = zipf_counts(domain_size, exponent=1.1, total=200_000, rng=0)
+    epsilon = 0.1
+    range_sizes = [2, 32, 512, domain_size // 2]
+
+    estimators = [
+        IdentityLaplaceEstimator(round_output=False),
+        HierarchicalLaplaceEstimator(round_output=False),
+        ConstrainedHierarchicalEstimator(nonnegative=False, round_output=False),
+        WaveletEstimator(),
+    ]
+    benchmark(WaveletEstimator().fit, counts, epsilon, 0)
+
+    comparison = run_universal_comparison(
+        counts,
+        estimators,
+        epsilons=[epsilon],
+        range_sizes=range_sizes,
+        trials=scale.universal_trials,
+        queries_per_size=scale.queries_per_size // 2,
+        rng=1,
+        dataset="zipf-synthetic",
+    )
+    report(
+        "wavelet_comparison",
+        comparison.to_rows(),
+        title=f"Wavelet (Privelet) versus hierarchical strategies (domain {domain_size}, eps={epsilon})",
+    )
+
+    for size in range_sizes:
+        wavelet_error = comparison.error("wavelet", epsilon, size)
+        tree_error = comparison.error("H~", epsilon, size)
+        constrained_error = comparison.error("H_bar", epsilon, size)
+        # All tree-structured strategies are within an order of magnitude of
+        # one another at every range size...
+        assert wavelet_error < 10 * tree_error
+        assert tree_error < 10 * wavelet_error
+        assert constrained_error <= tree_error * 1.1
+    # ...while the identity strategy's error grows with the range size much
+    # faster than any of the tree-structured strategies.
+    smallest, largest = range_sizes[0], range_sizes[-1]
+    identity_growth = comparison.error("L~", epsilon, largest) / comparison.error(
+        "L~", epsilon, smallest
+    )
+    tree_growth = comparison.error("H~", epsilon, largest) / comparison.error(
+        "H~", epsilon, smallest
+    )
+    assert identity_growth > 5 * tree_growth

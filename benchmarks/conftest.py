@@ -1,0 +1,102 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  Because
+absolute runtimes matter less than the reported error *shapes*, each
+benchmark does two things:
+
+1. times a representative unit of work through the ``benchmark`` fixture
+   (so ``pytest benchmarks/ --benchmark-only`` produces a meaningful
+   timing table), and
+2. runs the full experiment for its figure and writes the resulting rows
+   to ``results/<name>.txt`` and ``results/<name>.csv`` (also printed;
+   pass ``-s`` to see them inline).
+
+Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick`` (default) — reduced domain sizes and trial counts so the whole
+  suite finishes in a few minutes on a laptop;
+* ``paper`` — the sizes used in the paper (65K-host NetTrace, 2^16-leaf
+  trees, 50 trials, 1000 queries per range size); expect a long run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tables import render_table, write_csv
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Experiment sizes for one scale setting."""
+
+    name: str
+    # Figure 5 / 7 (unattributed histograms)
+    nettrace_hosts: int
+    socialnetwork_nodes: int
+    searchlogs_keywords: int
+    unattributed_trials: int
+    # Figure 6 (universal histograms)
+    universal_domain_bits: int
+    universal_trials: int
+    queries_per_size: int
+    # Figure 7
+    profile_trials: int
+
+
+SCALES = {
+    "quick": BenchScale(
+        name="quick",
+        nettrace_hosts=4_000,
+        socialnetwork_nodes=2_000,
+        searchlogs_keywords=3_000,
+        unattributed_trials=10,
+        universal_domain_bits=12,
+        universal_trials=6,
+        queries_per_size=100,
+        profile_trials=40,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        nettrace_hosts=65_000,
+        socialnetwork_nodes=11_000,
+        searchlogs_keywords=20_000,
+        unattributed_trials=50,
+        universal_domain_bits=16,
+        universal_trials=50,
+        queries_per_size=1000,
+        profile_trials=200,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    """The benchmark scale selected via ``REPRO_BENCH_SCALE``."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name not in SCALES:
+        raise RuntimeError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}, got {name!r}"
+        )
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that renders, prints, and persists an experiment table."""
+
+    def _report(name: str, rows, title: str, columns=None) -> None:
+        table = render_table(rows, columns=columns, title=title)
+        print()
+        print(table)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        write_csv(rows, RESULTS_DIR / f"{name}.csv", columns=columns)
+
+    return _report

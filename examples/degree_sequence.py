@@ -1,0 +1,82 @@
+"""Private degree sequences of a social network (the Section 5.1 workload).
+
+Run with::
+
+    python examples/degree_sequence.py
+
+The example generates a synthetic friendship graph with a power-law degree
+distribution (the stand-in for the paper's 11,000-student Social Network
+dataset), then releases its degree sequence under ε-differential privacy
+three ways:
+
+* ``S̃``  — raw Laplace noise on the sorted degrees,
+* ``S̃r`` — noisy degrees re-sorted and rounded (consistency by fiat),
+* ``S̄``  — constrained inference (isotonic regression), the paper's method,
+
+and reports the average squared error of each at several privacy levels,
+reproducing the shape of Figure 5: constrained inference is more accurate
+by an order of magnitude or more, and its advantage grows as ε shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import run_unattributed_comparison
+from repro.analysis.tables import render_table
+from repro.data.socialnetwork import SocialNetworkGenerator
+from repro.estimators.sorted import (
+    ConstrainedSortedEstimator,
+    SortAndRoundEstimator,
+    SortedLaplaceEstimator,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2010)
+
+    print("Generating a synthetic social network (power-law degrees)...")
+    generator = SocialNetworkGenerator(num_nodes=3000)
+    dataset = generator.generate(rng=rng)
+    print(
+        f"  {dataset.num_nodes} nodes, {dataset.num_edges:.0f} edges, "
+        f"{dataset.distinct_degree_count()} distinct degree values"
+    )
+    print()
+
+    estimators = [
+        SortedLaplaceEstimator(),
+        SortAndRoundEstimator(),
+        ConstrainedSortedEstimator(),
+    ]
+    comparison = run_unattributed_comparison(
+        dataset.degrees,
+        estimators,
+        epsilons=[1.0, 0.1, 0.01],
+        trials=15,
+        rng=rng,
+        dataset="social-network (synthetic)",
+    )
+
+    print(render_table(comparison.to_rows(), title="Average total squared error (15 trials)"))
+    print()
+    for epsilon in [1.0, 0.1, 0.01]:
+        gain = comparison.improvement("S~", "S_bar", epsilon)
+        print(
+            f"ε={epsilon:<5}: constrained inference reduces error by a factor of {gain:,.1f}"
+        )
+
+    print()
+    print("A single private release of the degree sequence (ε = 0.1), head and tail:")
+    release = ConstrainedSortedEstimator(round_output=True).estimate(
+        dataset.degrees, epsilon=0.1, rng=rng
+    )
+    truth = dataset.degree_sequence()
+    print("  true degrees (lowest 10): ", truth[:10].astype(int).tolist())
+    print("  private release          ", release[:10].astype(int).tolist())
+    print("  true degrees (highest 10):", truth[-10:].astype(int).tolist())
+    print("  private release           ", release[-10:].astype(int).tolist())
+
+
+if __name__ == "__main__":
+    main()

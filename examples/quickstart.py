@@ -1,0 +1,58 @@
+"""Quickstart: both histogram tasks on a toy dataset in ~40 lines.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example mirrors the paper's running example (Figure 2): a tiny network
+trace whose per-source packet counts are <2, 0, 10, 2>.  It releases
+
+1. an *unattributed histogram* (the multiset of counts, e.g. a degree
+   sequence) using the sorted query ``S`` + isotonic constrained
+   inference, and
+2. a *universal histogram* (supports any range query) using the
+   hierarchical query ``H`` + tree least-squares constrained inference,
+
+and compares both against the non-private truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import UnattributedHistogramTask, UniversalHistogramTask
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # The unit-count histogram of the paper's example trace: four source
+    # addresses sending 2, 0, 10, and 2 packets.  Any non-negative integer
+    # vector works here — swap in your own counts.
+    counts = np.array([2.0, 0.0, 10.0, 2.0])
+    epsilon = 1.0
+
+    print("=== Unattributed histogram (sorted counts) ===")
+    unattributed = UnattributedHistogramTask(counts)
+    print("true sorted counts:   ", unattributed.true_sequence.tolist())
+    release = unattributed.release(epsilon=epsilon, rng=rng)
+    print(f"private release (eps={epsilon}):", release.tolist())
+
+    print()
+    print("=== Universal histogram (range queries) ===")
+    universal = UniversalHistogramTask(counts)
+    fitted = universal.release(epsilon=epsilon, rng=rng)
+    print("true total:              ", counts.sum())
+    print("private total:           ", fitted.total())
+    print("true count of [2, 3]:    ", counts[2:4].sum())
+    print("private count of [2, 3]: ", fitted.range_query(2, 3))
+    print("private unit counts:     ", fitted.unit_counts().tolist())
+
+    print()
+    print("Both releases are differentially private; the constrained")
+    print("inference step only post-processes the noisy answers, so it")
+    print("costs no additional privacy budget.")
+
+
+if __name__ == "__main__":
+    main()

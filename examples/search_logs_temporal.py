@@ -1,0 +1,93 @@
+"""Temporal search-frequency histograms (the Search Logs workload).
+
+Run with::
+
+    python examples/search_logs_temporal.py
+
+The example generates a bursty, mostly-empty time series of search-term
+frequencies (the stand-in for the paper's "Obama" query series over 16
+time slots per day since 2004), then:
+
+1. releases the series as a universal histogram and answers calendar-style
+   range queries (one day, one week, one month, the whole timeline);
+2. shows the effect of the Section 4.2 non-negativity heuristic on sparse
+   data by releasing with and without it;
+3. releases the keyword-frequency table as an unattributed histogram and
+   reports the error of the constrained estimator versus the baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.error import squared_error
+from repro.data.searchlogs import SearchLogsGenerator
+from repro.estimators.hierarchical import ConstrainedHierarchicalEstimator
+from repro.estimators.identity import IdentityLaplaceEstimator
+from repro.estimators.sorted import ConstrainedSortedEstimator, SortedLaplaceEstimator
+
+
+def main() -> None:
+    rng = np.random.default_rng(2004)
+    generator = SearchLogsGenerator(num_keywords=2000, num_slots=2**13, slots_per_day=16)
+    dataset = generator.generate(rng=rng)
+    series = dataset.term_series
+    slots_per_day = generator.slots_per_day
+
+    print("Synthetic search-log data:")
+    print(f"  tracked-term series: {series.size} time slots, {series.sum():.0f} total searches")
+    print(f"  occupancy: {np.count_nonzero(series) / series.size:.1%} of slots are non-zero")
+    print(f"  keyword table: top {dataset.num_keywords} keywords")
+    print()
+
+    epsilon = 0.1
+    print(f"=== Universal histogram over time (ε = {epsilon}) ===")
+    fitted = ConstrainedHierarchicalEstimator().fit(series, epsilon, rng=rng)
+    identity = IdentityLaplaceEstimator().fit(series, epsilon, rng=rng)
+
+    windows = {
+        "one day": slots_per_day,
+        "one week": 7 * slots_per_day,
+        "one month": 30 * slots_per_day,
+        "whole timeline": series.size,
+    }
+    print(f"{'window':<16}{'true':>12}{'H_bar':>12}{'L~':>12}")
+    for label, width in windows.items():
+        lo = series.size - width
+        hi = series.size - 1
+        true_answer = series[lo : hi + 1].sum()
+        print(
+            f"{label:<16}{true_answer:>12.0f}{fitted.range_query(lo, hi):>12.1f}"
+            f"{identity.range_query(lo, hi):>12.1f}"
+        )
+    print()
+
+    print("=== Effect of the non-negativity heuristic on this sparse series ===")
+    with_heuristic = ConstrainedHierarchicalEstimator(nonnegative=True).fit(
+        series, epsilon, rng=1
+    )
+    without_heuristic = ConstrainedHierarchicalEstimator(nonnegative=False).fit(
+        series, epsilon, rng=1
+    )
+    error_with = squared_error(with_heuristic.unit_counts(), series)
+    error_without = squared_error(without_heuristic.unit_counts(), series)
+    print(f"  total squared error over unit counts, heuristic on : {error_with:12.0f}")
+    print(f"  total squared error over unit counts, heuristic off: {error_without:12.0f}")
+    print(f"  reduction: {1 - error_with / error_without:.1%}")
+    print()
+
+    print(f"=== Unattributed histogram of keyword frequencies (ε = {epsilon}) ===")
+    keyword_counts = dataset.keyword_counts
+    truth = np.sort(keyword_counts)
+    constrained = ConstrainedSortedEstimator().estimate(keyword_counts, epsilon, rng=2)
+    baseline = SortedLaplaceEstimator().estimate(keyword_counts, epsilon, rng=2)
+    print(f"  squared error, S~   : {squared_error(baseline, truth):12.0f}")
+    print(f"  squared error, S_bar: {squared_error(constrained, truth):12.0f}")
+    print(
+        "  constrained inference keeps the long tail of rare keywords accurate "
+        "because their counts repeat many times."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+fully offline environments where the ``wheel`` package (needed for PEP 660
+editable installs) may be unavailable; pip then falls back to the legacy
+``setup.py develop`` code path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

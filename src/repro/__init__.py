@@ -1,0 +1,78 @@
+"""repro — reproduction of Hay et al., "Boosting the Accuracy of
+Differentially Private Histograms Through Consistency" (PVLDB 2010).
+
+The library implements the paper's two histogram strategies end to end:
+
+* **Unattributed histograms** — the sorted query ``S`` plus isotonic
+  constrained inference (:class:`repro.core.UnattributedHistogramTask`,
+  :class:`repro.estimators.ConstrainedSortedEstimator`).
+* **Universal histograms** — the hierarchical query ``H`` plus tree
+  least-squares constrained inference
+  (:class:`repro.core.UniversalHistogramTask`,
+  :class:`repro.estimators.ConstrainedHierarchicalEstimator`).
+
+together with the substrates they rest on: a small relational layer
+(:mod:`repro.db`), the Laplace / geometric mechanisms and budget
+accounting (:mod:`repro.privacy`), query sequences and workloads
+(:mod:`repro.queries`), the inference algorithms (:mod:`repro.inference`),
+baseline estimators (:mod:`repro.estimators`), synthetic stand-ins for the
+paper's datasets (:mod:`repro.data`), and the experiment harness that
+regenerates every figure (:mod:`repro.analysis`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import UnattributedHistogramTask
+
+    degrees = np.random.default_rng(0).poisson(3, size=1000)
+    task = UnattributedHistogramTask(degrees)
+    private_degree_sequence = task.release(epsilon=0.1, rng=0)
+"""
+
+from repro.core.tasks import UnattributedHistogramTask, UniversalHistogramTask
+from repro.core.pipeline import Analyst, DataOwner, PrivateSession
+from repro.estimators import (
+    ConstrainedHierarchicalEstimator,
+    ConstrainedSortedEstimator,
+    HierarchicalLaplaceEstimator,
+    IdentityLaplaceEstimator,
+    SortAndRoundEstimator,
+    SortedLaplaceEstimator,
+    WaveletEstimator,
+)
+from repro.inference import (
+    hierarchical_inference,
+    isotonic_regression,
+)
+from repro.privacy import LaplaceMechanism, PrivacyBudget, PrivacyParameters
+from repro.queries import (
+    HierarchicalQuery,
+    SortedCountQuery,
+    UnitCountQuery,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UnattributedHistogramTask",
+    "UniversalHistogramTask",
+    "Analyst",
+    "DataOwner",
+    "PrivateSession",
+    "ConstrainedSortedEstimator",
+    "SortedLaplaceEstimator",
+    "SortAndRoundEstimator",
+    "ConstrainedHierarchicalEstimator",
+    "HierarchicalLaplaceEstimator",
+    "IdentityLaplaceEstimator",
+    "WaveletEstimator",
+    "isotonic_regression",
+    "hierarchical_inference",
+    "LaplaceMechanism",
+    "PrivacyBudget",
+    "PrivacyParameters",
+    "UnitCountQuery",
+    "SortedCountQuery",
+    "HierarchicalQuery",
+    "__version__",
+]

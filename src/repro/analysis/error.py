@@ -1,0 +1,73 @@
+"""Empirical error metrics (Definition 2.3 and the Section 5 protocol).
+
+The paper measures accuracy as squared error: for a randomized sequence
+``Q̃`` with true answer ``Q(I)``, ``error(Q̃) = Σ_i E(Q̃[i] - Q[i])²``.
+Experiments estimate the expectation by averaging over repeated samples of
+the mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.utils.arrays import as_float_vector
+
+__all__ = [
+    "squared_error",
+    "mean_squared_error",
+    "average_total_squared_error",
+    "per_position_squared_error",
+]
+
+
+def squared_error(estimate, truth) -> float:
+    """Total squared error ``||estimate - truth||²`` of one sample."""
+    estimate = as_float_vector(estimate, name="estimate")
+    truth = as_float_vector(truth, name="truth")
+    if estimate.size != truth.size:
+        raise ExperimentError(
+            f"estimate has length {estimate.size}, truth has length {truth.size}"
+        )
+    diff = estimate - truth
+    return float(np.dot(diff, diff))
+
+
+def mean_squared_error(estimate, truth) -> float:
+    """Per-position mean squared error of one sample."""
+    estimate = as_float_vector(estimate, name="estimate")
+    return squared_error(estimate, truth) / estimate.size
+
+
+def average_total_squared_error(estimates, truth) -> float:
+    """Average of the total squared error over repeated samples.
+
+    ``estimates`` is an iterable of sample vectors (e.g. one per noise
+    draw); this is the Monte-Carlo estimate of ``error(Q̃)``.
+    """
+    totals = [squared_error(sample, truth) for sample in estimates]
+    if not totals:
+        raise ExperimentError("at least one sample is required")
+    return float(np.mean(totals))
+
+
+def per_position_squared_error(estimates, truth) -> np.ndarray:
+    """Average squared error at each position over repeated samples.
+
+    This is the Figure 7 quantity: how much error remains at each point of
+    the sequence after averaging over noise draws.
+    """
+    truth = as_float_vector(truth, name="truth")
+    accumulator = np.zeros_like(truth)
+    count = 0
+    for sample in estimates:
+        sample = as_float_vector(sample, name="estimate")
+        if sample.size != truth.size:
+            raise ExperimentError(
+                f"sample has length {sample.size}, truth has length {truth.size}"
+            )
+        accumulator += (sample - truth) ** 2
+        count += 1
+    if count == 0:
+        raise ExperimentError("at least one sample is required")
+    return accumulator / count

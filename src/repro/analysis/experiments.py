@@ -1,0 +1,299 @@
+"""Experiment runners that regenerate the figures of the evaluation section.
+
+Each runner is pure computation over count vectors and estimator objects:
+the benchmarks in ``benchmarks/`` supply the datasets and the paper-scale
+parameters, the test suite supplies small ones, and both get structured
+results (dataclasses) that can be rendered as text tables or CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.error import (
+    average_total_squared_error,
+    per_position_squared_error,
+)
+from repro.estimators.base import RangeQueryEstimator, UnattributedEstimator
+from repro.exceptions import ExperimentError
+from repro.inference.isotonic import isotonic_regression
+from repro.queries.sorted import SortedCountQuery
+from repro.queries.workload import RangeWorkload
+from repro.utils.arrays import as_float_vector
+from repro.utils.random import as_generator, spawn_generators
+
+__all__ = [
+    "UnattributedComparison",
+    "UniversalComparison",
+    "run_unattributed_comparison",
+    "run_universal_comparison",
+    "per_position_error_profile",
+    "figure3_demo",
+    "Figure3Demo",
+]
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: unattributed histograms
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UnattributedComparison:
+    """Results of the Figure 5 style comparison on one dataset.
+
+    ``errors[(estimator_name, epsilon)]`` is the average total squared
+    error over the trials.
+    """
+
+    dataset: str
+    trials: int
+    errors: dict[tuple[str, float], float] = field(default_factory=dict)
+
+    def error(self, estimator_name: str, epsilon: float) -> float:
+        """Average total squared error for one estimator and ε."""
+        return self.errors[(estimator_name, float(epsilon))]
+
+    def improvement(self, baseline: str, improved: str, epsilon: float) -> float:
+        """Error ratio baseline/improved (``> 1`` means ``improved`` wins)."""
+        return self.error(baseline, epsilon) / self.error(improved, epsilon)
+
+    def to_rows(self) -> list[dict]:
+        """Rows suitable for table rendering / CSV export."""
+        return [
+            {
+                "dataset": self.dataset,
+                "estimator": name,
+                "epsilon": epsilon,
+                "avg_squared_error": error,
+            }
+            for (name, epsilon), error in sorted(self.errors.items())
+        ]
+
+
+def run_unattributed_comparison(
+    counts,
+    estimators: list[UnattributedEstimator],
+    epsilons,
+    trials: int = 50,
+    rng: np.random.Generator | int | None = None,
+    dataset: str = "dataset",
+) -> UnattributedComparison:
+    """Average squared error of unattributed-histogram estimators.
+
+    Reproduces the protocol of Section 5.1: for each ε, draw ``trials``
+    independent noisy answers and average the total squared error against
+    the true sorted sequence.
+    """
+    counts = as_float_vector(counts, name="counts")
+    if trials <= 0:
+        raise ExperimentError(f"trials must be positive, got {trials}")
+    if not estimators:
+        raise ExperimentError("at least one estimator is required")
+    truth = np.sort(counts)
+    comparison = UnattributedComparison(dataset=dataset, trials=trials)
+    parent = as_generator(rng)
+    for epsilon in epsilons:
+        epsilon = float(epsilon)
+        for estimator in estimators:
+            generators = spawn_generators(parent, trials)
+            samples = (
+                estimator.estimate(counts, epsilon, rng=generator)
+                for generator in generators
+            )
+            comparison.errors[(estimator.name, epsilon)] = average_total_squared_error(
+                samples, truth
+            )
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: universal histograms / range queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UniversalComparison:
+    """Results of the Figure 6 style comparison on one dataset.
+
+    ``errors[(estimator_name, epsilon, range_size)]`` is the average
+    squared error of a single range query of that size.
+    """
+
+    dataset: str
+    trials: int
+    queries_per_size: int
+    errors: dict[tuple[str, float, int], float] = field(default_factory=dict)
+
+    def error(self, estimator_name: str, epsilon: float, range_size: int) -> float:
+        """Average squared error per query for one configuration."""
+        return self.errors[(estimator_name, float(epsilon), int(range_size))]
+
+    def series(self, estimator_name: str, epsilon: float) -> list[tuple[int, float]]:
+        """The (range size, error) series for one estimator and ε."""
+        return sorted(
+            (size, error)
+            for (name, eps, size), error in self.errors.items()
+            if name == estimator_name and eps == float(epsilon)
+        )
+
+    def crossover_size(
+        self, first: str, second: str, epsilon: float
+    ) -> int | None:
+        """Smallest range size at which ``second`` has lower error than ``first``.
+
+        Returns ``None`` if no crossover occurs; used to check the paper's
+        observation that H̃ overtakes L̃ around range size ~2000.
+        """
+        first_series = dict(self.series(first, epsilon))
+        second_series = dict(self.series(second, epsilon))
+        for size in sorted(first_series):
+            if size in second_series and second_series[size] < first_series[size]:
+                return size
+        return None
+
+    def to_rows(self) -> list[dict]:
+        """Rows suitable for table rendering / CSV export."""
+        return [
+            {
+                "dataset": self.dataset,
+                "estimator": name,
+                "epsilon": epsilon,
+                "range_size": size,
+                "avg_squared_error": error,
+            }
+            for (name, epsilon, size), error in sorted(self.errors.items())
+        ]
+
+
+def run_universal_comparison(
+    counts,
+    estimators: list[RangeQueryEstimator],
+    epsilons,
+    range_sizes,
+    trials: int = 50,
+    queries_per_size: int = 1000,
+    rng: np.random.Generator | int | None = None,
+    dataset: str = "dataset",
+) -> UniversalComparison:
+    """Average range-query error of universal-histogram estimators.
+
+    Reproduces the protocol of Section 5.2: for each ε, each trial draws a
+    fresh noisy release; for each range size, a fixed workload of random
+    ranges is evaluated against every release, and the squared errors are
+    averaged over both queries and trials.
+    """
+    counts = as_float_vector(counts, name="counts")
+    if trials <= 0:
+        raise ExperimentError(f"trials must be positive, got {trials}")
+    if queries_per_size <= 0:
+        raise ExperimentError(
+            f"queries_per_size must be positive, got {queries_per_size}"
+        )
+    if not estimators:
+        raise ExperimentError("at least one estimator is required")
+    parent = as_generator(rng)
+    workloads = RangeWorkload.size_sweep(
+        counts.size, [int(s) for s in range_sizes], queries_per_size, rng=parent
+    )
+    true_answers = {
+        size: workload.true_answers(counts) for size, workload in workloads.items()
+    }
+    comparison = UniversalComparison(
+        dataset=dataset, trials=trials, queries_per_size=queries_per_size
+    )
+    for epsilon in epsilons:
+        epsilon = float(epsilon)
+        for estimator in estimators:
+            sums = {size: 0.0 for size in workloads}
+            generators = spawn_generators(parent, trials)
+            for generator in generators:
+                fitted = estimator.fit(counts, epsilon, rng=generator)
+                for size, workload in workloads.items():
+                    estimates = fitted.answer_workload(workload)
+                    sums[size] += float(
+                        np.mean((estimates - true_answers[size]) ** 2)
+                    )
+            for size in workloads:
+                comparison.errors[(estimator.name, epsilon, size)] = sums[size] / trials
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: per-position error profile
+# ---------------------------------------------------------------------------
+
+
+def per_position_error_profile(
+    counts,
+    estimator: UnattributedEstimator,
+    epsilon: float,
+    trials: int = 200,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Average squared error at each position of the sorted sequence.
+
+    This is the Figure 7 quantity for one estimator: run the estimator
+    ``trials`` times and average ``(estimate[i] - truth[i])²`` per
+    position ``i``.
+    """
+    counts = as_float_vector(counts, name="counts")
+    truth = np.sort(counts)
+    generators = spawn_generators(rng, trials)
+    samples = (
+        estimator.estimate(counts, epsilon, rng=generator) for generator in generators
+    )
+    return per_position_squared_error(samples, truth)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: illustrative single sample
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure3Demo:
+    """One sampled illustration of constrained inference (Figure 3)."""
+
+    truth: np.ndarray
+    noisy: np.ndarray
+    inferred: np.ndarray
+    epsilon: float
+
+    @property
+    def noisy_error(self) -> float:
+        """Total squared error of the raw noisy answer."""
+        return float(np.sum((self.noisy - self.truth) ** 2))
+
+    @property
+    def inferred_error(self) -> float:
+        """Total squared error after constrained inference."""
+        return float(np.sum((self.inferred - self.truth) ** 2))
+
+
+def figure3_demo(
+    epsilon: float = 1.0,
+    uniform_length: int = 20,
+    uniform_value: float = 10.0,
+    outliers=(17.0, 18.0, 19.0, 20.0, 21.0),
+    rng: np.random.Generator | int | None = None,
+) -> Figure3Demo:
+    """Regenerate the Figure 3 illustration.
+
+    The true sequence has a long uniform run followed by a few distinct
+    larger counts; one noisy sample is drawn and the isotonic fit is
+    computed.  The demo shows the fit hugging the truth on the uniform run
+    while following the noisy value where the count is unique.
+    """
+    if uniform_length <= 0:
+        raise ExperimentError(f"uniform_length must be positive, got {uniform_length}")
+    truth = np.concatenate(
+        (np.full(uniform_length, float(uniform_value)), np.asarray(outliers, dtype=np.float64))
+    )
+    truth = np.sort(truth)
+    query = SortedCountQuery(truth.size)
+    noisy = query.randomize(truth, epsilon, rng=rng).values
+    inferred = isotonic_regression(noisy)
+    return Figure3Demo(truth=truth, noisy=noisy, inferred=inferred, epsilon=float(epsilon))

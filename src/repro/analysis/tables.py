@@ -1,0 +1,78 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The benchmark harness runs in headless environments, so figures are
+reported as aligned text tables (printed to stdout and captured in
+``bench_output.txt``) and optionally as CSV files under ``results/`` for
+downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["render_table", "write_csv", "format_number"]
+
+
+def format_number(value) -> str:
+    """Consistent numeric formatting for tables (compact, 4 significant digits)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int,)):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping], columns: Sequence[str] | None = None, title: str | None = None
+) -> str:
+    """Render a list of dict rows as an aligned, pipe-separated text table."""
+    rows = list(rows)
+    if not rows:
+        raise ExperimentError("cannot render an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    for row in rows:
+        missing = [column for column in columns if column not in row]
+        if missing:
+            raise ExperimentError(f"row {row!r} is missing columns {missing}")
+    formatted = [[format_number(row[column]) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(cells[i]) for cells in formatted))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for cells in formatted:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(rows: Iterable[Mapping], path: str | Path, columns: Sequence[str] | None = None) -> Path:
+    """Write dict rows to a CSV file, creating parent directories as needed."""
+    rows = list(rows)
+    if not rows:
+        raise ExperimentError("cannot write an empty CSV")
+    if columns is None:
+        columns = list(rows[0].keys())
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({column: row.get(column, "") for column in columns})
+    return path

@@ -1,0 +1,141 @@
+"""Analytic error formulas and bounds proved in the paper.
+
+These functions turn the paper's utility analysis into executable code so
+the benchmarks can plot measured error against the corresponding formula
+or bound:
+
+* ``error(L̃) = 2n/ε²`` and ``error(S̃) = 2n/ε²`` (Section 2.1 / proof of
+  Theorem 2) — exact expectations for the Laplace mechanism.
+* ``error(L̃_q) = 2·|q|/ε²`` for a range query of length ``|q|``.
+* ``error(H̃_q) <= 2·ℓ²/ε² · (number of subtrees)``, with the number of
+  subtrees at most ``2(k-1)`` per level (Section 4.2).
+* Theorem 2: ``error(S̄) <= Σ_i (c₁·log³ nᵢ + c₂)/ε²`` over the runs of
+  duplicate values — the bound is reported up to the unspecified
+  constants, so it is exposed as a *shape* ``Σ_i log³(nᵢ)/ε²`` plus a
+  helper that fits the constants empirically.
+* Theorem 4(iv): the improvement factor ``(2(ℓ-1)(k-1) - k)/3`` of ``H̄``
+  over ``H̃`` on the paper's worst-case query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.utils.arrays import as_float_vector
+
+__all__ = [
+    "error_identity_laplace",
+    "error_sorted_laplace",
+    "error_identity_laplace_range",
+    "error_hierarchical_laplace_range",
+    "hierarchical_leaf_variance",
+    "theorem2_shape",
+    "theorem2_bound",
+    "theorem4_improvement_factor",
+    "run_lengths",
+]
+
+
+def _check_epsilon(epsilon: float) -> float:
+    if epsilon <= 0:
+        raise ExperimentError(f"epsilon must be positive, got {epsilon}")
+    return float(epsilon)
+
+
+def error_identity_laplace(domain_size: int, epsilon: float) -> float:
+    """Exact ``error(L̃) = 2n/ε²`` for the unit-count query under Laplace noise."""
+    if domain_size <= 0:
+        raise ExperimentError(f"domain_size must be positive, got {domain_size}")
+    epsilon = _check_epsilon(epsilon)
+    return 2.0 * domain_size / epsilon**2
+
+
+def error_sorted_laplace(domain_size: int, epsilon: float) -> float:
+    """Exact ``error(S̃) = 2n/ε²``: the sorted query has the same noise as L̃."""
+    return error_identity_laplace(domain_size, epsilon)
+
+
+def error_identity_laplace_range(range_length: int, epsilon: float) -> float:
+    """Expected squared error of a range estimate from L̃: ``2·|q|/ε²``."""
+    if range_length <= 0:
+        raise ExperimentError(f"range_length must be positive, got {range_length}")
+    epsilon = _check_epsilon(epsilon)
+    return 2.0 * range_length / epsilon**2
+
+
+def hierarchical_leaf_variance(height: int, epsilon: float) -> float:
+    """Variance of a single noisy node count in H̃: ``2·ℓ²/ε²``."""
+    if height <= 0:
+        raise ExperimentError(f"height must be positive, got {height}")
+    epsilon = _check_epsilon(epsilon)
+    return 2.0 * height**2 / epsilon**2
+
+
+def error_hierarchical_laplace_range(
+    height: int, epsilon: float, num_subtrees: int | None = None, branching: int = 2
+) -> float:
+    """Expected squared error of a range estimate from H̃.
+
+    Each of the summed subtree roots contributes ``2ℓ²/ε²``; if the exact
+    number of subtrees in the decomposition is unknown the worst case
+    ``2(k-1)`` per level below the root is used.
+    """
+    if branching < 2:
+        raise ExperimentError(f"branching must be >= 2, got {branching}")
+    if num_subtrees is None:
+        num_subtrees = 2 * (branching - 1) * max(1, height - 1)
+    if num_subtrees <= 0:
+        raise ExperimentError(f"num_subtrees must be positive, got {num_subtrees}")
+    return num_subtrees * hierarchical_leaf_variance(height, epsilon)
+
+
+def run_lengths(sorted_counts) -> np.ndarray:
+    """Lengths ``n₁, ..., n_d`` of the runs of equal values in a sorted sequence."""
+    sorted_counts = as_float_vector(sorted_counts, name="sorted_counts")
+    if np.any(np.diff(sorted_counts) < 0):
+        raise ExperimentError("input must be sorted in non-decreasing order")
+    change_points = np.flatnonzero(np.diff(sorted_counts) != 0)
+    boundaries = np.concatenate(([0], change_points + 1, [sorted_counts.size]))
+    return np.diff(boundaries).astype(np.int64)
+
+
+def theorem2_shape(sorted_counts, epsilon: float) -> float:
+    """The Theorem 2 bound's shape: ``Σ_i (log³ nᵢ + 1) / ε²``.
+
+    This is :func:`theorem2_bound` with both unspecified constants set to
+    one; useful for comparing how the bound scales across datasets without
+    committing to fitted constants.
+    """
+    return theorem2_bound(sorted_counts, epsilon, c1=1.0, c2=1.0)
+
+
+def theorem2_bound(
+    sorted_counts, epsilon: float, c1: float = 1.0, c2: float = 1.0
+) -> float:
+    """The Theorem 2 bound ``Σ_i (c₁·log³ nᵢ + c₂)/ε²`` with explicit constants."""
+    epsilon = _check_epsilon(epsilon)
+    if c1 < 0 or c2 < 0:
+        raise ExperimentError("constants c1 and c2 must be non-negative")
+    lengths = run_lengths(sorted_counts)
+    logs = np.log(np.maximum(lengths.astype(np.float64), 1.0))
+    return float(np.sum(c1 * logs**3 + c2) / epsilon**2)
+
+
+def theorem4_improvement_factor(height: int, branching: int = 2) -> float:
+    """Theorem 4(iv): factor by which H̄ beats H̃ on the worst-case query.
+
+    ``error(H̄_q) <= 3/(2(ℓ-1)(k-1) - k) · error(H̃_q)``, i.e. the
+    improvement factor is ``(2(ℓ-1)(k-1) - k)/3``.  For the height-16
+    binary tree used in the paper's example this is 9.33.
+    """
+    if height < 2:
+        raise ExperimentError(f"height must be at least 2, got {height}")
+    if branching < 2:
+        raise ExperimentError(f"branching must be >= 2, got {branching}")
+    numerator = 2 * (height - 1) * (branching - 1) - branching
+    if numerator <= 0:
+        raise ExperimentError(
+            f"improvement factor undefined for height={height}, branching={branching}"
+        )
+    return numerator / 3.0

@@ -1,0 +1,212 @@
+"""Command-line interface for quick private-histogram releases.
+
+The CLI wraps the two high-level tasks so that a data owner can produce a
+differentially private release from a CSV of counts (or from one of the
+built-in synthetic datasets) without writing Python::
+
+    # Private degree sequence of the bundled social-network stand-in
+    python -m repro.cli unattributed --dataset socialnetwork --epsilon 0.1 --seed 7
+
+    # Universal histogram from a file of per-bucket counts (one number per line)
+    python -m repro.cli universal --counts-file counts.txt --epsilon 0.5 --out release.csv
+
+    # Compare the estimators on your data (Figure 5 / Figure 6 style tables)
+    python -m repro.cli compare-unattributed --dataset nettrace --trials 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.tables import render_table, write_csv
+from repro.core.tasks import UnattributedHistogramTask, UniversalHistogramTask
+from repro.data.registry import default_registry
+from repro.exceptions import ReproError
+from repro.utils.random import as_generator
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_counts(args: argparse.Namespace, task: str) -> np.ndarray:
+    """Resolve the input counts from --counts-file or --dataset."""
+    if args.counts_file is not None:
+        values = np.loadtxt(args.counts_file, dtype=np.float64, ndmin=1)
+        return np.asarray(values, dtype=np.float64)
+    registry = default_registry()
+    entry = registry.get(args.dataset, scale=args.scale)
+    rng = as_generator(args.seed)
+    if task == "universal":
+        if entry.universal is None:
+            raise ReproError(
+                f"dataset {args.dataset!r} has no universal-histogram variant"
+            )
+        return entry.universal(rng)
+    return entry.unattributed(rng)
+
+
+def _write_vector(values: np.ndarray, out: str | None, label: str) -> None:
+    rows = [{"bucket": i, label: float(v)} for i, v in enumerate(values)]
+    if out:
+        path = write_csv(rows, Path(out))
+        print(f"wrote {len(rows)} rows to {path}")
+    else:
+        preview = ", ".join(f"{v:g}" for v in values[:20])
+        suffix = ", ..." if values.size > 20 else ""
+        print(f"{label} ({values.size} values): {preview}{suffix}")
+
+
+def _cmd_unattributed(args: argparse.Namespace) -> int:
+    counts = _load_counts(args, task="unattributed")
+    task = UnattributedHistogramTask(counts)
+    release = task.release(epsilon=args.epsilon, rng=args.seed)
+    _write_vector(release, args.out, "private_sorted_count")
+    return 0
+
+
+def _cmd_universal(args: argparse.Namespace) -> int:
+    counts = _load_counts(args, task="universal")
+    task = UniversalHistogramTask(counts, branching=args.branching)
+    fitted = task.release(epsilon=args.epsilon, rng=args.seed)
+    _write_vector(fitted.unit_counts(), args.out, "private_unit_count")
+    print(f"private total: {fitted.total():g}")
+    return 0
+
+
+def _cmd_compare_unattributed(args: argparse.Namespace) -> int:
+    counts = _load_counts(args, task="unattributed")
+    task = UnattributedHistogramTask(counts)
+    comparison = task.compare(
+        epsilons=args.epsilons, trials=args.trials, rng=args.seed, dataset=args.dataset
+    )
+    print(render_table(comparison.to_rows(), title="Average total squared error"))
+    if args.out:
+        write_csv(comparison.to_rows(), Path(args.out))
+        print(f"wrote results to {args.out}")
+    return 0
+
+
+def _cmd_compare_universal(args: argparse.Namespace) -> int:
+    counts = _load_counts(args, task="universal")
+    task = UniversalHistogramTask(counts, branching=args.branching)
+    comparison = task.compare(
+        epsilons=args.epsilons,
+        trials=args.trials,
+        queries_per_size=args.queries_per_size,
+        rng=args.seed,
+        dataset=args.dataset,
+    )
+    print(render_table(comparison.to_rows(), title="Average squared error per range query"))
+    if args.out:
+        write_csv(comparison.to_rows(), Path(args.out))
+        print(f"wrote results to {args.out}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    rows = [
+        {
+            "name": entry.name,
+            "scale": entry.scale,
+            "has_universal_variant": entry.universal is not None,
+            "description": entry.description,
+        }
+        for entry in registry.entries()
+    ]
+    print(render_table(rows, title="Built-in synthetic datasets"))
+    return 0
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser, with_privacy: bool = True) -> None:
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--counts-file",
+        help="text file with one per-bucket count per line (the L(I) vector)",
+    )
+    source.add_argument(
+        "--dataset",
+        default="nettrace",
+        choices=sorted(default_registry().names()),
+        help="built-in synthetic dataset to use instead of a counts file",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=["small", "paper"],
+        help="size of the built-in dataset",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--out", help="write the result as CSV to this path")
+    if with_privacy:
+        parser.add_argument(
+            "--epsilon", type=float, default=0.1, help="privacy parameter ε"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Differentially private histograms with constrained inference "
+        "(Hay et al., PVLDB 2010).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    unattributed = subparsers.add_parser(
+        "unattributed", help="release a private unattributed histogram (sorted counts)"
+    )
+    _add_common_arguments(unattributed)
+    unattributed.set_defaults(handler=_cmd_unattributed)
+
+    universal = subparsers.add_parser(
+        "universal", help="release a private universal histogram (range queries)"
+    )
+    _add_common_arguments(universal)
+    universal.add_argument("--branching", type=int, default=2, help="tree branching factor k")
+    universal.set_defaults(handler=_cmd_universal)
+
+    compare_unattributed = subparsers.add_parser(
+        "compare-unattributed", help="compare S~, S~r, S_bar on a dataset (Figure 5 style)"
+    )
+    _add_common_arguments(compare_unattributed, with_privacy=False)
+    compare_unattributed.add_argument(
+        "--epsilons", type=float, nargs="+", default=[1.0, 0.1, 0.01]
+    )
+    compare_unattributed.add_argument("--trials", type=int, default=10)
+    compare_unattributed.set_defaults(handler=_cmd_compare_unattributed)
+
+    compare_universal = subparsers.add_parser(
+        "compare-universal", help="compare L~, H~, H_bar on a dataset (Figure 6 style)"
+    )
+    _add_common_arguments(compare_universal, with_privacy=False)
+    compare_universal.add_argument(
+        "--epsilons", type=float, nargs="+", default=[0.1]
+    )
+    compare_universal.add_argument("--trials", type=int, default=5)
+    compare_universal.add_argument("--queries-per-size", type=int, default=50)
+    compare_universal.add_argument("--branching", type=int, default=2)
+    compare_universal.set_defaults(handler=_cmd_compare_universal)
+
+    datasets = subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
+    datasets.set_defaults(handler=_cmd_datasets)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.cli``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

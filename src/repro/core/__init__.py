@@ -1,0 +1,23 @@
+"""High-level API: the two histogram tasks and the Figure 1 pipeline.
+
+* :mod:`repro.core.tasks` — :class:`UnattributedHistogramTask` and
+  :class:`UniversalHistogramTask`, convenience façades that wire a dataset
+  (relation or count vector) to the estimators and return ready-to-use
+  results.
+* :mod:`repro.core.pipeline` — the explicit three-step analyst / data
+  owner protocol of Figure 1 (choose query → private answers →
+  constrained inference), with privacy-budget accounting on the data-owner
+  side.  The examples use this module to show the roles separately; the
+  estimators collapse the three steps into one call.
+"""
+
+from repro.core.tasks import UnattributedHistogramTask, UniversalHistogramTask
+from repro.core.pipeline import Analyst, DataOwner, PrivateSession
+
+__all__ = [
+    "UnattributedHistogramTask",
+    "UniversalHistogramTask",
+    "Analyst",
+    "DataOwner",
+    "PrivateSession",
+]

@@ -1,0 +1,178 @@
+"""Task façades: one object per histogram task.
+
+These are the "I just want the paper's method on my data" entry points:
+
+* :class:`UnattributedHistogramTask` — estimate a multiset of counts (a
+  degree sequence, a frequency-of-frequencies table) under ε-DP with the
+  constrained sorted estimator, with the baselines available for
+  comparison.
+* :class:`UniversalHistogramTask` — release a histogram that supports
+  arbitrary range queries under ε-DP with the constrained hierarchical
+  estimator, again with baselines available.
+
+Both accept either a raw count vector or a :class:`~repro.db.relation.Relation`
+plus range attribute, and expose ``compare()`` helpers that the examples
+use to print paper-style accuracy tables on the caller's own data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.experiments import (
+    UnattributedComparison,
+    UniversalComparison,
+    run_unattributed_comparison,
+    run_universal_comparison,
+)
+from repro.db.histogram import HistogramBuilder
+from repro.db.relation import Relation
+from repro.estimators.base import FittedRangeEstimate
+from repro.estimators.hierarchical import (
+    ConstrainedHierarchicalEstimator,
+    HierarchicalLaplaceEstimator,
+)
+from repro.estimators.identity import IdentityLaplaceEstimator
+from repro.estimators.sorted import (
+    ConstrainedSortedEstimator,
+    SortAndRoundEstimator,
+    SortedLaplaceEstimator,
+)
+from repro.queries.workload import RangeWorkload
+from repro.utils.arrays import as_float_vector
+
+__all__ = ["UnattributedHistogramTask", "UniversalHistogramTask"]
+
+
+def _resolve_counts(data, attribute: str | None) -> np.ndarray:
+    if isinstance(data, Relation):
+        if attribute is None:
+            raise ValueError("a range attribute is required when data is a Relation")
+        return HistogramBuilder(data, attribute).counts()
+    return as_float_vector(data, name="counts")
+
+
+@dataclass
+class UnattributedHistogramTask:
+    """Release the multiset of counts (sorted) under ε-differential privacy."""
+
+    counts: np.ndarray
+
+    def __init__(self, data, attribute: str | None = None) -> None:
+        self.counts = _resolve_counts(data, attribute)
+
+    @property
+    def true_sequence(self) -> np.ndarray:
+        """The true sorted count sequence (non-private; for evaluation only)."""
+        return np.sort(self.counts)
+
+    def release(
+        self,
+        epsilon: float,
+        rng: np.random.Generator | int | None = None,
+        round_output: bool = True,
+    ) -> np.ndarray:
+        """ε-DP estimate of the sorted sequence using constrained inference (S̄)."""
+        estimator = ConstrainedSortedEstimator(round_output=round_output)
+        return estimator.estimate(self.counts, epsilon, rng=rng)
+
+    def release_baseline(
+        self, epsilon: float, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """ε-DP estimate using the raw noisy sorted counts (S̃), for comparison."""
+        return SortedLaplaceEstimator().estimate(self.counts, epsilon, rng=rng)
+
+    def compare(
+        self,
+        epsilons=(1.0, 0.1, 0.01),
+        trials: int = 50,
+        rng: np.random.Generator | int | None = None,
+        dataset: str = "unattributed",
+    ) -> UnattributedComparison:
+        """Figure 5 style comparison of S̃, S̃r, and S̄ on this data."""
+        estimators = [
+            SortedLaplaceEstimator(),
+            SortAndRoundEstimator(),
+            ConstrainedSortedEstimator(),
+        ]
+        return run_unattributed_comparison(
+            self.counts, estimators, epsilons, trials=trials, rng=rng, dataset=dataset
+        )
+
+
+@dataclass
+class UniversalHistogramTask:
+    """Release a histogram supporting arbitrary range queries under ε-DP."""
+
+    counts: np.ndarray
+    branching: int
+
+    def __init__(self, data, attribute: str | None = None, branching: int = 2) -> None:
+        self.counts = _resolve_counts(data, attribute)
+        self.branching = int(branching)
+
+    @property
+    def domain_size(self) -> int:
+        """Number of unit buckets in the histogram domain."""
+        return int(self.counts.size)
+
+    def release(
+        self,
+        epsilon: float,
+        rng: np.random.Generator | int | None = None,
+        nonnegative: bool = True,
+    ) -> FittedRangeEstimate:
+        """ε-DP release using the constrained hierarchical estimator (H̄)."""
+        estimator = ConstrainedHierarchicalEstimator(
+            branching=self.branching, nonnegative=nonnegative
+        )
+        return estimator.fit(self.counts, epsilon, rng=rng)
+
+    def release_baseline(
+        self,
+        epsilon: float,
+        strategy: str = "identity",
+        rng: np.random.Generator | int | None = None,
+    ) -> FittedRangeEstimate:
+        """ε-DP release using a baseline strategy (``"identity"`` = L̃, ``"hierarchical"`` = H̃)."""
+        if strategy == "identity":
+            return IdentityLaplaceEstimator().fit(self.counts, epsilon, rng=rng)
+        if strategy == "hierarchical":
+            return HierarchicalLaplaceEstimator(branching=self.branching).fit(
+                self.counts, epsilon, rng=rng
+            )
+        raise ValueError(f"unknown baseline strategy {strategy!r}")
+
+    def default_range_sizes(self) -> list[int]:
+        """The paper's dyadic range-size grid for this domain."""
+        return RangeWorkload.dyadic_sizes(self.domain_size)
+
+    def compare(
+        self,
+        epsilons=(1.0, 0.1, 0.01),
+        range_sizes=None,
+        trials: int = 20,
+        queries_per_size: int = 200,
+        rng: np.random.Generator | int | None = None,
+        dataset: str = "universal",
+    ) -> UniversalComparison:
+        """Figure 6 style comparison of L̃, H̃, and H̄ on this data."""
+        estimators = [
+            IdentityLaplaceEstimator(),
+            HierarchicalLaplaceEstimator(branching=self.branching),
+            ConstrainedHierarchicalEstimator(branching=self.branching),
+        ]
+        if range_sizes is None:
+            range_sizes = self.default_range_sizes()
+        return run_universal_comparison(
+            self.counts,
+            estimators,
+            epsilons,
+            range_sizes,
+            trials=trials,
+            queries_per_size=queries_per_size,
+            rng=rng,
+            dataset=dataset,
+        )

@@ -1,0 +1,185 @@
+"""Synthetic stand-in for the paper's NetTrace dataset.
+
+The original NetTrace is an IP-level trace collected at a university
+gateway; the paper uses it two ways:
+
+* **Unattributed histogram** (Section 5.1): the number of internal hosts
+  each external host connects to (~65K external hosts), a heavy-tailed
+  multiset of connection counts.
+* **Universal histogram** (Section 5.2): the number of connections per
+  external host *with* the host identity retained, over a large sparse
+  address domain, queried with random ranges.
+
+The generator below produces a bipartite connection relation
+``R(src, dst)`` whose out-degree distribution is power-law with many
+duplicate small degrees, embedded in a sparse address domain (most
+addresses never appear).  Both the relation and the derived count vectors
+are exposed, so experiments can run either end-to-end through the
+relational substrate or directly on count vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.domain import IntegerDomain
+from repro.db.histogram import pad_counts
+from repro.db.relation import Column, Relation, Schema
+from repro.exceptions import DomainError
+from repro.utils.random import as_generator
+from repro.data.graph import sample_powerlaw_degrees
+
+__all__ = ["NetTraceGenerator", "NetTraceDataset"]
+
+
+@dataclass
+class NetTraceDataset:
+    """Materialised NetTrace-like data.
+
+    Attributes
+    ----------
+    counts:
+        Per-address connection counts over the full (sparse) address
+        domain; ``counts[i]`` is the number of connections of address ``i``
+        (zero for addresses not present in the trace).
+    active_counts:
+        Counts restricted to the addresses that appear at least once — the
+        vector whose sorted version is the Section 5.1 unattributed
+        histogram.
+    domain:
+        Integer domain of the full address space.
+    """
+
+    counts: np.ndarray
+    active_counts: np.ndarray
+    domain: IntegerDomain
+
+    def sorted_counts(self) -> np.ndarray:
+        """The unattributed histogram of active hosts (ascending order)."""
+        return np.sort(self.active_counts)
+
+    def padded_counts(self, branching: int = 2) -> np.ndarray:
+        """Full-domain counts padded to a power of ``branching``."""
+        return pad_counts(self.counts, branching)
+
+    @property
+    def num_active_hosts(self) -> int:
+        """Number of addresses with at least one connection."""
+        return int(self.active_counts.size)
+
+    @property
+    def total_connections(self) -> float:
+        """Total number of connections in the trace."""
+        return float(self.counts.sum())
+
+
+class NetTraceGenerator:
+    """Generates NetTrace-like connection data.
+
+    Parameters
+    ----------
+    num_active_hosts:
+        Number of external hosts that actually appear in the trace
+        (the paper's unattributed histogram has ~65K of them).
+    domain_bits:
+        The address domain is ``2**domain_bits`` buckets; active hosts are
+        scattered uniformly over it, making the domain sparse as in the
+        real trace.
+    exponent, max_degree:
+        Shape of the per-host connection-count distribution.
+    """
+
+    def __init__(
+        self,
+        num_active_hosts: int = 65_000,
+        domain_bits: int = 16,
+        exponent: float = 2.0,
+        min_degree: int = 1,
+        max_degree: int = 10_000,
+    ) -> None:
+        if num_active_hosts <= 0:
+            raise DomainError(
+                f"num_active_hosts must be positive, got {num_active_hosts}"
+            )
+        if domain_bits <= 0 or domain_bits > 26:
+            raise DomainError(f"domain_bits must be in [1, 26], got {domain_bits}")
+        self.num_active_hosts = int(num_active_hosts)
+        self.domain_bits = int(domain_bits)
+        self.exponent = float(exponent)
+        self.min_degree = int(min_degree)
+        self.max_degree = int(max_degree)
+
+    @property
+    def domain_size(self) -> int:
+        """Size of the full address domain."""
+        return 2**self.domain_bits
+
+    def generate(self, rng: np.random.Generator | int | None = None) -> NetTraceDataset:
+        """Generate count vectors for the trace."""
+        generator = as_generator(rng)
+        active = sample_powerlaw_degrees(
+            self.num_active_hosts,
+            exponent=self.exponent,
+            min_degree=self.min_degree,
+            max_degree=self.max_degree,
+            rng=generator,
+        )
+        domain_size = self.domain_size
+        counts = np.zeros(domain_size, dtype=np.float64)
+        # Hosts that appear in the trace can exceed the domain size only by
+        # misconfiguration; guard explicitly rather than silently wrapping.
+        if self.num_active_hosts > domain_size:
+            raise DomainError(
+                "more active hosts than addresses: "
+                f"{self.num_active_hosts} > {domain_size}"
+            )
+        positions = generator.choice(
+            domain_size, size=self.num_active_hosts, replace=False
+        )
+        counts[positions] = active
+        return NetTraceDataset(
+            counts=counts,
+            active_counts=active.copy(),
+            domain=IntegerDomain(domain_size, name="src"),
+        )
+
+    def generate_relation(
+        self,
+        rng: np.random.Generator | int | None = None,
+        num_destinations: int = 256,
+        max_records: int | None = 500_000,
+    ) -> tuple[Relation, NetTraceDataset]:
+        """Generate an explicit ``R(src, dst)`` relation plus its count vectors.
+
+        The relation materialises one record per connection, so for large
+        configurations ``max_records`` caps the total (scaling counts down
+        proportionally) to keep end-to-end runs laptop-sized.
+        """
+        generator = as_generator(rng)
+        dataset = self.generate(generator)
+        counts = dataset.counts
+        total = counts.sum()
+        if max_records is not None and total > max_records:
+            scale = max_records / total
+            counts = np.floor(counts * scale)
+            active_mask = dataset.counts > 0
+            counts[active_mask] = np.maximum(counts[active_mask], 1.0)
+            dataset = NetTraceDataset(
+                counts=counts,
+                active_counts=counts[active_mask].copy(),
+                domain=dataset.domain,
+            )
+        src_domain = dataset.domain
+        dst_domain = IntegerDomain(num_destinations, name="dst")
+        schema = Schema.of(Column("src", src_domain), Column("dst", dst_domain))
+        sources = np.repeat(
+            np.arange(src_domain.size, dtype=np.int64), counts.astype(np.int64)
+        )
+        destinations = generator.integers(0, num_destinations, size=sources.size)
+        relation = Relation(
+            schema,
+            {"src": sources.tolist(), "dst": destinations.tolist()},
+        )
+        return relation, dataset

@@ -1,0 +1,129 @@
+"""A registry of named dataset configurations for experiments.
+
+The benchmark harnesses refer to datasets by name ("nettrace",
+"socialnetwork", "searchlogs") at two scales: ``paper`` (the sizes used in
+the paper, suitable for the full benchmark run) and ``small`` (scaled-down
+versions used by the test suite and quick examples so they finish in
+seconds).  Registering the configurations in one place keeps the figures,
+examples, and tests in agreement about what each named dataset means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.data.nettrace import NetTraceGenerator
+from repro.data.socialnetwork import SocialNetworkGenerator
+from repro.data.searchlogs import SearchLogsGenerator
+
+__all__ = ["DatasetRegistry", "default_registry", "DatasetEntry"]
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One named dataset configuration.
+
+    ``unattributed`` returns the count multiset for the Section 5.1
+    experiments; ``universal`` returns the full-domain count vector for the
+    Section 5.2 experiments (or ``None`` if the dataset is only used for
+    one task, as Social Network is).
+    """
+
+    name: str
+    scale: str
+    unattributed: Callable[[np.random.Generator], np.ndarray]
+    universal: Callable[[np.random.Generator], np.ndarray] | None
+    description: str
+
+
+class DatasetRegistry:
+    """Mapping of ``(name, scale)`` to dataset constructors."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], DatasetEntry] = {}
+
+    def register(self, entry: DatasetEntry) -> None:
+        """Register an entry, refusing silent overwrites."""
+        key = (entry.name, entry.scale)
+        if key in self._entries:
+            raise ExperimentError(f"dataset {key} already registered")
+        self._entries[key] = entry
+
+    def get(self, name: str, scale: str = "paper") -> DatasetEntry:
+        """Look up a dataset configuration by name and scale."""
+        try:
+            return self._entries[(name, scale)]
+        except KeyError:
+            available = sorted(self._entries)
+            raise ExperimentError(
+                f"no dataset registered for name={name!r}, scale={scale!r}; "
+                f"available: {available}"
+            ) from None
+
+    def names(self, scale: str | None = None) -> list[str]:
+        """Names of all registered datasets (optionally for one scale)."""
+        return sorted(
+            {name for (name, s) in self._entries if scale is None or s == scale}
+        )
+
+    def entries(self) -> list[DatasetEntry]:
+        """All registered entries."""
+        return list(self._entries.values())
+
+
+def _nettrace_entry(scale: str, hosts: int, bits: int) -> DatasetEntry:
+    generator = NetTraceGenerator(num_active_hosts=hosts, domain_bits=bits)
+    return DatasetEntry(
+        name="nettrace",
+        scale=scale,
+        unattributed=lambda rng: generator.generate(rng).active_counts,
+        universal=lambda rng: generator.generate(rng).counts,
+        description=(
+            f"NetTrace-like bipartite connection counts: {hosts} active hosts "
+            f"over a 2^{bits} address domain"
+        ),
+    )
+
+
+def _socialnetwork_entry(scale: str, nodes: int) -> DatasetEntry:
+    generator = SocialNetworkGenerator(num_nodes=nodes)
+    return DatasetEntry(
+        name="socialnetwork",
+        scale=scale,
+        unattributed=lambda rng: generator.generate(rng).degrees,
+        universal=None,
+        description=f"Social-network-like power-law degree sequence over {nodes} nodes",
+    )
+
+
+def _searchlogs_entry(scale: str, keywords: int, slots: int) -> DatasetEntry:
+    generator = SearchLogsGenerator(num_keywords=keywords, num_slots=slots)
+    return DatasetEntry(
+        name="searchlogs",
+        scale=scale,
+        unattributed=lambda rng: generator.generate(rng).keyword_counts,
+        universal=lambda rng: generator.generate(rng).term_series,
+        description=(
+            f"Search-log-like data: top-{keywords} keyword frequencies and a "
+            f"bursty term series over {slots} time slots"
+        ),
+    )
+
+
+def default_registry() -> DatasetRegistry:
+    """The registry with the paper-scale and test-scale configurations."""
+    registry = DatasetRegistry()
+    # Paper-scale: matches the sizes reported in Section 5 / Appendix C.
+    registry.register(_nettrace_entry("paper", hosts=65_000, bits=16))
+    registry.register(_socialnetwork_entry("paper", nodes=11_000))
+    registry.register(_searchlogs_entry("paper", keywords=20_000, slots=2**16))
+    # Small-scale: same shapes, two orders of magnitude smaller, for tests
+    # and quick examples.
+    registry.register(_nettrace_entry("small", hosts=600, bits=10))
+    registry.register(_socialnetwork_entry("small", nodes=500))
+    registry.register(_searchlogs_entry("small", keywords=400, slots=2**10))
+    return registry

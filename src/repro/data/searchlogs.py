@@ -1,0 +1,150 @@
+"""Synthetic stand-in for the paper's Search Logs dataset.
+
+The original dataset combines published summary statistics with a short
+real query log to form a synthetic series of search-term frequencies from
+January 1 2004 onward (16 time slots per day).  It is used two ways:
+
+* **Unattributed histogram** (Section 5.1): the 3-month search frequency
+  of the top 20,000 keywords — a Zipf-like frequency table.
+* **Universal histogram** (Section 5.2): the temporal frequency of a
+  single term ("Obama") over the full time grid — a bursty, sparse series
+  on a dyadic domain of 2^16 slots.
+
+The generator reproduces both shapes: a Zipf keyword table, and a bursty
+temporal series with a baseline, periodic structure, rare spikes, and a
+large election-season burst near the end of the timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.domain import TimeGridDomain
+from repro.exceptions import DomainError
+from repro.utils.random import as_generator
+from repro.data.synthetic import zipf_counts
+
+__all__ = ["SearchLogsGenerator", "SearchLogsDataset"]
+
+
+@dataclass
+class SearchLogsDataset:
+    """Materialised search-log data.
+
+    Attributes
+    ----------
+    keyword_counts:
+        Frequency of each of the top keywords over a 3-month window
+        (descending rank order, i.e. ``keyword_counts[0]`` is the most
+        frequent term) — used by the unattributed-histogram experiment.
+    term_series:
+        Temporal frequency of the tracked term over the full time grid —
+        used by the universal-histogram experiment.
+    domain:
+        The time grid domain of ``term_series``.
+    """
+
+    keyword_counts: np.ndarray
+    term_series: np.ndarray
+    domain: TimeGridDomain
+
+    def sorted_keyword_counts(self) -> np.ndarray:
+        """Keyword frequencies in ascending order (the ``S(I)`` input)."""
+        return np.sort(self.keyword_counts)
+
+    @property
+    def num_keywords(self) -> int:
+        return int(self.keyword_counts.size)
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.term_series.size)
+
+
+class SearchLogsGenerator:
+    """Generates keyword-frequency tables and a bursty temporal term series."""
+
+    def __init__(
+        self,
+        num_keywords: int = 20_000,
+        num_slots: int = 2**16,
+        slots_per_day: int = 16,
+        zipf_exponent: float = 1.2,
+        total_keyword_volume: float = 5_000_000.0,
+        baseline_rate: float = 0.05,
+        num_bursts: int = 6,
+        burst_height: float = 40.0,
+    ) -> None:
+        if num_keywords <= 0:
+            raise DomainError(f"num_keywords must be positive, got {num_keywords}")
+        if num_slots <= 0:
+            raise DomainError(f"num_slots must be positive, got {num_slots}")
+        self.num_keywords = int(num_keywords)
+        self.num_slots = int(num_slots)
+        self.slots_per_day = int(slots_per_day)
+        self.zipf_exponent = float(zipf_exponent)
+        self.total_keyword_volume = float(total_keyword_volume)
+        self.baseline_rate = float(baseline_rate)
+        self.num_bursts = int(num_bursts)
+        self.burst_height = float(burst_height)
+
+    def generate(
+        self, rng: np.random.Generator | int | None = None
+    ) -> SearchLogsDataset:
+        """Generate the keyword table and the tracked-term time series."""
+        generator = as_generator(rng)
+        keyword = zipf_counts(
+            self.num_keywords,
+            exponent=self.zipf_exponent,
+            total=self.total_keyword_volume,
+            rng=generator,
+        )
+        # Present the table in rank (descending) order, as a search-engine
+        # "top keywords" report would.
+        keyword = np.sort(keyword)[::-1].copy()
+        series = self._term_series(generator)
+        domain = TimeGridDomain(
+            self.num_slots, slots_per_day=self.slots_per_day, name="t"
+        )
+        return SearchLogsDataset(
+            keyword_counts=keyword, term_series=series, domain=domain
+        )
+
+    def _term_series(self, generator: np.random.Generator) -> np.ndarray:
+        """Bursty, non-stationary series for a single query term.
+
+        Shape: near-zero interest early on, diurnal modulation, a handful
+        of medium bursts (news events), and one long, large burst late in
+        the timeline (an election season), matching the qualitative shape
+        the paper describes for the "Obama" series.
+        """
+        slots = np.arange(self.num_slots, dtype=np.float64)
+        # Interest ramps up over the timeline.
+        ramp = np.clip((slots / self.num_slots - 0.55) / 0.45, 0.0, 1.0) ** 2
+        # Diurnal modulation within each day.
+        within_day = slots % self.slots_per_day
+        diurnal = 0.5 + 0.5 * np.sin(2 * np.pi * within_day / self.slots_per_day)
+        rate = self.baseline_rate * (0.2 + ramp) * (0.5 + diurnal)
+        series = generator.poisson(rate).astype(np.float64)
+        # Medium bursts at random times (news events).
+        for _ in range(self.num_bursts):
+            center = int(generator.integers(self.num_slots // 3, self.num_slots))
+            width = int(generator.integers(4, 12 * self.slots_per_day))
+            lo = max(0, center - width // 2)
+            hi = min(self.num_slots, lo + width)
+            positions = np.arange(lo, hi, dtype=np.float64)
+            shape = np.exp(-0.5 * ((positions - center) / max(1.0, width / 4.0)) ** 2)
+            series[lo:hi] += generator.poisson(self.burst_height * shape + 1e-12)
+        # One long election-season burst near the end.
+        season_lo = int(self.num_slots * 0.85)
+        season = np.arange(season_lo, self.num_slots, dtype=np.float64)
+        season_shape = 1.0 - np.abs(
+            (season - (season_lo + self.num_slots) / 2.0)
+            / max(1.0, (self.num_slots - season_lo) / 2.0)
+        )
+        series[season_lo:] += generator.poisson(
+            2.0 * self.burst_height * np.clip(season_shape, 0.0, 1.0) + 1e-12
+        )
+        return series

@@ -1,0 +1,52 @@
+"""Minimal in-memory relational substrate.
+
+The paper formulates every task as a sequence of *counting queries* over a
+single relation ``R(A, B, ...)`` with an ordered *range attribute* ``A``::
+
+    c([x, y]) = Select count(*) From R Where x <= R.A <= y
+
+This subpackage provides that substrate:
+
+* :mod:`repro.db.domain` — ordered domains for the range attribute
+  (integers, IP-style bit-prefix addresses, time grids), including the
+  dyadic/hierarchical structure the ``H`` query needs.
+* :mod:`repro.db.relation` — a tiny column-store :class:`Relation` with
+  schema checking and record-level neighbour operations (add/remove one
+  tuple), which is exactly the neighbouring-database relation used by
+  differential privacy.
+* :mod:`repro.db.query` — :class:`RangeCountQuery` objects, a small parser
+  for the paper's SQL-like syntax, and evaluation against a relation.
+* :mod:`repro.db.index` — a sorted-column index so that unit-count
+  histograms and range counts are computed in ``O(log N)`` per query rather
+  than by scanning.
+* :mod:`repro.db.histogram` — turning a relation + domain into the vector
+  of unit-length counts ``L(I)`` that all estimators consume.
+"""
+
+from repro.db.domain import (
+    Domain,
+    IntegerDomain,
+    IPPrefixDomain,
+    TimeGridDomain,
+    OrdinalDomain,
+)
+from repro.db.relation import Column, Relation, Schema
+from repro.db.query import RangeCountQuery, parse_count_query
+from repro.db.index import SortedColumnIndex
+from repro.db.histogram import HistogramBuilder, unit_counts
+
+__all__ = [
+    "Domain",
+    "IntegerDomain",
+    "IPPrefixDomain",
+    "TimeGridDomain",
+    "OrdinalDomain",
+    "Column",
+    "Relation",
+    "Schema",
+    "RangeCountQuery",
+    "parse_count_query",
+    "SortedColumnIndex",
+    "HistogramBuilder",
+    "unit_counts",
+]

@@ -1,0 +1,105 @@
+"""Building unit-count histograms from relations or raw index streams.
+
+Every estimator in the library consumes the vector of unit-length counts
+``L(I) = <c([x_1]), ..., c([x_n])>``.  This module is the single place
+where relations, raw attribute values, and pre-computed count vectors get
+normalised into that form, including the optional padding to a power of
+the branching factor that the hierarchical query needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.domain import Domain, IntegerDomain
+from repro.db.index import SortedColumnIndex
+from repro.db.relation import Relation
+from repro.exceptions import DomainError, QueryError
+
+__all__ = ["HistogramBuilder", "unit_counts", "pad_counts"]
+
+
+def unit_counts(relation: Relation, attribute: str) -> np.ndarray:
+    """Compute the unit-count histogram of ``relation.attribute``.
+
+    Convenience wrapper over :class:`SortedColumnIndex`; returns a float
+    vector of length ``domain.size``.
+    """
+    return SortedColumnIndex.build(relation, attribute).unit_counts()
+
+
+def pad_counts(counts: np.ndarray, branching: int = 2) -> np.ndarray:
+    """Pad a count vector with zero buckets up to a power of ``branching``.
+
+    The hierarchical query ``H`` is defined over a complete k-ary tree;
+    padding with empty buckets leaves all true range counts over the
+    original domain unchanged.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise DomainError("count vector must be 1-dimensional and non-empty")
+    from repro.db.domain import padded_size
+
+    target = padded_size(counts.size, branching)
+    if target == counts.size:
+        return counts.copy()
+    padded = np.zeros(target, dtype=np.float64)
+    padded[: counts.size] = counts
+    return padded
+
+
+@dataclass
+class HistogramBuilder:
+    """Builds (and caches) the unit-count vector for one relation attribute.
+
+    Parameters
+    ----------
+    relation:
+        The private database instance ``I``.
+    attribute:
+        The range attribute ``A`` the histogram is over.  Must be bound to
+        an ordered :class:`~repro.db.domain.Domain` in the relation schema.
+    """
+
+    relation: Relation
+    attribute: str
+
+    def __post_init__(self) -> None:
+        column = self.relation.schema.column(self.attribute)
+        if column.domain is None:
+            raise QueryError(
+                f"attribute {self.attribute!r} has no domain; cannot build histograms"
+            )
+        self.domain: Domain = column.domain
+        self._index = SortedColumnIndex.build(self.relation, self.attribute)
+        self._counts: np.ndarray | None = None
+
+    # -- histogram access -------------------------------------------------------
+
+    def counts(self) -> np.ndarray:
+        """The unit-count vector ``L(I)`` (cached)."""
+        if self._counts is None:
+            self._counts = self._index.unit_counts()
+        return self._counts.copy()
+
+    def padded_counts(self, branching: int = 2) -> np.ndarray:
+        """Unit counts padded to a power of ``branching`` for tree queries."""
+        return pad_counts(self.counts(), branching)
+
+    def padded_domain(self, branching: int = 2) -> Domain:
+        """An integer domain matching the padded count vector."""
+        return IntegerDomain(self.domain.padded_size(branching), name=self.domain.name)
+
+    def total(self) -> float:
+        """Total number of records with a value in the domain."""
+        return float(self.counts().sum())
+
+    def range_count(self, lo: int, hi: int) -> int:
+        """True answer to the range query ``c([lo, hi])``."""
+        return self._index.count_range(lo, hi)
+
+    def sorted_counts(self) -> np.ndarray:
+        """The unattributed histogram ``S(I)``: unit counts in ascending order."""
+        return np.sort(self.counts())

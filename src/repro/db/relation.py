@@ -1,0 +1,244 @@
+"""A tiny in-memory column-store relation.
+
+The privacy model in the paper is record-level: neighbouring databases
+``I`` and ``I'`` differ by the addition or removal of exactly one tuple.
+The :class:`Relation` class therefore supports exactly the operations the
+reproduction needs:
+
+* construction from records or columns, with schema validation;
+* ``count(predicate)`` — evaluate a counting query;
+* ``with_record`` / ``without_record`` — produce a neighbouring instance
+  (used by the empirical sensitivity and privacy-audit harnesses);
+* projection of the range attribute as a NumPy index array, which is what
+  the histogram builder consumes.
+
+It is intentionally not a general query engine: only what the paper's
+workloads require, but implemented carefully (copy-on-write columns,
+O(1) neighbour construction views, schema errors raised eagerly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.db.domain import Domain
+from repro.exceptions import SchemaError
+
+__all__ = ["Column", "Schema", "Relation"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """Schema entry: a named attribute, optionally bound to a domain."""
+
+    name: str
+    domain: Domain | None = None
+
+    def validate(self, value) -> None:
+        """Raise :class:`SchemaError` if ``value`` is not in the column domain."""
+        if self.domain is not None:
+            try:
+                self.domain.index_of(value)
+            except Exception as exc:
+                raise SchemaError(
+                    f"value {value!r} invalid for column {self.name!r}: {exc}"
+                ) from exc
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered collection of :class:`Column` definitions."""
+
+    columns: tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        if not names:
+            raise SchemaError("schema must contain at least one column")
+
+    @classmethod
+    def of(cls, *columns: Column) -> "Schema":
+        return cls(tuple(columns))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"no column named {name!r} (have {self.names})")
+
+    def position(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise SchemaError(f"no column named {name!r} (have {self.names})")
+
+
+class Relation:
+    """An immutable bag of tuples with a fixed schema.
+
+    Data is stored column-wise as Python lists (values may be strings,
+    ints, tuples depending on the domain).  All mutating operations return
+    a new :class:`Relation`; this keeps neighbour construction cheap and
+    side-effect free, which matters when the sensitivity harness builds
+    thousands of neighbours.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Sequence] | None = None):
+        self.schema = schema
+        columns = columns or {name: [] for name in schema.names}
+        missing = set(schema.names) - set(columns)
+        extra = set(columns) - set(schema.names)
+        if missing:
+            raise SchemaError(f"missing columns {sorted(missing)}")
+        if extra:
+            raise SchemaError(f"unknown columns {sorted(extra)}")
+        lengths = {name: len(columns[name]) for name in schema.names}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged columns: {lengths}")
+        self._columns: dict[str, list] = {
+            name: list(columns[name]) for name in schema.names
+        }
+        self._size = next(iter(lengths.values())) if lengths else 0
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_records(cls, schema: Schema, records: Iterable[Sequence]) -> "Relation":
+        """Build a relation from an iterable of tuples in schema order."""
+        names = schema.names
+        columns: dict[str, list] = {name: [] for name in names}
+        for record in records:
+            record = tuple(record)
+            if len(record) != len(names):
+                raise SchemaError(
+                    f"record {record!r} has {len(record)} fields, expected {len(names)}"
+                )
+            for col, value in zip(schema.columns, record):
+                col.validate(value)
+                columns[col.name].append(value)
+        return cls(schema, columns)
+
+    @classmethod
+    def from_columns(cls, schema: Schema, **columns: Sequence) -> "Relation":
+        """Build a relation column-wise (values validated against domains)."""
+        relation = cls(schema, columns)
+        for col in schema.columns:
+            if col.domain is None:
+                continue
+            for value in relation._columns[col.name]:
+                col.validate(value)
+        return relation
+
+    # -- basic accessors ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def size(self) -> int:
+        """Number of tuples (records) in the relation."""
+        return self._size
+
+    def column(self, name: str) -> list:
+        """Return a copy of one column's values."""
+        self.schema.column(name)
+        return list(self._columns[name])
+
+    def records(self) -> list[tuple]:
+        """Materialise all records in schema order."""
+        names = self.schema.names
+        return list(zip(*(self._columns[name] for name in names))) if self._size else []
+
+    def __iter__(self):
+        return iter(self.records())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Relation(schema={self.schema.names}, size={self._size})"
+
+    # -- counting queries ---------------------------------------------------
+
+    def count(self, predicate: Callable[[tuple], bool] | None = None) -> int:
+        """Count tuples, optionally restricted to those matching ``predicate``."""
+        if predicate is None:
+            return self._size
+        return sum(1 for record in self.records() if predicate(record))
+
+    def count_range(self, attribute: str, lo_value, hi_value) -> int:
+        """Count tuples with ``lo_value <= R.attribute <= hi_value``.
+
+        Comparison happens in index space when the column has a domain
+        (so IP bit-strings and time pairs order correctly), otherwise in
+        raw value space.
+        """
+        col = self.schema.column(attribute)
+        values = self._columns[attribute]
+        if col.domain is not None:
+            lo = col.domain.index_of(lo_value)
+            hi = col.domain.index_of(hi_value)
+            return sum(1 for v in values if lo <= col.domain.index_of(v) <= hi)
+        return sum(1 for v in values if lo_value <= v <= hi_value)
+
+    def attribute_indexes(self, attribute: str) -> np.ndarray:
+        """Project one column as an ``int64`` array of domain indexes.
+
+        This is the bridge between the relational substrate and the
+        vector-of-counts world every estimator lives in.
+        """
+        col = self.schema.column(attribute)
+        if col.domain is None:
+            raise SchemaError(
+                f"column {attribute!r} has no domain; cannot index its values"
+            )
+        values = self._columns[attribute]
+        return np.fromiter(
+            (col.domain.index_of(v) for v in values), dtype=np.int64, count=len(values)
+        )
+
+    # -- neighbouring databases ---------------------------------------------
+
+    def with_record(self, record: Sequence) -> "Relation":
+        """Return a neighbour ``I'`` obtained by adding one tuple."""
+        record = tuple(record)
+        if len(record) != len(self.schema.names):
+            raise SchemaError(
+                f"record {record!r} has {len(record)} fields, "
+                f"expected {len(self.schema.names)}"
+            )
+        columns = {name: list(vals) for name, vals in self._columns.items()}
+        for col, value in zip(self.schema.columns, record):
+            col.validate(value)
+            columns[col.name].append(value)
+        return Relation(self.schema, columns)
+
+    def without_record(self, position: int) -> "Relation":
+        """Return a neighbour ``I'`` obtained by removing the tuple at ``position``."""
+        if not 0 <= position < self._size:
+            raise SchemaError(
+                f"record position {position} out of range for relation of size {self._size}"
+            )
+        columns = {
+            name: vals[:position] + vals[position + 1 :]
+            for name, vals in self._columns.items()
+        }
+        return Relation(self.schema, columns)
+
+    def neighbors(self, candidate_records: Iterable[Sequence] = ()) -> Iterable["Relation"]:
+        """Yield neighbouring instances: all single-removals, then the given additions.
+
+        The removal neighbours are exhaustive; addition neighbours are
+        controlled by the caller because the space of addable tuples is the
+        full cross product of domains.
+        """
+        for position in range(self._size):
+            yield self.without_record(position)
+        for record in candidate_records:
+            yield self.with_record(record)

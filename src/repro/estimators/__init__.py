@@ -1,0 +1,58 @@
+"""End-user estimators for the two histogram tasks.
+
+Each estimator packages one strategy from the paper behind a uniform
+interface so the experiment runners, benchmarks, and examples can treat
+them interchangeably:
+
+Unattributed histograms (Section 3 / 5.1), interface
+:class:`~repro.estimators.base.UnattributedEstimator`:
+
+* ``S̃``  — :class:`SortedLaplaceEstimator`: the raw noisy sorted counts.
+* ``S̃r`` — :class:`SortAndRoundEstimator`: noisy counts re-sorted and
+  rounded to non-negative integers (the paper's consistency-by-fiat
+  baseline).
+* ``S̄``  — :class:`ConstrainedSortedEstimator`: isotonic-regression
+  constrained inference (the paper's contribution).
+
+Universal histograms (Section 4 / 5.2), interface
+:class:`~repro.estimators.base.RangeQueryEstimator`:
+
+* ``L̃``  — :class:`IdentityLaplaceEstimator`: noisy unit counts, ranges by
+  summation.
+* ``H̃``  — :class:`HierarchicalLaplaceEstimator`: noisy tree counts,
+  ranges by minimal subtree decomposition.
+* ``H̄``  — :class:`ConstrainedHierarchicalEstimator`: tree counts after
+  least-squares constrained inference (optionally with the non-negativity
+  heuristic), ranges by summing consistent unit counts.
+* Wavelet — :class:`WaveletEstimator`: the Privelet baseline.
+"""
+
+from repro.estimators.base import (
+    UnattributedEstimator,
+    RangeQueryEstimator,
+    FittedRangeEstimate,
+)
+from repro.estimators.sorted import (
+    SortedLaplaceEstimator,
+    SortAndRoundEstimator,
+    ConstrainedSortedEstimator,
+)
+from repro.estimators.identity import IdentityLaplaceEstimator
+from repro.estimators.hierarchical import (
+    HierarchicalLaplaceEstimator,
+    ConstrainedHierarchicalEstimator,
+)
+from repro.estimators.wavelet import WaveletEstimator
+
+__all__ = [
+    "UnattributedEstimator",
+    "RangeQueryEstimator",
+    "FittedRangeEstimate",
+    "SortedLaplaceEstimator",
+    "SortAndRoundEstimator",
+    "ConstrainedSortedEstimator",
+    "IdentityLaplaceEstimator",
+    "HierarchicalLaplaceEstimator",
+    "ConstrainedHierarchicalEstimator",
+    "WaveletEstimator",
+]

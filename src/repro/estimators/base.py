@@ -1,0 +1,132 @@
+"""Estimator interfaces shared by the experiments, benchmarks, and examples.
+
+Two task-specific interfaces:
+
+* :class:`UnattributedEstimator` — given the multiset of unit counts,
+  produce an estimate of the *sorted* count sequence (the unattributed
+  histogram / degree sequence).  One call, one vector.
+* :class:`RangeQueryEstimator` — given the full-domain unit counts,
+  run the private mechanism once and return a
+  :class:`FittedRangeEstimate` that can answer unit counts and arbitrary
+  range queries repeatedly (the universal-histogram contract: one noisy
+  release, any number of post-hoc questions).
+
+Both interfaces take the true counts because this library plays both roles
+of Figure 1 in a single process: the "data owner" half computes the true
+answers and adds calibrated noise; the "analyst" half only ever sees the
+noisy output and the constraints.  The split is preserved internally — all
+post-processing consumes only the mechanism output.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.queries.workload import RangeQuerySpec, RangeWorkload
+from repro.utils.arrays import as_float_vector
+
+__all__ = ["UnattributedEstimator", "RangeQueryEstimator", "FittedRangeEstimate"]
+
+
+class UnattributedEstimator(abc.ABC):
+    """Strategy for estimating an unattributed histogram (sorted counts)."""
+
+    #: short identifier used in tables and figures ("S~", "S_r", "S_bar", ...)
+    name: str = "unattributed"
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        counts,
+        epsilon: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Estimate the sorted count sequence of ``counts`` under ε-DP.
+
+        ``counts`` is the multiset of true unit counts in any order; the
+        returned vector has the same length and estimates
+        ``sort(counts)``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass
+class FittedRangeEstimate:
+    """The analyst-side result of one universal-histogram release.
+
+    Attributes
+    ----------
+    name:
+        The estimator that produced it.
+    epsilon:
+        Privacy parameter consumed by the release.
+    domain_size:
+        Size of the (possibly padded) domain the estimate covers.
+    unit_estimates:
+        Estimated unit counts (length ``domain_size``).
+    range_fn:
+        Optional specialised range-query function; when absent, range
+        queries are answered by summing ``unit_estimates``.
+    """
+
+    name: str
+    epsilon: float
+    domain_size: int
+    unit_estimates: np.ndarray
+    range_fn: Callable[[int, int], float] | None = None
+
+    def __post_init__(self) -> None:
+        self.unit_estimates = as_float_vector(self.unit_estimates, name="unit_estimates")
+        if self.unit_estimates.size != self.domain_size:
+            raise QueryError(
+                f"unit estimates have length {self.unit_estimates.size}, "
+                f"expected {self.domain_size}"
+            )
+
+    def unit_counts(self) -> np.ndarray:
+        """Estimated unit counts (copy)."""
+        return self.unit_estimates.copy()
+
+    def range_query(self, lo: int, hi: int) -> float:
+        """Estimate ``c([lo, hi])``."""
+        if not 0 <= lo <= hi < self.domain_size:
+            raise QueryError(
+                f"invalid range [{lo}, {hi}] for domain size {self.domain_size}"
+            )
+        if self.range_fn is not None:
+            return float(self.range_fn(lo, hi))
+        return float(self.unit_estimates[lo : hi + 1].sum())
+
+    def answer_workload(self, workload: RangeWorkload | list[RangeQuerySpec]) -> np.ndarray:
+        """Estimates for every query in a workload, in order."""
+        return np.array([self.range_query(q.lo, q.hi) for q in workload])
+
+    def total(self) -> float:
+        """Estimate of the total number of records."""
+        return self.range_query(0, self.domain_size - 1)
+
+
+class RangeQueryEstimator(abc.ABC):
+    """Strategy for the universal-histogram task."""
+
+    #: short identifier used in tables and figures ("L~", "H~", "H_bar", ...)
+    name: str = "range"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        counts,
+        epsilon: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> FittedRangeEstimate:
+        """Run the private release once and return the reusable estimate."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised on purpose by the library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``
+from misuse of the Python API, ``KeyboardInterrupt``, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DomainError(ReproError):
+    """A value, interval, or index falls outside the declared domain."""
+
+
+class SchemaError(ReproError):
+    """A relation was constructed or queried with an invalid schema."""
+
+
+class QueryError(ReproError):
+    """A query sequence or range query is malformed."""
+
+
+class PrivacyBudgetError(ReproError):
+    """An operation would exceed the available privacy budget."""
+
+
+class SensitivityError(ReproError):
+    """Sensitivity could not be established for a query sequence."""
+
+
+class InferenceError(ReproError):
+    """Constrained inference failed (e.g. inconsistent constraint set)."""
+
+
+class ConstraintViolationError(InferenceError):
+    """A vector claimed to be consistent violates its constraint set."""
+
+
+class ExperimentError(ReproError):
+    """An experiment or benchmark harness was configured incorrectly."""

@@ -1,0 +1,62 @@
+"""Constrained inference: the paper's core contribution.
+
+Given the noisy output ``q̃`` of a differentially private query sequence
+and the constraint set ``γ_Q`` that the *true* answers are known to
+satisfy, constrained inference finds the minimum-L2 consistent vector
+``q̄`` (Definition 2.4).  Post-processing cannot affect the privacy
+guarantee (Proposition 2) but can dramatically reduce error.
+
+Modules:
+
+* :mod:`repro.inference.isotonic` — ordering constraints (the sorted query
+  ``S``): the Theorem 1 min-max closed form and the linear-time Pool
+  Adjacent Violators algorithm, which coincide.
+* :mod:`repro.inference.hierarchical` — tree-consistency constraints (the
+  hierarchical query ``H``): the Theorem 3 two-pass recurrence, vectorised
+  level by level, plus the Section 4.2 non-negativity heuristic.
+* :mod:`repro.inference.least_squares` — brute-force constrained
+  least-squares oracles (ordinary least squares through the strategy
+  matrix; bounded least squares for the isotonic problem) used to validate
+  the closed forms.
+* :mod:`repro.inference.constraints` — explicit constraint objects with
+  satisfaction checks, used by tests and by the public API to report
+  whether raw noisy answers were consistent.
+* :mod:`repro.inference.nonnegative` — rounding / clipping helpers shared
+  by all estimators.
+"""
+
+from repro.inference.constraints import (
+    OrderingConstraints,
+    TreeConsistencyConstraints,
+)
+from repro.inference.isotonic import (
+    isotonic_regression,
+    isotonic_regression_pava,
+    isotonic_regression_minmax,
+)
+from repro.inference.hierarchical import (
+    HierarchicalInference,
+    hierarchical_inference,
+)
+from repro.inference.least_squares import (
+    ols_tree_inference,
+    isotonic_oracle,
+)
+from repro.inference.nonnegative import (
+    round_to_nonnegative_integers,
+    clip_nonnegative,
+)
+
+__all__ = [
+    "OrderingConstraints",
+    "TreeConsistencyConstraints",
+    "isotonic_regression",
+    "isotonic_regression_pava",
+    "isotonic_regression_minmax",
+    "HierarchicalInference",
+    "hierarchical_inference",
+    "ols_tree_inference",
+    "isotonic_oracle",
+    "round_to_nonnegative_integers",
+    "clip_nonnegative",
+]

@@ -1,0 +1,165 @@
+"""Hierarchical constrained inference (Theorem 3) for the ``H`` query.
+
+Given the noisy breadth-first tree counts ``h̃``, the minimum-L2 vector
+satisfying the parent-equals-sum-of-children constraints γ_H is computed
+by two linear passes over the tree:
+
+1. **Bottom-up** — compute an intermediate estimate ``z[v]`` for every
+   node: leaves keep their noisy value, and an internal node of height
+   ``l`` (leaves have height 1) takes the inverse-variance-weighted
+   average of its own noisy count and the sum of its children's ``z``
+   values::
+
+       z[v] = (k^l - k^(l-1))/(k^l - 1) * h̃[v]
+            + (k^(l-1) - 1)/(k^l - 1)   * Σ_{u ∈ succ(v)} z[u]
+
+2. **Top-down** — the root's final estimate is ``z[root]``; descending the
+   tree, any discrepancy between a parent's final estimate and the sum of
+   its children's ``z`` values is divided equally among the ``k``
+   children::
+
+       h̄[v] = z[v] + (1/k) * ( h̄[parent(v)] - Σ_{w ∈ succ(parent(v))} z[w] )
+
+Both passes are vectorised level by level (a reshape-and-sum per level),
+so inference over a tree with a quarter-million nodes takes milliseconds.
+
+The module also implements the Section 4.2 non-negativity heuristic: after
+inference, any subtree whose root estimate is ``<= 0`` is zeroed out
+entirely.  This is exposed as an option rather than always applied, so the
+ablation benchmark can quantify its effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InferenceError
+from repro.queries.hierarchical import TreeLayout
+from repro.utils.arrays import as_float_vector
+
+__all__ = ["HierarchicalInference", "hierarchical_inference"]
+
+
+@dataclass
+class HierarchicalInference:
+    """Constrained-inference engine bound to one tree layout."""
+
+    layout: TreeLayout
+
+    # -- main entry points ----------------------------------------------------
+
+    def infer(self, noisy_values) -> np.ndarray:
+        """Minimum-L2 consistent tree counts ``h̄`` for the noisy vector ``h̃``.
+
+        Returns the full breadth-first node vector; leaves are the last
+        ``num_leaves`` entries.
+        """
+        z_levels = self._bottom_up(self._check(noisy_values))
+        h_levels = self._top_down(z_levels)
+        return self._flatten(h_levels)
+
+    def infer_leaves(self, noisy_values) -> np.ndarray:
+        """Convenience: the consistent estimates of the unit counts only."""
+        return self.infer(noisy_values)[self.layout.leaf_offset :]
+
+    def infer_nonnegative(self, noisy_values) -> np.ndarray:
+        """Inference followed by the Section 4.2 non-negativity heuristic.
+
+        After computing ``h̄``, every subtree whose root estimate is
+        ``<= 0`` is set to zero (the root and all of its descendants).
+        The result is still consistent and non-negative wherever the
+        heuristic fired; remaining small negative leaf estimates (under a
+        positive parent) are left untouched, matching the paper.
+        """
+        values = self.infer(noisy_values)
+        return self.zero_nonpositive_subtrees(values)
+
+    # -- heuristics --------------------------------------------------------------
+
+    def zero_nonpositive_subtrees(self, values) -> np.ndarray:
+        """Zero out every subtree whose root has a non-positive estimate."""
+        values = self._check(values).copy()
+        k = self.layout.branching
+        # Propagate a "zeroed" mask down the levels.
+        zeroed = values[self.layout.level_slice(0)] <= 0.0
+        values[self.layout.level_slice(0)][zeroed] = 0.0
+        for level in range(1, self.layout.height):
+            level_values = values[self.layout.level_slice(level)]
+            inherited = np.repeat(zeroed, k)
+            zeroed = inherited | (level_values <= 0.0)
+            # Only zero where the node itself or an ancestor triggered the
+            # heuristic; other nodes keep their inferred value.
+            level_values[zeroed] = 0.0
+            values[self.layout.level_slice(level)] = level_values
+        return values
+
+    # -- internals ----------------------------------------------------------------
+
+    def _check(self, values) -> np.ndarray:
+        values = as_float_vector(values, name="noisy tree counts")
+        if values.size != self.layout.num_nodes:
+            raise InferenceError(
+                f"expected {self.layout.num_nodes} node values, got {values.size}"
+            )
+        return values
+
+    def _split_levels(self, values: np.ndarray) -> list[np.ndarray]:
+        return [
+            values[self.layout.level_slice(level)].copy()
+            for level in range(self.layout.height)
+        ]
+
+    def _flatten(self, levels: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate(levels)
+
+    def _bottom_up(self, noisy: np.ndarray) -> list[np.ndarray]:
+        """Compute the ``z`` estimates level by level, leaves first."""
+        k = self.layout.branching
+        height = self.layout.height
+        levels = self._split_levels(noisy)
+        z_levels: list[np.ndarray] = [np.empty(0)] * height
+        z_levels[height - 1] = levels[height - 1].copy()
+        for level in range(height - 2, -1, -1):
+            node_height = height - level  # leaves have height 1
+            child_sums = z_levels[level + 1].reshape(-1, k).sum(axis=1)
+            k_l = float(k**node_height)
+            k_lm1 = float(k ** (node_height - 1))
+            own_weight = (k_l - k_lm1) / (k_l - 1.0)
+            child_weight = (k_lm1 - 1.0) / (k_l - 1.0)
+            z_levels[level] = own_weight * levels[level] + child_weight * child_sums
+        return z_levels
+
+    def _top_down(self, z_levels: list[np.ndarray]) -> list[np.ndarray]:
+        """Distribute parent/child discrepancies downward (Theorem 3 recurrence)."""
+        k = self.layout.branching
+        height = self.layout.height
+        h_levels: list[np.ndarray] = [np.empty(0)] * height
+        h_levels[0] = z_levels[0].copy()
+        for level in range(1, height):
+            parent_h = h_levels[level - 1]
+            child_sums = z_levels[level].reshape(-1, k).sum(axis=1)
+            corrections = (parent_h - child_sums) / k
+            h_levels[level] = z_levels[level] + np.repeat(corrections, k)
+        return h_levels
+
+
+def hierarchical_inference(
+    noisy_values, layout: TreeLayout, nonnegative: bool = False
+) -> np.ndarray:
+    """Functional front-end: consistent tree counts for ``noisy_values``.
+
+    Parameters
+    ----------
+    noisy_values:
+        Breadth-first noisy node counts ``h̃``.
+    layout:
+        The tree geometry the counts were produced for.
+    nonnegative:
+        Apply the Section 4.2 zero-out-non-positive-subtrees heuristic.
+    """
+    engine = HierarchicalInference(layout)
+    if nonnegative:
+        return engine.infer_nonnegative(noisy_values)
+    return engine.infer(noisy_values)

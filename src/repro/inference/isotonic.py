@@ -1,0 +1,141 @@
+"""Isotonic regression: constrained inference for the sorted query ``S``.
+
+Given the noisy answer ``s̃`` to the sorted query, the minimum-L2
+consistent answer is the vector ``s̄`` minimising ``||s̃ - s̄||_2`` subject
+to ``s̄[1] <= s̄[2] <= ... <= s̄[n]`` — least-squares regression under
+ordering constraints, i.e. isotonic regression.
+
+Two implementations are provided:
+
+* :func:`isotonic_regression_pava` — the Pool Adjacent Violators Algorithm
+  (Barlow et al.), linear time: scan the sequence keeping a stack of
+  blocks; whenever a new value breaks the ordering against the last block,
+  merge blocks (replacing them by their weighted mean) until the stack is
+  non-decreasing again.  This is the production implementation used by the
+  estimators.
+* :func:`isotonic_regression_minmax` — the closed form of the paper's
+  Theorem 1: ``s̄[k] = min_{j >= k} max_{i <= j} mean(s̃[i..j])``.
+  Because the inner maximum does not depend on ``k``, it can be computed
+  in ``O(n²)`` as a suffix minimum of per-``j`` prefix maxima.  It is kept
+  as an executable statement of the theorem and as an oracle for the PAVA
+  implementation (tests assert the two agree to numerical precision).
+
+Both accept optional positive weights (weighted isotonic regression), which
+the library uses when averaging repeated trials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InferenceError
+from repro.utils.arrays import as_float_vector
+
+__all__ = [
+    "isotonic_regression",
+    "isotonic_regression_pava",
+    "isotonic_regression_minmax",
+]
+
+
+def _check_inputs(values, weights) -> tuple[np.ndarray, np.ndarray]:
+    values = as_float_vector(values, name="values")
+    if weights is None:
+        weights = np.ones_like(values)
+    else:
+        weights = as_float_vector(weights, name="weights")
+        if weights.size != values.size:
+            raise InferenceError(
+                f"weights length {weights.size} does not match values length {values.size}"
+            )
+        if np.any(weights <= 0):
+            raise InferenceError("weights must be strictly positive")
+    return values, weights
+
+
+def isotonic_regression_pava(values, weights=None) -> np.ndarray:
+    """Minimum-L2 non-decreasing fit of ``values`` via Pool Adjacent Violators.
+
+    Runs in ``O(n)`` time and memory: each input element is pushed onto the
+    block stack once and each merge removes a block permanently.
+
+    Parameters
+    ----------
+    values:
+        The (noisy) sequence to fit.
+    weights:
+        Optional positive per-element weights; the fit minimises
+        ``sum_i w_i (values[i] - fit[i])²``.
+    """
+    values, weights = _check_inputs(values, weights)
+    n = values.size
+    # Block stack: for each block keep (weighted mean, total weight, count).
+    means = np.empty(n, dtype=np.float64)
+    totals = np.empty(n, dtype=np.float64)
+    counts = np.empty(n, dtype=np.int64)
+    top = -1
+    for i in range(n):
+        top += 1
+        means[top] = values[i]
+        totals[top] = weights[i]
+        counts[top] = 1
+        # Merge while the ordering is violated against the previous block.
+        while top > 0 and means[top - 1] > means[top]:
+            merged_weight = totals[top - 1] + totals[top]
+            means[top - 1] = (
+                totals[top - 1] * means[top - 1] + totals[top] * means[top]
+            ) / merged_weight
+            totals[top - 1] = merged_weight
+            counts[top - 1] += counts[top]
+            top -= 1
+    fitted = np.empty(n, dtype=np.float64)
+    position = 0
+    for block in range(top + 1):
+        fitted[position : position + counts[block]] = means[block]
+        position += counts[block]
+    return fitted
+
+
+def isotonic_regression_minmax(values, weights=None) -> np.ndarray:
+    """Minimum-L2 non-decreasing fit via the Theorem 1 min-max formula.
+
+    ``s̄[k] = L_k = min_{j in [k, n]} max_{i in [1, j]} M̃[i, j]`` where
+    ``M̃[i, j]`` is the (weighted) mean of ``values[i..j]``.  Complexity is
+    ``O(n²)``; intended for validation and for small sequences.
+    """
+    values, weights = _check_inputs(values, weights)
+    n = values.size
+    weighted = np.concatenate(([0.0], np.cumsum(values * weights)))
+    weight_sums = np.concatenate(([0.0], np.cumsum(weights)))
+
+    def mean(i: int, j: int) -> float:
+        # Inclusive 0-based mean of values[i..j].
+        return (weighted[j + 1] - weighted[i]) / (weight_sums[j + 1] - weight_sums[i])
+
+    # G[j] = max_{i <= j} mean(i, j); the inner maximum of the theorem.
+    suffix_candidates = np.empty(n, dtype=np.float64)
+    for j in range(n):
+        best = -np.inf
+        for i in range(j + 1):
+            best = max(best, mean(i, j))
+        suffix_candidates[j] = best
+    # L_k = min_{j >= k} G[j]: a suffix minimum.
+    fitted = np.empty(n, dtype=np.float64)
+    running = np.inf
+    for k in range(n - 1, -1, -1):
+        running = min(running, suffix_candidates[k])
+        fitted[k] = running
+    return fitted
+
+
+def isotonic_regression(values, weights=None, method: str = "pava") -> np.ndarray:
+    """Dispatching front-end for isotonic regression.
+
+    ``method`` is ``"pava"`` (default, linear time) or ``"minmax"``
+    (the Theorem 1 formula, quadratic time).
+    """
+    if method == "pava":
+        return isotonic_regression_pava(values, weights)
+    if method == "minmax":
+        return isotonic_regression_minmax(values, weights)
+    raise InferenceError(f"unknown isotonic regression method {method!r}")

@@ -1,0 +1,87 @@
+"""Brute-force constrained least-squares oracles.
+
+The closed-form inference algorithms (Theorems 1 and 3) are efficient but
+intricate; these oracles restate the underlying optimisation problems in
+the most direct way possible and solve them with generic numerical
+machinery.  They exist so the test suite can confirm, on small instances,
+that the closed forms solve exactly the problem the paper says they solve.
+
+* :func:`ols_tree_inference` — Section 4.1 observes that finding ``h̄`` is
+  linear regression: the unknowns are the true leaf counts ``x``; every
+  noisy node count is a fixed linear combination ``A·x`` plus noise, so
+  the minimum-L2 consistent vector is ``A·x̂`` with
+  ``x̂ = (AᵀA)⁻¹Aᵀh̃`` (ordinary least squares through the strategy
+  matrix).
+* :func:`isotonic_oracle` — the isotonic problem re-parametrised as a
+  bounded least-squares problem: ``s[i] = t + Σ_{j<=i} u_j`` with
+  ``u_j >= 0``, solved with :func:`scipy.optimize.lsq_linear`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro.exceptions import InferenceError
+from repro.queries.hierarchical import HierarchicalQuery
+from repro.utils.arrays import as_float_vector
+
+__all__ = ["ols_tree_inference", "isotonic_oracle"]
+
+
+def ols_tree_inference(noisy_values, query: HierarchicalQuery) -> np.ndarray:
+    """Ordinary-least-squares solution to the tree-consistency problem.
+
+    Returns the consistent breadth-first node vector ``A·x̂``.  Cost is
+    cubic in the number of leaves — use only on validation-sized trees.
+    """
+    from repro.queries.matrix import strategy_matrix
+
+    noisy_values = as_float_vector(noisy_values, name="noisy tree counts")
+    if noisy_values.size != query.layout.num_nodes:
+        raise InferenceError(
+            f"expected {query.layout.num_nodes} node values, got {noisy_values.size}"
+        )
+    matrix = strategy_matrix(query)
+    gram = matrix.T @ matrix
+    try:
+        leaf_estimate = np.linalg.solve(gram, matrix.T @ noisy_values)
+    except np.linalg.LinAlgError as exc:
+        raise InferenceError("strategy matrix is rank deficient") from exc
+    return matrix @ leaf_estimate
+
+
+def isotonic_oracle(values, max_iterations: int = 20_000) -> np.ndarray:
+    """Solve the isotonic regression problem with a generic bounded solver.
+
+    The ordered vector is parametrised as ``s[0] = t`` and
+    ``s[i] = t + Σ_{j <= i} u_j`` with increments ``u_j >= 0``; minimising
+    ``||values - s||²`` over ``(t, u)`` is a bounded linear least-squares
+    problem handled by :func:`scipy.optimize.lsq_linear`.
+
+    Intended for small vectors (tests compare it against PAVA); the design
+    matrix is dense ``n × n``.
+    """
+    values = as_float_vector(values, name="values")
+    n = values.size
+    if n == 1:
+        return values.copy()
+    # Design matrix: column 0 is the intercept t, column j >= 1 contributes
+    # the increment u_j to all positions >= j.
+    design = np.zeros((n, n), dtype=np.float64)
+    design[:, 0] = 1.0
+    for j in range(1, n):
+        design[j:, j] = 1.0
+    lower = np.full(n, 0.0)
+    lower[0] = -np.inf
+    upper = np.full(n, np.inf)
+    result = optimize.lsq_linear(
+        design,
+        values,
+        bounds=(lower, upper),
+        max_iter=max_iterations,
+        tol=1e-12,
+    )
+    if not result.success:
+        raise InferenceError(f"isotonic oracle failed to converge: {result.message}")
+    return design @ result.x

@@ -1,0 +1,39 @@
+"""Differential-privacy layer: mechanisms, budget accounting, auditing.
+
+This subpackage implements the data-owner side of Figure 1:
+
+* :mod:`repro.privacy.definitions` — ε-differential privacy parameters and
+  the record-level neighbouring relation.
+* :mod:`repro.privacy.laplace` — the Laplace mechanism of Dwork et al.
+  (Proposition 1 of the paper): add i.i.d. ``Lap(Δ_Q/ε)`` noise to each
+  answer in a query sequence.
+* :mod:`repro.privacy.geometric` — the two-sided geometric mechanism of
+  Ghosh et al., the mechanism the introduction cites as optimal for a
+  single counting query; included as an alternative noise source and used
+  by the integrality ablation.
+* :mod:`repro.privacy.budget` — a sequential-composition budget accountant
+  (the paper's "Σεᵢ-differentially private" protocol for multiple query
+  sequences).
+* :mod:`repro.privacy.audit` — an empirical ε audit harness that checks,
+  on small instances, that output likelihood ratios between neighbouring
+  databases stay within ``exp(ε)``.
+"""
+
+from repro.privacy.definitions import PrivacyParameters, neighboring_relations
+from repro.privacy.laplace import LaplaceMechanism, laplace_noise, laplace_error_per_query
+from repro.privacy.geometric import GeometricMechanism
+from repro.privacy.budget import PrivacyBudget, BudgetSpend
+from repro.privacy.audit import empirical_epsilon, audit_laplace_mechanism
+
+__all__ = [
+    "PrivacyParameters",
+    "neighboring_relations",
+    "LaplaceMechanism",
+    "laplace_noise",
+    "laplace_error_per_query",
+    "GeometricMechanism",
+    "PrivacyBudget",
+    "BudgetSpend",
+    "empirical_epsilon",
+    "audit_laplace_mechanism",
+]

@@ -1,0 +1,98 @@
+"""Privacy-budget accounting by sequential composition.
+
+Section 2.1 of the paper notes that answering the i-th query sequence with
+an εᵢ-differentially private mechanism makes the whole interaction
+(Σ εᵢ)-differentially private.  :class:`PrivacyBudget` tracks that sum so
+an analyst session (see the examples) cannot silently exceed its total
+budget, and records what each slice was spent on for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PrivacyBudgetError
+from repro.privacy.definitions import PrivacyParameters
+
+__all__ = ["BudgetSpend", "PrivacyBudget"]
+
+
+@dataclass(frozen=True)
+class BudgetSpend:
+    """A single charge against the budget."""
+
+    label: str
+    params: PrivacyParameters
+
+    @property
+    def epsilon(self) -> float:
+        return self.params.epsilon
+
+
+@dataclass
+class PrivacyBudget:
+    """Tracks cumulative ε spending under sequential composition.
+
+    Parameters
+    ----------
+    total:
+        The overall privacy parameters the data owner is willing to offer
+        for the whole interaction.
+    """
+
+    total: PrivacyParameters
+    _spent: list[BudgetSpend] = field(default_factory=list, init=False, repr=False)
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def spent_epsilon(self) -> float:
+        """Total ε consumed so far."""
+        return sum(spend.epsilon for spend in self._spent)
+
+    @property
+    def remaining_epsilon(self) -> float:
+        """ε still available (never negative)."""
+        return max(0.0, self.total.epsilon - self.spent_epsilon)
+
+    @property
+    def history(self) -> list[BudgetSpend]:
+        """The spends made so far, in order."""
+        return list(self._spent)
+
+    def can_spend(self, epsilon: float) -> bool:
+        """Would a charge of ``epsilon`` stay within the budget?"""
+        if epsilon <= 0:
+            raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+        return epsilon <= self.remaining_epsilon + 1e-12
+
+    def spend(self, epsilon: float, label: str = "query") -> PrivacyParameters:
+        """Charge ``epsilon``, returning the parameters for the sub-mechanism.
+
+        Raises :class:`PrivacyBudgetError` if the charge would exceed the
+        total; nothing is recorded in that case.
+        """
+        if not self.can_spend(epsilon):
+            raise PrivacyBudgetError(
+                f"cannot spend ε={epsilon:g}: only {self.remaining_epsilon:g} of "
+                f"{self.total.epsilon:g} remains"
+            )
+        params = PrivacyParameters(epsilon, self.total.delta)
+        self._spent.append(BudgetSpend(label=label, params=params))
+        return params
+
+    def spend_fraction(self, fraction: float, label: str = "query") -> PrivacyParameters:
+        """Charge a fraction of the *total* budget (not of the remainder)."""
+        if not 0.0 < fraction <= 1.0:
+            raise PrivacyBudgetError(f"fraction must be in (0, 1], got {fraction}")
+        return self.spend(self.total.epsilon * fraction, label=label)
+
+    def summary(self) -> str:
+        """Human-readable account of spending, for reports and examples."""
+        lines = [
+            f"privacy budget: total {self.total}, spent ε={self.spent_epsilon:g}, "
+            f"remaining ε={self.remaining_epsilon:g}"
+        ]
+        for spend in self._spent:
+            lines.append(f"  - {spend.label}: {spend.params}")
+        return "\n".join(lines)

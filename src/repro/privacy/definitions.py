@@ -1,0 +1,83 @@
+"""Core differential-privacy definitions.
+
+The paper (Definition 2.1) uses record-level ε-differential privacy: two
+databases are neighbours when one can be obtained from the other by adding
+or removing a single tuple, and a randomized algorithm ``A`` is
+ε-differentially private when for all neighbours ``I, I'`` and output sets
+``S``: ``Pr[A(I) ∈ S] ≤ exp(ε) · Pr[A(I') ∈ S]``.
+
+This module holds the parameter object shared by all mechanisms and the
+enumeration of neighbouring instances used by the sensitivity and audit
+harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.db.relation import Relation
+from repro.exceptions import PrivacyBudgetError
+
+__all__ = ["PrivacyParameters", "neighboring_relations"]
+
+
+@dataclass(frozen=True)
+class PrivacyParameters:
+    """ε (and optional δ) privacy parameters.
+
+    The paper's mechanisms are pure ε-DP; δ only appears in the Appendix E
+    usefulness comparison, so it defaults to zero and is validated but not
+    consumed by the Laplace/geometric mechanisms.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise PrivacyBudgetError(f"epsilon must be positive, got {self.epsilon}")
+        if not 0.0 <= self.delta < 1.0:
+            raise PrivacyBudgetError(f"delta must be in [0, 1), got {self.delta}")
+
+    def split(self, fractions: Sequence[float]) -> list["PrivacyParameters"]:
+        """Split ε across sub-tasks by the given fractions (must sum to ≤ 1).
+
+        Sequential composition means running the parts on the same data is
+        (Σ εᵢ)-differentially private, hence still within this budget.
+        """
+        if not fractions:
+            raise PrivacyBudgetError("fractions must be non-empty")
+        if any(f <= 0 for f in fractions):
+            raise PrivacyBudgetError(f"fractions must be positive, got {fractions}")
+        if sum(fractions) > 1.0 + 1e-12:
+            raise PrivacyBudgetError(
+                f"fractions sum to {sum(fractions)}, exceeding the whole budget"
+            )
+        return [
+            PrivacyParameters(self.epsilon * f, self.delta * f) for f in fractions
+        ]
+
+    def scaled(self, factor: float) -> "PrivacyParameters":
+        """A new parameter object with ε multiplied by ``factor``."""
+        if factor <= 0:
+            raise PrivacyBudgetError(f"factor must be positive, got {factor}")
+        return PrivacyParameters(self.epsilon * factor, self.delta)
+
+    def __str__(self) -> str:
+        if self.delta:
+            return f"(ε={self.epsilon:g}, δ={self.delta:g})"
+        return f"ε={self.epsilon:g}"
+
+
+def neighboring_relations(
+    relation: Relation, candidate_records: Iterable[Sequence] = ()
+) -> Iterator[Relation]:
+    """Enumerate neighbouring database instances of ``relation``.
+
+    Yields every instance obtainable by removing one record, then every
+    instance obtainable by adding one of the supplied candidate records.
+    The removal side is exhaustive; additions are caller-controlled because
+    the space of addable tuples is the full domain product.
+    """
+    yield from relation.neighbors(candidate_records)

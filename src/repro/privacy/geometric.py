@@ -1,0 +1,83 @@
+"""The two-sided geometric mechanism (Ghosh, Roughgarden, Sundararajan).
+
+The paper's introduction cites the geometric mechanism as the mechanism
+proved *optimal* for a single counting query under ε-differential privacy.
+We include it as (a) an alternative noise source for integer-valued
+counts, and (b) a baseline in the integrality ablation: it shows that the
+accuracy gains of constrained inference are not an artefact of the Laplace
+mechanism producing non-integer outputs.
+
+The mechanism adds noise ``Z`` with ``Pr[Z = z] ∝ α^{|z|}`` where
+``α = exp(-ε/Δ)``; for sensitivity-Δ queries this is ε-DP, and its
+variance ``2α/(1-α)²`` is slightly below the Laplace variance at the same
+ε.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SensitivityError
+from repro.privacy.definitions import PrivacyParameters
+from repro.utils.random import as_generator
+
+__all__ = ["GeometricMechanism", "two_sided_geometric_noise"]
+
+
+def two_sided_geometric_noise(
+    alpha: float, size: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Integer noise with ``Pr[Z = z] = (1-α)/(1+α) · α^{|z|}``.
+
+    Sampled as the difference of two i.i.d. geometric variables, which has
+    exactly the two-sided geometric law.
+    """
+    if not 0.0 <= alpha < 1.0:
+        raise SensitivityError(f"alpha must be in [0, 1), got {alpha}")
+    if size < 0:
+        raise SensitivityError(f"size must be non-negative, got {size}")
+    if alpha == 0.0:
+        return np.zeros(size, dtype=np.float64)
+    generator = as_generator(rng)
+    # numpy's geometric counts trials until first success (support starting
+    # at 1); subtracting two shifted copies gives the two-sided law with
+    # parameter alpha = 1 - p.
+    p = 1.0 - alpha
+    left = generator.geometric(p, size=size) - 1
+    right = generator.geometric(p, size=size) - 1
+    return (left - right).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class GeometricMechanism:
+    """Adds two-sided geometric noise calibrated to sensitivity and ε."""
+
+    sensitivity: float
+    params: PrivacyParameters
+
+    def __post_init__(self) -> None:
+        if self.sensitivity <= 0:
+            raise SensitivityError(
+                f"sensitivity must be positive, got {self.sensitivity}"
+            )
+
+    @property
+    def alpha(self) -> float:
+        """The geometric decay parameter ``exp(-ε/Δ)``."""
+        return float(np.exp(-self.params.epsilon / self.sensitivity))
+
+    @property
+    def per_query_variance(self) -> float:
+        """Variance of the added noise: ``2α/(1-α)²``."""
+        alpha = self.alpha
+        return 2.0 * alpha / (1.0 - alpha) ** 2
+
+    def randomize(
+        self, true_answers, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Return the noisy, integer-valued ε-DP answers."""
+        answers = np.asarray(true_answers, dtype=np.float64)
+        noise = two_sided_geometric_noise(self.alpha, answers.size, rng)
+        return answers + noise.reshape(answers.shape)

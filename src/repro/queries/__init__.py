@@ -1,0 +1,45 @@
+"""Query sequences: L, S, H, and baselines.
+
+The paper's three query sequences over a unit-count histogram of size
+``n`` (Section 2, Figure 2):
+
+* **L** (:class:`~repro.queries.identity.UnitCountQuery`) — the counts of
+  all unit-length ranges; sensitivity 1.
+* **S** (:class:`~repro.queries.sorted.SortedCountQuery`) — the same
+  counts in ascending order; sensitivity 1 (Proposition 3), with ordering
+  constraints ``s[i] <= s[i+1]``.
+* **H** (:class:`~repro.queries.hierarchical.HierarchicalQuery`) — a
+  complete k-ary tree of interval counts in breadth-first order;
+  sensitivity ℓ, the tree height (Proposition 4), with parent/child sum
+  constraints.
+
+Plus the Haar-wavelet query of Xiao et al. (Related Work) as an external
+baseline, workload generators for range queries, sensitivity tooling
+(analytic and empirical), and the strategy-matrix view that connects the
+queries to the matrix mechanism of Li et al.
+"""
+
+from repro.queries.base import QuerySequence, NoisyAnswer
+from repro.queries.identity import UnitCountQuery
+from repro.queries.sorted import SortedCountQuery
+from repro.queries.hierarchical import HierarchicalQuery, TreeLayout
+from repro.queries.wavelet import HaarWaveletQuery
+from repro.queries.workload import RangeWorkload, RangeQuerySpec
+from repro.queries.sensitivity import empirical_sensitivity, analytic_sensitivity
+from repro.queries.matrix import strategy_matrix, workload_matrix
+
+__all__ = [
+    "QuerySequence",
+    "NoisyAnswer",
+    "UnitCountQuery",
+    "SortedCountQuery",
+    "HierarchicalQuery",
+    "TreeLayout",
+    "HaarWaveletQuery",
+    "RangeWorkload",
+    "RangeQuerySpec",
+    "empirical_sensitivity",
+    "analytic_sensitivity",
+    "strategy_matrix",
+    "workload_matrix",
+]

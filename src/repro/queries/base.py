@@ -1,0 +1,160 @@
+"""The query-sequence protocol shared by L, S, H, and the wavelet baseline.
+
+A query sequence ``Q`` maps the vector of true unit counts ``x`` (the
+histogram ``L(I)``) to a vector of answers ``Q(x)``.  Each concrete
+sequence knows its own L1 sensitivity, how to produce a noisy
+ε-differentially private answer through the Laplace mechanism, and how to
+describe its entries for display.
+
+Working on count vectors rather than relations keeps the privacy semantics
+intact: adding or removing one record of the database changes exactly one
+unit count by exactly one, so the neighbouring relation on count vectors
+is "one entry changes by ±1", and sensitivities proven in the paper carry
+over verbatim.  The :mod:`repro.db` substrate converts relations to count
+vectors at the boundary.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.privacy.definitions import PrivacyParameters
+from repro.privacy.laplace import LaplaceMechanism
+from repro.utils.arrays import as_float_vector
+
+__all__ = ["QuerySequence", "NoisyAnswer"]
+
+
+@dataclass(frozen=True)
+class NoisyAnswer:
+    """The output of answering a query sequence under differential privacy.
+
+    Attributes
+    ----------
+    values:
+        The noisy answer vector ``q̃ = Q̃(I)``.
+    epsilon:
+        Privacy parameter used.
+    sensitivity:
+        The L1 sensitivity the noise was calibrated to.
+    noise_scale:
+        Scale ``Δ_Q/ε`` of the Laplace noise actually added.
+    """
+
+    values: np.ndarray
+    epsilon: float
+    sensitivity: float
+    noise_scale: float
+
+    @property
+    def per_query_variance(self) -> float:
+        """Expected squared error of each individual noisy answer."""
+        return 2.0 * self.noise_scale**2
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+
+class QuerySequence(abc.ABC):
+    """Abstract base class for the paper's query sequences.
+
+    Concrete subclasses are constructed for a specific domain size ``n``
+    and expose:
+
+    * :meth:`answer` — the true answers ``Q(x)`` for a count vector ``x``;
+    * :attr:`sensitivity` — the L1 sensitivity ``Δ_Q``;
+    * :meth:`randomize` — the ε-DP noisy answers via the Laplace mechanism
+      (Proposition 1);
+    * :meth:`entry_names` — human-readable labels for each answer entry.
+    """
+
+    def __init__(self, domain_size: int) -> None:
+        if domain_size <= 0:
+            raise QueryError(f"domain size must be positive, got {domain_size}")
+        self._domain_size = int(domain_size)
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def domain_size(self) -> int:
+        """Number of unit buckets the sequence is defined over."""
+        return self._domain_size
+
+    @property
+    @abc.abstractmethod
+    def output_size(self) -> int:
+        """Number of counting queries in the sequence (length of ``Q(x)``)."""
+
+    def __len__(self) -> int:
+        return self.output_size
+
+    # -- semantics --------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def sensitivity(self) -> float:
+        """L1 sensitivity ``Δ_Q`` under record add/remove."""
+
+    @abc.abstractmethod
+    def answer(self, counts: np.ndarray) -> np.ndarray:
+        """True answers ``Q(x)`` for the unit-count vector ``x``."""
+
+    def entry_names(self) -> list[str]:
+        """Labels for the individual counting queries (for tables/examples)."""
+        return [f"{type(self).__name__}[{i}]" for i in range(self.output_size)]
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _check_counts(self, counts) -> np.ndarray:
+        counts = as_float_vector(counts, name="counts")
+        if counts.size != self._domain_size:
+            raise QueryError(
+                f"count vector has length {counts.size}, expected {self._domain_size}"
+            )
+        return counts
+
+    def mechanism(self, params: PrivacyParameters | float) -> LaplaceMechanism:
+        """The Laplace mechanism calibrated to this sequence's sensitivity."""
+        if not isinstance(params, PrivacyParameters):
+            params = PrivacyParameters(float(params))
+        return LaplaceMechanism(sensitivity=self.sensitivity, params=params)
+
+    def randomize(
+        self,
+        counts,
+        params: PrivacyParameters | float,
+        rng: np.random.Generator | int | None = None,
+    ) -> NoisyAnswer:
+        """Answer the sequence under ε-differential privacy.
+
+        Computes the true answers and adds i.i.d. ``Lap(Δ_Q/ε)`` noise to
+        each (Proposition 1 of the paper).
+        """
+        counts = self._check_counts(counts)
+        mechanism = self.mechanism(params)
+        noisy = mechanism.randomize(self.answer(counts), rng=rng)
+        return NoisyAnswer(
+            values=noisy,
+            epsilon=mechanism.params.epsilon,
+            sensitivity=self.sensitivity,
+            noise_scale=mechanism.scale,
+        )
+
+    def expected_error(self, params: PrivacyParameters | float) -> float:
+        """Total expected squared error of the raw noisy answer vector.
+
+        ``error(Q̃) = m · 2Δ²/ε²`` where ``m`` is the output size —
+        Definition 2.3 applied to independent Laplace noise.
+        """
+        mechanism = self.mechanism(params)
+        return self.output_size * mechanism.per_query_variance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(domain_size={self._domain_size}, "
+            f"output_size={self.output_size}, sensitivity={self.sensitivity})"
+        )

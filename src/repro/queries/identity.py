@@ -1,0 +1,36 @@
+"""The unit-count query sequence ``L``.
+
+``L = <c([x_1]), ..., c([x_n])>`` asks for the count of every unit-length
+range.  Adding or removing one record changes exactly one of those counts
+by one, so the sensitivity is 1 (Example 2 in the paper).  ``L`` is both
+the conventional baseline strategy for universal histograms and the input
+representation every other sequence is defined in terms of.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queries.base import QuerySequence
+
+__all__ = ["UnitCountQuery"]
+
+
+class UnitCountQuery(QuerySequence):
+    """The identity query sequence ``L`` over ``n`` unit buckets."""
+
+    @property
+    def output_size(self) -> int:
+        return self.domain_size
+
+    @property
+    def sensitivity(self) -> float:
+        """Sensitivity of ``L`` is 1: one record affects one unit count by one."""
+        return 1.0
+
+    def answer(self, counts: np.ndarray) -> np.ndarray:
+        """``L(x)`` is simply ``x`` itself."""
+        return self._check_counts(counts).copy()
+
+    def entry_names(self) -> list[str]:
+        return [f"c([{i}])" for i in range(self.domain_size)]

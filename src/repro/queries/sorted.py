@@ -1,0 +1,53 @@
+"""The sorted query sequence ``S`` (Section 3 of the paper).
+
+``S = <rank_1(U), ..., rank_n(U)>`` returns the multiset of unit counts in
+ascending order.  The attribution of counts to buckets is discarded, which
+is exactly what an *unattributed histogram* (e.g. a graph degree sequence)
+needs.  Crucially:
+
+* the sensitivity of ``S`` is still 1 (Proposition 3): adding a record
+  increments the count at the *last* position holding the affected value,
+  which preserves the sort order and changes the output by L1 distance 1;
+* the output is known a priori to satisfy ``S[i] <= S[i+1]``, the ordering
+  constraints γ_S that constrained inference exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queries.base import QuerySequence
+
+__all__ = ["SortedCountQuery"]
+
+
+class SortedCountQuery(QuerySequence):
+    """The sorted (unattributed) query sequence ``S`` over ``n`` unit buckets."""
+
+    @property
+    def output_size(self) -> int:
+        return self.domain_size
+
+    @property
+    def sensitivity(self) -> float:
+        """Sensitivity of ``S`` is 1 (Proposition 3)."""
+        return 1.0
+
+    def answer(self, counts: np.ndarray) -> np.ndarray:
+        """``S(x)``: the unit counts in ascending order."""
+        return np.sort(self._check_counts(counts))
+
+    def entry_names(self) -> list[str]:
+        return [f"rank_{i + 1}(U)" for i in range(self.domain_size)]
+
+    @staticmethod
+    def constraint_violations(values: np.ndarray) -> int:
+        """Number of adjacent out-of-order pairs in a (possibly noisy) answer.
+
+        Zero means the vector already satisfies γ_S; the experiments use
+        this to show how often raw noisy answers are inconsistent.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size <= 1:
+            return 0
+        return int(np.sum(values[:-1] > values[1:]))

@@ -1,0 +1,178 @@
+"""Haar-wavelet query strategy (the Privelet baseline of Xiao et al.).
+
+The Related Work section notes that the wavelet technique of Xiao, Wang
+and Gehrke is conceptually similar to the binary ``H`` query — a tree of
+increasingly fine-grained summaries — and that Li et al. later showed its
+error to be equivalent to a binary ``H``.  We implement it as an external
+baseline so the benchmark suite can verify that claim empirically.
+
+Mechanics (binary domains, ``n = 2^m``):
+
+* The *analysis* step computes one base coefficient (the mean of all unit
+  counts) and one detail coefficient per internal node of the binary tree
+  over the domain: ``d_v = (mean(left half) - mean(right half)) / 2``.
+* Adding or removing one record changes the base coefficient by ``1/n``
+  and the detail coefficient of each of the ``log2 n`` ancestors of the
+  affected leaf by ``1/|range(v)|``.  Adding Laplace noise with
+  per-coefficient scale proportional to those magnitudes makes the total
+  privacy loss ``ε`` when each coefficient's individual loss is
+  ``ε/ℓ`` with ``ℓ = log2(n) + 1`` — the same budget split as ``H``.
+* The *synthesis* step reconstructs every unit count from the noisy
+  coefficients; range queries are answered by summing reconstructed unit
+  counts (detail coefficients of nodes strictly inside the range cancel,
+  so the effective error is poly-logarithmic, as for ``H``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.privacy.definitions import PrivacyParameters
+from repro.utils.arrays import as_float_vector, require_power_of
+from repro.utils.random import as_generator
+
+__all__ = ["HaarWaveletQuery", "WaveletCoefficients"]
+
+
+@dataclass(frozen=True)
+class WaveletCoefficients:
+    """Noisy (or exact) Haar coefficients of a count vector.
+
+    ``base`` is the overall mean; ``details[level]`` is the array of detail
+    coefficients for the internal nodes at that level of the binary tree
+    (level 0 = root, so ``details[0]`` has one entry and
+    ``details[m-1]`` has ``n/2`` entries).
+    """
+
+    base: float
+    details: tuple[np.ndarray, ...]
+    epsilon: float | None = None
+
+    @property
+    def num_leaves(self) -> int:
+        if not self.details:
+            return 1
+        return int(self.details[-1].size * 2)
+
+
+class HaarWaveletQuery:
+    """Haar-wavelet strategy over a binary domain of size ``n = 2^m``."""
+
+    def __init__(self, domain_size: int) -> None:
+        require_power_of(domain_size, 2, name="domain_size")
+        self.domain_size = int(domain_size)
+        self.num_levels = int(round(np.log2(self.domain_size)))
+
+    # -- analysis ------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """ℓ = log2(n) + 1, matching the binary ``H`` tree height."""
+        return self.num_levels + 1
+
+    def transform(self, counts) -> WaveletCoefficients:
+        """Exact Haar analysis of a count vector."""
+        counts = self._check_counts(counts)
+        details: list[np.ndarray] = []
+        current = counts.astype(np.float64)
+        # Build means bottom-up; detail at a node is half the difference of
+        # its children's means.
+        for _ in range(self.num_levels):
+            pairs = current.reshape(-1, 2)
+            details.append((pairs[:, 0] - pairs[:, 1]) / 2.0)
+            current = pairs.mean(axis=1)
+        details.reverse()  # root level first
+        return WaveletCoefficients(base=float(current[0]), details=tuple(details))
+
+    # -- privacy -------------------------------------------------------------
+
+    def coefficient_scales(self, epsilon: float) -> tuple[float, list[float]]:
+        """Laplace scales for the base and each detail level.
+
+        A record changes the base by ``1/n`` and the detail at its level-i
+        ancestor by ``2^i / n``; giving each coefficient a per-coefficient
+        privacy loss of ``ε/ℓ`` therefore requires scales ``ℓ/(n·ε)`` and
+        ``ℓ·2^i/(n·ε)`` respectively.
+        """
+        if epsilon <= 0:
+            raise QueryError(f"epsilon must be positive, got {epsilon}")
+        per_coefficient = epsilon / self.height
+        base_scale = (1.0 / self.domain_size) / per_coefficient
+        detail_scales = [
+            (2.0**level / self.domain_size) / per_coefficient
+            for level in range(self.num_levels)
+        ]
+        return base_scale, detail_scales
+
+    def randomize(
+        self,
+        counts,
+        params: PrivacyParameters | float,
+        rng: np.random.Generator | int | None = None,
+    ) -> WaveletCoefficients:
+        """ε-differentially private noisy Haar coefficients."""
+        if not isinstance(params, PrivacyParameters):
+            params = PrivacyParameters(float(params))
+        generator = as_generator(rng)
+        exact = self.transform(counts)
+        base_scale, detail_scales = self.coefficient_scales(params.epsilon)
+        noisy_base = exact.base + generator.laplace(0.0, base_scale)
+        noisy_details = tuple(
+            level_values + generator.laplace(0.0, scale, size=level_values.size)
+            for level_values, scale in zip(exact.details, detail_scales)
+        )
+        return WaveletCoefficients(
+            base=float(noisy_base), details=noisy_details, epsilon=params.epsilon
+        )
+
+    # -- synthesis -----------------------------------------------------------
+
+    def reconstruct(self, coefficients: WaveletCoefficients) -> np.ndarray:
+        """Invert the Haar analysis, returning estimated unit counts."""
+        if coefficients.num_leaves != self.domain_size and self.num_levels > 0:
+            raise QueryError(
+                f"coefficients describe {coefficients.num_leaves} leaves, "
+                f"expected {self.domain_size}"
+            )
+        current = np.array([coefficients.base], dtype=np.float64)
+        for level_values in coefficients.details:
+            expanded = np.empty(current.size * 2, dtype=np.float64)
+            expanded[0::2] = current + level_values
+            expanded[1::2] = current - level_values
+            current = expanded
+        return current
+
+    def range_query(
+        self, coefficients: WaveletCoefficients, lo: int, hi: int
+    ) -> float:
+        """Answer ``c([lo, hi])`` from (noisy) coefficients."""
+        if not 0 <= lo <= hi < self.domain_size:
+            raise QueryError(
+                f"invalid range [{lo}, {hi}] for domain size {self.domain_size}"
+            )
+        return float(self.reconstruct(coefficients)[lo : hi + 1].sum())
+
+    def expected_leaf_variance(self, epsilon: float) -> float:
+        """Analytic variance of one reconstructed unit count.
+
+        Used by the comparison benchmark against ``H``; the closed form is
+        ``2·(ℓ/ε)²·(1 + (n² - 1)/3)/n²``.
+        """
+        base_scale, detail_scales = self.coefficient_scales(epsilon)
+        variance = 2.0 * base_scale**2
+        for scale in detail_scales:
+            variance += 2.0 * scale**2
+        return variance
+
+    # -- helpers --------------------------------------------------------------
+
+    def _check_counts(self, counts) -> np.ndarray:
+        counts = as_float_vector(counts, name="counts")
+        if counts.size != self.domain_size:
+            raise QueryError(
+                f"count vector has length {counts.size}, expected {self.domain_size}"
+            )
+        return counts

@@ -1,0 +1,172 @@
+"""Range-query workload generation.
+
+The universal-histogram experiments (Section 5.2) evaluate estimators on
+sets of range queries of varying size and position: for each range size
+``2^i`` they draw locations uniformly at random and average the squared
+error over samples.  This module provides the workload abstractions the
+experiment runners and benchmarks use:
+
+* :class:`RangeQuerySpec` — one range ``[lo, hi]`` in leaf-index space;
+* :class:`RangeWorkload` — a named collection of ranges with factory
+  methods for the paper's random-size workloads, exhaustive small-domain
+  workloads, prefix workloads (cumulative counts), and fixed-size sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.utils.random import as_generator
+
+__all__ = ["RangeQuerySpec", "RangeWorkload"]
+
+
+@dataclass(frozen=True)
+class RangeQuerySpec:
+    """A single range query ``c([lo, hi])`` over leaf indexes (inclusive)."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo:
+            raise QueryError(f"invalid range [{self.lo}, {self.hi}]")
+
+    @property
+    def length(self) -> int:
+        """Number of unit buckets covered."""
+        return self.hi - self.lo + 1
+
+    def true_answer(self, counts: np.ndarray) -> float:
+        """Evaluate the range against a vector of true unit counts."""
+        counts = np.asarray(counts, dtype=np.float64)
+        if self.hi >= counts.size:
+            raise QueryError(
+                f"range [{self.lo}, {self.hi}] exceeds domain of size {counts.size}"
+            )
+        return float(counts[self.lo : self.hi + 1].sum())
+
+
+class RangeWorkload:
+    """An ordered collection of range queries over a domain of ``domain_size`` leaves."""
+
+    def __init__(self, domain_size: int, queries: Sequence[RangeQuerySpec], name: str = "workload"):
+        if domain_size <= 0:
+            raise QueryError(f"domain_size must be positive, got {domain_size}")
+        self.domain_size = int(domain_size)
+        self.name = name
+        for query in queries:
+            if query.hi >= self.domain_size:
+                raise QueryError(
+                    f"query [{query.lo}, {query.hi}] exceeds domain size {domain_size}"
+                )
+        self._queries = list(queries)
+
+    # -- collection protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[RangeQuerySpec]:
+        return iter(self._queries)
+
+    def __getitem__(self, index: int) -> RangeQuerySpec:
+        return self._queries[index]
+
+    @property
+    def queries(self) -> list[RangeQuerySpec]:
+        return list(self._queries)
+
+    def true_answers(self, counts: np.ndarray) -> np.ndarray:
+        """Vector of true answers for every query in the workload."""
+        return np.array([q.true_answer(counts) for q in self._queries])
+
+    # -- factories ------------------------------------------------------------------
+
+    @classmethod
+    def random_ranges(
+        cls,
+        domain_size: int,
+        length: int,
+        count: int,
+        rng: np.random.Generator | int | None = None,
+        name: str | None = None,
+    ) -> "RangeWorkload":
+        """``count`` ranges of a fixed ``length`` at uniformly random locations.
+
+        This is the workload the paper uses in Figure 6 for each range size.
+        """
+        if not 1 <= length <= domain_size:
+            raise QueryError(
+                f"range length {length} must be in [1, {domain_size}]"
+            )
+        if count <= 0:
+            raise QueryError(f"count must be positive, got {count}")
+        generator = as_generator(rng)
+        starts = generator.integers(0, domain_size - length + 1, size=count)
+        queries = [RangeQuerySpec(int(s), int(s) + length - 1) for s in starts]
+        return cls(domain_size, queries, name=name or f"random-{length}")
+
+    @classmethod
+    def size_sweep(
+        cls,
+        domain_size: int,
+        sizes: Sequence[int],
+        count_per_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> dict[int, "RangeWorkload"]:
+        """One random workload per range size — the full Figure 6 x-axis."""
+        generator = as_generator(rng)
+        return {
+            int(size): cls.random_ranges(
+                domain_size, int(size), count_per_size, rng=generator
+            )
+            for size in sizes
+        }
+
+    @classmethod
+    def all_ranges(cls, domain_size: int, max_queries: int | None = None) -> "RangeWorkload":
+        """Every range ``[lo, hi]`` (only sensible for small domains).
+
+        ``max_queries`` guards against accidental quadratic blow-ups.
+        """
+        total = domain_size * (domain_size + 1) // 2
+        if max_queries is not None and total > max_queries:
+            raise QueryError(
+                f"all_ranges would create {total} queries, above the cap {max_queries}"
+            )
+        queries = [
+            RangeQuerySpec(lo, hi)
+            for lo in range(domain_size)
+            for hi in range(lo, domain_size)
+        ]
+        return cls(domain_size, queries, name="all-ranges")
+
+    @classmethod
+    def prefixes(cls, domain_size: int) -> "RangeWorkload":
+        """All prefix ranges ``[0, i]`` — the cumulative-distribution workload."""
+        queries = [RangeQuerySpec(0, hi) for hi in range(domain_size)]
+        return cls(domain_size, queries, name="prefixes")
+
+    @classmethod
+    def unit_queries(cls, domain_size: int) -> "RangeWorkload":
+        """All unit-length ranges — equivalent to the ``L`` query as a workload."""
+        queries = [RangeQuerySpec(i, i) for i in range(domain_size)]
+        return cls(domain_size, queries, name="units")
+
+    @classmethod
+    def dyadic_sizes(cls, domain_size: int, margin_levels: int = 2) -> list[int]:
+        """The paper's range-size grid: powers of two ``2^1 .. 2^(ℓ - margin)``.
+
+        ``margin_levels = 2`` reproduces "sizes 2^i for i = 1..ℓ-2" from
+        Section 5.2.
+        """
+        if domain_size < 2:
+            raise QueryError("domain_size must be at least 2")
+        height = int(round(np.log2(domain_size))) + 1
+        top = max(1, height - margin_levels)
+        return [2**i for i in range(1, top + 1) if 2**i <= domain_size]

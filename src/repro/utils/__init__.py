@@ -1,0 +1,16 @@
+"""Small shared utilities (random-state handling, array validation)."""
+
+from repro.utils.random import as_generator, spawn_generators
+from repro.utils.arrays import (
+    as_float_vector,
+    as_nonnegative_counts,
+    require_power_of,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "as_float_vector",
+    "as_nonnegative_counts",
+    "require_power_of",
+]

@@ -1,0 +1,43 @@
+"""Array validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DomainError
+
+__all__ = ["as_float_vector", "as_nonnegative_counts", "require_power_of"]
+
+
+def as_float_vector(values, name: str = "values") -> np.ndarray:
+    """Coerce ``values`` into a 1-D float64 array, validating shape and finiteness."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise DomainError(f"{name} must be 1-dimensional, got shape {array.shape}")
+    if array.size == 0:
+        raise DomainError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise DomainError(f"{name} contains NaN or infinite entries")
+    return array
+
+
+def as_nonnegative_counts(values, name: str = "counts") -> np.ndarray:
+    """Like :func:`as_float_vector` but additionally requires entries >= 0."""
+    array = as_float_vector(values, name=name)
+    if np.any(array < 0):
+        raise DomainError(f"{name} must be non-negative")
+    return array
+
+
+def require_power_of(n: int, base: int, name: str = "size") -> int:
+    """Validate that ``n`` is a positive power of ``base`` (including base**0)."""
+    if base < 2:
+        raise DomainError(f"base must be >= 2, got {base}")
+    if n < 1:
+        raise DomainError(f"{name} must be positive, got {n}")
+    value = n
+    while value % base == 0:
+        value //= base
+    if value != 1:
+        raise DomainError(f"{name}={n} is not a power of {base}")
+    return n

@@ -1,0 +1,203 @@
+"""Tests for error metrics, the analytic error formulas, and the Blum comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.blum import (
+    blum_useful_database_size,
+    hierarchical_useful_database_size,
+    usefulness_comparison,
+)
+from repro.analysis.error import (
+    average_total_squared_error,
+    mean_squared_error,
+    per_position_squared_error,
+    squared_error,
+)
+from repro.analysis.theory import (
+    error_hierarchical_laplace_range,
+    error_identity_laplace,
+    error_identity_laplace_range,
+    error_sorted_laplace,
+    hierarchical_leaf_variance,
+    run_lengths,
+    theorem2_bound,
+    theorem2_shape,
+    theorem4_improvement_factor,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestErrorMetrics:
+    def test_squared_error(self):
+        assert squared_error([1.0, 2.0], [0.0, 0.0]) == 5.0
+        assert mean_squared_error([1.0, 2.0], [0.0, 0.0]) == 2.5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            squared_error([1.0], [1.0, 2.0])
+
+    def test_average_total_squared_error(self):
+        samples = [[1.0, 1.0], [3.0, 1.0]]
+        assert average_total_squared_error(samples, [1.0, 1.0]) == 2.0
+
+    def test_average_requires_samples(self):
+        with pytest.raises(ExperimentError):
+            average_total_squared_error([], [1.0])
+
+    def test_per_position_squared_error(self):
+        samples = [[2.0, 0.0], [0.0, 0.0]]
+        profile = per_position_squared_error(samples, [1.0, 0.0])
+        assert profile.tolist() == [1.0, 0.0]
+
+    def test_per_position_validates_lengths(self):
+        with pytest.raises(ExperimentError):
+            per_position_squared_error([[1.0]], [1.0, 2.0])
+
+
+class TestAnalyticFormulas:
+    def test_identity_error_formula(self):
+        # error(L~) = 2n/eps^2.
+        assert error_identity_laplace(100, 1.0) == pytest.approx(200.0)
+        assert error_identity_laplace(100, 0.1) == pytest.approx(20_000.0)
+        assert error_sorted_laplace(100, 1.0) == error_identity_laplace(100, 1.0)
+
+    def test_range_error_formulas(self):
+        assert error_identity_laplace_range(10, 1.0) == pytest.approx(20.0)
+        assert hierarchical_leaf_variance(17, 1.0) == pytest.approx(578.0)
+        # Default subtree bound: 2(k-1) per level below the root.
+        assert error_hierarchical_laplace_range(4, 1.0) == pytest.approx(6 * 32.0)
+        assert error_hierarchical_laplace_range(4, 1.0, num_subtrees=3) == pytest.approx(96.0)
+
+    def test_formula_matches_monte_carlo(self, rng):
+        # Simulated error(L~) matches 2n/eps^2.
+        n, epsilon = 50, 0.5
+        counts = np.zeros(n)
+        from repro.queries.identity import UnitCountQuery
+
+        query = UnitCountQuery(n)
+        errors = [
+            np.sum((query.randomize(counts, epsilon, rng=rng).values - counts) ** 2)
+            for _ in range(400)
+        ]
+        assert np.mean(errors) == pytest.approx(error_identity_laplace(n, epsilon), rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            error_identity_laplace(0, 1.0)
+        with pytest.raises(ExperimentError):
+            error_identity_laplace(10, 0.0)
+        with pytest.raises(ExperimentError):
+            error_identity_laplace_range(0, 1.0)
+        with pytest.raises(ExperimentError):
+            hierarchical_leaf_variance(0, 1.0)
+        with pytest.raises(ExperimentError):
+            error_hierarchical_laplace_range(4, 1.0, num_subtrees=0)
+
+
+class TestTheorem2:
+    def test_run_lengths(self):
+        assert run_lengths([1.0, 1.0, 2.0, 5.0, 5.0, 5.0]).tolist() == [2, 1, 3]
+        assert run_lengths([4.0]).tolist() == [1]
+
+    def test_run_lengths_requires_sorted_input(self):
+        with pytest.raises(ExperimentError):
+            run_lengths([2.0, 1.0])
+
+    def test_shape_depends_on_distinct_count(self):
+        # A single long run has a much smaller bound than all-distinct data
+        # of the same length (d = 1 versus d = n), and the gap widens as n
+        # grows because the uniform bound is polylogarithmic.
+        uniform = np.full(1024, 7.0)
+        distinct = np.arange(1024, dtype=float)
+        assert theorem2_shape(uniform, 1.0) < theorem2_shape(distinct, 1.0) / 2
+        large_uniform = np.full(2**16, 7.0)
+        large_distinct = np.arange(2**16, dtype=float)
+        assert theorem2_shape(large_uniform, 1.0) < theorem2_shape(large_distinct, 1.0) / 40
+
+    def test_bound_formula(self):
+        sorted_counts = np.array([1.0, 1.0, 1.0, 1.0, 9.0])
+        # runs of length 4 and 1 with c1 = c2 = 1: (log^3 4 + 1) + (0 + 1).
+        expected = (np.log(4.0) ** 3 + 1.0 + 1.0) / 1.0
+        assert theorem2_bound(sorted_counts, 1.0) == pytest.approx(expected)
+
+    def test_bound_scales_with_epsilon(self):
+        counts = np.full(100, 3.0)
+        assert theorem2_bound(counts, 0.1) == pytest.approx(100 * theorem2_bound(counts, 1.0))
+
+    def test_bound_validation(self):
+        with pytest.raises(ExperimentError):
+            theorem2_bound([1.0], 1.0, c1=-1.0)
+
+    def test_empirical_error_obeys_shape_ordering(self):
+        # The measured error of S-bar should be far smaller for data with one
+        # distinct value than for all-distinct data, mirroring the bound.
+        from repro.estimators.sorted import ConstrainedSortedEstimator
+
+        n, epsilon = 256, 0.2
+        uniform = np.full(n, 10.0)
+        distinct = np.arange(n, dtype=float) * 10
+        estimator = ConstrainedSortedEstimator()
+        rng = np.random.default_rng(0)
+        uniform_error = np.mean(
+            [
+                np.sum((estimator.estimate(uniform, epsilon, rng=rng) - np.sort(uniform)) ** 2)
+                for _ in range(15)
+            ]
+        )
+        distinct_error = np.mean(
+            [
+                np.sum((estimator.estimate(distinct, epsilon, rng=rng) - np.sort(distinct)) ** 2)
+                for _ in range(15)
+            ]
+        )
+        assert uniform_error < distinct_error / 5
+
+
+class TestTheorem4:
+    def test_paper_example_value(self):
+        # Height-16 binary tree: (2*(16-1)*(2-1) - 2)/3 = 9.33.
+        assert theorem4_improvement_factor(16, 2) == pytest.approx(28.0 / 3.0)
+
+    def test_grows_with_height(self):
+        assert theorem4_improvement_factor(17, 2) > theorem4_improvement_factor(8, 2)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            theorem4_improvement_factor(1, 2)
+        with pytest.raises(ExperimentError):
+            theorem4_improvement_factor(16, 1)
+        with pytest.raises(ExperimentError):
+            theorem4_improvement_factor(2, 2)  # numerator would be 0
+
+
+class TestBlumComparison:
+    def test_bounds_positive_and_monotone_in_domain(self):
+        small = hierarchical_useful_database_size(2**10, 0.01, 0.05, 1.0)
+        large = hierarchical_useful_database_size(2**20, 0.01, 0.05, 1.0)
+        assert 0 < small < large
+
+    def test_blum_scales_worse_with_alpha(self):
+        # Appendix E: H~ needs a database smaller by a factor of O(1/alpha^2).
+        strict = blum_useful_database_size(2**16, 0.01, 0.05, alpha=0.1)
+        loose = blum_useful_database_size(2**16, 0.01, 0.05, alpha=1.0)
+        assert strict == pytest.approx(loose * 1000.0)
+        h_strict = hierarchical_useful_database_size(2**16, 0.01, 0.05, alpha=0.1)
+        h_loose = hierarchical_useful_database_size(2**16, 0.01, 0.05, alpha=1.0)
+        assert h_strict == pytest.approx(h_loose * 10.0)
+
+    def test_comparison_rows(self):
+        rows = usefulness_comparison([2**8, 2**12], eta=0.01, delta=0.05, alpha=0.5)
+        assert len(rows) == 2
+        assert rows[0].domain_size == 2**8
+        assert rows[0].ratio > 0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            hierarchical_useful_database_size(1, 0.01, 0.05, 1.0)
+        with pytest.raises(ExperimentError):
+            hierarchical_useful_database_size(16, 0.0, 0.05, 1.0)
+        with pytest.raises(ExperimentError):
+            blum_useful_database_size(16, 0.01, 0.05, 1.0, constant=0.0)

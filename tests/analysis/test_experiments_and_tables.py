@@ -1,0 +1,188 @@
+"""Tests for the experiment runners and table/CSV rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    figure3_demo,
+    per_position_error_profile,
+    run_unattributed_comparison,
+    run_universal_comparison,
+)
+from repro.analysis.tables import format_number, render_table, write_csv
+from repro.estimators.hierarchical import (
+    ConstrainedHierarchicalEstimator,
+    HierarchicalLaplaceEstimator,
+)
+from repro.estimators.identity import IdentityLaplaceEstimator
+from repro.estimators.sorted import (
+    ConstrainedSortedEstimator,
+    SortAndRoundEstimator,
+    SortedLaplaceEstimator,
+)
+from repro.exceptions import ExperimentError
+
+
+@pytest.fixture
+def duplicate_heavy_counts() -> np.ndarray:
+    return np.repeat([0.0, 1.0, 2.0, 5.0, 20.0], [40, 30, 20, 8, 2]).astype(float)
+
+
+class TestUnattributedComparison:
+    def test_structure_and_improvement(self, duplicate_heavy_counts):
+        estimators = [SortedLaplaceEstimator(), SortAndRoundEstimator(), ConstrainedSortedEstimator()]
+        comparison = run_unattributed_comparison(
+            duplicate_heavy_counts,
+            estimators,
+            epsilons=[1.0, 0.1],
+            trials=10,
+            rng=0,
+            dataset="demo",
+        )
+        assert comparison.dataset == "demo"
+        assert len(comparison.errors) == 6
+        # Figure 5 headline: constrained inference reduces error.
+        assert comparison.improvement("S~", "S_bar", 0.1) > 2.0
+        rows = comparison.to_rows()
+        assert len(rows) == 6
+        assert {row["estimator"] for row in rows} == {"S~", "S~r", "S_bar"}
+
+    def test_reproducible(self, duplicate_heavy_counts):
+        estimators = [SortedLaplaceEstimator()]
+        a = run_unattributed_comparison(duplicate_heavy_counts, estimators, [1.0], trials=5, rng=9)
+        b = run_unattributed_comparison(duplicate_heavy_counts, estimators, [1.0], trials=5, rng=9)
+        assert a.errors == b.errors
+
+    def test_validation(self, duplicate_heavy_counts):
+        with pytest.raises(ExperimentError):
+            run_unattributed_comparison(duplicate_heavy_counts, [], [1.0])
+        with pytest.raises(ExperimentError):
+            run_unattributed_comparison(
+                duplicate_heavy_counts, [SortedLaplaceEstimator()], [1.0], trials=0
+            )
+
+
+class TestUniversalComparison:
+    def test_structure_and_series(self, sparse_counts):
+        estimators = [
+            IdentityLaplaceEstimator(),
+            HierarchicalLaplaceEstimator(),
+            ConstrainedHierarchicalEstimator(),
+        ]
+        comparison = run_universal_comparison(
+            sparse_counts,
+            estimators,
+            epsilons=[1.0],
+            range_sizes=[2, 8, 32],
+            trials=5,
+            queries_per_size=20,
+            rng=0,
+            dataset="sparse",
+        )
+        assert len(comparison.errors) == 9
+        series = comparison.series("L~", 1.0)
+        assert [size for size, _ in series] == [2, 8, 32]
+        # L~ error grows with the range size.
+        assert series[-1][1] > series[0][1]
+        rows = comparison.to_rows()
+        assert len(rows) == 9
+        assert all("range_size" in row for row in rows)
+
+    def test_crossover_detection(self):
+        comparison = run_universal_comparison(
+            np.zeros(64),
+            [IdentityLaplaceEstimator(), ConstrainedHierarchicalEstimator()],
+            epsilons=[1.0],
+            range_sizes=[2, 4],
+            trials=3,
+            queries_per_size=5,
+            rng=1,
+        )
+        crossover = comparison.crossover_size("L~", "H_bar", 1.0)
+        assert crossover is None or crossover in (2, 4)
+
+    def test_validation(self, sparse_counts):
+        with pytest.raises(ExperimentError):
+            run_universal_comparison(sparse_counts, [], [1.0], [2])
+        with pytest.raises(ExperimentError):
+            run_universal_comparison(
+                sparse_counts, [IdentityLaplaceEstimator()], [1.0], [2], trials=0
+            )
+        with pytest.raises(ExperimentError):
+            run_universal_comparison(
+                sparse_counts,
+                [IdentityLaplaceEstimator()],
+                [1.0],
+                [2],
+                queries_per_size=0,
+            )
+
+
+class TestPerPositionProfile:
+    def test_profile_reflects_structure(self, duplicate_heavy_counts):
+        # Figure 7: error is concentrated where counts are unique and nearly
+        # zero deep inside long uniform runs.
+        profile = per_position_error_profile(
+            duplicate_heavy_counts, ConstrainedSortedEstimator(), epsilon=1.0, trials=60, rng=0
+        )
+        assert profile.size == duplicate_heavy_counts.size
+        middle_of_first_run = 20  # inside the run of 40 zeros
+        unique_position = duplicate_heavy_counts.size - 1  # the largest, rare count
+        assert profile[middle_of_first_run] < profile[unique_position]
+
+    def test_raw_estimator_profile_flat(self, duplicate_heavy_counts):
+        profile = per_position_error_profile(
+            duplicate_heavy_counts, SortedLaplaceEstimator(), epsilon=1.0, trials=80, rng=1
+        )
+        # Raw Laplace noise has the same variance everywhere (2/eps^2 = 2).
+        assert profile.mean() == pytest.approx(2.0, rel=0.4)
+
+
+class TestFigure3Demo:
+    def test_demo_reduces_error(self):
+        demo = figure3_demo(epsilon=1.0, rng=0)
+        assert demo.truth.size == 25
+        assert demo.inferred_error <= demo.noisy_error
+        assert np.all(np.diff(demo.inferred) >= -1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            figure3_demo(uniform_length=0)
+
+
+class TestTables:
+    def test_format_number(self):
+        assert format_number(3) == "3"
+        assert format_number(True) == "True"
+        assert format_number(0.0) == "0"
+        assert format_number(1234.5678) == "1235"
+        assert "e" in format_number(1.23e9)
+        assert format_number("abc") == "abc"
+
+    def test_render_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}]
+        text = render_table(rows, title="demo")
+        assert "demo" in text
+        assert "a" in text.splitlines()[1]
+        assert len(text.splitlines()) == 5
+
+    def test_render_table_missing_column(self):
+        with pytest.raises(ExperimentError):
+            render_table([{"a": 1}], columns=["a", "b"])
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_table([])
+
+    def test_write_csv(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = write_csv(rows, tmp_path / "out" / "table.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert len(content) == 3
+
+    def test_write_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_csv([], tmp_path / "empty.csv")

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.domain import IntegerDomain, IPPrefixDomain
+from repro.db.relation import Column, Relation, Schema
+from repro.queries.hierarchical import TreeLayout
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20100901)
+
+
+@pytest.fixture
+def paper_counts() -> np.ndarray:
+    """The running-example histogram from Figure 2: L(I) = <2, 0, 10, 2>."""
+    return np.array([2.0, 0.0, 10.0, 2.0])
+
+
+@pytest.fixture
+def paper_relation() -> Relation:
+    """The Figure 2 trace relation R(src, dst) whose histogram is <2, 0, 10, 2>."""
+    src_domain = IPPrefixDomain(bits=3, name="src")
+    dst_domain = IntegerDomain(4, name="dst")
+    schema = Schema.of(Column("src", src_domain), Column("dst", dst_domain))
+    records = []
+    # Source 000 sends 2 packets, 001 sends 0, 010 sends 10, 011 sends 2.
+    for source, count in [("000", 2), ("001", 0), ("010", 10), ("011", 2)]:
+        for i in range(count):
+            records.append((source, i % 4))
+    return Relation.from_records(schema, records)
+
+
+@pytest.fixture
+def small_tree() -> TreeLayout:
+    """A binary tree over 8 leaves (15 nodes, height 4)."""
+    return TreeLayout(num_leaves=8, branching=2)
+
+
+@pytest.fixture
+def ternary_tree() -> TreeLayout:
+    """A ternary tree over 9 leaves (13 nodes, height 3)."""
+    return TreeLayout(num_leaves=9, branching=3)
+
+
+@pytest.fixture
+def sparse_counts(rng) -> np.ndarray:
+    """A sparse 64-bucket histogram used by range-query tests."""
+    counts = np.zeros(64)
+    occupied = rng.choice(64, size=8, replace=False)
+    counts[occupied] = rng.integers(1, 30, size=8)
+    return counts

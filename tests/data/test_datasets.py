@@ -1,0 +1,176 @@
+"""Tests for the NetTrace / Social Network / Search Logs stand-ins and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.nettrace import NetTraceGenerator
+from repro.data.registry import DatasetRegistry, default_registry, DatasetEntry
+from repro.data.searchlogs import SearchLogsGenerator
+from repro.data.socialnetwork import SocialNetworkGenerator
+from repro.exceptions import DomainError, ExperimentError
+
+
+class TestNetTrace:
+    def test_shapes(self):
+        generator = NetTraceGenerator(num_active_hosts=500, domain_bits=10)
+        dataset = generator.generate(rng=0)
+        assert dataset.counts.size == 1024
+        assert dataset.active_counts.size == 500
+        assert dataset.num_active_hosts == 500
+
+    def test_active_counts_embedded_in_domain(self):
+        dataset = NetTraceGenerator(num_active_hosts=200, domain_bits=9).generate(rng=1)
+        assert np.count_nonzero(dataset.counts) == 200
+        assert dataset.counts.sum() == dataset.active_counts.sum()
+        assert dataset.total_connections == dataset.counts.sum()
+
+    def test_sorted_counts_is_ascending_multiset_of_active(self):
+        dataset = NetTraceGenerator(num_active_hosts=100, domain_bits=8).generate(rng=2)
+        sorted_counts = dataset.sorted_counts()
+        assert np.all(np.diff(sorted_counts) >= 0)
+        assert sorted(sorted_counts.tolist()) == sorted(dataset.active_counts.tolist())
+
+    def test_heavy_tail(self):
+        dataset = NetTraceGenerator(num_active_hosts=5000, domain_bits=14).generate(rng=3)
+        active = dataset.active_counts
+        assert np.median(active) < active.mean()  # skewed right
+
+    def test_padded_counts(self):
+        dataset = NetTraceGenerator(num_active_hosts=50, domain_bits=6).generate(rng=0)
+        assert dataset.padded_counts(2).size == 64
+
+    def test_reproducible(self):
+        generator = NetTraceGenerator(num_active_hosts=100, domain_bits=8)
+        a = generator.generate(rng=9)
+        b = generator.generate(rng=9)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_more_hosts_than_addresses_rejected(self):
+        with pytest.raises(DomainError):
+            NetTraceGenerator(num_active_hosts=2000, domain_bits=10).generate(rng=0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(DomainError):
+            NetTraceGenerator(num_active_hosts=0)
+        with pytest.raises(DomainError):
+            NetTraceGenerator(domain_bits=0)
+
+    def test_generate_relation_consistent_with_counts(self):
+        generator = NetTraceGenerator(num_active_hosts=50, domain_bits=8, max_degree=20)
+        relation, dataset = generator.generate_relation(rng=0, num_destinations=8)
+        assert relation.size == int(dataset.counts.sum())
+        from repro.db.histogram import unit_counts
+
+        assert np.array_equal(unit_counts(relation, "src"), dataset.counts)
+
+    def test_generate_relation_respects_record_cap(self):
+        generator = NetTraceGenerator(num_active_hosts=200, domain_bits=10)
+        relation, dataset = generator.generate_relation(rng=0, max_records=1000)
+        assert relation.size <= 1200  # cap plus the one-per-active-host floor
+
+
+class TestSocialNetwork:
+    def test_shapes_and_parity(self):
+        dataset = SocialNetworkGenerator(num_nodes=501).generate(rng=0)
+        assert dataset.num_nodes == 501
+        assert int(dataset.degrees.sum()) % 2 == 0  # graphical parity fix
+
+    def test_degree_sequence_sorted(self):
+        dataset = SocialNetworkGenerator(num_nodes=300).generate(rng=1)
+        assert np.all(np.diff(dataset.degree_sequence()) >= 0)
+
+    def test_distinct_degree_count_much_smaller_than_n(self):
+        dataset = SocialNetworkGenerator(num_nodes=5000).generate(rng=2)
+        assert dataset.distinct_degree_count() < dataset.num_nodes / 5
+
+    def test_generate_edges_realised_degrees(self):
+        generator = SocialNetworkGenerator(num_nodes=200, max_degree=30)
+        edges, dataset = generator.generate_edges(rng=0)
+        realised = np.zeros(200)
+        for u, v in edges:
+            assert u != v
+            realised[u] += 1
+            realised[v] += 1
+        assert np.array_equal(realised, dataset.degrees)
+        assert len(set(edges)) == len(edges)  # no multi-edges
+
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(DomainError):
+            SocialNetworkGenerator(num_nodes=0)
+
+
+class TestSearchLogs:
+    def test_shapes(self):
+        dataset = SearchLogsGenerator(num_keywords=100, num_slots=256).generate(rng=0)
+        assert dataset.keyword_counts.size == 100
+        assert dataset.term_series.size == 256
+        assert dataset.num_keywords == 100
+        assert dataset.num_slots == 256
+
+    def test_keywords_in_descending_rank_order(self):
+        dataset = SearchLogsGenerator(num_keywords=200, num_slots=64).generate(rng=1)
+        assert np.all(np.diff(dataset.keyword_counts) <= 0)
+
+    def test_sorted_keyword_counts_ascending(self):
+        dataset = SearchLogsGenerator(num_keywords=50, num_slots=64).generate(rng=2)
+        assert np.all(np.diff(dataset.sorted_keyword_counts()) >= 0)
+
+    def test_series_bursty_near_end(self):
+        dataset = SearchLogsGenerator(num_keywords=10, num_slots=2048).generate(rng=3)
+        series = dataset.term_series
+        early = series[: len(series) // 4].mean()
+        late = series[-len(series) // 8 :].mean()
+        assert late > early
+
+    def test_nonnegative_integer_counts(self):
+        dataset = SearchLogsGenerator(num_keywords=20, num_slots=128).generate(rng=4)
+        assert np.all(dataset.term_series >= 0)
+        assert np.all(dataset.term_series == np.rint(dataset.term_series))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(DomainError):
+            SearchLogsGenerator(num_keywords=0)
+        with pytest.raises(DomainError):
+            SearchLogsGenerator(num_slots=0)
+
+
+class TestRegistry:
+    def test_default_registry_names(self):
+        registry = default_registry()
+        assert registry.names() == ["nettrace", "searchlogs", "socialnetwork"]
+        assert registry.names(scale="small") == ["nettrace", "searchlogs", "socialnetwork"]
+
+    def test_small_scale_entries_generate_quickly(self):
+        registry = default_registry()
+        rng = np.random.default_rng(0)
+        for name in registry.names(scale="small"):
+            entry = registry.get(name, scale="small")
+            counts = entry.unattributed(rng)
+            assert counts.size > 0
+            assert np.all(counts >= 0)
+            if entry.universal is not None:
+                universal = entry.universal(rng)
+                assert universal.size > 0
+
+    def test_socialnetwork_has_no_universal_variant(self):
+        entry = default_registry().get("socialnetwork", scale="small")
+        assert entry.universal is None
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ExperimentError):
+            default_registry().get("census", scale="paper")
+
+    def test_duplicate_registration_rejected(self):
+        registry = DatasetRegistry()
+        entry = DatasetEntry(
+            name="x", scale="s", unattributed=lambda rng: np.ones(3), universal=None,
+            description="test",
+        )
+        registry.register(entry)
+        with pytest.raises(ExperimentError):
+            registry.register(entry)
+
+    def test_entries_listing(self):
+        assert len(default_registry().entries()) == 6

@@ -1,0 +1,114 @@
+"""Tests for graph / degree-sequence utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.graph import (
+    degree_sequence,
+    degrees_from_edges,
+    random_bipartite_edges,
+    sample_powerlaw_degrees,
+)
+from repro.exceptions import DomainError
+
+
+class TestDegreesFromEdges:
+    def test_out_degrees(self):
+        edges = [(0, 1), (0, 2), (2, 0)]
+        assert degrees_from_edges(edges, num_nodes=3).tolist() == [2.0, 0.0, 1.0]
+
+    def test_in_degrees_via_side(self):
+        edges = [(0, 1), (0, 2), (2, 1)]
+        assert degrees_from_edges(edges, num_nodes=3, side=1).tolist() == [0.0, 2.0, 1.0]
+
+    def test_infers_num_nodes(self):
+        assert degrees_from_edges([(4, 0)]).size == 5
+
+    def test_empty_edges(self):
+        assert degrees_from_edges([], num_nodes=3).tolist() == [0.0, 0.0, 0.0]
+        assert degrees_from_edges([]).size == 0
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(DomainError):
+            degrees_from_edges([(0, 1)], side=2)
+
+    def test_rejects_negative_node(self):
+        with pytest.raises(DomainError):
+            degrees_from_edges([(-1, 0)])
+
+    def test_rejects_node_out_of_bounds(self):
+        with pytest.raises(DomainError):
+            degrees_from_edges([(5, 0)], num_nodes=3)
+
+
+class TestDegreeSequence:
+    def test_sorts_ascending(self):
+        assert degree_sequence([3, 1, 2]).tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DomainError):
+            degree_sequence(np.ones((2, 2)))
+
+
+class TestSamplePowerlawDegrees:
+    def test_shape_and_bounds(self):
+        degrees = sample_powerlaw_degrees(1000, min_degree=1, max_degree=50, rng=0)
+        assert degrees.shape == (1000,)
+        assert degrees.min() >= 1
+        assert degrees.max() <= 50
+
+    def test_heavy_tail_shape(self):
+        degrees = sample_powerlaw_degrees(20_000, exponent=2.5, rng=0)
+        # Most nodes have small degree; the mean is well below the max.
+        assert np.median(degrees) <= 3
+        assert degrees.max() > 10 * np.median(degrees)
+
+    def test_reproducible(self):
+        assert np.array_equal(
+            sample_powerlaw_degrees(100, rng=5), sample_powerlaw_degrees(100, rng=5)
+        )
+
+    def test_default_cap_is_num_nodes_minus_one(self):
+        degrees = sample_powerlaw_degrees(50, exponent=1.5, rng=0)
+        assert degrees.max() <= 49
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DomainError):
+            sample_powerlaw_degrees(0)
+        with pytest.raises(DomainError):
+            sample_powerlaw_degrees(10, exponent=1.0)
+        with pytest.raises(DomainError):
+            sample_powerlaw_degrees(10, min_degree=-1)
+        with pytest.raises(DomainError):
+            sample_powerlaw_degrees(10, min_degree=5, max_degree=2)
+
+
+class TestRandomBipartiteEdges:
+    def test_edge_count_matches_degrees(self):
+        out_degrees = [3, 0, 2]
+        edges = random_bipartite_edges(out_degrees, num_destinations=4, rng=0)
+        assert len(edges) == 5
+        realised = degrees_from_edges(edges, num_nodes=3)
+        assert realised.tolist() == [3.0, 0.0, 2.0]
+
+    def test_destinations_in_range(self):
+        edges = random_bipartite_edges([10, 10], num_destinations=3, rng=0)
+        assert all(0 <= dst < 3 for _, dst in edges)
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(DomainError):
+            random_bipartite_edges([-1], num_destinations=2, rng=0)
+
+    def test_rejects_no_destinations(self):
+        with pytest.raises(DomainError):
+            random_bipartite_edges([1], num_destinations=0, rng=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(degrees=st.lists(st.integers(0, 20), min_size=1, max_size=30))
+    def test_realised_degrees_always_match(self, degrees):
+        edges = random_bipartite_edges(degrees, num_destinations=7, rng=0)
+        realised = degrees_from_edges(edges, num_nodes=len(degrees))
+        assert realised.tolist() == [float(d) for d in degrees]

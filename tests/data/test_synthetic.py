@@ -1,0 +1,157 @@
+"""Tests for the generic synthetic count generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticSpec,
+    bimodal_counts,
+    clustered_counts,
+    piecewise_constant_counts,
+    powerlaw_counts,
+    sparse_counts,
+    uniform_counts,
+    zipf_counts,
+)
+from repro.exceptions import DomainError
+
+
+ALL_GENERATORS = [
+    powerlaw_counts,
+    zipf_counts,
+    uniform_counts,
+    sparse_counts,
+    bimodal_counts,
+    piecewise_constant_counts,
+    clustered_counts,
+]
+
+
+@pytest.mark.parametrize("generator", ALL_GENERATORS)
+class TestCommonProperties:
+    def test_shape_and_nonnegativity(self, generator):
+        counts = generator(200, rng=0)
+        assert counts.shape == (200,)
+        assert counts.dtype == np.float64
+        assert np.all(counts >= 0)
+        assert np.all(np.isfinite(counts))
+
+    def test_reproducible_with_seed(self, generator):
+        assert np.array_equal(generator(100, rng=7), generator(100, rng=7))
+
+    def test_different_seeds_differ(self, generator):
+        a, b = generator(500, rng=1), generator(500, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_nonpositive_size(self, generator):
+        with pytest.raises(DomainError):
+            generator(0, rng=0)
+
+
+class TestPowerlaw:
+    def test_max_count_cap(self):
+        counts = powerlaw_counts(1000, max_count=50, rng=0)
+        assert counts.max() <= 50
+
+    def test_heavy_tail_has_duplicates(self):
+        counts = powerlaw_counts(5000, rng=0)
+        # Power-law data has far fewer distinct values than entries.
+        assert np.unique(counts).size < counts.size / 2
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(DomainError):
+            powerlaw_counts(10, exponent=0, rng=0)
+
+
+class TestZipf:
+    def test_total_preserved(self):
+        counts = zipf_counts(100, total=10_000, rng=0)
+        assert counts.sum() == 10_000
+
+    def test_head_dominates_tail(self):
+        counts = zipf_counts(1000, total=100_000, rng=0)
+        assert counts[0] > counts[500:].mean() * 10
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(DomainError):
+            zipf_counts(10, total=-1, rng=0)
+
+
+class TestUniform:
+    def test_bounds_respected(self):
+        counts = uniform_counts(1000, low=5, high=9, rng=0)
+        assert counts.min() >= 5
+        assert counts.max() <= 9
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(DomainError):
+            uniform_counts(10, low=5, high=1, rng=0)
+
+
+class TestSparse:
+    def test_density_roughly_respected(self):
+        counts = sparse_counts(10_000, density=0.05, rng=0)
+        occupancy = np.count_nonzero(counts) / counts.size
+        assert 0.02 < occupancy < 0.09
+
+    def test_density_zero_gives_all_zeros(self):
+        assert sparse_counts(100, density=0.0, rng=0).sum() == 0
+
+    def test_rejects_invalid_density(self):
+        with pytest.raises(DomainError):
+            sparse_counts(10, density=1.5, rng=0)
+
+
+class TestBimodal:
+    def test_two_populations(self):
+        counts = bimodal_counts(5000, low_mean=2, high_mean=500, high_fraction=0.1, rng=0)
+        assert np.count_nonzero(counts > 100) > 100
+        assert np.count_nonzero(counts < 20) > 3000
+
+    def test_rejects_invalid_fraction(self):
+        with pytest.raises(DomainError):
+            bimodal_counts(10, high_fraction=2.0, rng=0)
+
+
+class TestPiecewiseConstant:
+    def test_number_of_distinct_values_bounded(self):
+        counts = piecewise_constant_counts(1000, num_pieces=7, rng=0)
+        assert np.unique(counts).size <= 7
+
+    def test_single_piece_is_constant(self):
+        counts = piecewise_constant_counts(100, num_pieces=1, rng=0)
+        assert np.unique(counts).size == 1
+
+    def test_rejects_bad_piece_count(self):
+        with pytest.raises(DomainError):
+            piecewise_constant_counts(10, num_pieces=0, rng=0)
+        with pytest.raises(DomainError):
+            piecewise_constant_counts(10, num_pieces=11, rng=0)
+
+
+class TestClustered:
+    def test_bursts_exceed_background(self):
+        counts = clustered_counts(5000, num_clusters=5, peak=300, background=0.1, rng=0)
+        assert counts.max() > 50
+        assert np.median(counts) <= 1
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(DomainError):
+            clustered_counts(100, cluster_width=0, rng=0)
+
+
+class TestSyntheticSpec:
+    def test_realize_uses_stored_seed(self):
+        spec = SyntheticSpec("u", uniform_counts, 50, {"low": 0, "high": 5}, seed=3)
+        assert np.array_equal(spec.realize(), spec.realize())
+
+    def test_realize_rng_override(self):
+        spec = SyntheticSpec("u", uniform_counts, 50, {"low": 0, "high": 5}, seed=3)
+        assert not np.array_equal(spec.realize(rng=1), spec.realize(rng=2))
+
+    def test_describe(self):
+        spec = SyntheticSpec("zipf", zipf_counts, 10, {"exponent": 1.5})
+        assert "zipf" in spec.describe()
+        assert "exponent=1.5" in spec.describe()

@@ -1,0 +1,206 @@
+"""Tests for ordered domains."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.domain import (
+    DomainSummary,
+    IntegerDomain,
+    IPPrefixDomain,
+    OrdinalDomain,
+    TimeGridDomain,
+    padded_size,
+)
+from repro.exceptions import DomainError
+
+
+class TestPaddedSize:
+    def test_exact_power_unchanged(self):
+        assert padded_size(8, 2) == 8
+
+    def test_rounds_up_to_next_power(self):
+        assert padded_size(5, 2) == 8
+        assert padded_size(9, 2) == 16
+        assert padded_size(10, 3) == 27
+
+    def test_size_one(self):
+        assert padded_size(1, 2) == 1
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(DomainError):
+            padded_size(0, 2)
+
+    def test_rejects_bad_branching(self):
+        with pytest.raises(DomainError):
+            padded_size(4, 1)
+
+    @given(size=st.integers(1, 10_000), branching=st.integers(2, 8))
+    def test_padded_size_is_power_and_at_least_size(self, size, branching):
+        padded = padded_size(size, branching)
+        assert padded >= size
+        value = padded
+        while value % branching == 0:
+            value //= branching
+        assert value == 1
+
+
+class TestIntegerDomain:
+    def test_size_and_bounds(self):
+        domain = IntegerDomain(10, low=5)
+        assert domain.size == 10
+        assert domain.low == 5
+        assert domain.high == 14
+
+    def test_index_round_trip(self):
+        domain = IntegerDomain(10, low=5)
+        for value in range(5, 15):
+            assert domain.value_of(domain.index_of(value)) == value
+
+    def test_index_of_accepts_numeric_strings(self):
+        domain = IntegerDomain(10)
+        assert domain.index_of("7") == 7
+
+    def test_out_of_range_value_rejected(self):
+        domain = IntegerDomain(4)
+        with pytest.raises(DomainError):
+            domain.index_of(4)
+        with pytest.raises(DomainError):
+            domain.index_of(-1)
+
+    def test_check_interval(self):
+        domain = IntegerDomain(4)
+        assert domain.check_interval(0, 3) == (0, 3)
+        with pytest.raises(DomainError):
+            domain.check_interval(2, 1)
+        with pytest.raises(DomainError):
+            domain.check_interval(0, 4)
+
+    def test_check_index_rejects_non_int(self):
+        domain = IntegerDomain(4)
+        with pytest.raises(DomainError):
+            domain.check_index(True)
+        with pytest.raises(DomainError):
+            domain.check_index("2")
+
+    def test_tree_height(self):
+        assert IntegerDomain(8).tree_height(2) == 4
+        assert IntegerDomain(5).tree_height(2) == 4  # padded to 8
+        assert IntegerDomain(9).tree_height(3) == 3
+
+    def test_equality_and_hash(self):
+        assert IntegerDomain(4, name="A") == IntegerDomain(4, name="A")
+        assert IntegerDomain(4) != IntegerDomain(5)
+        assert hash(IntegerDomain(4)) == hash(IntegerDomain(4))
+
+    def test_values_listing(self):
+        assert IntegerDomain(3, low=7).values() == [7, 8, 9]
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(DomainError):
+            IntegerDomain(0)
+
+
+class TestIPPrefixDomain:
+    def test_size_is_power_of_two(self):
+        assert IPPrefixDomain(3).size == 8
+
+    def test_bitstring_round_trip(self):
+        domain = IPPrefixDomain(3)
+        assert domain.index_of("010") == 2
+        assert domain.value_of(2) == "010"
+
+    def test_integer_values_accepted(self):
+        domain = IPPrefixDomain(3)
+        assert domain.index_of(5) == 5
+
+    def test_wrong_width_rejected(self):
+        domain = IPPrefixDomain(3)
+        with pytest.raises(DomainError):
+            domain.index_of("01")
+
+    def test_non_bitstring_rejected(self):
+        domain = IPPrefixDomain(3)
+        with pytest.raises(DomainError):
+            domain.index_of("0a1")
+
+    def test_prefix_interval_matches_paper_example(self):
+        # Figure 2 / Example 6: prefix 01* covers addresses 010 and 011.
+        domain = IPPrefixDomain(3)
+        assert domain.prefix_interval("01*") == (2, 3)
+        assert domain.prefix_interval("0**") == (0, 3)
+        assert domain.prefix_interval("000") == (0, 0)
+
+    def test_empty_prefix_covers_whole_domain(self):
+        domain = IPPrefixDomain(3)
+        assert domain.prefix_interval("***") == (0, 7)
+
+    def test_prefix_too_long_rejected(self):
+        with pytest.raises(DomainError):
+            IPPrefixDomain(3).prefix_interval("0000")
+
+    def test_invalid_bits(self):
+        with pytest.raises(DomainError):
+            IPPrefixDomain(0)
+        with pytest.raises(DomainError):
+            IPPrefixDomain(40)
+
+
+class TestTimeGridDomain:
+    def test_tuple_round_trip(self):
+        domain = TimeGridDomain(64, slots_per_day=16)
+        assert domain.index_of((2, 5)) == 37
+        assert domain.value_of(37) == (2, 5)
+
+    def test_plain_index_accepted(self):
+        domain = TimeGridDomain(64, slots_per_day=16)
+        assert domain.index_of(10) == 10
+
+    def test_day_interval(self):
+        domain = TimeGridDomain(64, slots_per_day=16)
+        assert domain.day_interval(1) == (16, 31)
+
+    def test_slot_out_of_day_rejected(self):
+        domain = TimeGridDomain(64, slots_per_day=16)
+        with pytest.raises(DomainError):
+            domain.index_of((0, 16))
+
+    def test_day_interval_out_of_domain_rejected(self):
+        domain = TimeGridDomain(32, slots_per_day=16)
+        with pytest.raises(DomainError):
+            domain.day_interval(2)
+
+
+class TestOrdinalDomain:
+    def test_grades_example(self):
+        # The introduction's student-grade example: A < B < C < D < F buckets.
+        domain = OrdinalDomain(["A", "B", "C", "D", "F"], name="grade")
+        assert domain.size == 5
+        assert domain.index_of("C") == 2
+        assert domain.value_of(4) == "F"
+
+    def test_unknown_label_rejected(self):
+        domain = OrdinalDomain(["A", "B"])
+        with pytest.raises(DomainError):
+            domain.index_of("Z")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(DomainError):
+            OrdinalDomain(["A", "A"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            OrdinalDomain([])
+
+    def test_from_values(self):
+        domain = OrdinalDomain.from_values([3, 1, 2, 3, 1])
+        assert domain.values() == [1, 2, 3]
+
+
+class TestDomainSummary:
+    def test_summary_of_integer_domain(self):
+        summary = DomainSummary.of(IntegerDomain(16, name="deg"))
+        assert summary.kind == "IntegerDomain"
+        assert summary.size == 16
+        assert summary.name == "deg"

@@ -1,0 +1,78 @@
+"""Tests for histogram building and padding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.domain import IntegerDomain
+from repro.db.histogram import HistogramBuilder, pad_counts, unit_counts
+from repro.db.relation import Column, Relation, Schema
+from repro.exceptions import DomainError, QueryError
+
+
+class TestPadCounts:
+    def test_no_padding_needed(self):
+        counts = np.array([1.0, 2.0, 3.0, 4.0])
+        padded = pad_counts(counts, 2)
+        assert padded.tolist() == counts.tolist()
+        assert padded is not counts  # always a copy
+
+    def test_pads_with_zeros(self):
+        padded = pad_counts(np.array([1.0, 2.0, 3.0]), 2)
+        assert padded.tolist() == [1.0, 2.0, 3.0, 0.0]
+
+    def test_pads_to_power_of_branching(self):
+        padded = pad_counts(np.ones(5), 3)
+        assert padded.size == 9
+        assert padded.sum() == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(DomainError):
+            pad_counts(np.array([]), 2)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DomainError):
+            pad_counts(np.ones((2, 2)), 2)
+
+
+class TestHistogramBuilder:
+    def test_counts_match_paper_example(self, paper_relation):
+        builder = HistogramBuilder(paper_relation, "src")
+        counts = builder.counts()
+        assert counts[:4].tolist() == [2.0, 0.0, 10.0, 2.0]
+        assert counts.sum() == 14.0
+
+    def test_total_and_range_count(self, paper_relation):
+        builder = HistogramBuilder(paper_relation, "src")
+        assert builder.total() == 14.0
+        assert builder.range_count(2, 3) == 12
+
+    def test_sorted_counts(self, paper_relation):
+        builder = HistogramBuilder(paper_relation, "src")
+        # Unattributed histogram of the full 8-address domain (4 empty buckets).
+        assert builder.sorted_counts().tolist() == [0, 0, 0, 0, 0, 2, 2, 10]
+
+    def test_padded_counts_and_domain(self, paper_relation):
+        builder = HistogramBuilder(paper_relation, "src")
+        padded = builder.padded_counts(branching=2)
+        assert padded.size == 8  # already a power of two
+        assert builder.padded_domain(2).size == 8
+
+    def test_counts_returns_copy(self, paper_relation):
+        builder = HistogramBuilder(paper_relation, "src")
+        counts = builder.counts()
+        counts[0] = 999
+        assert builder.counts()[0] == 2.0
+
+    def test_requires_domain(self):
+        schema = Schema.of(Column("free"), Column("x", IntegerDomain(2)))
+        relation = Relation.from_records(schema, [("a", 0)])
+        with pytest.raises(QueryError):
+            HistogramBuilder(relation, "free")
+
+
+class TestUnitCounts:
+    def test_convenience_wrapper(self, paper_relation):
+        counts = unit_counts(paper_relation, "src")
+        assert counts[:4].tolist() == [2.0, 0.0, 10.0, 2.0]

@@ -1,0 +1,85 @@
+"""Tests for the sorted-column range index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.domain import IntegerDomain
+from repro.db.index import SortedColumnIndex
+from repro.exceptions import QueryError
+
+
+class TestSortedColumnIndex:
+    def test_build_from_relation(self, paper_relation):
+        index = SortedColumnIndex.build(paper_relation, "src")
+        assert index.size == 14
+        assert index.count_unit(2) == 10
+        assert index.count_range(0, 3) == 14
+
+    def test_from_indexes(self):
+        domain = IntegerDomain(6)
+        index = SortedColumnIndex.from_indexes(domain, [5, 0, 0, 3])
+        assert index.count_range(0, 0) == 2
+        assert index.count_range(0, 5) == 4
+        assert index.count_range(1, 2) == 0
+
+    def test_unit_counts_matches_bincount(self):
+        domain = IntegerDomain(5)
+        index = SortedColumnIndex.from_indexes(domain, [0, 0, 2, 4, 4, 4])
+        assert index.unit_counts().tolist() == [2.0, 0.0, 1.0, 0.0, 3.0]
+
+    def test_empty_index(self):
+        domain = IntegerDomain(4)
+        index = SortedColumnIndex.from_indexes(domain, [])
+        assert index.size == 0
+        assert index.count_range(0, 3) == 0
+        assert index.unit_counts().tolist() == [0.0] * 4
+
+    def test_rejects_out_of_domain_indexes(self):
+        domain = IntegerDomain(4)
+        with pytest.raises(QueryError):
+            SortedColumnIndex.from_indexes(domain, [0, 4])
+        with pytest.raises(QueryError):
+            SortedColumnIndex.from_indexes(domain, [-1])
+
+    def test_rejects_bad_shape(self):
+        domain = IntegerDomain(4)
+        with pytest.raises(QueryError):
+            SortedColumnIndex(domain, np.zeros((2, 2), dtype=np.int64))
+
+    def test_rejects_invalid_range(self):
+        domain = IntegerDomain(4)
+        index = SortedColumnIndex.from_indexes(domain, [1, 2])
+        with pytest.raises(Exception):
+            index.count_range(3, 1)
+
+    def test_column_without_domain_rejected(self):
+        from repro.db.relation import Column, Relation, Schema
+
+        schema = Schema.of(Column("free"))
+        relation = Relation.from_records(schema, [("a",)])
+        with pytest.raises(QueryError):
+            SortedColumnIndex.build(relation, "free")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 31), min_size=0, max_size=200),
+        lo=st.integers(0, 31),
+        hi=st.integers(0, 31),
+    )
+    def test_count_range_matches_naive_scan(self, data, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        domain = IntegerDomain(32)
+        index = SortedColumnIndex.from_indexes(domain, data)
+        expected = sum(1 for value in data if lo <= value <= hi)
+        assert index.count_range(lo, hi) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.lists(st.integers(0, 15), min_size=0, max_size=100))
+    def test_unit_counts_sum_to_size(self, data):
+        domain = IntegerDomain(16)
+        index = SortedColumnIndex.from_indexes(domain, data)
+        assert index.unit_counts().sum() == len(data)

@@ -1,0 +1,108 @@
+"""Tests for range counting queries and the SQL-like parser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.domain import IntegerDomain, IPPrefixDomain
+from repro.db.query import RangeCountQuery, parse_count_query
+from repro.exceptions import QueryError
+
+
+class TestRangeCountQuery:
+    def test_length_and_flags(self):
+        domain = IntegerDomain(8)
+        query = RangeCountQuery(domain, 2, 5)
+        assert query.length == 4
+        assert not query.is_unit
+        assert not query.is_total
+        assert RangeCountQuery(domain, 3, 3).is_unit
+        assert RangeCountQuery(domain, 0, 7).is_total
+
+    def test_invalid_interval_rejected(self):
+        domain = IntegerDomain(8)
+        with pytest.raises(QueryError):
+            RangeCountQuery(domain, 5, 2)
+        with pytest.raises(QueryError):
+            RangeCountQuery(domain, 0, 8)
+
+    def test_evaluate_counts(self, paper_counts):
+        domain = IntegerDomain(4)
+        query = RangeCountQuery(domain, 2, 3)
+        assert query.evaluate_counts(paper_counts) == 12.0
+
+    def test_evaluate_counts_checks_length(self, paper_counts):
+        domain = IntegerDomain(8)
+        with pytest.raises(QueryError):
+            RangeCountQuery(domain, 0, 1).evaluate_counts(paper_counts)
+
+    def test_evaluate_relation_matches_paper(self, paper_relation):
+        # Figure 2: packets from prefix 01* is 12, total is 14.
+        domain = paper_relation.schema.column("src").domain
+        lo, hi = domain.prefix_interval("01*")
+        query = RangeCountQuery(domain, lo, hi, attribute="src")
+        assert query.evaluate_relation(paper_relation) == 12
+        total = RangeCountQuery(domain, 0, domain.size - 1, attribute="src")
+        assert total.evaluate_relation(paper_relation) == 14
+
+    def test_coefficients(self):
+        domain = IntegerDomain(5)
+        coeffs = RangeCountQuery(domain, 1, 3).coefficients()
+        assert coeffs.tolist() == [0.0, 1.0, 1.0, 1.0, 0.0]
+
+    def test_coefficient_dot_product_equals_answer(self, paper_counts):
+        domain = IntegerDomain(4)
+        query = RangeCountQuery(domain, 0, 2)
+        assert float(query.coefficients() @ paper_counts) == query.evaluate_counts(
+            paper_counts
+        )
+
+    def test_to_sql_round_trips_through_parser(self):
+        domain = IntegerDomain(16, name="age")
+        query = RangeCountQuery(domain, 3, 9)
+        text = query.to_sql("People")
+        parsed = parse_count_query(text, domain)
+        assert (parsed.lo, parsed.hi) == (3, 9)
+
+    def test_str(self):
+        domain = IntegerDomain(8)
+        assert str(RangeCountQuery(domain, 2, 2)) == "c([2])"
+        assert str(RangeCountQuery(domain, 2, 4)) == "c([2, 4])"
+
+
+class TestParser:
+    def test_parses_paper_syntax(self):
+        domain = IntegerDomain(10, name="A")
+        query = parse_count_query(
+            "Select count(*) From R Where 2 <= R.A <= 7", domain
+        )
+        assert (query.lo, query.hi) == (2, 7)
+        assert query.attribute == "A"
+
+    def test_parses_bitstring_bounds(self):
+        domain = IPPrefixDomain(3, name="src")
+        query = parse_count_query(
+            "Select count(*) From R Where 010 <= R.src <= 011", domain
+        )
+        assert (query.lo, query.hi) == (2, 3)
+
+    def test_case_insensitive(self):
+        domain = IntegerDomain(10)
+        query = parse_count_query("select COUNT(*) from r where 0 <= r.A <= 1", domain)
+        assert (query.lo, query.hi) == (0, 1)
+
+    def test_rejects_malformed_text(self):
+        domain = IntegerDomain(10)
+        with pytest.raises(QueryError):
+            parse_count_query("Select * From R", domain)
+
+    def test_rejects_out_of_order_bounds(self):
+        domain = IntegerDomain(10)
+        with pytest.raises(QueryError):
+            parse_count_query("Select count(*) From R Where 5 <= R.A <= 2", domain)
+
+    def test_rejects_out_of_domain_bounds(self):
+        domain = IntegerDomain(4)
+        with pytest.raises(QueryError):
+            parse_count_query("Select count(*) From R Where 0 <= R.A <= 9", domain)

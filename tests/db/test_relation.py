@@ -1,0 +1,147 @@
+"""Tests for the in-memory relation substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.domain import IntegerDomain, IPPrefixDomain
+from repro.db.relation import Column, Relation, Schema
+from repro.exceptions import SchemaError
+
+
+def make_schema() -> Schema:
+    return Schema.of(
+        Column("src", IPPrefixDomain(bits=2, name="src")),
+        Column("dst", IntegerDomain(4, name="dst")),
+    )
+
+
+class TestSchema:
+    def test_names_in_order(self):
+        assert make_schema().names == ("src", "dst")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(Column("a"), Column("a"))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of()
+
+    def test_column_lookup(self):
+        schema = make_schema()
+        assert schema.column("dst").name == "dst"
+        assert schema.position("dst") == 1
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+        with pytest.raises(SchemaError):
+            schema.position("missing")
+
+    def test_column_validation_uses_domain(self):
+        column = Column("x", IntegerDomain(3))
+        column.validate(2)
+        with pytest.raises(SchemaError):
+            column.validate(3)
+
+    def test_column_without_domain_accepts_anything(self):
+        Column("free").validate(object())
+
+
+class TestRelationConstruction:
+    def test_from_records(self):
+        relation = Relation.from_records(make_schema(), [("00", 1), ("01", 2)])
+        assert relation.size == 2
+        assert relation.records() == [("00", 1), ("01", 2)]
+
+    def test_from_records_validates_field_count(self):
+        with pytest.raises(SchemaError):
+            Relation.from_records(make_schema(), [("00",)])
+
+    def test_from_records_validates_domain(self):
+        with pytest.raises(SchemaError):
+            Relation.from_records(make_schema(), [("00", 9)])
+
+    def test_from_columns(self):
+        relation = Relation.from_columns(make_schema(), src=["00", "11"], dst=[0, 3])
+        assert relation.size == 2
+
+    def test_from_columns_validates_domain(self):
+        with pytest.raises(SchemaError):
+            Relation.from_columns(make_schema(), src=["00"], dst=[7])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(make_schema(), {"src": ["00"], "dst": []})
+
+    def test_missing_and_extra_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(make_schema(), {"src": []})
+        with pytest.raises(SchemaError):
+            Relation(make_schema(), {"src": [], "dst": [], "oops": []})
+
+    def test_empty_relation(self):
+        relation = Relation(make_schema())
+        assert relation.size == 0
+        assert relation.records() == []
+
+
+class TestCounting:
+    def test_count_all_and_predicate(self):
+        relation = Relation.from_records(
+            make_schema(), [("00", 1), ("01", 2), ("01", 3)]
+        )
+        assert relation.count() == 3
+        assert relation.count(lambda record: record[0] == "01") == 2
+
+    def test_count_range_uses_domain_order(self):
+        relation = Relation.from_records(
+            make_schema(), [("00", 0), ("01", 0), ("10", 0), ("11", 0)]
+        )
+        assert relation.count_range("src", "00", "01") == 2
+        assert relation.count_range("src", "00", "11") == 4
+
+    def test_attribute_indexes(self, paper_relation):
+        indexes = paper_relation.attribute_indexes("src")
+        assert isinstance(indexes, np.ndarray)
+        counts = np.bincount(indexes, minlength=8)
+        assert counts[:4].tolist() == [2, 0, 10, 2]
+
+    def test_attribute_indexes_requires_domain(self):
+        schema = Schema.of(Column("free"))
+        relation = Relation.from_records(schema, [("x",), ("y",)])
+        with pytest.raises(SchemaError):
+            relation.attribute_indexes("free")
+
+
+class TestNeighbors:
+    def test_with_record_adds_one(self):
+        relation = Relation.from_records(make_schema(), [("00", 1)])
+        neighbor = relation.with_record(("01", 2))
+        assert neighbor.size == 2
+        assert relation.size == 1  # original untouched
+
+    def test_with_record_validates(self):
+        relation = Relation.from_records(make_schema(), [("00", 1)])
+        with pytest.raises(SchemaError):
+            relation.with_record(("00",))
+        with pytest.raises(SchemaError):
+            relation.with_record(("00", 99))
+
+    def test_without_record_removes_one(self):
+        relation = Relation.from_records(make_schema(), [("00", 1), ("01", 2)])
+        neighbor = relation.without_record(0)
+        assert neighbor.size == 1
+        assert neighbor.records() == [("01", 2)]
+
+    def test_without_record_bounds(self):
+        relation = Relation.from_records(make_schema(), [("00", 1)])
+        with pytest.raises(SchemaError):
+            relation.without_record(5)
+
+    def test_neighbors_enumeration(self):
+        relation = Relation.from_records(make_schema(), [("00", 1), ("01", 2)])
+        neighbors = list(relation.neighbors([("10", 3)]))
+        assert len(neighbors) == 3  # two removals + one addition
+        sizes = sorted(n.size for n in neighbors)
+        assert sizes == [1, 1, 3]

@@ -1,0 +1,267 @@
+"""Tests for the universal-histogram estimators (L̃, H̃, H̄, wavelet)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.base import FittedRangeEstimate
+from repro.estimators.hierarchical import (
+    ConstrainedHierarchicalEstimator,
+    HierarchicalLaplaceEstimator,
+)
+from repro.estimators.identity import IdentityLaplaceEstimator
+from repro.estimators.wavelet import WaveletEstimator
+from repro.exceptions import QueryError
+from repro.queries.workload import RangeWorkload
+
+
+ALL_ESTIMATORS = [
+    IdentityLaplaceEstimator(),
+    HierarchicalLaplaceEstimator(),
+    ConstrainedHierarchicalEstimator(),
+    WaveletEstimator(),
+]
+
+
+class TestFittedRangeEstimate:
+    def test_range_query_by_summation(self):
+        fitted = FittedRangeEstimate("x", 1.0, 4, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert fitted.range_query(1, 2) == 5.0
+        assert fitted.total() == 10.0
+        assert fitted.unit_counts().tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_custom_range_fn_used(self):
+        fitted = FittedRangeEstimate(
+            "x", 1.0, 4, np.zeros(4), range_fn=lambda lo, hi: 42.0
+        )
+        assert fitted.range_query(0, 1) == 42.0
+
+    def test_invalid_range_rejected(self):
+        fitted = FittedRangeEstimate("x", 1.0, 4, np.zeros(4))
+        with pytest.raises(QueryError):
+            fitted.range_query(2, 9)
+        with pytest.raises(QueryError):
+            fitted.range_query(3, 1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            FittedRangeEstimate("x", 1.0, 4, np.zeros(3))
+
+    def test_answer_workload(self):
+        fitted = FittedRangeEstimate("x", 1.0, 4, np.array([1.0, 1.0, 1.0, 1.0]))
+        workload = RangeWorkload.prefixes(4)
+        assert fitted.answer_workload(workload).tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_unit_counts_returns_copy(self):
+        fitted = FittedRangeEstimate("x", 1.0, 2, np.array([1.0, 2.0]))
+        fitted.unit_counts()[0] = 50
+        assert fitted.unit_counts()[0] == 1.0
+
+
+@pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: e.name)
+class TestCommonBehaviour:
+    def test_fit_returns_estimate_over_original_domain(self, estimator, sparse_counts):
+        fitted = estimator.fit(sparse_counts, epsilon=1.0, rng=0)
+        assert fitted.domain_size == sparse_counts.size
+        assert fitted.unit_counts().size == sparse_counts.size
+        assert fitted.epsilon == 1.0
+        assert fitted.name == estimator.name
+
+    def test_non_power_of_two_domain_padded_internally(self, estimator):
+        counts = np.arange(10, dtype=float)
+        fitted = estimator.fit(counts, epsilon=1.0, rng=1)
+        assert fitted.domain_size == 10
+        fitted.range_query(0, 9)  # must not raise
+
+    def test_reproducible_with_seed(self, estimator, sparse_counts):
+        a = estimator.fit(sparse_counts, 0.5, rng=5).unit_counts()
+        b = estimator.fit(sparse_counts, 0.5, rng=5).unit_counts()
+        assert np.array_equal(a, b)
+
+    def test_estimates_close_to_truth_at_high_epsilon(self, estimator, sparse_counts):
+        # With very weak privacy (huge epsilon) every strategy should be
+        # nearly exact; sanity check for systematic bias or indexing bugs.
+        fitted = estimator.fit(sparse_counts, epsilon=500.0, rng=2)
+        assert np.allclose(fitted.unit_counts(), sparse_counts, atol=1.0)
+        assert fitted.range_query(0, 31) == pytest.approx(
+            sparse_counts[:32].sum(), abs=2.0
+        )
+
+
+class TestRoundingBehaviour:
+    def test_identity_rounding_on_by_default(self, sparse_counts):
+        fitted = IdentityLaplaceEstimator().fit(sparse_counts, 1.0, rng=0)
+        counts = fitted.unit_counts()
+        assert np.all(counts >= 0)
+        assert np.all(counts == np.rint(counts))
+
+    def test_identity_rounding_can_be_disabled(self, sparse_counts):
+        fitted = IdentityLaplaceEstimator(round_output=False).fit(sparse_counts, 1.0, rng=0)
+        assert np.any(fitted.unit_counts() < 0) or np.any(
+            fitted.unit_counts() != np.rint(fitted.unit_counts())
+        )
+
+    def test_constrained_hierarchical_rounding_and_zeroing(self, sparse_counts):
+        fitted = ConstrainedHierarchicalEstimator().fit(sparse_counts, 0.5, rng=0)
+        counts = fitted.unit_counts()
+        # Integral estimates; non-negativity comes from the subtree-zeroing
+        # heuristic, so the vast majority (but not necessarily all) of the
+        # leaves of this mostly-empty histogram are exactly zero or positive.
+        assert np.all(counts == np.rint(counts))
+        assert np.mean(counts >= 0) > 0.8
+
+    def test_constrained_hierarchical_unbiased_without_heuristic(self):
+        # With the non-negativity heuristic disabled H-bar is a linear
+        # unbiased estimator (Theorem 4(i)): range sums are not inflated
+        # even when the noise dwarfs the counts.
+        counts = np.full(256, 3.0)
+        totals = [
+            ConstrainedHierarchicalEstimator(nonnegative=False)
+            .fit(counts, 0.2, rng=seed)
+            .total()
+            for seed in range(40)
+        ]
+        assert np.mean(totals) == pytest.approx(counts.sum(), rel=0.15)
+
+    def test_nonnegative_heuristic_biases_dense_low_count_data(self):
+        # The flip side, documented in DESIGN.md: zeroing non-positive
+        # subtrees trades unbiasedness for accuracy on sparse data, so on
+        # dense data whose counts are far below the noise scale it inflates
+        # totals.  This pins down the behaviour so the trade-off stays
+        # intentional.
+        counts = np.full(256, 3.0)
+        totals = [
+            ConstrainedHierarchicalEstimator(nonnegative=True)
+            .fit(counts, 0.2, rng=seed)
+            .total()
+            for seed in range(20)
+        ]
+        assert np.mean(totals) > counts.sum() * 1.5
+
+
+class TestHierarchicalSpecifics:
+    def test_range_fn_uses_subtree_decomposition(self, sparse_counts):
+        # For the H~ estimator the range answer is a sum of node counts, so
+        # for the full domain it equals the (rounded) noisy root count, not
+        # the sum of the leaf counts.
+        estimator = HierarchicalLaplaceEstimator(round_output=False)
+        fitted = estimator.fit(sparse_counts, epsilon=0.5, rng=3)
+        total_via_range = fitted.range_query(0, sparse_counts.size - 1)
+        total_via_leaves = fitted.unit_counts().sum()
+        assert total_via_range != pytest.approx(total_via_leaves)
+
+    def test_branching_factor_respected(self, sparse_counts):
+        estimator = ConstrainedHierarchicalEstimator(branching=4)
+        fitted = estimator.fit(sparse_counts, epsilon=1.0, rng=1)
+        assert fitted.domain_size == sparse_counts.size
+
+    def test_invalid_branching_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalLaplaceEstimator(branching=1)
+
+    def test_constrained_estimator_range_consistency(self, sparse_counts):
+        # H-bar is consistent: a range answer equals the sum of its two
+        # halves exactly.
+        fitted = ConstrainedHierarchicalEstimator().fit(sparse_counts, 0.5, rng=4)
+        whole = fitted.range_query(0, 63)
+        left = fitted.range_query(0, 31)
+        right = fitted.range_query(32, 63)
+        assert whole == pytest.approx(left + right)
+
+    def test_raw_hierarchical_often_inconsistent(self, sparse_counts):
+        fitted = HierarchicalLaplaceEstimator(round_output=False).fit(
+            sparse_counts, 0.2, rng=5
+        )
+        whole = fitted.range_query(0, 63)
+        left = fitted.range_query(0, 31)
+        right = fitted.range_query(32, 63)
+        assert whole != pytest.approx(left + right)
+
+
+class TestAccuracyOrdering:
+    def test_identity_beats_hierarchical_on_unit_ranges_dense_data(self, rng):
+        # Dense data (no sparsity advantage): L~ has lower noise per leaf.
+        counts = rng.integers(50, 100, size=64).astype(float)
+        epsilon = 1.0
+        identity_error = 0.0
+        hierarchical_error = 0.0
+        trials = 30
+        for seed in range(trials):
+            identity = IdentityLaplaceEstimator(round_output=False).fit(counts, epsilon, rng=seed)
+            hierarchical = HierarchicalLaplaceEstimator(round_output=False).fit(
+                counts, epsilon, rng=seed
+            )
+            identity_error += np.sum((identity.unit_counts() - counts) ** 2)
+            hierarchical_error += np.sum((hierarchical.unit_counts() - counts) ** 2)
+        assert identity_error < hierarchical_error
+
+    def test_constrained_beats_raw_hierarchical_on_ranges(self, rng):
+        # Theorem 4(ii): among linear unbiased estimators H-bar has minimum
+        # error for every range query, so the pure estimators (no rounding,
+        # no heuristic) are compared here.
+        counts = rng.integers(0, 20, size=128).astype(float)
+        epsilon = 0.5
+        workload = RangeWorkload.random_ranges(128, length=32, count=60, rng=1)
+        truth = workload.true_answers(counts)
+        raw_error = 0.0
+        constrained_error = 0.0
+        trials = 20
+        for seed in range(trials):
+            raw = HierarchicalLaplaceEstimator(round_output=False).fit(
+                counts, epsilon, rng=seed
+            )
+            constrained = ConstrainedHierarchicalEstimator(
+                nonnegative=False, round_output=False
+            ).fit(counts, epsilon, rng=seed)
+            raw_error += np.mean((raw.answer_workload(workload) - truth) ** 2)
+            constrained_error += np.mean(
+                (constrained.answer_workload(workload) - truth) ** 2
+            )
+        assert constrained_error < raw_error
+
+    def test_hierarchical_beats_identity_on_large_ranges(self, rng):
+        # The Figure 6 crossover: for ranges much longer than ~ell^2 buckets
+        # the hierarchical strategy wins because its error does not grow
+        # with the range length.
+        counts = rng.integers(0, 20, size=1024).astype(float)
+        epsilon = 1.0
+        workload = RangeWorkload.random_ranges(1024, length=512, count=60, rng=2)
+        truth = workload.true_answers(counts)
+        identity_error = 0.0
+        hierarchical_error = 0.0
+        trials = 15
+        for seed in range(trials):
+            identity = IdentityLaplaceEstimator(round_output=False).fit(
+                counts, epsilon, rng=seed
+            )
+            hierarchical = ConstrainedHierarchicalEstimator(
+                nonnegative=False, round_output=False
+            ).fit(counts, epsilon, rng=seed)
+            identity_error += np.mean((identity.answer_workload(workload) - truth) ** 2)
+            hierarchical_error += np.mean(
+                (hierarchical.answer_workload(workload) - truth) ** 2
+            )
+        assert hierarchical_error < identity_error
+
+    def test_wavelet_comparable_to_hierarchical(self, rng):
+        # Li et al.: wavelet error is equivalent to binary H; allow a factor
+        # of three either way over a modest number of trials.
+        counts = rng.integers(0, 20, size=128).astype(float)
+        epsilon = 0.5
+        workload = RangeWorkload.random_ranges(128, length=16, count=50, rng=3)
+        truth = workload.true_answers(counts)
+        wavelet_error = 0.0
+        hierarchical_error = 0.0
+        trials = 25
+        for seed in range(trials):
+            wavelet = WaveletEstimator().fit(counts, epsilon, rng=seed)
+            hierarchical = HierarchicalLaplaceEstimator(round_output=False).fit(
+                counts, epsilon, rng=seed
+            )
+            wavelet_error += np.mean((wavelet.answer_workload(workload) - truth) ** 2)
+            hierarchical_error += np.mean(
+                (hierarchical.answer_workload(workload) - truth) ** 2
+            )
+        assert wavelet_error < 3 * hierarchical_error
+        assert hierarchical_error < 8 * wavelet_error

@@ -1,0 +1,113 @@
+"""Tests for constraint objects and the non-negativity / rounding helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConstraintViolationError
+from repro.inference.constraints import OrderingConstraints, TreeConsistencyConstraints
+from repro.inference.nonnegative import (
+    clip_nonnegative,
+    round_to_nonnegative_integers,
+    sort_and_round,
+)
+from repro.queries.hierarchical import TreeLayout
+
+
+class TestOrderingConstraints:
+    def test_satisfied_by_sorted_vector(self):
+        constraints = OrderingConstraints(3)
+        assert constraints.satisfied_by([1.0, 2.0, 2.0])
+        assert constraints.violation_count([1.0, 2.0, 2.0]) == 0
+        assert constraints.max_violation([1.0, 2.0, 2.0]) == 0.0
+
+    def test_detects_violations(self):
+        constraints = OrderingConstraints(4)
+        values = [3.0, 1.0, 5.0, 4.0]
+        assert not constraints.satisfied_by(values)
+        assert constraints.violation_count(values) == 2
+        assert constraints.max_violation(values) == pytest.approx(2.0)
+
+    def test_require_raises_with_details(self):
+        constraints = OrderingConstraints(2)
+        with pytest.raises(ConstraintViolationError):
+            constraints.require([2.0, 1.0])
+        assert constraints.require([1.0, 2.0]).tolist() == [1.0, 2.0]
+
+    def test_single_element_always_satisfied(self):
+        constraints = OrderingConstraints(1)
+        assert constraints.satisfied_by([4.0])
+        assert constraints.violation_count([4.0]) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConstraintViolationError):
+            OrderingConstraints(3).satisfied_by([1.0, 2.0])
+
+    def test_tolerance_respected(self):
+        constraints = OrderingConstraints(2, tolerance=0.1)
+        assert constraints.satisfied_by([1.0, 0.95])
+
+
+class TestTreeConsistencyConstraints:
+    def test_aggregated_tree_satisfies(self, small_tree, rng):
+        leaves = rng.integers(0, 9, size=8).astype(float)
+        values = small_tree.aggregate(leaves)
+        constraints = TreeConsistencyConstraints(small_tree)
+        assert constraints.satisfied_by(values)
+        assert constraints.violation_count(values) == 0
+        assert constraints.max_violation(values) == pytest.approx(0.0)
+
+    def test_detects_broken_parent(self, small_tree, rng):
+        leaves = rng.integers(0, 9, size=8).astype(float)
+        values = small_tree.aggregate(leaves)
+        values[1] += 4.0  # break one internal node (it is also a child of the root)
+        constraints = TreeConsistencyConstraints(small_tree)
+        assert not constraints.satisfied_by(values)
+        assert constraints.violation_count(values) == 2
+        assert constraints.max_violation(values) == pytest.approx(4.0)
+
+    def test_residuals_order_and_values(self):
+        layout = TreeLayout(num_leaves=4, branching=2)
+        values = np.array([20.0, 2.0, 12.0, 2.0, 0.0, 10.0, 2.0])
+        constraints = TreeConsistencyConstraints(layout)
+        residuals = constraints.residuals(values)
+        assert residuals.tolist() == [6.0, 0.0, 0.0]
+
+    def test_require(self, small_tree, rng):
+        leaves = rng.integers(0, 9, size=8).astype(float)
+        values = small_tree.aggregate(leaves)
+        constraints = TreeConsistencyConstraints(small_tree)
+        assert np.array_equal(constraints.require(values), values)
+        values[0] += 1
+        with pytest.raises(ConstraintViolationError):
+            constraints.require(values)
+
+    def test_single_node_tree_trivially_consistent(self):
+        layout = TreeLayout(num_leaves=1, branching=2)
+        constraints = TreeConsistencyConstraints(layout)
+        assert constraints.satisfied_by([3.0])
+        assert constraints.violation_count([3.0]) == 0
+        assert constraints.max_violation([3.0]) == 0.0
+
+    def test_wrong_length_rejected(self, small_tree):
+        with pytest.raises(ConstraintViolationError):
+            TreeConsistencyConstraints(small_tree).satisfied_by(np.ones(4))
+
+
+class TestRoundingHelpers:
+    def test_round_to_nonnegative_integers(self):
+        values = [-2.4, -0.2, 0.4, 1.5, 7.9]
+        assert round_to_nonnegative_integers(values).tolist() == [0.0, 0.0, 0.0, 2.0, 8.0]
+
+    def test_clip_nonnegative_keeps_fractions(self):
+        assert clip_nonnegative([-1.0, 0.5]).tolist() == [0.0, 0.5]
+
+    def test_sort_and_round(self):
+        values = [3.7, -2.0, 1.2]
+        assert sort_and_round(values).tolist() == [0.0, 1.0, 4.0]
+
+    def test_idempotence(self):
+        values = np.array([0.0, 1.0, 5.0])
+        assert np.array_equal(round_to_nonnegative_integers(values), values)
+        assert np.array_equal(sort_and_round(values), values)

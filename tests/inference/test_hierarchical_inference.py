@@ -1,0 +1,224 @@
+"""Tests for hierarchical constrained inference (Theorem 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InferenceError
+from repro.inference.constraints import TreeConsistencyConstraints
+from repro.inference.hierarchical import HierarchicalInference, hierarchical_inference
+from repro.inference.least_squares import ols_tree_inference
+from repro.queries.hierarchical import HierarchicalQuery, TreeLayout
+
+
+finite_floats = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+def random_noisy_tree(layout: TreeLayout, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(0, 5, size=layout.num_nodes)
+
+
+class TestBasicBehaviour:
+    def test_wrong_length_rejected(self, small_tree):
+        with pytest.raises(InferenceError):
+            HierarchicalInference(small_tree).infer(np.ones(3))
+
+    def test_consistent_input_is_fixed_point(self, small_tree, rng):
+        leaves = rng.integers(0, 20, size=8).astype(float)
+        consistent = small_tree.aggregate(leaves)
+        inferred = HierarchicalInference(small_tree).infer(consistent)
+        assert np.allclose(inferred, consistent)
+
+    def test_single_node_tree(self):
+        layout = TreeLayout(num_leaves=1, branching=2)
+        assert HierarchicalInference(layout).infer([7.0]).tolist() == [7.0]
+
+    def test_output_satisfies_constraints(self, small_tree):
+        noisy = random_noisy_tree(small_tree, 0)
+        inferred = HierarchicalInference(small_tree).infer(noisy)
+        constraints = TreeConsistencyConstraints(small_tree)
+        assert constraints.satisfied_by(inferred)
+
+    def test_functional_front_end(self, small_tree):
+        noisy = random_noisy_tree(small_tree, 1)
+        engine = HierarchicalInference(small_tree)
+        assert np.allclose(hierarchical_inference(noisy, small_tree), engine.infer(noisy))
+        assert np.allclose(
+            hierarchical_inference(noisy, small_tree, nonnegative=True),
+            engine.infer_nonnegative(noisy),
+        )
+
+    def test_infer_leaves_matches_full_inference(self, small_tree):
+        noisy = random_noisy_tree(small_tree, 2)
+        engine = HierarchicalInference(small_tree)
+        assert np.allclose(
+            engine.infer_leaves(noisy), engine.infer(noisy)[small_tree.leaf_offset :]
+        )
+
+    def test_theorem3_root_formula(self, small_tree):
+        # Proof of Theorem 3: h_bar[root] = (k-1)/(k^l - 1) * sum_i k^i *
+        # (sum of noisy counts at height i), where leaves have height 0 and
+        # the root height l-1 — i.e. levels are weighted by inverse variance
+        # of their level-sum estimate of the total.
+        noisy = random_noisy_tree(small_tree, 3)
+        inferred = HierarchicalInference(small_tree).infer(noisy)
+        k, height = 2, small_tree.height
+        expected_root = 0.0
+        for level in range(height):  # level 0 = root in BFS terms
+            node_height = height - 1 - level
+            level_sum = noisy[small_tree.level_slice(level)].sum()
+            expected_root += (k**node_height) * level_sum
+        expected_root *= (k - 1) / (k**height - 1)
+        assert inferred[0] == pytest.approx(expected_root)
+
+
+class TestMatchesLeastSquaresOracle:
+    @pytest.mark.parametrize("domain_size,branching", [(4, 2), (8, 2), (16, 2), (9, 3), (16, 4)])
+    def test_matches_ols_on_random_input(self, domain_size, branching):
+        query = HierarchicalQuery(domain_size, branching=branching)
+        noisy = random_noisy_tree(query.layout, seed=domain_size * 10 + branching)
+        closed_form = HierarchicalInference(query.layout).infer(noisy)
+        oracle = ols_tree_inference(noisy, query)
+        assert np.allclose(closed_form, oracle, atol=1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=7, max_size=7))
+    def test_matches_ols_property(self, values):
+        query = HierarchicalQuery(4, branching=2)
+        noisy = np.array(values)
+        assert np.allclose(
+            HierarchicalInference(query.layout).infer(noisy),
+            ols_tree_inference(noisy, query),
+            atol=1e-7,
+        )
+
+
+class TestOptimality:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_no_consistent_vector_is_closer(self, seed):
+        # Perturbing the inferred leaves and re-aggregating gives another
+        # consistent vector; it can never be closer to the noisy input.
+        layout = TreeLayout(num_leaves=8, branching=2)
+        noisy = random_noisy_tree(layout, seed)
+        inferred = HierarchicalInference(layout).infer(noisy)
+        rng = np.random.default_rng(seed + 1)
+        perturbed_leaves = inferred[layout.leaf_offset :] + rng.normal(
+            0, 0.5, size=layout.num_leaves
+        )
+        candidate = layout.aggregate(perturbed_leaves)
+        assert np.sum((noisy - inferred) ** 2) <= np.sum((noisy - candidate) ** 2) + 1e-7
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_error_against_truth_not_increased(self, seed):
+        # Projection onto the consistent subspace cannot move away from a
+        # consistent truth.
+        layout = TreeLayout(num_leaves=16, branching=2)
+        rng = np.random.default_rng(seed)
+        leaves = rng.integers(0, 30, size=16).astype(float)
+        truth = layout.aggregate(leaves)
+        noisy = truth + rng.laplace(0, 3.0, size=truth.size)
+        inferred = HierarchicalInference(layout).infer(noisy)
+        assert np.sum((inferred - truth) ** 2) <= np.sum((noisy - truth) ** 2) + 1e-9
+
+    def test_unbiasedness(self):
+        # Theorem 4(i): the estimator is unbiased.  Average many noisy
+        # inferences and compare to the truth.
+        layout = TreeLayout(num_leaves=8, branching=2)
+        leaves = np.array([5.0, 0.0, 3.0, 7.0, 2.0, 2.0, 9.0, 1.0])
+        truth = layout.aggregate(leaves)
+        rng = np.random.default_rng(0)
+        total = np.zeros(layout.num_nodes)
+        trials = 4000
+        engine = HierarchicalInference(layout)
+        for _ in range(trials):
+            noisy = truth + rng.laplace(0, 2.0, size=truth.size)
+            total += engine.infer(noisy)
+        assert np.allclose(total / trials, truth, atol=0.35)
+
+    def test_leaf_variance_reduced_versus_raw(self):
+        # The consistent leaf estimate averages information from the whole
+        # tree, so its variance is below the raw noisy-leaf variance.
+        layout = TreeLayout(num_leaves=16, branching=2)
+        truth = layout.aggregate(np.zeros(16))
+        rng = np.random.default_rng(1)
+        scale = 3.0
+        raw = []
+        inferred = []
+        engine = HierarchicalInference(layout)
+        for _ in range(2000):
+            noisy = truth + rng.laplace(0, scale, size=truth.size)
+            raw.append(noisy[layout.leaf_offset])
+            inferred.append(engine.infer(noisy)[layout.leaf_offset])
+        assert np.var(inferred) < np.var(raw)
+
+
+class TestNonnegativeHeuristic:
+    def test_zeroes_nonpositive_subtrees(self, small_tree):
+        values = small_tree.aggregate(np.array([-1.0, -2.0, 0.0, 0.0, 3.0, 4.0, 1.0, 2.0]))
+        cleaned = HierarchicalInference(small_tree).zero_nonpositive_subtrees(values)
+        # The subtree over leaves 0..3 sums to -3 at its root, so the whole
+        # left half is zeroed; the right half is untouched.
+        assert cleaned[small_tree.leaf_offset : small_tree.leaf_offset + 4].tolist() == [0.0] * 4
+        assert cleaned[small_tree.leaf_offset + 4 :].tolist() == [3.0, 4.0, 1.0, 2.0]
+
+    def test_zero_propagates_to_descendants(self, small_tree):
+        values = np.full(small_tree.num_nodes, -1.0)
+        cleaned = HierarchicalInference(small_tree).zero_nonpositive_subtrees(values)
+        assert np.all(cleaned == 0.0)
+
+    def test_positive_values_untouched(self, small_tree, rng):
+        leaves = rng.integers(1, 10, size=8).astype(float)
+        values = small_tree.aggregate(leaves)
+        cleaned = HierarchicalInference(small_tree).zero_nonpositive_subtrees(values)
+        assert np.array_equal(cleaned, values)
+
+    def test_negative_leaf_under_positive_parent_zeroed(self, small_tree):
+        leaves = np.array([5.0, -1.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        values = small_tree.aggregate(leaves)
+        cleaned = HierarchicalInference(small_tree).zero_nonpositive_subtrees(values)
+        leaf_values = cleaned[small_tree.leaf_offset :]
+        assert leaf_values[1] == 0.0
+        assert leaf_values[0] == 5.0
+
+    def test_infer_nonnegative_output_leaves_nonnegative(self, small_tree):
+        noisy = random_noisy_tree(small_tree, 5) - 3.0  # bias negative
+        result = HierarchicalInference(small_tree).infer_nonnegative(noisy)
+        assert np.all(result[small_tree.leaf_offset :] >= 0.0)
+
+    def test_input_not_mutated(self, small_tree):
+        values = np.full(small_tree.num_nodes, -2.0)
+        original = values.copy()
+        HierarchicalInference(small_tree).zero_nonpositive_subtrees(values)
+        assert np.array_equal(values, original)
+
+
+class TestSparseDataBenefit:
+    def test_sparse_regions_identified(self):
+        # Section 5.2: on sparse data H-bar with the non-negativity heuristic
+        # is more accurate than raw noisy leaves, even at unit ranges,
+        # because higher levels of the tree reveal empty regions.
+        layout = TreeLayout(num_leaves=256, branching=2)
+        leaves = np.zeros(256)
+        leaves[5] = 40.0  # a single occupied bucket
+        truth = layout.aggregate(leaves)
+        rng = np.random.default_rng(2)
+        engine = HierarchicalInference(layout)
+        height = layout.height
+        epsilon = 0.2
+        raw_error = 0.0
+        inferred_error = 0.0
+        trials = 60
+        for _ in range(trials):
+            noisy = truth + rng.laplace(0, height / epsilon, size=truth.size)
+            raw_leaves = np.clip(np.rint(noisy[layout.leaf_offset :]), 0, None)
+            inferred_leaves = np.clip(
+                np.rint(engine.infer_nonnegative(noisy)[layout.leaf_offset :]), 0, None
+            )
+            raw_error += np.sum((raw_leaves - leaves) ** 2)
+            inferred_error += np.sum((inferred_leaves - leaves) ** 2)
+        assert inferred_error < raw_error

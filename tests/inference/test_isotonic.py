@@ -1,0 +1,187 @@
+"""Tests for isotonic regression (Theorem 1 / PAVA), including the paper's worked examples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InferenceError
+from repro.inference.isotonic import (
+    isotonic_regression,
+    isotonic_regression_minmax,
+    isotonic_regression_pava,
+)
+from repro.inference.least_squares import isotonic_oracle
+
+
+finite_floats = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+
+
+class TestPaperExamples:
+    """Example 4 of the paper, verified literally."""
+
+    def test_already_sorted_unchanged(self):
+        assert isotonic_regression([9.0, 10.0, 14.0]).tolist() == [9.0, 10.0, 14.0]
+
+    def test_two_out_of_order_elements_averaged(self):
+        assert isotonic_regression([9.0, 14.0, 10.0]).tolist() == [9.0, 12.0, 12.0]
+
+    def test_leading_outlier_pooled(self):
+        result = isotonic_regression([14.0, 9.0, 10.0, 15.0])
+        assert result.tolist() == [11.0, 11.0, 11.0, 15.0]
+        # The paper notes the L2 distance of this solution is 14, better than
+        # the 25 achieved by just lowering the first element.
+        assert np.sum((np.array([14.0, 9.0, 10.0, 15.0]) - result) ** 2) == pytest.approx(14.0)
+
+
+class TestBasicBehaviour:
+    @pytest.mark.parametrize("method", ["pava", "minmax"])
+    def test_single_element(self, method):
+        assert isotonic_regression([5.0], method=method).tolist() == [5.0]
+
+    @pytest.mark.parametrize("method", ["pava", "minmax"])
+    def test_all_equal(self, method):
+        assert isotonic_regression([3.0, 3.0, 3.0], method=method).tolist() == [3.0] * 3
+
+    @pytest.mark.parametrize("method", ["pava", "minmax"])
+    def test_reverse_sorted_collapses_to_mean(self, method):
+        values = [5.0, 4.0, 3.0, 2.0, 1.0]
+        assert isotonic_regression(values, method=method).tolist() == [3.0] * 5
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(InferenceError):
+            isotonic_regression([1.0], method="bogus")
+
+    def test_weights_validation(self):
+        with pytest.raises(InferenceError):
+            isotonic_regression_pava([1.0, 2.0], weights=[1.0])
+        with pytest.raises(InferenceError):
+            isotonic_regression_pava([1.0, 2.0], weights=[1.0, 0.0])
+
+    def test_weighted_fit(self):
+        # A heavy first element dominates the pooled block mean.
+        result = isotonic_regression_pava([10.0, 0.0], weights=[3.0, 1.0])
+        assert result.tolist() == [7.5, 7.5]
+
+    def test_weighted_minmax_matches_weighted_pava(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        weights = [1.0, 2.0, 0.5, 4.0]
+        assert np.allclose(
+            isotonic_regression_pava(values, weights),
+            isotonic_regression_minmax(values, weights),
+        )
+
+    def test_output_not_aliased_to_input(self):
+        values = np.array([1.0, 2.0, 3.0])
+        result = isotonic_regression(values)
+        result[0] = 99
+        assert values[0] == 1.0
+
+
+class TestOptimalityProperties:
+    """Properties that characterise the minimum-L2 sorted solution."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=40))
+    def test_output_is_sorted(self, values):
+        result = isotonic_regression_pava(values)
+        assert np.all(np.diff(result) >= -1e-9)
+
+    @settings(max_examples=120, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=40))
+    def test_pava_matches_minmax_formula(self, values):
+        # Theorem 1's closed form and the linear-time algorithm agree.
+        assert np.allclose(
+            isotonic_regression_pava(values),
+            isotonic_regression_minmax(values),
+            atol=1e-8,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=15))
+    def test_matches_generic_constrained_solver(self, values):
+        values = np.array(values)
+        pava = isotonic_regression_pava(values)
+        oracle = isotonic_oracle(values)
+        # The bounded solver converges to a loose numerical tolerance, so
+        # compare solutions loosely and objectives tightly: PAVA must be at
+        # least as good as anything the generic solver found.
+        assert np.allclose(pava, oracle, atol=5e-2)
+        pava_objective = np.sum((values - pava) ** 2)
+        oracle_objective = np.sum((values - oracle) ** 2)
+        assert pava_objective <= oracle_objective + 1e-6
+
+    @settings(max_examples=80, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=40))
+    def test_idempotent(self, values):
+        once = isotonic_regression_pava(values)
+        twice = isotonic_regression_pava(once)
+        assert np.allclose(once, twice)
+
+    @settings(max_examples=80, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=40))
+    def test_sorted_input_is_fixed_point(self, values):
+        ordered = np.sort(np.array(values))
+        assert np.allclose(isotonic_regression_pava(ordered), ordered)
+
+    @settings(max_examples=80, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=40))
+    def test_preserves_mean(self, values):
+        # Pooling replaces blocks by their means, so the overall mean is kept.
+        result = isotonic_regression_pava(values)
+        assert result.mean() == pytest.approx(np.mean(values), abs=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(finite_floats, min_size=2, max_size=25),
+        shift=st.floats(-50, 50, allow_nan=False),
+    )
+    def test_translation_equivariance(self, values, shift):
+        # Lemma 2 of the paper: the solution commutes with translations.
+        base = isotonic_regression_pava(values)
+        shifted = isotonic_regression_pava(np.array(values) + shift)
+        assert np.allclose(shifted, base + shift, atol=1e-7)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(finite_floats, min_size=2, max_size=25),
+        trial=st.integers(0, 1000),
+    )
+    def test_no_sorted_vector_is_closer(self, values, trial):
+        # Perturbing the solution while keeping it sorted never reduces the
+        # L2 distance to the input (local optimality check).
+        values = np.array(values)
+        solution = isotonic_regression_pava(values)
+        rng = np.random.default_rng(trial)
+        perturbation = rng.normal(0, 0.1, size=values.size)
+        candidate = np.sort(solution + perturbation)
+        base_error = np.sum((values - solution) ** 2)
+        candidate_error = np.sum((values - candidate) ** 2)
+        assert base_error <= candidate_error + 1e-7
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=30))
+    def test_clipped_to_input_range(self, values):
+        # Pool means can never leave the range of the observed values.
+        result = isotonic_regression_pava(values)
+        assert result.min() >= min(values) - 1e-9
+        assert result.max() <= max(values) + 1e-9
+
+
+class TestAccuracyNeverHurts:
+    """Section 3.2: inference cannot increase error relative to the truth."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        truth=st.lists(st.integers(0, 50), min_size=2, max_size=30),
+        seed=st.integers(0, 10_000),
+    )
+    def test_error_not_increased(self, truth, seed):
+        truth = np.sort(np.array(truth, dtype=float))
+        rng = np.random.default_rng(seed)
+        noisy = truth + rng.laplace(0, 2.0, size=truth.size)
+        inferred = isotonic_regression_pava(noisy)
+        noisy_error = np.sum((noisy - truth) ** 2)
+        inferred_error = np.sum((inferred - truth) ** 2)
+        assert inferred_error <= noisy_error + 1e-9

@@ -1,0 +1,110 @@
+"""Integration tests that replay the paper's worked examples end to end.
+
+These tests track the running example of Figure 2 (the network trace with
+source counts <2, 0, 10, 2>) through the relational substrate, the three
+query sequences, and constrained inference, checking every number the
+paper prints along the way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.histogram import HistogramBuilder
+from repro.inference.hierarchical import HierarchicalInference
+from repro.inference.isotonic import isotonic_regression
+from repro.queries.hierarchical import HierarchicalQuery
+from repro.queries.identity import UnitCountQuery
+from repro.queries.sorted import SortedCountQuery
+
+
+class TestFigure2RunningExample:
+    def test_unit_counts_from_relation(self, paper_relation):
+        builder = HistogramBuilder(paper_relation, "src")
+        assert builder.counts()[:4].tolist() == [2.0, 0.0, 10.0, 2.0]
+
+    def test_query_definitions(self, paper_counts):
+        # L(I) = <2, 0, 10, 2>; S(I) = <0, 2, 2, 10>;
+        # H(I) = <14, 2, 12, 2, 0, 10, 2>.
+        assert UnitCountQuery(4).answer(paper_counts).tolist() == [2, 0, 10, 2]
+        assert SortedCountQuery(4).answer(paper_counts).tolist() == [0, 2, 2, 10]
+        assert HierarchicalQuery(4).answer(paper_counts).tolist() == [14, 2, 12, 2, 0, 10, 2]
+
+    def test_figure2_inferred_hierarchical_answer(self, paper_counts):
+        # Figure 2 shows the noisy answer H~(I) = <13, 3, 11, 4, 1, 12, 1>
+        # and its inferred consistent answer H(I)bar = <14, 3, 11, 3, 0, 11, 0>.
+        query = HierarchicalQuery(4)
+        noisy = np.array([13.0, 3.0, 11.0, 4.0, 1.0, 12.0, 1.0])
+        inferred = HierarchicalInference(query.layout).infer(noisy)
+        assert np.allclose(inferred, [14.0, 3.0, 11.0, 3.0, 0.0, 11.0, 0.0])
+        assert query.constraint_violations(inferred, tolerance=1e-9) == 0
+
+    def test_figure2_inferred_sorted_answer(self):
+        # Figure 2: S~(I) = <1, 2, 0, 11> infers to S(I)bar = <1, 1, 1, 11>.
+        noisy = np.array([1.0, 2.0, 0.0, 11.0])
+        assert isotonic_regression(noisy).tolist() == [1.0, 1.0, 1.0, 11.0]
+
+    def test_example1_query_L(self, paper_relation):
+        # Example 1: L = <c([000]), c([001]), c([010]), c([011])> on src.
+        from repro.db.query import parse_count_query
+
+        domain = paper_relation.schema.column("src").domain
+        unit_queries = [
+            parse_count_query(
+                f"Select count(*) From R Where {address} <= R.src <= {address}", domain
+            )
+            for address in ["000", "001", "010", "011"]
+        ]
+        answers = [q.evaluate_relation(paper_relation) for q in unit_queries]
+        assert answers == [2, 0, 10, 2]
+
+
+class TestIntroductionGradesExample:
+    """The introduction's student-grades query set with summation constraints."""
+
+    def test_second_alternative_has_sensitivity_three(self):
+        # (x_t, x_p, x_A, x_B, x_C, x_D, x_F): one student affects x_t, one
+        # grade count, and possibly x_p — three answers change by one each.
+        grades = np.array([30.0, 25.0, 20.0, 10.0, 5.0])  # A, B, C, D, F
+
+        def query_set(counts: np.ndarray) -> np.ndarray:
+            total = counts.sum()
+            passing = counts[:4].sum()
+            return np.concatenate(([total, passing], counts))
+
+        baseline = query_set(grades)
+        worst = 0.0
+        for bucket in range(5):
+            neighbor = grades.copy()
+            neighbor[bucket] += 1
+            worst = max(worst, np.abs(query_set(neighbor) - baseline).sum())
+        assert worst == 3.0
+
+    def test_constraints_restored_by_inference(self):
+        # Resolve the inconsistency with the H machinery on a small tree:
+        # a 1-level hierarchy <total, x_A..x_D> is a k=4 tree of height 2.
+        query = HierarchicalQuery(4, branching=4)
+        noisy = np.array([100.0, 20.0, 30.0, 25.0, 35.0])  # children sum to 110
+        inferred = HierarchicalInference(query.layout).infer(noisy)
+        assert inferred[0] == pytest.approx(inferred[1:].sum())
+        # The adjustment splits the discrepancy between the parent and the
+        # children: the parent moves up, the children move down.
+        assert inferred[0] > 100.0
+        assert inferred[1:].sum() < 110.0
+
+
+class TestExample5AndFigure3:
+    def test_uniform_run_averaging(self, rng):
+        # Example 5 / Figure 3: on a long uniform run the inferred sequence
+        # effectively averages out the noise; at a unique count it follows
+        # the noisy value.
+        truth = np.concatenate((np.full(20, 10.0), [25.0]))
+        query = SortedCountQuery(truth.size)
+        noisy = query.randomize(truth, 1.0, rng=rng).values
+        inferred = isotonic_regression(noisy)
+        uniform_error = np.mean((inferred[:20] - truth[:20]) ** 2)
+        raw_uniform_error = np.mean((noisy[:20] - truth[:20]) ** 2)
+        assert uniform_error < raw_uniform_error
+        # The last (unique, well-separated) count keeps its noisy value.
+        assert inferred[20] == pytest.approx(noisy[20])

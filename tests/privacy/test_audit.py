@@ -1,0 +1,76 @@
+"""Tests for the empirical privacy audit harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.privacy.audit import audit_laplace_mechanism, empirical_epsilon
+from repro.privacy.definitions import PrivacyParameters
+from repro.privacy.laplace import LaplaceMechanism
+
+
+class TestEmpiricalEpsilon:
+    def test_identical_samples_give_zero(self):
+        sample = np.random.default_rng(0).normal(size=5000)
+        assert empirical_epsilon(sample, sample) == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_samples_give_zero(self):
+        sample = np.zeros(100)
+        assert empirical_epsilon(sample, sample) == 0.0
+
+    def test_shifted_laplace_detected(self):
+        rng = np.random.default_rng(1)
+        a = rng.laplace(0.0, 1.0, size=50_000)
+        b = rng.laplace(5.0, 1.0, size=50_000)
+        assert empirical_epsilon(a, b) > 1.0
+
+    def test_rejects_empty_or_bad_bins(self):
+        with pytest.raises(ExperimentError):
+            empirical_epsilon(np.array([]), np.array([1.0]))
+        with pytest.raises(ExperimentError):
+            empirical_epsilon(np.array([1.0]), np.array([1.0]), bins=1)
+
+
+class TestAuditLaplaceMechanism:
+    def _mechanism_answer(self, true_value: float, epsilon: float):
+        mechanism = LaplaceMechanism(1.0, PrivacyParameters(epsilon))
+
+        def answer(rng: np.random.Generator) -> float:
+            return float(mechanism.randomize([true_value], rng=rng)[0])
+
+        return answer
+
+    def test_correctly_calibrated_mechanism_passes(self):
+        epsilon = 0.5
+        result = audit_laplace_mechanism(
+            self._mechanism_answer(10.0, epsilon),
+            self._mechanism_answer(11.0, epsilon),  # neighbouring count differs by 1
+            claimed_epsilon=epsilon,
+            trials=15_000,
+            rng=0,
+        )
+        assert result.within_claim
+        assert result.estimated_epsilon <= epsilon + 0.5
+
+    def test_undercalibrated_mechanism_fails(self):
+        # Noise calibrated for epsilon=3 (scale 1/3) while the claim is
+        # epsilon=0.5: neighbouring outputs differ by a full count, so the
+        # audit observes likelihood ratios of roughly 3 and flags the claim.
+        result = audit_laplace_mechanism(
+            self._mechanism_answer(10.0, 3.0),
+            self._mechanism_answer(11.0, 3.0),
+            claimed_epsilon=0.5,
+            trials=15_000,
+            rng=1,
+        )
+        assert not result.within_claim
+        assert result.estimated_epsilon > 1.0
+
+    def test_parameter_validation(self):
+        answer = self._mechanism_answer(0.0, 1.0)
+        with pytest.raises(ExperimentError):
+            audit_laplace_mechanism(answer, answer, claimed_epsilon=0.0, trials=1000)
+        with pytest.raises(ExperimentError):
+            audit_laplace_mechanism(answer, answer, claimed_epsilon=1.0, trials=10)

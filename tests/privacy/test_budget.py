@@ -1,0 +1,67 @@
+"""Tests for privacy-budget accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.definitions import PrivacyParameters
+
+
+class TestPrivacyBudget:
+    def test_initial_state(self):
+        budget = PrivacyBudget(PrivacyParameters(1.0))
+        assert budget.spent_epsilon == 0.0
+        assert budget.remaining_epsilon == 1.0
+        assert budget.history == []
+
+    def test_spend_accumulates(self):
+        budget = PrivacyBudget(PrivacyParameters(1.0))
+        budget.spend(0.4, label="first")
+        budget.spend(0.5, label="second")
+        assert budget.spent_epsilon == pytest.approx(0.9)
+        assert budget.remaining_epsilon == pytest.approx(0.1)
+        assert [s.label for s in budget.history] == ["first", "second"]
+
+    def test_spend_returns_parameters(self):
+        budget = PrivacyBudget(PrivacyParameters(1.0, delta=0.01))
+        params = budget.spend(0.3)
+        assert params.epsilon == 0.3
+        assert params.delta == 0.01
+
+    def test_overspending_rejected_and_not_recorded(self):
+        budget = PrivacyBudget(PrivacyParameters(1.0))
+        budget.spend(0.9)
+        with pytest.raises(PrivacyBudgetError):
+            budget.spend(0.2)
+        assert budget.spent_epsilon == pytest.approx(0.9)
+
+    def test_can_spend(self):
+        budget = PrivacyBudget(PrivacyParameters(1.0))
+        assert budget.can_spend(1.0)
+        assert not budget.can_spend(1.1)
+        with pytest.raises(PrivacyBudgetError):
+            budget.can_spend(0.0)
+
+    def test_exact_exhaustion_allowed(self):
+        budget = PrivacyBudget(PrivacyParameters(1.0))
+        budget.spend(0.5)
+        budget.spend(0.5)
+        assert budget.remaining_epsilon == pytest.approx(0.0)
+
+    def test_spend_fraction(self):
+        budget = PrivacyBudget(PrivacyParameters(2.0))
+        params = budget.spend_fraction(0.25, label="quarter")
+        assert params.epsilon == pytest.approx(0.5)
+        with pytest.raises(PrivacyBudgetError):
+            budget.spend_fraction(0.0)
+        with pytest.raises(PrivacyBudgetError):
+            budget.spend_fraction(1.5)
+
+    def test_summary_mentions_labels(self):
+        budget = PrivacyBudget(PrivacyParameters(1.0))
+        budget.spend(0.25, label="degree sequence")
+        text = budget.summary()
+        assert "degree sequence" in text
+        assert "remaining" in text

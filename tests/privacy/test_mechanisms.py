@@ -1,0 +1,157 @@
+"""Tests for the Laplace and geometric mechanisms and the parameter objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import PrivacyBudgetError, SensitivityError
+from repro.privacy.definitions import PrivacyParameters, neighboring_relations
+from repro.privacy.geometric import GeometricMechanism, two_sided_geometric_noise
+from repro.privacy.laplace import LaplaceMechanism, laplace_error_per_query, laplace_noise
+
+
+class TestPrivacyParameters:
+    def test_valid_parameters(self):
+        params = PrivacyParameters(0.5)
+        assert params.epsilon == 0.5
+        assert params.delta == 0.0
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyParameters(0.0)
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyParameters(-1.0)
+
+    def test_rejects_invalid_delta(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyParameters(1.0, delta=1.0)
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyParameters(1.0, delta=-0.1)
+
+    def test_split_sums_to_at_most_whole(self):
+        parts = PrivacyParameters(1.0).split([0.5, 0.25, 0.25])
+        assert [p.epsilon for p in parts] == [0.5, 0.25, 0.25]
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyParameters(1.0).split([0.7, 0.7])
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyParameters(1.0).split([])
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyParameters(1.0).split([0.5, -0.1])
+
+    def test_scaled(self):
+        assert PrivacyParameters(1.0).scaled(0.1).epsilon == pytest.approx(0.1)
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyParameters(1.0).scaled(0)
+
+    def test_str(self):
+        assert str(PrivacyParameters(0.5)) == "ε=0.5"
+        assert "δ" in str(PrivacyParameters(0.5, 0.01))
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_is_exact(self):
+        assert laplace_noise(0.0, 5).tolist() == [0.0] * 5
+
+    def test_shape(self):
+        assert laplace_noise(1.0, 7, rng=0).shape == (7,)
+
+    def test_rejects_negative_scale_or_size(self):
+        with pytest.raises(SensitivityError):
+            laplace_noise(-1.0, 5)
+        with pytest.raises(SensitivityError):
+            laplace_noise(1.0, -5)
+
+    def test_empirical_variance_matches_theory(self):
+        noise = laplace_noise(2.0, 200_000, rng=0)
+        assert noise.var() == pytest.approx(2 * 2.0**2, rel=0.05)
+        assert abs(noise.mean()) < 0.05
+
+    def test_error_per_query_formula(self):
+        assert laplace_error_per_query(1.0, 1.0) == pytest.approx(2.0)
+        assert laplace_error_per_query(3.0, 0.5) == pytest.approx(2 * 36.0)
+        with pytest.raises(SensitivityError):
+            laplace_error_per_query(1.0, 0.0)
+        with pytest.raises(SensitivityError):
+            laplace_error_per_query(-1.0, 1.0)
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        mechanism = LaplaceMechanism(3.0, PrivacyParameters(0.5))
+        assert mechanism.scale == pytest.approx(6.0)
+        assert mechanism.per_query_variance == pytest.approx(72.0)
+        assert mechanism.log_density_ratio_bound() == 0.5
+
+    def test_randomize_preserves_shape_and_is_noisy(self):
+        mechanism = LaplaceMechanism(1.0, PrivacyParameters(1.0))
+        truth = np.arange(10, dtype=float)
+        noisy = mechanism.randomize(truth, rng=0)
+        assert noisy.shape == truth.shape
+        assert not np.array_equal(noisy, truth)
+
+    def test_randomize_unbiased(self):
+        mechanism = LaplaceMechanism(1.0, PrivacyParameters(1.0))
+        rng = np.random.default_rng(0)
+        samples = np.array([mechanism.randomize([5.0], rng=rng)[0] for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(5.0, abs=0.05)
+
+    def test_rejects_nonpositive_sensitivity(self):
+        with pytest.raises(SensitivityError):
+            LaplaceMechanism(0.0, PrivacyParameters(1.0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        sensitivity=st.floats(0.1, 10),
+        epsilon=st.floats(0.01, 5),
+    )
+    def test_variance_formula_consistent(self, sensitivity, epsilon):
+        mechanism = LaplaceMechanism(sensitivity, PrivacyParameters(epsilon))
+        assert mechanism.per_query_variance == pytest.approx(
+            laplace_error_per_query(sensitivity, epsilon)
+        )
+
+
+class TestGeometricMechanism:
+    def test_noise_is_integer_valued(self):
+        noise = two_sided_geometric_noise(0.5, 1000, rng=0)
+        assert np.all(noise == np.rint(noise))
+
+    def test_zero_alpha_is_exact(self):
+        assert two_sided_geometric_noise(0.0, 10).tolist() == [0.0] * 10
+
+    def test_rejects_invalid_alpha(self):
+        with pytest.raises(SensitivityError):
+            two_sided_geometric_noise(1.0, 10)
+        with pytest.raises(SensitivityError):
+            two_sided_geometric_noise(-0.1, 10)
+
+    def test_variance_matches_formula(self):
+        mechanism = GeometricMechanism(1.0, PrivacyParameters(1.0))
+        noise = two_sided_geometric_noise(mechanism.alpha, 300_000, rng=0)
+        assert noise.var() == pytest.approx(mechanism.per_query_variance, rel=0.05)
+
+    def test_variance_below_laplace(self):
+        params = PrivacyParameters(1.0)
+        geometric = GeometricMechanism(1.0, params)
+        laplace = LaplaceMechanism(1.0, params)
+        assert geometric.per_query_variance < laplace.per_query_variance
+
+    def test_randomize_returns_integer_offsets(self):
+        mechanism = GeometricMechanism(1.0, PrivacyParameters(0.5))
+        truth = np.array([3.0, 7.0, 11.0])
+        noisy = mechanism.randomize(truth, rng=1)
+        assert np.all((noisy - truth) == np.rint(noisy - truth))
+
+    def test_rejects_nonpositive_sensitivity(self):
+        with pytest.raises(SensitivityError):
+            GeometricMechanism(0.0, PrivacyParameters(1.0))
+
+
+class TestNeighboringRelations:
+    def test_yields_removals_and_additions(self, paper_relation):
+        neighbors = list(neighboring_relations(paper_relation, [("000", 0)]))
+        assert len(neighbors) == paper_relation.size + 1
+        sizes = {n.size for n in neighbors}
+        assert sizes == {paper_relation.size - 1, paper_relation.size + 1}

@@ -1,0 +1,226 @@
+"""Tests for the tree layout and the hierarchical query H."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import QueryError
+from repro.queries.hierarchical import HierarchicalQuery, TreeLayout
+
+
+class TestTreeLayoutShape:
+    def test_binary_tree_over_8_leaves(self, small_tree):
+        assert small_tree.height == 4
+        assert small_tree.num_nodes == 15
+        assert small_tree.num_internal == 7
+        assert small_tree.level_sizes() == [1, 2, 4, 8]
+        assert small_tree.leaf_offset == 7
+
+    def test_ternary_tree_over_9_leaves(self, ternary_tree):
+        assert ternary_tree.height == 3
+        assert ternary_tree.num_nodes == 13
+        assert ternary_tree.num_internal == 4
+        assert ternary_tree.level_sizes() == [1, 3, 9]
+
+    def test_single_leaf_tree(self):
+        layout = TreeLayout(num_leaves=1, branching=2)
+        assert layout.height == 1
+        assert layout.num_nodes == 1
+        assert layout.num_internal == 0
+        assert layout.is_leaf(0)
+        assert layout.is_root(0)
+
+    def test_paper_example_tree(self):
+        # Figure 4: binary tree over the 4 source addresses, height 3, 7 nodes.
+        layout = TreeLayout(num_leaves=4, branching=2)
+        assert layout.height == 3
+        assert layout.num_nodes == 7
+
+    def test_rejects_non_power_domain(self):
+        with pytest.raises(QueryError):
+            TreeLayout(num_leaves=6, branching=2)
+
+    def test_rejects_bad_branching(self):
+        with pytest.raises(QueryError):
+            TreeLayout(num_leaves=4, branching=1)
+
+    def test_rejects_nonpositive_leaves(self):
+        with pytest.raises(QueryError):
+            TreeLayout(num_leaves=0, branching=2)
+
+
+class TestTreeNavigation:
+    def test_level_offsets(self, small_tree):
+        assert [small_tree.level_offset(level) for level in range(4)] == [0, 1, 3, 7]
+
+    def test_level_of(self, small_tree):
+        assert small_tree.level_of(0) == 0
+        assert small_tree.level_of(2) == 1
+        assert small_tree.level_of(6) == 2
+        assert small_tree.level_of(14) == 3
+
+    def test_parent_child_round_trip(self, small_tree):
+        for node in range(1, small_tree.num_nodes):
+            parent = small_tree.parent(node)
+            assert node in small_tree.children(parent)
+
+    def test_root_has_no_parent(self, small_tree):
+        with pytest.raises(QueryError):
+            small_tree.parent(0)
+
+    def test_leaves_have_no_children(self, small_tree):
+        for node in range(small_tree.leaf_offset, small_tree.num_nodes):
+            assert small_tree.children(node) == []
+            assert small_tree.is_leaf(node)
+
+    def test_children_count_matches_branching(self, ternary_tree):
+        for node in range(ternary_tree.num_internal):
+            assert len(ternary_tree.children(node)) == 3
+
+    def test_node_intervals_cover_domain_per_level(self, small_tree):
+        for level in range(small_tree.height):
+            slices = small_tree.level_slice(level)
+            covered = []
+            for node in range(slices.start, slices.stop):
+                lo, hi = small_tree.node_interval(node)
+                covered.extend(range(lo, hi + 1))
+            assert covered == list(range(small_tree.num_leaves))
+
+    def test_leaf_node_lookup(self, small_tree):
+        for leaf in range(8):
+            node = small_tree.leaf_node(leaf)
+            assert small_tree.node_interval(node) == (leaf, leaf)
+        with pytest.raises(QueryError):
+            small_tree.leaf_node(8)
+
+    def test_path_to_root_length_is_height(self, small_tree):
+        assert len(small_tree.path_to_root(small_tree.leaf_node(5))) == small_tree.height
+        assert small_tree.path_to_root(0) == [0]
+
+    def test_check_node_bounds(self, small_tree):
+        with pytest.raises(QueryError):
+            small_tree.check_node(15)
+        with pytest.raises(QueryError):
+            small_tree.check_node(-1)
+
+    def test_node_label(self, small_tree):
+        assert small_tree.node_label(0) == "[0,7]"
+        assert small_tree.node_label(7) == "[0]"
+
+
+class TestAggregationAndDecomposition:
+    def test_aggregate_matches_paper_example(self):
+        # Example 6: H(I) = <14, 2, 12, 2, 0, 10, 2> for counts <2, 0, 10, 2>.
+        layout = TreeLayout(num_leaves=4, branching=2)
+        values = layout.aggregate(np.array([2.0, 0.0, 10.0, 2.0]))
+        assert values.tolist() == [14.0, 2.0, 12.0, 2.0, 0.0, 10.0, 2.0]
+
+    def test_aggregate_wrong_shape_rejected(self, small_tree):
+        with pytest.raises(QueryError):
+            small_tree.aggregate(np.ones(4))
+
+    def test_decompose_full_domain_is_root(self, small_tree):
+        assert small_tree.decompose_range(0, 7) == [0]
+
+    def test_decompose_single_leaf(self, small_tree):
+        assert small_tree.decompose_range(3, 3) == [small_tree.leaf_node(3)]
+
+    def test_decompose_is_minimal_and_disjoint(self, small_tree):
+        nodes = small_tree.decompose_range(1, 6)
+        intervals = [small_tree.node_interval(node) for node in nodes]
+        covered = sorted(sum([list(range(lo, hi + 1)) for lo, hi in intervals], []))
+        assert covered == list(range(1, 7))
+        # At most 2(k-1) nodes per level below the root (Section 4.2).
+        assert len(nodes) <= 2 * (small_tree.branching - 1) * (small_tree.height - 1)
+
+    def test_decompose_invalid_range(self, small_tree):
+        with pytest.raises(QueryError):
+            small_tree.decompose_range(5, 3)
+        with pytest.raises(QueryError):
+            small_tree.decompose_range(0, 8)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lo=st.integers(0, 15),
+        hi=st.integers(0, 15),
+        branching=st.sampled_from([2, 4]),
+    )
+    def test_decomposition_sums_to_range_count(self, lo, hi, branching):
+        if lo > hi:
+            lo, hi = hi, lo
+        layout = TreeLayout(num_leaves=16, branching=branching)
+        counts = np.arange(16, dtype=float)
+        values = layout.aggregate(counts)
+        nodes = layout.decompose_range(lo, hi)
+        assert values[nodes].sum() == pytest.approx(counts[lo : hi + 1].sum())
+        # Intervals are disjoint and in order.
+        intervals = [layout.node_interval(node) for node in nodes]
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(intervals, intervals[1:]):
+            assert a_hi < b_lo
+
+
+class TestHierarchicalQuery:
+    def test_sensitivity_is_height(self):
+        assert HierarchicalQuery(8, branching=2).sensitivity == 4.0
+        assert HierarchicalQuery(4, branching=2).sensitivity == 3.0
+        assert HierarchicalQuery(9, branching=3).sensitivity == 3.0
+
+    def test_output_size(self):
+        assert HierarchicalQuery(8).output_size == 15
+        assert HierarchicalQuery(9, branching=3).output_size == 13
+
+    def test_answer_matches_layout_aggregate(self, paper_counts):
+        query = HierarchicalQuery(4)
+        assert query.answer(paper_counts).tolist() == [14, 2, 12, 2, 0, 10, 2]
+
+    def test_entry_names(self):
+        names = HierarchicalQuery(4).entry_names()
+        assert names[0] == "c([0,3])"
+        assert names[-1] == "c([3])"
+
+    def test_empirical_sensitivity_change_is_height(self, paper_counts):
+        # Adding one record changes exactly ell counts by one (Proposition 4).
+        query = HierarchicalQuery(4)
+        neighbor = paper_counts.copy()
+        neighbor[2] += 1
+        diff = np.abs(query.answer(neighbor) - query.answer(paper_counts))
+        assert diff.sum() == query.sensitivity
+        assert set(diff.tolist()) == {0.0, 1.0}
+
+    def test_range_from_answer(self, paper_counts):
+        query = HierarchicalQuery(4)
+        answer = query.answer(paper_counts)
+        assert query.range_from_answer(answer, 0, 3) == 14.0
+        assert query.range_from_answer(answer, 2, 3) == 12.0
+        assert query.range_from_answer(answer, 1, 2) == 10.0
+
+    def test_range_from_answer_validates_length(self, paper_counts):
+        query = HierarchicalQuery(4)
+        with pytest.raises(QueryError):
+            query.range_from_answer(np.ones(3), 0, 1)
+
+    def test_constraint_violations_on_true_answer_is_zero(self, paper_counts):
+        query = HierarchicalQuery(4)
+        assert query.constraint_violations(query.answer(paper_counts)) == 0
+
+    def test_constraint_violations_detects_inconsistency(self, paper_counts):
+        query = HierarchicalQuery(4)
+        answer = query.answer(paper_counts)
+        answer[0] += 5
+        assert query.constraint_violations(answer) == 1
+
+    def test_noisy_answer_usually_inconsistent(self, paper_counts, rng):
+        query = HierarchicalQuery(4)
+        noisy = query.randomize(paper_counts, 0.5, rng=rng).values
+        assert query.constraint_violations(noisy, tolerance=1e-6) > 0
+
+    def test_rejects_non_power_domain(self):
+        with pytest.raises(QueryError):
+            HierarchicalQuery(6, branching=2)
+
+    def test_higher_branching_reduces_sensitivity(self):
+        binary = HierarchicalQuery(16, branching=2)
+        quaternary = HierarchicalQuery(16, branching=4)
+        assert quaternary.sensitivity < binary.sensitivity

@@ -1,0 +1,126 @@
+"""Tests for sensitivity tooling and the strategy-matrix view."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError, SensitivityError
+from repro.queries.hierarchical import HierarchicalQuery
+from repro.queries.identity import UnitCountQuery
+from repro.queries.matrix import (
+    expected_workload_error,
+    strategy_matrix,
+    workload_matrix,
+)
+from repro.queries.sensitivity import analytic_sensitivity, empirical_sensitivity
+from repro.queries.sorted import SortedCountQuery
+from repro.queries.workload import RangeQuerySpec, RangeWorkload
+
+
+class TestAnalyticSensitivity:
+    def test_known_values(self):
+        assert analytic_sensitivity(UnitCountQuery(10)) == 1.0
+        assert analytic_sensitivity(SortedCountQuery(10)) == 1.0
+        assert analytic_sensitivity(HierarchicalQuery(8)) == 4.0
+
+
+class TestEmpiricalSensitivity:
+    def test_identity_matches_analytic(self, paper_counts):
+        observed = empirical_sensitivity(UnitCountQuery(4), paper_counts)
+        assert observed == 1.0
+
+    def test_sorted_matches_analytic(self, paper_counts):
+        observed = empirical_sensitivity(SortedCountQuery(4), paper_counts)
+        assert observed == 1.0
+
+    def test_hierarchical_is_tight(self, paper_counts):
+        query = HierarchicalQuery(4)
+        observed = empirical_sensitivity(query, paper_counts)
+        assert observed == query.sensitivity
+
+    def test_never_exceeds_analytic(self, rng):
+        counts = rng.integers(0, 50, size=16).astype(float)
+        for query in [UnitCountQuery(16), SortedCountQuery(16), HierarchicalQuery(16)]:
+            assert empirical_sensitivity(query, counts) <= analytic_sensitivity(query) + 1e-9
+
+    def test_bucket_subset(self, paper_counts):
+        observed = empirical_sensitivity(
+            UnitCountQuery(4), paper_counts, buckets=np.array([0, 1])
+        )
+        assert observed == 1.0
+
+    def test_validation(self, paper_counts):
+        with pytest.raises(SensitivityError):
+            empirical_sensitivity(UnitCountQuery(5), paper_counts)
+        with pytest.raises(SensitivityError):
+            empirical_sensitivity(
+                UnitCountQuery(4), paper_counts, buckets=np.array([9])
+            )
+
+
+class TestStrategyMatrix:
+    def test_identity_matrix(self):
+        assert np.array_equal(strategy_matrix(UnitCountQuery(3)), np.eye(3))
+
+    def test_hierarchical_matrix_rows_are_intervals(self, paper_counts):
+        query = HierarchicalQuery(4)
+        matrix = strategy_matrix(query)
+        assert matrix.shape == (7, 4)
+        assert np.array_equal(matrix @ paper_counts, query.answer(paper_counts))
+        assert matrix[0].tolist() == [1, 1, 1, 1]
+        assert matrix[-1].tolist() == [0, 0, 0, 1]
+
+    def test_sorted_query_rejected(self):
+        with pytest.raises(QueryError):
+            strategy_matrix(SortedCountQuery(4))
+
+    def test_size_guard(self):
+        with pytest.raises(QueryError):
+            strategy_matrix(HierarchicalQuery(2**12))
+
+
+class TestWorkloadMatrix:
+    def test_rows_match_ranges(self, paper_counts):
+        workload = RangeWorkload.prefixes(4)
+        matrix = workload_matrix(workload)
+        assert matrix.shape == (4, 4)
+        assert np.array_equal(matrix @ paper_counts, workload.true_answers(paper_counts))
+
+
+class TestExpectedWorkloadError:
+    def test_identity_strategy_unit_workload(self):
+        # For the identity strategy and unit workloads the matrix-mechanism
+        # error reduces to n * 2 / eps^2, i.e. error(L~).
+        n = 8
+        strategy = strategy_matrix(UnitCountQuery(n))
+        workload = workload_matrix(RangeWorkload.unit_queries(n))
+        error = expected_workload_error(strategy, workload, sensitivity=1.0, epsilon=1.0)
+        assert error == pytest.approx(2.0 * n)
+
+    def test_hierarchical_beats_identity_on_large_ranges(self):
+        # The motivation for H: for large ranges the hierarchy's higher
+        # sensitivity is more than compensated by shorter decompositions.
+        # The total-count query is the extreme case: L~ sums n noisy counts
+        # (error 2n/eps^2) while H answers it from a handful of high-level
+        # nodes.
+        n = 256
+        epsilon = 1.0
+        identity = strategy_matrix(UnitCountQuery(n))
+        hierarchy = strategy_matrix(HierarchicalQuery(n))
+        total_query = workload_matrix(RangeWorkload(n, [RangeQuerySpec(0, n - 1)]))
+        identity_error = expected_workload_error(identity, total_query, 1.0, epsilon)
+        height = HierarchicalQuery(n).height
+        hierarchy_error = expected_workload_error(hierarchy, total_query, height, epsilon)
+        assert identity_error == pytest.approx(2.0 * n)
+        assert hierarchy_error < identity_error
+
+    def test_validation(self):
+        strategy = strategy_matrix(UnitCountQuery(4))
+        workload = workload_matrix(RangeWorkload.unit_queries(4))
+        with pytest.raises(QueryError):
+            expected_workload_error(strategy, workload, 1.0, 0.0)
+        with pytest.raises(QueryError):
+            expected_workload_error(strategy, workload, 0.0, 1.0)
+        with pytest.raises(QueryError):
+            expected_workload_error(np.zeros((4, 4)), workload, 1.0, 1.0)

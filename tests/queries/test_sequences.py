@@ -1,0 +1,136 @@
+"""Tests for the L, S query sequences and the shared QuerySequence protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import QueryError
+from repro.privacy.definitions import PrivacyParameters
+from repro.queries.identity import UnitCountQuery
+from repro.queries.sorted import SortedCountQuery
+
+
+class TestUnitCountQuery:
+    def test_answer_is_identity(self, paper_counts):
+        query = UnitCountQuery(4)
+        assert query.answer(paper_counts).tolist() == [2.0, 0.0, 10.0, 2.0]
+
+    def test_answer_returns_copy(self, paper_counts):
+        query = UnitCountQuery(4)
+        answer = query.answer(paper_counts)
+        answer[0] = 99
+        assert paper_counts[0] == 2.0
+
+    def test_shape_properties(self):
+        query = UnitCountQuery(7)
+        assert query.domain_size == 7
+        assert query.output_size == 7
+        assert len(query) == 7
+        assert query.sensitivity == 1.0
+
+    def test_entry_names(self):
+        assert UnitCountQuery(2).entry_names() == ["c([0])", "c([1])"]
+
+    def test_wrong_length_rejected(self, paper_counts):
+        with pytest.raises(QueryError):
+            UnitCountQuery(5).answer(paper_counts)
+
+    def test_rejects_bad_domain_size(self):
+        with pytest.raises(QueryError):
+            UnitCountQuery(0)
+
+    def test_randomize_noise_scale(self, paper_counts):
+        query = UnitCountQuery(4)
+        noisy = query.randomize(paper_counts, 0.5, rng=0)
+        assert noisy.epsilon == 0.5
+        assert noisy.sensitivity == 1.0
+        assert noisy.noise_scale == pytest.approx(2.0)
+        assert noisy.per_query_variance == pytest.approx(8.0)
+        assert len(noisy) == 4
+
+    def test_randomize_accepts_privacy_parameters(self, paper_counts):
+        query = UnitCountQuery(4)
+        noisy = query.randomize(paper_counts, PrivacyParameters(0.1), rng=0)
+        assert noisy.epsilon == 0.1
+
+    def test_expected_error_formula(self):
+        # error(L~) = 2n/eps^2 (Section 2.1).
+        query = UnitCountQuery(100)
+        assert query.expected_error(1.0) == pytest.approx(200.0)
+        assert query.expected_error(0.1) == pytest.approx(20_000.0)
+
+    def test_randomize_reproducible(self, paper_counts):
+        query = UnitCountQuery(4)
+        a = query.randomize(paper_counts, 1.0, rng=5).values
+        b = query.randomize(paper_counts, 1.0, rng=5).values
+        assert np.array_equal(a, b)
+
+
+class TestSortedCountQuery:
+    def test_answer_matches_paper_example(self, paper_counts):
+        # Figure 2: S(I) = <0, 2, 2, 10>.
+        query = SortedCountQuery(4)
+        assert query.answer(paper_counts).tolist() == [0.0, 2.0, 2.0, 10.0]
+
+    def test_sensitivity_is_one(self):
+        assert SortedCountQuery(10).sensitivity == 1.0
+
+    def test_same_noise_magnitude_as_identity(self):
+        # Section 3: S~ and L~ add the same magnitude of noise.
+        assert SortedCountQuery(50).expected_error(0.5) == UnitCountQuery(50).expected_error(0.5)
+
+    def test_entry_names(self):
+        assert SortedCountQuery(2).entry_names() == ["rank_1(U)", "rank_2(U)"]
+
+    def test_constraint_violations_counting(self):
+        assert SortedCountQuery.constraint_violations(np.array([1.0, 2.0, 3.0])) == 0
+        assert SortedCountQuery.constraint_violations(np.array([3.0, 2.0, 5.0])) == 1
+        assert SortedCountQuery.constraint_violations(np.array([3.0])) == 0
+
+    def test_noisy_answer_often_violates_constraints(self, rng):
+        # With substantial noise the raw output is almost never sorted; this
+        # is the inconsistency that motivates constrained inference.
+        counts = np.full(50, 10.0)
+        query = SortedCountQuery(50)
+        noisy = query.randomize(counts, 0.1, rng=rng).values
+        assert SortedCountQuery.constraint_violations(noisy) > 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(counts=st.lists(st.integers(0, 100), min_size=1, max_size=60))
+    def test_answer_is_sorted_permutation_of_input(self, counts):
+        query = SortedCountQuery(len(counts))
+        answer = query.answer(np.array(counts, dtype=float))
+        assert np.all(np.diff(answer) >= 0)
+        assert sorted(answer.tolist()) == sorted(float(c) for c in counts)
+
+
+class TestSensitivityNeighbours:
+    """Empirical checks of Example 2 and Proposition 3 on count vectors."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 20), min_size=2, max_size=30),
+        bucket=st.integers(0, 29),
+    )
+    def test_identity_l1_change_is_one(self, counts, bucket):
+        bucket = bucket % len(counts)
+        counts = np.array(counts, dtype=float)
+        neighbor = counts.copy()
+        neighbor[bucket] += 1
+        query = UnitCountQuery(len(counts))
+        assert np.abs(query.answer(counts) - query.answer(neighbor)).sum() == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 20), min_size=2, max_size=30),
+        bucket=st.integers(0, 29),
+    )
+    def test_sorted_l1_change_is_one(self, counts, bucket):
+        bucket = bucket % len(counts)
+        counts = np.array(counts, dtype=float)
+        neighbor = counts.copy()
+        neighbor[bucket] += 1
+        query = SortedCountQuery(len(counts))
+        assert np.abs(query.answer(counts) - query.answer(neighbor)).sum() == pytest.approx(1.0)

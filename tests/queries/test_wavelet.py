@@ -1,0 +1,130 @@
+"""Tests for the Haar-wavelet baseline query."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import QueryError
+from repro.queries.wavelet import HaarWaveletQuery
+
+
+class TestTransformRoundTrip:
+    def test_reconstruct_inverts_transform(self, paper_counts):
+        query = HaarWaveletQuery(4)
+        coefficients = query.transform(paper_counts)
+        assert np.allclose(query.reconstruct(coefficients), paper_counts)
+
+    def test_base_is_mean(self, paper_counts):
+        query = HaarWaveletQuery(4)
+        assert query.transform(paper_counts).base == pytest.approx(3.5)
+
+    def test_domain_of_one(self):
+        query = HaarWaveletQuery(1)
+        coefficients = query.transform([7.0])
+        assert coefficients.base == 7.0
+        assert query.reconstruct(coefficients).tolist() == [7.0]
+
+    def test_height_matches_binary_tree(self):
+        assert HaarWaveletQuery(16).height == 5
+        assert HaarWaveletQuery(1).height == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(Exception):
+            HaarWaveletQuery(6)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(QueryError):
+            HaarWaveletQuery(4).transform([1.0, 2.0])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=8, max_size=8
+        )
+    )
+    def test_round_trip_property(self, values):
+        query = HaarWaveletQuery(8)
+        reconstructed = query.reconstruct(query.transform(np.array(values)))
+        assert np.allclose(reconstructed, values, atol=1e-9)
+
+
+class TestPrivacyCalibration:
+    def test_coefficient_scales_shape(self):
+        query = HaarWaveletQuery(8)
+        base_scale, detail_scales = query.coefficient_scales(1.0)
+        assert len(detail_scales) == 3
+        assert base_scale > 0
+        # Finer levels (larger index) have larger per-record impact and so
+        # larger noise scale.
+        assert detail_scales == sorted(detail_scales)
+
+    def test_total_privacy_loss_is_epsilon(self):
+        # One record changes base by 1/n and the ancestor detail at level i
+        # by 2^i / n; the sum of |delta| / scale must equal epsilon.
+        n = 16
+        epsilon = 0.7
+        query = HaarWaveletQuery(n)
+        base_scale, detail_scales = query.coefficient_scales(epsilon)
+        loss = (1.0 / n) / base_scale
+        for level, scale in enumerate(detail_scales):
+            loss += (2.0**level / n) / scale
+        assert loss == pytest.approx(epsilon)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(QueryError):
+            HaarWaveletQuery(4).coefficient_scales(0.0)
+
+    def test_randomize_perturbs_coefficients(self, paper_counts):
+        query = HaarWaveletQuery(4)
+        noisy = query.randomize(paper_counts, 1.0, rng=0)
+        exact = query.transform(paper_counts)
+        assert noisy.epsilon == 1.0
+        assert noisy.base != exact.base
+
+    def test_reconstruction_unbiased(self, paper_counts):
+        query = HaarWaveletQuery(4)
+        rng = np.random.default_rng(0)
+        totals = np.zeros(4)
+        trials = 3000
+        for _ in range(trials):
+            totals += query.reconstruct(query.randomize(paper_counts, 1.0, rng=rng))
+        means = totals / trials
+        assert np.allclose(means, paper_counts, atol=0.5)
+
+    def test_expected_leaf_variance_close_to_empirical(self):
+        counts = np.zeros(16)
+        query = HaarWaveletQuery(16)
+        rng = np.random.default_rng(1)
+        samples = np.array(
+            [query.reconstruct(query.randomize(counts, 1.0, rng=rng))[3] for _ in range(4000)]
+        )
+        assert samples.var() == pytest.approx(query.expected_leaf_variance(1.0), rel=0.2)
+
+
+class TestRangeQueries:
+    def test_range_query_on_exact_coefficients(self, paper_counts):
+        query = HaarWaveletQuery(4)
+        coefficients = query.transform(paper_counts)
+        assert query.range_query(coefficients, 0, 3) == pytest.approx(14.0)
+        assert query.range_query(coefficients, 2, 3) == pytest.approx(12.0)
+
+    def test_range_query_validates_bounds(self, paper_counts):
+        query = HaarWaveletQuery(4)
+        coefficients = query.transform(paper_counts)
+        with pytest.raises(QueryError):
+            query.range_query(coefficients, 2, 7)
+
+    def test_error_comparable_to_hierarchical(self):
+        # Li et al.: the wavelet error is equivalent to a binary H query.
+        # Check the analytic leaf variances are within a small factor.
+        from repro.analysis.theory import hierarchical_leaf_variance
+
+        n = 1024
+        epsilon = 1.0
+        wavelet = HaarWaveletQuery(n).expected_leaf_variance(epsilon)
+        # H-bar leaf variance is below the raw noisy-leaf variance 2*ell^2/eps^2.
+        hierarchical = hierarchical_leaf_variance(int(np.log2(n)) + 1, epsilon)
+        assert wavelet < 2 * hierarchical
+        assert wavelet > hierarchical / 50

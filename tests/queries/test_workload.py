@@ -1,0 +1,103 @@
+"""Tests for range-query workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries.workload import RangeQuerySpec, RangeWorkload
+
+
+class TestRangeQuerySpec:
+    def test_length_and_answer(self, paper_counts):
+        query = RangeQuerySpec(1, 2)
+        assert query.length == 2
+        assert query.true_answer(paper_counts) == 10.0
+
+    def test_rejects_invalid_bounds(self):
+        with pytest.raises(QueryError):
+            RangeQuerySpec(-1, 2)
+        with pytest.raises(QueryError):
+            RangeQuerySpec(3, 2)
+
+    def test_answer_rejects_out_of_domain(self, paper_counts):
+        with pytest.raises(QueryError):
+            RangeQuerySpec(2, 9).true_answer(paper_counts)
+
+
+class TestRangeWorkloadFactories:
+    def test_random_ranges_fixed_length(self):
+        workload = RangeWorkload.random_ranges(100, length=8, count=50, rng=0)
+        assert len(workload) == 50
+        assert all(q.length == 8 for q in workload)
+        assert all(0 <= q.lo and q.hi < 100 for q in workload)
+
+    def test_random_ranges_reproducible(self):
+        a = RangeWorkload.random_ranges(64, 4, 20, rng=3)
+        b = RangeWorkload.random_ranges(64, 4, 20, rng=3)
+        assert [(q.lo, q.hi) for q in a] == [(q.lo, q.hi) for q in b]
+
+    def test_random_ranges_validation(self):
+        with pytest.raises(QueryError):
+            RangeWorkload.random_ranges(10, length=11, count=5)
+        with pytest.raises(QueryError):
+            RangeWorkload.random_ranges(10, length=2, count=0)
+
+    def test_size_sweep(self):
+        sweep = RangeWorkload.size_sweep(64, [2, 4, 8], 10, rng=0)
+        assert sorted(sweep) == [2, 4, 8]
+        assert all(len(workload) == 10 for workload in sweep.values())
+
+    def test_all_ranges_small_domain(self):
+        workload = RangeWorkload.all_ranges(4)
+        assert len(workload) == 10  # 4*5/2
+
+    def test_all_ranges_cap(self):
+        with pytest.raises(QueryError):
+            RangeWorkload.all_ranges(1000, max_queries=100)
+
+    def test_prefixes(self):
+        workload = RangeWorkload.prefixes(5)
+        assert [(q.lo, q.hi) for q in workload] == [(0, i) for i in range(5)]
+
+    def test_unit_queries(self):
+        workload = RangeWorkload.unit_queries(3)
+        assert [(q.lo, q.hi) for q in workload] == [(0, 0), (1, 1), (2, 2)]
+
+    def test_dyadic_sizes_match_paper_grid(self):
+        # Section 5.2: sizes 2^i for i = 1..ell-2; for a 2^16 domain that is
+        # 2^1 .. 2^15.
+        sizes = RangeWorkload.dyadic_sizes(2**16)
+        assert sizes[0] == 2
+        assert sizes[-1] == 2**15
+        assert len(sizes) == 15
+
+    def test_dyadic_sizes_small_domain(self):
+        assert RangeWorkload.dyadic_sizes(8) == [2, 4]
+
+    def test_dyadic_sizes_rejects_tiny_domain(self):
+        with pytest.raises(QueryError):
+            RangeWorkload.dyadic_sizes(1)
+
+
+class TestRangeWorkloadBehaviour:
+    def test_true_answers(self, paper_counts):
+        workload = RangeWorkload(4, [RangeQuerySpec(0, 3), RangeQuerySpec(2, 2)])
+        assert workload.true_answers(paper_counts).tolist() == [14.0, 10.0]
+
+    def test_iteration_and_indexing(self):
+        queries = [RangeQuerySpec(0, 1), RangeQuerySpec(1, 3)]
+        workload = RangeWorkload(8, queries, name="demo")
+        assert list(workload) == queries
+        assert workload[1] == queries[1]
+        assert workload.queries == queries
+        assert workload.name == "demo"
+
+    def test_rejects_queries_outside_domain(self):
+        with pytest.raises(QueryError):
+            RangeWorkload(4, [RangeQuerySpec(0, 5)])
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(QueryError):
+            RangeWorkload(0, [])

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unattributed_defaults(self):
+        args = build_parser().parse_args(["unattributed"])
+        assert args.epsilon == 0.1
+        assert args.dataset == "nettrace"
+        assert args.scale == "small"
+
+    def test_universal_branching_option(self):
+        args = build_parser().parse_args(["universal", "--branching", "4"])
+        assert args.branching == 4
+
+    def test_counts_file_takes_precedence_over_dataset_default(self, tmp_path, capsys):
+        counts_file = tmp_path / "counts.txt"
+        counts_file.write_text("1\n2\n3\n")
+        assert main(["unattributed", "--counts-file", str(counts_file), "--epsilon", "100"]) == 0
+        output = capsys.readouterr().out
+        assert "(3 values)" in output
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "nettrace" in output
+        assert "socialnetwork" in output
+
+    def test_unattributed_from_counts_file(self, tmp_path, capsys):
+        counts_file = tmp_path / "counts.txt"
+        counts_file.write_text("\n".join(str(v) for v in [2, 0, 10, 2]))
+        out_file = tmp_path / "release.csv"
+        code = main(
+            [
+                "unattributed",
+                "--counts-file",
+                str(counts_file),
+                "--epsilon",
+                "5.0",
+                "--seed",
+                "1",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert lines[0] == "bucket,private_sorted_count"
+        assert len(lines) == 5
+
+    def test_universal_from_dataset(self, capsys):
+        code = main(
+            ["universal", "--dataset", "searchlogs", "--epsilon", "1.0", "--seed", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "private total" in output
+
+    def test_universal_rejects_dataset_without_variant(self, capsys):
+        code = main(["universal", "--dataset", "socialnetwork"])
+        assert code == 2
+        assert "no universal-histogram variant" in capsys.readouterr().err
+
+    def test_compare_unattributed(self, tmp_path, capsys):
+        counts_file = tmp_path / "counts.txt"
+        rng = np.random.default_rng(0)
+        counts_file.write_text("\n".join(str(v) for v in rng.integers(0, 5, size=60)))
+        out_file = tmp_path / "table.csv"
+        code = main(
+            [
+                "compare-unattributed",
+                "--counts-file",
+                str(counts_file),
+                "--epsilons",
+                "0.5",
+                "--trials",
+                "3",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "S_bar" in output
+        assert out_file.exists()
+
+    def test_compare_universal(self, tmp_path, capsys):
+        counts_file = tmp_path / "counts.txt"
+        rng = np.random.default_rng(1)
+        counts_file.write_text("\n".join(str(v) for v in rng.integers(0, 5, size=64)))
+        code = main(
+            [
+                "compare-universal",
+                "--counts-file",
+                str(counts_file),
+                "--epsilons",
+                "1.0",
+                "--trials",
+                "2",
+                "--queries-per-size",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert "H_bar" in capsys.readouterr().out

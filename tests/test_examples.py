@@ -1,0 +1,50 @@
+"""Smoke tests for the example scripts.
+
+The three fast examples are executed end to end (their ``main()`` runs in
+a few seconds); the two heavier, benchmark-like examples are compiled and
+their main modules imported so that API drift is still caught quickly.
+Full runs of every example are exercised by the benchmark/CI instructions
+in the README.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import py_compile
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "degree_sequence.py", "privacy_budget_tour.py"]
+HEAVY_EXAMPLES = ["nettrace_range_queries.py", "search_logs_temporal.py"]
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    module = _load_module(EXAMPLES_DIR / name)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES + HEAVY_EXAMPLES)
+def test_example_compiles_and_defines_main(name):
+    path = EXAMPLES_DIR / name
+    assert path.exists()
+    py_compile.compile(str(path), doraise=True)
+    module = _load_module(path)
+    assert callable(getattr(module, "main", None))

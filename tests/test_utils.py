@@ -1,0 +1,83 @@
+"""Tests for the shared utility helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.utils.arrays import as_float_vector, as_nonnegative_counts, require_power_of
+from repro.utils.random import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert as_generator(3).integers(0, 100) == as_generator(3).integers(0, 100)
+
+    def test_existing_generator_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+        with pytest.raises(TypeError):
+            as_generator(True)
+
+
+class TestSpawnGenerators:
+    def test_count_and_independence(self):
+        children = spawn_generators(0, 3)
+        assert len(children) == 3
+        draws = [child.integers(0, 10**9) for child in children]
+        assert len(set(draws)) == 3
+
+    def test_reproducible_from_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(5, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(5, 4)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestArrayHelpers:
+    def test_as_float_vector_coerces(self):
+        result = as_float_vector([1, 2, 3])
+        assert result.dtype == np.float64
+        assert result.tolist() == [1.0, 2.0, 3.0]
+
+    def test_as_float_vector_rejects_bad_shapes(self):
+        with pytest.raises(DomainError):
+            as_float_vector([])
+        with pytest.raises(DomainError):
+            as_float_vector([[1.0, 2.0]])
+
+    def test_as_float_vector_rejects_nan_and_inf(self):
+        with pytest.raises(DomainError):
+            as_float_vector([1.0, float("nan")])
+        with pytest.raises(DomainError):
+            as_float_vector([1.0, float("inf")])
+
+    def test_as_nonnegative_counts(self):
+        assert as_nonnegative_counts([0.0, 2.0]).tolist() == [0.0, 2.0]
+        with pytest.raises(DomainError):
+            as_nonnegative_counts([-1.0])
+
+    def test_require_power_of(self):
+        assert require_power_of(8, 2) == 8
+        assert require_power_of(1, 2) == 1
+        assert require_power_of(27, 3) == 27
+        with pytest.raises(DomainError):
+            require_power_of(6, 2)
+        with pytest.raises(DomainError):
+            require_power_of(0, 2)
+        with pytest.raises(DomainError):
+            require_power_of(8, 1)
