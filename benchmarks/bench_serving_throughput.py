@@ -1,0 +1,134 @@
+"""Serving-tier throughput: vectorized batch answering and cache warmth.
+
+The serving engine's pitch is twofold:
+
+1. **Vectorized answering** — a batch of 100k range queries is answered
+   in one prefix-sum pass instead of a per-query Python loop.  This
+   benchmark measures both paths for all four estimators (L̃, H̃, H̄,
+   wavelet) and asserts the vectorized path is at least 50× faster.
+2. **Warm releases** — a repeated workload hits the
+   :class:`~repro.serving.cache.ReleaseCache` and is served from the
+   existing artifact with zero additional inference runs and zero
+   additional ε spent; only the cold submission pays the
+   mechanism-plus-inference cost.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` as for the other
+benchmarks; the query count is fixed at 100k, which is already serving
+scale, so only the domain size varies.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.nettrace import NetTraceGenerator
+from repro.serving import HistogramEngine, QueryBatch
+
+NUM_QUERIES = 100_000
+ESTIMATORS = ["identity", "hierarchical", "constrained", "wavelet"]
+EPSILON = 0.1
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def counts(scale):
+    generator = NetTraceGenerator(
+        num_active_hosts=scale.nettrace_hosts,
+        domain_bits=scale.universal_domain_bits,
+    )
+    return generator.generate(np.random.default_rng(0)).counts
+
+
+@pytest.fixture(scope="module")
+def batch(counts):
+    return QueryBatch.random(counts.size, NUM_QUERIES, rng=1)
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("estimator", ESTIMATORS)
+def test_vectorized_batch_answering(benchmark, counts, batch, estimator):
+    """pytest-benchmark timing of the hot path, one row per estimator."""
+    engine = HistogramEngine(counts, total_epsilon=1.0)
+    release = engine.materialize(estimator, epsilon=EPSILON, seed=SEED)
+    answers = benchmark(engine.planner.answer, release, batch)
+    assert answers.size == NUM_QUERIES
+
+
+def test_loop_vs_vectorized_speedup(counts, batch, report):
+    """The acceptance check: >= 50x for 100k queries, on every estimator."""
+    engine = HistogramEngine(counts, total_epsilon=1.0)
+    rows = []
+    for estimator in ESTIMATORS:
+        release = engine.materialize(estimator, epsilon=EPSILON, seed=SEED)
+        loop_seconds = _time(lambda: engine.planner.answer_loop(release, batch), repeats=1)
+        vector_seconds = _time(lambda: engine.planner.answer(release, batch))
+        speedup = loop_seconds / vector_seconds
+        rows.append(
+            {
+                "estimator": release.estimator,
+                "queries": NUM_QUERIES,
+                "loop_seconds": round(loop_seconds, 4),
+                "vectorized_seconds": round(vector_seconds, 6),
+                "speedup": round(speedup, 1),
+                "vectorized_qps": int(NUM_QUERIES / vector_seconds),
+            }
+        )
+        assert np.array_equal(
+            engine.planner.answer(release, batch),
+            engine.planner.answer_loop(release, batch),
+        )
+        assert speedup >= 50, (
+            f"{release.estimator}: vectorized answering only {speedup:.1f}x "
+            f"faster than the loop (need >= 50x)"
+        )
+    report(
+        "serving_throughput",
+        rows,
+        title=f"Batch answering of {NUM_QUERIES} range queries: loop vs vectorized",
+    )
+
+
+def test_warm_cache_serves_without_inference_or_epsilon(counts, batch, report):
+    """A repeat workload costs no inference runs and no privacy budget."""
+    engine = HistogramEngine(counts, total_epsilon=1.0)
+    rows = []
+    for estimator in ESTIMATORS:
+        cold = engine.submit(batch, estimator, epsilon=EPSILON, seed=SEED)
+        spent_after_cold = engine.spent_epsilon
+        runs_after_cold = engine.materializations
+
+        warm = engine.submit(batch, estimator, epsilon=EPSILON, seed=SEED)
+
+        assert not cold.from_cache and warm.from_cache
+        assert engine.spent_epsilon == spent_after_cold, "warm submit spent ε"
+        assert engine.materializations == runs_after_cold, "warm submit re-ran inference"
+        assert np.array_equal(cold.answers, warm.answers)
+        rows.append(
+            {
+                "estimator": cold.estimator,
+                "cold_seconds": round(cold.elapsed_seconds, 4),
+                "warm_seconds": round(warm.elapsed_seconds, 6),
+                "cold_over_warm": round(cold.elapsed_seconds / warm.elapsed_seconds, 1),
+                "warm_qps": int(warm.queries_per_second),
+                "epsilon_spent": engine.spent_epsilon,
+            }
+        )
+    cache = engine.cache.stats
+    assert cache.hits >= len(ESTIMATORS)
+    assert engine.spent_epsilon == pytest.approx(EPSILON * len(ESTIMATORS))
+    report(
+        "serving_cache_warmth",
+        rows,
+        title=f"Cold vs warm cache for {NUM_QUERIES} queries (ε spent once per estimator)",
+    )

@@ -16,8 +16,10 @@ together with the substrates they rest on: a small relational layer
 accounting (:mod:`repro.privacy`), query sequences and workloads
 (:mod:`repro.queries`), the inference algorithms (:mod:`repro.inference`),
 baseline estimators (:mod:`repro.estimators`), synthetic stand-ins for the
-paper's datasets (:mod:`repro.data`), and the experiment harness that
-regenerates every figure (:mod:`repro.analysis`).
+paper's datasets (:mod:`repro.data`), the experiment harness that
+regenerates every figure (:mod:`repro.analysis`), and an online serving
+tier that materializes releases once and answers millions of range
+queries from them at no further privacy cost (:mod:`repro.serving`).
 
 Quickstart::
 
@@ -50,6 +52,12 @@ from repro.queries import (
     SortedCountQuery,
     UnitCountQuery,
 )
+from repro.serving import (
+    HistogramEngine,
+    MaterializedRelease,
+    QueryBatch,
+    ReleaseCache,
+)
 
 __version__ = "1.0.0"
 
@@ -74,5 +82,9 @@ __all__ = [
     "UnitCountQuery",
     "SortedCountQuery",
     "HierarchicalQuery",
+    "HistogramEngine",
+    "MaterializedRelease",
+    "QueryBatch",
+    "ReleaseCache",
     "__version__",
 ]

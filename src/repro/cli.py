@@ -12,6 +12,23 @@ built-in synthetic datasets) without writing Python::
 
     # Compare the estimators on your data (Figure 5 / Figure 6 style tables)
     python -m repro.cli compare-unattributed --dataset nettrace --trials 10
+
+Beyond one-shot releases, the CLI drives the serving tier
+(:mod:`repro.serving`): ``materialize`` pays ε once and persists the
+consistent release as a ``.npz`` artifact; ``batch-query`` then answers
+arbitrarily many range queries from that artifact — offline, with no
+access to the private data and no further privacy cost::
+
+    # Materialize a consistent H_bar release to disk (the only ε charge)
+    python -m repro.cli materialize --dataset nettrace --epsilon 0.5 \
+        --seed 7 --release nettrace.npz
+
+    # Answer 100k random range queries from the artifact (no ε charge)
+    python -m repro.cli batch-query --release nettrace.npz --random 100000
+
+    # Answer ranges from a file ("lo hi" per line) and save a CSV
+    python -m repro.cli batch-query --release nettrace.npz \
+        --queries-file ranges.txt --out answers.csv
 """
 
 from __future__ import annotations
@@ -19,6 +36,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from time import perf_counter
 
 import numpy as np
 
@@ -26,6 +44,12 @@ from repro.analysis.tables import render_table, write_csv
 from repro.core.tasks import UnattributedHistogramTask, UniversalHistogramTask
 from repro.data.registry import default_registry
 from repro.exceptions import ReproError
+from repro.serving import (
+    BatchQueryPlanner,
+    HistogramEngine,
+    MaterializedRelease,
+    QueryBatch,
+)
 from repro.utils.random import as_generator
 
 __all__ = ["main", "build_parser"]
@@ -103,6 +127,73 @@ def _cmd_compare_universal(args: argparse.Namespace) -> int:
     if args.out:
         write_csv(comparison.to_rows(), Path(args.out))
         print(f"wrote results to {args.out}")
+    return 0
+
+
+def _cmd_materialize(args: argparse.Namespace) -> int:
+    counts = _load_counts(args, task="universal")
+    engine = HistogramEngine(
+        counts, total_epsilon=args.epsilon, branching=args.branching
+    )
+    release = engine.materialize(args.estimator, epsilon=args.epsilon, seed=args.seed)
+    path = release.save(args.release)
+    print(
+        f"materialized {release.estimator} release: {release.domain_size} buckets, "
+        f"ε={release.epsilon:g}, branching={release.branching}, seed={release.seed}, "
+        f"private total≈{release.total():g}"
+    )
+    print(f"dataset fingerprint {release.dataset_fingerprint}; wrote {path}")
+    if args.out:
+        _write_vector(release.unit_counts(), args.out, "private_unit_count")
+    return 0
+
+
+def _resolve_batch(args: argparse.Namespace, domain_size: int) -> QueryBatch:
+    if args.queries_file:
+        try:
+            bounds = np.loadtxt(args.queries_file, dtype=np.int64, ndmin=2)
+        except (OSError, ValueError) as error:
+            raise ReproError(
+                f"cannot read ranges from {args.queries_file}: {error}"
+            ) from error
+        return QueryBatch.from_pairs(bounds, name=Path(args.queries_file).name)
+    if args.prefixes:
+        return QueryBatch.prefixes(domain_size)
+    if args.units:
+        return QueryBatch.units(domain_size)
+    if args.total:
+        return QueryBatch.total(domain_size)
+    count = args.random if args.random is not None else 1000
+    return QueryBatch.random(domain_size, count, rng=args.query_seed)
+
+
+def _cmd_batch_query(args: argparse.Namespace) -> int:
+    release = MaterializedRelease.load(args.release)
+    batch = _resolve_batch(args, release.domain_size)
+    planner = BatchQueryPlanner()
+    start = perf_counter()
+    answers = planner.answer(release, batch)
+    elapsed = perf_counter() - start
+    print(
+        f"release: {release.estimator}, ε={release.epsilon:g}, "
+        f"{release.domain_size} buckets, fingerprint {release.dataset_fingerprint}"
+    )
+    rate = f"{len(batch) / elapsed:,.0f} queries/s" if elapsed > 0 else "instant"
+    print(
+        f"answered {len(batch)} range queries ({batch.name}) in "
+        f"{elapsed * 1e3:.2f} ms ({rate}) — no additional privacy cost"
+    )
+    if args.out:
+        rows = [
+            {"lo": int(lo), "hi": int(hi), "estimate": float(v)}
+            for lo, hi, v in zip(batch.los, batch.his, answers)
+        ]
+        path = write_csv(rows, Path(args.out))
+        print(f"wrote {len(rows)} rows to {path}")
+    else:
+        preview = ", ".join(f"{v:g}" for v in answers[:10])
+        suffix = ", ..." if answers.size > 10 else ""
+        print(f"estimates: {preview}{suffix}")
     return 0
 
 
@@ -190,6 +281,52 @@ def build_parser() -> argparse.ArgumentParser:
     compare_universal.add_argument("--queries-per-size", type=int, default=50)
     compare_universal.add_argument("--branching", type=int, default=2)
     compare_universal.set_defaults(handler=_cmd_compare_universal)
+
+    materialize = subparsers.add_parser(
+        "materialize",
+        help="pay ε once and persist a consistent private release as .npz",
+    )
+    _add_common_arguments(materialize)
+    materialize.add_argument(
+        "--estimator",
+        default="constrained",
+        choices=["constrained", "hierarchical", "identity", "wavelet"],
+        help="release strategy (constrained = the paper's H_bar)",
+    )
+    materialize.add_argument("--branching", type=int, default=2, help="tree branching factor k")
+    materialize.add_argument(
+        "--release", required=True, help="write the release artifact (.npz) to this path"
+    )
+    materialize.set_defaults(handler=_cmd_materialize)
+
+    batch_query = subparsers.add_parser(
+        "batch-query",
+        help="answer range queries from a materialized release (no privacy cost)",
+    )
+    batch_query.add_argument(
+        "--release", required=True, help="release artifact written by `materialize`"
+    )
+    queries = batch_query.add_mutually_exclusive_group()
+    queries.add_argument(
+        "--queries-file", help="text file with one inclusive range 'lo hi' per line"
+    )
+    queries.add_argument(
+        "--random", type=int, metavar="N", help="answer N random ranges (default 1000)"
+    )
+    queries.add_argument(
+        "--prefixes", action="store_true", help="answer every prefix range [0, i]"
+    )
+    queries.add_argument(
+        "--units", action="store_true", help="answer every unit count"
+    )
+    queries.add_argument(
+        "--total", action="store_true", help="answer the whole-domain total"
+    )
+    batch_query.add_argument(
+        "--query-seed", type=int, default=0, help="seed for --random query generation"
+    )
+    batch_query.add_argument("--out", help="write lo,hi,estimate rows as CSV to this path")
+    batch_query.set_defaults(handler=_cmd_batch_query)
 
     datasets = subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
     datasets.set_defaults(handler=_cmd_datasets)

@@ -9,6 +9,7 @@ budget, and records what each slice was spent on for reporting.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.exceptions import PrivacyBudgetError
@@ -42,6 +43,9 @@ class PrivacyBudget:
 
     total: PrivacyParameters
     _spent: list[BudgetSpend] = field(default_factory=list, init=False, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     # -- accounting ---------------------------------------------------------
 
@@ -71,15 +75,19 @@ class PrivacyBudget:
 
         Raises :class:`PrivacyBudgetError` if the charge would exceed the
         total; nothing is recorded in that case.
+
+        The check-and-append is guarded by a lock so concurrent spenders
+        (e.g. serving-engine threads) cannot jointly oversubscribe ε.
         """
-        if not self.can_spend(epsilon):
-            raise PrivacyBudgetError(
-                f"cannot spend ε={epsilon:g}: only {self.remaining_epsilon:g} of "
-                f"{self.total.epsilon:g} remains"
-            )
-        params = PrivacyParameters(epsilon, self.total.delta)
-        self._spent.append(BudgetSpend(label=label, params=params))
-        return params
+        with self._lock:
+            if not self.can_spend(epsilon):
+                raise PrivacyBudgetError(
+                    f"cannot spend ε={epsilon:g}: only {self.remaining_epsilon:g} of "
+                    f"{self.total.epsilon:g} remains"
+                )
+            params = PrivacyParameters(epsilon, self.total.delta)
+            self._spent.append(BudgetSpend(label=label, params=params))
+            return params
 
     def spend_fraction(self, fraction: float, label: str = "query") -> PrivacyParameters:
         """Charge a fraction of the *total* budget (not of the remainder)."""

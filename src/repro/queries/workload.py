@@ -81,9 +81,33 @@ class RangeWorkload:
     def queries(self) -> list[RangeQuerySpec]:
         return list(self._queries)
 
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """The workload as two parallel ``int64`` arrays ``(los, his)``.
+
+        This is the hand-off format for vectorized consumers such as the
+        serving planner (:mod:`repro.serving.planner`) and the batch index
+        method :meth:`repro.db.index.SortedColumnIndex.count_ranges`.
+        """
+        los = np.fromiter((q.lo for q in self._queries), dtype=np.int64, count=len(self._queries))
+        his = np.fromiter((q.hi for q in self._queries), dtype=np.int64, count=len(self._queries))
+        return los, his
+
     def true_answers(self, counts: np.ndarray) -> np.ndarray:
-        """Vector of true answers for every query in the workload."""
-        return np.array([q.true_answer(counts) for q in self._queries])
+        """Vector of true answers for every query in the workload.
+
+        Vectorized via one prefix-sum pass: O(n + q) instead of O(n·q).
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        if not self._queries:
+            return np.zeros(0)
+        los, his = self.bounds()
+        if his.max() >= counts.size:
+            raise QueryError(
+                f"workload over {self.domain_size} leaves exceeds count vector "
+                f"of size {counts.size}"
+            )
+        prefix = np.concatenate(([0.0], np.cumsum(counts)))
+        return prefix[his + 1] - prefix[los]
 
     # -- factories ------------------------------------------------------------------
 
@@ -157,6 +181,24 @@ class RangeWorkload:
         """All unit-length ranges — equivalent to the ``L`` query as a workload."""
         queries = [RangeQuerySpec(i, i) for i in range(domain_size)]
         return cls(domain_size, queries, name="units")
+
+    @classmethod
+    def from_predicate(cls, mask, name: str = "predicate") -> "RangeWorkload":
+        """Ranges covering the maximal contiguous runs of a boolean mask.
+
+        A selection predicate over an ordered domain (``age in 30..39 or
+        60..69``) is a union of intervals; this factory turns its indicator
+        vector into the equivalent range workload, so predicate counts can
+        be served from the same prefix-sum pass as plain ranges.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 1 or mask.size == 0:
+            raise QueryError("predicate mask must be a non-empty 1-dimensional array")
+        padded = np.concatenate(([False], mask, [False]))
+        edges = np.flatnonzero(padded[1:] != padded[:-1])
+        starts, stops = edges[0::2], edges[1::2]
+        queries = [RangeQuerySpec(int(lo), int(hi) - 1) for lo, hi in zip(starts, stops)]
+        return cls(mask.size, queries, name=name)
 
     @classmethod
     def dyadic_sizes(cls, domain_size: int, margin_levels: int = 2) -> list[int]:

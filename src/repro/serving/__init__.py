@@ -1,0 +1,64 @@
+"""Online serving of materialized private-histogram releases.
+
+The rest of the library produces one-shot releases; this package turns
+them into a serving tier built on the paper's key operational property:
+once a consistent private histogram is released, any number of range
+queries can be answered from it with no further privacy cost
+(Proposition 2).  The pieces:
+
+* :class:`MaterializedRelease` — the immutable release artifact with an
+  O(1) prefix-sum range index and ``.npz`` serialization
+  (:mod:`repro.serving.release`);
+* :class:`ReleaseCache` — an LRU over release identities with
+  hit/miss/eviction counters (:mod:`repro.serving.cache`);
+* :class:`QueryBatch` / :class:`BatchQueryPlanner` — vectorized batch
+  answering of range, unit, prefix, total, and predicate queries
+  (:mod:`repro.serving.planner`);
+* :class:`HistogramEngine` — the façade wiring the Figure 1 roles, a
+  thread-safe privacy budget, the cache, and the planner behind
+  ``submit(QueryBatch) -> BatchResult`` (:mod:`repro.serving.engine`);
+* :class:`ServingStats` — per-request latency/throughput accounting
+  (:mod:`repro.serving.stats`).
+
+Quickstart::
+
+    import numpy as np
+    from repro.serving import HistogramEngine, QueryBatch
+
+    counts = np.random.default_rng(0).poisson(5, size=1024)
+    engine = HistogramEngine(counts, total_epsilon=1.0)
+    batch = QueryBatch.random(engine.domain_size, 100_000, rng=0)
+    result = engine.submit(batch, "constrained", epsilon=0.1, seed=7)
+    result.answers            # 100k range estimates, one prefix-sum pass
+    engine.spent_epsilon      # 0.1 — and stays 0.1 on every repeat submit
+"""
+
+from repro.serving.cache import CacheStats, ReleaseCache
+from repro.serving.engine import (
+    ESTIMATOR_NAMES,
+    HistogramEngine,
+    resolve_estimator,
+)
+from repro.serving.planner import BatchQueryPlanner, BatchResult, QueryBatch
+from repro.serving.release import (
+    MaterializedRelease,
+    ReleaseKey,
+    fingerprint_counts,
+)
+from repro.serving.stats import ServingStats, StatsSnapshot
+
+__all__ = [
+    "MaterializedRelease",
+    "ReleaseKey",
+    "fingerprint_counts",
+    "ReleaseCache",
+    "CacheStats",
+    "QueryBatch",
+    "BatchResult",
+    "BatchQueryPlanner",
+    "HistogramEngine",
+    "resolve_estimator",
+    "ESTIMATOR_NAMES",
+    "ServingStats",
+    "StatsSnapshot",
+]

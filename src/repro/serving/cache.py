@@ -1,0 +1,147 @@
+"""An LRU cache of materialized releases.
+
+Materializing a release is the expensive, ε-spending step of the serving
+pipeline; answering from an existing release is free in both senses.  The
+cache therefore keys releases by their full identity
+(:class:`~repro.serving.release.ReleaseKey`: dataset fingerprint,
+estimator, ε, branching, seed) so a repeated workload never recomputes
+inference — and, because the engine charges the privacy budget inside the
+build callback, never re-spends ε either.
+
+The cache is thread-safe.  :meth:`ReleaseCache.get_or_build` serializes
+builds *per key*: two concurrent requests for the same key never both
+build (each build charges the privacy budget), while a slow cold build
+for one key does not block hits or builds for any other key.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ReproError
+from repro.serving.release import MaterializedRelease, ReleaseKey
+
+__all__ = ["CacheStats", "ReleaseCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when idle)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ReleaseCache:
+    """Least-recently-used cache of :class:`MaterializedRelease` objects."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ReproError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[ReleaseKey, MaterializedRelease]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._build_locks: dict[ReleaseKey, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, key: ReleaseKey) -> MaterializedRelease | None:
+        """The cached release for ``key``, or ``None`` (counts a hit/miss)."""
+        with self._lock:
+            release = self._entries.get(key)
+            if release is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return release
+
+    def put(self, key: ReleaseKey, release: MaterializedRelease) -> None:
+        """Insert (or refresh) a release, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = release
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_build(
+        self, key: ReleaseKey, builder: Callable[[], MaterializedRelease]
+    ) -> MaterializedRelease:
+        """The cached release for ``key``, building and caching it on a miss.
+
+        Builds are serialized per key (duplicated builds would duplicate
+        ε charges): a requester racing an in-flight build for the same key
+        waits for it and then returns the cached artifact, while traffic
+        for other keys proceeds untouched.  If a build fails, the waiter
+        retries — a failed build charges nothing and caches nothing.
+        """
+        with self._lock:
+            release = self.get(key)
+            if release is not None:
+                return release
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        with build_lock:
+            with self._lock:
+                release = self._entries.get(key)
+                if release is not None:
+                    self._entries.move_to_end(key)
+                    return release
+            try:
+                release = builder()
+                self.put(key, release)
+                return release
+            finally:
+                # Dropped only after a successful put (or on failure), so a
+                # late arriver either finds the entry or waits on this lock.
+                with self._lock:
+                    self._build_locks.pop(key, None)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: ReleaseKey) -> bool:
+        """Membership test with no counter side effects."""
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[ReleaseKey]:
+        """Cached keys from least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss/eviction counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,278 @@
+"""The serving façade: materialize once, answer millions of times.
+
+:class:`HistogramEngine` turns the library's one-shot release flow into a
+long-lived query-answering service.  It wires together
+
+* the Figure 1 roles — a :class:`~repro.core.pipeline.DataOwner` guarding
+  the true counts behind a (thread-safe) :class:`PrivacyBudget`, and an
+  :class:`~repro.core.pipeline.Analyst` performing constrained inference
+  on noisy answers only;
+* the :class:`~repro.serving.cache.ReleaseCache`, so a repeated
+  ``(estimator, ε, branching, seed)`` request is answered from the
+  existing artifact with **zero** additional inference and **zero**
+  additional ε — the operational payoff of Proposition 2;
+* the :class:`~repro.serving.planner.BatchQueryPlanner`, so a batch of
+  thousands of range queries costs one vectorized prefix-sum pass.
+
+The engine lives in the data owner's trust domain (it holds the true
+counts); everything it returns — releases and batch answers — is
+post-processing of differentially private output and safe to export.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.pipeline import Analyst, DataOwner, PrivateSession
+from repro.db.histogram import HistogramBuilder
+from repro.db.relation import Relation
+from repro.estimators.base import RangeQueryEstimator
+from repro.estimators.hierarchical import (
+    ConstrainedHierarchicalEstimator,
+    HierarchicalLaplaceEstimator,
+)
+from repro.estimators.identity import IdentityLaplaceEstimator
+from repro.estimators.wavelet import WaveletEstimator
+from repro.exceptions import ReproError
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.definitions import PrivacyParameters
+from repro.queries.workload import RangeWorkload
+from repro.serving.cache import ReleaseCache
+from repro.serving.planner import BatchQueryPlanner, BatchResult, QueryBatch
+from repro.serving.release import MaterializedRelease, ReleaseKey, fingerprint_counts
+from repro.serving.stats import ServingStats
+from repro.utils.arrays import as_float_vector
+
+__all__ = [
+    "ESTIMATOR_NAMES",
+    "canonical_estimator_name",
+    "resolve_estimator",
+    "HistogramEngine",
+]
+
+#: CLI-friendly aliases accepted anywhere an estimator name is expected,
+#: mapped to the canonical paper names used in cache keys and releases.
+ESTIMATOR_NAMES = {
+    "identity": "L~",
+    "hierarchical": "H~",
+    "constrained": "H_bar",
+    "wavelet": "wavelet",
+    "L~": "L~",
+    "H~": "H~",
+    "H_bar": "H_bar",
+}
+
+
+def canonical_estimator_name(name: str) -> str:
+    """The canonical paper name for ``name`` (alias or already canonical)."""
+    canonical = ESTIMATOR_NAMES.get(name)
+    if canonical is None:
+        raise ReproError(
+            f"unknown estimator {name!r}; expected one of {sorted(ESTIMATOR_NAMES)}"
+        )
+    return canonical
+
+
+def resolve_estimator(name: str, branching: int = 2) -> RangeQueryEstimator:
+    """An estimator instance for ``name`` (alias or canonical paper name)."""
+    canonical = canonical_estimator_name(name)
+    if canonical == "L~":
+        return IdentityLaplaceEstimator()
+    if canonical == "H~":
+        return HierarchicalLaplaceEstimator(branching=branching)
+    if canonical == "H_bar":
+        return ConstrainedHierarchicalEstimator(branching=branching)
+    return WaveletEstimator()
+
+
+class HistogramEngine:
+    """Long-lived private-histogram server over one dataset.
+
+    Parameters
+    ----------
+    data:
+        A :class:`Relation` (with ``attribute`` naming the range column)
+        or a raw unit-count vector.
+    total_epsilon:
+        The overall privacy budget for every release this engine will
+        ever materialize; enforced by sequential composition.
+    attribute:
+        Range attribute when ``data`` is a relation.
+    delta:
+        Optional δ for the budget's parameters (the paper's mechanisms
+        are pure ε-DP).
+    branching:
+        Default branching factor for tree-based estimators.
+    cache:
+        A shared :class:`ReleaseCache` (e.g. across engines serving
+        replicas of the same data); a private one is created otherwise.
+    cache_capacity:
+        Capacity of the private cache when ``cache`` is not supplied.
+    """
+
+    def __init__(
+        self,
+        data,
+        total_epsilon: float,
+        *,
+        attribute: str | None = None,
+        delta: float = 0.0,
+        branching: int = 2,
+        cache: ReleaseCache | None = None,
+        cache_capacity: int = 32,
+    ) -> None:
+        if isinstance(data, Relation):
+            if attribute is None:
+                raise ReproError(
+                    "a range attribute is required when the data is a Relation"
+                )
+            counts = HistogramBuilder(data, attribute).counts()
+        else:
+            counts = as_float_vector(data, name="counts")
+        self._counts = counts
+        self.fingerprint = fingerprint_counts(counts)
+        self.default_branching = int(branching)
+        budget = PrivacyBudget(PrivacyParameters(total_epsilon, delta))
+        self._owner = DataOwner(counts, budget)
+        self._analyst = Analyst()
+        self._session = PrivateSession(owner=self._owner, analyst=self._analyst)
+        self.cache = cache if cache is not None else ReleaseCache(cache_capacity)
+        self.planner = BatchQueryPlanner()
+        self.stats = ServingStats()
+        #: number of times an actual private release was computed (cache
+        #: misses); the throughput benchmark asserts this stays flat on a
+        #: warm cache.
+        self.materializations = 0
+
+    # -- budget ----------------------------------------------------------------
+
+    @property
+    def budget(self) -> PrivacyBudget:
+        """The engine's (thread-safe) privacy budget."""
+        return self._owner.budget
+
+    @property
+    def spent_epsilon(self) -> float:
+        return self.budget.spent_epsilon
+
+    @property
+    def remaining_epsilon(self) -> float:
+        return self.budget.remaining_epsilon
+
+    @property
+    def domain_size(self) -> int:
+        """Number of unit buckets in the served histogram domain."""
+        return int(self._counts.size)
+
+    # -- materialization -------------------------------------------------------
+
+    def release_key(
+        self,
+        estimator: str = "constrained",
+        *,
+        epsilon: float,
+        branching: int | None = None,
+        seed: int = 0,
+    ) -> ReleaseKey:
+        """The cache identity a materialization request resolves to.
+
+        Every parameter is validated here — before any ε is spent — so an
+        invalid request can never charge the budget.
+        """
+        branching = self.default_branching if branching is None else int(branching)
+        if branching < 2:
+            raise ReproError(f"branching factor must be >= 2, got {branching}")
+        PrivacyParameters(float(epsilon))  # validates ε > 0
+        return ReleaseKey(
+            dataset_fingerprint=self.fingerprint,
+            estimator=canonical_estimator_name(estimator),
+            epsilon=float(epsilon),
+            branching=branching,
+            seed=int(seed),
+        )
+
+    def materialize(
+        self,
+        estimator: str = "constrained",
+        *,
+        epsilon: float,
+        branching: int | None = None,
+        seed: int = 0,
+    ) -> MaterializedRelease:
+        """The release for ``(estimator, ε, branching, seed)``, cached.
+
+        On a cache miss this charges ``epsilon`` to the budget and runs
+        the private mechanism plus inference; on a hit it returns the
+        existing artifact untouched.  Raises
+        :class:`~repro.exceptions.PrivacyBudgetError` when the charge
+        would exceed the remaining budget.
+
+        ``seed`` is part of the release identity: materialized artifacts
+        are deterministic, so replicas and repeated requests agree on the
+        exact released values.
+        """
+        key = self.release_key(estimator, epsilon=epsilon, branching=branching, seed=seed)
+        return self.cache.get_or_build(key, lambda: self._build_release(key))
+
+    def _build_release(self, key: ReleaseKey) -> MaterializedRelease:
+        if key.estimator == "H_bar":
+            # The paper's flagship flow runs through the explicit Figure 1
+            # roles: the analyst poses H, the owner answers under the budget,
+            # the analyst infers the consistent leaves.  np.rint matches the
+            # ConstrainedHierarchicalEstimator round_output default.
+            leaves = np.rint(
+                self._session.universal_histogram(
+                    key.epsilon, branching=key.branching, rng=key.seed
+                )
+            )
+        else:
+            instance = resolve_estimator(key.estimator, branching=key.branching)
+            self.budget.spend(key.epsilon, label=f"materialize {key.estimator}")
+            leaves = instance.fit(self._counts, key.epsilon, rng=key.seed).unit_estimates
+        self.materializations += 1
+        return MaterializedRelease(
+            leaves,
+            estimator=key.estimator,
+            epsilon=key.epsilon,
+            dataset_fingerprint=key.dataset_fingerprint,
+            branching=key.branching,
+            seed=key.seed,
+        )
+
+    # -- serving ---------------------------------------------------------------
+
+    def submit(
+        self,
+        batch: QueryBatch | RangeWorkload,
+        estimator: str = "constrained",
+        *,
+        epsilon: float,
+        branching: int | None = None,
+        seed: int = 0,
+    ) -> BatchResult:
+        """Answer a batch of range queries from the materialized release.
+
+        The first submission for a given release identity pays the ε and
+        inference cost; every subsequent one is pure post-processing at
+        prefix-sum speed.
+        """
+        if isinstance(batch, RangeWorkload):
+            batch = QueryBatch.from_workload(batch)
+        key = self.release_key(estimator, epsilon=epsilon, branching=branching, seed=seed)
+        warm = key in self.cache
+        start = perf_counter()
+        release = self.materialize(
+            estimator, epsilon=epsilon, branching=branching, seed=seed
+        )
+        answers = self.planner.answer(release, batch)
+        elapsed = perf_counter() - start
+        self.stats.record_batch(len(batch), elapsed)
+        return BatchResult(
+            answers=answers,
+            estimator=release.estimator,
+            epsilon=release.epsilon,
+            elapsed_seconds=elapsed,
+            from_cache=warm,
+        )

@@ -1,0 +1,197 @@
+"""Batch query planning: thousands of range queries, one vectorized pass.
+
+The serving tier's unit of work is a :class:`QueryBatch` — parallel arrays
+of inclusive range bounds, buildable from raw ``(lo, hi)`` pairs or from
+any of the workload shapes in :mod:`repro.queries.workload` (random
+ranges, units, prefixes, the total, predicate masks).  The
+:class:`BatchQueryPlanner` answers a whole batch against a
+:class:`~repro.serving.release.MaterializedRelease` with two vectorized
+gathers on the release's prefix-sum index; the per-query Python loop is
+kept only as the reference implementation the throughput benchmark
+measures against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.index import SortedColumnIndex
+from repro.exceptions import QueryError
+from repro.queries.workload import RangeWorkload
+from repro.serving.release import MaterializedRelease
+from repro.utils.arrays import as_range_bounds
+from repro.utils.random import as_generator
+
+__all__ = ["QueryBatch", "BatchResult", "BatchQueryPlanner"]
+
+
+@dataclass(frozen=True, eq=False)
+class QueryBatch:
+    """An ordered batch of inclusive range queries ``[lo_i, hi_i]``.
+
+    Bounds are validated (``0 <= lo <= hi``) and frozen at construction;
+    the upper-domain check happens against the release at answer time
+    because a batch is not tied to any particular domain size.
+
+    ``eq=False`` because the generated element-wise ``__eq__``/``__hash__``
+    would be ambiguous (and raise) on array fields; batches compare and
+    hash by identity.
+    """
+
+    los: np.ndarray
+    his: np.ndarray
+    name: str = "batch"
+
+    def __post_init__(self) -> None:
+        los, his = as_range_bounds(self.los, self.his)
+        los, his = los.copy(), his.copy()
+        los.setflags(write=False)
+        his.setflags(write=False)
+        object.__setattr__(self, "los", los)
+        object.__setattr__(self, "his", his)
+        object.__setattr__(self, "_max_hi", int(his.max()) if his.size else -1)
+
+    def __len__(self) -> int:
+        return int(self.los.size)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Number of unit buckets each query covers."""
+        return self.his - self.los + 1
+
+    @property
+    def max_hi(self) -> int:
+        """The largest upper bound (-1 for an empty batch); precomputed."""
+        return self._max_hi
+
+    # -- factories -------------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs, name: str = "batch") -> "QueryBatch":
+        """Build from an iterable of ``(lo, hi)`` pairs (or an (n, 2) array)."""
+        bounds = np.asarray(list(pairs) if not isinstance(pairs, np.ndarray) else pairs)
+        if bounds.size == 0:
+            return cls(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), name)
+        if bounds.ndim != 2 or bounds.shape[1] != 2:
+            raise QueryError(f"expected (n, 2) range pairs, got shape {bounds.shape}")
+        return cls(bounds[:, 0], bounds[:, 1], name)
+
+    @classmethod
+    def from_workload(cls, workload: RangeWorkload) -> "QueryBatch":
+        """Adopt any :class:`RangeWorkload` shape (units, prefixes, random...)."""
+        los, his = workload.bounds()
+        return cls(los, his, name=workload.name)
+
+    @classmethod
+    def units(cls, domain_size: int) -> "QueryBatch":
+        """Every unit count — the ``L`` query as a batch."""
+        return cls.from_workload(RangeWorkload.unit_queries(domain_size))
+
+    @classmethod
+    def prefixes(cls, domain_size: int) -> "QueryBatch":
+        """All prefixes ``[0, i]`` — the cumulative-distribution batch."""
+        return cls.from_workload(RangeWorkload.prefixes(domain_size))
+
+    @classmethod
+    def total(cls, domain_size: int) -> "QueryBatch":
+        """The single whole-domain range."""
+        if domain_size <= 0:
+            raise QueryError(f"domain_size must be positive, got {domain_size}")
+        return cls(np.array([0]), np.array([domain_size - 1]), name="total")
+
+    @classmethod
+    def from_predicate(cls, mask, name: str = "predicate") -> "QueryBatch":
+        """The contiguous runs of a boolean selection mask."""
+        return cls.from_workload(RangeWorkload.from_predicate(mask, name=name))
+
+    @classmethod
+    def random(
+        cls,
+        domain_size: int,
+        count: int,
+        rng: np.random.Generator | int | None = None,
+        name: str = "random",
+    ) -> "QueryBatch":
+        """``count`` ranges with uniformly random endpoints (mixed lengths).
+
+        Unlike :meth:`RangeWorkload.random_ranges` (fixed length, the
+        Figure 6 protocol) this draws both endpoints, which is the right
+        stand-in for an ad-hoc analyst workload.
+        """
+        if domain_size <= 0 or count <= 0:
+            raise QueryError(
+                f"domain_size and count must be positive, got {domain_size}, {count}"
+            )
+        generator = as_generator(rng)
+        a = generator.integers(0, domain_size, size=count)
+        b = generator.integers(0, domain_size, size=count)
+        return cls(np.minimum(a, b), np.maximum(a, b), name=name)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Answers for one submitted batch, plus serving telemetry."""
+
+    answers: np.ndarray
+    estimator: str
+    epsilon: float
+    elapsed_seconds: float
+    from_cache: bool
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.answers.size)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Observed throughput for this batch (0 if timing was below clock resolution)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.num_queries / self.elapsed_seconds
+
+
+class BatchQueryPlanner:
+    """Answers query batches against materialized releases.
+
+    Stateless: the planner owns no data, only the answering strategies.
+    """
+
+    @staticmethod
+    def _check(release: MaterializedRelease, batch: QueryBatch) -> None:
+        if batch.max_hi >= release.domain_size:
+            raise QueryError(
+                f"batch {batch.name!r} reaches bucket {batch.max_hi}, beyond "
+                f"the release domain of size {release.domain_size}"
+            )
+
+    def answer(self, release: MaterializedRelease, batch: QueryBatch) -> np.ndarray:
+        """All answers in one vectorized prefix-sum pass (the serving path).
+
+        The batch's bounds were validated at construction and its maximum
+        upper bound is checked against the release here, so the release's
+        per-call validation scans are skipped.
+        """
+        self._check(release, batch)
+        return release.range_sums(batch.los, batch.his, assume_valid=True)
+
+    def answer_loop(self, release: MaterializedRelease, batch: QueryBatch) -> np.ndarray:
+        """Reference per-query Python loop; used by tests and the benchmark."""
+        self._check(release, batch)
+        return np.array(
+            [release.range_sum(lo, hi) for lo, hi in zip(batch.los, batch.his)]
+        )
+
+    def true_answers(self, index: SortedColumnIndex, batch: QueryBatch) -> np.ndarray:
+        """Non-private ground truth from a sorted-column index.
+
+        Uses the batch :meth:`~repro.db.index.SortedColumnIndex.count_ranges`
+        method, so the whole batch costs two binary-search passes.
+        """
+        if batch.max_hi >= index.domain.size:
+            raise QueryError(
+                f"batch {batch.name!r} reaches bucket {batch.max_hi}, beyond "
+                f"the index domain of size {index.domain.size}"
+            )
+        return index.count_ranges(batch.los, batch.his).astype(np.float64)

@@ -1,0 +1,76 @@
+"""Per-request latency and throughput accounting for the serving engine.
+
+The engine records one observation per submitted batch.  Counters are
+protected by a lock so concurrent submissions from multiple threads are
+tallied correctly, and snapshots are plain dataclasses safe to hand to
+logging or monitoring code.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["StatsSnapshot", "ServingStats"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """A point-in-time view of engine activity."""
+
+    requests: int
+    queries: int
+    total_seconds: float
+    min_batch_seconds: float
+    max_batch_seconds: float
+    last_batch_seconds: float
+
+    @property
+    def queries_per_second(self) -> float:
+        """Aggregate throughput over every recorded batch (0 when idle)."""
+        return self.queries / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    @property
+    def mean_batch_seconds(self) -> float:
+        """Average wall-clock latency of one submitted batch."""
+        return self.total_seconds / self.requests if self.requests else 0.0
+
+
+class ServingStats:
+    """Thread-safe accumulator of batch-serving observations."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._queries = 0
+        self._total_seconds = 0.0
+        self._min_seconds = float("inf")
+        self._max_seconds = 0.0
+        self._last_seconds = 0.0
+
+    def record_batch(self, num_queries: int, seconds: float) -> None:
+        """Record one answered batch of ``num_queries`` taking ``seconds``."""
+        if num_queries < 0 or seconds < 0:
+            raise ValueError(
+                f"num_queries and seconds must be non-negative, got "
+                f"{num_queries} and {seconds}"
+            )
+        with self._lock:
+            self._requests += 1
+            self._queries += int(num_queries)
+            self._total_seconds += float(seconds)
+            self._min_seconds = min(self._min_seconds, float(seconds))
+            self._max_seconds = max(self._max_seconds, float(seconds))
+            self._last_seconds = float(seconds)
+
+    def snapshot(self) -> StatsSnapshot:
+        """The counters as an immutable snapshot."""
+        with self._lock:
+            return StatsSnapshot(
+                requests=self._requests,
+                queries=self._queries,
+                total_seconds=self._total_seconds,
+                min_batch_seconds=0.0 if self._requests == 0 else self._min_seconds,
+                max_batch_seconds=self._max_seconds,
+                last_batch_seconds=self._last_seconds,
+            )

@@ -4,9 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import DomainError
+from repro.exceptions import DomainError, QueryError
 
-__all__ = ["as_float_vector", "as_nonnegative_counts", "require_power_of"]
+__all__ = [
+    "as_float_vector",
+    "as_nonnegative_counts",
+    "as_range_bounds",
+    "require_power_of",
+]
 
 
 def as_float_vector(values, name: str = "values") -> np.ndarray:
@@ -27,6 +32,39 @@ def as_nonnegative_counts(values, name: str = "counts") -> np.ndarray:
     if np.any(array < 0):
         raise DomainError(f"{name} must be non-negative")
     return array
+
+
+def as_range_bounds(
+    los, his, domain_size: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce and validate a batch of inclusive range bounds.
+
+    Returns ``(los, his)`` as ``int64`` arrays after checking they are
+    1-dimensional, equal-length, with ``0 <= lo <= hi`` everywhere and —
+    when ``domain_size`` is given — ``hi < domain_size``.  Shared by the
+    sorted-column index, the materialized release, and the query batch so
+    the three batch entry points validate (and report) identically.
+    """
+    los = np.asarray(los, dtype=np.int64)
+    his = np.asarray(his, dtype=np.int64)
+    if los.ndim != 1 or his.ndim != 1 or los.size != his.size:
+        raise QueryError(
+            "range bounds must be two 1-dimensional arrays of equal length, "
+            f"got shapes {los.shape} and {his.shape}"
+        )
+    if los.size:
+        if los.min() < 0:
+            raise QueryError(f"ranges must start at >= 0, got lo={los.min()}")
+        if np.any(los > his):
+            bad = int(np.argmax(los > his))
+            raise QueryError(
+                f"empty interval: lo={los[bad]} > hi={his[bad]} at position {bad}"
+            )
+        if domain_size is not None and his.max() >= domain_size:
+            raise QueryError(
+                f"ranges exceed the domain of size {domain_size}: hi={his.max()}"
+            )
+    return los, his
 
 
 def require_power_of(n: int, base: int, name: str = "size") -> int:

@@ -83,3 +83,53 @@ class TestSortedColumnIndex:
         domain = IntegerDomain(16)
         index = SortedColumnIndex.from_indexes(domain, data)
         assert index.unit_counts().sum() == len(data)
+
+
+class TestCountRanges:
+    def test_matches_single_counts(self):
+        domain = IntegerDomain(8)
+        index = SortedColumnIndex.from_indexes(domain, [0, 0, 3, 5, 5, 5, 7])
+        los = np.array([0, 3, 5, 0, 7])
+        his = np.array([7, 3, 6, 0, 7])
+        batch = index.count_ranges(los, his)
+        assert batch.dtype == np.int64
+        singles = [index.count_range(int(lo), int(hi)) for lo, hi in zip(los, his)]
+        assert batch.tolist() == singles
+
+    def test_empty_batch_and_empty_index(self):
+        domain = IntegerDomain(8)
+        index = SortedColumnIndex.from_indexes(domain, [])
+        assert index.count_ranges([], []).size == 0
+        assert index.count_ranges([0, 2], [7, 5]).tolist() == [0, 0]
+
+    def test_rejects_mismatched_or_invalid_batches(self):
+        domain = IntegerDomain(8)
+        index = SortedColumnIndex.from_indexes(domain, [1, 2])
+        with pytest.raises(QueryError):
+            index.count_ranges([0, 1], [2])
+        with pytest.raises(QueryError):
+            index.count_ranges([0], [8])
+        with pytest.raises(QueryError):
+            index.count_ranges([-1], [2])
+        with pytest.raises(QueryError):
+            index.count_ranges([5], [2])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 31), min_size=0, max_size=200),
+        ranges=st.lists(
+            st.tuples(st.integers(0, 31), st.integers(0, 31)),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_batch_matches_naive_scan(self, data, ranges):
+        domain = IntegerDomain(32)
+        index = SortedColumnIndex.from_indexes(domain, data)
+        los = np.array([min(a, b) for a, b in ranges], dtype=np.int64)
+        his = np.array([max(a, b) for a, b in ranges], dtype=np.int64)
+        expected = [
+            sum(1 for value in data if lo <= value <= hi)
+            for lo, hi in zip(los, his)
+        ]
+        assert index.count_ranges(los, his).tolist() == expected

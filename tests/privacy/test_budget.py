@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.exceptions import PrivacyBudgetError
@@ -65,3 +67,46 @@ class TestPrivacyBudget:
         text = budget.summary()
         assert "degree sequence" in text
         assert "remaining" in text
+
+
+class TestThreadSafety:
+    def test_concurrent_spends_cannot_oversubscribe(self):
+        """32 threads race 0.125-ε charges against a 1.0 budget; exactly 8
+        may win, and the history must record exactly the winners."""
+        budget = PrivacyBudget(PrivacyParameters(1.0))
+        rejected = []
+        barrier = threading.Barrier(32)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            try:
+                budget.spend(0.125, label=f"worker-{index}")
+            except PrivacyBudgetError:
+                rejected.append(index)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert budget.spent_epsilon == pytest.approx(1.0)
+        assert len(budget.history) == 8
+        assert len(rejected) == 24
+
+    def test_concurrent_spend_fractions(self):
+        budget = PrivacyBudget(PrivacyParameters(2.0))
+        outcomes = []
+
+        def worker() -> None:
+            try:
+                outcomes.append(budget.spend_fraction(0.5))
+            except PrivacyBudgetError:
+                outcomes.append(None)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(1 for o in outcomes if o is not None) == 2
+        assert budget.remaining_epsilon == pytest.approx(0.0)

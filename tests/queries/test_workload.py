@@ -101,3 +101,54 @@ class TestRangeWorkloadBehaviour:
     def test_rejects_bad_domain(self):
         with pytest.raises(QueryError):
             RangeWorkload(0, [])
+
+
+class TestBoundsAndPredicates:
+    def test_bounds_are_parallel_int64_arrays(self):
+        workload = RangeWorkload(8, [RangeQuerySpec(0, 3), RangeQuerySpec(2, 7)])
+        los, his = workload.bounds()
+        assert los.dtype == np.int64 and his.dtype == np.int64
+        assert los.tolist() == [0, 2]
+        assert his.tolist() == [3, 7]
+
+    def test_bounds_empty_workload(self):
+        los, his = RangeWorkload(4, []).bounds()
+        assert los.size == 0 and his.size == 0
+
+    def test_true_answers_vectorized_matches_per_query(self, paper_counts):
+        workload = RangeWorkload(
+            4, [RangeQuerySpec(0, 3), RangeQuerySpec(2, 2), RangeQuerySpec(1, 2)]
+        )
+        expected = [q.true_answer(paper_counts) for q in workload]
+        assert workload.true_answers(paper_counts).tolist() == expected
+
+    def test_true_answers_still_rejects_short_counts(self):
+        workload = RangeWorkload(8, [RangeQuerySpec(0, 7)])
+        with pytest.raises(QueryError):
+            workload.true_answers(np.ones(4))
+
+    def test_from_predicate_extracts_maximal_runs(self):
+        mask = [True, True, False, True, False, False, True, True, True]
+        workload = RangeWorkload.from_predicate(mask)
+        assert [(q.lo, q.hi) for q in workload] == [(0, 1), (3, 3), (6, 8)]
+        assert workload.domain_size == 9
+        assert workload.name == "predicate"
+
+    def test_from_predicate_all_false_and_all_true(self):
+        assert len(RangeWorkload.from_predicate([False, False])) == 0
+        workload = RangeWorkload.from_predicate([True] * 5)
+        assert [(q.lo, q.hi) for q in workload] == [(0, 4)]
+
+    def test_from_predicate_counts_match_mask_sum(self, sparse_counts):
+        rng = np.random.default_rng(3)
+        mask = rng.random(64) < 0.4
+        workload = RangeWorkload.from_predicate(mask)
+        assert workload.true_answers(sparse_counts).sum() == pytest.approx(
+            float(sparse_counts[mask].sum())
+        )
+
+    def test_from_predicate_rejects_bad_mask(self):
+        with pytest.raises(QueryError):
+            RangeWorkload.from_predicate([])
+        with pytest.raises(QueryError):
+            RangeWorkload.from_predicate(np.zeros((2, 2), dtype=bool))

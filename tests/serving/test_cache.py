@@ -1,0 +1,137 @@
+"""Tests for the release LRU cache."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.serving.cache import ReleaseCache
+from repro.serving.release import MaterializedRelease, ReleaseKey
+
+
+def release_for(key: ReleaseKey) -> MaterializedRelease:
+    return MaterializedRelease(
+        np.ones(4),
+        estimator=key.estimator,
+        epsilon=key.epsilon,
+        dataset_fingerprint=key.dataset_fingerprint,
+        branching=key.branching,
+        seed=key.seed,
+    )
+
+
+def key(fingerprint="fp", estimator="H_bar", epsilon=0.1, branching=2, seed=0) -> ReleaseKey:
+    return ReleaseKey(
+        dataset_fingerprint=fingerprint,
+        estimator=estimator,
+        epsilon=epsilon,
+        branching=branching,
+        seed=seed,
+    )
+
+
+class TestKeyCorrectness:
+    def test_every_field_is_identity(self):
+        """Two requests share an entry iff every key field agrees."""
+        cache = ReleaseCache(capacity=16)
+        base = key()
+        variants = [
+            key(fingerprint="other"),
+            key(estimator="L~"),
+            key(epsilon=0.2),
+            key(branching=4),
+            key(seed=1),
+        ]
+        cache.put(base, release_for(base))
+        for variant in variants:
+            assert variant not in cache
+            assert cache.get(variant) is None
+        assert cache.get(key()) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == len(variants)
+
+
+class TestLruBehaviour:
+    def test_evicts_least_recently_used(self):
+        cache = ReleaseCache(capacity=2)
+        k1, k2, k3 = key(seed=1), key(seed=2), key(seed=3)
+        cache.put(k1, release_for(k1))
+        cache.put(k2, release_for(k2))
+        assert cache.get(k1) is not None  # refresh k1; k2 becomes LRU
+        cache.put(k3, release_for(k3))
+        assert k2 not in cache
+        assert k1 in cache and k3 in cache
+        assert cache.stats.evictions == 1
+        assert cache.stats.size == 2
+
+    def test_put_refreshes_existing_key_without_eviction(self):
+        cache = ReleaseCache(capacity=2)
+        k1, k2 = key(seed=1), key(seed=2)
+        cache.put(k1, release_for(k1))
+        cache.put(k2, release_for(k2))
+        cache.put(k1, release_for(k1))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        assert cache.keys() == [k2, k1]
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ReproError):
+            ReleaseCache(capacity=0)
+
+
+class TestGetOrBuild:
+    def test_builds_once_then_serves_from_cache(self):
+        cache = ReleaseCache(capacity=4)
+        calls = []
+        k = key()
+
+        def builder():
+            calls.append(1)
+            return release_for(k)
+
+        first = cache.get_or_build(k, builder)
+        second = cache.get_or_build(k, builder)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_concurrent_requests_build_exactly_once(self):
+        cache = ReleaseCache(capacity=4)
+        k = key()
+        builds = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_build(k, lambda: (builds.append(1), release_for(k))[1]))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert all(r is results[0] for r in results)
+
+    def test_clear_preserves_counters(self):
+        cache = ReleaseCache(capacity=4)
+        k = key()
+        cache.put(k, release_for(k))
+        cache.get(k)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_hit_rate(self):
+        cache = ReleaseCache(capacity=4)
+        assert cache.stats.hit_rate == 0.0
+        k = key()
+        cache.get(k)
+        cache.put(k, release_for(k))
+        cache.get(k)
+        assert cache.stats.hit_rate == pytest.approx(0.5)

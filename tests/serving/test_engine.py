@@ -1,0 +1,182 @@
+"""Tests for the serving engine façade."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.db.domain import IntegerDomain
+from repro.db.relation import Column, Relation, Schema
+from repro.estimators import (
+    ConstrainedHierarchicalEstimator,
+    HierarchicalLaplaceEstimator,
+    IdentityLaplaceEstimator,
+    WaveletEstimator,
+)
+from repro.exceptions import PrivacyBudgetError, ReproError
+from repro.serving.cache import ReleaseCache
+from repro.serving.engine import ESTIMATOR_NAMES, HistogramEngine, resolve_estimator
+from repro.serving.planner import QueryBatch
+from repro.queries.workload import RangeWorkload
+
+
+@pytest.fixture
+def engine(sparse_counts) -> HistogramEngine:
+    return HistogramEngine(sparse_counts, total_epsilon=1.0)
+
+
+class TestResolveEstimator:
+    def test_aliases_and_canonical_names(self):
+        assert isinstance(resolve_estimator("identity"), IdentityLaplaceEstimator)
+        assert isinstance(resolve_estimator("hierarchical"), HierarchicalLaplaceEstimator)
+        assert isinstance(
+            resolve_estimator("constrained"), ConstrainedHierarchicalEstimator
+        )
+        assert isinstance(resolve_estimator("wavelet"), WaveletEstimator)
+        assert isinstance(resolve_estimator("H_bar"), ConstrainedHierarchicalEstimator)
+        assert resolve_estimator("hierarchical", branching=4).branching == 4
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_estimator("magic")
+
+    def test_alias_table_is_total(self):
+        for name in ESTIMATOR_NAMES:
+            assert resolve_estimator(name) is not None
+
+
+class TestMaterialize:
+    def test_charges_budget_once_per_identity(self, engine):
+        engine.materialize("constrained", epsilon=0.25, seed=1)
+        assert engine.spent_epsilon == pytest.approx(0.25)
+        assert engine.materializations == 1
+        # same identity: no new charge, no new inference
+        engine.materialize("constrained", epsilon=0.25, seed=1)
+        assert engine.spent_epsilon == pytest.approx(0.25)
+        assert engine.materializations == 1
+        # different seed is a different release
+        engine.materialize("constrained", epsilon=0.25, seed=2)
+        assert engine.spent_epsilon == pytest.approx(0.5)
+        assert engine.materializations == 2
+
+    def test_constrained_release_matches_estimator_class(self, engine, sparse_counts):
+        release = engine.materialize("constrained", epsilon=0.5, seed=42)
+        expected = ConstrainedHierarchicalEstimator(branching=2).fit(
+            sparse_counts, 0.5, rng=42
+        )
+        assert np.array_equal(release.unit_counts(), expected.unit_estimates)
+
+    @pytest.mark.parametrize("name", ["identity", "hierarchical", "wavelet"])
+    def test_baseline_estimators_materialize_and_charge(self, engine, name):
+        release = engine.materialize(name, epsilon=0.125, seed=0)
+        assert release.estimator == ESTIMATOR_NAMES[name]
+        assert release.domain_size == engine.domain_size
+        assert engine.spent_epsilon == pytest.approx(0.125)
+
+    def test_invalid_request_charges_nothing(self, engine):
+        """Parameter validation happens before any ε is spent."""
+        with pytest.raises(ReproError):
+            engine.materialize("identity", epsilon=0.5, branching=1, seed=0)
+        with pytest.raises(ReproError):
+            engine.materialize("identity", epsilon=-0.5, seed=0)
+        with pytest.raises(ReproError):
+            engine.materialize("magic", epsilon=0.5, seed=0)
+        assert engine.spent_epsilon == 0.0
+        assert engine.materializations == 0
+
+    def test_budget_exhaustion_raises_and_is_not_recorded(self, engine):
+        engine.materialize("constrained", epsilon=0.9, seed=0)
+        with pytest.raises(PrivacyBudgetError):
+            engine.materialize("constrained", epsilon=0.2, seed=1)
+        assert engine.spent_epsilon == pytest.approx(0.9)
+        # the failed identity is not cached: retrying within budget works
+        engine.materialize("constrained", epsilon=0.1, seed=1)
+        assert engine.remaining_epsilon == pytest.approx(0.0)
+
+    def test_over_relation(self, paper_relation):
+        engine = HistogramEngine(paper_relation, total_epsilon=1.0, attribute="src")
+        assert engine.domain_size == 8  # the 3-bit src domain
+        release = engine.materialize("identity", epsilon=0.5, seed=0)
+        assert release.domain_size == 8
+
+    def test_relation_requires_attribute(self, paper_relation):
+        with pytest.raises(ReproError):
+            HistogramEngine(paper_relation, total_epsilon=1.0)
+
+
+class TestSubmit:
+    def test_submit_answers_and_records_stats(self, engine):
+        batch = QueryBatch.random(engine.domain_size, 5000, rng=0)
+        result = engine.submit(batch, "constrained", epsilon=0.5, seed=9)
+        assert result.num_queries == 5000
+        assert not result.from_cache
+        release = engine.materialize("constrained", epsilon=0.5, seed=9)
+        assert np.array_equal(result.answers, release.range_sums(batch.los, batch.his))
+        snapshot = engine.stats.snapshot()
+        assert snapshot.requests == 1
+        assert snapshot.queries == 5000
+        assert snapshot.total_seconds > 0
+
+    def test_warm_cache_spends_nothing(self, engine):
+        batch = QueryBatch.random(engine.domain_size, 1000, rng=0)
+        cold = engine.submit(batch, "constrained", epsilon=0.5, seed=9)
+        spent = engine.spent_epsilon
+        runs = engine.materializations
+        warm = engine.submit(batch, "constrained", epsilon=0.5, seed=9)
+        assert not cold.from_cache
+        assert warm.from_cache
+        assert engine.spent_epsilon == spent
+        assert engine.materializations == runs
+        assert np.array_equal(cold.answers, warm.answers)
+
+    def test_submit_accepts_workloads(self, engine):
+        workload = RangeWorkload.prefixes(engine.domain_size)
+        result = engine.submit(workload, "identity", epsilon=0.25, seed=4)
+        assert result.num_queries == engine.domain_size
+        # prefix answers are monotone partial sums of the released units
+        release = engine.materialize("identity", epsilon=0.25, seed=4)
+        assert np.array_equal(result.answers, np.cumsum(release.unit_counts()))
+
+    def test_budget_error_surfaces_through_submit(self, engine):
+        batch = QueryBatch.total(engine.domain_size)
+        with pytest.raises(PrivacyBudgetError):
+            engine.submit(batch, "constrained", epsilon=2.0, seed=0)
+
+    def test_shared_cache_across_engines(self, sparse_counts):
+        cache = ReleaseCache(capacity=8)
+        first = HistogramEngine(sparse_counts, total_epsilon=1.0, cache=cache)
+        second = HistogramEngine(sparse_counts, total_epsilon=1.0, cache=cache)
+        first.materialize("constrained", epsilon=0.5, seed=0)
+        # the replica reuses the artifact: zero inference, zero ε on its budget
+        release = second.materialize("constrained", epsilon=0.5, seed=0)
+        assert second.materializations == 0
+        assert second.spent_epsilon == 0.0
+        assert release.dataset_fingerprint == first.fingerprint
+
+
+class TestConcurrency:
+    def test_concurrent_submissions_cannot_oversubscribe_epsilon(self, sparse_counts):
+        """Many threads race distinct releases; the thread-safe budget must
+        admit at most total/slice of them."""
+        engine = HistogramEngine(sparse_counts, total_epsilon=1.0)
+        batch = QueryBatch.total(engine.domain_size)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            try:
+                engine.submit(batch, "identity", epsilon=0.25, seed=seed)
+            except PrivacyBudgetError:
+                errors.append(seed)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert engine.spent_epsilon <= 1.0 + 1e-9
+        assert engine.materializations == 4
+        assert len(errors) == 4

@@ -1,0 +1,143 @@
+"""Tests for query batches and the vectorized batch planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.domain import IntegerDomain
+from repro.db.index import SortedColumnIndex
+from repro.estimators import ConstrainedHierarchicalEstimator
+from repro.exceptions import QueryError
+from repro.queries.workload import RangeWorkload
+from repro.serving.planner import BatchQueryPlanner, QueryBatch
+from repro.serving.release import MaterializedRelease, fingerprint_counts
+
+
+def release_over(counts) -> MaterializedRelease:
+    return MaterializedRelease(
+        counts,
+        estimator="truth",
+        epsilon=1.0,
+        dataset_fingerprint=fingerprint_counts(counts),
+    )
+
+
+class TestQueryBatch:
+    def test_from_pairs(self):
+        batch = QueryBatch.from_pairs([(0, 3), (2, 2)], name="pairs")
+        assert len(batch) == 2
+        assert batch.lengths.tolist() == [4, 1]
+        assert batch.max_hi == 3
+
+    def test_from_pairs_empty(self):
+        batch = QueryBatch.from_pairs([])
+        assert len(batch) == 0
+        assert batch.max_hi == -1
+
+    def test_from_workload_preserves_order_and_name(self):
+        workload = RangeWorkload.prefixes(8)
+        batch = QueryBatch.from_workload(workload)
+        assert batch.name == "prefixes"
+        assert batch.los.tolist() == [0] * 8
+        assert batch.his.tolist() == list(range(8))
+
+    def test_shapes(self):
+        assert len(QueryBatch.units(16)) == 16
+        assert len(QueryBatch.prefixes(16)) == 16
+        total = QueryBatch.total(16)
+        assert (total.los.tolist(), total.his.tolist()) == ([0], [15])
+
+    def test_from_predicate(self):
+        mask = np.array([1, 1, 0, 0, 1, 0, 1, 1, 1], dtype=bool)
+        batch = QueryBatch.from_predicate(mask)
+        assert list(zip(batch.los.tolist(), batch.his.tolist())) == [
+            (0, 1),
+            (4, 4),
+            (6, 8),
+        ]
+
+    def test_random_batch_is_valid_and_seeded(self):
+        b1 = QueryBatch.random(128, 1000, rng=5)
+        b2 = QueryBatch.random(128, 1000, rng=5)
+        assert np.array_equal(b1.los, b2.los) and np.array_equal(b1.his, b2.his)
+        assert b1.los.min() >= 0 and b1.max_hi < 128
+        assert np.all(b1.los <= b1.his)
+
+    def test_rejects_invalid_bounds(self):
+        with pytest.raises(QueryError):
+            QueryBatch(np.array([2]), np.array([1]))
+        with pytest.raises(QueryError):
+            QueryBatch(np.array([-1]), np.array([1]))
+        with pytest.raises(QueryError):
+            QueryBatch(np.array([0, 1]), np.array([1]))
+        with pytest.raises(QueryError):
+            QueryBatch.from_pairs([(0, 1, 2)])
+
+    def test_bounds_are_frozen(self):
+        batch = QueryBatch.from_pairs([(0, 3)])
+        with pytest.raises(ValueError):
+            batch.los[0] = 5
+
+    def test_batches_hash_and_compare_by_identity(self):
+        batch = QueryBatch.from_pairs([(0, 3)])
+        other = QueryBatch.from_pairs([(0, 3)])
+        assert hash(batch) != hash(other) or batch is not other
+        assert batch in {batch}
+        assert batch == batch
+        assert batch != other
+
+
+class TestPlanner:
+    def test_vectorized_matches_loop_and_fitted_estimate(self, sparse_counts):
+        fitted = ConstrainedHierarchicalEstimator().fit(sparse_counts, 5.0, rng=3)
+        release = MaterializedRelease.from_fitted(
+            fitted, fingerprint_counts(sparse_counts), seed=3
+        )
+        workload = RangeWorkload.random_ranges(64, 8, 200, rng=1)
+        batch = QueryBatch.from_workload(workload)
+        planner = BatchQueryPlanner()
+        vectorized = planner.answer(release, batch)
+        loop = planner.answer_loop(release, batch)
+        assert np.array_equal(vectorized, loop)
+        # H_bar is consistent, so prefix sums equal the fitted estimate's
+        # own (per-query) range answers.
+        assert np.allclose(vectorized, fitted.answer_workload(workload))
+
+    def test_ground_truth_path_uses_batch_index_counts(self, rng):
+        data = rng.integers(0, 32, size=400)
+        index = SortedColumnIndex.from_indexes(IntegerDomain(32), data)
+        release = release_over(index.unit_counts())
+        batch = QueryBatch.random(32, 300, rng=2)
+        planner = BatchQueryPlanner()
+        truth = planner.true_answers(index, batch)
+        assert np.array_equal(truth, planner.answer(release, batch))
+        singles = np.array(
+            [index.count_range(int(lo), int(hi)) for lo, hi in zip(batch.los, batch.his)],
+            dtype=np.float64,
+        )
+        assert np.array_equal(truth, singles)
+
+    def test_batch_beyond_domain_rejected(self):
+        release = release_over(np.ones(8))
+        batch = QueryBatch.from_pairs([(0, 8)])
+        planner = BatchQueryPlanner()
+        with pytest.raises(QueryError):
+            planner.answer(release, batch)
+        with pytest.raises(QueryError):
+            planner.answer_loop(release, batch)
+        index = SortedColumnIndex.from_indexes(IntegerDomain(8), [0, 1])
+        with pytest.raises(QueryError):
+            planner.true_answers(index, batch)
+
+    def test_predicate_batch_equals_mask_dot_product(self, sparse_counts):
+        release = release_over(sparse_counts)
+        rng = np.random.default_rng(9)
+        mask = rng.random(64) < 0.3
+        if not mask.any():
+            mask[5] = True
+        batch = QueryBatch.from_predicate(mask)
+        planner = BatchQueryPlanner()
+        assert planner.answer(release, batch).sum() == pytest.approx(
+            float(sparse_counts[mask].sum())
+        )

@@ -1,0 +1,158 @@
+"""Tests for the materialized-release artifact."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.domain import IntegerDomain
+from repro.db.index import SortedColumnIndex
+from repro.exceptions import QueryError, ReproError
+from repro.serving.release import (
+    FORMAT_VERSION,
+    MaterializedRelease,
+    ReleaseKey,
+    fingerprint_counts,
+)
+
+
+def make_release(values, **overrides) -> MaterializedRelease:
+    kwargs = dict(
+        estimator="H_bar",
+        epsilon=0.5,
+        dataset_fingerprint=fingerprint_counts(values),
+        branching=2,
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return MaterializedRelease(values, **kwargs)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        counts = np.array([1.0, 2.0, 3.0])
+        assert fingerprint_counts(counts) == fingerprint_counts([1, 2, 3])
+
+    def test_sensitive_to_values_and_length(self):
+        base = fingerprint_counts([1.0, 2.0, 3.0])
+        assert fingerprint_counts([1.0, 2.0, 4.0]) != base
+        assert fingerprint_counts([1.0, 2.0, 3.0, 0.0]) != base
+
+
+class TestConstruction:
+    def test_metadata_and_key(self):
+        release = make_release([2.0, 0.0, 10.0, 2.0])
+        assert release.domain_size == 4
+        assert release.total() == 14.0
+        assert release.key == ReleaseKey(
+            dataset_fingerprint=release.dataset_fingerprint,
+            estimator="H_bar",
+            epsilon=0.5,
+            branching=2,
+            seed=3,
+        )
+
+    def test_immutable(self):
+        release = make_release([1.0, 2.0])
+        with pytest.raises(ValueError):
+            release._leaves[0] = 5.0
+        # unit_counts hands out a copy, so mutating it is harmless
+        copy = release.unit_counts()
+        copy[0] = 99.0
+        assert release.range_sum(0, 0) == 1.0
+
+    def test_rejects_empty_and_bad_parameters(self):
+        with pytest.raises(ReproError):
+            make_release([1.0], epsilon=0.0)
+        with pytest.raises(QueryError):
+            make_release([1.0], branching=1)
+        with pytest.raises(ReproError):
+            MaterializedRelease(
+                [], estimator="x", epsilon=1.0, dataset_fingerprint="fp"
+            )
+
+
+class TestRangeSums:
+    def test_single_matches_direct_sum(self, sparse_counts):
+        release = make_release(sparse_counts)
+        for lo, hi in [(0, 63), (0, 0), (5, 20), (63, 63), (30, 31)]:
+            assert release.range_sum(lo, hi) == pytest.approx(
+                sparse_counts[lo : hi + 1].sum()
+            )
+
+    def test_batch_matches_loop(self, rng, sparse_counts):
+        release = make_release(sparse_counts)
+        a = rng.integers(0, 64, size=500)
+        b = rng.integers(0, 64, size=500)
+        los, his = np.minimum(a, b), np.maximum(a, b)
+        batch = release.range_sums(los, his)
+        loop = np.array([release.range_sum(lo, hi) for lo, hi in zip(los, his)])
+        assert np.array_equal(batch, loop)
+
+    def test_rejects_invalid_ranges(self):
+        release = make_release([1.0, 2.0, 3.0])
+        with pytest.raises(QueryError):
+            release.range_sum(2, 1)
+        with pytest.raises(QueryError):
+            release.range_sum(0, 3)
+        with pytest.raises(QueryError):
+            release.range_sums([0], [3])
+        with pytest.raises(QueryError):
+            release.range_sums([2], [1])
+        with pytest.raises(QueryError):
+            release.range_sums([0, 1], [1])
+
+    def test_empty_batch(self):
+        release = make_release([1.0, 2.0])
+        assert release.range_sums([], []).size == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 31), min_size=0, max_size=300),
+        ranges=st.lists(
+            st.tuples(st.integers(0, 31), st.integers(0, 31)),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    def test_prefix_sums_match_sorted_index_exactly(self, data, ranges):
+        """The acceptance property: a release over the true counts answers
+        every range exactly as the relational index does."""
+        domain = IntegerDomain(32)
+        index = SortedColumnIndex.from_indexes(domain, data)
+        release = make_release(index.unit_counts(), estimator="truth", epsilon=1.0)
+        los = np.array([min(a, b) for a, b in ranges], dtype=np.int64)
+        his = np.array([max(a, b) for a, b in ranges], dtype=np.int64)
+        expected = index.count_ranges(los, his)
+        assert np.array_equal(release.range_sums(los, his), expected)
+        for lo, hi, want in zip(los, his, expected):
+            assert release.range_sum(int(lo), int(hi)) == want
+            assert index.count_range(int(lo), int(hi)) == want
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path, sparse_counts):
+        release = make_release(sparse_counts, estimator="L~", epsilon=0.25, seed=11)
+        path = release.save(tmp_path / "release.npz")
+        loaded = MaterializedRelease.load(path)
+        assert loaded.key == release.key
+        assert np.array_equal(loaded.unit_counts(), release.unit_counts())
+        assert loaded.range_sum(3, 40) == release.range_sum(3, 40)
+
+    def test_load_rejects_future_format(self, tmp_path):
+        path = tmp_path / "future.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, format_version=np.int64(FORMAT_VERSION + 1))
+        with pytest.raises(ReproError):
+            MaterializedRelease.load(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            MaterializedRelease.load(tmp_path / "nope.npz")
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not an npz archive")
+        with pytest.raises(ReproError):
+            MaterializedRelease.load(path)

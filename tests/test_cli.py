@@ -96,6 +96,86 @@ class TestCommands:
         assert "S_bar" in output
         assert out_file.exists()
 
+    def test_materialize_and_batch_query_round_trip(self, tmp_path, capsys):
+        counts_file = tmp_path / "counts.txt"
+        rng = np.random.default_rng(5)
+        counts_file.write_text("\n".join(str(v) for v in rng.integers(0, 9, size=64)))
+        release_file = tmp_path / "release.npz"
+        code = main(
+            [
+                "materialize",
+                "--counts-file",
+                str(counts_file),
+                "--epsilon",
+                "2.0",
+                "--seed",
+                "3",
+                "--release",
+                str(release_file),
+            ]
+        )
+        assert code == 0
+        assert release_file.exists()
+        output = capsys.readouterr().out
+        assert "H_bar" in output
+        assert "fingerprint" in output
+
+        answers_file = tmp_path / "answers.csv"
+        code = main(
+            [
+                "batch-query",
+                "--release",
+                str(release_file),
+                "--random",
+                "200",
+                "--query-seed",
+                "1",
+                "--out",
+                str(answers_file),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "no additional privacy cost" in output
+        lines = answers_file.read_text().strip().splitlines()
+        assert lines[0] == "lo,hi,estimate"
+        assert len(lines) == 201
+
+    def test_batch_query_from_queries_file(self, tmp_path, capsys):
+        counts_file = tmp_path / "counts.txt"
+        counts_file.write_text("\n".join(["4"] * 16))
+        release_file = tmp_path / "release.npz"
+        assert (
+            main(
+                [
+                    "materialize",
+                    "--counts-file",
+                    str(counts_file),
+                    "--estimator",
+                    "identity",
+                    "--epsilon",
+                    "100",
+                    "--release",
+                    str(release_file),
+                ]
+            )
+            == 0
+        )
+        queries_file = tmp_path / "ranges.txt"
+        queries_file.write_text("0 15\n3 5\n")
+        assert (
+            main(["batch-query", "--release", str(release_file), "--queries-file", str(queries_file)])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "answered 2 range queries" in output
+        assert "L~" in output
+
+    def test_batch_query_missing_release_errors_cleanly(self, tmp_path, capsys):
+        code = main(["batch-query", "--release", str(tmp_path / "absent.npz")])
+        assert code == 2
+        assert "cannot load release" in capsys.readouterr().err
+
     def test_compare_universal(self, tmp_path, capsys):
         counts_file = tmp_path / "counts.txt"
         rng = np.random.default_rng(1)
