@@ -1,0 +1,98 @@
+"""Durable-store warm start: restart the engine, keep the release.
+
+The acceptance claim for the persistence layer: an engine built over a
+:class:`~repro.serving.store.ReleaseStore` directory answers a 10⁵-query
+batch *after a process restart* with
+
+* ``materializations == 0`` — nothing is recomputed,
+* zero additional ε spent — warm start is pure post-processing,
+* answers bit-identical to the pre-restart release.
+
+The restart is simulated by discarding the first engine (and its
+in-memory cache) and constructing a fresh engine over a fresh
+:class:`ReleaseStore` handle onto the same directory — exactly what a
+recovered process would do.  Scale is controlled by ``REPRO_BENCH_SCALE``
+as for the other benchmarks; the query count is fixed at 100k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.nettrace import NetTraceGenerator
+from repro.serving import HistogramEngine, QueryBatch, ReleaseStore
+
+NUM_QUERIES = 100_000
+ESTIMATORS = ["identity", "hierarchical", "constrained", "wavelet"]
+EPSILON = 0.1
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def counts(scale):
+    generator = NetTraceGenerator(
+        num_active_hosts=scale.nettrace_hosts,
+        domain_bits=scale.universal_domain_bits,
+    )
+    return generator.generate(np.random.default_rng(0)).counts
+
+
+@pytest.fixture(scope="module")
+def batch(counts):
+    return QueryBatch.random(counts.size, NUM_QUERIES, rng=1)
+
+
+def test_warm_start_serves_identical_answers_with_zero_epsilon(
+    counts, batch, tmp_path, report
+):
+    store_dir = tmp_path / "releases"
+    rows = []
+
+    # --- cold process: materialize every release, persisting each artifact.
+    cold_engine = HistogramEngine(
+        counts, total_epsilon=1.0, store=ReleaseStore(store_dir)
+    )
+    cold_results = {}
+    for estimator in ESTIMATORS:
+        cold_results[estimator] = cold_engine.submit(
+            batch, estimator, epsilon=EPSILON, seed=SEED
+        )
+    assert cold_engine.materializations == len(ESTIMATORS)
+    assert cold_engine.spent_epsilon == pytest.approx(EPSILON * len(ESTIMATORS))
+
+    # --- "restart": new engine, new cache, new store handle, same directory.
+    del cold_engine
+    warm_engine = HistogramEngine(
+        counts, total_epsilon=1.0, store=ReleaseStore(store_dir)
+    )
+    for estimator in ESTIMATORS:
+        cold = cold_results[estimator]
+        warm = warm_engine.submit(batch, estimator, epsilon=EPSILON, seed=SEED)
+        assert warm.from_cache, f"{estimator}: warm start rebuilt the release"
+        assert np.array_equal(cold.answers, warm.answers), (
+            f"{estimator}: warm-start answers differ from the pre-restart release"
+        )
+        rows.append(
+            {
+                "estimator": cold.estimator,
+                "queries": NUM_QUERIES,
+                "cold_build_ms": round(cold.build_seconds * 1e3, 2),
+                "warm_load_ms": round(warm.build_seconds * 1e3, 3),
+                "warm_answer_ms": round(warm.answer_seconds * 1e3, 3),
+                "warm_qps": int(warm.queries_per_second),
+            }
+        )
+
+    # The headline guarantees, across all four estimators at serving scale.
+    assert warm_engine.materializations == 0, "warm start recomputed a release"
+    assert warm_engine.spent_epsilon == 0.0, "warm start spent ε"
+    assert warm_engine.cache.stats.store_hits == len(ESTIMATORS)
+    report(
+        "store_warmstart",
+        rows,
+        title=(
+            f"Warm start from a release store: {NUM_QUERIES} queries after "
+            "restart, 0 materializations, 0 additional ε"
+        ),
+    )

@@ -53,10 +53,12 @@ from repro.queries import (
     UnitCountQuery,
 )
 from repro.serving import (
+    EngineFleet,
     HistogramEngine,
     MaterializedRelease,
     QueryBatch,
     ReleaseCache,
+    ReleaseStore,
 )
 
 __version__ = "1.0.0"
@@ -82,9 +84,11 @@ __all__ = [
     "UnitCountQuery",
     "SortedCountQuery",
     "HierarchicalQuery",
+    "EngineFleet",
     "HistogramEngine",
     "MaterializedRelease",
     "QueryBatch",
     "ReleaseCache",
+    "ReleaseStore",
     "__version__",
 ]

@@ -29,6 +29,17 @@ access to the private data and no further privacy cost::
     # Answer ranges from a file ("lo hi" per line) and save a CSV
     python -m repro.cli batch-query --release nettrace.npz \
         --queries-file ranges.txt --out answers.csv
+
+For long-lived serving, ``serve-store`` runs an engine over a durable
+release *store* directory: the first run pays ε and persists the
+artifact; any later run (including after a restart) warm-starts from disk
+with zero recomputation and zero additional ε.  ``fleet`` hosts several
+datasets behind one façade with per-dataset budgets and a shared store::
+
+    python -m repro.cli serve-store --store releases/ --dataset nettrace \
+        --epsilon 0.5 --seed 7 --random 100000
+    python -m repro.cli fleet --store releases/ --datasets nettrace searchlogs \
+        --epsilon 0.5 --seed 7 --random 10000
 """
 
 from __future__ import annotations
@@ -45,10 +56,13 @@ from repro.core.tasks import UnattributedHistogramTask, UniversalHistogramTask
 from repro.data.registry import default_registry
 from repro.exceptions import ReproError
 from repro.serving import (
+    ESTIMATOR_NAMES,
     BatchQueryPlanner,
+    EngineFleet,
     HistogramEngine,
     MaterializedRelease,
     QueryBatch,
+    ReleaseStore,
 )
 from repro.utils.random import as_generator
 
@@ -183,17 +197,99 @@ def _cmd_batch_query(args: argparse.Namespace) -> int:
         f"answered {len(batch)} range queries ({batch.name}) in "
         f"{elapsed * 1e3:.2f} ms ({rate}) — no additional privacy cost"
     )
-    if args.out:
+    _write_answers(batch, answers, args.out)
+    return 0
+
+
+def _write_answers(batch: QueryBatch, answers: np.ndarray, out: str | None) -> None:
+    if out:
         rows = [
             {"lo": int(lo), "hi": int(hi), "estimate": float(v)}
             for lo, hi, v in zip(batch.los, batch.his, answers)
         ]
-        path = write_csv(rows, Path(args.out))
+        path = write_csv(rows, Path(out))
         print(f"wrote {len(rows)} rows to {path}")
     else:
         preview = ", ".join(f"{v:g}" for v in answers[:10])
         suffix = ", ..." if answers.size > 10 else ""
         print(f"estimates: {preview}{suffix}")
+
+
+def _cmd_serve_store(args: argparse.Namespace) -> int:
+    counts = _load_counts(args, task="universal")
+    total = args.total_epsilon if args.total_epsilon is not None else args.epsilon
+    engine = HistogramEngine(
+        counts,
+        total_epsilon=total,
+        branching=args.branching,
+        store=ReleaseStore(args.store),
+    )
+    batch = _resolve_batch(args, engine.domain_size)
+    result = engine.submit(batch, args.estimator, epsilon=args.epsilon, seed=args.seed)
+    if engine.materializations == 0:
+        print(
+            f"warm start from {args.store}: release loaded from disk — "
+            "0 materializations, zero additional privacy cost"
+        )
+    else:
+        print(
+            f"cold start: materialized {result.estimator} (ε={result.epsilon:g}) "
+            f"and persisted it to {args.store}"
+        )
+    print(
+        f"materializations this process: {engine.materializations}; "
+        f"ε spent this process: {engine.spent_epsilon:g}"
+    )
+    rate = (
+        f"{result.queries_per_second:,.0f} queries/s"
+        if result.answer_seconds > 0
+        else "instant"
+    )
+    print(
+        f"answered {result.num_queries} range queries ({batch.name}) in "
+        f"{result.answer_seconds * 1e3:.2f} ms ({rate}); release resolution took "
+        f"{result.build_seconds * 1e3:.2f} ms"
+    )
+    _write_answers(batch, result.answers, args.out)
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    fleet = EngineFleet(store=ReleaseStore(args.store) if args.store else None)
+    total = args.total_epsilon if args.total_epsilon is not None else args.epsilon
+    rows = []
+    for name in args.datasets:
+        entry = registry.get(name, scale=args.scale)
+        if entry.universal is None:
+            raise ReproError(
+                f"dataset {name!r} has no universal-histogram variant"
+            )
+        counts = entry.universal(as_generator(args.seed))
+        engine = fleet.register(name, counts, total, branching=args.branching)
+        batch = QueryBatch.random(engine.domain_size, args.random, rng=args.query_seed)
+        result = fleet.submit(
+            name, batch, args.estimator, epsilon=args.epsilon, seed=args.seed
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "domain": engine.domain_size,
+                "queries": result.num_queries,
+                "warm": result.from_cache,
+                "build_ms": round(result.build_seconds * 1e3, 2),
+                "answer_ms": round(result.answer_seconds * 1e3, 3),
+                "epsilon_spent": engine.spent_epsilon,
+            }
+        )
+    print(render_table(rows, title="Fleet serving summary (per dataset)"))
+    stats = fleet.stats()
+    print(
+        f"fleet: {stats.datasets} datasets, {stats.requests} requests, "
+        f"{stats.queries} queries, {stats.materializations} materializations, "
+        f"sum of per-dataset ε spent: {stats.spent_epsilon:g}, aggregate "
+        f"{stats.queries_per_second:,.0f} queries/s"
+    )
     return 0
 
 
@@ -236,6 +332,42 @@ def _add_common_arguments(parser: argparse.ArgumentParser, with_privacy: bool = 
         parser.add_argument(
             "--epsilon", type=float, default=0.1, help="privacy parameter ε"
         )
+
+
+def _add_estimator_arguments(parser: argparse.ArgumentParser) -> None:
+    """The release-strategy options shared by every materializing command."""
+    parser.add_argument(
+        "--estimator",
+        default="constrained",
+        choices=sorted(ESTIMATOR_NAMES),
+        help="release strategy, alias or paper name (constrained = the paper's H_bar)",
+    )
+    parser.add_argument(
+        "--branching", type=int, default=2, help="tree branching factor k"
+    )
+
+
+def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+    """The query-selection group shared by every batch-answering command."""
+    queries = parser.add_mutually_exclusive_group()
+    queries.add_argument(
+        "--queries-file", help="text file with one inclusive range 'lo hi' per line"
+    )
+    queries.add_argument(
+        "--random", type=int, metavar="N", help="answer N random ranges (default 1000)"
+    )
+    queries.add_argument(
+        "--prefixes", action="store_true", help="answer every prefix range [0, i]"
+    )
+    queries.add_argument(
+        "--units", action="store_true", help="answer every unit count"
+    )
+    queries.add_argument(
+        "--total", action="store_true", help="answer the whole-domain total"
+    )
+    parser.add_argument(
+        "--query-seed", type=int, default=0, help="seed for --random query generation"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,13 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pay ε once and persist a consistent private release as .npz",
     )
     _add_common_arguments(materialize)
-    materialize.add_argument(
-        "--estimator",
-        default="constrained",
-        choices=["constrained", "hierarchical", "identity", "wavelet"],
-        help="release strategy (constrained = the paper's H_bar)",
-    )
-    materialize.add_argument("--branching", type=int, default=2, help="tree branching factor k")
+    _add_estimator_arguments(materialize)
     materialize.add_argument(
         "--release", required=True, help="write the release artifact (.npz) to this path"
     )
@@ -306,27 +432,67 @@ def build_parser() -> argparse.ArgumentParser:
     batch_query.add_argument(
         "--release", required=True, help="release artifact written by `materialize`"
     )
-    queries = batch_query.add_mutually_exclusive_group()
-    queries.add_argument(
-        "--queries-file", help="text file with one inclusive range 'lo hi' per line"
-    )
-    queries.add_argument(
-        "--random", type=int, metavar="N", help="answer N random ranges (default 1000)"
-    )
-    queries.add_argument(
-        "--prefixes", action="store_true", help="answer every prefix range [0, i]"
-    )
-    queries.add_argument(
-        "--units", action="store_true", help="answer every unit count"
-    )
-    queries.add_argument(
-        "--total", action="store_true", help="answer the whole-domain total"
-    )
-    batch_query.add_argument(
-        "--query-seed", type=int, default=0, help="seed for --random query generation"
-    )
+    _add_query_arguments(batch_query)
     batch_query.add_argument("--out", help="write lo,hi,estimate rows as CSV to this path")
     batch_query.set_defaults(handler=_cmd_batch_query)
+
+    serve_store = subparsers.add_parser(
+        "serve-store",
+        help="serve queries over a durable release store (warm-starts after restart)",
+    )
+    _add_common_arguments(serve_store)
+    serve_store.add_argument(
+        "--store", required=True, help="release store directory (created if missing)"
+    )
+    _add_estimator_arguments(serve_store)
+    serve_store.add_argument(
+        "--total-epsilon",
+        type=float,
+        default=None,
+        help="engine's total budget (defaults to --epsilon)",
+    )
+    _add_query_arguments(serve_store)
+    serve_store.set_defaults(handler=_cmd_serve_store)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="serve several datasets behind one fleet façade with per-dataset budgets",
+    )
+    fleet.add_argument(
+        "--datasets",
+        nargs="+",
+        required=True,
+        choices=sorted(default_registry().names()),
+        help="built-in datasets to register (each gets its own ε budget)",
+    )
+    fleet.add_argument(
+        "--scale",
+        default="small",
+        choices=["small", "paper"],
+        help="size of the built-in datasets",
+    )
+    fleet.add_argument("--seed", type=int, default=0, help="random seed")
+    fleet.add_argument(
+        "--epsilon", type=float, default=0.1, help="privacy parameter ε per release"
+    )
+    fleet.add_argument(
+        "--total-epsilon",
+        type=float,
+        default=None,
+        help="per-dataset total budget (defaults to --epsilon)",
+    )
+    _add_estimator_arguments(fleet)
+    fleet.add_argument(
+        "--store", help="shared release store directory (enables fleet warm starts)"
+    )
+    fleet.add_argument(
+        "--random", type=int, default=1000, metavar="N",
+        help="random ranges answered per dataset",
+    )
+    fleet.add_argument(
+        "--query-seed", type=int, default=0, help="seed for query generation"
+    )
+    fleet.set_defaults(handler=_cmd_fleet)
 
     datasets = subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
     datasets.set_defaults(handler=_cmd_datasets)

@@ -29,6 +29,10 @@ class PrivacyBudgetError(ReproError):
     """An operation would exceed the available privacy budget."""
 
 
+class ReleaseStoreError(ReproError):
+    """A durable release store is missing, corrupt, or inconsistent."""
+
+
 class SensitivityError(ReproError):
     """Sensitivity could not be established for a query sequence."""
 

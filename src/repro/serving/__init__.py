@@ -9,28 +9,66 @@ queries can be answered from it with no further privacy cost
 * :class:`MaterializedRelease` — the immutable release artifact with an
   O(1) prefix-sum range index and ``.npz`` serialization
   (:mod:`repro.serving.release`);
-* :class:`ReleaseCache` — an LRU over release identities with
-  hit/miss/eviction counters (:mod:`repro.serving.cache`);
+* :class:`ReleaseStore` — durable, restart-safe persistence of releases
+  (:mod:`repro.serving.store`);
+* :class:`ReleaseCache` — an LRU over release identities, optionally
+  backed by a store, with hit/miss/eviction/store-hit counters
+  (:mod:`repro.serving.cache`);
 * :class:`QueryBatch` / :class:`BatchQueryPlanner` — vectorized batch
   answering of range, unit, prefix, total, and predicate queries
   (:mod:`repro.serving.planner`);
 * :class:`HistogramEngine` — the façade wiring the Figure 1 roles, a
-  thread-safe privacy budget, the cache, and the planner behind
-  ``submit(QueryBatch) -> BatchResult`` (:mod:`repro.serving.engine`);
-* :class:`ServingStats` — per-request latency/throughput accounting
-  (:mod:`repro.serving.stats`).
+  thread-safe privacy budget (charged only after a successful build), the
+  cache, and the planner behind ``submit(QueryBatch) -> BatchResult``
+  (:mod:`repro.serving.engine`);
+* :class:`EngineFleet` — many engines, one façade: per-dataset budgets,
+  a shared cache/store, routing by dataset name, aggregated stats
+  (:mod:`repro.serving.fleet`);
+* :class:`ServingStats` — per-request latency/throughput accounting with
+  build time separated from answer time (:mod:`repro.serving.stats`).
+
+Durable artifact layout
+-----------------------
+
+A :class:`ReleaseStore` directory looks like::
+
+    <root>/
+      manifest.json                  # ReleaseKey -> artifact mapping
+      artifacts/
+        <fingerprint>-<estimator>-eps<ε>-b<k>-s<seed>-<hash>.v<N>.npz
+
+``manifest.json`` is keyed by the *full* release identity (dataset
+fingerprint, estimator, ε, branching, seed); every artifact is a
+versioned ``.npz`` written atomically (temp file + ``os.replace``), and
+loads verify the artifact's stored identity — fingerprint included —
+against the requested key before serving it.
+
+**Privacy argument.** A materialized release is post-processing of the
+ε-charged mechanism output (Proposition 2), so persisting, copying, or
+sharing the artifacts — and warm-starting a fresh engine from them —
+reveals nothing beyond the original release and costs no additional ε.
+The store never holds the true counts; only their fingerprint, used as an
+integrity check.
 
 Quickstart::
 
     import numpy as np
-    from repro.serving import HistogramEngine, QueryBatch
+    from repro.serving import HistogramEngine, QueryBatch, ReleaseStore
 
     counts = np.random.default_rng(0).poisson(5, size=1024)
-    engine = HistogramEngine(counts, total_epsilon=1.0)
+    store = ReleaseStore("releases")          # durable across restarts
+    engine = HistogramEngine(counts, total_epsilon=1.0, store=store)
     batch = QueryBatch.random(engine.domain_size, 100_000, rng=0)
     result = engine.submit(batch, "constrained", epsilon=0.1, seed=7)
     result.answers            # 100k range estimates, one prefix-sum pass
     engine.spent_epsilon      # 0.1 — and stays 0.1 on every repeat submit
+
+    # ... process restarts ...
+    engine = HistogramEngine(counts, total_epsilon=1.0,
+                             store=ReleaseStore("releases"))
+    engine.submit(batch, "constrained", epsilon=0.1, seed=7)
+    engine.materializations   # 0 — warm-started from disk
+    engine.spent_epsilon      # 0.0 — zero additional ε
 """
 
 from repro.serving.cache import CacheStats, ReleaseCache
@@ -39,6 +77,7 @@ from repro.serving.engine import (
     HistogramEngine,
     resolve_estimator,
 )
+from repro.serving.fleet import EngineFleet, FleetStats
 from repro.serving.planner import BatchQueryPlanner, BatchResult, QueryBatch
 from repro.serving.release import (
     MaterializedRelease,
@@ -46,6 +85,7 @@ from repro.serving.release import (
     fingerprint_counts,
 )
 from repro.serving.stats import ServingStats, StatsSnapshot
+from repro.serving.store import ReleaseStore
 
 __all__ = [
     "MaterializedRelease",
@@ -53,10 +93,13 @@ __all__ = [
     "fingerprint_counts",
     "ReleaseCache",
     "CacheStats",
+    "ReleaseStore",
     "QueryBatch",
     "BatchResult",
     "BatchQueryPlanner",
     "HistogramEngine",
+    "EngineFleet",
+    "FleetStats",
     "resolve_estimator",
     "ESTIMATOR_NAMES",
     "ServingStats",

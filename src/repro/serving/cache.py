@@ -1,4 +1,4 @@
-"""An LRU cache of materialized releases.
+"""An LRU cache of materialized releases, optionally backed by a store.
 
 Materializing a release is the expensive, ε-spending step of the serving
 pipeline; answering from an existing release is free in both senses.  The
@@ -8,10 +8,21 @@ estimator, ε, branching, seed) so a repeated workload never recomputes
 inference — and, because the engine charges the privacy budget inside the
 build callback, never re-spends ε either.
 
+When constructed with a :class:`~repro.serving.store.ReleaseStore`, the
+cache consults the store before invoking the builder: a release persisted
+by an earlier process (or another replica) is loaded from disk instead of
+being rebuilt, so warm starts cost **zero** inference and **zero** ε.
+Freshly built releases are persisted back to the store before the build
+is considered complete.
+
 The cache is thread-safe.  :meth:`ReleaseCache.get_or_build` serializes
 builds *per key*: two concurrent requests for the same key never both
 build (each build charges the privacy budget), while a slow cold build
-for one key does not block hits or builds for any other key.
+for one key does not block hits or builds for any other key.  After a
+*failed* build, waiters and newcomers re-coordinate through the lock
+registry (checking identity, not just presence) so at most one of them
+retries at a time — a failed build can never fan out into concurrent
+rebuilds that would double-charge ε.
 """
 
 from __future__ import annotations
@@ -19,10 +30,13 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.exceptions import ReproError
 from repro.serving.release import MaterializedRelease, ReleaseKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.serving.store import ReleaseStore
 
 __all__ = ["CacheStats", "ReleaseCache"]
 
@@ -36,6 +50,8 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    #: misses answered by loading a persisted artifact instead of building
+    store_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -45,18 +61,34 @@ class CacheStats:
 
 
 class ReleaseCache:
-    """Least-recently-used cache of :class:`MaterializedRelease` objects."""
+    """Least-recently-used cache of :class:`MaterializedRelease` objects.
 
-    def __init__(self, capacity: int = 32) -> None:
+    Parameters
+    ----------
+    capacity:
+        Maximum number of releases held in memory.
+    store:
+        Optional durable :class:`~repro.serving.store.ReleaseStore`;
+        misses check the store before building, and successful builds are
+        persisted to it.  Eviction only drops the in-memory copy — a
+        stored release is reloaded (never rebuilt) on the next request.
+    """
+
+    def __init__(self, capacity: int = 32, store: "ReleaseStore | None" = None) -> None:
         if capacity < 1:
             raise ReproError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
+        self.store = store
         self._entries: "OrderedDict[ReleaseKey, MaterializedRelease]" = OrderedDict()
         self._lock = threading.RLock()
         self._build_locks: dict[ReleaseKey, threading.Lock] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._store_hits = 0
+        #: keys whose release is cached but whose store write failed; the
+        #: persist is retried on the next request for the key.
+        self._unpersisted: set[ReleaseKey] = set()
 
     # -- lookups ---------------------------------------------------------------
 
@@ -78,40 +110,94 @@ class ReleaseCache:
                 self._entries.move_to_end(key)
             self._entries[key] = release
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._unpersisted.discard(evicted)
                 self._evictions += 1
 
     def get_or_build(
         self, key: ReleaseKey, builder: Callable[[], MaterializedRelease]
     ) -> MaterializedRelease:
-        """The cached release for ``key``, building and caching it on a miss.
+        """The cached release for ``key``, resolving a miss store-first.
 
-        Builds are serialized per key (duplicated builds would duplicate
-        ε charges): a requester racing an in-flight build for the same key
-        waits for it and then returns the cached artifact, while traffic
-        for other keys proceeds untouched.  If a build fails, the waiter
-        retries — a failed build charges nothing and caches nothing.
+        A miss is resolved in order: load from the durable store (no ε),
+        else call ``builder`` (charges ε) and persist the result.  Builds
+        are serialized per key — duplicated builds would duplicate ε
+        charges — so a requester racing an in-flight build for the same
+        key waits for it and then returns the cached artifact, while
+        traffic for other keys proceeds untouched.
+
+        If a build fails, exactly one waiter retries at a time: every
+        thread that wakes up (or arrives) re-checks that the build lock it
+        holds is still the *registered* one for the key, and starts over
+        when it is not.  A failed build charges nothing and caches
+        nothing.
+
+        A *persist* failure (the build succeeded but the store write did
+        not) raises too, but the release stays cached — no retry ever
+        re-spends ε — and the store write is retried on the next request
+        for the key, so a transient disk error cannot silently strand an
+        artifact in memory only.
         """
-        with self._lock:
-            release = self.get(key)
-            if release is not None:
-                return release
-            build_lock = self._build_locks.setdefault(key, threading.Lock())
-        with build_lock:
+        release = self.get(key)
+        if release is not None:
+            self._retry_persist(key, release)
+            return release
+        while True:
             with self._lock:
-                release = self._entries.get(key)
-                if release is not None:
-                    self._entries.move_to_end(key)
-                    return release
-            try:
-                release = builder()
-                self.put(key, release)
-                return release
-            finally:
-                # Dropped only after a successful put (or on failure), so a
-                # late arriver either finds the entry or waits on this lock.
+                build_lock = self._build_locks.setdefault(key, threading.Lock())
+            with build_lock:
                 with self._lock:
-                    self._build_locks.pop(key, None)
+                    release = self._entries.get(key)
+                    if release is not None:
+                        self._entries.move_to_end(key)
+                if release is not None:
+                    self._retry_persist(key, release)
+                    return release
+                with self._lock:
+                    if self._build_locks.get(key) is not build_lock:
+                        # The build we were waiting on failed and retired
+                        # this lock; re-coordinate through the registry so
+                        # we never build alongside a newcomer's lock.
+                        continue
+                from_store = False
+                try:
+                    release = self.store.get(key) if self.store is not None else None
+                    if release is not None:
+                        from_store = True
+                    else:
+                        release = builder()
+                    self.put(key, release)
+                    if not from_store and self.store is not None:
+                        # Persist before declaring the build complete; a
+                        # store failure surfaces loudly, but the release
+                        # stays cached so no retry re-spends ε.
+                        self._persist(key, release)
+                finally:
+                    with self._lock:
+                        if self._build_locks.get(key) is build_lock:
+                            self._build_locks.pop(key)
+                if from_store:
+                    with self._lock:
+                        self._store_hits += 1
+                return release
+
+    def _persist(self, key: ReleaseKey, release: MaterializedRelease) -> None:
+        """Write ``release`` to the store, tracking failures for retry."""
+        try:
+            self.store.put(release)
+        except BaseException:
+            with self._lock:
+                self._unpersisted.add(key)
+            raise
+        with self._lock:
+            self._unpersisted.discard(key)
+
+    def _retry_persist(self, key: ReleaseKey, release: MaterializedRelease) -> None:
+        """Re-attempt a previously failed store write for a cached release."""
+        with self._lock:
+            pending = self.store is not None and key in self._unpersisted
+        if pending:
+            self._persist(key, release)
 
     # -- introspection ---------------------------------------------------------
 
@@ -130,7 +216,7 @@ class ReleaseCache:
             return list(self._entries)
 
     def clear(self) -> None:
-        """Drop every entry (counters are preserved)."""
+        """Drop every in-memory entry (counters and the store are preserved)."""
         with self._lock:
             self._entries.clear()
 
@@ -144,4 +230,5 @@ class ReleaseCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                store_hits=self._store_hits,
             )

@@ -1,0 +1,233 @@
+"""A multi-dataset serving fleet behind one façade.
+
+One process rarely serves a single histogram.  :class:`EngineFleet` hosts
+many :class:`~repro.serving.engine.HistogramEngine` instances — one per
+registered ``(dataset, attribute)`` — and routes requests to them by
+dataset name, while keeping the privacy story per-tenant:
+
+* **per-dataset budgets** — every registered dataset gets its own
+  :class:`~repro.privacy.budget.PrivacyBudget`; traffic against one
+  dataset can never consume another's ε;
+* **one shared cache** — all engines resolve releases through a single
+  :class:`~repro.serving.cache.ReleaseCache` (optionally backed by a
+  durable :class:`~repro.serving.store.ReleaseStore`).  Cache keys embed
+  the dataset fingerprint, so sharing is safe: a release is only ever
+  served for the exact counts it was computed from, and two names
+  registered over identical counts legitimately share artifacts;
+* **aggregated telemetry** — :meth:`EngineFleet.stats` folds every
+  engine's :class:`~repro.serving.stats.ServingStats` into one
+  fleet-level snapshot plus per-dataset detail.
+
+Quickstart::
+
+    fleet = EngineFleet(store=ReleaseStore("/var/lib/repro-releases"))
+    fleet.register("nettrace", nettrace_counts, total_epsilon=1.0)
+    fleet.register("searchlogs", searchlogs_counts, total_epsilon=0.5)
+    result = fleet.submit("nettrace", batch, "constrained", epsilon=0.1, seed=7)
+    fleet.stats().queries_per_second
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.exceptions import ReproError
+from repro.queries.workload import RangeWorkload
+from repro.serving.cache import ReleaseCache
+from repro.serving.engine import HistogramEngine
+from repro.serving.planner import BatchResult, QueryBatch
+from repro.serving.release import MaterializedRelease
+from repro.serving.stats import ServingStats, StatsSnapshot
+from repro.serving.store import ReleaseStore
+
+__all__ = ["FleetStats", "EngineFleet"]
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Aggregated serving telemetry for a whole fleet.
+
+    ``spent_epsilon`` is the sum of per-dataset budgets' spending — pure
+    telemetry; the enforced guarantee remains per-dataset, where each
+    engine's budget lives.
+    """
+
+    datasets: int
+    total: StatsSnapshot
+    per_dataset: Mapping[str, StatsSnapshot]
+    materializations: int
+    spent_epsilon: float
+
+    @property
+    def requests(self) -> int:
+        return self.total.requests
+
+    @property
+    def queries(self) -> int:
+        return self.total.queries
+
+    @property
+    def queries_per_second(self) -> float:
+        """Fleet-wide steady-state serving throughput."""
+        return self.total.queries_per_second
+
+
+class EngineFleet:
+    """Registry and router for many single-dataset serving engines.
+
+    Parameters
+    ----------
+    cache:
+        A pre-built :class:`ReleaseCache` every engine shares; one is
+        created otherwise.
+    cache_capacity:
+        Capacity of the created cache when ``cache`` is not supplied.
+    store:
+        Optional durable :class:`ReleaseStore` attached to the created
+        cache, so the whole fleet warm-starts from persisted artifacts.
+        When supplying ``cache``, attach the store there instead.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ReleaseCache | None = None,
+        cache_capacity: int = 128,
+        store: ReleaseStore | None = None,
+    ) -> None:
+        if cache is not None and store is not None:
+            raise ReproError(
+                "pass either a shared cache or a store, not both; attach the "
+                "store to the shared ReleaseCache instead"
+            )
+        self.cache = cache if cache is not None else ReleaseCache(cache_capacity, store=store)
+        self._engines: dict[str, HistogramEngine] = {}
+        self._lock = threading.Lock()
+
+    # -- registry --------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        data,
+        total_epsilon: float,
+        *,
+        attribute: str | None = None,
+        delta: float = 0.0,
+        branching: int = 2,
+    ) -> HistogramEngine:
+        """Create and host an engine for ``name`` with its own ε budget.
+
+        ``data``/``attribute``/``total_epsilon`` have the
+        :class:`HistogramEngine` semantics.  Registering an existing name
+        raises — budgets are load-bearing state that must not be silently
+        replaced.
+        """
+        if not name:
+            raise ReproError("a dataset name is required to register an engine")
+        duplicate = ReproError(
+            f"dataset {name!r} is already registered; unregister it first"
+        )
+        with self._lock:
+            if name in self._engines:
+                # Checked before engine construction too: fingerprinting a
+                # large count vector is not free, so the common mistake
+                # fails before doing any work.
+                raise duplicate
+        engine = HistogramEngine(
+            data,
+            total_epsilon,
+            attribute=attribute,
+            delta=delta,
+            branching=branching,
+            cache=self.cache,
+        )
+        with self._lock:
+            if name in self._engines:
+                raise duplicate
+            self._engines[name] = engine
+        return engine
+
+    def unregister(self, name: str) -> None:
+        """Drop the engine for ``name`` (its cached artifacts remain shared)."""
+        with self._lock:
+            if self._engines.pop(name, None) is None:
+                raise ReproError(f"unknown dataset {name!r}")
+
+    def engine(self, name: str) -> HistogramEngine:
+        """The engine serving ``name``; raises for unknown datasets."""
+        with self._lock:
+            engine = self._engines.get(name)
+        if engine is None:
+            raise ReproError(
+                f"unknown dataset {name!r}; registered: {sorted(self.names()) or 'none'}"
+            )
+        return engine
+
+    def names(self) -> list[str]:
+        """Registered dataset names, sorted."""
+        with self._lock:
+            return sorted(self._engines)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._engines
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._engines)
+
+    # -- routing ---------------------------------------------------------------
+
+    def materialize(
+        self,
+        dataset: str,
+        estimator: str = "constrained",
+        *,
+        epsilon: float,
+        branching: int | None = None,
+        seed: int = 0,
+    ) -> MaterializedRelease:
+        """Materialize a release for ``dataset`` (routing by name)."""
+        return self.engine(dataset).materialize(
+            estimator, epsilon=epsilon, branching=branching, seed=seed
+        )
+
+    def submit(
+        self,
+        dataset: str,
+        batch: QueryBatch | RangeWorkload,
+        estimator: str = "constrained",
+        *,
+        epsilon: float,
+        branching: int | None = None,
+        seed: int = 0,
+    ) -> BatchResult:
+        """Answer a batch against ``dataset``'s engine (routing by name)."""
+        return self.engine(dataset).submit(
+            batch, estimator, epsilon=epsilon, branching=branching, seed=seed
+        )
+
+    # -- telemetry -------------------------------------------------------------
+
+    def stats(self) -> FleetStats:
+        """Aggregate serving stats across every registered engine."""
+        with self._lock:
+            engines = dict(self._engines)
+        per_dataset = {name: engine.stats.snapshot() for name, engine in engines.items()}
+        total = ServingStats()
+        for snapshot in per_dataset.values():
+            total.merge_snapshot(snapshot)
+        return FleetStats(
+            datasets=len(engines),
+            total=total.snapshot(),
+            per_dataset=MappingProxyType(per_dataset),
+            materializations=sum(e.materializations for e in engines.values()),
+            spent_epsilon=sum(e.spent_epsilon for e in engines.values()),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EngineFleet(datasets={self.names()})"

@@ -204,6 +204,24 @@ class MaterializedRelease:
 
     # -- serialization ---------------------------------------------------------
 
+    def _write_npz(self, handle) -> None:
+        """Serialize the release's ``.npz`` payload to an open binary handle.
+
+        Exposed (privately) so :class:`~repro.serving.store.ReleaseStore`
+        can stream the exact same format into a temporary file for its
+        atomic write-then-rename protocol.
+        """
+        np.savez(
+            handle,
+            format_version=np.int64(FORMAT_VERSION),
+            unit_estimates=self._leaves,
+            estimator=np.str_(self.estimator),
+            epsilon=np.float64(self.epsilon),
+            dataset_fingerprint=np.str_(self.dataset_fingerprint),
+            branching=np.int64(self.branching),
+            seed=np.int64(self.seed),
+        )
+
     def save(self, path) -> Path:
         """Write the release to ``path`` as a ``.npz`` archive.
 
@@ -213,16 +231,7 @@ class MaterializedRelease:
         path = Path(path)
         try:
             with open(path, "wb") as handle:
-                np.savez(
-                    handle,
-                    format_version=np.int64(FORMAT_VERSION),
-                    unit_estimates=self._leaves,
-                    estimator=np.str_(self.estimator),
-                    epsilon=np.float64(self.epsilon),
-                    dataset_fingerprint=np.str_(self.dataset_fingerprint),
-                    branching=np.int64(self.branching),
-                    seed=np.int64(self.seed),
-                )
+                self._write_npz(handle)
         except OSError as error:
             raise ReproError(f"cannot write release to {path}: {error}") from error
         return path

@@ -1,9 +1,19 @@
 """Per-request latency and throughput accounting for the serving engine.
 
-The engine records one observation per submitted batch.  Counters are
-protected by a lock so concurrent submissions from multiple threads are
-tallied correctly, and snapshots are plain dataclasses safe to hand to
-logging or monitoring code.
+The engine records one observation per submitted batch, split into two
+durations with very different economics:
+
+* **answer seconds** — the vectorized prefix-sum pass that answers the
+  batch; this is the steady-state serving cost and the basis of every
+  throughput figure;
+* **build seconds** — the time spent resolving the release (cache lookup,
+  store load, or the one-off mechanism-plus-inference build on a cold
+  miss); amortized away by the cache and never part of
+  ``queries_per_second``.
+
+Counters are protected by a lock so concurrent submissions from multiple
+threads are tallied correctly, and snapshots are plain dataclasses safe
+to hand to logging or monitoring code.
 """
 
 from __future__ import annotations
@@ -24,15 +34,26 @@ class StatsSnapshot:
     min_batch_seconds: float
     max_batch_seconds: float
     last_batch_seconds: float
+    #: cumulative release-resolution time (cold builds, store loads, and
+    #: cache lookups), kept out of the throughput figures
+    total_build_seconds: float = 0.0
+    #: requests whose release was built cold (charged ε) rather than
+    #: served from the cache or store
+    cold_builds: int = 0
 
     @property
     def queries_per_second(self) -> float:
-        """Aggregate throughput over every recorded batch (0 when idle)."""
+        """Aggregate *serving* throughput: answered queries over answer time.
+
+        One-off materialization cost is excluded, so this reflects the
+        steady-state rate the engine sustains on a warm release (0 when
+        idle).
+        """
         return self.queries / self.total_seconds if self.total_seconds > 0 else 0.0
 
     @property
     def mean_batch_seconds(self) -> float:
-        """Average wall-clock latency of one submitted batch."""
+        """Average wall-clock answer latency of one submitted batch."""
         return self.total_seconds / self.requests if self.requests else 0.0
 
 
@@ -47,13 +68,26 @@ class ServingStats:
         self._min_seconds = float("inf")
         self._max_seconds = 0.0
         self._last_seconds = 0.0
+        self._build_seconds = 0.0
+        self._cold_builds = 0
 
-    def record_batch(self, num_queries: int, seconds: float) -> None:
-        """Record one answered batch of ``num_queries`` taking ``seconds``."""
-        if num_queries < 0 or seconds < 0:
+    def record_batch(
+        self,
+        num_queries: int,
+        seconds: float,
+        build_seconds: float = 0.0,
+        cold: bool = False,
+    ) -> None:
+        """Record one answered batch.
+
+        ``seconds`` is the answer time only; ``build_seconds`` is the
+        release-resolution time that preceded it, and ``cold`` marks that
+        the release was actually built (ε charged) rather than reused.
+        """
+        if num_queries < 0 or seconds < 0 or build_seconds < 0:
             raise ValueError(
-                f"num_queries and seconds must be non-negative, got "
-                f"{num_queries} and {seconds}"
+                f"num_queries and durations must be non-negative, got "
+                f"{num_queries}, {seconds} and {build_seconds}"
             )
         with self._lock:
             self._requests += 1
@@ -62,6 +96,26 @@ class ServingStats:
             self._min_seconds = min(self._min_seconds, float(seconds))
             self._max_seconds = max(self._max_seconds, float(seconds))
             self._last_seconds = float(seconds)
+            self._build_seconds += float(build_seconds)
+            if cold:
+                self._cold_builds += 1
+
+    def merge_snapshot(self, other: StatsSnapshot) -> None:
+        """Fold another accumulator's snapshot into this one.
+
+        Used by the fleet façade to aggregate per-engine stats without
+        sharing a single hot lock across every engine's serving path.
+        """
+        with self._lock:
+            self._requests += other.requests
+            self._queries += other.queries
+            self._total_seconds += other.total_seconds
+            self._build_seconds += other.total_build_seconds
+            self._cold_builds += other.cold_builds
+            if other.requests:
+                self._min_seconds = min(self._min_seconds, other.min_batch_seconds)
+                self._max_seconds = max(self._max_seconds, other.max_batch_seconds)
+                self._last_seconds = other.last_batch_seconds
 
     def snapshot(self) -> StatsSnapshot:
         """The counters as an immutable snapshot."""
@@ -73,4 +127,6 @@ class ServingStats:
                 min_batch_seconds=0.0 if self._requests == 0 else self._min_seconds,
                 max_batch_seconds=self._max_seconds,
                 last_batch_seconds=self._last_seconds,
+                total_build_seconds=self._build_seconds,
+                cold_builds=self._cold_builds,
             )

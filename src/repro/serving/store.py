@@ -1,0 +1,270 @@
+"""Durable, restart-safe storage of materialized releases.
+
+A :class:`MaterializedRelease` is expensive in the only currency that
+matters — privacy budget — so losing one to a process restart means either
+losing service or paying ε again.  The :class:`ReleaseStore` removes that
+dilemma: every release is persisted as a versioned ``.npz`` artifact under
+a store directory, and a cold engine (via
+:class:`~repro.serving.cache.ReleaseCache`) warm-starts from disk with
+zero recomputation and **zero additional ε**.
+
+Persisting releases is safe because a materialized release is
+post-processing of differentially private output (Proposition 2): the
+artifact reveals nothing beyond what the ε-charged mechanism already
+released, so it may be written to disk, copied between replicas, or
+shipped to analysts without weakening the guarantee.  What must *never*
+be persisted is the true count vector — the store therefore records only
+the dataset *fingerprint*, which it uses as an integrity check on load.
+
+On-disk layout (see also the package docstring)::
+
+    <root>/
+      manifest.json          # maps every full ReleaseKey to its artifact
+      artifacts/
+        <fingerprint>-<estimator>-eps<ε>-b<k>-s<seed>-<hash>.v1.npz
+
+Writes are atomic: artifacts and the manifest are written to a temporary
+file in the same directory and ``os.replace``-d into place, so a crash
+mid-write can never leave a truncated artifact behind a manifest entry.
+Loads verify that the artifact's stored identity (dataset fingerprint,
+estimator, ε, branching, seed) matches the requested key exactly; any
+mismatch or corruption raises :class:`ReleaseStoreError` rather than
+silently serving another dataset's release.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.exceptions import ReleaseStoreError
+from repro.serving.release import FORMAT_VERSION, MaterializedRelease, ReleaseKey
+
+__all__ = ["ReleaseStore", "STORE_FORMAT_VERSION"]
+
+#: Version of the manifest schema; bump when the layout changes.
+STORE_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ARTIFACTS_DIR = "artifacts"
+
+_SAFE = re.compile(r"[^A-Za-z0-9._~-]")
+
+
+def _key_id(key: ReleaseKey) -> str:
+    """A deterministic, injective string identity for a release key."""
+    return (
+        f"{key.dataset_fingerprint}:{key.estimator}:{key.epsilon!r}:"
+        f"{key.branching}:{key.seed}"
+    )
+
+
+def _artifact_name(key: ReleaseKey) -> str:
+    """A filename-safe artifact name for ``key``.
+
+    Human-readable fields are sanitized for the filesystem, which could
+    collide for adversarial estimator names, so a short hash of the exact
+    key identity is appended to make the name injective; the load-time
+    identity check is the final authority either way.
+    """
+    readable = _SAFE.sub(
+        "-",
+        f"{key.dataset_fingerprint}-{key.estimator}-eps{key.epsilon!r}"
+        f"-b{key.branching}-s{key.seed}",
+    )
+    digest = hashlib.sha256(_key_id(key).encode("utf-8")).hexdigest()[:8]
+    return f"{readable}-{digest}.v{FORMAT_VERSION}.npz"
+
+
+def _atomic_write_bytes(path: Path, write) -> None:
+    """Run ``write(handle)`` against a temp file, then rename onto ``path``."""
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+class ReleaseStore:
+    """A directory of persisted releases, keyed by full release identity.
+
+    The store is thread-safe within one process (a lock serializes
+    manifest updates).  It is designed for a single writer per directory;
+    any number of read-only consumers (``batch-query`` style tools,
+    warm-starting replicas) may open the same directory concurrently.
+
+    Parameters
+    ----------
+    root:
+        The store directory; created (with its ``artifacts/`` subdir) if
+        missing.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self._lock = threading.RLock()
+        try:
+            (self.root / ARTIFACTS_DIR).mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ReleaseStoreError(
+                f"cannot create release store at {self.root}: {error}"
+            ) from error
+        self._manifest: dict[str, dict] = {}
+        self._load_manifest()
+
+    # -- manifest --------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _load_manifest(self) -> None:
+        path = self.manifest_path
+        if not path.exists():
+            return
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            raise ReleaseStoreError(
+                f"cannot read store manifest {path}: {error}"
+            ) from error
+        version = document.get("store_format_version")
+        if not isinstance(version, int) or version > STORE_FORMAT_VERSION:
+            raise ReleaseStoreError(
+                f"store manifest {path} has format version {version!r}, "
+                f"newer than the supported {STORE_FORMAT_VERSION}"
+            )
+        releases = document.get("releases")
+        if not isinstance(releases, dict):
+            raise ReleaseStoreError(f"store manifest {path} has no release table")
+        self._manifest = releases
+
+    def _write_manifest(self) -> None:
+        document = {
+            "store_format_version": STORE_FORMAT_VERSION,
+            "releases": self._manifest,
+        }
+        payload = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+        try:
+            _atomic_write_bytes(self.manifest_path, lambda handle: handle.write(payload))
+        except OSError as error:
+            raise ReleaseStoreError(
+                f"cannot write store manifest {self.manifest_path}: {error}"
+            ) from error
+
+    @staticmethod
+    def _entry_key(entry: dict) -> ReleaseKey:
+        try:
+            return ReleaseKey(
+                dataset_fingerprint=str(entry["dataset_fingerprint"]),
+                estimator=str(entry["estimator"]),
+                epsilon=float(entry["epsilon"]),
+                branching=int(entry["branching"]),
+                seed=int(entry["seed"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReleaseStoreError(
+                f"malformed manifest entry {entry!r}: {error}"
+            ) from error
+
+    # -- persistence -----------------------------------------------------------
+
+    def put(self, release: MaterializedRelease) -> Path:
+        """Persist ``release``, returning the artifact path written.
+
+        The artifact is written atomically (temp file + rename) before the
+        manifest is updated, so a reader can never follow a manifest entry
+        to a partial file.  Re-putting an existing key overwrites its
+        artifact in place.
+        """
+        key = release.key
+        key_id = _key_id(key)
+        path = self.root / ARTIFACTS_DIR / _artifact_name(key)
+        with self._lock:
+            try:
+                _atomic_write_bytes(path, release._write_npz)
+            except OSError as error:
+                raise ReleaseStoreError(
+                    f"cannot persist release to {path}: {error}"
+                ) from error
+            previous = self._manifest.get(key_id)
+            self._manifest[key_id] = {
+                "dataset_fingerprint": key.dataset_fingerprint,
+                "estimator": key.estimator,
+                "epsilon": key.epsilon,
+                "branching": key.branching,
+                "seed": key.seed,
+                "artifact": f"{ARTIFACTS_DIR}/{path.name}",
+                "format_version": FORMAT_VERSION,
+            }
+            try:
+                self._write_manifest()
+            except BaseException:
+                # Keep memory in sync with disk: the entry is only visible
+                # once the manifest that records it has been persisted.
+                if previous is None:
+                    self._manifest.pop(key_id, None)
+                else:
+                    self._manifest[key_id] = previous
+                raise
+        return path
+
+    def get(self, key: ReleaseKey) -> MaterializedRelease | None:
+        """The persisted release for ``key``, or ``None`` when absent.
+
+        Raises :class:`ReleaseStoreError` when the manifest names an
+        artifact that is missing, unreadable, or whose stored identity
+        (including the dataset fingerprint) disagrees with ``key`` — a
+        corrupt store must fail loudly, never answer for the wrong data.
+        """
+        with self._lock:
+            entry = self._manifest.get(_key_id(key))
+        if entry is None:
+            return None
+        if self._entry_key(entry) != key:
+            raise ReleaseStoreError(
+                f"manifest entry for {key} records a different identity; "
+                f"the store at {self.root} is corrupt"
+            )
+        path = self.root / str(entry.get("artifact", ""))
+        try:
+            release = MaterializedRelease.load(path)
+        except Exception as error:
+            raise ReleaseStoreError(
+                f"cannot load artifact {path} for {key}: {error}"
+            ) from error
+        if release.key != key:
+            raise ReleaseStoreError(
+                f"artifact {path} holds release {release.key}, not the "
+                f"requested {key}; refusing to serve a mismatched release"
+            )
+        return release
+
+    # -- introspection ---------------------------------------------------------
+
+    def __contains__(self, key: ReleaseKey) -> bool:
+        with self._lock:
+            return _key_id(key) in self._manifest
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._manifest)
+
+    def keys(self) -> list[ReleaseKey]:
+        """Every persisted release identity, in manifest order."""
+        with self._lock:
+            return [self._entry_key(entry) for entry in self._manifest.values()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ReleaseStore(root={str(self.root)!r}, releases={len(self)})"

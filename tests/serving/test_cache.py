@@ -118,6 +118,103 @@ class TestGetOrBuild:
         assert len(builds) == 1
         assert all(r is results[0] for r in results)
 
+    def test_waiter_after_failed_build_retries_exclusively(self):
+        """A failed build hands the key to exactly one retrier: the thread
+        that waited on the failing build loops, re-registers a lock, and
+        builds alone."""
+        cache = ReleaseCache(capacity=4)
+        k = key()
+        in_build = threading.Event()
+        fail_now = threading.Event()
+        calls: list[str] = []
+
+        def failing_builder():
+            calls.append("fail")
+            in_build.set()
+            assert fail_now.wait(5), "test orchestration timed out"
+            raise RuntimeError("build died")
+
+        def good_builder():
+            calls.append("good")
+            return release_for(k)
+
+        errors: list[BaseException] = []
+        results: list[object] = []
+
+        def first():
+            try:
+                cache.get_or_build(k, failing_builder)
+            except RuntimeError as error:
+                errors.append(error)
+
+        def second():
+            results.append(cache.get_or_build(k, good_builder))
+
+        t1 = threading.Thread(target=first)
+        t1.start()
+        assert in_build.wait(5)
+        t2 = threading.Thread(target=second)
+        t2.start()
+        t2.join(timeout=0.05)  # let the waiter block on the in-flight build
+        fail_now.set()
+        t1.join(timeout=5)
+        t2.join(timeout=5)
+        assert len(errors) == 1
+        assert calls == ["fail", "good"]
+        assert len(results) == 1 and results[0] is cache.get(k)
+
+    def test_failed_builds_never_overlap_concurrent_rebuilds(self):
+        """Regression for the failed-build race: after a build fails and its
+        lock is retired, a waiter holding the old lock and a newcomer with a
+        fresh lock must not build simultaneously (two concurrent builds for
+        one key means ε charged twice)."""
+        cache = ReleaseCache(capacity=4)
+        k = key()
+        state_lock = threading.Lock()
+        active = 0
+        max_active = 0
+        attempts = 0
+        successes: list[object] = []
+
+        def builder():
+            nonlocal active, max_active, attempts
+            with state_lock:
+                active += 1
+                attempts += 1
+                max_active = max(max_active, active)
+                fail = attempts <= 3  # the first retriers fail too
+            import time
+
+            time.sleep(0.005)  # widen the race window
+            try:
+                if fail:
+                    raise RuntimeError("flaky build")
+                return release_for(k)
+            finally:
+                with state_lock:
+                    active -= 1
+
+        barrier = threading.Barrier(12)
+
+        def worker():
+            barrier.wait()
+            while True:
+                try:
+                    successes.append(cache.get_or_build(k, builder))
+                    return
+                except RuntimeError:
+                    continue  # caller-level retry, like the engine's clients
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert max_active == 1, "two builds ran concurrently for one key"
+        assert attempts == 4  # 3 failures + exactly one successful build
+        assert len(successes) == 12
+        assert all(r is successes[0] for r in successes)
+
     def test_clear_preserves_counters(self):
         cache = ReleaseCache(capacity=4)
         k = key()

@@ -7,6 +7,8 @@ import threading
 import numpy as np
 import pytest
 
+import repro.serving.engine as engine_module
+
 from repro.db.domain import IntegerDomain
 from repro.db.relation import Column, Relation, Schema
 from repro.estimators import (
@@ -154,6 +156,142 @@ class TestSubmit:
         assert second.materializations == 0
         assert second.spent_epsilon == 0.0
         assert release.dataset_fingerprint == first.fingerprint
+
+
+class TestBudgetLeakRegression:
+    """ε must be charged only after a release has actually been computed."""
+
+    def test_failing_fit_charges_no_epsilon(self, engine, monkeypatch):
+        class ExplodingEstimator:
+            def fit(self, counts, epsilon, rng=None):
+                raise RuntimeError("mechanism died mid-fit")
+
+        monkeypatch.setattr(
+            engine_module, "resolve_estimator", lambda name, branching=2: ExplodingEstimator()
+        )
+        with pytest.raises(RuntimeError, match="mechanism died"):
+            engine.materialize("identity", epsilon=0.5, seed=0)
+        assert engine.spent_epsilon == 0.0
+        assert engine.materializations == 0
+        # the failed identity was not cached: a later build runs and charges once
+        monkeypatch.undo()
+        engine.materialize("identity", epsilon=0.5, seed=0)
+        assert engine.spent_epsilon == pytest.approx(0.5)
+        assert engine.materializations == 1
+
+    def test_failing_hbar_inference_charges_no_epsilon(self, engine, monkeypatch):
+        class ExplodingSession:
+            @classmethod
+            def over_counts(cls, counts, total_epsilon, delta=0.0):
+                return cls()
+
+            def universal_histogram(self, epsilon, branching=2, rng=None, **kwargs):
+                raise RuntimeError("inference died")
+
+        monkeypatch.setattr(engine_module, "PrivateSession", ExplodingSession)
+        with pytest.raises(RuntimeError, match="inference died"):
+            engine.materialize("constrained", epsilon=0.5, seed=0)
+        assert engine.spent_epsilon == 0.0
+        assert engine.materializations == 0
+
+    def test_exhausted_budget_fails_before_any_compute(self, engine, monkeypatch):
+        fits = []
+
+        class RecordingEstimator:
+            def fit(self, counts, epsilon, rng=None):
+                fits.append(epsilon)
+                raise AssertionError("fit must not run once the budget is exhausted")
+
+        engine.materialize("identity", epsilon=1.0, seed=0)  # drain the budget
+        monkeypatch.setattr(
+            engine_module, "resolve_estimator", lambda name, branching=2: RecordingEstimator()
+        )
+        with pytest.raises(PrivacyBudgetError):
+            engine.materialize("identity", epsilon=0.5, seed=1)
+        assert fits == []
+        assert engine.spent_epsilon == pytest.approx(1.0)
+
+
+class TestWarmTelemetry:
+    def test_from_cache_true_for_waiter_on_inflight_build(self, sparse_counts, monkeypatch):
+        """A submit that waits on another thread's build never built anything
+        itself, so it must report from_cache=True — the old cache-membership
+        pre-check said False here."""
+        engine = HistogramEngine(sparse_counts, total_epsilon=1.0)
+        batch = QueryBatch.total(engine.domain_size)
+        fit_started = threading.Event()
+        fit_release = threading.Event()
+        real_resolve = engine_module.resolve_estimator
+
+        class SlowEstimator:
+            def fit(self, counts, epsilon, rng=None):
+                fit_started.set()
+                assert fit_release.wait(5), "test orchestration timed out"
+                return real_resolve("identity").fit(counts, epsilon, rng=rng)
+
+        monkeypatch.setattr(
+            engine_module, "resolve_estimator", lambda name, branching=2: SlowEstimator()
+        )
+        results = {}
+
+        def submit(tag):
+            results[tag] = engine.submit(batch, "identity", epsilon=0.25, seed=0)
+
+        builder = threading.Thread(target=submit, args=("builder",))
+        builder.start()
+        assert fit_started.wait(5)
+        waiter = threading.Thread(target=submit, args=("waiter",))
+        waiter.start()
+        # give the waiter time to block on the in-flight build, then let it finish
+        waiter.join(timeout=0.05)
+        fit_release.set()
+        builder.join(timeout=5)
+        waiter.join(timeout=5)
+        assert not results["builder"].from_cache
+        assert results["waiter"].from_cache
+        assert engine.materializations == 1
+        assert engine.spent_epsilon == pytest.approx(0.25)
+        assert engine.stats.snapshot().cold_builds == 1
+
+    def test_rebuild_after_eviction_reports_cold(self, sparse_counts):
+        """With a capacity-1 cache and no store, re-requesting an evicted
+        release rebuilds (and recharges) — and must say so."""
+        engine = HistogramEngine(sparse_counts, total_epsilon=1.0, cache_capacity=1)
+        batch = QueryBatch.total(engine.domain_size)
+        first = engine.submit(batch, "identity", epsilon=0.1, seed=1)
+        engine.submit(batch, "identity", epsilon=0.1, seed=2)  # evicts seed=1
+        again = engine.submit(batch, "identity", epsilon=0.1, seed=1)
+        assert not first.from_cache
+        assert not again.from_cache
+        assert engine.materializations == 3
+        assert engine.spent_epsilon == pytest.approx(0.3)
+
+
+class TestTimingSplit:
+    def test_build_and_answer_durations_are_separate(self, engine):
+        batch = QueryBatch.random(engine.domain_size, 2000, rng=0)
+        cold = engine.submit(batch, "constrained", epsilon=0.25, seed=0)
+        warm = engine.submit(batch, "constrained", epsilon=0.25, seed=0)
+        for result in (cold, warm):
+            assert result.build_seconds >= 0
+            assert result.answer_seconds > 0
+            assert result.elapsed_seconds == pytest.approx(
+                result.build_seconds + result.answer_seconds
+            )
+        # the cold build dominates its batch; throughput must ignore it
+        assert cold.build_seconds > cold.answer_seconds
+        assert cold.queries_per_second == pytest.approx(
+            cold.num_queries / cold.answer_seconds
+        )
+        snapshot = engine.stats.snapshot()
+        assert snapshot.requests == 2
+        assert snapshot.cold_builds == 1
+        assert snapshot.total_build_seconds >= cold.build_seconds
+        # aggregate throughput is over answer time only
+        assert snapshot.queries_per_second == pytest.approx(
+            snapshot.queries / snapshot.total_seconds
+        )
+        assert snapshot.total_seconds < snapshot.total_build_seconds
 
 
 class TestConcurrency:

@@ -1,0 +1,157 @@
+"""Tests for the multi-dataset serving fleet."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyBudgetError, ReproError
+from repro.serving.cache import ReleaseCache
+from repro.serving.fleet import EngineFleet
+from repro.serving.planner import QueryBatch
+from repro.serving.store import ReleaseStore
+
+
+@pytest.fixture
+def counts_a(rng) -> np.ndarray:
+    return rng.poisson(5, size=64).astype(float)
+
+
+@pytest.fixture
+def counts_b(rng) -> np.ndarray:
+    return rng.poisson(2, size=128).astype(float)
+
+
+class TestRegistry:
+    def test_register_and_route(self, counts_a, counts_b):
+        fleet = EngineFleet()
+        engine_a = fleet.register("alpha", counts_a, total_epsilon=1.0)
+        engine_b = fleet.register("beta", counts_b, total_epsilon=0.5)
+        assert fleet.engine("alpha") is engine_a
+        assert fleet.engine("beta") is engine_b
+        assert fleet.names() == ["alpha", "beta"]
+        assert "alpha" in fleet and "gamma" not in fleet
+        assert len(fleet) == 2
+
+    def test_unknown_dataset_raises(self, counts_a):
+        fleet = EngineFleet()
+        fleet.register("alpha", counts_a, total_epsilon=1.0)
+        with pytest.raises(ReproError, match="unknown dataset"):
+            fleet.engine("beta")
+        with pytest.raises(ReproError, match="unknown dataset"):
+            fleet.submit("beta", QueryBatch.total(64), epsilon=0.1)
+
+    def test_duplicate_name_rejected(self, counts_a):
+        fleet = EngineFleet()
+        fleet.register("alpha", counts_a, total_epsilon=1.0)
+        with pytest.raises(ReproError, match="already registered"):
+            fleet.register("alpha", counts_a, total_epsilon=1.0)
+
+    def test_empty_name_rejected(self, counts_a):
+        with pytest.raises(ReproError):
+            EngineFleet().register("", counts_a, total_epsilon=1.0)
+
+    def test_unregister(self, counts_a):
+        fleet = EngineFleet()
+        fleet.register("alpha", counts_a, total_epsilon=1.0)
+        fleet.unregister("alpha")
+        assert "alpha" not in fleet
+        with pytest.raises(ReproError):
+            fleet.unregister("alpha")
+
+    def test_cache_plus_store_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="not both"):
+            EngineFleet(cache=ReleaseCache(4), store=ReleaseStore(tmp_path))
+
+
+class TestBudgetIsolation:
+    def test_budgets_are_per_dataset(self, counts_a, counts_b):
+        fleet = EngineFleet()
+        fleet.register("alpha", counts_a, total_epsilon=0.3)
+        fleet.register("beta", counts_b, total_epsilon=1.0)
+        fleet.materialize("alpha", "identity", epsilon=0.3, seed=0)
+        # alpha is exhausted; beta is untouched
+        assert fleet.engine("alpha").remaining_epsilon == pytest.approx(0.0)
+        assert fleet.engine("beta").spent_epsilon == 0.0
+        with pytest.raises(PrivacyBudgetError):
+            fleet.materialize("alpha", "identity", epsilon=0.1, seed=1)
+        fleet.materialize("beta", "identity", epsilon=0.4, seed=0)
+        assert fleet.engine("beta").spent_epsilon == pytest.approx(0.4)
+        assert fleet.engine("alpha").spent_epsilon == pytest.approx(0.3)
+
+    def test_identical_counts_share_artifacts_across_names(self, counts_a):
+        """Same fingerprint + same identity = one build through the shared cache."""
+        fleet = EngineFleet()
+        fleet.register("primary", counts_a, total_epsilon=1.0)
+        fleet.register("replica", counts_a, total_epsilon=1.0)
+        first = fleet.materialize("primary", "constrained", epsilon=0.25, seed=3)
+        second = fleet.materialize("replica", "constrained", epsilon=0.25, seed=3)
+        assert first is second
+        assert fleet.engine("replica").materializations == 0
+        assert fleet.engine("replica").spent_epsilon == 0.0
+
+    def test_different_counts_never_share(self, counts_a, counts_b):
+        fleet = EngineFleet()
+        fleet.register("alpha", counts_a, total_epsilon=1.0)
+        fleet.register("beta", counts_b, total_epsilon=1.0)
+        a = fleet.materialize("alpha", "identity", epsilon=0.25, seed=3)
+        b = fleet.materialize("beta", "identity", epsilon=0.25, seed=3)
+        assert a is not b
+        assert a.dataset_fingerprint != b.dataset_fingerprint
+        assert fleet.engine("beta").materializations == 1
+
+
+class TestServingAndStats:
+    def test_submit_routes_and_aggregates(self, counts_a, counts_b):
+        fleet = EngineFleet()
+        fleet.register("alpha", counts_a, total_epsilon=1.0)
+        fleet.register("beta", counts_b, total_epsilon=1.0)
+        batch_a = QueryBatch.random(64, 500, rng=0)
+        batch_b = QueryBatch.random(128, 700, rng=0)
+        result_a = fleet.submit("alpha", batch_a, "identity", epsilon=0.1, seed=0)
+        fleet.submit("beta", batch_b, "identity", epsilon=0.1, seed=0)
+        fleet.submit("alpha", batch_a, "identity", epsilon=0.1, seed=0)  # warm
+        assert result_a.num_queries == 500
+        stats = fleet.stats()
+        assert stats.datasets == 2
+        assert stats.requests == 3
+        assert stats.queries == 500 + 700 + 500
+        assert stats.materializations == 2
+        assert stats.total.cold_builds == 2
+        assert stats.spent_epsilon == pytest.approx(0.2)
+        assert set(stats.per_dataset) == {"alpha", "beta"}
+        assert stats.per_dataset["alpha"].requests == 2
+        assert stats.per_dataset["beta"].queries == 700
+        assert stats.queries_per_second >= 0
+
+    def test_empty_fleet_stats(self):
+        stats = EngineFleet().stats()
+        assert stats.datasets == 0
+        assert stats.requests == 0
+        assert stats.queries_per_second == 0.0
+        assert stats.spent_epsilon == 0.0
+
+
+class TestFleetWarmStart:
+    def test_whole_fleet_warm_starts_from_store(self, tmp_path, counts_a, counts_b):
+        batch_a = QueryBatch.random(64, 2000, rng=0)
+        batch_b = QueryBatch.random(128, 2000, rng=0)
+
+        cold = EngineFleet(store=ReleaseStore(tmp_path))
+        cold.register("alpha", counts_a, total_epsilon=1.0)
+        cold.register("beta", counts_b, total_epsilon=1.0)
+        cold_a = cold.submit("alpha", batch_a, "constrained", epsilon=0.2, seed=5)
+        cold_b = cold.submit("beta", batch_b, "constrained", epsilon=0.2, seed=5)
+        assert cold.stats().materializations == 2
+
+        warm = EngineFleet(store=ReleaseStore(tmp_path))
+        warm.register("alpha", counts_a, total_epsilon=1.0)
+        warm.register("beta", counts_b, total_epsilon=1.0)
+        warm_a = warm.submit("alpha", batch_a, "constrained", epsilon=0.2, seed=5)
+        warm_b = warm.submit("beta", batch_b, "constrained", epsilon=0.2, seed=5)
+        stats = warm.stats()
+        assert stats.materializations == 0
+        assert stats.spent_epsilon == 0.0
+        assert warm_a.from_cache and warm_b.from_cache
+        assert np.array_equal(cold_a.answers, warm_a.answers)
+        assert np.array_equal(cold_b.answers, warm_b.answers)

@@ -1,0 +1,270 @@
+"""Tests for the durable release store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReleaseStoreError
+from repro.serving.cache import ReleaseCache
+from repro.serving.engine import HistogramEngine
+from repro.serving.planner import QueryBatch
+from repro.serving.release import FORMAT_VERSION, MaterializedRelease, ReleaseKey
+from repro.serving.store import ARTIFACTS_DIR, STORE_FORMAT_VERSION, ReleaseStore
+
+
+def release_for(key: ReleaseKey, values=None) -> MaterializedRelease:
+    return MaterializedRelease(
+        np.arange(8, dtype=float) if values is None else values,
+        estimator=key.estimator,
+        epsilon=key.epsilon,
+        dataset_fingerprint=key.dataset_fingerprint,
+        branching=key.branching,
+        seed=key.seed,
+    )
+
+
+def key(fingerprint="fp", estimator="H_bar", epsilon=0.1, branching=2, seed=0) -> ReleaseKey:
+    return ReleaseKey(
+        dataset_fingerprint=fingerprint,
+        estimator=estimator,
+        epsilon=epsilon,
+        branching=branching,
+        seed=seed,
+    )
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ReleaseStore(tmp_path / "store")
+        k = key()
+        original = release_for(k)
+        path = store.put(original)
+        assert path.exists()
+        assert path.name.endswith(f".v{FORMAT_VERSION}.npz")
+        loaded = store.get(k)
+        assert loaded is not None
+        assert loaded.key == k
+        assert np.array_equal(loaded.unit_counts(), original.unit_counts())
+
+    def test_get_absent_returns_none(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        assert store.get(key()) is None
+        assert key() not in store
+        assert len(store) == 0
+
+    def test_membership_and_keys(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        k1, k2 = key(seed=1), key(seed=2, estimator="L~")
+        store.put(release_for(k1))
+        store.put(release_for(k2))
+        assert k1 in store and k2 in store
+        assert len(store) == 2
+        assert set(store.keys()) == {k1, k2}
+
+    def test_full_key_is_identity(self, tmp_path):
+        """Two keys differing in any single field map to distinct artifacts."""
+        store = ReleaseStore(tmp_path)
+        base = key()
+        store.put(release_for(base))
+        for variant in [
+            key(fingerprint="other"),
+            key(estimator="L~"),
+            key(epsilon=0.2),
+            key(branching=4),
+            key(seed=1),
+        ]:
+            assert store.get(variant) is None
+
+    def test_reput_overwrites(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        k = key()
+        store.put(release_for(k, values=np.ones(4)))
+        store.put(release_for(k, values=np.full(4, 2.0)))
+        assert len(store) == 1
+        assert np.array_equal(store.get(k).unit_counts(), np.full(4, 2.0))
+
+
+class TestDurability:
+    def test_survives_reopening(self, tmp_path):
+        """A fresh store handle over the same directory sees every release."""
+        k = key()
+        original = release_for(k)
+        ReleaseStore(tmp_path).put(original)
+        reopened = ReleaseStore(tmp_path)
+        loaded = reopened.get(k)
+        assert np.array_equal(loaded.unit_counts(), original.unit_counts())
+        assert loaded.key == k
+
+    def test_atomic_writes_leave_no_temp_files(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        for seed in range(5):
+            store.put(release_for(key(seed=seed)))
+        stray = [p.name for p in tmp_path.rglob("*.tmp")]
+        assert stray == []
+        artifacts = list((tmp_path / ARTIFACTS_DIR).iterdir())
+        assert len(artifacts) == 5
+        assert all(p.suffix == ".npz" for p in artifacts)
+
+
+class TestIntegrity:
+    def test_corrupt_artifact_raises(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        k = key()
+        path = store.put(release_for(k))
+        path.write_bytes(b"not an npz archive")
+        with pytest.raises(ReleaseStoreError, match="cannot load artifact"):
+            store.get(k)
+
+    def test_missing_artifact_raises(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        k = key()
+        path = store.put(release_for(k))
+        path.unlink()
+        with pytest.raises(ReleaseStoreError):
+            store.get(k)
+
+    def test_fingerprint_mismatch_is_refused(self, tmp_path):
+        """A manifest rewired to another dataset's artifact must not serve it."""
+        store = ReleaseStore(tmp_path)
+        mine, theirs = key(fingerprint="mine"), key(fingerprint="theirs")
+        store.put(release_for(mine))
+        store.put(release_for(theirs))
+        manifest = json.loads(store.manifest_path.read_text())
+        entries = manifest["releases"]
+        id_mine = next(i for i, e in entries.items() if e["dataset_fingerprint"] == "mine")
+        id_theirs = next(i for i, e in entries.items() if e["dataset_fingerprint"] == "theirs")
+        entries[id_mine]["artifact"] = entries[id_theirs]["artifact"]
+        store.manifest_path.write_text(json.dumps(manifest))
+        tampered = ReleaseStore(tmp_path)
+        with pytest.raises(ReleaseStoreError, match="mismatched"):
+            tampered.get(mine)
+
+    def test_tampered_entry_identity_is_refused(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        k = key()
+        store.put(release_for(k))
+        manifest = json.loads(store.manifest_path.read_text())
+        entry = next(iter(manifest["releases"].values()))
+        entry["epsilon"] = 99.0
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ReleaseStoreError, match="corrupt"):
+            ReleaseStore(tmp_path).get(k)
+
+    def test_future_manifest_version_rejected(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        store.put(release_for(key()))
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["store_format_version"] = STORE_FORMAT_VERSION + 1
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ReleaseStoreError, match="format version"):
+            ReleaseStore(tmp_path)
+
+    def test_unreadable_manifest_raises(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{ not json")
+        (tmp_path / ARTIFACTS_DIR).mkdir()
+        with pytest.raises(ReleaseStoreError, match="cannot read store manifest"):
+            ReleaseStore(tmp_path)
+
+
+class TestCacheIntegration:
+    def test_store_hit_skips_builder(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        k = key()
+        store.put(release_for(k))
+        cache = ReleaseCache(capacity=4, store=store)
+        calls = []
+        result = cache.get_or_build(k, lambda: calls.append(1))
+        assert calls == []
+        assert result.key == k
+        assert cache.stats.store_hits == 1
+        # now in memory: a second lookup is a plain cache hit
+        assert cache.get_or_build(k, lambda: calls.append(1)) is result
+        assert calls == []
+
+    def test_build_persists_to_store(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        cache = ReleaseCache(capacity=4, store=store)
+        k = key()
+        cache.get_or_build(k, lambda: release_for(k))
+        assert k in store
+        assert np.array_equal(store.get(k).unit_counts(), release_for(k).unit_counts())
+
+    def test_failed_persist_is_loud_then_retried_without_rebuilding(self, tmp_path):
+        """A store write failure surfaces, but the release stays cached (no
+        ε re-spend) and the persist is retried on the next request."""
+        store = ReleaseStore(tmp_path)
+        cache = ReleaseCache(capacity=4, store=store)
+        k = key()
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return release_for(k)
+
+        real_put = store.put
+        failures = []
+
+        def flaky_put(release):
+            if not failures:
+                failures.append(1)
+                raise ReleaseStoreError("disk full")
+            return real_put(release)
+
+        store.put = flaky_put
+        with pytest.raises(ReleaseStoreError, match="disk full"):
+            cache.get_or_build(k, builder)
+        assert builds == [1]
+        assert k in cache  # the built release was not thrown away
+        assert k not in store
+        # next request: no rebuild, persist retried and now durable
+        result = cache.get_or_build(k, builder)
+        assert builds == [1]
+        assert result.key == k
+        assert k in store
+
+    def test_eviction_reloads_from_store_instead_of_rebuilding(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        cache = ReleaseCache(capacity=1, store=store)
+        k1, k2 = key(seed=1), key(seed=2)
+        builds = []
+        cache.get_or_build(k1, lambda: (builds.append(k1), release_for(k1))[1])
+        cache.get_or_build(k2, lambda: (builds.append(k2), release_for(k2))[1])
+        assert k1 not in cache  # evicted from memory
+        reloaded = cache.get_or_build(k1, lambda: (builds.append(k1), release_for(k1))[1])
+        assert builds == [k1, k2]  # no rebuild: the artifact came from disk
+        assert reloaded.key == k1
+        assert cache.stats.store_hits == 1
+
+
+class TestEngineWarmStart:
+    def test_cold_then_warm_engine_round_trip(self, tmp_path, sparse_counts):
+        """materialize -> kill engine -> warm-start -> identical answers, no ε."""
+        store_dir = tmp_path / "releases"
+        cold_engine = HistogramEngine(
+            sparse_counts, total_epsilon=1.0, store=ReleaseStore(store_dir)
+        )
+        batch = QueryBatch.random(cold_engine.domain_size, 5000, rng=0)
+        cold = cold_engine.submit(batch, "constrained", epsilon=0.25, seed=7)
+        assert cold_engine.materializations == 1
+
+        warm_engine = HistogramEngine(
+            sparse_counts, total_epsilon=1.0, store=ReleaseStore(store_dir)
+        )
+        warm = warm_engine.submit(batch, "constrained", epsilon=0.25, seed=7)
+        assert warm.from_cache
+        assert warm_engine.materializations == 0
+        assert warm_engine.spent_epsilon == 0.0
+        assert np.array_equal(cold.answers, warm.answers)
+
+    def test_engine_rejects_cache_plus_store(self, sparse_counts, tmp_path):
+        cache = ReleaseCache(capacity=4)
+        with pytest.raises(Exception, match="not both"):
+            HistogramEngine(
+                sparse_counts,
+                total_epsilon=1.0,
+                cache=cache,
+                store=ReleaseStore(tmp_path),
+            )

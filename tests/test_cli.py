@@ -176,6 +176,71 @@ class TestCommands:
         assert code == 2
         assert "cannot load release" in capsys.readouterr().err
 
+    def test_serve_store_cold_then_warm_round_trip(self, tmp_path, capsys):
+        """materialize -> restart -> warm start: zero ε, identical answers."""
+        store_dir = tmp_path / "releases"
+        cold_csv = tmp_path / "cold.csv"
+        warm_csv = tmp_path / "warm.csv"
+        base = [
+            "serve-store",
+            "--store", str(store_dir),
+            "--dataset", "nettrace",
+            "--epsilon", "0.5",
+            "--seed", "7",
+            "--random", "300",
+            "--query-seed", "1",
+        ]
+        assert main(base + ["--out", str(cold_csv)]) == 0
+        cold_out = capsys.readouterr().out
+        assert "cold start" in cold_out
+        assert "materializations this process: 1" in cold_out
+
+        assert main(base + ["--out", str(warm_csv)]) == 0
+        warm_out = capsys.readouterr().out
+        assert "warm start" in warm_out
+        assert "materializations this process: 0" in warm_out
+        assert "ε spent this process: 0" in warm_out
+        assert cold_csv.read_text() == warm_csv.read_text()
+
+    def test_serve_store_respects_total_epsilon(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-store",
+                "--store", str(tmp_path / "releases"),
+                "--dataset", "nettrace",
+                "--epsilon", "0.5",
+                "--total-epsilon", "0.1",
+                "--random", "10",
+            ]
+        )
+        assert code == 2
+        assert "cannot materialize" in capsys.readouterr().err
+
+    def test_fleet_serves_multiple_datasets(self, tmp_path, capsys):
+        store_dir = tmp_path / "releases"
+        args = [
+            "fleet",
+            "--datasets", "nettrace", "searchlogs",
+            "--epsilon", "0.5",
+            "--random", "100",
+            "--store", str(store_dir),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "nettrace" in out and "searchlogs" in out
+        assert "2 datasets" in out
+        assert "2 materializations" in out
+        # second run warm-starts the whole fleet from the shared store
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 materializations" in out
+        assert "sum of per-dataset ε spent: 0" in out
+
+    def test_fleet_rejects_dataset_without_universal_variant(self, capsys):
+        code = main(["fleet", "--datasets", "socialnetwork", "--random", "10"])
+        assert code == 2
+        assert "no universal-histogram variant" in capsys.readouterr().err
+
     def test_compare_universal(self, tmp_path, capsys):
         counts_file = tmp_path / "counts.txt"
         rng = np.random.default_rng(1)
