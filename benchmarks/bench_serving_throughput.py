@@ -65,7 +65,7 @@ def test_vectorized_batch_answering(benchmark, counts, batch, estimator):
     assert answers.size == NUM_QUERIES
 
 
-def test_loop_vs_vectorized_speedup(counts, batch, report):
+def test_loop_vs_vectorized_speedup(counts, batch, report, report_json):
     """The acceptance check: >= 50x for 100k queries, on every estimator."""
     engine = HistogramEngine(counts, total_epsilon=1.0)
     rows = []
@@ -96,6 +96,24 @@ def test_loop_vs_vectorized_speedup(counts, batch, report):
         "serving_throughput",
         rows,
         title=f"Batch answering of {NUM_QUERIES} range queries: loop vs vectorized",
+    )
+    report_json(
+        "serving_throughput",
+        {
+            "num_queries": NUM_QUERIES,
+            "epsilon": EPSILON,
+            "domain_size": int(counts.size),
+            "estimators": {
+                row["estimator"]: {
+                    "loop_seconds": row["loop_seconds"],
+                    "vectorized_seconds": row["vectorized_seconds"],
+                    "speedup": row["speedup"],
+                    "vectorized_qps": row["vectorized_qps"],
+                }
+                for row in rows
+            },
+            "min_speedup": min(row["speedup"] for row in rows),
+        },
     )
 
 

@@ -1,0 +1,341 @@
+"""Trial batching: the whole noise→inference→error pipeline as matrix ops.
+
+Every figure of the paper is a Monte Carlo average over repeated noise
+draws.  Before the trial-batched engine, the experiment grid drove each
+trial through the full scalar call chain — sample noise, infer, score —
+one trial at a time in nested Python loops.  This benchmark replays that
+legacy pipeline (verbatim, including the pre-batching ``method="pava"``
+isotonic default) against the batched runners for the three experiment
+shapes:
+
+* **figure5** — the unattributed-histogram grid (S̃, S̃r, S̄ × ε) on a
+  synthetic power-law degree multiset;
+* **figure6** — the universal-histogram grid (L̃, H̃, H̄, wavelet × ε ×
+  dyadic range sizes), whose legacy loop answers every workload query per
+  trial in Python;
+* **figure7** — the per-position error profile of S̄.
+
+Besides wall-clock and trials/sec it verifies the batched engine's
+correctness contract: under a shared per-trial seed schedule the batched
+outputs are *exactly* equal to the scalar outputs.
+
+Scale: ``REPRO_TRIAL_BENCH_TRIALS`` sets the Monte Carlo trial count
+(default 64, the acceptance configuration, which must show a ≥10×
+aggregate and figure-5 speedup).  CI runs a tiny-trial smoke
+(``REPRO_TRIAL_BENCH_TRIALS=4``) that only requires the batched path to
+be no slower than the legacy loop.
+
+Results land in ``results/trial_batching.{txt,csv}`` and the
+machine-readable ``results/BENCH_trial_batching.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.error import squared_error
+from repro.analysis.experiments import (
+    per_position_error_profile,
+    run_unattributed_comparison,
+    run_universal_comparison,
+)
+from repro.data.synthetic import powerlaw_counts, sparse_counts
+from repro.estimators.hierarchical import (
+    ConstrainedHierarchicalEstimator,
+    HierarchicalLaplaceEstimator,
+)
+from repro.estimators.identity import IdentityLaplaceEstimator
+from repro.estimators.sorted import (
+    ConstrainedSortedEstimator,
+    SortAndRoundEstimator,
+    SortedLaplaceEstimator,
+)
+from repro.estimators.wavelet import WaveletEstimator
+from repro.queries.workload import RangeWorkload
+from repro.utils.random import as_generator, spawn_generators
+
+TRIALS = int(os.environ.get("REPRO_TRIAL_BENCH_TRIALS", "64"))
+#: the acceptance configuration: at the full 64-trial grid the batched
+#: engine must beat the legacy scalar loop by >= 10x (aggregate and
+#: figure-5); tiny-trial smoke runs only require parity.
+FULL_RUN = TRIALS >= 64
+REQUIRED_SPEEDUP = 10.0 if FULL_RUN else 1.0
+
+UNATTRIBUTED_N = 32_768
+UNIVERSAL_N = 4_096
+FIGURE5_EPSILONS = [1.0, 0.1, 0.01]
+FIGURE6_EPSILONS = [1.0, 0.1]
+QUERIES_PER_SIZE = 100
+
+
+def _figure5_estimators(legacy: bool):
+    # The legacy pipeline predates the vectorized block-merge PAVA; its
+    # S_bar ran the per-element Python stack scan.
+    method = "pava" if legacy else "blocks"
+    return [
+        SortedLaplaceEstimator(),
+        SortAndRoundEstimator(),
+        ConstrainedSortedEstimator(method=method),
+    ]
+
+
+def _figure6_estimators():
+    return [
+        IdentityLaplaceEstimator(),
+        HierarchicalLaplaceEstimator(),
+        ConstrainedHierarchicalEstimator(),
+        WaveletEstimator(),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Legacy scalar pipelines (the pre-batching experiment loops, replayed
+# verbatim: per-trial estimator calls, per-sample error accumulation,
+# per-query workload answering).
+# ---------------------------------------------------------------------------
+
+
+def _legacy_unattributed_grid(counts, estimators, epsilons, trials, rng):
+    truth = np.sort(counts)
+    parent = as_generator(rng)
+    errors = {}
+    for epsilon in epsilons:
+        for estimator in estimators:
+            generators = spawn_generators(parent, trials)
+            totals = [
+                squared_error(estimator.estimate(counts, epsilon, rng=generator), truth)
+                for generator in generators
+            ]
+            errors[(estimator.name, epsilon)] = float(np.mean(totals))
+    return errors
+
+
+def _legacy_universal_grid(
+    counts, estimators, epsilons, workloads, true_answers, trials, rng
+):
+    parent = as_generator(rng)
+    errors = {}
+    for epsilon in epsilons:
+        for estimator in estimators:
+            sums = {size: 0.0 for size in workloads}
+            generators = spawn_generators(parent, trials)
+            for generator in generators:
+                fitted = estimator.fit(counts, epsilon, rng=generator)
+                for size, workload in workloads.items():
+                    estimates = fitted.answer_workload(workload)
+                    sums[size] += float(np.mean((estimates - true_answers[size]) ** 2))
+            for size in workloads:
+                errors[(estimator.name, epsilon, size)] = sums[size] / trials
+    return errors
+
+
+def _legacy_profile(counts, estimator, epsilon, trials, rng):
+    truth = np.sort(counts)
+    accumulator = np.zeros_like(truth)
+    for generator in spawn_generators(rng, trials):
+        sample = estimator.estimate(counts, epsilon, rng=generator)
+        accumulator += (sample - truth) ** 2
+    return accumulator / trials
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_trial_batching_speedup(benchmark, report, report_json):
+    rng = np.random.default_rng(2010)
+    degree_counts = powerlaw_counts(UNATTRIBUTED_N, exponent=1.8, rng=rng)
+    domain_counts = sparse_counts(UNIVERSAL_N, density=0.05, mean_count=25.0, rng=rng)
+    workloads = RangeWorkload.size_sweep(
+        UNIVERSAL_N,
+        RangeWorkload.dyadic_sizes(UNIVERSAL_N),
+        QUERIES_PER_SIZE,
+        rng=np.random.default_rng(6),
+    )
+    true_answers = {
+        size: workload.true_answers(domain_counts)
+        for size, workload in workloads.items()
+    }
+
+    # pytest-benchmark timing of the batched hot cell (one S_bar grid cell).
+    benchmark(
+        ConstrainedSortedEstimator().estimate_many,
+        degree_counts,
+        0.1,
+        min(TRIALS, 8),
+        0,
+    )
+
+    sections = {}
+
+    # -- figure 5 ---------------------------------------------------------
+    _, legacy_seconds = _timed(
+        lambda: _legacy_unattributed_grid(
+            degree_counts, _figure5_estimators(legacy=True), FIGURE5_EPSILONS, TRIALS, 5
+        )
+    )
+    _, batched_seconds = _timed(
+        lambda: run_unattributed_comparison(
+            degree_counts,
+            _figure5_estimators(legacy=False),
+            FIGURE5_EPSILONS,
+            trials=TRIALS,
+            rng=5,
+            dataset="synthetic-powerlaw",
+        )
+    )
+    cells = len(FIGURE5_EPSILONS) * 3
+    sections["figure5"] = {
+        "cells": cells,
+        "trials_per_cell": TRIALS,
+        "scalar_seconds": round(legacy_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "speedup": round(legacy_seconds / batched_seconds, 2),
+        "scalar_trials_per_sec": round(cells * TRIALS / legacy_seconds, 1),
+        "batched_trials_per_sec": round(cells * TRIALS / batched_seconds, 1),
+    }
+
+    # -- figure 6 ---------------------------------------------------------
+    _, legacy_seconds = _timed(
+        lambda: _legacy_universal_grid(
+            domain_counts,
+            _figure6_estimators(),
+            FIGURE6_EPSILONS,
+            workloads,
+            true_answers,
+            TRIALS,
+            6,
+        )
+    )
+    _, batched_seconds = _timed(
+        lambda: run_universal_comparison(
+            domain_counts,
+            _figure6_estimators(),
+            FIGURE6_EPSILONS,
+            range_sizes=RangeWorkload.dyadic_sizes(UNIVERSAL_N),
+            trials=TRIALS,
+            queries_per_size=QUERIES_PER_SIZE,
+            rng=6,
+            dataset="synthetic-sparse",
+        )
+    )
+    cells = len(FIGURE6_EPSILONS) * 4
+    sections["figure6"] = {
+        "cells": cells,
+        "trials_per_cell": TRIALS,
+        "queries_per_size": QUERIES_PER_SIZE,
+        "scalar_seconds": round(legacy_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "speedup": round(legacy_seconds / batched_seconds, 2),
+        "scalar_trials_per_sec": round(cells * TRIALS / legacy_seconds, 1),
+        "batched_trials_per_sec": round(cells * TRIALS / batched_seconds, 1),
+    }
+
+    # -- figure 7 ---------------------------------------------------------
+    _, legacy_seconds = _timed(
+        lambda: _legacy_profile(
+            degree_counts, ConstrainedSortedEstimator(method="pava"), 1.0, TRIALS, 7
+        )
+    )
+    _, batched_seconds = _timed(
+        lambda: per_position_error_profile(
+            degree_counts, ConstrainedSortedEstimator(), 1.0, trials=TRIALS, rng=7
+        )
+    )
+    sections["figure7"] = {
+        "cells": 1,
+        "trials_per_cell": TRIALS,
+        "scalar_seconds": round(legacy_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "speedup": round(legacy_seconds / batched_seconds, 2),
+        "scalar_trials_per_sec": round(TRIALS / legacy_seconds, 1),
+        "batched_trials_per_sec": round(TRIALS / batched_seconds, 1),
+    }
+
+    scalar_total = sum(s["scalar_seconds"] for s in sections.values())
+    batched_total = sum(s["batched_seconds"] for s in sections.values())
+    aggregate_speedup = scalar_total / batched_total
+
+    # -- exact batched-vs-scalar equality under a shared seed schedule ----
+    equality_trials = min(TRIALS, 8)
+    seeds = [int(s) for s in np.random.default_rng(99).integers(0, 2**62, equality_trials)]
+    equality = {}
+    for estimator in _figure5_estimators(legacy=False):
+        batched = estimator.estimate_many(degree_counts, 0.1, equality_trials, rng=seeds)
+        scalar = np.stack(
+            [estimator.estimate(degree_counts, 0.1, rng=s) for s in seeds]
+        )
+        equality[estimator.name] = bool(np.array_equal(batched, scalar))
+    for estimator in _figure6_estimators():
+        batch = estimator.fit_many(domain_counts, 0.1, equality_trials, rng=seeds)
+        scalar = np.stack(
+            [
+                estimator.fit(domain_counts, 0.1, rng=s).unit_estimates
+                for s in seeds
+            ]
+        )
+        equality[estimator.name] = bool(np.array_equal(batch.unit_estimates, scalar))
+
+    rows = [
+        {
+            "section": name,
+            "cells": s["cells"],
+            "scalar_seconds": s["scalar_seconds"],
+            "batched_seconds": s["batched_seconds"],
+            "speedup": s["speedup"],
+            "batched_trials_per_sec": s["batched_trials_per_sec"],
+        }
+        for name, s in sections.items()
+    ]
+    rows.append(
+        {
+            "section": "aggregate",
+            "cells": sum(s["cells"] for s in sections.values()),
+            "scalar_seconds": round(scalar_total, 4),
+            "batched_seconds": round(batched_total, 4),
+            "speedup": round(aggregate_speedup, 2),
+            "batched_trials_per_sec": "",
+        }
+    )
+    report(
+        "trial_batching",
+        rows,
+        title=(
+            f"Trial-batched engine vs legacy scalar loop ({TRIALS} trials; "
+            f"unattributed n={UNATTRIBUTED_N}, universal n={UNIVERSAL_N})"
+        ),
+    )
+    report_json(
+        "trial_batching",
+        {
+            "trials": TRIALS,
+            "full_run": FULL_RUN,
+            "required_speedup": REQUIRED_SPEEDUP,
+            "unattributed_n": UNATTRIBUTED_N,
+            "universal_n": UNIVERSAL_N,
+            "queries_per_size": QUERIES_PER_SIZE,
+            "scalar_sbar_method": "pava (pre-batching default)",
+            "sections": sections,
+            "aggregate": {
+                "scalar_seconds": round(scalar_total, 4),
+                "batched_seconds": round(batched_total, 4),
+                "speedup": round(aggregate_speedup, 2),
+            },
+            "exact_equality_under_seed_schedule": equality,
+        },
+    )
+
+    assert all(equality.values()), f"batched != scalar under seed schedule: {equality}"
+    assert aggregate_speedup >= REQUIRED_SPEEDUP, (
+        f"aggregate speedup {aggregate_speedup:.1f}x below the required "
+        f"{REQUIRED_SPEEDUP}x (trials={TRIALS})"
+    )
+    assert sections["figure5"]["speedup"] >= REQUIRED_SPEEDUP, (
+        f"figure-5 grid speedup {sections['figure5']['speedup']:.1f}x below "
+        f"the required {REQUIRED_SPEEDUP}x (trials={TRIALS})"
+    )

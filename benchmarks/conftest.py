@@ -21,6 +21,7 @@ Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -100,3 +101,22 @@ def report():
         write_csv(rows, RESULTS_DIR / f"{name}.csv", columns=columns)
 
     return _report
+
+
+@pytest.fixture(scope="session")
+def report_json():
+    """Callable that persists machine-readable benchmark metrics.
+
+    Writes ``results/BENCH_<name>.json`` so successive PRs can track the
+    repo's performance trajectory (wall-clock, throughput, speedups)
+    without parsing the human-oriented text tables.
+    """
+
+    def _report_json(name: str, payload: dict) -> Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n[bench] wrote {path}")
+        return path
+
+    return _report_json

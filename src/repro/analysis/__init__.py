@@ -16,6 +16,7 @@
 from repro.analysis.error import (
     squared_error,
     mean_squared_error,
+    total_squared_error_per_trial,
     average_total_squared_error,
     per_position_squared_error,
 )
@@ -46,6 +47,7 @@ from repro.analysis.tables import render_table, write_csv
 __all__ = [
     "squared_error",
     "mean_squared_error",
+    "total_squared_error_per_trial",
     "average_total_squared_error",
     "per_position_squared_error",
     "error_identity_laplace",

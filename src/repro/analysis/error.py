@@ -4,6 +4,12 @@ The paper measures accuracy as squared error: for a randomized sequence
 ``Q̃`` with true answer ``Q(I)``, ``error(Q̃) = Σ_i E(Q̃[i] - Q[i])²``.
 Experiments estimate the expectation by averaging over repeated samples of
 the mechanism.
+
+The Monte Carlo aggregators accept their samples in two forms: an iterable
+of 1-D sample vectors (the legacy scalar protocol), or a single
+``(trials, n)`` matrix as produced by the trial-batched estimator APIs
+(``estimate_many`` / ``fit_many``), in which case the average is one
+matrix expression instead of a per-sample Python loop.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from repro.utils.arrays import as_float_vector
 __all__ = [
     "squared_error",
     "mean_squared_error",
+    "total_squared_error_per_trial",
     "average_total_squared_error",
     "per_position_squared_error",
 ]
@@ -39,12 +46,39 @@ def mean_squared_error(estimate, truth) -> float:
     return squared_error(estimate, truth) / estimate.size
 
 
+def _check_trial_matrix(estimates: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    if estimates.shape[1] != truth.size:
+        raise ExperimentError(
+            f"samples have length {estimates.shape[1]}, truth has length {truth.size}"
+        )
+    if estimates.shape[0] == 0:
+        raise ExperimentError("at least one sample is required")
+    return estimates
+
+
+def total_squared_error_per_trial(estimates, truth) -> np.ndarray:
+    """``||estimates[t] - truth||²`` for every row of a ``(trials, n)`` matrix."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    if estimates.ndim != 2:
+        raise ExperimentError(
+            f"expected a (trials, n) sample matrix, got shape {estimates.shape}"
+        )
+    truth = as_float_vector(truth, name="truth")
+    _check_trial_matrix(estimates, truth)
+    diff = estimates - truth[np.newaxis, :]
+    return np.einsum("ij,ij->i", diff, diff)
+
+
 def average_total_squared_error(estimates, truth) -> float:
     """Average of the total squared error over repeated samples.
 
-    ``estimates`` is an iterable of sample vectors (e.g. one per noise
-    draw); this is the Monte-Carlo estimate of ``error(Q̃)``.
+    ``estimates`` is either an iterable of sample vectors or a
+    ``(trials, n)`` matrix of stacked samples; this is the Monte-Carlo
+    estimate of ``error(Q̃)``.
     """
+    if isinstance(estimates, np.ndarray) and estimates.ndim == 2:
+        truth = as_float_vector(truth, name="truth")
+        return float(total_squared_error_per_trial(estimates, truth).mean())
     totals = [squared_error(sample, truth) for sample in estimates]
     if not totals:
         raise ExperimentError("at least one sample is required")
@@ -55,9 +89,15 @@ def per_position_squared_error(estimates, truth) -> np.ndarray:
     """Average squared error at each position over repeated samples.
 
     This is the Figure 7 quantity: how much error remains at each point of
-    the sequence after averaging over noise draws.
+    the sequence after averaging over noise draws.  Accepts an iterable of
+    sample vectors or a stacked ``(trials, n)`` matrix.
     """
     truth = as_float_vector(truth, name="truth")
+    if isinstance(estimates, np.ndarray) and estimates.ndim == 2:
+        estimates = np.asarray(estimates, dtype=np.float64)
+        _check_trial_matrix(estimates, truth)
+        diff = estimates - truth[np.newaxis, :]
+        return np.mean(diff * diff, axis=0)
     accumulator = np.zeros_like(truth)
     count = 0
     for sample in estimates:

@@ -4,6 +4,16 @@ Each runner is pure computation over count vectors and estimator objects:
 the benchmarks in ``benchmarks/`` supply the datasets and the paper-scale
 parameters, the test suite supplies small ones, and both get structured
 results (dataclasses) that can be rendered as text tables or CSV.
+
+Every Monte Carlo cell of the experiment grid runs through the
+trial-batched estimator APIs (``estimate_many`` / ``fit_many``): the
+``trials`` noise draws are one RNG call, and the inference passes, the
+workload answering, and the error aggregation are each a handful of
+matrix operations instead of nested Python loops.  Each cell derives one
+child generator from the parent stream, so a fixed top-level seed is
+fully reproducible; callers that need releases bit-for-bit equal to a
+loop of scalar calls can pass the batched APIs an explicit per-trial seed
+schedule instead (see :func:`repro.utils.random.trial_streams`).
 """
 
 from __future__ import annotations
@@ -98,11 +108,8 @@ def run_unattributed_comparison(
     for epsilon in epsilons:
         epsilon = float(epsilon)
         for estimator in estimators:
-            generators = spawn_generators(parent, trials)
-            samples = (
-                estimator.estimate(counts, epsilon, rng=generator)
-                for generator in generators
-            )
+            (stream,) = spawn_generators(parent, 1)
+            samples = estimator.estimate_many(counts, epsilon, trials, rng=stream)
             comparison.errors[(estimator.name, epsilon)] = average_total_squared_error(
                 samples, truth
             )
@@ -207,17 +214,13 @@ def run_universal_comparison(
     for epsilon in epsilons:
         epsilon = float(epsilon)
         for estimator in estimators:
-            sums = {size: 0.0 for size in workloads}
-            generators = spawn_generators(parent, trials)
-            for generator in generators:
-                fitted = estimator.fit(counts, epsilon, rng=generator)
-                for size, workload in workloads.items():
-                    estimates = fitted.answer_workload(workload)
-                    sums[size] += float(
-                        np.mean((estimates - true_answers[size]) ** 2)
-                    )
-            for size in workloads:
-                comparison.errors[(estimator.name, epsilon, size)] = sums[size] / trials
+            (stream,) = spawn_generators(parent, 1)
+            batch = estimator.fit_many(counts, epsilon, trials, rng=stream)
+            for size, workload in workloads.items():
+                estimates = batch.answer_workload(workload)
+                comparison.errors[(estimator.name, epsilon, size)] = float(
+                    np.mean((estimates - true_answers[size][np.newaxis, :]) ** 2)
+                )
     return comparison
 
 
@@ -240,11 +243,11 @@ def per_position_error_profile(
     position ``i``.
     """
     counts = as_float_vector(counts, name="counts")
+    if trials <= 0:
+        raise ExperimentError(f"trials must be positive, got {trials}")
     truth = np.sort(counts)
-    generators = spawn_generators(rng, trials)
-    samples = (
-        estimator.estimate(counts, epsilon, rng=generator) for generator in generators
-    )
+    (stream,) = spawn_generators(rng, 1)
+    samples = estimator.estimate_many(counts, epsilon, trials, rng=stream)
     return per_position_squared_error(samples, truth)
 
 

@@ -31,6 +31,7 @@ from repro.estimators.base import (
     UnattributedEstimator,
     RangeQueryEstimator,
     FittedRangeEstimate,
+    FittedRangeEstimateBatch,
 )
 from repro.estimators.sorted import (
     SortedLaplaceEstimator,
@@ -48,6 +49,7 @@ __all__ = [
     "UnattributedEstimator",
     "RangeQueryEstimator",
     "FittedRangeEstimate",
+    "FittedRangeEstimateBatch",
     "SortedLaplaceEstimator",
     "SortAndRoundEstimator",
     "ConstrainedSortedEstimator",

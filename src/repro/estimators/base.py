@@ -29,8 +29,34 @@ import numpy as np
 from repro.exceptions import QueryError
 from repro.queries.workload import RangeQuerySpec, RangeWorkload
 from repro.utils.arrays import as_float_vector
+from repro.utils.random import as_generator, trial_streams
 
-__all__ = ["UnattributedEstimator", "RangeQueryEstimator", "FittedRangeEstimate"]
+__all__ = [
+    "UnattributedEstimator",
+    "RangeQueryEstimator",
+    "FittedRangeEstimate",
+    "FittedRangeEstimateBatch",
+]
+
+
+def _check_trials(trials: int) -> int:
+    if trials <= 0:
+        raise QueryError(f"trials must be positive, got {trials}")
+    return int(trials)
+
+
+def _per_trial_streams(rng, trials: int) -> list[np.random.Generator]:
+    """Streams for a default (loop-based) ``*_many`` implementation.
+
+    A seed schedule yields its per-trial generators; a single stream is
+    shared sequentially across trials, matching what a caller looping over
+    the scalar API with one generator would consume.
+    """
+    streams = trial_streams(rng, trials)
+    if streams is not None:
+        return streams
+    shared = as_generator(rng)
+    return [shared] * trials
 
 
 class UnattributedEstimator(abc.ABC):
@@ -52,6 +78,28 @@ class UnattributedEstimator(abc.ABC):
         returned vector has the same length and estimates
         ``sort(counts)``.
         """
+
+    def estimate_many(
+        self,
+        counts,
+        epsilon: float,
+        trials: int,
+        rng=None,
+    ) -> np.ndarray:
+        """``trials`` independent estimates, stacked as a ``(trials, n)`` matrix.
+
+        ``rng`` is a single stream or a per-trial seed schedule (see
+        :func:`repro.utils.random.trial_streams`); with a schedule, row
+        ``t`` is bit-for-bit the scalar ``estimate(counts, epsilon,
+        rng=schedule[t])``.  Subclasses override this loop with a truly
+        batched pipeline; the base implementation guarantees the contract
+        for any estimator.
+        """
+        trials = _check_trials(trials)
+        streams = _per_trial_streams(rng, trials)
+        return np.stack(
+            [self.estimate(counts, epsilon, rng=stream) for stream in streams]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(name={self.name!r})"
@@ -113,6 +161,144 @@ class FittedRangeEstimate:
         return self.range_query(0, self.domain_size - 1)
 
 
+@dataclass
+class FittedRangeEstimateBatch:
+    """``trials`` stacked universal-histogram releases from one estimator.
+
+    The trial-batched counterpart of :class:`FittedRangeEstimate`: row
+    ``t`` of every array is trial ``t``'s release, and every query method
+    returns one value per trial.
+
+    Attributes
+    ----------
+    name:
+        The estimator that produced the batch.
+    epsilon:
+        Privacy parameter consumed by each release.
+    domain_size:
+        Size of the (possibly padded) domain the estimates cover.
+    unit_estimates:
+        ``(trials, domain_size)`` matrix of estimated unit counts.
+    range_fn:
+        Optional specialised range-query function mapping ``(lo, hi)`` to a
+        ``(trials,)`` vector; when absent, range queries sum
+        ``unit_estimates`` (bit-identical to the scalar slice-and-sum).
+    workload_fn:
+        Optional bulk answering function mapping bound arrays
+        ``(los, his)`` to a ``(trials, num_queries)`` matrix; used by
+        :meth:`answer_workload` to answer whole workloads in a few
+        vectorized passes.
+    """
+
+    name: str
+    epsilon: float
+    domain_size: int
+    unit_estimates: np.ndarray
+    range_fn: Callable[[int, int], np.ndarray] | None = None
+    workload_fn: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        self.unit_estimates = np.asarray(self.unit_estimates, dtype=np.float64)
+        if (
+            self.unit_estimates.ndim != 2
+            or self.unit_estimates.shape[1] != self.domain_size
+        ):
+            raise QueryError(
+                f"unit estimates have shape {self.unit_estimates.shape}, "
+                f"expected (trials, {self.domain_size})"
+            )
+
+    @property
+    def trials(self) -> int:
+        """Number of stacked releases (matrix rows)."""
+        return int(self.unit_estimates.shape[0])
+
+    def __len__(self) -> int:
+        return self.trials
+
+    def unit_counts(self) -> np.ndarray:
+        """Estimated unit counts, ``(trials, domain_size)`` (copy)."""
+        return self.unit_estimates.copy()
+
+    def range_query(self, lo: int, hi: int) -> np.ndarray:
+        """Per-trial estimates of ``c([lo, hi])`` as a ``(trials,)`` vector."""
+        if not 0 <= lo <= hi < self.domain_size:
+            raise QueryError(
+                f"invalid range [{lo}, {hi}] for domain size {self.domain_size}"
+            )
+        if self.range_fn is not None:
+            return np.asarray(self.range_fn(lo, hi), dtype=np.float64)
+        return self.unit_estimates[:, lo : hi + 1].sum(axis=1)
+
+    def answer_workload(
+        self, workload: RangeWorkload | list[RangeQuerySpec]
+    ) -> np.ndarray:
+        """Per-trial estimates for a whole workload: ``(trials, num_queries)``.
+
+        Uses the estimator-specific ``workload_fn`` when present, otherwise
+        one prefix-sum pass over the unit estimates — either way a few
+        matrix operations replace the per-trial, per-query Python loop of
+        the scalar path.
+        """
+        if isinstance(workload, RangeWorkload):
+            los, his = workload.bounds()
+        else:
+            queries = list(workload)
+            los = np.fromiter((q.lo for q in queries), dtype=np.int64, count=len(queries))
+            his = np.fromiter((q.hi for q in queries), dtype=np.int64, count=len(queries))
+        if los.size and (los.min() < 0 or his.max() >= self.domain_size):
+            raise QueryError(
+                f"workload exceeds the domain of size {self.domain_size}"
+            )
+        if los.size == 0:
+            return np.zeros((self.trials, 0), dtype=np.float64)
+        if self.workload_fn is not None:
+            return np.asarray(self.workload_fn(los, his), dtype=np.float64)
+        if self.range_fn is not None:
+            # A specialised range function without a bulk variant: answer
+            # query by query, each call vectorized across trials.
+            answers = np.empty((self.trials, los.size), dtype=np.float64)
+            for column, (lo, hi) in enumerate(zip(los, his)):
+                answers[:, column] = self.range_query(int(lo), int(hi))
+            return answers
+        prefix = np.concatenate(
+            (
+                np.zeros((self.trials, 1), dtype=np.float64),
+                np.cumsum(self.unit_estimates, axis=1),
+            ),
+            axis=1,
+        )
+        return prefix[:, his + 1] - prefix[:, los]
+
+    def total(self) -> np.ndarray:
+        """Per-trial estimates of the total number of records."""
+        return self.range_query(0, self.domain_size - 1)
+
+    def trial(self, index: int) -> FittedRangeEstimate:
+        """The ``index``-th release as a scalar :class:`FittedRangeEstimate`."""
+        trials = self.trials
+        if not -trials <= index < trials:
+            raise QueryError(f"trial index {index} outside [0, {trials})")
+        index = index % trials
+        range_fn = None
+        if self.range_fn is not None:
+            batched_range_fn = self.range_fn
+
+            def range_fn(lo: int, hi: int, _t: int = index) -> float:
+                return float(batched_range_fn(lo, hi)[_t])
+
+        return FittedRangeEstimate(
+            name=self.name,
+            epsilon=self.epsilon,
+            domain_size=self.domain_size,
+            unit_estimates=self.unit_estimates[index].copy(),
+            range_fn=range_fn,
+        )
+
+    def __getitem__(self, index: int) -> FittedRangeEstimate:
+        return self.trial(index)
+
+
 class RangeQueryEstimator(abc.ABC):
     """Strategy for the universal-histogram task."""
 
@@ -127,6 +313,38 @@ class RangeQueryEstimator(abc.ABC):
         rng: np.random.Generator | int | None = None,
     ) -> FittedRangeEstimate:
         """Run the private release once and return the reusable estimate."""
+
+    def fit_many(
+        self,
+        counts,
+        epsilon: float,
+        trials: int,
+        rng=None,
+    ) -> FittedRangeEstimateBatch:
+        """``trials`` independent releases, stacked into one batch.
+
+        ``rng`` is a single stream or a per-trial seed schedule; with a
+        schedule, trial ``t`` of the batch is bit-for-bit the scalar
+        ``fit(counts, epsilon, rng=schedule[t])``.  Subclasses override
+        this loop with a truly batched noise→inference pipeline; the base
+        implementation guarantees the contract for any estimator.
+        """
+        trials = _check_trials(trials)
+        streams = _per_trial_streams(rng, trials)
+        fits = [self.fit(counts, epsilon, rng=stream) for stream in streams]
+        range_fn = None
+        if any(fit.range_fn is not None for fit in fits):
+
+            def range_fn(lo: int, hi: int) -> np.ndarray:
+                return np.array([fit.range_query(lo, hi) for fit in fits])
+
+        return FittedRangeEstimateBatch(
+            name=self.name,
+            epsilon=float(epsilon),
+            domain_size=fits[0].domain_size,
+            unit_estimates=np.stack([fit.unit_estimates for fit in fits]),
+            range_fn=range_fn,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -24,10 +24,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.db.histogram import pad_counts
-from repro.estimators.base import FittedRangeEstimate, RangeQueryEstimator
+from repro.estimators.base import (
+    FittedRangeEstimate,
+    FittedRangeEstimateBatch,
+    RangeQueryEstimator,
+)
 from repro.inference.hierarchical import HierarchicalInference
 from repro.inference.nonnegative import round_to_nonnegative_integers
-from repro.queries.hierarchical import HierarchicalQuery
+from repro.queries.hierarchical import HierarchicalQuery, decomposition_sums
 from repro.utils.arrays import as_float_vector
 
 __all__ = ["HierarchicalLaplaceEstimator", "ConstrainedHierarchicalEstimator"]
@@ -49,6 +53,17 @@ class _HierarchicalBase(RangeQueryEstimator):
         padded = pad_counts(counts, self.branching)
         query = HierarchicalQuery(padded.size, branching=self.branching)
         noisy = query.randomize(padded, epsilon, rng=rng).values
+        return noisy, query, original_size
+
+    def _noisy_tree_many(
+        self, counts, epsilon: float, trials: int, rng
+    ) -> tuple[np.ndarray, HierarchicalQuery, int]:
+        """Pad once, aggregate once, draw the ``(trials, num_nodes)`` noise."""
+        counts = as_float_vector(counts, name="counts")
+        original_size = counts.size
+        padded = pad_counts(counts, self.branching)
+        query = HierarchicalQuery(padded.size, branching=self.branching)
+        noisy = query.randomize_many(padded, epsilon, trials, rng=rng).values
         return noisy, query, original_size
 
 
@@ -84,6 +99,46 @@ class HierarchicalLaplaceEstimator(_HierarchicalBase):
             domain_size=original_size,
             unit_estimates=leaf_values,
             range_fn=range_fn,
+        )
+
+    def fit_many(self, counts, epsilon, trials, rng=None) -> FittedRangeEstimateBatch:
+        """``trials`` noisy trees from one noise-matrix draw.
+
+        Range queries stay decomposition-based: ``range_fn`` sums the
+        minimal subtree cover across all trials at once, and
+        ``workload_fn`` groups queries by decomposition length so a whole
+        workload is answered with one gather-and-sum per group (the
+        decomposition itself is computed once per query instead of once
+        per query *per trial*).
+        """
+        noisy, query, original_size = self._noisy_tree_many(counts, epsilon, trials, rng)
+        node_values = round_to_nonnegative_integers(noisy) if self.round_output else noisy
+        leaf_values = node_values[:, query.layout.leaf_offset :][:, :original_size]
+        layout = query.layout
+
+        def range_fn(lo: int, hi: int) -> np.ndarray:
+            return query.range_from_answers(node_values, lo, hi)
+
+        def workload_fn(los: np.ndarray, his: np.ndarray) -> np.ndarray:
+            answers = np.empty((node_values.shape[0], los.size), dtype=np.float64)
+            by_length: dict[int, tuple[list[int], list[list[int]]]] = {}
+            for column, (lo, hi) in enumerate(zip(los, his)):
+                nodes = layout.decompose_range(int(lo), int(hi))
+                columns, node_lists = by_length.setdefault(len(nodes), ([], []))
+                columns.append(column)
+                node_lists.append(nodes)
+            for columns, node_lists in by_length.values():
+                gather = np.asarray(node_lists, dtype=np.int64)
+                answers[:, columns] = decomposition_sums(node_values[:, gather])
+            return answers
+
+        return FittedRangeEstimateBatch(
+            name=self.name,
+            epsilon=float(epsilon),
+            domain_size=original_size,
+            unit_estimates=leaf_values,
+            range_fn=range_fn,
+            workload_fn=workload_fn,
         )
 
 
@@ -129,6 +184,23 @@ class ConstrainedHierarchicalEstimator(_HierarchicalBase):
         if self.round_output:
             leaves = np.rint(leaves)
         return FittedRangeEstimate(
+            name=self.name,
+            epsilon=float(epsilon),
+            domain_size=original_size,
+            unit_estimates=leaves,
+        )
+
+    def fit_many(self, counts, epsilon, trials, rng=None) -> FittedRangeEstimateBatch:
+        """``trials`` constrained releases through one matrix inference pass."""
+        noisy, query, original_size = self._noisy_tree_many(counts, epsilon, trials, rng)
+        engine = HierarchicalInference(query.layout)
+        consistent = (
+            engine.infer_nonnegative(noisy) if self.nonnegative else engine.infer(noisy)
+        )
+        leaves = consistent[:, query.layout.leaf_offset :][:, :original_size]
+        if self.round_output:
+            leaves = np.rint(leaves)
+        return FittedRangeEstimateBatch(
             name=self.name,
             epsilon=float(epsilon),
             domain_size=original_size,

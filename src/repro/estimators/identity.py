@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.estimators.base import FittedRangeEstimate, RangeQueryEstimator
+from repro.estimators.base import (
+    FittedRangeEstimate,
+    FittedRangeEstimateBatch,
+    RangeQueryEstimator,
+)
 from repro.inference.nonnegative import round_to_nonnegative_integers
 from repro.queries.identity import UnitCountQuery
 from repro.utils.arrays import as_float_vector
@@ -39,6 +43,19 @@ class IdentityLaplaceEstimator(RangeQueryEstimator):
         noisy = query.randomize(counts, epsilon, rng=rng).values
         estimates = round_to_nonnegative_integers(noisy) if self.round_output else noisy
         return FittedRangeEstimate(
+            name=self.name,
+            epsilon=float(epsilon),
+            domain_size=counts.size,
+            unit_estimates=estimates,
+        )
+
+    def fit_many(self, counts, epsilon, trials, rng=None) -> FittedRangeEstimateBatch:
+        """``trials`` releases from one ``(trials, n)`` noise-matrix draw."""
+        counts = as_float_vector(counts, name="counts")
+        query = UnitCountQuery(counts.size)
+        noisy = query.randomize_many(counts, epsilon, trials, rng=rng).values
+        estimates = round_to_nonnegative_integers(noisy) if self.round_output else noisy
+        return FittedRangeEstimateBatch(
             name=self.name,
             epsilon=float(epsilon),
             domain_size=counts.size,

@@ -14,7 +14,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.db.histogram import pad_counts
-from repro.estimators.base import FittedRangeEstimate, RangeQueryEstimator
+from repro.estimators.base import (
+    FittedRangeEstimate,
+    FittedRangeEstimateBatch,
+    RangeQueryEstimator,
+)
 from repro.inference.nonnegative import round_to_nonnegative_integers
 from repro.queries.wavelet import HaarWaveletQuery
 from repro.utils.arrays import as_float_vector
@@ -47,6 +51,23 @@ class WaveletEstimator(RangeQueryEstimator):
         if self.round_output:
             reconstructed = round_to_nonnegative_integers(reconstructed)
         return FittedRangeEstimate(
+            name=self.name,
+            epsilon=float(epsilon),
+            domain_size=original_size,
+            unit_estimates=reconstructed,
+        )
+
+    def fit_many(self, counts, epsilon, trials, rng=None) -> FittedRangeEstimateBatch:
+        """``trials`` releases: one exact analysis, batched noise + synthesis."""
+        counts = as_float_vector(counts, name="counts")
+        original_size = counts.size
+        padded = pad_counts(counts, 2)
+        query = HaarWaveletQuery(padded.size)
+        coefficients = query.randomize_many(padded, epsilon, trials, rng=rng)
+        reconstructed = query.reconstruct_many(coefficients)[:, :original_size]
+        if self.round_output:
+            reconstructed = round_to_nonnegative_integers(reconstructed)
+        return FittedRangeEstimateBatch(
             name=self.name,
             epsilon=float(epsilon),
             domain_size=original_size,

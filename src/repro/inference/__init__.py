@@ -33,6 +33,7 @@ from repro.inference.isotonic import (
     isotonic_regression,
     isotonic_regression_pava,
     isotonic_regression_minmax,
+    isotonic_regression_blocks,
 )
 from repro.inference.hierarchical import (
     HierarchicalInference,
@@ -53,6 +54,7 @@ __all__ = [
     "isotonic_regression",
     "isotonic_regression_pava",
     "isotonic_regression_minmax",
+    "isotonic_regression_blocks",
     "HierarchicalInference",
     "hierarchical_inference",
     "ols_tree_inference",

@@ -12,20 +12,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.arrays import as_float_vector
+from repro.utils.arrays import as_float_vector_or_matrix
 
 __all__ = ["round_to_nonnegative_integers", "clip_nonnegative", "sort_and_round"]
 
 
 def round_to_nonnegative_integers(values) -> np.ndarray:
-    """Round each entry to the nearest integer and clip negatives to zero."""
-    values = as_float_vector(values, name="values")
+    """Round each entry to the nearest integer and clip negatives to zero.
+
+    Accepts one vector or a ``(trials, n)`` batch; entirely elementwise, so
+    batched rows equal the corresponding scalar results bit for bit.
+    """
+    values = as_float_vector_or_matrix(values, name="values")
     return np.clip(np.rint(values), 0.0, None)
 
 
 def clip_nonnegative(values) -> np.ndarray:
-    """Clip negative entries to zero without rounding."""
-    values = as_float_vector(values, name="values")
+    """Clip negative entries to zero without rounding (vector or batch)."""
+    values = as_float_vector_or_matrix(values, name="values")
     return np.clip(values, 0.0, None)
 
 
@@ -34,7 +38,12 @@ def sort_and_round(values) -> np.ndarray:
 
     Sorting restores consistency with the ordering constraints of the
     sorted query; the comparison against constrained inference in Figure 5
-    shows that *how* consistency is restored matters.
+    shows that *how* consistency is restored matters.  A ``(trials, n)``
+    batch is sorted row by row.
     """
-    values = as_float_vector(values, name="values")
-    return round_to_nonnegative_integers(np.sort(values))
+    values = as_float_vector_or_matrix(values, name="values")
+    fitted = np.sort(values, axis=-1)
+    # np.sort returned a fresh array; round and clip it in place.
+    np.rint(fitted, out=fitted)
+    np.clip(fitted, 0.0, None, out=fitted)
+    return fitted

@@ -21,9 +21,13 @@ import numpy as np
 
 from repro.exceptions import SensitivityError
 from repro.privacy.definitions import PrivacyParameters
-from repro.utils.random import as_generator
+from repro.utils.random import as_generator, trial_streams
 
-__all__ = ["GeometricMechanism", "two_sided_geometric_noise"]
+__all__ = [
+    "GeometricMechanism",
+    "two_sided_geometric_noise",
+    "two_sided_geometric_noise_matrix",
+]
 
 
 def two_sided_geometric_noise(
@@ -48,6 +52,36 @@ def two_sided_geometric_noise(
     left = generator.geometric(p, size=size) - 1
     right = generator.geometric(p, size=size) - 1
     return (left - right).astype(np.float64)
+
+
+def two_sided_geometric_noise_matrix(
+    alpha: float, trials: int, size: int, rng=None
+) -> np.ndarray:
+    """A ``(trials, size)`` matrix of two-sided geometric samples.
+
+    Single streams draw the whole matrix in one pair of RNG calls; a
+    per-trial seed schedule reproduces ``trials`` scalar
+    :func:`two_sided_geometric_noise` calls bit-for-bit.
+    """
+    if not 0.0 <= alpha < 1.0:
+        raise SensitivityError(f"alpha must be in [0, 1), got {alpha}")
+    if size < 0:
+        raise SensitivityError(f"size must be non-negative, got {size}")
+    if trials < 0:
+        raise SensitivityError(f"trials must be non-negative, got {trials}")
+    streams = trial_streams(rng, trials)
+    if alpha == 0.0:
+        return np.zeros((trials, size), dtype=np.float64)
+    if streams is None:
+        generator = as_generator(rng)
+        p = 1.0 - alpha
+        left = generator.geometric(p, size=(trials, size)) - 1
+        right = generator.geometric(p, size=(trials, size)) - 1
+        return (left - right).astype(np.float64)
+    matrix = np.empty((trials, size), dtype=np.float64)
+    for trial, stream in enumerate(streams):
+        matrix[trial] = two_sided_geometric_noise(alpha, size, stream)
+    return matrix
 
 
 @dataclass(frozen=True)
@@ -81,3 +115,9 @@ class GeometricMechanism:
         answers = np.asarray(true_answers, dtype=np.float64)
         noise = two_sided_geometric_noise(self.alpha, answers.size, rng)
         return answers + noise.reshape(answers.shape)
+
+    def randomize_many(self, true_answers, trials: int, rng=None) -> np.ndarray:
+        """``(trials, d)`` independent noisy answers for one true vector."""
+        answers = np.asarray(true_answers, dtype=np.float64).reshape(-1)
+        noise = two_sided_geometric_noise_matrix(self.alpha, trials, answers.size, rng)
+        return answers[np.newaxis, :] + noise

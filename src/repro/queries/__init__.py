@@ -19,7 +19,7 @@ baseline, workload generators for range queries, sensitivity tooling
 queries to the matrix mechanism of Li et al.
 """
 
-from repro.queries.base import QuerySequence, NoisyAnswer
+from repro.queries.base import QuerySequence, NoisyAnswer, NoisyAnswerBatch
 from repro.queries.identity import UnitCountQuery
 from repro.queries.sorted import SortedCountQuery
 from repro.queries.hierarchical import HierarchicalQuery, TreeLayout
@@ -31,6 +31,7 @@ from repro.queries.matrix import strategy_matrix, workload_matrix
 __all__ = [
     "QuerySequence",
     "NoisyAnswer",
+    "NoisyAnswerBatch",
     "UnitCountQuery",
     "SortedCountQuery",
     "HierarchicalQuery",

@@ -26,7 +26,7 @@ from repro.privacy.definitions import PrivacyParameters
 from repro.privacy.laplace import LaplaceMechanism
 from repro.utils.arrays import as_float_vector
 
-__all__ = ["QuerySequence", "NoisyAnswer"]
+__all__ = ["QuerySequence", "NoisyAnswer", "NoisyAnswerBatch"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +57,43 @@ class NoisyAnswer:
 
     def __len__(self) -> int:
         return int(self.values.size)
+
+
+@dataclass(frozen=True)
+class NoisyAnswerBatch:
+    """``trials`` independent ε-DP answers to one query sequence.
+
+    ``values`` is a ``(trials, m)`` matrix; row ``t`` is distributed exactly
+    like one :class:`NoisyAnswer` (and is bit-for-bit equal to it when a
+    per-trial seed schedule is used).
+    """
+
+    values: np.ndarray
+    epsilon: float
+    sensitivity: float
+    noise_scale: float
+
+    @property
+    def trials(self) -> int:
+        """Number of independent noisy answer vectors (matrix rows)."""
+        return int(self.values.shape[0])
+
+    @property
+    def per_query_variance(self) -> float:
+        """Expected squared error of each individual noisy answer."""
+        return 2.0 * self.noise_scale**2
+
+    def trial(self, index: int) -> NoisyAnswer:
+        """The ``index``-th trial as a scalar :class:`NoisyAnswer`."""
+        return NoisyAnswer(
+            values=self.values[index],
+            epsilon=self.epsilon,
+            sensitivity=self.sensitivity,
+            noise_scale=self.noise_scale,
+        )
+
+    def __len__(self) -> int:
+        return self.trials
 
 
 class QuerySequence(abc.ABC):
@@ -138,6 +175,34 @@ class QuerySequence(abc.ABC):
         mechanism = self.mechanism(params)
         noisy = mechanism.randomize(self.answer(counts), rng=rng)
         return NoisyAnswer(
+            values=noisy,
+            epsilon=mechanism.params.epsilon,
+            sensitivity=self.sensitivity,
+            noise_scale=mechanism.scale,
+        )
+
+    def randomize_many(
+        self,
+        counts,
+        params: PrivacyParameters | float,
+        trials: int,
+        rng=None,
+    ) -> NoisyAnswerBatch:
+        """Answer the sequence under ε-DP, ``trials`` times at once.
+
+        The true answers are computed once and a ``(trials, m)`` Laplace
+        noise matrix is added — the trial-batched counterpart of
+        :meth:`randomize`.  ``rng`` is either a single stream (one
+        vectorized draw) or a per-trial seed schedule, in which case row
+        ``t`` equals the scalar ``randomize(counts, params, rng=schedule[t])``
+        bit for bit.
+        """
+        if trials <= 0:
+            raise QueryError(f"trials must be positive, got {trials}")
+        counts = self._check_counts(counts)
+        mechanism = self.mechanism(params)
+        noisy = mechanism.randomize_many(self.answer(counts), trials, rng=rng)
+        return NoisyAnswerBatch(
             values=noisy,
             epsilon=mechanism.params.epsilon,
             sensitivity=self.sensitivity,

@@ -21,13 +21,33 @@ The module has two layers:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from repro.exceptions import QueryError
 from repro.queries.base import QuerySequence
 
-__all__ = ["TreeLayout", "HierarchicalQuery"]
+__all__ = ["TreeLayout", "HierarchicalQuery", "decomposition_sums"]
+
+
+def decomposition_sums(gathered: np.ndarray) -> np.ndarray:
+    """Sum the last axis of gathered node values, shape-independently.
+
+    ``gathered`` is ``(..., L)`` — the values of the ``L`` decomposition
+    nodes for each trial (and optionally each query).  A plain
+    ``.sum(axis=-1)`` picks different accumulation orders depending on the
+    array's shape, so a one-trial sum would not be bit-for-bit equal to the
+    same trial inside a batch.  ``np.add.reduceat`` reduces each length-L
+    segment independently, making the result a function of the segment
+    contents only — the invariant the batched-vs-scalar equality tests
+    rely on.
+    """
+    gathered = np.ascontiguousarray(gathered, dtype=np.float64)
+    length = gathered.shape[-1]
+    flat = gathered.reshape(-1)
+    starts = np.arange(0, flat.size, length)
+    return np.add.reduceat(flat, starts).reshape(gathered.shape[:-1])
 
 
 @dataclass(frozen=True)
@@ -83,10 +103,22 @@ class TreeLayout:
         """Number of nodes per level, root (level 0) first."""
         return [self.branching**level for level in range(self.height)]
 
+    @cached_property
+    def _level_offsets(self) -> np.ndarray:
+        """Cumulative level offsets ``offset(0) .. offset(height)``.
+
+        Entry ``i`` is the breadth-first index of the first node at level
+        ``i``; the final entry is ``num_nodes``.  Precomputed once so that
+        per-node level lookups are a single ``searchsorted`` instead of a
+        per-call scan over the levels.
+        """
+        sizes = self.branching ** np.arange(self.height, dtype=np.int64)
+        return np.concatenate(([0], np.cumsum(sizes)))
+
     def level_offset(self, level: int) -> int:
         """Breadth-first index of the first node at ``level``."""
         self._check_level(level)
-        return (self.branching**level - 1) // (self.branching - 1)
+        return int(self._level_offsets[level])
 
     def level_slice(self, level: int) -> slice:
         """Slice of breadth-first indexes occupied by ``level``."""
@@ -112,12 +144,9 @@ class TreeLayout:
         return node
 
     def level_of(self, node: int) -> int:
-        """Level (root = 0) of a node."""
+        """Level (root = 0) of a node, via the precomputed offset table."""
         self.check_node(node)
-        level = 0
-        while self.level_offset(level) + self.branching**level <= node:
-            level += 1
-        return level
+        return int(np.searchsorted(self._level_offsets, node, side="right") - 1)
 
     def is_leaf(self, node: int) -> bool:
         """True when the node is a unit-length leaf."""
@@ -192,6 +221,28 @@ class TreeLayout:
         for level in range(self.height - 2, -1, -1):
             current = current.reshape(-1, self.branching).sum(axis=1)
             values[self.level_slice(level)] = current
+        return values
+
+    def aggregate_many(self, leaf_counts: np.ndarray) -> np.ndarray:
+        """Trial-batched :meth:`aggregate`: ``(trials, num_leaves)`` in,
+        ``(trials, num_nodes)`` out.
+
+        Row ``t`` of the result equals ``aggregate(leaf_counts[t])``; the
+        per-level reshape-and-sum runs once over all trials.
+        """
+        leaf_counts = np.asarray(leaf_counts, dtype=np.float64)
+        if leaf_counts.ndim != 2 or leaf_counts.shape[1] != self.num_leaves:
+            raise QueryError(
+                f"leaf_counts has shape {leaf_counts.shape}, "
+                f"expected (trials, {self.num_leaves})"
+            )
+        trials = leaf_counts.shape[0]
+        values = np.empty((trials, self.num_nodes), dtype=np.float64)
+        values[:, self.level_slice(self.height - 1)] = leaf_counts
+        current = leaf_counts
+        for level in range(self.height - 2, -1, -1):
+            current = current.reshape(trials, -1, self.branching).sum(axis=2)
+            values[:, self.level_slice(level)] = current
         return values
 
     def decompose_range(self, lo: int, hi: int) -> list[int]:
@@ -279,7 +330,23 @@ class HierarchicalQuery(QuerySequence):
                 f"expected {self.layout.num_nodes}"
             )
         nodes = self.layout.decompose_range(lo, hi)
-        return float(answer[nodes].sum())
+        return float(decomposition_sums(answer[nodes]))
+
+    def range_from_answers(self, answers: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Trial-batched :meth:`range_from_answer` over a ``(trials, m)`` matrix.
+
+        Entry ``t`` equals ``range_from_answer(answers[t], lo, hi)`` bit
+        for bit — the same minimal-decomposition gather-and-sum, run once
+        across trials.
+        """
+        answers = np.asarray(answers, dtype=np.float64)
+        if answers.ndim != 2 or answers.shape[1] != self.layout.num_nodes:
+            raise QueryError(
+                f"answer matrix has shape {answers.shape}, "
+                f"expected (trials, {self.layout.num_nodes})"
+            )
+        nodes = self.layout.decompose_range(lo, hi)
+        return decomposition_sums(answers[:, nodes])
 
     def constraint_violations(self, answer: np.ndarray, tolerance: float = 1e-9) -> int:
         """Number of internal nodes whose count differs from the sum of children.

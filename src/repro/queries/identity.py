@@ -17,7 +17,13 @@ __all__ = ["UnitCountQuery"]
 
 
 class UnitCountQuery(QuerySequence):
-    """The identity query sequence ``L`` over ``n`` unit buckets."""
+    """The identity query sequence ``L`` over ``n`` unit buckets.
+
+    Inherits the trial-batched
+    :meth:`~repro.queries.base.QuerySequence.randomize_many` path: since
+    ``L(x) = x``, a ``(trials, n)`` noisy release is one noise-matrix draw
+    added to the count vector.
+    """
 
     @property
     def output_size(self) -> int:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import QueryError
 from repro.queries.base import QuerySequence
 
 __all__ = ["SortedCountQuery"]
@@ -51,3 +52,15 @@ class SortedCountQuery(QuerySequence):
         if values.size <= 1:
             return 0
         return int(np.sum(values[:-1] > values[1:]))
+
+    @staticmethod
+    def constraint_violations_many(values: np.ndarray) -> np.ndarray:
+        """Per-trial :meth:`constraint_violations` over a ``(trials, n)`` matrix."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise QueryError(
+                f"expected a (trials, n) matrix, got shape {values.shape}"
+            )
+        if values.shape[1] <= 1:
+            return np.zeros(values.shape[0], dtype=np.int64)
+        return np.sum(values[:, :-1] > values[:, 1:], axis=1).astype(np.int64)

@@ -32,9 +32,9 @@ import numpy as np
 from repro.exceptions import QueryError
 from repro.privacy.definitions import PrivacyParameters
 from repro.utils.arrays import as_float_vector, require_power_of
-from repro.utils.random import as_generator
+from repro.utils.random import as_generator, trial_streams
 
-__all__ = ["HaarWaveletQuery", "WaveletCoefficients"]
+__all__ = ["HaarWaveletQuery", "WaveletCoefficients", "WaveletCoefficientsBatch"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,38 @@ class WaveletCoefficients:
         if not self.details:
             return 1
         return int(self.details[-1].size * 2)
+
+
+@dataclass(frozen=True)
+class WaveletCoefficientsBatch:
+    """``trials`` independent noisy Haar coefficient sets, stacked.
+
+    ``base`` has shape ``(trials,)``; ``details[level]`` has shape
+    ``(trials, 2**level)``.  Row ``t`` across all arrays is one
+    :class:`WaveletCoefficients` draw.
+    """
+
+    base: np.ndarray
+    details: tuple[np.ndarray, ...]
+    epsilon: float | None = None
+
+    @property
+    def trials(self) -> int:
+        return int(np.asarray(self.base).shape[0])
+
+    @property
+    def num_leaves(self) -> int:
+        if not self.details:
+            return 1
+        return int(self.details[-1].shape[1] * 2)
+
+    def trial(self, index: int) -> WaveletCoefficients:
+        """The ``index``-th trial as a scalar :class:`WaveletCoefficients`."""
+        return WaveletCoefficients(
+            base=float(self.base[index]),
+            details=tuple(level[index] for level in self.details),
+            epsilon=self.epsilon,
+        )
 
 
 class HaarWaveletQuery:
@@ -128,6 +160,55 @@ class HaarWaveletQuery:
             base=float(noisy_base), details=noisy_details, epsilon=params.epsilon
         )
 
+    def randomize_many(
+        self,
+        counts,
+        params: PrivacyParameters | float,
+        trials: int,
+        rng=None,
+    ) -> WaveletCoefficientsBatch:
+        """``trials`` independent noisy coefficient sets in one pass.
+
+        The exact analysis runs once; a single stream draws each
+        coefficient's noise for all trials in one call, while a per-trial
+        seed schedule reproduces ``trials`` scalar :meth:`randomize` calls
+        bit for bit (base first, then each detail level, per trial).
+        """
+        if trials <= 0:
+            raise QueryError(f"trials must be positive, got {trials}")
+        if not isinstance(params, PrivacyParameters):
+            params = PrivacyParameters(float(params))
+        exact = self.transform(counts)
+        base_scale, detail_scales = self.coefficient_scales(params.epsilon)
+        streams = trial_streams(rng, trials)
+        if streams is None:
+            generator = as_generator(rng)
+            base = exact.base + generator.laplace(0.0, base_scale, size=trials)
+            details = tuple(
+                level_values
+                + generator.laplace(0.0, scale, size=(trials, level_values.size))
+                for level_values, scale in zip(exact.details, detail_scales)
+            )
+            return WaveletCoefficientsBatch(
+                base=base, details=details, epsilon=params.epsilon
+            )
+        base = np.empty(trials, dtype=np.float64)
+        details = [
+            np.empty((trials, level_values.size), dtype=np.float64)
+            for level_values in exact.details
+        ]
+        for trial, stream in enumerate(streams):
+            base[trial] = exact.base + stream.laplace(0.0, base_scale)
+            for level, (level_values, scale) in enumerate(
+                zip(exact.details, detail_scales)
+            ):
+                details[level][trial] = level_values + stream.laplace(
+                    0.0, scale, size=level_values.size
+                )
+        return WaveletCoefficientsBatch(
+            base=base, details=tuple(details), epsilon=params.epsilon
+        )
+
     # -- synthesis -----------------------------------------------------------
 
     def reconstruct(self, coefficients: WaveletCoefficients) -> np.ndarray:
@@ -142,6 +223,26 @@ class HaarWaveletQuery:
             expanded = np.empty(current.size * 2, dtype=np.float64)
             expanded[0::2] = current + level_values
             expanded[1::2] = current - level_values
+            current = expanded
+        return current
+
+    def reconstruct_many(self, coefficients: WaveletCoefficientsBatch) -> np.ndarray:
+        """Trial-batched :meth:`reconstruct`: returns ``(trials, n)`` counts.
+
+        Row ``t`` equals ``reconstruct(coefficients.trial(t))`` bit for bit
+        (the synthesis is elementwise per trial).
+        """
+        if coefficients.num_leaves != self.domain_size and self.num_levels > 0:
+            raise QueryError(
+                f"coefficients describe {coefficients.num_leaves} leaves, "
+                f"expected {self.domain_size}"
+            )
+        trials = coefficients.trials
+        current = np.asarray(coefficients.base, dtype=np.float64).reshape(trials, 1)
+        for level_values in coefficients.details:
+            expanded = np.empty((trials, current.shape[1] * 2), dtype=np.float64)
+            expanded[:, 0::2] = current + level_values
+            expanded[:, 1::2] = current - level_values
             current = expanded
         return current
 

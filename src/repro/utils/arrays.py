@@ -8,6 +8,7 @@ from repro.exceptions import DomainError, QueryError
 
 __all__ = [
     "as_float_vector",
+    "as_float_vector_or_matrix",
     "as_nonnegative_counts",
     "as_range_bounds",
     "require_power_of",
@@ -19,6 +20,25 @@ def as_float_vector(values, name: str = "values") -> np.ndarray:
     array = np.asarray(values, dtype=np.float64)
     if array.ndim != 1:
         raise DomainError(f"{name} must be 1-dimensional, got shape {array.shape}")
+    if array.size == 0:
+        raise DomainError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise DomainError(f"{name} contains NaN or infinite entries")
+    return array
+
+
+def as_float_vector_or_matrix(values, name: str = "values") -> np.ndarray:
+    """Coerce into a 1-D or 2-D float64 array, validating shape and finiteness.
+
+    The 2-D form is the trial-batched layout used throughout the library:
+    row ``t`` holds trial ``t``'s vector.  Callers that accept both shapes
+    branch on ``result.ndim``.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim not in (1, 2):
+        raise DomainError(
+            f"{name} must be 1- or 2-dimensional, got shape {array.shape}"
+        )
     if array.size == 0:
         raise DomainError(f"{name} must be non-empty")
     if not np.all(np.isfinite(array)):

@@ -9,9 +9,11 @@ seed at the top level.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators"]
+__all__ = ["as_generator", "spawn_generators", "trial_streams"]
 
 
 def as_generator(rng: np.random.Generator | int | None = None) -> np.random.Generator:
@@ -43,3 +45,47 @@ def spawn_generators(rng: np.random.Generator | int | None, count: int) -> list[
     parent = as_generator(rng)
     seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def trial_streams(
+    rng, trials: int
+) -> list[np.random.Generator] | None:
+    """Interpret ``rng`` as a per-trial seed schedule, when it is one.
+
+    The batched (``*_many``) APIs accept ``rng`` in two forms:
+
+    * a single stream — ``None``, an ``int`` seed, or a ``Generator`` —
+      the fast path, where the whole ``(trials, n)`` noise matrix is drawn
+      in one vectorized RNG call;
+    * a *seed schedule* — a sequence of ``trials`` per-trial seeds or
+      generators (``[s0, .., sT]`` or the output of
+      :func:`spawn_generators`).  Trial ``t`` then consumes exactly the
+      stream the scalar API would consume with ``rng=schedule[t]``, which
+      makes batched outputs bit-for-bit equal to ``trials`` scalar calls.
+
+    Returns the list of per-trial generators for a schedule, or ``None``
+    for the single-stream case (the caller draws the matrix in one call).
+    """
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if rng is None or isinstance(rng, np.random.Generator):
+        return None
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return None
+    if isinstance(rng, np.ndarray):
+        if rng.ndim != 1 or rng.dtype.kind not in "iu":
+            raise TypeError(
+                "a seed-schedule array must be 1-dimensional and integer-typed, "
+                f"got shape {rng.shape} dtype {rng.dtype}"
+            )
+        rng = rng.tolist()
+    if isinstance(rng, Sequence):
+        if len(rng) != trials:
+            raise ValueError(
+                f"seed schedule has {len(rng)} entries for {trials} trials"
+            )
+        return [as_generator(entry) for entry in rng]
+    raise TypeError(
+        "rng must be None, an int seed, a numpy Generator, or a sequence of "
+        f"per-trial seeds/generators, got {type(rng).__name__}"
+    )

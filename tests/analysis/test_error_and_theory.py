@@ -201,3 +201,32 @@ class TestBlumComparison:
             hierarchical_useful_database_size(16, 0.0, 0.05, 1.0)
         with pytest.raises(ExperimentError):
             blum_useful_database_size(16, 0.01, 0.05, 1.0, constant=0.0)
+
+
+class TestBatchedErrorMetrics:
+    def test_matrix_input_matches_loop(self):
+        rng = np.random.default_rng(0)
+        truth = rng.normal(size=30)
+        samples = truth[np.newaxis, :] + rng.normal(0, 2.0, size=(12, 30))
+        batched = average_total_squared_error(samples, truth)
+        looped = average_total_squared_error(list(samples), truth)
+        assert batched == pytest.approx(looped, rel=1e-12)
+        profile_batched = per_position_squared_error(samples, truth)
+        profile_looped = per_position_squared_error(list(samples), truth)
+        assert np.allclose(profile_batched, profile_looped)
+
+    def test_per_trial_totals(self):
+        from repro.analysis.error import total_squared_error_per_trial
+
+        truth = np.array([1.0, 2.0])
+        samples = np.array([[1.0, 2.0], [2.0, 4.0]])
+        totals = total_squared_error_per_trial(samples, truth)
+        assert totals.tolist() == [0.0, 5.0]
+
+    def test_per_trial_validation(self):
+        from repro.analysis.error import total_squared_error_per_trial
+
+        with pytest.raises(ExperimentError):
+            total_squared_error_per_trial(np.zeros(3), np.zeros(3))
+        with pytest.raises(ExperimentError):
+            total_squared_error_per_trial(np.zeros((2, 3)), np.zeros(4))

@@ -5,6 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "equivalence: batched-vs-scalar exact-equivalence property tests "
+        "(run standalone with -m equivalence)",
+    )
+
 from repro.db.domain import IntegerDomain, IPPrefixDomain
 from repro.db.relation import Column, Relation, Schema
 from repro.queries.hierarchical import TreeLayout

@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.estimators.base import FittedRangeEstimate
+from repro.estimators.base import (
+    FittedRangeEstimate,
+    FittedRangeEstimateBatch,
+    RangeQueryEstimator,
+)
 from repro.estimators.hierarchical import (
     ConstrainedHierarchicalEstimator,
     HierarchicalLaplaceEstimator,
@@ -265,3 +269,104 @@ class TestAccuracyOrdering:
             )
         assert wavelet_error < 3 * hierarchical_error
         assert hierarchical_error < 8 * wavelet_error
+
+
+class TestFittedRangeEstimateBatch:
+    def test_shapes_and_queries(self):
+        units = np.array([[1.0, 2.0, 3.0, 4.0], [10.0, 20.0, 30.0, 40.0]])
+        batch = FittedRangeEstimateBatch("x", 1.0, 4, units)
+        assert batch.trials == 2
+        assert len(batch) == 2
+        assert batch.range_query(1, 2).tolist() == [5.0, 50.0]
+        assert batch.total().tolist() == [10.0, 100.0]
+        assert np.array_equal(batch.unit_counts(), units)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            FittedRangeEstimateBatch("x", 1.0, 4, np.ones(4))
+        with pytest.raises(QueryError):
+            FittedRangeEstimateBatch("x", 1.0, 4, np.ones((2, 5)))
+        batch = FittedRangeEstimateBatch("x", 1.0, 4, np.ones((2, 4)))
+        with pytest.raises(QueryError):
+            batch.range_query(2, 9)
+        with pytest.raises(QueryError):
+            batch.range_query(3, 1)
+        with pytest.raises(QueryError):
+            batch.trial(5)
+
+    def test_answer_workload_prefix_path(self):
+        units = np.array([[1.0, 2.0, 3.0, 4.0], [4.0, 3.0, 2.0, 1.0]])
+        batch = FittedRangeEstimateBatch("x", 1.0, 4, units)
+        workload = RangeWorkload.prefixes(4)
+        answers = batch.answer_workload(workload)
+        assert answers.shape == (2, 4)
+        assert answers[0].tolist() == [1.0, 3.0, 6.0, 10.0]
+        assert answers[1].tolist() == [4.0, 7.0, 9.0, 10.0]
+        assert batch.answer_workload([]).shape == (2, 0)
+
+    def test_answer_workload_rejects_out_of_domain(self):
+        batch = FittedRangeEstimateBatch("x", 1.0, 4, np.ones((1, 4)))
+        with pytest.raises(QueryError):
+            batch.answer_workload(RangeWorkload.prefixes(8))
+
+    def test_trial_views(self):
+        units = np.array([[1.0, 2.0], [3.0, 4.0]])
+        batch = FittedRangeEstimateBatch("x", 0.5, 2, units)
+        view = batch[1]
+        assert isinstance(view, FittedRangeEstimate)
+        assert view.unit_estimates.tolist() == [3.0, 4.0]
+        assert view.epsilon == 0.5
+        # Negative indexing mirrors sequence semantics.
+        assert batch[-1].unit_estimates.tolist() == [3.0, 4.0]
+
+
+class TestDefaultFitManyFallback:
+    """The base-class fit_many loop must serve estimators without a batched path."""
+
+    class _LoopOnly(RangeQueryEstimator):
+        name = "loop-only"
+
+        def fit(self, counts, epsilon, rng=None):
+            counts = np.asarray(counts, dtype=np.float64)
+            noisy = IdentityLaplaceEstimator(round_output=False).fit(
+                counts, epsilon, rng=rng
+            )
+            return FittedRangeEstimate(
+                self.name, float(epsilon), counts.size, noisy.unit_estimates
+            )
+
+    def test_schedule_equivalence_through_default_loop(self):
+        counts = np.arange(12, dtype=float)
+        estimator = self._LoopOnly()
+        seeds = [9, 8, 7]
+        batch = estimator.fit_many(counts, 0.5, 3, rng=seeds)
+        assert batch.name == "loop-only"
+        scalar = np.stack(
+            [estimator.fit(counts, 0.5, rng=s).unit_estimates for s in seeds]
+        )
+        assert np.array_equal(batch.unit_estimates, scalar)
+
+    def test_single_stream_shares_one_generator(self):
+        counts = np.arange(8, dtype=float)
+        estimator = self._LoopOnly()
+        batch = estimator.fit_many(counts, 0.5, 4, rng=42)
+        rng = np.random.default_rng(42)
+        scalar = np.stack(
+            [estimator.fit(counts, 0.5, rng=rng).unit_estimates for _ in range(4)]
+        )
+        assert np.array_equal(batch.unit_estimates, scalar)
+
+    def test_rejects_nonpositive_trials(self):
+        with pytest.raises(QueryError):
+            self._LoopOnly().fit_many(np.ones(4), 1.0, 0)
+
+
+class TestBatchedSortedViolations:
+    def test_constraint_violations_many(self):
+        from repro.queries.sorted import SortedCountQuery
+
+        matrix = np.array([[1.0, 2.0, 3.0], [3.0, 2.0, 1.0], [1.0, 3.0, 2.0]])
+        violations = SortedCountQuery.constraint_violations_many(matrix)
+        assert violations.tolist() == [0, 2, 1]
+        for t in range(3):
+            assert violations[t] == SortedCountQuery.constraint_violations(matrix[t])

@@ -9,6 +9,7 @@ from hypothesis import given, settings, strategies as st
 from repro.exceptions import InferenceError
 from repro.inference.isotonic import (
     isotonic_regression,
+    isotonic_regression_blocks,
     isotonic_regression_minmax,
     isotonic_regression_pava,
 )
@@ -185,3 +186,71 @@ class TestAccuracyNeverHurts:
         noisy_error = np.sum((noisy - truth) ** 2)
         inferred_error = np.sum((inferred - truth) ** 2)
         assert inferred_error <= noisy_error + 1e-9
+
+
+class TestBlocksImplementation:
+    """The vectorized block-merge PAVA (trial-batched production path)."""
+
+    def test_dispatch(self):
+        assert isotonic_regression([9.0, 14.0, 10.0], method="blocks").tolist() == [
+            9.0,
+            12.0,
+            12.0,
+        ]
+
+    def test_paper_examples(self):
+        assert isotonic_regression_blocks([9.0, 10.0, 14.0]).tolist() == [9.0, 10.0, 14.0]
+        assert isotonic_regression_blocks([14.0, 9.0, 10.0, 15.0]).tolist() == [
+            11.0,
+            11.0,
+            11.0,
+            15.0,
+        ]
+
+    def test_batch_of_rows(self):
+        values = np.array([[3.0, 2.0, 1.0], [1.0, 2.0, 3.0]])
+        fitted = isotonic_regression_blocks(values)
+        assert fitted.shape == (2, 3)
+        assert fitted[0].tolist() == [2.0, 2.0, 2.0]
+        assert fitted[1].tolist() == [1.0, 2.0, 3.0]
+
+    @settings(max_examples=120, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=40))
+    def test_matches_pava_oracle(self, values):
+        assert np.allclose(
+            isotonic_regression_blocks(values),
+            isotonic_regression_pava(values),
+            atol=1e-8,
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=40))
+    def test_output_is_sorted(self, values):
+        assert np.all(np.diff(isotonic_regression_blocks(values)) >= -1e-9)
+
+    def test_weighted(self):
+        assert isotonic_regression_blocks([10.0, 0.0], weights=[3.0, 1.0]).tolist() == [
+            7.5,
+            7.5,
+        ]
+        # A shared 1-D weight vector broadcasts across rows.
+        rows = np.array([[10.0, 0.0], [0.0, 10.0]])
+        fitted = isotonic_regression_blocks(rows, weights=[3.0, 1.0])
+        assert fitted[0].tolist() == [7.5, 7.5]
+        assert fitted[1].tolist() == [0.0, 10.0]
+
+    def test_weight_validation(self):
+        with pytest.raises(InferenceError):
+            isotonic_regression_blocks([1.0, 2.0], weights=[1.0, -1.0])
+        with pytest.raises(InferenceError):
+            isotonic_regression_blocks(np.ones((2, 3)), weights=np.ones((3, 3)))
+        with pytest.raises(InferenceError):
+            isotonic_regression_blocks([1.0, 2.0, 3.0], weights=[1.0, 2.0])
+        with pytest.raises(InferenceError):
+            isotonic_regression_blocks(np.ones((2, 3)), weights=[1.0, 2.0])
+
+    def test_output_not_aliased_to_input(self):
+        values = np.array([1.0, 2.0, 3.0])
+        result = isotonic_regression_blocks(values)
+        result[0] = 99.0
+        assert values[0] == 1.0

@@ -8,8 +8,17 @@ from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import PrivacyBudgetError, SensitivityError
 from repro.privacy.definitions import PrivacyParameters, neighboring_relations
-from repro.privacy.geometric import GeometricMechanism, two_sided_geometric_noise
-from repro.privacy.laplace import LaplaceMechanism, laplace_error_per_query, laplace_noise
+from repro.privacy.geometric import (
+    GeometricMechanism,
+    two_sided_geometric_noise,
+    two_sided_geometric_noise_matrix,
+)
+from repro.privacy.laplace import (
+    LaplaceMechanism,
+    laplace_error_per_query,
+    laplace_noise,
+    laplace_noise_matrix,
+)
 
 
 class TestPrivacyParameters:
@@ -155,3 +164,74 @@ class TestNeighboringRelations:
         assert len(neighbors) == paper_relation.size + 1
         sizes = {n.size for n in neighbors}
         assert sizes == {paper_relation.size - 1, paper_relation.size + 1}
+
+
+class TestBatchedNoiseSamplers:
+    """The (trials, n) noise-matrix samplers behind the *_many pipelines."""
+
+    def test_laplace_matrix_shape_and_distribution(self):
+        matrix = laplace_noise_matrix(2.0, 200, 50, rng=0)
+        assert matrix.shape == (200, 50)
+        # Laplace(scale) has variance 2*scale^2 = 8.
+        assert np.var(matrix) == pytest.approx(8.0, rel=0.15)
+
+    def test_laplace_matrix_zero_scale(self):
+        assert np.array_equal(laplace_noise_matrix(0.0, 3, 4), np.zeros((3, 4)))
+
+    def test_laplace_matrix_seed_schedule_equals_scalar_draws(self):
+        seeds = [11, 22, 33]
+        matrix = laplace_noise_matrix(1.5, 3, 20, rng=seeds)
+        for row, seed in zip(matrix, seeds):
+            assert np.array_equal(row, laplace_noise(1.5, 20, rng=seed))
+
+    def test_laplace_matrix_rejects_bad_schedule(self):
+        with pytest.raises(ValueError):
+            laplace_noise_matrix(1.0, 3, 4, rng=[1, 2])
+
+    def test_laplace_matrix_validation(self):
+        with pytest.raises(SensitivityError):
+            laplace_noise_matrix(-1.0, 2, 3)
+        with pytest.raises(SensitivityError):
+            laplace_noise_matrix(1.0, -1, 3)
+        with pytest.raises(SensitivityError):
+            laplace_noise_matrix(1.0, 2, -3)
+
+    def test_geometric_matrix_schedule_equals_scalar_draws(self):
+        seeds = [5, 6]
+        matrix = two_sided_geometric_noise_matrix(0.5, 2, 30, rng=seeds)
+        for row, seed in zip(matrix, seeds):
+            assert np.array_equal(row, two_sided_geometric_noise(0.5, 30, rng=seed))
+
+    def test_geometric_matrix_integer_valued(self):
+        matrix = two_sided_geometric_noise_matrix(0.7, 20, 40, rng=1)
+        assert matrix.shape == (20, 40)
+        assert np.array_equal(matrix, np.rint(matrix))
+
+    def test_mechanism_randomize_many_schedule(self):
+        mechanism = LaplaceMechanism(sensitivity=2.0, params=PrivacyParameters(0.5))
+        answers = np.array([1.0, 2.0, 3.0])
+        seeds = [7, 8, 9, 10]
+        batch = mechanism.randomize_many(answers, 4, rng=seeds)
+        assert batch.shape == (4, 3)
+        for row, seed in zip(batch, seeds):
+            assert np.array_equal(row, mechanism.randomize(answers, rng=seed))
+
+    def test_geometric_mechanism_randomize_many(self):
+        mechanism = GeometricMechanism(sensitivity=1.0, params=PrivacyParameters(1.0))
+        answers = np.array([4.0, 5.0])
+        batch = mechanism.randomize_many(answers, 3, rng=[1, 2, 3])
+        for row, seed in zip(batch, [1, 2, 3]):
+            assert np.array_equal(row, mechanism.randomize(answers, rng=seed))
+
+    def test_laplace_matrix_fast_path_is_laplace_distributed(self):
+        # The single-stream fast path samples Lap(b) as Exp(b) - Exp(b);
+        # check the fingerprints of a Laplace against the closed forms.
+        scale = 3.0
+        samples = laplace_noise_matrix(scale, 400, 500, rng=12345).ravel()
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.1)
+        assert np.var(samples) == pytest.approx(2 * scale**2, rel=0.05)
+        # |X| is Exp(scale): median scale*ln2, P(|X| > scale) = 1/e.
+        assert np.median(np.abs(samples)) == pytest.approx(scale * np.log(2), rel=0.05)
+        assert np.mean(np.abs(samples) > scale) == pytest.approx(np.exp(-1), abs=0.01)
+        # Symmetry.
+        assert np.mean(samples > 0) == pytest.approx(0.5, abs=0.01)

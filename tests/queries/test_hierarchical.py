@@ -224,3 +224,74 @@ class TestHierarchicalQuery:
         binary = HierarchicalQuery(16, branching=2)
         quaternary = HierarchicalQuery(16, branching=4)
         assert quaternary.sensitivity < binary.sensitivity
+
+
+class TestLevelLookupTable:
+    """level_of via the precomputed cumulative-offset table."""
+
+    @pytest.mark.parametrize("leaves,branching", [(8, 2), (16, 2), (9, 3), (64, 4)])
+    def test_matches_offset_scan(self, leaves, branching):
+        layout = TreeLayout(num_leaves=leaves, branching=branching)
+        for node in range(layout.num_nodes):
+            level = 0
+            while layout.level_offset(level) + branching**level <= node:
+                level += 1
+            assert layout.level_of(node) == level
+
+    def test_offsets_table_shape(self, small_tree):
+        offsets = small_tree._level_offsets
+        assert offsets.tolist() == [0, 1, 3, 7, 15]
+        assert int(offsets[-1]) == small_tree.num_nodes
+
+
+class TestBatchedAggregation:
+    def test_aggregate_many_matches_rows(self, small_tree, rng):
+        matrix = rng.integers(0, 50, size=(6, small_tree.num_leaves)).astype(float)
+        batched = small_tree.aggregate_many(matrix)
+        assert batched.shape == (6, small_tree.num_nodes)
+        for t in range(6):
+            assert np.array_equal(batched[t], small_tree.aggregate(matrix[t]))
+
+    def test_aggregate_many_validates_shape(self, small_tree):
+        with pytest.raises(QueryError):
+            small_tree.aggregate_many(np.zeros(small_tree.num_leaves))
+        with pytest.raises(QueryError):
+            small_tree.aggregate_many(np.zeros((2, small_tree.num_leaves + 1)))
+
+
+class TestBatchedRandomize:
+    def test_randomize_many_schedule_equals_scalar(self, paper_counts):
+        query = HierarchicalQuery(4, branching=2)
+        seeds = [3, 4, 5]
+        batch = query.randomize_many(paper_counts, 1.0, 3, rng=seeds)
+        assert batch.values.shape == (3, query.output_size)
+        assert batch.trials == 3
+        for t, seed in enumerate(seeds):
+            scalar = query.randomize(paper_counts, 1.0, rng=seed)
+            assert np.array_equal(batch.values[t], scalar.values)
+            assert np.array_equal(batch.trial(t).values, scalar.values)
+
+    def test_randomize_many_single_stream_shapes(self, paper_counts):
+        query = HierarchicalQuery(4, branching=2)
+        batch = query.randomize_many(paper_counts, 0.5, 10, rng=0)
+        assert batch.values.shape == (10, 7)
+        assert batch.noise_scale == query.sensitivity / 0.5
+        assert len(batch) == 10
+
+    def test_randomize_many_rejects_bad_trials(self, paper_counts):
+        query = HierarchicalQuery(4, branching=2)
+        with pytest.raises(QueryError):
+            query.randomize_many(paper_counts, 1.0, 0)
+
+    def test_range_from_answers_matches_scalar(self, paper_counts, rng):
+        query = HierarchicalQuery(4, branching=2)
+        matrix = rng.normal(0, 5, size=(5, query.output_size))
+        for lo, hi in [(0, 3), (1, 2), (2, 2)]:
+            batched = query.range_from_answers(matrix, lo, hi)
+            for t in range(5):
+                assert batched[t] == query.range_from_answer(matrix[t], lo, hi)
+
+    def test_range_from_answers_validates(self, rng):
+        query = HierarchicalQuery(4, branching=2)
+        with pytest.raises(QueryError):
+            query.range_from_answers(np.zeros(query.output_size), 0, 1)

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import QueryError
-from repro.queries.wavelet import HaarWaveletQuery
+from repro.queries.wavelet import HaarWaveletQuery, WaveletCoefficientsBatch
 
 
 class TestTransformRoundTrip:
@@ -128,3 +128,48 @@ class TestRangeQueries:
         hierarchical = hierarchical_leaf_variance(int(np.log2(n)) + 1, epsilon)
         assert wavelet < 2 * hierarchical
         assert wavelet > hierarchical / 50
+
+
+class TestBatchedWavelet:
+    def test_randomize_many_schedule_equals_scalar(self):
+        counts = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        query = HaarWaveletQuery(8)
+        seeds = [13, 14, 15]
+        batch = query.randomize_many(counts, 0.5, 3, rng=seeds)
+        assert isinstance(batch, WaveletCoefficientsBatch)
+        assert batch.trials == 3
+        for t, seed in enumerate(seeds):
+            scalar = query.randomize(counts, 0.5, rng=seed)
+            trial = batch.trial(t)
+            assert trial.base == scalar.base
+            for batch_level, scalar_level in zip(trial.details, scalar.details):
+                assert np.array_equal(batch_level, scalar_level)
+
+    def test_reconstruct_many_matches_rows(self):
+        counts = np.arange(16, dtype=float)
+        query = HaarWaveletQuery(16)
+        batch = query.randomize_many(counts, 1.0, 5, rng=3)
+        reconstructed = query.reconstruct_many(batch)
+        assert reconstructed.shape == (5, 16)
+        for t in range(5):
+            assert np.array_equal(
+                reconstructed[t], query.reconstruct(batch.trial(t))
+            )
+
+    def test_randomize_many_single_stream_shapes(self):
+        query = HaarWaveletQuery(8)
+        batch = query.randomize_many(np.ones(8), 1.0, 7, rng=0)
+        assert batch.base.shape == (7,)
+        assert [level.shape for level in batch.details] == [(7, 1), (7, 2), (7, 4)]
+        assert batch.num_leaves == 8
+
+    def test_randomize_many_rejects_bad_trials(self):
+        query = HaarWaveletQuery(4)
+        with pytest.raises(QueryError):
+            query.randomize_many(np.ones(4), 1.0, 0)
+
+    def test_reconstruct_many_validates_leaf_count(self):
+        query = HaarWaveletQuery(8)
+        other = HaarWaveletQuery(4).randomize_many(np.ones(4), 1.0, 2, rng=0)
+        with pytest.raises(QueryError):
+            query.reconstruct_many(other)

@@ -81,3 +81,66 @@ class TestArrayHelpers:
             require_power_of(0, 2)
         with pytest.raises(DomainError):
             require_power_of(8, 1)
+
+
+class TestTrialStreams:
+    def test_single_stream_forms_return_none(self):
+        from repro.utils.random import trial_streams
+
+        assert trial_streams(None, 4) is None
+        assert trial_streams(3, 4) is None
+        assert trial_streams(np.random.default_rng(0), 4) is None
+
+    def test_schedule_of_seeds(self):
+        from repro.utils.random import trial_streams
+
+        streams = trial_streams([1, 2, 3], 3)
+        assert len(streams) == 3
+        # Each entry behaves like default_rng(seed).
+        for stream, seed in zip(streams, [1, 2, 3]):
+            assert stream.integers(0, 100) == np.random.default_rng(seed).integers(0, 100)
+
+    def test_schedule_of_generators_passthrough(self):
+        from repro.utils.random import spawn_generators, trial_streams
+
+        generators = spawn_generators(0, 2)
+        streams = trial_streams(generators, 2)
+        assert streams[0] is generators[0]
+
+    def test_integer_array_schedule(self):
+        from repro.utils.random import trial_streams
+
+        streams = trial_streams(np.array([4, 5], dtype=np.int64), 2)
+        assert len(streams) == 2
+
+    def test_length_mismatch_rejected(self):
+        from repro.utils.random import trial_streams
+
+        with pytest.raises(ValueError):
+            trial_streams([1, 2], 3)
+
+    def test_bad_types_rejected(self):
+        from repro.utils.random import trial_streams
+
+        with pytest.raises(TypeError):
+            trial_streams("seeds", 5)
+        with pytest.raises(TypeError):
+            trial_streams(np.array([[1, 2]]), 2)
+
+
+class TestFloatVectorOrMatrix:
+    def test_accepts_both_shapes(self):
+        from repro.utils.arrays import as_float_vector_or_matrix
+
+        assert as_float_vector_or_matrix([1.0, 2.0]).shape == (2,)
+        assert as_float_vector_or_matrix([[1.0], [2.0]]).shape == (2, 1)
+
+    def test_rejects_other_shapes_and_nonfinite(self):
+        from repro.utils.arrays import as_float_vector_or_matrix
+
+        with pytest.raises(DomainError):
+            as_float_vector_or_matrix(np.zeros((2, 2, 2)))
+        with pytest.raises(DomainError):
+            as_float_vector_or_matrix(np.array([]))
+        with pytest.raises(DomainError):
+            as_float_vector_or_matrix(np.array([[np.nan, 1.0]]))
