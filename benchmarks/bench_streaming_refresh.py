@@ -1,0 +1,194 @@
+"""Streaming refresh: ingest + re-release throughput, serving under refresh.
+
+Two questions decide whether the epoch-based streaming tier can face live
+traffic:
+
+1. **How fast does the update path run?**  Rows/s through
+   :meth:`IngestBuffer.add` (vectorized bincount aggregation) and the
+   wall-clock cost of a full epoch build (drain → fold → mechanism →
+   inference → persist) across a geometric ε schedule.
+2. **What do readers feel during a refresh?**  Query throughput of
+   :meth:`StreamingHistogramEngine.submit` while an epoch builds on the
+   background thread, versus a quiet engine — the epoch swap must be a
+   pointer flip, not a pause.
+
+Emits ``results/BENCH_streaming_refresh.json`` via the shared
+``report_json`` fixture so successive PRs can track the trajectory.
+Set ``REPRO_STREAM_BENCH_EPOCHS`` to shrink the epoch count in smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import arrival_stream
+from repro.serving import QueryBatch, ReleaseStore
+from repro.streaming import (
+    GeometricEpsilonSchedule,
+    IngestBuffer,
+    StreamingHistogramEngine,
+)
+
+EPOCHS = int(os.environ.get("REPRO_STREAM_BENCH_EPOCHS", "6"))
+ROWS_PER_EPOCH = 50_000
+NUM_QUERIES = 100_000
+DOMAIN_BITS = 12
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def base_counts():
+    rng = np.random.default_rng(0)
+    return rng.poisson(4.0, size=2**DOMAIN_BITS).astype(np.float64)
+
+
+def test_ingest_aggregation_throughput(base_counts, report, report_json):
+    """Rows/s through the vectorized ingest path, batch size swept."""
+    rows = []
+    rates = {}
+    for batch_rows in (1_000, 10_000, 100_000):
+        buffer = IngestBuffer(base_counts.size)
+        batches = list(
+            arrival_stream(base_counts.size, batch_rows, batches=20, rng=SEED)
+        )
+        start = perf_counter()
+        for indexes in batches:
+            buffer.add(indexes)
+        elapsed = perf_counter() - start
+        total_rows = 20 * batch_rows
+        assert buffer.pending_rows == total_rows
+        rate = total_rows / elapsed if elapsed > 0 else float("inf")
+        rates[batch_rows] = rate
+        rows.append(
+            {
+                "batch_rows": batch_rows,
+                "batches": 20,
+                "total_ms": round(elapsed * 1e3, 2),
+                "rows_per_s": int(rate),
+            }
+        )
+    report(
+        "streaming_ingest",
+        rows,
+        title="Ingest-buffer aggregation throughput (vectorized bincount)",
+    )
+    # The update path must not be the bottleneck: ingest aggregation is a
+    # memory-speed operation and should clear 1M rows/s even on CI boxes.
+    assert rates[100_000] > 1_000_000, (
+        f"ingest path too slow: {rates[100_000]:,.0f} rows/s"
+    )
+    report_json(
+        "streaming_ingest",
+        {
+            "benchmark": "streaming_ingest",
+            "rows_per_s": {str(k): int(v) for k, v in rates.items()},
+        },
+    )
+
+
+def test_refresh_loop_and_query_latency_during_refresh(
+    base_counts, tmp_path, report, report_json
+):
+    """The headline loop: ingest → epoch build → serve, with readers
+    timing their batches while a background build runs."""
+    schedule = GeometricEpsilonSchedule(0.4, decay=0.7)
+    engine = StreamingHistogramEngine(
+        base_counts,
+        total_epsilon=schedule.infinite_total,
+        schedule=schedule,
+        store=ReleaseStore(tmp_path / "store"),
+        name="bench",
+        seed=SEED,
+    )
+    batch = QueryBatch.random(engine.domain_size, NUM_QUERIES, rng=1)
+
+    # quiet-engine baseline: serving throughput with no build in flight
+    quiet = engine.submit(batch)
+    quiet_qps = quiet.queries_per_second
+
+    epoch_rows = []
+    during_qps = []
+    arrivals = arrival_stream(
+        engine.domain_size, ROWS_PER_EPOCH, batches=EPOCHS, drift=0.05, rng=SEED
+    )
+    for indexes in arrivals:
+        ingest_start = perf_counter()
+        engine.ingest(indexes)
+        ingest_seconds = perf_counter() - ingest_start
+        build_start = perf_counter()
+        future = engine.advance_epoch_background()
+        # hammer the serving path until the build completes
+        refresh_answers = 0
+        refresh_seconds = 0.0
+        while not future.done():
+            result = engine.submit(batch)
+            refresh_answers += result.num_queries
+            refresh_seconds += result.answer_seconds
+        record = future.result()
+        build_seconds = perf_counter() - build_start
+        if refresh_seconds > 0:
+            during_qps.append(refresh_answers / refresh_seconds)
+        epoch_rows.append(
+            {
+                "epoch": record.epoch,
+                "epsilon": round(record.epsilon, 6),
+                "rows": record.rows_ingested,
+                "ingest_ms": round(ingest_seconds * 1e3, 3),
+                "build_ms": round(build_seconds * 1e3, 1),
+                "queries_during_build": refresh_answers,
+            }
+        )
+    engine.close()
+
+    assert engine.epoch == EPOCHS
+    assert engine.spent_epsilon == schedule.total_through(EPOCHS)
+    # post-refresh sanity: the final epoch folded in every ingested row
+    # (the release's *statistical* total carries the documented upward
+    # bias of the non-negativity heuristic at small ε, so correctness is
+    # asserted on the exact true-count ledger, not the noisy total)
+    assert engine.lineage.latest.total_rows == (
+        base_counts.sum() + EPOCHS * ROWS_PER_EPOCH
+    )
+    assert sum(r.rows_ingested for r in engine.lineage.records) == (
+        EPOCHS * ROWS_PER_EPOCH
+    )
+
+    report(
+        "streaming_refresh",
+        epoch_rows,
+        title=(
+            f"Epoch refresh loop: {ROWS_PER_EPOCH} rows/epoch over {EPOCHS} "
+            f"epochs, geometric ε schedule"
+        ),
+    )
+    mean_during = float(np.mean(during_qps)) if during_qps else 0.0
+    payload = {
+        "benchmark": "streaming_refresh",
+        "epochs": EPOCHS,
+        "rows_per_epoch": ROWS_PER_EPOCH,
+        "queries_per_batch": NUM_QUERIES,
+        "quiet_qps": int(quiet_qps),
+        "mean_qps_during_refresh": int(mean_during),
+        "qps_ratio_during_refresh": round(mean_during / quiet_qps, 3)
+        if quiet_qps
+        else None,
+        "mean_build_ms": round(
+            float(np.mean([row["build_ms"] for row in epoch_rows])), 1
+        ),
+        "mean_ingest_ms": round(
+            float(np.mean([row["ingest_ms"] for row in epoch_rows])), 3
+        ),
+        "spent_epsilon": engine.spent_epsilon,
+    }
+    report_json("streaming_refresh", payload)
+    if during_qps:
+        # Serving during a background build must not collapse: allow for
+        # scheduler noise on shared runners but catch a real stall.
+        assert mean_during > 0.2 * quiet_qps, (
+            f"query throughput collapsed during refresh: "
+            f"{mean_during:,.0f} vs quiet {quiet_qps:,.0f} queries/s"
+        )

@@ -17,9 +17,12 @@ accounting (:mod:`repro.privacy`), query sequences and workloads
 (:mod:`repro.queries`), the inference algorithms (:mod:`repro.inference`),
 baseline estimators (:mod:`repro.estimators`), synthetic stand-ins for the
 paper's datasets (:mod:`repro.data`), the experiment harness that
-regenerates every figure (:mod:`repro.analysis`), and an online serving
+regenerates every figure (:mod:`repro.analysis`), an online serving
 tier that materializes releases once and answers millions of range
-queries from them at no further privacy cost (:mod:`repro.serving`).
+queries from them at no further privacy cost (:mod:`repro.serving`), and
+a streaming tier that keeps those releases fresh under live row arrivals
+via epoch-based re-release with exact sequential-composition accounting
+(:mod:`repro.streaming`).
 
 Quickstart::
 

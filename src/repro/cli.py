@@ -40,11 +40,31 @@ datasets behind one façade with per-dataset budgets and a shared store::
         --epsilon 0.5 --seed 7 --random 100000
     python -m repro.cli fleet --store releases/ --datasets nettrace searchlogs \
         --epsilon 0.5 --seed 7 --random 10000
+
+The streaming commands (:mod:`repro.streaming`) run the epoch-based
+incremental loop: ``ingest`` appends row arrivals to an owner-side stream
+directory, ``advance-epoch`` folds the backlog into the next epoch's
+release (charging the next ε on the geometric schedule, persisting the
+artifact and lineage into the store), and ``serve-stream`` answers
+queries from the latest epoch — warm-starting from the stored lineage
+with zero ε after a restart::
+
+    python -m repro.cli ingest --stream-dir stream/ --dataset nettrace --rows 5000
+    python -m repro.cli advance-epoch --stream-dir stream/ --store releases/ \
+        --stream nettrace-live --epsilon0 0.4 --decay 0.5
+    python -m repro.cli serve-stream --store releases/ --stream nettrace-live \
+        --dataset nettrace --epsilon0 0.4 --decay 0.5 --random 100000
+
+The stream directory holds *true, un-noised* data (the owner's current
+counts and pending arrivals) and must stay in the owner's trust domain;
+the store and lineage hold only ε-charged releases and are safe to share.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import re
 import sys
 from pathlib import Path
 from time import perf_counter
@@ -54,6 +74,8 @@ import numpy as np
 from repro.analysis.tables import render_table, write_csv
 from repro.core.tasks import UnattributedHistogramTask, UniversalHistogramTask
 from repro.data.registry import default_registry
+from repro.data.synthetic import arrival_stream
+from repro.db.histogram import delta_counts
 from repro.exceptions import ReproError
 from repro.serving import (
     ESTIMATOR_NAMES,
@@ -64,6 +86,8 @@ from repro.serving import (
     QueryBatch,
     ReleaseStore,
 )
+from repro.serving.store import _atomic_write_bytes
+from repro.streaming import GeometricEpsilonSchedule, StreamingHistogramEngine
 from repro.utils.random import as_generator
 
 __all__ = ["main", "build_parser"]
@@ -293,6 +317,318 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- streaming commands --------------------------------------------------------
+#
+# The stream directory is owner-side state (true data, never released):
+#   <stream-dir>/current_counts.txt   counts already folded into an epoch
+#   <stream-dir>/pending.log          arrivals not yet released (one index/line)
+#
+# `advance-epoch` must commit two files after the epoch durably exists —
+# the updated counts and the consumed pending log — which cannot be one
+# atomic operation.  The counts file therefore carries a header recording
+# the epoch it reflects plus the digest and byte length of the pending
+# prefix that epoch consumed; on startup `advance-epoch` uses the lineage
+# plus that header to detect and complete an interrupted commit instead
+# of double-folding or dropping the backlog (see _recover_stream_state).
+# The log is append-only, so "consume" always means dropping a byte
+# prefix — rows a concurrent `ingest` appended during a build survive as
+# the tail.
+
+_COUNTS_HEADER = re.compile(
+    r"#\s*epoch\s+(-?\d+)\s+pending-sha256\s+(\S+)\s+bytes\s+(\d+)"
+)
+
+
+def _stream_counts_path(stream_dir: str) -> Path:
+    return Path(stream_dir) / "current_counts.txt"
+
+
+def _stream_pending_path(stream_dir: str) -> Path:
+    return Path(stream_dir) / "pending.log"
+
+
+def _read_pending_bytes(pending_path: Path) -> bytes:
+    return pending_path.read_bytes() if pending_path.exists() else b""
+
+
+def _parse_pending(raw: bytes, domain_size: int) -> np.ndarray:
+    """Row indexes from a pending-log byte snapshot, fully validated."""
+    if not raw.strip():
+        return np.zeros(0, dtype=np.int64)
+    try:
+        indexes = np.array([int(line) for line in raw.split()], dtype=np.int64)
+    except ValueError as error:
+        raise ReproError(f"corrupt pending log: {error}") from error
+    delta_counts(indexes, domain_size)  # validates every index eagerly
+    return indexes
+
+
+def _drop_pending_prefix(pending_path: Path, consumed_bytes: int) -> None:
+    """Atomically remove the consumed prefix, preserving any appended tail."""
+    tail = _read_pending_bytes(pending_path)[consumed_bytes:]
+    _atomic_write_bytes(pending_path, lambda handle: handle.write(tail))
+
+
+def _write_stream_counts(
+    path: Path, counts: np.ndarray, epoch: int, consumed: bytes
+) -> None:
+    """Atomically replace the owner's counts file (never leave it torn)."""
+    digest = hashlib.sha256(consumed).hexdigest()
+    lines = [f"# epoch {epoch} pending-sha256 {digest} bytes {len(consumed)}"]
+    lines.extend(f"{value:.1f}" for value in counts)
+    payload = ("\n".join(lines) + "\n").encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write_bytes(path, lambda handle: handle.write(payload))
+
+
+def _load_stream_counts(
+    args: argparse.Namespace,
+) -> tuple[np.ndarray, int, str, int]:
+    """The stream's current true counts, initialized from the base dataset.
+
+    Returns ``(counts, epoch, consumed_digest, consumed_bytes)`` where
+    ``epoch`` is the epoch the counts reflect (-1 before any release) and
+    the digest/length describe the pending-log prefix that epoch's commit
+    consumed.
+    """
+    path = _stream_counts_path(args.stream_dir)
+    if path.exists():
+        epoch, digest, nbytes = -1, "", 0
+        with open(path) as handle:
+            match = _COUNTS_HEADER.match(handle.readline())
+        if match:
+            epoch, digest, nbytes = (
+                int(match.group(1)),
+                match.group(2),
+                int(match.group(3)),
+            )
+        return np.loadtxt(path, dtype=np.float64, ndmin=1), epoch, digest, nbytes
+    counts = _load_counts(args, task="universal")
+    _write_stream_counts(path, counts, -1, b"")
+    return counts, -1, "", 0
+
+
+def _load_pending(args: argparse.Namespace, domain_size: int) -> np.ndarray:
+    return _parse_pending(
+        _read_pending_bytes(_stream_pending_path(args.stream_dir)), domain_size
+    )
+
+
+def _recover_stream_state(
+    args: argparse.Namespace,
+    counts: np.ndarray,
+    counts_epoch: int,
+    consumed_digest: str,
+    consumed_bytes: int,
+    latest_epoch: int,
+) -> tuple[np.ndarray, bool]:
+    """Complete an `advance-epoch` commit a crash interrupted.
+
+    Returns ``(counts, recovered)``.  Two interruption points are
+    distinguishable:
+
+    * counts header behind the lineage (crash before the counts write):
+      the pending log was already folded into the released epoch — fold
+      the whole log (rows appended after the crash simply reach the next
+      release through the counts) and clear it;
+    * counts header current but the pending log still starts with the
+      byte prefix the commit recorded (crash between the counts write
+      and the prefix drop): drop the prefix, keeping any appended tail.
+    """
+    counts_path = _stream_counts_path(args.stream_dir)
+    pending_path = _stream_pending_path(args.stream_dir)
+    raw = _read_pending_bytes(pending_path)
+    if counts_epoch < latest_epoch:
+        pending = _parse_pending(raw, counts.size)
+        counts = counts + delta_counts(pending, counts.size)
+        _write_stream_counts(counts_path, counts, latest_epoch, raw)
+        _drop_pending_prefix(pending_path, len(raw))
+        _write_stream_counts(counts_path, counts, latest_epoch, b"")
+        print(
+            f"recovered interrupted commit: folded {pending.size} released "
+            f"rows into the counts for epoch {latest_epoch}"
+        )
+        return counts, True
+    if (
+        counts_epoch == latest_epoch
+        and consumed_bytes > 0
+        and len(raw) >= consumed_bytes
+        and hashlib.sha256(raw[:consumed_bytes]).hexdigest() == consumed_digest
+    ):
+        _drop_pending_prefix(pending_path, consumed_bytes)
+        _write_stream_counts(counts_path, counts, latest_epoch, b"")
+        print(
+            f"recovered interrupted commit: dropped the pending prefix "
+            f"already consumed by epoch {latest_epoch}"
+        )
+        return counts, True
+    return counts, False
+
+
+def _stream_schedule(args: argparse.Namespace) -> GeometricEpsilonSchedule:
+    return GeometricEpsilonSchedule(args.epsilon0, decay=args.decay)
+
+
+def _stream_engine(
+    args: argparse.Namespace, counts: np.ndarray, build_first_epoch: bool
+) -> StreamingHistogramEngine:
+    schedule = _stream_schedule(args)
+    total = (
+        args.total_epsilon
+        if args.total_epsilon is not None
+        else schedule.infinite_total
+    )
+    return StreamingHistogramEngine(
+        counts,
+        total,
+        schedule,
+        estimator=args.estimator,
+        branching=args.branching,
+        seed=args.seed,
+        store=ReleaseStore(args.store),
+        name=args.stream,
+        build_first_epoch=build_first_epoch,
+    )
+
+
+def _print_lineage(engine: StreamingHistogramEngine) -> None:
+    rows = [
+        {
+            "epoch": record.epoch,
+            "epsilon": record.epsilon,
+            "rows_ingested": record.rows_ingested,
+            "total_rows": record.total_rows,
+            "seed": record.key.seed,
+            "fingerprint": record.key.dataset_fingerprint,
+        }
+        for record in engine.lineage.records
+    ]
+    print(render_table(rows, title=f"Epoch lineage for stream {engine.name!r}"))
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    counts, _, _, _ = _load_stream_counts(args)
+    if args.rows_file:
+        try:
+            indexes = np.loadtxt(args.rows_file, dtype=np.int64, ndmin=1)
+        except (OSError, ValueError) as error:
+            raise ReproError(
+                f"cannot read row indexes from {args.rows_file}: {error}"
+            ) from error
+    else:
+        indexes = next(
+            arrival_stream(counts.size, args.rows, batches=1, rng=args.seed)
+        )
+    delta_counts(indexes, counts.size)  # validates before appending
+    pending_path = _stream_pending_path(args.stream_dir)
+    # Append-only, O(batch): the backlog is counted when it is folded, not
+    # re-read on every ingest.
+    with open(pending_path, "a") as handle:
+        handle.writelines(f"{index}\n" for index in indexes)
+    print(
+        f"ingested {indexes.size} rows into {pending_path} "
+        f"(run advance-epoch to fold the backlog into the next release)"
+    )
+    return 0
+
+
+def _cmd_advance_epoch(args: argparse.Namespace) -> int:
+    counts, counts_epoch, consumed_digest, consumed_bytes = _load_stream_counts(args)
+    engine = _stream_engine(args, counts, build_first_epoch=False)
+    counts, recovered = _recover_stream_state(
+        args, counts, counts_epoch, consumed_digest, consumed_bytes,
+        len(engine.lineage) - 1,
+    )
+    pending_path = _stream_pending_path(args.stream_dir)
+    raw = _read_pending_bytes(pending_path)
+    pending = _parse_pending(raw, counts.size)
+    if recovered:
+        if not pending.size:
+            # The re-run's purpose was completing the interrupted commit;
+            # building a zero-row epoch now would burn the next scheduled
+            # ε for no new data.
+            print("recovery complete; no pending rows, not advancing an epoch")
+            return 0
+        # Recovery may have folded released rows into the counts; the
+        # engine was constructed over the stale vector, so rebuild it
+        # over the recovered one (warm resume, zero ε).
+        engine = _stream_engine(args, counts, build_first_epoch=False)
+    if pending.size:
+        engine.ingest(pending)
+    record = engine.advance_epoch()
+    # Commit the owner-side state only after the epoch (and its lineage)
+    # durably exists; a crash anywhere in this multi-file commit is
+    # detected and completed by _recover_stream_state on the next run.
+    # The pending log only ever loses the byte prefix this build
+    # consumed, so rows a concurrent `ingest` appended meanwhile survive
+    # as the tail.
+    counts_path = _stream_counts_path(args.stream_dir)
+    new_counts = counts + delta_counts(pending, counts.size)
+    _write_stream_counts(counts_path, new_counts, record.epoch, raw)
+    _drop_pending_prefix(pending_path, len(raw))
+    # Clear the consumed marker so a later run can never mistake freshly
+    # ingested (possibly byte-identical) arrivals for this stale prefix.
+    _write_stream_counts(counts_path, new_counts, record.epoch, b"")
+    print(
+        f"epoch {record.epoch}: folded {record.rows_ingested} pending rows, "
+        f"charged ε={record.epsilon:g} (schedule "
+        f"ε₀={args.epsilon0:g}·{args.decay:g}^i), "
+        f"release {record.key.dataset_fingerprint}"
+    )
+    _print_lineage(engine)
+    print(f"stream total ε across epochs: {engine.lineage.spent_epsilon:g}")
+    return 0
+
+
+def _cmd_serve_stream(args: argparse.Namespace) -> int:
+    counts = _load_counts(args, task="universal")
+    engine = _stream_engine(args, counts, build_first_epoch=True)
+    warm_started = engine.epoch >= 0 and engine.spent_epsilon == 0.0
+    if args.epochs:
+        if warm_started:
+            # The simulation folds synthetic arrivals into the *base*
+            # dataset counts; running it against a stream that already
+            # has released epochs would silently rebase the stream and
+            # drop every row the ingest/advance-epoch flow folded in.
+            raise ReproError(
+                f"--epochs simulates a fresh demo stream, but "
+                f"{args.stream!r} already has {engine.epoch + 1} released "
+                f"epochs in {args.store}; drop --epochs to serve it, or "
+                f"use `ingest` + `advance-epoch` to keep feeding it"
+            )
+        stream = arrival_stream(
+            engine.domain_size, args.rows_per_epoch, args.epochs, rng=args.seed
+        )
+        for batch_indexes in stream:
+            engine.ingest(batch_indexes)
+            engine.advance_epoch()
+    batch = _resolve_batch(args, engine.domain_size)
+    result = engine.submit(batch)
+    if warm_started:
+        print(
+            f"warm start from {args.store}: serving epoch {engine.epoch} from "
+            "the stored lineage — zero ε spent at startup"
+        )
+    _print_lineage(engine)
+    rate = (
+        f"{result.queries_per_second:,.0f} queries/s"
+        if result.answer_seconds > 0
+        else "instant"
+    )
+    print(
+        f"answered {result.num_queries} range queries ({batch.name}) from "
+        f"epoch {result.epoch} (ε={result.epsilon:g}) in "
+        f"{result.answer_seconds * 1e3:.2f} ms ({rate})"
+    )
+    print(
+        f"ε spent this process: {engine.spent_epsilon:g}; stream total across "
+        f"epochs: {engine.lineage.spent_epsilon:g} "
+        f"(schedule limit {_stream_schedule(args).infinite_total:g})"
+    )
+    _write_answers(batch, result.answers, args.out)
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     registry = default_registry()
     rows = [
@@ -345,6 +681,31 @@ def _add_estimator_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--branching", type=int, default=2, help="tree branching factor k"
     )
+
+
+def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
+    """Store, stream identity, and ε-schedule options for streaming commands."""
+    parser.add_argument(
+        "--store", required=True,
+        help="release store directory (epoch artifacts + lineage; created if missing)",
+    )
+    parser.add_argument(
+        "--stream", default="stream", help="stream name (lineage file identity)"
+    )
+    parser.add_argument(
+        "--epsilon0", type=float, default=0.4,
+        help="ε of epoch 0; epoch i charges ε₀·decay^i",
+    )
+    parser.add_argument(
+        "--decay", type=float, default=0.5,
+        help="geometric ε decay per epoch, in (0, 1)",
+    )
+    parser.add_argument(
+        "--total-epsilon", type=float, default=None,
+        help="total budget this process may spend (defaults to ε₀/(1-decay), "
+        "the schedule's infinite-horizon sum)",
+    )
+    _add_estimator_arguments(parser)
 
 
 def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
@@ -493,6 +854,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-seed", type=int, default=0, help="seed for query generation"
     )
     fleet.set_defaults(handler=_cmd_fleet)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="append row arrivals to an owner-side stream directory",
+    )
+    _add_common_arguments(ingest, with_privacy=False)
+    ingest.add_argument(
+        "--stream-dir", required=True,
+        help="owner-side stream state directory (created if missing)",
+    )
+    ingest_rows = ingest.add_mutually_exclusive_group()
+    ingest_rows.add_argument(
+        "--rows-file", help="text file with one arriving row's domain index per line"
+    )
+    ingest_rows.add_argument(
+        "--rows", type=int, default=1000, metavar="N",
+        help="generate N synthetic arrivals (hot-set traffic; default 1000)",
+    )
+    ingest.set_defaults(handler=_cmd_ingest)
+
+    advance = subparsers.add_parser(
+        "advance-epoch",
+        help="fold pending arrivals into the next epoch's private release",
+    )
+    _add_common_arguments(advance, with_privacy=False)
+    advance.add_argument(
+        "--stream-dir", required=True,
+        help="owner-side stream state directory written by `ingest`",
+    )
+    _add_stream_arguments(advance)
+    advance.set_defaults(handler=_cmd_advance_epoch)
+
+    serve_stream = subparsers.add_parser(
+        "serve-stream",
+        help="serve queries from a stream's latest epoch (zero-ε warm restart)",
+    )
+    _add_common_arguments(serve_stream, with_privacy=False)
+    _add_stream_arguments(serve_stream)
+    serve_stream.add_argument(
+        "--epochs", type=int, default=0, metavar="K",
+        help="simulate K extra epochs of synthetic arrivals before serving",
+    )
+    serve_stream.add_argument(
+        "--rows-per-epoch", type=int, default=1000, metavar="N",
+        help="synthetic arrivals per simulated epoch",
+    )
+    _add_query_arguments(serve_stream)
+    serve_stream.set_defaults(handler=_cmd_serve_stream)
 
     datasets = subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
     datasets.set_defaults(handler=_cmd_datasets)

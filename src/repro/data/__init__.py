@@ -21,6 +21,7 @@ experiments are reproducible, and produce either raw count vectors or full
 
 from repro.data.synthetic import (
     SyntheticSpec,
+    arrival_stream,
     powerlaw_counts,
     zipf_counts,
     uniform_counts,
@@ -42,6 +43,7 @@ from repro.data.registry import DatasetRegistry, default_registry
 
 __all__ = [
     "SyntheticSpec",
+    "arrival_stream",
     "powerlaw_counts",
     "zipf_counts",
     "uniform_counts",

@@ -28,7 +28,66 @@ __all__ = [
     "bimodal_counts",
     "piecewise_constant_counts",
     "clustered_counts",
+    "arrival_stream",
 ]
+
+
+def arrival_stream(
+    domain_size: int,
+    rows_per_batch: int,
+    batches: int,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.7,
+    drift: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+):
+    """Yield ``batches`` arrays of row arrivals (domain indexes) over time.
+
+    Models the live-counter traffic the streaming tier ingests: a small
+    "hot set" of buckets receives ``hot_weight`` of the rows (heavy-tailed
+    arrivals, like popular hosts or keywords), and the hot set's location
+    shifts by ``drift`` of the domain per batch (non-stationarity, like a
+    news cycle moving through search logs).  Each yielded array feeds
+    directly into :meth:`repro.streaming.engine.StreamingHistogramEngine.ingest`.
+    """
+    domain_size = _check_size(domain_size)
+    if rows_per_batch <= 0 or batches <= 0:
+        raise DomainError(
+            f"rows_per_batch and batches must be positive, got "
+            f"{rows_per_batch}, {batches}"
+        )
+    if not 0.0 < hot_fraction <= 1.0:
+        raise DomainError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    if not 0.0 <= hot_weight <= 1.0:
+        raise DomainError(f"hot_weight must be in [0, 1], got {hot_weight}")
+    generator = as_generator(rng)
+    # Validation above runs at call time; only the drawing is deferred
+    # (a generator function would postpone even the argument checks to
+    # the first iteration, far from the bad call site).
+    return _arrival_batches(
+        domain_size, rows_per_batch, batches, hot_fraction, hot_weight, drift,
+        generator,
+    )
+
+
+def _arrival_batches(
+    domain_size, rows_per_batch, batches, hot_fraction, hot_weight, drift,
+    generator,
+):
+    hot_size = max(1, int(round(domain_size * hot_fraction)))
+    hot_start = int(generator.integers(0, domain_size))
+    for batch in range(batches):
+        hot = generator.random(size=rows_per_batch) < hot_weight
+        indexes = np.empty(rows_per_batch, dtype=np.int64)
+        num_hot = int(hot.sum())
+        indexes[hot] = (
+            hot_start + generator.integers(0, hot_size, size=num_hot)
+        ) % domain_size
+        indexes[~hot] = generator.integers(
+            0, domain_size, size=rows_per_batch - num_hot
+        )
+        yield indexes
+        hot_start = (hot_start + int(round(domain_size * drift))) % domain_size
 
 
 def _check_size(size: int) -> int:

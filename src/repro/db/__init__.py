@@ -33,7 +33,7 @@ from repro.db.domain import (
 from repro.db.relation import Column, Relation, Schema
 from repro.db.query import RangeCountQuery, parse_count_query
 from repro.db.index import SortedColumnIndex
-from repro.db.histogram import HistogramBuilder, unit_counts
+from repro.db.histogram import HistogramBuilder, delta_counts, unit_counts
 
 __all__ = [
     "Domain",
@@ -49,4 +49,5 @@ __all__ = [
     "SortedColumnIndex",
     "HistogramBuilder",
     "unit_counts",
+    "delta_counts",
 ]

@@ -18,7 +18,39 @@ from repro.db.index import SortedColumnIndex
 from repro.db.relation import Relation
 from repro.exceptions import DomainError, QueryError
 
-__all__ = ["HistogramBuilder", "unit_counts", "pad_counts"]
+__all__ = ["HistogramBuilder", "unit_counts", "pad_counts", "delta_counts"]
+
+
+def delta_counts(indexes, domain_size: int) -> np.ndarray:
+    """Aggregate a batch of row arrivals into a per-bucket delta vector.
+
+    ``indexes`` is an array-like of domain indexes, one entry per arriving
+    tuple (the streaming counterpart of
+    :meth:`~repro.db.relation.Relation.attribute_indexes`).  The result is
+    a float64 vector of length ``domain_size`` counting arrivals per
+    bucket — a single vectorized ``bincount`` pass, no Python-level loop —
+    suitable for adding onto an existing unit-count histogram.
+    """
+    if domain_size <= 0:
+        raise DomainError(f"domain_size must be positive, got {domain_size}")
+    indexes = np.asarray(indexes)
+    if indexes.size == 0:
+        return np.zeros(domain_size, dtype=np.float64)
+    if indexes.ndim != 1:
+        raise DomainError(
+            f"row indexes must be 1-dimensional, got shape {indexes.shape}"
+        )
+    if not np.issubdtype(indexes.dtype, np.integer):
+        cast = indexes.astype(np.int64)
+        if np.any(cast != indexes):
+            raise DomainError("row indexes must be integers")
+        indexes = cast
+    if indexes.min() < 0 or indexes.max() >= domain_size:
+        raise DomainError(
+            f"row indexes must lie in [0, {domain_size}); got range "
+            f"[{indexes.min()}, {indexes.max()}]"
+        )
+    return np.bincount(indexes, minlength=domain_size).astype(np.float64)
 
 
 def unit_counts(relation: Relation, attribute: str) -> np.ndarray:

@@ -24,7 +24,12 @@ import numpy as np
 from repro.exceptions import ExperimentError
 from repro.utils.random import as_generator, spawn_generators
 
-__all__ = ["empirical_epsilon", "audit_laplace_mechanism", "AuditResult"]
+__all__ = [
+    "empirical_epsilon",
+    "audit_laplace_mechanism",
+    "audit_spend_trail",
+    "AuditResult",
+]
 
 
 @dataclass(frozen=True)
@@ -88,6 +93,59 @@ def empirical_epsilon(
     prob_b = hist_b[mask] / sample_b.size
     ratios = np.abs(np.log(prob_a) - np.log(prob_b))
     return float(ratios.max())
+
+
+def audit_spend_trail(
+    budget,
+    expected_epsilons,
+    label_prefix: str | None = None,
+) -> None:
+    """Verify a budget's spend history matches an expected ε schedule exactly.
+
+    Sequential composition (Section 2.1) makes the audit trail the privacy
+    guarantee: the interaction is (Σεᵢ)-DP *for the εᵢ actually charged*.
+    This helper cross-checks a :class:`~repro.privacy.budget.PrivacyBudget`
+    after the fact — the epoch-advancing engines use it in tests to prove
+    that no epoch double-charged, no charge was skipped, and the running
+    total is bit-exact against the recorded history.
+
+    Parameters
+    ----------
+    budget:
+        The :class:`~repro.privacy.budget.PrivacyBudget` to audit.
+    expected_epsilons:
+        The ε each successful charge should have spent, in order.
+    label_prefix:
+        When given, every recorded spend label must start with it (e.g.
+        ``"epoch"`` for the streaming engine's per-epoch charges).
+
+    Raises :class:`ExperimentError` on the first discrepancy.
+    """
+    expected = [float(e) for e in expected_epsilons]
+    history = budget.history
+    if len(history) != len(expected):
+        raise ExperimentError(
+            f"audit trail has {len(history)} spends, expected {len(expected)}: "
+            f"{[spend.label for spend in history]}"
+        )
+    running = 0.0
+    for i, (spend, epsilon) in enumerate(zip(history, expected)):
+        if spend.epsilon != epsilon:
+            raise ExperimentError(
+                f"spend {i} ({spend.label!r}) charged ε={spend.epsilon!r}, "
+                f"expected ε={epsilon!r}"
+            )
+        if label_prefix is not None and not spend.label.startswith(label_prefix):
+            raise ExperimentError(
+                f"spend {i} has label {spend.label!r}, expected prefix "
+                f"{label_prefix!r}"
+            )
+        running += spend.epsilon
+    if budget.spent_epsilon != running:
+        raise ExperimentError(
+            f"budget reports spent ε={budget.spent_epsilon!r} but the recorded "
+            f"history sums to {running!r}; the running total has drifted"
+        )
 
 
 def audit_laplace_mechanism(

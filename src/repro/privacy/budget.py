@@ -43,6 +43,11 @@ class PrivacyBudget:
 
     total: PrivacyParameters
     _spent: list[BudgetSpend] = field(default_factory=list, init=False, repr=False)
+    #: running Σεᵢ, updated in the same order spends are appended, so it is
+    #: bitwise-equal to re-summing the history left to right — but O(1) to
+    #: read, which matters on the serving path where every materialization
+    #: pre-checks the budget.
+    _spent_total: float = field(default=0.0, init=False, repr=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -51,8 +56,8 @@ class PrivacyBudget:
 
     @property
     def spent_epsilon(self) -> float:
-        """Total ε consumed so far."""
-        return sum(spend.epsilon for spend in self._spent)
+        """Total ε consumed so far (maintained incrementally; O(1))."""
+        return self._spent_total
 
     @property
     def remaining_epsilon(self) -> float:
@@ -87,6 +92,7 @@ class PrivacyBudget:
                 )
             params = PrivacyParameters(epsilon, self.total.delta)
             self._spent.append(BudgetSpend(label=label, params=params))
+            self._spent_total += params.epsilon
             return params
 
     def spend_fraction(self, fraction: float, label: str = "query") -> PrivacyParameters:

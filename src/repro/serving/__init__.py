@@ -36,12 +36,29 @@ A :class:`ReleaseStore` directory looks like::
       manifest.json                  # ReleaseKey -> artifact mapping
       artifacts/
         <fingerprint>-<estimator>-eps<ε>-b<k>-s<seed>-<hash>.v<N>.npz
+      streams/                       # written by repro.streaming engines
+        <stream-name>-<hash>.json    # epoch lineage: epoch -> ReleaseKey, ε
 
 ``manifest.json`` is keyed by the *full* release identity (dataset
 fingerprint, estimator, ε, branching, seed); every artifact is a
 versioned ``.npz`` written atomically (temp file + ``os.replace``), and
 loads verify the artifact's stored identity — fingerprint included —
 against the requested key before serving it.
+
+**Epoch-versioned artifacts.** The streaming tier
+(:mod:`repro.streaming`) reuses this exact layout for incremental
+re-release: epoch ``i`` of a stream is an ordinary release whose identity
+differs from every other epoch's — the fingerprint covers the epoch's
+updated counts, ε follows the stream's schedule, and the seed is
+``base_seed + i`` — so each epoch lands in ``artifacts/`` as its own
+immutable version, with no special-casing in the store.  The sidecar
+``streams/<name>-<hash>.json`` lineage file (hash-suffixed so distinct
+stream names never collide after sanitization) orders those identities by epoch
+(plus each epoch's ε and row counts), which is what lets a restarted
+stream resume its schedule and re-serve its latest epoch from disk with
+zero additional ε.  Cache keying is epoch-aware for free: a
+:class:`ReleaseCache` key *is* the release identity, so two epochs can
+never alias each other in the shared cache.
 
 **Privacy argument.** A materialized release is post-processing of the
 ε-charged mechanism output (Proposition 2), so persisting, copying, or

@@ -105,7 +105,8 @@ class HistogramEngine:
         or a raw unit-count vector.
     total_epsilon:
         The overall privacy budget for every release this engine will
-        ever materialize; enforced by sequential composition.
+        ever materialize; enforced by sequential composition.  Omit it
+        (and pass ``budget``) to share another accountant's budget.
     attribute:
         Range attribute when ``data`` is a relation.
     delta:
@@ -124,12 +125,21 @@ class HistogramEngine:
         the engine warm-starts from its artifacts (zero ε, zero
         inference) and persists new releases into it.  When sharing a
         ``cache``, attach the store to that cache instead.
+    budget:
+        An existing :class:`PrivacyBudget` to charge instead of creating a
+        private one — the streaming tier uses this to account every
+        epoch's build against one shared budget.  Mutually exclusive with
+        ``total_epsilon``.
+    spend_label:
+        Label recorded on the budget for each charge (defaults to
+        ``"materialize <estimator>"``); the streaming tier stamps its
+        epoch index here so the audit trail names every epoch.
     """
 
     def __init__(
         self,
         data,
-        total_epsilon: float,
+        total_epsilon: float | None = None,
         *,
         attribute: str | None = None,
         delta: float = 0.0,
@@ -137,6 +147,8 @@ class HistogramEngine:
         cache: ReleaseCache | None = None,
         cache_capacity: int = 32,
         store: ReleaseStore | None = None,
+        budget: PrivacyBudget | None = None,
+        spend_label: str | None = None,
     ) -> None:
         if isinstance(data, Relation):
             if attribute is None:
@@ -149,7 +161,17 @@ class HistogramEngine:
         self._counts = counts
         self.fingerprint = fingerprint_counts(counts)
         self.default_branching = int(branching)
-        self._budget = PrivacyBudget(PrivacyParameters(total_epsilon, delta))
+        if budget is not None:
+            if total_epsilon is not None:
+                raise ReproError(
+                    "pass either total_epsilon or a shared budget, not both"
+                )
+            self._budget = budget
+        elif total_epsilon is None:
+            raise ReproError("either total_epsilon or a shared budget is required")
+        else:
+            self._budget = PrivacyBudget(PrivacyParameters(total_epsilon, delta))
+        self._spend_label = spend_label
         if cache is not None and store is not None:
             raise ReproError(
                 "pass either a shared cache or a store, not both; attach the "
@@ -268,7 +290,9 @@ class HistogramEngine:
         # inference failure above spends nothing, and if a concurrent
         # build exhausted the budget meanwhile the freshly computed leaves
         # are discarded unreleased (pure post-processing never happened).
-        self.budget.spend(key.epsilon, label=f"materialize {key.estimator}")
+        self.budget.spend(
+            key.epsilon, label=self._spend_label or f"materialize {key.estimator}"
+        )
         with self._materializations_lock:
             self.materializations += 1
         return MaterializedRelease(

@@ -30,9 +30,9 @@ Quickstart::
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.exceptions import ReproError
 from repro.queries.workload import RangeWorkload
@@ -43,6 +43,10 @@ from repro.serving.release import MaterializedRelease
 from repro.serving.stats import ServingStats, StatsSnapshot
 from repro.serving.store import ReleaseStore
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.streaming.engine import StreamBatchResult, StreamingHistogramEngine
+    from repro.streaming.lineage import EpochRecord
+
 __all__ = ["FleetStats", "EngineFleet"]
 
 
@@ -50,9 +54,12 @@ __all__ = ["FleetStats", "EngineFleet"]
 class FleetStats:
     """Aggregated serving telemetry for a whole fleet.
 
-    ``spent_epsilon`` is the sum of per-dataset budgets' spending — pure
-    telemetry; the enforced guarantee remains per-dataset, where each
-    engine's budget lives.
+    ``spent_epsilon`` is the sum of per-dataset budgets' spending (static
+    engines and streams alike) — pure telemetry; the enforced guarantee
+    remains per-dataset, where each engine's budget lives.  Streaming
+    tenants additionally surface their epoch lineage: ``epochs`` counts
+    epochs built fleet-wide, and ``stream_lineages`` maps each stream to
+    its full :class:`~repro.streaming.lineage.EpochRecord` history.
     """
 
     datasets: int
@@ -60,6 +67,14 @@ class FleetStats:
     per_dataset: Mapping[str, StatsSnapshot]
     materializations: int
     spent_epsilon: float
+    #: number of streaming tenants registered
+    streams: int = 0
+    #: epochs built across every stream (lineage lengths, not this-process builds)
+    epochs: int = 0
+    #: per-stream epoch history, oldest epoch first
+    stream_lineages: Mapping[str, tuple["EpochRecord", ...]] = field(
+        default_factory=dict
+    )
 
     @property
     def requests(self) -> int:
@@ -105,6 +120,12 @@ class EngineFleet:
             )
         self.cache = cache if cache is not None else ReleaseCache(cache_capacity, store=store)
         self._engines: dict[str, HistogramEngine] = {}
+        self._streams: dict[str, "StreamingHistogramEngine"] = {}
+        #: names mid-registration: reserved before the (side-effecting)
+        #: engine construction so a duplicate race fails before it can
+        #: build anything — for streams that build epoch 0 and write a
+        #: lineage file, a lost race would otherwise corrupt shared state.
+        self._reserved: set[str] = set()
         self._lock = threading.Lock()
 
     # -- registry --------------------------------------------------------------
@@ -131,31 +152,100 @@ class EngineFleet:
         duplicate = ReproError(
             f"dataset {name!r} is already registered; unregister it first"
         )
-        with self._lock:
-            if name in self._engines:
-                # Checked before engine construction too: fingerprinting a
-                # large count vector is not free, so the common mistake
-                # fails before doing any work.
-                raise duplicate
-        engine = HistogramEngine(
-            data,
-            total_epsilon,
-            attribute=attribute,
-            delta=delta,
-            branching=branching,
-            cache=self.cache,
-        )
-        with self._lock:
-            if name in self._engines:
-                raise duplicate
-            self._engines[name] = engine
+        self._reserve(name, duplicate)
+        try:
+            engine = HistogramEngine(
+                data,
+                total_epsilon,
+                attribute=attribute,
+                delta=delta,
+                branching=branching,
+                cache=self.cache,
+            )
+            with self._lock:
+                self._engines[name] = engine
+        finally:
+            with self._lock:
+                self._reserved.discard(name)
         return engine
 
-    def unregister(self, name: str) -> None:
-        """Drop the engine for ``name`` (its cached artifacts remain shared)."""
+    def _reserve(self, name: str, duplicate: ReproError) -> None:
+        """Atomically claim ``name`` before any side-effecting construction.
+
+        Checked against live engines, live streams, and in-flight
+        registrations, so two racing register calls cannot both start
+        building (and, for streams, both charge ε / write the lineage).
+        """
         with self._lock:
-            if self._engines.pop(name, None) is None:
-                raise ReproError(f"unknown dataset {name!r}")
+            if (
+                name in self._engines
+                or name in self._streams
+                or name in self._reserved
+            ):
+                raise duplicate
+            self._reserved.add(name)
+
+    def register_stream(
+        self,
+        name: str,
+        data,
+        total_epsilon: float,
+        *,
+        schedule,
+        policy=None,
+        attribute: str | None = None,
+        estimator: str = "constrained",
+        branching: int = 2,
+        seed: int = 0,
+        delta: float = 0.0,
+        build_first_epoch: bool = True,
+    ) -> "StreamingHistogramEngine":
+        """Host a continuously refreshed streaming tenant under ``name``.
+
+        The stream shares the fleet's cache (and any store attached to it,
+        which also makes its epoch lineage durable) while keeping its own
+        ε budget and schedule — streaming and static tenants compose in
+        one fleet without sharing privacy state.
+        """
+        from repro.streaming.engine import StreamingHistogramEngine
+
+        if not name:
+            raise ReproError("a dataset name is required to register a stream")
+        duplicate = ReproError(
+            f"dataset {name!r} is already registered; unregister it first"
+        )
+        self._reserve(name, duplicate)
+        try:
+            stream = StreamingHistogramEngine(
+                data,
+                total_epsilon,
+                schedule,
+                attribute=attribute,
+                policy=policy,
+                estimator=estimator,
+                branching=branching,
+                seed=seed,
+                delta=delta,
+                cache=self.cache,
+                name=name,
+                build_first_epoch=build_first_epoch,
+            )
+            with self._lock:
+                self._streams[name] = stream
+        finally:
+            with self._lock:
+                self._reserved.discard(name)
+        return stream
+
+    def unregister(self, name: str) -> None:
+        """Drop the engine or stream for ``name`` (cached artifacts remain)."""
+        with self._lock:
+            if self._engines.pop(name, None) is not None:
+                return
+            stream = self._streams.pop(name, None)
+        if stream is None:
+            raise ReproError(f"unknown dataset {name!r}")
+        stream.close()
 
     def engine(self, name: str) -> HistogramEngine:
         """The engine serving ``name``; raises for unknown datasets."""
@@ -167,18 +257,34 @@ class EngineFleet:
             )
         return engine
 
-    def names(self) -> list[str]:
-        """Registered dataset names, sorted."""
+    def stream(self, name: str) -> "StreamingHistogramEngine":
+        """The streaming tenant named ``name``; raises for unknown streams."""
         with self._lock:
-            return sorted(self._engines)
+            stream = self._streams.get(name)
+        if stream is None:
+            raise ReproError(
+                f"unknown stream {name!r}; registered streams: "
+                f"{sorted(self.stream_names()) or 'none'}"
+            )
+        return stream
+
+    def names(self) -> list[str]:
+        """Registered dataset names (static engines and streams), sorted."""
+        with self._lock:
+            return sorted([*self._engines, *self._streams])
+
+    def stream_names(self) -> list[str]:
+        """Registered streaming-tenant names, sorted."""
+        with self._lock:
+            return sorted(self._streams)
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
-            return name in self._engines
+            return name in self._engines or name in self._streams
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._engines)
+            return len(self._engines) + len(self._streams)
 
     # -- routing ---------------------------------------------------------------
 
@@ -211,22 +317,46 @@ class EngineFleet:
             batch, estimator, epsilon=epsilon, branching=branching, seed=seed
         )
 
+    def ingest(self, stream: str, indexes) -> int:
+        """Ingest rows into the stream named ``stream`` (routing by name)."""
+        return self.stream(stream).ingest(indexes)
+
+    def advance_epoch(self, stream: str) -> "EpochRecord":
+        """Advance the named stream one epoch synchronously."""
+        return self.stream(stream).advance_epoch()
+
+    def submit_stream(self, stream: str, batch) -> "StreamBatchResult":
+        """Answer a batch from the named stream's latest epoch."""
+        return self.stream(stream).submit(batch)
+
     # -- telemetry -------------------------------------------------------------
 
     def stats(self) -> FleetStats:
-        """Aggregate serving stats across every registered engine."""
+        """Aggregate serving stats across every registered engine and stream."""
         with self._lock:
             engines = dict(self._engines)
+            streams = dict(self._streams)
         per_dataset = {name: engine.stats.snapshot() for name, engine in engines.items()}
+        per_dataset.update(
+            {name: stream.stats.snapshot() for name, stream in streams.items()}
+        )
         total = ServingStats()
         for snapshot in per_dataset.values():
             total.merge_snapshot(snapshot)
+        lineages = {
+            name: tuple(stream.lineage.records) for name, stream in streams.items()
+        }
         return FleetStats(
-            datasets=len(engines),
+            datasets=len(engines) + len(streams),
             total=total.snapshot(),
             per_dataset=MappingProxyType(per_dataset),
-            materializations=sum(e.materializations for e in engines.values()),
-            spent_epsilon=sum(e.spent_epsilon for e in engines.values()),
+            materializations=sum(e.materializations for e in engines.values())
+            + sum(s.materializations for s in streams.values()),
+            spent_epsilon=sum(e.spent_epsilon for e in engines.values())
+            + sum(s.spent_epsilon for s in streams.values()),
+            streams=len(streams),
+            epochs=sum(len(records) for records in lineages.values()),
+            stream_lineages=MappingProxyType(lineages),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

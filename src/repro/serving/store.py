@@ -82,7 +82,12 @@ def _artifact_name(key: ReleaseKey) -> str:
 
 
 def _atomic_write_bytes(path: Path, write) -> None:
-    """Run ``write(handle)`` against a temp file, then rename onto ``path``."""
+    """Run ``write(handle)`` against a temp file, then rename onto ``path``.
+
+    The single implementation of the write-then-rename crash-safety
+    protocol; the streaming tier's :mod:`repro.streaming.lineage` and the
+    CLI's owner-side stream state reuse it rather than re-implementing.
+    """
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
     tmp = Path(tmp_name)
     try:

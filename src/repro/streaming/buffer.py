@@ -1,0 +1,141 @@
+"""Append-only accumulation of row arrivals between epochs.
+
+The paper's release flow assumes a static instance ``I``; under live
+traffic the instance is really ``I_t`` — a base database plus a stream of
+tuple arrivals.  The :class:`IngestBuffer` is the owner-side staging area
+for those arrivals: rows are aggregated immediately into a per-bucket
+delta vector (one vectorized ``bincount`` pass per batch, no per-row
+Python work), and the epoch manager drains the buffer atomically when it
+builds the next release.
+
+The buffer is strictly additive (rows arrive, they are never retracted);
+the delta vector it accumulates is true, un-noised data and therefore
+lives in the data owner's trust domain — it must never be released or
+persisted alongside the (safe, post-processed) release artifacts.
+
+Thread safety: ``add*`` calls may race with each other and with
+``drain``; every mutation happens under one lock, and :meth:`drain` swaps
+the accumulated delta out atomically so each arrival is counted in
+exactly one epoch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.db.histogram import delta_counts
+from repro.db.relation import Relation
+from repro.exceptions import DomainError
+from repro.utils.arrays import as_float_vector
+
+__all__ = ["IngestBuffer"]
+
+
+class IngestBuffer:
+    """Thread-safe staging buffer of per-bucket count deltas.
+
+    Parameters
+    ----------
+    domain_size:
+        Number of unit buckets in the histogram domain being served.
+    """
+
+    def __init__(self, domain_size: int) -> None:
+        if domain_size <= 0:
+            raise DomainError(f"domain_size must be positive, got {domain_size}")
+        self.domain_size = int(domain_size)
+        self._lock = threading.Lock()
+        self._delta = np.zeros(self.domain_size, dtype=np.float64)
+        self._rows = 0
+        #: total rows ever ingested (drains do not reset this)
+        self._rows_total = 0
+
+    # -- ingestion -------------------------------------------------------------
+
+    def add(self, indexes) -> int:
+        """Ingest one batch of rows given as domain indexes.
+
+        Aggregates the whole batch with one ``bincount`` pass before
+        touching shared state, so the lock is held only for a vector add.
+        Returns the number of rows ingested.
+        """
+        batch = delta_counts(indexes, self.domain_size)
+        rows = int(batch.sum())
+        with self._lock:
+            self._delta += batch
+            self._rows += rows
+            self._rows_total += rows
+        return rows
+
+    def add_relation(self, relation: Relation, attribute: str) -> int:
+        """Ingest every tuple of a delta relation (by its range attribute)."""
+        return self.add(relation.attribute_indexes(attribute))
+
+    def add_counts(self, delta) -> int:
+        """Ingest a pre-aggregated, non-negative delta count vector."""
+        batch = as_float_vector(delta, name="delta").copy()
+        if batch.size != self.domain_size:
+            raise DomainError(
+                f"delta has {batch.size} buckets, buffer domain is "
+                f"{self.domain_size}"
+            )
+        if np.any(batch < 0):
+            raise DomainError("the ingest stream is append-only; deltas must be >= 0")
+        rows = int(batch.sum())
+        with self._lock:
+            self._delta += batch
+            self._rows += rows
+            self._rows_total += rows
+        return rows
+
+    # -- draining --------------------------------------------------------------
+
+    def drain(self) -> tuple[np.ndarray, int]:
+        """Atomically take (and clear) the accumulated delta.
+
+        Returns ``(delta, rows)``.  Rows arriving after the swap land in
+        the fresh buffer and will be counted in the *next* epoch — no
+        arrival is ever counted twice or dropped.
+        """
+        with self._lock:
+            delta, self._delta = self._delta, np.zeros(self.domain_size, dtype=np.float64)
+            rows, self._rows = self._rows, 0
+        return delta, rows
+
+    def restore(self, delta: np.ndarray, rows: int) -> None:
+        """Return a drained delta to the buffer (a failed epoch build).
+
+        The restored rows merge with whatever arrived since the drain, so
+        a failed build loses nothing: the next successful epoch picks the
+        whole backlog up.
+        """
+        with self._lock:
+            self._delta += delta
+            self._rows += int(rows)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows ingested since the last drain."""
+        with self._lock:
+            return self._rows
+
+    @property
+    def total_rows(self) -> int:
+        """Rows ingested over the buffer's whole lifetime."""
+        with self._lock:
+            return self._rows_total
+
+    def pending_counts(self) -> np.ndarray:
+        """A copy of the current (un-drained) delta vector."""
+        with self._lock:
+            return self._delta.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IngestBuffer(domain_size={self.domain_size}, "
+            f"pending_rows={self.pending_rows})"
+        )

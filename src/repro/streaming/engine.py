@@ -1,0 +1,512 @@
+"""Continuously refreshed private serving: the streaming façade.
+
+:class:`StreamingHistogramEngine` turns the one-shot release flow into an
+epoch-based loop over live data:
+
+* rows arrive through :meth:`~StreamingHistogramEngine.ingest` and are
+  aggregated in an :class:`~repro.streaming.buffer.IngestBuffer` (true
+  data, owner's trust domain);
+* a :class:`~repro.streaming.policy.RefreshPolicy` decides when the
+  backlog justifies a new epoch, and an
+  :class:`~repro.streaming.policy.EpsilonSchedule` decides the ε that
+  epoch may spend — sequential composition across epochs is enforced by
+  one shared :class:`~repro.privacy.budget.PrivacyBudget`, charged **only
+  when an epoch build succeeds** (a failing mechanism, inference run, or
+  exhausted budget leaks nothing and loses no ingested rows);
+* each epoch folds the drained delta into the current counts and
+  materializes a fresh consistent release through the serving tier's
+  cache/store machinery, so every epoch is persisted as its own versioned
+  artifact (cache keys embed the epoch's fingerprint, ε, and seed) and a
+  replayed or restarted stream re-loads epochs for **zero** additional ε;
+* queries keep flowing the whole time: :meth:`submit` answers every batch
+  from one immutable release snapshot, so readers never observe a torn
+  epoch — a background build publishes the next epoch with a single
+  atomic swap;
+* the :class:`~repro.streaming.lineage.EpochLineage` records every
+  epoch's identity and ε durably next to the store, which is how a
+  restarted engine resumes the schedule (and keeps serving) with zero ε
+  spent in the new process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.db.histogram import HistogramBuilder
+from repro.db.relation import Relation
+from repro.exceptions import PrivacyBudgetError, ReproError
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.definitions import PrivacyParameters
+from repro.queries.workload import RangeWorkload
+from repro.serving.cache import ReleaseCache
+from repro.serving.engine import HistogramEngine, canonical_estimator_name
+from repro.serving.planner import BatchQueryPlanner, QueryBatch
+from repro.serving.release import MaterializedRelease
+from repro.serving.stats import ServingStats
+from repro.serving.store import ReleaseStore
+from repro.streaming.buffer import IngestBuffer
+from repro.streaming.lineage import EpochLineage, EpochRecord
+from repro.streaming.policy import (
+    EpsilonSchedule,
+    ManualRefreshPolicy,
+    RefreshPolicy,
+)
+from repro.utils.arrays import as_float_vector
+
+__all__ = ["StreamBatchResult", "StreamingHistogramEngine"]
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._~-]")
+
+
+@dataclass(frozen=True)
+class StreamBatchResult:
+    """Answers for one batch, pinned to the epoch that produced them.
+
+    ``epoch`` identifies the single consistent release every answer in the
+    batch came from — the streaming tier's no-torn-reads contract.
+    """
+
+    answers: np.ndarray
+    epoch: int
+    estimator: str
+    epsilon: float
+    dataset_fingerprint: str
+    answer_seconds: float
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.answers.size)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Serving throughput for this batch (0 below clock resolution)."""
+        if self.answer_seconds <= 0:
+            return 0.0
+        return self.num_queries / self.answer_seconds
+
+
+class StreamingHistogramEngine:
+    """Epoch-refreshed private-histogram server over one live dataset.
+
+    Parameters
+    ----------
+    data:
+        The *current* database: a :class:`Relation` (with ``attribute``)
+        or a raw unit-count vector.  On a warm restart this is the base
+        the next epoch's delta folds into.
+    total_epsilon:
+        The overall budget every epoch's charge composes against — over
+        the stream's whole *lifetime*: after a warm restart the process
+        budget restarts at zero, but new epochs are checked against the
+        lineage's cross-restart Σεᵢ ledger before building.
+    schedule:
+        The per-epoch ε schedule (e.g.
+        :class:`~repro.streaming.policy.GeometricEpsilonSchedule`).
+    policy:
+        When to auto-refresh on ingest; defaults to manual-only.
+    estimator / branching / seed:
+        Release strategy; epoch ``i`` is built with seed ``seed + i`` so
+        every epoch is a distinct, deterministic release identity.
+    store:
+        Optional durable :class:`ReleaseStore`.  Epoch artifacts persist
+        into it and the epoch lineage lives beside it
+        (``<root>/streams/<name>-<hash>.json``), enabling zero-ε warm
+        restarts.
+    cache:
+        A pre-built shared :class:`ReleaseCache` (attach any store to it);
+        mutually exclusive with ``store``.
+    name:
+        Stream name used for the lineage file and telemetry.
+    build_first_epoch:
+        Build epoch 0 from the base data at construction (default).  Has
+        no effect on a warm restart, which resumes from the lineage.
+    """
+
+    def __init__(
+        self,
+        data,
+        total_epsilon: float,
+        schedule: EpsilonSchedule,
+        *,
+        attribute: str | None = None,
+        policy: RefreshPolicy | None = None,
+        estimator: str = "constrained",
+        branching: int = 2,
+        seed: int = 0,
+        delta: float = 0.0,
+        store: ReleaseStore | None = None,
+        cache: ReleaseCache | None = None,
+        cache_capacity: int = 32,
+        name: str = "stream",
+        build_first_epoch: bool = True,
+    ) -> None:
+        if isinstance(data, Relation):
+            if attribute is None:
+                raise ReproError(
+                    "a range attribute is required when the data is a Relation"
+                )
+            counts = HistogramBuilder(data, attribute).counts()
+        else:
+            counts = as_float_vector(data, name="counts").copy()
+        if not hasattr(schedule, "epsilon_for"):
+            raise ReproError(
+                f"schedule must implement epsilon_for(epoch), got {schedule!r}"
+            )
+        self._counts = counts
+        self.estimator = canonical_estimator_name(estimator)
+        self.branching = int(branching)
+        self.base_seed = int(seed)
+        self.schedule = schedule
+        self.policy: RefreshPolicy = policy if policy is not None else ManualRefreshPolicy()
+        self.name = str(name)
+        if not self.name:
+            raise ReproError("a stream name is required")
+        if cache is not None and store is not None:
+            raise ReproError(
+                "pass either a shared cache or a store, not both; attach the "
+                "store to the shared ReleaseCache instead"
+            )
+        self.cache = cache if cache is not None else ReleaseCache(cache_capacity, store=store)
+        self._budget = PrivacyBudget(PrivacyParameters(total_epsilon, delta))
+        self._buffer = IngestBuffer(counts.size)
+        self.planner = BatchQueryPlanner()
+        self.stats = ServingStats()
+        self.materializations = 0
+        #: the exception the most recent policy-triggered auto-refresh
+        #: failed with, or ``None``; explicit advance_epoch() calls raise
+        #: instead of recording here.
+        self.last_refresh_error: BaseException | None = None
+        self._advance_lock = threading.Lock()
+        self._serve_lock = threading.Lock()
+        #: set on warm restart; the first epoch build validates the base
+        #: counts against the lineage ledger before proceeding
+        self._resume_unvalidated = False
+        self._current: tuple[int, MaterializedRelease] | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self.lineage = self._open_lineage()
+        if len(self.lineage):
+            self._resume_from_lineage()
+        elif build_first_epoch:
+            self.advance_epoch()
+
+    # -- construction helpers --------------------------------------------------
+
+    def _open_lineage(self) -> EpochLineage:
+        store = self.cache.store
+        if store is None:
+            return EpochLineage()
+        # Sanitizing alone is not injective ("clicks/eu" and "clicks-eu"
+        # would share a ledger — and silently continue each other's ε
+        # schedule); a short hash of the exact name keeps distinct
+        # streams in distinct files, mirroring the store's artifact
+        # naming.
+        safe = _SAFE_NAME.sub("-", self.name)
+        digest = hashlib.sha256(self.name.encode("utf-8")).hexdigest()[:8]
+        return EpochLineage(store.root / "streams" / f"{safe}-{digest}.json")
+
+    def _resume_from_lineage(self) -> None:
+        """Warm restart: serve the latest recorded epoch, spending zero ε."""
+        latest = self.lineage.latest
+        store = self.cache.store
+        release = store.get(latest.key) if store is not None else None
+        if release is None:
+            raise ReproError(
+                f"stream {self.name!r} has lineage through epoch {latest.epoch} "
+                f"but its release artifact is missing from the store"
+            )
+        self.cache.put(latest.key, release)
+        self._current = (latest.epoch, release)
+        # Serving resumed releases needs no counts at all, but *building*
+        # on stale base counts would silently rebase the stream and drop
+        # every previously folded row — so the first build after a resume
+        # cross-checks the counts against the lineage's true-count ledger
+        # (see _advance_locked).
+        self._resume_unvalidated = True
+
+    # -- budget ----------------------------------------------------------------
+
+    @property
+    def budget(self) -> PrivacyBudget:
+        """The shared (thread-safe) budget every epoch composes against."""
+        return self._budget
+
+    @property
+    def spent_epsilon(self) -> float:
+        """ε spent by *this process* (a warm restart starts at zero)."""
+        return self._budget.spent_epsilon
+
+    @property
+    def remaining_epsilon(self) -> float:
+        return self._budget.remaining_epsilon
+
+    # -- ingestion -------------------------------------------------------------
+
+    @property
+    def domain_size(self) -> int:
+        return int(self._counts.size)
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows ingested but not yet folded into any epoch."""
+        return self._buffer.pending_rows
+
+    def ingest(self, indexes) -> int:
+        """Ingest rows given as domain indexes; may trigger a refresh.
+
+        Returns the number of rows ingested.  When the refresh policy
+        fires and no build is already in flight, the epoch advances
+        synchronously (for latency-sensitive ingest paths, keep the
+        default :class:`~repro.streaming.policy.ManualRefreshPolicy` and
+        drive :meth:`advance_epoch_background` yourself).  A *failed*
+        auto-refresh never raises out of ingest — the rows are already
+        safely buffered, and re-ingesting them would double-count; the
+        failure is recorded in :attr:`last_refresh_error` for monitoring
+        (a persistent cause, such as an exhausted budget, will surface
+        again on the next explicit :meth:`advance_epoch`).
+        """
+        rows = self._buffer.add(indexes)
+        self._maybe_refresh()
+        return rows
+
+    def ingest_counts(self, delta) -> int:
+        """Ingest a pre-aggregated delta count vector; may trigger a refresh."""
+        rows = self._buffer.add_counts(delta)
+        self._maybe_refresh()
+        return rows
+
+    def ingest_relation(self, relation: Relation, attribute: str) -> int:
+        """Ingest every tuple of a delta relation; may trigger a refresh."""
+        rows = self._buffer.add_relation(relation, attribute)
+        self._maybe_refresh()
+        return rows
+
+    def _maybe_refresh(self) -> None:
+        if not self.policy.should_refresh(self._buffer.pending_rows):
+            return
+        # Never stack policy-triggered builds: the non-blocking acquire
+        # makes the in-flight check atomic, and the policy is re-checked
+        # under the lock — a concurrent ingest that lost the race finds
+        # its rows already drained and must not charge a near-empty
+        # epoch for them.  Pending rows simply ride into the next epoch.
+        if not self._advance_lock.acquire(blocking=False):
+            return
+        try:
+            if self.policy.should_refresh(self._buffer.pending_rows):
+                self._advance_locked()
+                self.last_refresh_error = None
+        except Exception as error:
+            # The ingest itself succeeded — the rows are in the buffer and
+            # a failed build restored its drained share — so raising here
+            # would invite the caller to re-ingest the same batch and
+            # double-count it.  Auto-refresh degrades to buffer-only
+            # ingestion; the error surfaces on the next explicit
+            # advance_epoch() and through last_refresh_error.
+            self.last_refresh_error = error
+        finally:
+            self._advance_lock.release()
+
+    # -- epoch building --------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Index of the epoch currently being served (-1 before epoch 0)."""
+        with self._serve_lock:
+            return self._current[0] if self._current is not None else -1
+
+    def advance_epoch(self) -> EpochRecord:
+        """Build and publish the next epoch synchronously.
+
+        Drains the ingest buffer, folds the delta into the current counts,
+        materializes the epoch's release at the scheduled ε, records the
+        epoch in the lineage, and atomically swaps it in for serving.  On
+        *any* failure the drained rows are restored to the buffer, the
+        epoch counter does not advance, and — because the charge happens
+        only after the release is computed — no ε is spent.
+        """
+        with self._advance_lock:
+            return self._advance_locked()
+
+    def advance_epoch_background(self) -> "Future[EpochRecord]":
+        """Schedule :meth:`advance_epoch` on the build thread.
+
+        Queries keep being answered from the current epoch while the build
+        runs; the returned future resolves to the new
+        :class:`EpochRecord` (or carries the build's exception).  Builds
+        are serialized on a single worker so concurrent triggers can never
+        race the schedule.
+        """
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"epoch-build-{self.name}"
+                )
+            return self._executor.submit(self.advance_epoch)
+
+    def _advance_locked(self) -> EpochRecord:
+        epoch = self.lineage.next_epoch
+        epsilon = self.schedule.epsilon_for(epoch)
+        # The process budget starts at zero after a warm restart, so it
+        # alone cannot enforce total_epsilon over the stream's *lifetime*;
+        # the lineage carries the cross-restart ledger, and this check
+        # composes the new epoch against it before any work is done.  The
+        # process budget is the floor for charges the lineage missed (a
+        # lineage persist failure after a successful build); a charge
+        # orphaned that way is unrecoverable across restarts, which is
+        # the documented residual of non-transactional store + lineage.
+        lifetime = max(self.lineage.spent_epsilon, self._budget.spent_epsilon)
+        if lifetime + epsilon > self._budget.total.epsilon + 1e-12:
+            raise PrivacyBudgetError(
+                f"epoch {epoch} would charge ε={epsilon:g}, but the stream "
+                f"has already spent ε={lifetime:g} of its lifetime "
+                f"{self._budget.total.epsilon:g} across its lineage"
+            )
+        if self._resume_unvalidated:
+            # Building on stale base counts after a resume would publish a
+            # release that regresses by every previously folded row; the
+            # lineage records each epoch's true total exactly so the
+            # mismatch is detectable before any work (0.5 of absolute
+            # slack tolerates text-serialized counts, never a whole row).
+            recorded = self.lineage.latest.total_rows
+            current = float(self._counts.sum())
+            if abs(current - recorded) > 0.5 + 1e-9 * abs(recorded):
+                raise ReproError(
+                    f"stream {self.name!r} resumed at epoch "
+                    f"{self.lineage.latest.epoch} whose release covered "
+                    f"{recorded:g} rows, but the supplied counts hold "
+                    f"{current:g}; pass the stream's *current* database "
+                    f"(base plus previously released rows) to keep building"
+                )
+            self._resume_unvalidated = False
+        delta, rows = self._buffer.drain()
+        # Gate the fold on the delta itself, not the row count: fractional
+        # pre-aggregated deltas can sum below one whole row yet still
+        # carry data that must reach the epoch.
+        counts = self._counts + delta if delta.any() else self._counts
+        try:
+            builder = HistogramEngine(
+                counts,
+                branching=self.branching,
+                cache=self.cache,
+                budget=self._budget,
+                spend_label=f"epoch {epoch} ({self.estimator})",
+            )
+            release = builder.materialize(
+                self.estimator,
+                epsilon=epsilon,
+                branching=self.branching,
+                seed=self.base_seed + epoch,
+            )
+        except BaseException:
+            # The build charged nothing (the engine charges only after a
+            # successful computation) and must lose nothing: the drained
+            # rows rejoin the backlog for the next attempt.
+            self._buffer.restore(delta, rows)
+            raise
+        record = EpochRecord(
+            epoch=epoch,
+            key=release.key,
+            epsilon=epsilon,
+            rows_ingested=rows,
+            total_rows=float(counts.sum()),
+        )
+        try:
+            self.lineage.append(record)
+        except BaseException:
+            # The epoch's ε is already charged (the artifact exists), but
+            # the epoch is not published: restore the rows so they are
+            # re-released by the next successful epoch rather than lost.
+            self._buffer.restore(delta, rows)
+            raise
+        self._counts = counts
+        with self._serve_lock:
+            self._current = (epoch, release)
+            self.materializations += builder.materializations
+        return record
+
+    def release_for_epoch(self, epoch: int) -> MaterializedRelease:
+        """The immutable release a past epoch published (no ε, ever).
+
+        Resolved from the in-memory cache, falling back to the durable
+        store; raises when the epoch was never built or its artifact is
+        gone from both.
+        """
+        records = self.lineage.records
+        if not 0 <= epoch < len(records):
+            raise ReproError(
+                f"stream {self.name!r} has no epoch {epoch} "
+                f"(built through {len(records) - 1})"
+            )
+        key = records[epoch].key
+        release = self.cache.get(key)
+        if release is None and self.cache.store is not None:
+            release = self.cache.store.get(key)
+            if release is not None:
+                self.cache.put(key, release)
+        if release is None:
+            raise ReproError(
+                f"epoch {epoch} of stream {self.name!r} was evicted and no "
+                f"store holds its artifact"
+            )
+        return release
+
+    # -- serving ---------------------------------------------------------------
+
+    def submit(self, batch: QueryBatch | RangeWorkload) -> StreamBatchResult:
+        """Answer a batch from the latest published epoch.
+
+        The epoch snapshot is taken once, before answering, and the whole
+        batch is answered from that single immutable release — a
+        concurrent epoch swap affects only batches submitted after it.
+        """
+        if isinstance(batch, RangeWorkload):
+            batch = QueryBatch.from_workload(batch)
+        with self._serve_lock:
+            current = self._current
+        if current is None:
+            raise ReproError(
+                f"stream {self.name!r} has no epoch yet; ingest data and "
+                f"advance an epoch first"
+            )
+        epoch, release = current
+        start = perf_counter()
+        answers = self.planner.answer(release, batch)
+        answer_seconds = perf_counter() - start
+        self.stats.record_batch(len(batch), answer_seconds)
+        return StreamBatchResult(
+            answers=answers,
+            epoch=epoch,
+            estimator=release.estimator,
+            epsilon=release.epsilon,
+            dataset_fingerprint=release.dataset_fingerprint,
+            answer_seconds=answer_seconds,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Wait for any in-flight background build and release its thread."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "StreamingHistogramEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StreamingHistogramEngine(name={self.name!r}, epoch={self.epoch}, "
+            f"pending_rows={self.pending_rows}, "
+            f"spent_epsilon={self.spent_epsilon:g})"
+        )

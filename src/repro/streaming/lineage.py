@@ -1,0 +1,192 @@
+"""Durable lineage of a stream's epochs.
+
+Every successful epoch build appends one :class:`EpochRecord` — the epoch
+index, the full :class:`~repro.serving.release.ReleaseKey` of the release
+it produced, the ε it charged, and how many rows it folded in.  The
+lineage is the stream's public provenance:
+
+* it is safe to persist and share — it holds release identities and ε
+  values (outputs of the accounting), never true counts;
+* it lets a restarted engine resume exactly where the stream left off:
+  the next epoch index, the next ε on the schedule, and the latest
+  release to serve (loaded from the store with **zero** additional ε);
+* summed, it is the stream's sequential-composition ledger: the stream is
+  (Σ εᵢ)-differentially private over its whole history, across process
+  restarts.
+
+When bound to a file the lineage is rewritten atomically (temp file +
+``os.replace``) after every append, mirroring the release store's
+crash-safety protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ReleaseStoreError
+from repro.serving.release import ReleaseKey
+from repro.serving.store import _atomic_write_bytes
+
+__all__ = ["EpochRecord", "EpochLineage", "LINEAGE_FORMAT_VERSION"]
+
+#: Version of the lineage file schema; bump when the layout changes.
+LINEAGE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Provenance of one successfully built epoch."""
+
+    epoch: int
+    key: ReleaseKey
+    epsilon: float
+    rows_ingested: int
+    total_rows: float
+
+    def to_json(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "dataset_fingerprint": self.key.dataset_fingerprint,
+            "estimator": self.key.estimator,
+            "epsilon": self.epsilon,
+            "branching": self.key.branching,
+            "seed": self.key.seed,
+            "rows_ingested": self.rows_ingested,
+            "total_rows": self.total_rows,
+        }
+
+    @classmethod
+    def from_json(cls, entry: dict) -> "EpochRecord":
+        try:
+            key = ReleaseKey(
+                dataset_fingerprint=str(entry["dataset_fingerprint"]),
+                estimator=str(entry["estimator"]),
+                epsilon=float(entry["epsilon"]),
+                branching=int(entry["branching"]),
+                seed=int(entry["seed"]),
+            )
+            return cls(
+                epoch=int(entry["epoch"]),
+                key=key,
+                epsilon=float(entry["epsilon"]),
+                rows_ingested=int(entry["rows_ingested"]),
+                total_rows=float(entry["total_rows"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReleaseStoreError(
+                f"malformed epoch lineage entry {entry!r}: {error}"
+            ) from error
+
+
+class EpochLineage:
+    """An append-only, optionally file-backed sequence of epoch records.
+
+    Parameters
+    ----------
+    path:
+        When given, the lineage is loaded from (and persisted to) this
+        JSON file; ``None`` keeps it in memory only.
+    """
+
+    def __init__(self, path=None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._records: list[EpochRecord] = []
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, ValueError) as error:
+            raise ReleaseStoreError(
+                f"cannot read epoch lineage {self.path}: {error}"
+            ) from error
+        version = document.get("lineage_format_version")
+        if not isinstance(version, int) or version > LINEAGE_FORMAT_VERSION:
+            raise ReleaseStoreError(
+                f"epoch lineage {self.path} has format version {version!r}, "
+                f"newer than the supported {LINEAGE_FORMAT_VERSION}"
+            )
+        epochs = document.get("epochs")
+        if not isinstance(epochs, list):
+            raise ReleaseStoreError(f"epoch lineage {self.path} has no epoch list")
+        records = [EpochRecord.from_json(entry) for entry in epochs]
+        for i, record in enumerate(records):
+            if record.epoch != i:
+                raise ReleaseStoreError(
+                    f"epoch lineage {self.path} is not contiguous: position "
+                    f"{i} records epoch {record.epoch}"
+                )
+        self._records = records
+
+    def _persist(self) -> None:
+        document = {
+            "lineage_format_version": LINEAGE_FORMAT_VERSION,
+            "epochs": [record.to_json() for record in self._records],
+        }
+        payload = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(self.path, lambda handle: handle.write(payload))
+
+    # -- appends ---------------------------------------------------------------
+
+    def append(self, record: EpochRecord) -> None:
+        """Record one built epoch; epochs must arrive in order, gap-free."""
+        with self._lock:
+            expected = len(self._records)
+            if record.epoch != expected:
+                raise ReleaseStoreError(
+                    f"epoch {record.epoch} appended out of order; lineage "
+                    f"expects epoch {expected} next"
+                )
+            self._records.append(record)
+            if self.path is not None:
+                try:
+                    self._persist()
+                except OSError as error:
+                    self._records.pop()
+                    raise ReleaseStoreError(
+                        f"cannot persist epoch lineage to {self.path}: {error}"
+                    ) from error
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def records(self) -> list[EpochRecord]:
+        """All epoch records so far, oldest first (copy)."""
+        with self._lock:
+            return list(self._records)
+
+    @property
+    def latest(self) -> EpochRecord | None:
+        """The most recent epoch record, or ``None`` before epoch 0."""
+        with self._lock:
+            return self._records[-1] if self._records else None
+
+    @property
+    def next_epoch(self) -> int:
+        """The index the next built epoch will get."""
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def spent_epsilon(self) -> float:
+        """Σ εᵢ over the recorded epochs — the stream's composition ledger.
+
+        Summed left to right, matching the order the charges happened.
+        """
+        total = 0.0
+        for record in self.records:
+            total += record.epsilon
+        return total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EpochLineage(epochs={len(self)}, path={str(self.path)!r})"

@@ -1,0 +1,159 @@
+"""When to re-release, and at what ε: refresh policies and ε schedules.
+
+Epoch-based re-release is sequential composition in time (Section 2.1):
+each epoch ``i`` re-answers the query sequence on the updated instance
+with an ``εᵢ``-DP mechanism, and the whole stream of releases is
+``(Σ εᵢ)``-differentially private.  Two pluggable decisions shape that
+trade-off:
+
+* a **refresh policy** decides *when* the buffered arrivals justify
+  building a new epoch (per row-count threshold, or only on demand);
+* an **ε schedule** decides *how much* of the budget epoch ``i`` may
+  spend.  The geometric schedule ``εᵢ = ε₀·rⁱ`` (``0 < r < 1``) is the
+  canonical choice: its infinite sum ``ε₀/(1-r)`` is finite, so a stream
+  can re-release forever under a fixed total budget — at the price of
+  noisier releases as epochs pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "RefreshPolicy",
+    "RowCountPolicy",
+    "ManualRefreshPolicy",
+    "EpsilonSchedule",
+    "FixedEpsilonSchedule",
+    "GeometricEpsilonSchedule",
+]
+
+
+# -- refresh policies ----------------------------------------------------------
+
+
+@runtime_checkable
+class RefreshPolicy(Protocol):
+    """Decides whether the pending backlog warrants a new epoch."""
+
+    def should_refresh(self, pending_rows: int) -> bool:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class RowCountPolicy:
+    """Refresh once at least ``threshold`` rows have accumulated."""
+
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ReproError(
+                f"row-count threshold must be >= 1, got {self.threshold}"
+            )
+
+    def should_refresh(self, pending_rows: int) -> bool:
+        return pending_rows >= self.threshold
+
+
+@dataclass(frozen=True)
+class ManualRefreshPolicy:
+    """Never refresh automatically; epochs advance only on explicit calls."""
+
+    def should_refresh(self, pending_rows: int) -> bool:
+        return False
+
+
+# -- epsilon schedules ---------------------------------------------------------
+
+
+@runtime_checkable
+class EpsilonSchedule(Protocol):
+    """Maps an epoch index (0-based) to the ε that epoch may spend."""
+
+    def epsilon_for(self, epoch: int) -> float:  # pragma: no cover
+        ...
+
+    def total_through(self, epoch: int) -> float:  # pragma: no cover
+        ...
+
+
+def _check_epoch(epoch: int) -> int:
+    if epoch < 0:
+        raise ReproError(f"epoch index must be >= 0, got {epoch}")
+    return int(epoch)
+
+
+@dataclass(frozen=True)
+class FixedEpsilonSchedule:
+    """Every epoch spends the same ε (total grows linearly — plan a horizon)."""
+
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ReproError(f"epsilon must be positive, got {self.epsilon}")
+
+    def epsilon_for(self, epoch: int) -> float:
+        _check_epoch(epoch)
+        return self.epsilon
+
+    def total_through(self, epoch: int) -> float:
+        """Σ εᵢ for i = 0..epoch, summed left to right (exact accounting)."""
+        return _left_to_right_total(self, epoch)
+
+
+@dataclass(frozen=True)
+class GeometricEpsilonSchedule:
+    """Epoch ``i`` spends ``ε₀ · decayⁱ``; the infinite total is finite.
+
+    Parameters
+    ----------
+    first_epsilon:
+        ε of epoch 0 (the initial release — typically the most accurate).
+    decay:
+        Per-epoch multiplier in (0, 1); later epochs get geometrically
+        less budget, so ``Σ εᵢ = ε₀ / (1 - decay)`` over an unbounded
+        stream.
+    """
+
+    first_epsilon: float
+    decay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.first_epsilon <= 0:
+            raise ReproError(
+                f"first_epsilon must be positive, got {self.first_epsilon}"
+            )
+        if not 0.0 < self.decay < 1.0:
+            raise ReproError(f"decay must be in (0, 1), got {self.decay}")
+
+    @property
+    def infinite_total(self) -> float:
+        """The total ε an unbounded stream of epochs converges to."""
+        return self.first_epsilon / (1.0 - self.decay)
+
+    def epsilon_for(self, epoch: int) -> float:
+        return self.first_epsilon * self.decay ** _check_epoch(epoch)
+
+    def total_through(self, epoch: int) -> float:
+        """Σ εᵢ for i = 0..epoch, summed left to right (exact accounting)."""
+        return _left_to_right_total(self, epoch)
+
+
+def _left_to_right_total(schedule: EpsilonSchedule, epoch: int) -> float:
+    """Sum the schedule exactly as the budget's running total does.
+
+    Floating-point addition is order-dependent, and the acceptance bar for
+    epoch accounting is *exact* equality between the budget's Σεᵢ and the
+    schedule — so the schedule total must be accumulated in the same
+    left-to-right order the spends happen, not via a closed form.
+    """
+    _check_epoch(epoch)
+    total = 0.0
+    for i in range(epoch + 1):
+        total += schedule.epsilon_for(i)
+    return total

@@ -12,6 +12,12 @@ def pytest_configure(config):
         "equivalence: batched-vs-scalar exact-equivalence property tests "
         "(run standalone with -m equivalence)",
     )
+    config.addinivalue_line(
+        "markers",
+        "statistical: distributional conformance tests (KS, chi-square, "
+        "empirical ε-DP) with fixed seeds and powered sample sizes "
+        "(run standalone with -m statistical)",
+    )
 
 from repro.db.domain import IntegerDomain, IPPrefixDomain
 from repro.db.relation import Column, Relation, Schema

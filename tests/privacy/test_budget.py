@@ -110,3 +110,39 @@ class TestThreadSafety:
             thread.join()
         assert sum(1 for o in outcomes if o is not None) == 2
         assert budget.remaining_epsilon == pytest.approx(0.0)
+
+
+class TestRunningTotal:
+    def test_running_total_is_exact_across_many_small_spends(self):
+        """The O(1) running total must match re-summing the history bit for
+        bit: both accumulate left to right from 0.0, so even though the
+        spends are float-noisy (0.1 is not exactly representable) the two
+        computations follow identical rounding paths."""
+        budget = PrivacyBudget(PrivacyParameters(10_000.0))
+        for i in range(5_000):
+            budget.spend(0.1 + (i % 7) * 1e-9, label=f"spend-{i}")
+        resummed = 0.0
+        for spend in budget.history:
+            resummed += spend.epsilon
+        assert budget.spent_epsilon == resummed  # exact, not approx
+        assert len(budget.history) == 5_000
+
+    def test_running_total_survives_rejected_spends(self):
+        budget = PrivacyBudget(PrivacyParameters(1.0))
+        budget.spend(0.75)
+        with pytest.raises(PrivacyBudgetError):
+            budget.spend(0.5)
+        assert budget.spent_epsilon == 0.75
+        budget.spend(0.25)
+        assert budget.spent_epsilon == 0.75 + 0.25
+
+    def test_spent_epsilon_is_constant_time(self):
+        """Reading the total must not re-walk the spend list: the property
+        stays correct (and fast) after thousands of spends interleaved
+        with reads on the serving path."""
+        budget = PrivacyBudget(PrivacyParameters(1e9))
+        total = 0.0
+        for i in range(1_000):
+            budget.spend(1.0, label="query")
+            total += 1.0
+            assert budget.spent_epsilon == total

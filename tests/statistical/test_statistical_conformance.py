@@ -1,0 +1,198 @@
+"""Statistical conformance of the privacy mechanisms (``-m statistical``).
+
+The rest of the suite checks *plumbing* (shapes, seeds, accounting); these
+tests check the *distributions*: the noise samplers must actually follow
+the laws the privacy proofs assume.  Every test uses a fixed seed and a
+sample size powered so that (a) a correct sampler passes deterministically
+and (b) a deliberately mis-calibrated one fails by a wide margin — both
+directions are asserted, so CI is deterministic and the tests have teeth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.histogram import HistogramBuilder
+from repro.privacy.audit import audit_laplace_mechanism
+from repro.privacy.geometric import (
+    GeometricMechanism,
+    two_sided_geometric_noise_matrix,
+)
+from repro.privacy.laplace import laplace_noise, laplace_noise_matrix
+from repro.privacy.definitions import PrivacyParameters
+
+stats = pytest.importorskip(
+    "scipy.stats", reason="the conformance suite needs scipy for KS/chi-square"
+)
+
+pytestmark = pytest.mark.statistical
+
+SEED = 20100901
+#: 2·10⁵ samples give the KS test power ~1 against a scale error of 10%
+#: while keeping each test well under a second.
+SAMPLES = 200_000
+
+
+class TestLaplaceKS:
+    def test_noise_matrix_matches_laplace_cdf(self):
+        """KS test of the batched sampler against the Laplace CDF."""
+        scale = 1.5
+        matrix = laplace_noise_matrix(scale, trials=100, size=SAMPLES // 100, rng=SEED)
+        assert matrix.shape == (100, SAMPLES // 100)
+        result = stats.kstest(matrix.ravel(), "laplace", args=(0.0, scale))
+        assert result.pvalue > 0.01, (
+            f"laplace_noise_matrix deviates from Lap(0, {scale}): "
+            f"D={result.statistic:.5f}, p={result.pvalue:.4g}"
+        )
+
+    def test_scalar_sampler_matches_laplace_cdf(self):
+        """The scalar path (inverse-CDF draw) follows the same law."""
+        scale = 0.7
+        sample = laplace_noise(scale, SAMPLES, rng=SEED + 1)
+        result = stats.kstest(sample, "laplace", args=(0.0, scale))
+        assert result.pvalue > 0.01
+
+    def test_seed_schedule_path_matches_laplace_cdf(self):
+        """The bit-reproducible per-trial path is still exactly Laplace."""
+        scale = 2.0
+        schedule = [SEED + t for t in range(50)]
+        matrix = laplace_noise_matrix(scale, trials=50, size=2_000, rng=schedule)
+        result = stats.kstest(matrix.ravel(), "laplace", args=(0.0, scale))
+        assert result.pvalue > 0.01
+
+    def test_ks_detects_miscalibrated_scale(self):
+        """Power check: a 10% scale error must fail loudly at this n."""
+        matrix = laplace_noise_matrix(1.1, trials=100, size=SAMPLES // 100, rng=SEED)
+        result = stats.kstest(matrix.ravel(), "laplace", args=(0.0, 1.0))
+        assert result.pvalue < 1e-6
+
+
+class TestGeometricChiSquare:
+    @staticmethod
+    def _binned_pmf(alpha: float, tail: int) -> np.ndarray:
+        """Exact two-sided-geometric PMF on {-tail..tail} with pooled tails.
+
+        ``Pr[Z = z] = (1-α)/(1+α)·α^|z|``; the two open tails each carry
+        ``α^(tail+1)/(1+α)``, so the binned masses sum to exactly 1.
+        """
+        z = np.arange(-tail, tail + 1)
+        pmf = (1.0 - alpha) / (1.0 + alpha) * alpha ** np.abs(z)
+        tail_mass = alpha ** (tail + 1) / (1.0 + alpha)
+        return np.concatenate(([tail_mass], pmf, [tail_mass]))
+
+    @staticmethod
+    def _binned_observed(sample: np.ndarray, tail: int) -> np.ndarray:
+        inner = np.clip(sample, -tail - 1, tail + 1)
+        return np.bincount((inner + tail + 1).astype(np.int64), minlength=2 * tail + 3)
+
+    def test_noise_matrix_matches_exact_pmf(self):
+        alpha = 0.6
+        tail = 15  # expected tail-bin count ≈ 35 at this n, comfortably > 5
+        matrix = two_sided_geometric_noise_matrix(
+            alpha, trials=100, size=SAMPLES // 100, rng=SEED
+        )
+        assert np.array_equal(matrix, np.rint(matrix)), "noise must be integral"
+        observed = self._binned_observed(matrix.ravel(), tail)
+        expected = self._binned_pmf(alpha, tail) * matrix.size
+        assert expected.min() > 5.0, "bins too thin for a chi-square test"
+        result = stats.chisquare(observed, f_exp=expected * observed.sum() / expected.sum())
+        assert result.pvalue > 0.01, (
+            f"two_sided_geometric_noise_matrix deviates from its PMF: "
+            f"chi2={result.statistic:.2f}, p={result.pvalue:.4g}"
+        )
+
+    def test_chi_square_detects_wrong_alpha(self):
+        """Power check: sampling at α=0.55 against the α=0.6 PMF must fail."""
+        tail = 15
+        matrix = two_sided_geometric_noise_matrix(
+            0.55, trials=100, size=SAMPLES // 100, rng=SEED
+        )
+        observed = self._binned_observed(matrix.ravel(), tail)
+        expected = self._binned_pmf(0.6, tail) * matrix.size
+        result = stats.chisquare(observed, f_exp=expected * observed.sum() / expected.sum())
+        assert result.pvalue < 1e-6
+
+    def test_mechanism_alpha_calibration(self):
+        """The mechanism's α=exp(-ε/Δ) yields the variance the theory gives."""
+        mechanism = GeometricMechanism(1.0, PrivacyParameters(0.5))
+        matrix = two_sided_geometric_noise_matrix(
+            mechanism.alpha, trials=100, size=SAMPLES // 100, rng=SEED
+        )
+        observed_var = matrix.var()
+        assert observed_var == pytest.approx(mechanism.per_query_variance, rel=0.02)
+
+
+class TestEmpiricalDP:
+    """Empirical ε-DP on neighbouring *histograms*: run the mechanism on
+    L(I) and L(I') differing by one record, and check the observed
+    log-likelihood ratio never exceeds the claimed ε (up to the audit's
+    sampling slack) — while an under-noised mechanism is caught.
+
+    40k trials over 10 bins keeps every per-bin frequency estimate tight
+    enough that correctly calibrated runs clear the slack threshold with
+    a wide margin across seeds (probed, not tuned to one lucky seed),
+    while the 6× under-noised mechanism overshoots it by >2×."""
+
+    TRIALS = 40_000
+    BINS = 10
+
+    @staticmethod
+    def _neighbour_counts(paper_relation):
+        builder = HistogramBuilder(paper_relation, "src")
+        counts = builder.counts()
+        neighbour_relation = paper_relation.with_record(("010", 0))
+        neighbour = HistogramBuilder(neighbour_relation, "src").counts()
+        assert np.abs(neighbour - counts).sum() == 1.0  # one record moved in
+        return counts, neighbour
+
+    def test_range_query_release_within_claimed_epsilon(self, paper_relation):
+        counts, neighbour = self._neighbour_counts(paper_relation)
+        epsilon = 0.5
+        scale = 1.0 / epsilon  # range-count sensitivity 1
+
+        result = audit_laplace_mechanism(
+            lambda g: counts[2] + g.laplace(0.0, scale),
+            lambda g: neighbour[2] + g.laplace(0.0, scale),
+            claimed_epsilon=epsilon,
+            trials=self.TRIALS,
+            bins=self.BINS,
+            rng=SEED,
+        )
+        assert result.within_claim, (
+            f"estimated ε={result.estimated_epsilon:.3f} exceeds the "
+            f"claimed {epsilon} beyond sampling slack"
+        )
+
+    def test_undernoised_release_is_caught(self, paper_relation):
+        counts, neighbour = self._neighbour_counts(paper_relation)
+        epsilon = 0.5
+        wrong_scale = 1.0 / (6.0 * epsilon)  # noise for 6ε claimed as ε
+
+        result = audit_laplace_mechanism(
+            lambda g: counts[2] + g.laplace(0.0, wrong_scale),
+            lambda g: neighbour[2] + g.laplace(0.0, wrong_scale),
+            claimed_epsilon=epsilon,
+            trials=self.TRIALS,
+            bins=self.BINS,
+            rng=SEED,
+        )
+        assert not result.within_claim
+
+    def test_total_query_leaks_nothing_observable(self, paper_relation):
+        """The total c([0, n-1]) still has sensitivity 1: the audit on the
+        noisy total must stay within ε as well (the streaming tier
+        re-releases totals every epoch)."""
+        counts, neighbour = self._neighbour_counts(paper_relation)
+        epsilon = 0.25
+        scale = 1.0 / epsilon
+
+        result = audit_laplace_mechanism(
+            lambda g: counts.sum() + g.laplace(0.0, scale),
+            lambda g: neighbour.sum() + g.laplace(0.0, scale),
+            claimed_epsilon=epsilon,
+            trials=self.TRIALS,
+            bins=self.BINS,
+            rng=SEED + 2,
+        )
+        assert result.within_claim

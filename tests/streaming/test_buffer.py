@@ -1,0 +1,123 @@
+"""Tests for the append-only ingest buffer."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.db.domain import IntegerDomain
+from repro.db.histogram import delta_counts
+from repro.db.relation import Column, Relation, Schema
+from repro.exceptions import DomainError
+from repro.streaming.buffer import IngestBuffer
+
+
+class TestDeltaCounts:
+    def test_aggregates_rows_per_bucket(self):
+        delta = delta_counts([0, 2, 2, 5], 8)
+        assert delta.tolist() == [1, 0, 2, 0, 0, 1, 0, 0]
+        assert delta.dtype == np.float64
+
+    def test_empty_batch_is_zero_vector(self):
+        assert delta_counts([], 4).tolist() == [0, 0, 0, 0]
+
+    def test_rejects_out_of_domain_and_non_integer_rows(self):
+        with pytest.raises(DomainError):
+            delta_counts([0, 9], 4)
+        with pytest.raises(DomainError):
+            delta_counts([-1], 4)
+        with pytest.raises(DomainError):
+            delta_counts([1.5], 4)
+        with pytest.raises(DomainError):
+            delta_counts([[1, 2]], 4)
+        with pytest.raises(DomainError):
+            delta_counts([1], 0)
+
+    def test_float_valued_integers_accepted(self):
+        assert delta_counts(np.array([1.0, 1.0]), 4).tolist() == [0, 2, 0, 0]
+
+
+class TestIngestBuffer:
+    def test_accumulates_batches(self):
+        buffer = IngestBuffer(4)
+        assert buffer.add([0, 1, 1]) == 3
+        assert buffer.add([3]) == 1
+        assert buffer.pending_rows == 4
+        assert buffer.total_rows == 4
+        assert buffer.pending_counts().tolist() == [1, 2, 0, 1]
+
+    def test_drain_swaps_atomically(self):
+        buffer = IngestBuffer(4)
+        buffer.add([0, 0, 2])
+        delta, rows = buffer.drain()
+        assert delta.tolist() == [2, 0, 1, 0]
+        assert rows == 3
+        assert buffer.pending_rows == 0
+        assert buffer.total_rows == 3  # lifetime counter survives drains
+        # a fresh arrival lands in the new epoch's delta
+        buffer.add([1])
+        assert buffer.pending_counts().tolist() == [0, 1, 0, 0]
+
+    def test_restore_merges_with_new_arrivals(self):
+        buffer = IngestBuffer(4)
+        buffer.add([0, 1])
+        delta, rows = buffer.drain()
+        buffer.add([3])  # arrives while the (failing) build runs
+        buffer.restore(delta, rows)
+        assert buffer.pending_rows == 3
+        assert buffer.pending_counts().tolist() == [1, 1, 0, 1]
+
+    def test_add_counts_requires_matching_nonnegative_delta(self):
+        buffer = IngestBuffer(3)
+        assert buffer.add_counts([1.0, 0.0, 2.0]) == 3
+        with pytest.raises(DomainError):
+            buffer.add_counts([1.0, 0.0])
+        with pytest.raises(DomainError):
+            buffer.add_counts([1.0, -1.0, 0.0])
+
+    def test_add_relation_uses_attribute_indexes(self):
+        schema = Schema.of(Column("bucket", IntegerDomain(4)))
+        relation = Relation.from_records(schema, [(0,), (2,), (2,)])
+        buffer = IngestBuffer(4)
+        assert buffer.add_relation(relation, "bucket") == 3
+        assert buffer.pending_counts().tolist() == [1, 0, 2, 0]
+
+    def test_rejects_invalid_domain_size(self):
+        with pytest.raises(DomainError):
+            IngestBuffer(0)
+
+    def test_concurrent_adds_and_drains_count_every_row_once(self):
+        """8 writers × 50 batches race a draining thread; the sum of the
+        drained deltas plus the final pending delta must equal exactly the
+        rows ingested — nothing lost, nothing double-counted."""
+        buffer = IngestBuffer(16)
+        rows_per_batch = 25
+        drained = np.zeros(16)
+        drained_lock = threading.Lock()
+        stop = threading.Event()
+
+        def writer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            for _ in range(50):
+                buffer.add(rng.integers(0, 16, size=rows_per_batch))
+
+        def drainer() -> None:
+            while not stop.is_set():
+                delta, _ = buffer.drain()
+                with drained_lock:
+                    drained[:] += delta
+
+        writers = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        drain_thread = threading.Thread(target=drainer)
+        drain_thread.start()
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        drain_thread.join()
+        total = drained + buffer.pending_counts()
+        assert total.sum() == 8 * 50 * rows_per_batch
+        assert buffer.total_rows == 8 * 50 * rows_per_batch

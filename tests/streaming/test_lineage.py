@@ -1,0 +1,96 @@
+"""Tests for the durable epoch lineage."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReleaseStoreError
+from repro.serving.release import ReleaseKey
+from repro.streaming.lineage import EpochLineage, EpochRecord
+
+
+def _record(epoch: int, epsilon: float = 0.1) -> EpochRecord:
+    key = ReleaseKey(
+        dataset_fingerprint=f"fp{epoch}",
+        estimator="H_bar",
+        epsilon=epsilon,
+        branching=2,
+        seed=7 + epoch,
+    )
+    return EpochRecord(
+        epoch=epoch, key=key, epsilon=epsilon, rows_ingested=10 * epoch,
+        total_rows=100.0 + epoch,
+    )
+
+
+class TestInMemoryLineage:
+    def test_append_and_introspect(self):
+        lineage = EpochLineage()
+        assert lineage.latest is None
+        assert lineage.next_epoch == 0
+        lineage.append(_record(0, 0.4))
+        lineage.append(_record(1, 0.2))
+        assert len(lineage) == 2
+        assert lineage.latest.epoch == 1
+        assert lineage.next_epoch == 2
+        assert [r.epoch for r in lineage.records] == [0, 1]
+
+    def test_spent_epsilon_sums_left_to_right(self):
+        lineage = EpochLineage()
+        total = 0.0
+        for epoch in range(5):
+            epsilon = 0.4 * 0.5**epoch
+            lineage.append(_record(epoch, epsilon))
+            total += epsilon
+        assert lineage.spent_epsilon == total  # exact
+
+    def test_out_of_order_append_rejected(self):
+        lineage = EpochLineage()
+        lineage.append(_record(0))
+        with pytest.raises(ReleaseStoreError):
+            lineage.append(_record(2))
+        with pytest.raises(ReleaseStoreError):
+            lineage.append(_record(0))
+
+
+class TestDurableLineage:
+    def test_round_trips_through_the_file(self, tmp_path):
+        path = tmp_path / "streams" / "clicks.json"
+        lineage = EpochLineage(path)
+        lineage.append(_record(0, 0.4))
+        lineage.append(_record(1, 0.2))
+        reloaded = EpochLineage(path)
+        assert reloaded.records == lineage.records
+        assert reloaded.next_epoch == 2
+
+    def test_corrupt_file_fails_loudly(self, tmp_path):
+        path = tmp_path / "clicks.json"
+        path.write_text("{not json")
+        with pytest.raises(ReleaseStoreError):
+            EpochLineage(path)
+
+    def test_newer_format_version_rejected(self, tmp_path):
+        path = tmp_path / "clicks.json"
+        path.write_text(json.dumps({"lineage_format_version": 99, "epochs": []}))
+        with pytest.raises(ReleaseStoreError):
+            EpochLineage(path)
+
+    def test_non_contiguous_epochs_rejected(self, tmp_path):
+        path = tmp_path / "clicks.json"
+        lineage = EpochLineage(path)
+        lineage.append(_record(0))
+        document = json.loads(path.read_text())
+        document["epochs"][0]["epoch"] = 5
+        path.write_text(json.dumps(document))
+        with pytest.raises(ReleaseStoreError):
+            EpochLineage(path)
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        path = tmp_path / "clicks.json"
+        path.write_text(
+            json.dumps({"lineage_format_version": 1, "epochs": [{"epoch": 0}]})
+        )
+        with pytest.raises(ReleaseStoreError):
+            EpochLineage(path)

@@ -1,0 +1,84 @@
+"""Tests for refresh policies and ε schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.streaming.policy import (
+    EpsilonSchedule,
+    FixedEpsilonSchedule,
+    GeometricEpsilonSchedule,
+    ManualRefreshPolicy,
+    RefreshPolicy,
+    RowCountPolicy,
+)
+
+
+class TestRefreshPolicies:
+    def test_row_count_threshold(self):
+        policy = RowCountPolicy(100)
+        assert not policy.should_refresh(99)
+        assert policy.should_refresh(100)
+        assert policy.should_refresh(5_000)
+
+    def test_row_count_validation(self):
+        with pytest.raises(ReproError):
+            RowCountPolicy(0)
+
+    def test_manual_never_fires(self):
+        policy = ManualRefreshPolicy()
+        assert not policy.should_refresh(10**9)
+
+    def test_protocol_conformance(self):
+        assert isinstance(RowCountPolicy(1), RefreshPolicy)
+        assert isinstance(ManualRefreshPolicy(), RefreshPolicy)
+
+
+class TestFixedSchedule:
+    def test_constant_epsilon(self):
+        schedule = FixedEpsilonSchedule(0.25)
+        assert schedule.epsilon_for(0) == 0.25
+        assert schedule.epsilon_for(17) == 0.25
+        assert schedule.total_through(3) == 0.25 + 0.25 + 0.25 + 0.25
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FixedEpsilonSchedule(0.0)
+        with pytest.raises(ReproError):
+            FixedEpsilonSchedule(1.0).epsilon_for(-1)
+
+
+class TestGeometricSchedule:
+    def test_geometric_decay(self):
+        schedule = GeometricEpsilonSchedule(0.4, decay=0.5)
+        assert schedule.epsilon_for(0) == 0.4
+        assert schedule.epsilon_for(1) == 0.4 * 0.5
+        assert schedule.epsilon_for(3) == 0.4 * 0.5**3
+
+    def test_infinite_total_is_the_geometric_series_limit(self):
+        schedule = GeometricEpsilonSchedule(0.4, decay=0.5)
+        assert schedule.infinite_total == pytest.approx(0.8)
+        # partial sums approach but never reach the limit
+        assert schedule.total_through(50) < schedule.infinite_total
+
+    def test_total_through_matches_left_to_right_summation(self):
+        """The schedule total must reproduce the budget's accumulation
+        order bit for bit — that is the exact-accounting contract."""
+        schedule = GeometricEpsilonSchedule(0.3, decay=0.7)
+        total = 0.0
+        for epoch in range(20):
+            total += schedule.epsilon_for(epoch)
+            assert schedule.total_through(epoch) == total  # exact
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            GeometricEpsilonSchedule(0.0, decay=0.5)
+        with pytest.raises(ReproError):
+            GeometricEpsilonSchedule(0.4, decay=1.0)
+        with pytest.raises(ReproError):
+            GeometricEpsilonSchedule(0.4, decay=0.0)
+
+    def test_protocol_conformance(self):
+        assert isinstance(GeometricEpsilonSchedule(0.1), EpsilonSchedule)
+        assert isinstance(FixedEpsilonSchedule(0.1), EpsilonSchedule)

@@ -260,3 +260,185 @@ class TestCommands:
         )
         assert code == 0
         assert "H_bar" in capsys.readouterr().out
+
+
+class TestStreamingCommands:
+    @staticmethod
+    def _counts_file(tmp_path):
+        counts_file = tmp_path / "counts.txt"
+        rng = np.random.default_rng(4)
+        counts_file.write_text("\n".join(str(v) for v in rng.integers(0, 9, size=32)))
+        return str(counts_file)
+
+    def test_ingest_appends_to_the_pending_log(self, tmp_path, capsys):
+        counts = self._counts_file(tmp_path)
+        stream_dir = tmp_path / "stream"
+        args = [
+            "ingest", "--stream-dir", str(stream_dir),
+            "--counts-file", counts, "--rows", "50", "--seed", "1",
+        ]
+        assert main(args) == 0
+        assert "ingested 50 rows" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "ingested 50 rows" in capsys.readouterr().out
+        assert (stream_dir / "current_counts.txt").exists()
+        log = (stream_dir / "pending.log").read_text().strip().splitlines()
+        assert len(log) == 100
+
+    def test_ingest_rows_file(self, tmp_path, capsys):
+        counts = self._counts_file(tmp_path)
+        rows_file = tmp_path / "rows.txt"
+        rows_file.write_text("0\n3\n3\n")
+        code = main([
+            "ingest", "--stream-dir", str(tmp_path / "sd"),
+            "--counts-file", counts, "--rows-file", str(rows_file),
+        ])
+        assert code == 0
+        assert "ingested 3 rows" in capsys.readouterr().out
+
+    def test_ingest_rejects_out_of_domain_rows(self, tmp_path, capsys):
+        counts = self._counts_file(tmp_path)
+        rows_file = tmp_path / "rows.txt"
+        rows_file.write_text("99999\n")
+        code = main([
+            "ingest", "--stream-dir", str(tmp_path / "sd"),
+            "--counts-file", counts, "--rows-file", str(rows_file),
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_advance_epoch_then_warm_serve(self, tmp_path, capsys):
+        counts = self._counts_file(tmp_path)
+        stream_dir, store = str(tmp_path / "stream"), str(tmp_path / "store")
+        assert main([
+            "ingest", "--stream-dir", stream_dir,
+            "--counts-file", counts, "--rows", "40", "--seed", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "advance-epoch", "--stream-dir", stream_dir, "--store", store,
+            "--stream", "cli-test", "--counts-file", counts,
+            "--epsilon0", "0.4", "--decay", "0.5", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 0: folded 40 pending rows" in out
+        assert "charged ε=0.4" in out
+        # the pending log is consumed only after the epoch durably exists
+        assert (tmp_path / "stream" / "pending.log").read_text() == ""
+
+        assert main([
+            "advance-epoch", "--stream-dir", stream_dir, "--store", store,
+            "--stream", "cli-test", "--counts-file", counts,
+            "--epsilon0", "0.4", "--decay", "0.5", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 1: folded 0 pending rows" in out
+        assert "charged ε=0.2" in out
+
+        assert main([
+            "serve-stream", "--store", store, "--stream", "cli-test",
+            "--counts-file", counts, "--epsilon0", "0.4", "--decay", "0.5",
+            "--seed", "7", "--random", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "warm start" in out
+        assert "zero ε spent at startup" in out
+        assert "from epoch 1" in out
+        assert "ε spent this process: 0;" in out
+
+    def test_serve_stream_simulates_epochs(self, tmp_path, capsys):
+        counts = self._counts_file(tmp_path)
+        store = str(tmp_path / "store")
+        code = main([
+            "serve-stream", "--store", store, "--stream", "sim",
+            "--counts-file", counts, "--epsilon0", "0.4", "--decay", "0.5",
+            "--seed", "3", "--epochs", "2", "--rows-per-epoch", "100",
+            "--random", "200",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "from epoch 2" in out
+        assert "Epoch lineage" in out
+        # ε₀(1 + 0.5 + 0.25) = 0.7 spent across the three epochs
+        assert "stream total across epochs: 0.7" in out
+
+    def test_serve_stream_refuses_to_simulate_over_an_existing_stream(
+        self, tmp_path, capsys
+    ):
+        counts = self._counts_file(tmp_path)
+        store = str(tmp_path / "store")
+        base = [
+            "serve-stream", "--store", store, "--stream", "sim2",
+            "--counts-file", counts, "--epsilon0", "0.4", "--decay", "0.5",
+            "--seed", "3", "--random", "50",
+        ]
+        assert main([*base, "--epochs", "1", "--rows-per-epoch", "50"]) == 0
+        capsys.readouterr()
+        # re-running the simulation would rebase the stream on the base
+        # counts and drop the released rows — it must refuse
+        code = main([*base, "--epochs", "1", "--rows-per-epoch", "50"])
+        assert code == 2
+        assert "already has 2 released epochs" in capsys.readouterr().err
+        # plain serving (no --epochs) still warm-starts fine
+        assert main(base) == 0
+        assert "warm start" in capsys.readouterr().out
+
+    def test_advance_epoch_recovers_an_interrupted_commit(self, tmp_path, capsys):
+        """Crash simulation: the epoch exists in the store but the
+        owner-side commit was interrupted at each of its two points; the
+        next advance-epoch must neither double-fold nor drop rows."""
+        counts = self._counts_file(tmp_path)
+        stream_dir, store = str(tmp_path / "stream"), str(tmp_path / "store")
+        advance = [
+            "advance-epoch", "--stream-dir", stream_dir, "--store", store,
+            "--stream", "crashy", "--counts-file", counts,
+            "--epsilon0", "0.4", "--decay", "0.5", "--seed", "7",
+        ]
+        assert main([
+            "ingest", "--stream-dir", stream_dir,
+            "--counts-file", counts, "--rows", "60", "--seed", "1",
+        ]) == 0
+        assert main(advance) == 0
+        capsys.readouterr()
+        counts_path = tmp_path / "stream" / "current_counts.txt"
+        pending_path = tmp_path / "stream" / "pending.log"
+        committed = counts_path.read_text()
+
+        # crash point 1: counts written (epoch 0) but the consumed pending
+        # prefix was never dropped -> restore the pre-drop log, including
+        # rows a concurrent ingest appended during the build
+        consumed = "\n".join(["1"] * 60) + "\n"
+        import hashlib as _hashlib
+
+        digest = _hashlib.sha256(consumed.encode()).hexdigest()
+        epoch0_body = committed.split("\n", 1)[1]
+        counts_path.write_text(
+            f"# epoch 0 pending-sha256 {digest} bytes {len(consumed)}\n{epoch0_body}"
+        )
+        pending_path.write_text(consumed + "3\n3\n3\n")
+        assert main(advance) == 0
+        out = capsys.readouterr().out
+        assert "recovered interrupted commit: dropped the pending prefix" in out
+        # the concurrently appended tail survived and was folded normally
+        assert "epoch 1: folded 3 pending rows" in out
+
+        # crash point 2: lineage holds epoch 1 (which folded those 3 rows)
+        # but the counts file still reflects epoch 0 and the folded rows
+        # sit in the pending log
+        counts_path.write_text(
+            f"# epoch 0 pending-sha256 {digest} bytes {len(consumed)}\n{epoch0_body}"
+        )
+        pending_path.write_text("3\n3\n3\n")
+        assert main(advance) == 0
+        out = capsys.readouterr().out
+        assert "recovered interrupted commit: folded 3 released rows" in out
+        assert "recovery complete; no pending rows, not advancing an epoch" in out
+
+        # with fresh arrivals after a recovery the epoch does advance
+        assert main([
+            "ingest", "--stream-dir", stream_dir,
+            "--counts-file", counts, "--rows", "10", "--seed", "4",
+        ]) == 0
+        capsys.readouterr()
+        assert main(advance) == 0
+        assert "folded 10 pending rows" in capsys.readouterr().out
