@@ -1,0 +1,163 @@
+"""Sharded vs monolithic at massive domain sizes: build time and serving.
+
+The sharded engine's pitch, measured:
+
+1. **Build wall-clock** — a monolithic H̄ build at n = 2²⁰–2²³ streams a
+   multi-hundred-MB working set through DRAM on every inference pass; a
+   sharded build works shard-at-a-time on cache-resident trees (and
+   fans out across cores when there are any), so the *parallel sharded
+   build must beat the monolithic build* at every measured size.
+2. **Serving throughput** — the shard router must sustain ≥ 100k
+   queries/s on a 100k-query batch (it sustains tens of millions; the
+   bar is the acceptance floor, the JSON records the real rate).
+3. **Exactness** — routed answers are asserted **bit-identical** to a
+   monolithic release over the same leaves, and the engine's charged ε
+   is asserted equal to the monolithic charge, at every size.
+
+Scale: ``REPRO_SHARD_BENCH_BITS`` is a comma-separated list of domain
+exponents (default ``20,21,22,23``).  CI runs a tiny smoke
+(``REPRO_SHARD_BENCH_BITS=14,15``) where the speedup assertion is
+relaxed — at toy sizes both builds fit in cache and fixed overheads
+dominate — while the exactness and throughput assertions always hold.
+Results land in ``results/BENCH_sharded_scale.json``.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.serving import HistogramEngine, MaterializedRelease, QueryBatch
+from repro.sharding import ShardedHistogramEngine, ShardRouter
+
+NUM_QUERIES = 100_000
+EPSILON = 0.1
+SEED = 7
+SHARD_SIZE = 1 << 16
+#: below this domain exponent the speedup assertion is informational
+#: only — the whole monolithic build fits in cache and per-shard fixed
+#: overheads dominate, which is not the regime sharding targets.
+SPEEDUP_ASSERT_BITS = 20
+
+
+def domain_bits() -> list[int]:
+    raw = os.environ.get("REPRO_SHARD_BENCH_BITS", "20,21,22,23")
+    try:
+        bits = sorted({int(b) for b in raw.split(",")})
+    except ValueError as error:
+        raise RuntimeError(
+            f"REPRO_SHARD_BENCH_BITS must be comma-separated integers, "
+            f"got {raw!r}"
+        ) from error
+    if not bits or min(bits) < 10 or max(bits) > 26:
+        raise RuntimeError(
+            f"REPRO_SHARD_BENCH_BITS entries must lie in [10, 26], got {raw!r}"
+        )
+    return bits
+
+
+def test_sharded_build_and_serve_scaling(report, report_json, benchmark):
+    rows = []
+    sizes = {}
+    router = ShardRouter()
+    for bits in domain_bits():
+        n = 1 << bits
+        counts = np.random.default_rng(0).poisson(3.0, size=n).astype(np.float64)
+
+        mono_engine = HistogramEngine(counts, total_epsilon=1.0)
+        start = perf_counter()
+        mono_engine.materialize("constrained", epsilon=EPSILON, seed=SEED)
+        mono_seconds = perf_counter() - start
+
+        # Full scale shards at the cache-resident width; tiny smoke
+        # domains still split 8 ways so the router's multi-shard paths
+        # are exercised.
+        sharded_engine = ShardedHistogramEngine(
+            counts, total_epsilon=1.0, shard_size=min(SHARD_SIZE, max(n // 8, 1))
+        )
+        start = perf_counter()
+        release = sharded_engine.materialize(
+            "constrained", epsilon=EPSILON, seed=SEED
+        )
+        sharded_seconds = perf_counter() - start
+
+        # ε equivalence: one charge, bit-exactly the monolithic value.
+        assert sharded_engine.spent_epsilon == mono_engine.spent_epsilon == EPSILON
+
+        # Serving: 100k mixed-length ranges through the router.
+        batch = QueryBatch.random(n, NUM_QUERIES, rng=1)
+        start = perf_counter()
+        answers = router.answer(release, batch)
+        answer_seconds = perf_counter() - start
+        qps = NUM_QUERIES / answer_seconds if answer_seconds > 0 else float("inf")
+        assert qps >= 100_000, (
+            f"router throughput {qps:,.0f} q/s at n=2^{bits} is below the "
+            f"100k q/s acceptance floor"
+        )
+
+        # Exactness: bit-identical to a monolithic release over the same
+        # leaves (the same per-shard seed schedule built them).
+        reference = MaterializedRelease(
+            release.unit_counts(),
+            estimator=release.estimator,
+            epsilon=release.epsilon,
+            dataset_fingerprint=release.dataset_fingerprint,
+            seed=SEED,
+        )
+        assert np.array_equal(
+            answers, reference.range_sums(batch.los, batch.his)
+        ), f"sharded answers diverged from the monolithic reference at n=2^{bits}"
+
+        speedup = mono_seconds / sharded_seconds if sharded_seconds > 0 else float("inf")
+        if bits >= SPEEDUP_ASSERT_BITS:
+            assert speedup >= 1.0, (
+                f"sharded build ({sharded_seconds:.2f}s) slower than "
+                f"monolithic ({mono_seconds:.2f}s) at n=2^{bits}"
+            )
+        rows.append(
+            {
+                "domain_bits": bits,
+                "shards": sharded_engine.num_shards,
+                "workers": sharded_engine.workers,
+                "monolithic_build_s": round(mono_seconds, 3),
+                "sharded_build_s": round(sharded_seconds, 3),
+                "build_speedup": round(speedup, 2),
+                "router_qps": int(qps),
+            }
+        )
+        sizes[f"n_2^{bits}"] = {
+            "domain_size": n,
+            "num_shards": sharded_engine.num_shards,
+            "workers": sharded_engine.workers,
+            "monolithic_build_seconds": mono_seconds,
+            "sharded_build_seconds": sharded_seconds,
+            "build_speedup": speedup,
+            "router_queries_per_second": qps,
+            "bit_identical_to_monolithic": True,
+            "charged_epsilon": sharded_engine.spent_epsilon,
+        }
+
+    # Representative timed unit for --benchmark-only runs: routing the
+    # 100k batch against the largest release built above.
+    benchmark(lambda: router.answer(release, batch))
+
+    report(
+        "sharded_scale",
+        rows,
+        title=(
+            f"Sharded vs monolithic H_bar: build wall-clock and router "
+            f"throughput ({NUM_QUERIES} queries, shard width {SHARD_SIZE})"
+        ),
+    )
+    report_json(
+        "sharded_scale",
+        {
+            "shard_size": SHARD_SIZE,
+            "num_queries": NUM_QUERIES,
+            "epsilon": EPSILON,
+            "scales": sizes,
+        },
+    )

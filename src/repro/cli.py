@@ -87,6 +87,7 @@ from repro.serving import (
     ReleaseStore,
 )
 from repro.serving.store import _atomic_write_bytes
+from repro.sharding import ShardedHistogramEngine
 from repro.streaming import GeometricEpsilonSchedule, StreamingHistogramEngine
 from repro.utils.random import as_generator
 
@@ -94,7 +95,14 @@ __all__ = ["main", "build_parser"]
 
 
 def _load_counts(args: argparse.Namespace, task: str) -> np.ndarray:
-    """Resolve the input counts from --counts-file or --dataset."""
+    """Resolve the input counts from --domain-bits, --counts-file, or --dataset."""
+    if getattr(args, "domain_bits", None) is not None:
+        if not 1 <= args.domain_bits <= 26:
+            raise ReproError(
+                f"--domain-bits must be in [1, 26], got {args.domain_bits}"
+            )
+        rng = as_generator(args.seed)
+        return rng.poisson(3.0, size=2**args.domain_bits).astype(np.float64)
     if args.counts_file is not None:
         values = np.loadtxt(args.counts_file, dtype=np.float64, ndmin=1)
         return np.asarray(values, dtype=np.float64)
@@ -629,6 +637,78 @@ def _cmd_serve_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- sharded commands ----------------------------------------------------------
+
+
+def _sharded_engine(args: argparse.Namespace, counts: np.ndarray) -> ShardedHistogramEngine:
+    total = args.total_epsilon if args.total_epsilon is not None else args.epsilon
+    return ShardedHistogramEngine(
+        counts,
+        total_epsilon=total,
+        branching=args.branching,
+        num_shards=args.shards,
+        shard_size=args.shard_size,
+        workers=args.workers,
+        store=ReleaseStore(args.store),
+    )
+
+
+def _print_sharded_build(
+    args: argparse.Namespace, engine: ShardedHistogramEngine, build_seconds: float
+) -> None:
+    if engine.materializations == 0:
+        print(
+            f"warm start from {args.store}: all {engine.num_shards} shard "
+            f"artifacts loaded from disk in {build_seconds * 1e3:.1f} ms — "
+            "zero builds, zero additional privacy cost"
+        )
+    else:
+        print(
+            f"cold start: built {engine.shard_builds} shard releases "
+            f"({engine.num_shards} shards, {engine.workers} workers) in "
+            f"{build_seconds:.2f} s and persisted them to {args.store}"
+        )
+    print(
+        f"domain {engine.domain_size} buckets in {engine.num_shards} shards; "
+        f"ε spent this process: {engine.spent_epsilon:g} (one charge covers "
+        "every shard — parallel composition over the disjoint partition)"
+    )
+
+
+def _cmd_materialize_sharded(args: argparse.Namespace) -> int:
+    counts = _load_counts(args, task="universal")
+    engine = _sharded_engine(args, counts)
+    start = perf_counter()
+    release = engine.materialize(args.estimator, epsilon=args.epsilon, seed=args.seed)
+    build_seconds = perf_counter() - start
+    _print_sharded_build(args, engine, build_seconds)
+    print(
+        f"sharded {release.estimator} release: ε={release.epsilon:g}, "
+        f"branching={release.branching}, private total≈{release.total():g}, "
+        f"fingerprint {release.dataset_fingerprint}"
+    )
+    return 0
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    counts = _load_counts(args, task="universal")
+    engine = _sharded_engine(args, counts)
+    batch = _resolve_batch(args, engine.domain_size)
+    result = engine.submit(batch, args.estimator, epsilon=args.epsilon, seed=args.seed)
+    _print_sharded_build(args, engine, result.build_seconds)
+    rate = (
+        f"{result.queries_per_second:,.0f} queries/s"
+        if result.answer_seconds > 0
+        else "instant"
+    )
+    print(
+        f"answered {result.num_queries} range queries ({batch.name}) through "
+        f"the shard router in {result.answer_seconds * 1e3:.2f} ms ({rate})"
+    )
+    _write_answers(batch, result.answers, args.out)
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     registry = default_registry()
     rows = [
@@ -644,7 +724,14 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser, with_privacy: bool = True) -> None:
+def _add_common_arguments(parser: argparse.ArgumentParser, with_privacy: bool = True):
+    """Add the shared source/seed/out options; returns the source group.
+
+    The returned mutually-exclusive group lets command-specific code add
+    further input sources (e.g. the sharded commands' ``--domain-bits``)
+    that argparse then guards against ``--counts-file``/``--dataset`` —
+    a silently ignored explicit input must be a loud usage error.
+    """
     source = parser.add_mutually_exclusive_group()
     source.add_argument(
         "--counts-file",
@@ -668,6 +755,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser, with_privacy: bool = 
         parser.add_argument(
             "--epsilon", type=float, default=0.1, help="privacy parameter ε"
         )
+    return source
 
 
 def _add_estimator_arguments(parser: argparse.ArgumentParser) -> None:
@@ -704,6 +792,43 @@ def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
         "--total-epsilon", type=float, default=None,
         help="total budget this process may spend (defaults to ε₀/(1-decay), "
         "the schedule's infinite-horizon sum)",
+    )
+    _add_estimator_arguments(parser)
+
+
+def _add_sharded_arguments(parser: argparse.ArgumentParser, source_group) -> None:
+    """Partition, store, and worker options shared by the sharded commands.
+
+    ``source_group`` is the input-source exclusion group from
+    :func:`_add_common_arguments`; ``--domain-bits`` joins it so it can
+    never silently override an explicitly passed counts file or dataset.
+    """
+    parser.add_argument(
+        "--store", required=True,
+        help="release store directory for per-shard artifacts (created if missing)",
+    )
+    source_group.add_argument(
+        "--domain-bits", type=int, default=None, metavar="B",
+        help="serve a synthetic Poisson histogram over 2^B buckets instead of "
+        "--dataset/--counts-file (massive-domain demos without a data file)",
+    )
+    geometry = parser.add_mutually_exclusive_group()
+    geometry.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="partition the domain into K near-equal shards",
+    )
+    geometry.add_argument(
+        "--shard-size", type=int, default=None, metavar="W",
+        help="partition into shards of width W (default 65536, the "
+        "cache-resident sweet spot)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker threads for parallel shard builds (default: one per core)",
+    )
+    parser.add_argument(
+        "--total-epsilon", type=float, default=None,
+        help="engine's total budget (defaults to --epsilon)",
     )
     _add_estimator_arguments(parser)
 
@@ -854,6 +979,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-seed", type=int, default=0, help="seed for query generation"
     )
     fleet.set_defaults(handler=_cmd_fleet)
+
+    materialize_sharded = subparsers.add_parser(
+        "materialize-sharded",
+        help="build a sharded release over a massive domain (one ε, parallel "
+        "per-shard builds, every shard persisted)",
+    )
+    source = _add_common_arguments(materialize_sharded)
+    _add_sharded_arguments(materialize_sharded, source)
+    materialize_sharded.set_defaults(handler=_cmd_materialize_sharded)
+
+    serve_sharded = subparsers.add_parser(
+        "serve-sharded",
+        help="serve range queries over a sharded release through the shard "
+        "router (warm-starts every shard from the store)",
+    )
+    source = _add_common_arguments(serve_sharded)
+    _add_sharded_arguments(serve_sharded, source)
+    _add_query_arguments(serve_sharded)
+    serve_sharded.set_defaults(handler=_cmd_serve_sharded)
 
     ingest = subparsers.add_parser(
         "ingest",

@@ -22,7 +22,9 @@ queries can be answered from it with no further privacy cost
   cache, and the planner behind ``submit(QueryBatch) -> BatchResult``
   (:mod:`repro.serving.engine`);
 * :class:`EngineFleet` — many engines, one façade: per-dataset budgets,
-  a shared cache/store, routing by dataset name, aggregated stats
+  a shared cache/store, routing by dataset name, aggregated stats; hosts
+  streaming tenants (:mod:`repro.streaming`) and sharded massive-domain
+  tenants (:mod:`repro.sharding`) beside static engines
   (:mod:`repro.serving.fleet`);
 * :class:`ServingStats` — per-request latency/throughput accounting with
   build time separated from answer time (:mod:`repro.serving.stats`).
@@ -33,11 +35,12 @@ Durable artifact layout
 A :class:`ReleaseStore` directory looks like::
 
     <root>/
-      manifest.json                  # ReleaseKey -> artifact mapping
+      manifest.json                  # ReleaseKey -> artifact, oldest put first
       artifacts/
         <fingerprint>-<estimator>-eps<ε>-b<k>-s<seed>-<hash>.v<N>.npz
-      streams/                       # written by repro.streaming engines
-        <stream-name>-<hash>.json    # epoch lineage: epoch -> ReleaseKey, ε
+      streams/                       # written by streaming/sharded engines
+        <stream-name>-<hash>.json           # epoch lineage: epoch -> ReleaseKey, ε
+        <stream-name>-<hash>.sharded.json   # sharded lineage: epoch -> refresh set + keys
 
 ``manifest.json`` is keyed by the *full* release identity (dataset
 fingerprint, estimator, ε, branching, seed); every artifact is a
@@ -66,6 +69,12 @@ sharing the artifacts — and warm-starting a fresh engine from them —
 reveals nothing beyond the original release and costs no additional ε.
 The store never holds the true counts; only their fingerprint, used as an
 integrity check.
+
+**Retention.** ``manifest.json`` records puts oldest-first (re-puts
+refresh recency); :meth:`ReleaseStore.prune` retires everything but the
+newest ``keep_latest`` artifacts, while any release referenced by a
+stream lineage under ``streams/`` is protected unconditionally — pruning
+must never break a stream's zero-ε warm restart.
 
 Quickstart::
 

@@ -57,6 +57,7 @@ __all__ = [
     "ESTIMATOR_NAMES",
     "canonical_estimator_name",
     "resolve_estimator",
+    "compute_release_leaves",
     "HistogramEngine",
 ]
 
@@ -93,6 +94,32 @@ def resolve_estimator(name: str, branching: int = 2) -> RangeQueryEstimator:
     if canonical == "H_bar":
         return ConstrainedHierarchicalEstimator(branching=branching)
     return WaveletEstimator()
+
+
+def compute_release_leaves(counts, key: ReleaseKey, delta: float = 0.0) -> np.ndarray:
+    """Run the private mechanism for ``key`` over ``counts``; no accounting.
+
+    This is the one place a release's values are computed, shared by the
+    monolithic engine and the per-shard builds in :mod:`repro.sharding`
+    so that the same :class:`ReleaseKey` always resolves to the same
+    values no matter which engine built it — a cache/store identity must
+    never depend on the builder.  The caller owns the ε charge.
+
+    The H̄ flow still exercises the explicit Figure 1 roles, but against
+    a scratch :class:`PrivateSession` whose budget is exactly this
+    build's ε.
+    """
+    if key.estimator == "H_bar":
+        scratch = PrivateSession.over_counts(counts, key.epsilon, delta=delta)
+        # np.rint matches the ConstrainedHierarchicalEstimator
+        # round_output default.
+        return np.rint(
+            scratch.universal_histogram(
+                key.epsilon, branching=key.branching, rng=key.seed
+            )
+        )
+    instance = resolve_estimator(key.estimator, branching=key.branching)
+    return instance.fit(counts, key.epsilon, rng=key.seed).unit_estimates
 
 
 class HistogramEngine:
@@ -307,24 +334,13 @@ class HistogramEngine:
     def _compute_leaves(self, key: ReleaseKey) -> np.ndarray:
         """Run the private mechanism for ``key`` without touching the budget.
 
-        The H̄ flow still exercises the explicit Figure 1 roles, but
-        against a scratch :class:`PrivateSession` whose budget is exactly
-        this build's ε — the engine's real budget is charged by the
-        caller, after the computation has succeeded.
+        Delegates to the shared :func:`compute_release_leaves` — the
+        engine's real budget is charged by the caller, after the
+        computation has succeeded.
         """
-        if key.estimator == "H_bar":
-            scratch = PrivateSession.over_counts(
-                self._counts, key.epsilon, delta=self.budget.total.delta
-            )
-            # np.rint matches the ConstrainedHierarchicalEstimator
-            # round_output default.
-            return np.rint(
-                scratch.universal_histogram(
-                    key.epsilon, branching=key.branching, rng=key.seed
-                )
-            )
-        instance = resolve_estimator(key.estimator, branching=key.branching)
-        return instance.fit(self._counts, key.epsilon, rng=key.seed).unit_estimates
+        return compute_release_leaves(
+            self._counts, key, delta=self.budget.total.delta
+        )
 
     # -- serving ---------------------------------------------------------------
 

@@ -44,6 +44,8 @@ from repro.serving.stats import ServingStats, StatsSnapshot
 from repro.serving.store import ReleaseStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.sharding.engine import ShardedHistogramEngine
+    from repro.sharding.streaming import ShardedStreamingEngine
     from repro.streaming.engine import StreamBatchResult, StreamingHistogramEngine
     from repro.streaming.lineage import EpochRecord
 
@@ -185,6 +187,55 @@ class EngineFleet:
                 raise duplicate
             self._reserved.add(name)
 
+    def register_sharded(
+        self,
+        name: str,
+        data,
+        total_epsilon: float,
+        *,
+        attribute: str | None = None,
+        delta: float = 0.0,
+        branching: int = 2,
+        num_shards: int | None = None,
+        shard_size: int | None = None,
+        workers: int | None = None,
+    ) -> "ShardedHistogramEngine":
+        """Host a sharded massive-domain engine under ``name``.
+
+        The sharded engine duck-types the monolithic one for every fleet
+        path — :meth:`submit`, :meth:`materialize`, and :meth:`stats` all
+        route to it unchanged — while each of its shards persists through
+        the fleet's shared cache/store as a normal versioned artifact.
+        It keeps its own ε budget, charged once per sharded release
+        (parallel composition across the disjoint shards).
+        """
+        from repro.sharding.engine import ShardedHistogramEngine
+
+        if not name:
+            raise ReproError("a dataset name is required to register an engine")
+        duplicate = ReproError(
+            f"dataset {name!r} is already registered; unregister it first"
+        )
+        self._reserve(name, duplicate)
+        try:
+            engine = ShardedHistogramEngine(
+                data,
+                total_epsilon,
+                attribute=attribute,
+                delta=delta,
+                branching=branching,
+                num_shards=num_shards,
+                shard_size=shard_size,
+                workers=workers,
+                cache=self.cache,
+            )
+            with self._lock:
+                self._engines[name] = engine
+        finally:
+            with self._lock:
+                self._reserved.discard(name)
+        return engine
+
     def register_stream(
         self,
         name: str,
@@ -226,6 +277,64 @@ class EngineFleet:
                 branching=branching,
                 seed=seed,
                 delta=delta,
+                cache=self.cache,
+                name=name,
+                build_first_epoch=build_first_epoch,
+            )
+            with self._lock:
+                self._streams[name] = stream
+        finally:
+            with self._lock:
+                self._reserved.discard(name)
+        return stream
+
+    def register_sharded_stream(
+        self,
+        name: str,
+        data,
+        total_epsilon: float,
+        *,
+        schedule,
+        refresh_rows: int = 1,
+        num_shards: int | None = None,
+        shard_size: int | None = None,
+        attribute: str | None = None,
+        estimator: str = "constrained",
+        branching: int = 2,
+        seed: int = 0,
+        delta: float = 0.0,
+        workers: int | None = None,
+        build_first_epoch: bool = True,
+    ) -> "ShardedStreamingEngine":
+        """Host a partial-refresh sharded streaming tenant under ``name``.
+
+        Epochs re-release only the shards whose ingest deltas meet the
+        per-shard ``refresh_rows`` threshold; the stream shares the
+        fleet's cache/store (which also makes its sharded lineage
+        durable) while keeping its own ε budget and schedule.
+        """
+        from repro.sharding.streaming import ShardedStreamingEngine
+
+        if not name:
+            raise ReproError("a dataset name is required to register a stream")
+        duplicate = ReproError(
+            f"dataset {name!r} is already registered; unregister it first"
+        )
+        self._reserve(name, duplicate)
+        try:
+            stream = ShardedStreamingEngine(
+                data,
+                total_epsilon,
+                schedule,
+                attribute=attribute,
+                refresh_rows=refresh_rows,
+                num_shards=num_shards,
+                shard_size=shard_size,
+                estimator=estimator,
+                branching=branching,
+                seed=seed,
+                delta=delta,
+                workers=workers,
                 cache=self.cache,
                 name=name,
                 build_first_epoch=build_first_epoch,

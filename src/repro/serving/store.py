@@ -45,13 +45,18 @@ from pathlib import Path
 from repro.exceptions import ReleaseStoreError
 from repro.serving.release import FORMAT_VERSION, MaterializedRelease, ReleaseKey
 
-__all__ = ["ReleaseStore", "STORE_FORMAT_VERSION"]
+__all__ = ["ReleaseStore", "STORE_FORMAT_VERSION", "stream_ledger_path"]
 
 #: Version of the manifest schema; bump when the layout changes.
 STORE_FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
 ARTIFACTS_DIR = "artifacts"
+STREAMS_DIR = "streams"
+
+#: the fields that identify a release; any JSON object carrying all of
+#: them inside a stream lineage file marks its artifact as in use.
+_KEY_FIELDS = ("dataset_fingerprint", "estimator", "epsilon", "branching", "seed")
 
 _SAFE = re.compile(r"[^A-Za-z0-9._~-]")
 
@@ -79,6 +84,21 @@ def _artifact_name(key: ReleaseKey) -> str:
     )
     digest = hashlib.sha256(_key_id(key).encode("utf-8")).hexdigest()[:8]
     return f"{readable}-{digest}.v{FORMAT_VERSION}.npz"
+
+
+def stream_ledger_path(root, name: str, suffix: str = ".json") -> Path:
+    """The canonical lineage-file path for stream ``name`` under ``root``.
+
+    Sanitizing alone is not injective ("clicks/eu" and "clicks-eu" would
+    share a ledger — and silently continue each other's ε schedule), so a
+    short hash of the exact name keeps distinct streams in distinct
+    files, mirroring the store's artifact naming.  The one implementation
+    shared by the monolithic and sharded streaming engines, so the two
+    can never drift on naming rules.
+    """
+    safe = _SAFE.sub("-", name)
+    digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:8]
+    return Path(root) / STREAMS_DIR / f"{safe}-{digest}{suffix}"
 
 
 def _atomic_write_bytes(path: Path, write) -> None:
@@ -191,7 +211,8 @@ class ReleaseStore:
         The artifact is written atomically (temp file + rename) before the
         manifest is updated, so a reader can never follow a manifest entry
         to a partial file.  Re-putting an existing key overwrites its
-        artifact in place.
+        artifact in place and refreshes its recency (manifest order is
+        oldest-put first, which is what :meth:`prune` retires from).
         """
         key = release.key
         key_id = _key_id(key)
@@ -203,7 +224,7 @@ class ReleaseStore:
                 raise ReleaseStoreError(
                     f"cannot persist release to {path}: {error}"
                 ) from error
-            previous = self._manifest.get(key_id)
+            previous = self._manifest.pop(key_id, None)
             self._manifest[key_id] = {
                 "dataset_fingerprint": key.dataset_fingerprint,
                 "estimator": key.estimator,
@@ -255,6 +276,87 @@ class ReleaseStore:
                 f"requested {key}; refusing to serve a mismatched release"
             )
         return release
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _lineage_referenced_ids(self) -> set[str]:
+        """Key ids referenced by any stream lineage under ``streams/``.
+
+        Walks every lineage document generically — any JSON object
+        carrying the five release-identity fields counts — so both the
+        monolithic epoch lineage and the sharded lineage (and future
+        formats that keep the convention) protect their artifacts.  A
+        lineage file that cannot be parsed fails the walk loudly: pruning
+        must never proceed on a guess about what a stream still needs.
+        """
+        streams = self.root / STREAMS_DIR
+        if not streams.is_dir():
+            return set()
+        referenced: set[str] = set()
+
+        def walk(node) -> None:
+            if isinstance(node, dict):
+                if all(field in node for field in _KEY_FIELDS):
+                    referenced.add(_key_id(self._entry_key(node)))
+                for value in node.values():
+                    walk(value)
+            elif isinstance(node, list):
+                for value in node:
+                    walk(value)
+
+        for path in sorted(streams.glob("*.json")):
+            try:
+                walk(json.loads(path.read_text()))
+            except (OSError, ValueError) as error:
+                raise ReleaseStoreError(
+                    f"cannot read stream lineage {path} while pruning: {error}"
+                ) from error
+        return referenced
+
+    def prune(self, keep_latest: int) -> list[ReleaseKey]:
+        """Retire all but the ``keep_latest`` most recently put releases.
+
+        The manifest records puts oldest-first (re-puts refresh recency),
+        so a store serving a long-lived workload grows without bound;
+        ``prune`` is the maintenance valve.  Entries older than the kept
+        window are removed from the manifest (written atomically) and
+        their artifact files deleted — **except** any release referenced
+        by a stream lineage under ``streams/``, which is load-bearing
+        state for a warm restart and is never deleted no matter how old.
+
+        Returns the keys actually pruned, oldest first.
+        """
+        if keep_latest < 0:
+            raise ReleaseStoreError(
+                f"keep_latest must be >= 0, got {keep_latest}"
+            )
+        with self._lock:
+            protected = self._lineage_referenced_ids()
+            entries = list(self._manifest.items())
+            window = entries[len(entries) - keep_latest :] if keep_latest else []
+            kept_ids = {key_id for key_id, _ in window}
+            doomed = [
+                (key_id, entry)
+                for key_id, entry in entries
+                if key_id not in kept_ids and key_id not in protected
+            ]
+            if not doomed:
+                return []
+            backup = dict(self._manifest)
+            for key_id, _ in doomed:
+                del self._manifest[key_id]
+            try:
+                self._write_manifest()
+            except BaseException:
+                self._manifest = backup
+                raise
+            # Artifacts vanish only after the manifest stopped naming
+            # them, so a crash between the two leaves orphan files (cheap)
+            # rather than dangling manifest entries (loud errors).
+            for _, entry in doomed:
+                artifact = self.root / str(entry.get("artifact", ""))
+                artifact.unlink(missing_ok=True)
+            return [self._entry_key(entry) for _, entry in doomed]
 
     # -- introspection ---------------------------------------------------------
 

@@ -1,0 +1,224 @@
+"""Durable lineage of a sharded stream's partial-refresh epochs.
+
+The sharded counterpart of :mod:`repro.streaming.lineage`: every
+successful epoch appends one :class:`ShardEpochRecord` holding the epoch
+index, the ε it charged, **which shards were re-released**, and the full
+per-shard :class:`~repro.serving.release.ReleaseKey` set the stream
+serves after the epoch (refreshed shards with fresh keys, untouched
+shards carrying their previous keys forward).  The record therefore
+answers both provenance questions a sharded stream raises:
+
+* *what changed* — ``refreshed`` lists the shard ids rebuilt this epoch
+  (the partial-refresh set), and
+* *what is being served* — ``shard_keys`` is the complete identity of
+  the assembled :class:`~repro.sharding.release.ShardedRelease`, which
+  is how a restarted engine re-loads every shard from the store with
+  zero additional ε.
+
+Like the monolithic lineage, the file holds only release identities and
+ε values (outputs of the accounting, never true counts), is rewritten
+atomically after every append, and — summed — is the stream's
+sequential-composition ledger.  Each epoch's charge covers *all* shards
+it refreshed at once: the refreshed shards are disjoint, so the epoch is
+εᵢ-DP by parallel composition, and epochs compose sequentially to Σ εᵢ.
+:meth:`~repro.serving.store.ReleaseStore.prune` treats every key named
+by any lineage file under ``<store>/streams/`` as protected, so retiring
+old standalone artifacts can never break a stream's warm restart.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ReleaseStoreError
+from repro.serving.release import ReleaseKey
+from repro.serving.store import _atomic_write_bytes
+
+__all__ = ["ShardEpochRecord", "ShardedLineage", "SHARDED_LINEAGE_FORMAT_VERSION"]
+
+#: Version of the sharded lineage file schema; bump when it changes.
+SHARDED_LINEAGE_FORMAT_VERSION = 1
+
+
+def _key_to_json(key: ReleaseKey) -> dict:
+    return {
+        "dataset_fingerprint": key.dataset_fingerprint,
+        "estimator": key.estimator,
+        "epsilon": key.epsilon,
+        "branching": key.branching,
+        "seed": key.seed,
+    }
+
+
+def _key_from_json(entry: dict) -> ReleaseKey:
+    try:
+        return ReleaseKey(
+            dataset_fingerprint=str(entry["dataset_fingerprint"]),
+            estimator=str(entry["estimator"]),
+            epsilon=float(entry["epsilon"]),
+            branching=int(entry["branching"]),
+            seed=int(entry["seed"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ReleaseStoreError(
+            f"malformed shard key entry {entry!r}: {error}"
+        ) from error
+
+
+@dataclass(frozen=True)
+class ShardEpochRecord:
+    """Provenance of one successfully built sharded epoch."""
+
+    epoch: int
+    epsilon: float
+    #: shard ids re-released this epoch (sorted)
+    refreshed: tuple[int, ...]
+    #: the complete per-shard identity served after this epoch
+    shard_keys: tuple[ReleaseKey, ...]
+    rows_ingested: int
+    total_rows: float
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_keys)
+
+    def to_json(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "epsilon": self.epsilon,
+            "refreshed": list(self.refreshed),
+            "shards": [_key_to_json(key) for key in self.shard_keys],
+            "rows_ingested": self.rows_ingested,
+            "total_rows": self.total_rows,
+        }
+
+    @classmethod
+    def from_json(cls, entry: dict) -> "ShardEpochRecord":
+        try:
+            shards = entry["shards"]
+            refreshed = entry["refreshed"]
+            if not isinstance(shards, list) or not isinstance(refreshed, list):
+                raise ValueError("'shards' and 'refreshed' must be lists")
+            return cls(
+                epoch=int(entry["epoch"]),
+                epsilon=float(entry["epsilon"]),
+                refreshed=tuple(int(s) for s in refreshed),
+                shard_keys=tuple(_key_from_json(k) for k in shards),
+                rows_ingested=int(entry["rows_ingested"]),
+                total_rows=float(entry["total_rows"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReleaseStoreError(
+                f"malformed sharded epoch lineage entry: {error}"
+            ) from error
+
+
+class ShardedLineage:
+    """An append-only, optionally file-backed sharded epoch ledger.
+
+    Mirrors :class:`~repro.streaming.lineage.EpochLineage`: epochs must
+    arrive contiguously, appends are atomic when file-backed, and a
+    failed persist rolls the in-memory append back.
+    """
+
+    def __init__(self, path=None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._records: list[ShardEpochRecord] = []
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, ValueError) as error:
+            raise ReleaseStoreError(
+                f"cannot read sharded epoch lineage {self.path}: {error}"
+            ) from error
+        version = document.get("sharded_lineage_format_version")
+        if not isinstance(version, int) or version > SHARDED_LINEAGE_FORMAT_VERSION:
+            raise ReleaseStoreError(
+                f"sharded epoch lineage {self.path} has format version "
+                f"{version!r}, newer than the supported "
+                f"{SHARDED_LINEAGE_FORMAT_VERSION}"
+            )
+        epochs = document.get("epochs")
+        if not isinstance(epochs, list):
+            raise ReleaseStoreError(
+                f"sharded epoch lineage {self.path} has no epoch list"
+            )
+        records = [ShardEpochRecord.from_json(entry) for entry in epochs]
+        for i, record in enumerate(records):
+            if record.epoch != i:
+                raise ReleaseStoreError(
+                    f"sharded epoch lineage {self.path} is not contiguous: "
+                    f"position {i} records epoch {record.epoch}"
+                )
+        self._records = records
+
+    def _persist(self) -> None:
+        document = {
+            "sharded_lineage_format_version": SHARDED_LINEAGE_FORMAT_VERSION,
+            "epochs": [record.to_json() for record in self._records],
+        }
+        payload = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(self.path, lambda handle: handle.write(payload))
+
+    # -- appends ---------------------------------------------------------------
+
+    def append(self, record: ShardEpochRecord) -> None:
+        """Record one built epoch; epochs must arrive in order, gap-free."""
+        with self._lock:
+            expected = len(self._records)
+            if record.epoch != expected:
+                raise ReleaseStoreError(
+                    f"epoch {record.epoch} appended out of order; lineage "
+                    f"expects epoch {expected} next"
+                )
+            self._records.append(record)
+            if self.path is not None:
+                try:
+                    self._persist()
+                except OSError as error:
+                    self._records.pop()
+                    raise ReleaseStoreError(
+                        f"cannot persist sharded epoch lineage to "
+                        f"{self.path}: {error}"
+                    ) from error
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def records(self) -> list[ShardEpochRecord]:
+        """All epoch records so far, oldest first (copy)."""
+        with self._lock:
+            return list(self._records)
+
+    @property
+    def latest(self) -> ShardEpochRecord | None:
+        with self._lock:
+            return self._records[-1] if self._records else None
+
+    @property
+    def next_epoch(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def spent_epsilon(self) -> float:
+        """Σ εᵢ over recorded epochs, summed left to right (exact)."""
+        total = 0.0
+        for record in self.records:
+            total += record.epsilon
+        return total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardedLineage(epochs={len(self)}, path={str(self.path)!r})"

@@ -1,0 +1,204 @@
+"""The assembled sharded release: one logical histogram, many artifacts.
+
+A :class:`ShardedRelease` stitches per-shard
+:class:`~repro.serving.release.MaterializedRelease` artifacts — each a
+normal, individually persisted release over its shard's sub-histogram —
+into one queryable release over the full domain.  Assembly builds the
+serving index once:
+
+* the **global prefix-sum array** over the concatenated shard leaves,
+  computed with exactly the arithmetic a monolithic
+  :class:`MaterializedRelease` would use (``cumsum`` left to right), so
+  answers through the :class:`~repro.sharding.router.ShardRouter` are
+  **bit-identical** to a monolithic release built over the same leaves;
+* each shard's **prefix index** is a zero-copy *view* of that global
+  array: local prefix sums with the cumulated totals of every preceding
+  shard baked in.  A full shard's mass therefore costs O(1) (it lives in
+  the offsets), and a partial shard is one gather into its own view;
+* the **boundary prefix** (global prefix at the shard boundaries) is the
+  O(k) table of cumulated shard totals the router uses for full-shard
+  spans in the stitched/distributed answering mode.
+
+The sharded release is post-processing of its shards (Proposition 2):
+assembling, persisting, or re-assembling it never touches the private
+data and never costs ε.  Privacy accounting for *building* the shards
+lives in :class:`~repro.sharding.engine.ShardedHistogramEngine`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import QueryError, ReproError
+from repro.serving.release import MaterializedRelease, ReleaseKey
+from repro.sharding.plan import ShardPlan
+from repro.utils.arrays import as_range_bounds
+
+__all__ = ["ShardedRelease"]
+
+
+class ShardedRelease:
+    """An immutable sharded consistent-histogram release.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`ShardPlan` the shards were built under.
+    shard_releases:
+        One :class:`MaterializedRelease` per shard, in shard order; shard
+        ``s``'s domain size must equal the plan's shard width.  Estimator,
+        ε, and branching must agree across shards (they are one release);
+        seeds are per-shard (distinct seeds keep the shards' noise
+        independent, which the privacy argument requires).
+    dataset_fingerprint:
+        Fingerprint of the *full* count vector, for telemetry and
+        identity; the per-shard artifacts carry their own sub-histogram
+        fingerprints.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shard_releases,
+        *,
+        dataset_fingerprint: str,
+    ) -> None:
+        shards = tuple(shard_releases)
+        if len(shards) != plan.num_shards:
+            raise ReproError(
+                f"plan has {plan.num_shards} shards but {len(shards)} "
+                f"releases were supplied"
+            )
+        sizes = plan.sizes
+        for s, release in enumerate(shards):
+            if not isinstance(release, MaterializedRelease):
+                raise ReproError(
+                    f"shard {s} is {type(release).__name__}, expected a "
+                    f"MaterializedRelease"
+                )
+            if release.domain_size != int(sizes[s]):
+                raise ReproError(
+                    f"shard {s} covers {release.domain_size} buckets, plan "
+                    f"expects {int(sizes[s])}"
+                )
+        first = shards[0]
+        for s, release in enumerate(shards):
+            # Per-shard ε may legitimately differ (a partial-refresh
+            # stream serves shards released in different epochs); the
+            # strategy itself must not.
+            if (
+                release.estimator != first.estimator
+                or release.branching != first.branching
+            ):
+                raise ReproError(
+                    f"shard {s} ({release.estimator}, b={release.branching}) "
+                    f"disagrees with shard 0 ({first.estimator}, "
+                    f"b={first.branching}); a sharded release is one release"
+                )
+        seeds = [release.seed for release in shards]
+        if len(set(seeds)) != len(seeds):
+            raise ReproError(
+                "shard seeds must be pairwise distinct: reusing a seed "
+                "across shards with identical counts would reuse the same "
+                "noise draw, voiding the parallel-composition guarantee"
+            )
+        self.plan = plan
+        self.shard_releases = shards
+        self.estimator = first.estimator
+        #: the largest per-shard mechanism ε in the assembly — the
+        #: uniform ε for one-shot sharded releases; partial-refresh
+        #: streams mix epochs (see :attr:`shard_epsilons`), and their
+        #: lifetime guarantee is the lineage's Σεᵢ, not any single value.
+        self.epsilon = max(release.epsilon for release in shards)
+        self.branching = first.branching
+        self.dataset_fingerprint = str(dataset_fingerprint)
+        leaves = np.concatenate([r.unit_counts() for r in shards])
+        leaves.setflags(write=False)
+        self._leaves = leaves
+        # The exact arithmetic MaterializedRelease uses for its index, so
+        # router answers match a monolithic release bit for bit.
+        prefix = np.concatenate(([0.0], np.cumsum(leaves)))
+        prefix.setflags(write=False)
+        self._prefix = prefix
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def domain_size(self) -> int:
+        return self.plan.domain_size
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def shard_seeds(self) -> tuple[int, ...]:
+        return tuple(release.seed for release in self.shard_releases)
+
+    @property
+    def shard_epsilons(self) -> tuple[float, ...]:
+        """Per-shard mechanism ε (uniform except for partial-refresh streams)."""
+        return tuple(release.epsilon for release in self.shard_releases)
+
+    @property
+    def shard_keys(self) -> tuple[ReleaseKey, ...]:
+        """The full release identity of every shard artifact, in order."""
+        return tuple(release.key for release in self.shard_releases)
+
+    def shard_index(self, shard: int) -> np.ndarray:
+        """Shard ``shard``'s prefix-sum index (a view, offsets baked in).
+
+        Entry ``j`` is the global prefix value at bucket ``b_s + j``: the
+        shard's local prefix sums plus the cumulated totals of every
+        preceding shard.  ``index[0]`` is the mass of all shards before
+        this one; ``index[-1]`` adds this shard's own total.
+        """
+        shard = self.plan._check_shard(shard)
+        lo = int(self.plan.boundaries[shard])
+        hi = int(self.plan.boundaries[shard + 1])
+        return self._prefix[lo : hi + 1]
+
+    @property
+    def boundary_prefix(self) -> np.ndarray:
+        """Cumulated shard totals: the global prefix at each boundary (O(k))."""
+        return self._prefix[self.plan.boundaries]
+
+    @property
+    def shard_totals(self) -> np.ndarray:
+        """Estimated total mass of each shard."""
+        return np.diff(self.boundary_prefix)
+
+    # -- answering -------------------------------------------------------------
+
+    def unit_counts(self) -> np.ndarray:
+        """The released unit estimates over the full domain (copy)."""
+        return self._leaves.copy()
+
+    def total(self) -> float:
+        """Estimate of the total number of records."""
+        return float(self._prefix[-1])
+
+    def range_sum(self, lo: int, hi: int) -> float:
+        """Estimate ``c([lo, hi])`` (inclusive) in O(1)."""
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo <= hi < self.domain_size:
+            raise QueryError(
+                f"invalid range [{lo}, {hi}] for domain size {self.domain_size}"
+            )
+        return float(self._prefix[hi + 1] - self._prefix[lo])
+
+    def range_sums(self, los, his, assume_valid: bool = False) -> np.ndarray:
+        """Batch range estimates; same contract as the monolithic release."""
+        if assume_valid:
+            los = np.asarray(los, dtype=np.int64)
+            his = np.asarray(his, dtype=np.int64)
+        else:
+            los, his = as_range_bounds(los, his, self.domain_size)
+        return self._prefix[his + 1] - self._prefix[los]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedRelease(estimator={self.estimator!r}, "
+            f"epsilon={self.epsilon:g}, num_shards={self.num_shards}, "
+            f"domain_size={self.domain_size})"
+        )

@@ -1,0 +1,461 @@
+"""Per-shard epoch refresh: only touched shards pay for freshness.
+
+:class:`ShardedStreamingEngine` is the sharded sibling of
+:class:`~repro.streaming.engine.StreamingHistogramEngine`.  Live traffic
+over a massive domain is rarely uniform — a hot set of buckets churns
+while most of the domain sleeps — so re-releasing the *whole* domain
+every epoch wastes both wall-clock and accuracy.  The sharded loop
+refreshes selectively:
+
+* rows arrive through :meth:`ingest` into one domain-wide
+  :class:`~repro.streaming.buffer.IngestBuffer`;
+* :meth:`advance_epoch` drains the buffer, splits the delta by shard,
+  and re-releases **only the shards whose pending rows meet the
+  per-shard refresh threshold**; sub-threshold deltas are restored to
+  the buffer and ride into a later epoch, losing nothing;
+* the epoch charges the schedule's εᵢ **once** for the whole refresh
+  set: refreshed shards hold disjoint data, so the epoch is εᵢ-DP by
+  parallel composition, and epochs compose sequentially to Σ εᵢ —
+  enforced across restarts by the
+  :class:`~repro.sharding.lineage.ShardedLineage` ledger exactly like
+  the monolithic stream;
+* untouched shards keep serving their existing releases (their data did
+  not change), and the epoch publishes by rebuilding one immutable
+  :class:`~repro.sharding.release.ShardedRelease` and swapping it in
+  atomically — readers never observe a torn epoch;
+* every refreshed shard persists as a normal store artifact and the
+  lineage records the refresh set plus the complete per-shard key set,
+  so a restarted engine re-assembles and serves the latest epoch with
+  **zero** additional ε.
+
+Seeds: the shard refreshed in epoch ``i`` at position ``s`` draws with
+:func:`~repro.sharding.engine.derive_shard_seed(base_seed, i, s)
+<repro.sharding.engine.derive_shard_seed>` — pairwise distinct across
+every (epoch, shard) pair and collision-resistant across streams with
+different base seeds, which keeps all noise draws independent (the
+precondition of both composition arguments).
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+import numpy as np
+
+from repro.db.histogram import HistogramBuilder
+from repro.db.relation import Relation
+from repro.exceptions import PrivacyBudgetError, ReproError
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.definitions import PrivacyParameters
+from repro.queries.workload import RangeWorkload
+from repro.serving.cache import ReleaseCache
+from repro.serving.engine import canonical_estimator_name
+from repro.serving.planner import QueryBatch
+from repro.serving.release import MaterializedRelease, ReleaseKey, fingerprint_counts
+from repro.serving.stats import ServingStats
+from repro.serving.store import ReleaseStore, stream_ledger_path
+from repro.sharding.engine import (
+    build_shard_releases,
+    derive_shard_seed,
+    resolve_shard_cache,
+    resolve_workers,
+)
+from repro.sharding.lineage import ShardedLineage, ShardEpochRecord
+from repro.sharding.plan import ShardPlan, resolve_plan
+from repro.sharding.release import ShardedRelease
+from repro.sharding.router import ShardRouter
+from repro.streaming.buffer import IngestBuffer
+from repro.streaming.engine import StreamBatchResult
+from repro.streaming.policy import EpsilonSchedule
+from repro.utils.arrays import as_float_vector
+
+__all__ = ["ShardedStreamingEngine"]
+
+
+class ShardedStreamingEngine:
+    """Epoch-refreshed sharded private-histogram server over live data.
+
+    Parameters
+    ----------
+    data:
+        The *current* database: a :class:`Relation` (with ``attribute``)
+        or a raw unit-count vector over the full domain.
+    total_epsilon:
+        Lifetime budget every epoch composes against (checked against
+        the lineage ledger across restarts, like the monolithic stream).
+    schedule:
+        Per-epoch ε schedule; epoch ``i`` charges ``schedule.epsilon_for(i)``
+        regardless of how many shards it refreshes.
+    refresh_rows:
+        Per-shard refresh threshold: a shard is re-released in an epoch
+        iff at least this many pending rows landed in it (default 1 —
+        any touched shard refreshes; untouched shards never rebuild).
+    num_shards / shard_size / plan:
+        Partition geometry, as for
+        :class:`~repro.sharding.engine.ShardedHistogramEngine`.
+    estimator / branching / seed / workers / store / cache / name /
+    build_first_epoch:
+        As for the monolithic streaming engine / sharded serving engine.
+        Epoch 0 (when built) refreshes every shard.
+    """
+
+    def __init__(
+        self,
+        data,
+        total_epsilon: float,
+        schedule: EpsilonSchedule,
+        *,
+        attribute: str | None = None,
+        refresh_rows: int = 1,
+        num_shards: int | None = None,
+        shard_size: int | None = None,
+        plan: ShardPlan | None = None,
+        estimator: str = "constrained",
+        branching: int = 2,
+        seed: int = 0,
+        delta: float = 0.0,
+        workers: int | None = None,
+        store: ReleaseStore | None = None,
+        cache: ReleaseCache | None = None,
+        cache_capacity: int | None = None,
+        name: str = "sharded-stream",
+        build_first_epoch: bool = True,
+    ) -> None:
+        if isinstance(data, Relation):
+            if attribute is None:
+                raise ReproError(
+                    "a range attribute is required when the data is a Relation"
+                )
+            counts = HistogramBuilder(data, attribute).counts()
+        else:
+            counts = as_float_vector(data, name="counts").copy()
+        if not hasattr(schedule, "epsilon_for"):
+            raise ReproError(
+                f"schedule must implement epsilon_for(epoch), got {schedule!r}"
+            )
+        if refresh_rows < 1:
+            raise ReproError(
+                f"refresh_rows threshold must be >= 1, got {refresh_rows}"
+            )
+        self._counts = counts
+        self.schedule = schedule
+        self.refresh_rows = int(refresh_rows)
+        self.estimator = canonical_estimator_name(estimator)
+        self.branching = int(branching)
+        self.base_seed = int(seed)
+        self.name = str(name)
+        if not self.name:
+            raise ReproError("a stream name is required")
+        self.plan = resolve_plan(
+            counts.size, num_shards=num_shards, shard_size=shard_size, plan=plan
+        )
+        self.workers = resolve_workers(workers, self.plan.num_shards)
+        self.cache = resolve_shard_cache(
+            cache, store, cache_capacity, self.plan.num_shards
+        )
+        self._budget = PrivacyBudget(PrivacyParameters(total_epsilon, delta))
+        self._buffer = IngestBuffer(counts.size)
+        self.router = ShardRouter()
+        self.stats = ServingStats()
+        #: epochs built (and charged) by this process.
+        self.materializations = 0
+        self._advance_lock = threading.Lock()
+        self._serve_lock = threading.Lock()
+        self._resume_unvalidated = False
+        #: (epoch, assembled release, that epoch's scheduled εᵢ)
+        self._current: tuple[int, ShardedRelease, float] | None = None
+        #: per-shard releases currently served, refreshed selectively.
+        self._shard_releases: list[MaterializedRelease] | None = None
+        self.lineage = self._open_lineage()
+        if len(self.lineage):
+            self._resume_from_lineage()
+        elif build_first_epoch:
+            self.advance_epoch()
+
+    # -- construction helpers --------------------------------------------------
+
+    def _open_lineage(self) -> ShardedLineage:
+        store = self.cache.store
+        if store is None:
+            return ShardedLineage()
+        return ShardedLineage(
+            stream_ledger_path(store.root, self.name, ".sharded.json")
+        )
+
+    def _resume_from_lineage(self) -> None:
+        """Warm restart: re-assemble the latest epoch, spending zero ε."""
+        latest = self.lineage.latest
+        store = self.cache.store
+        if store is None:
+            raise ReproError(
+                f"sharded stream {self.name!r} has lineage but no store to "
+                f"load its shard artifacts from"
+            )
+        if latest.num_shards != self.plan.num_shards:
+            raise ReproError(
+                f"sharded stream {self.name!r} was built with "
+                f"{latest.num_shards} shards but the engine was constructed "
+                f"with {self.plan.num_shards}; the plan is part of the "
+                f"stream's identity"
+            )
+        releases = []
+        for s, key in enumerate(latest.shard_keys):
+            release = self.cache.get(key)
+            if release is None:
+                release = store.get(key)
+                if release is not None:
+                    self.cache.put(key, release)
+            if release is None:
+                raise ReproError(
+                    f"sharded stream {self.name!r} has lineage through epoch "
+                    f"{latest.epoch} but shard {s}'s artifact is missing "
+                    f"from the store"
+                )
+            releases.append(release)
+        assembled = ShardedRelease(
+            self.plan,
+            releases,
+            dataset_fingerprint=fingerprint_counts(self._counts),
+        )
+        self._shard_releases = releases
+        self._current = (latest.epoch, assembled, latest.epsilon)
+        self._resume_unvalidated = True
+
+    # -- budget ----------------------------------------------------------------
+
+    @property
+    def budget(self) -> PrivacyBudget:
+        return self._budget
+
+    @property
+    def spent_epsilon(self) -> float:
+        """ε spent by *this process* (a warm restart starts at zero)."""
+        return self._budget.spent_epsilon
+
+    @property
+    def remaining_epsilon(self) -> float:
+        return self._budget.remaining_epsilon
+
+    # -- ingestion -------------------------------------------------------------
+
+    @property
+    def domain_size(self) -> int:
+        return int(self._counts.size)
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def pending_rows(self) -> int:
+        return self._buffer.pending_rows
+
+    def ingest(self, indexes) -> int:
+        """Ingest rows given as domain indexes (buffered until an epoch)."""
+        return self._buffer.add(indexes)
+
+    def ingest_counts(self, delta) -> int:
+        """Ingest a pre-aggregated delta count vector."""
+        return self._buffer.add_counts(delta)
+
+    def pending_rows_per_shard(self) -> np.ndarray:
+        """Pending backlog split by shard (what the threshold is judged on)."""
+        delta = self._buffer.pending_counts()
+        return np.add.reduceat(delta, self.plan.starts)
+
+    # -- epoch building --------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Index of the epoch currently being served (-1 before epoch 0)."""
+        with self._serve_lock:
+            return self._current[0] if self._current is not None else -1
+
+    def advance_epoch(self) -> ShardEpochRecord | None:
+        """Build and publish the next partial-refresh epoch synchronously.
+
+        Drains the buffer, re-releases every shard whose pending rows
+        meet :attr:`refresh_rows` (all shards on epoch 0), restores
+        sub-threshold deltas for a later epoch, charges the schedule's
+        εᵢ once on success, records the refresh set in the lineage, and
+        swaps the assembled release in atomically.  Returns ``None``
+        without building (or charging) when no shard meets the
+        threshold; on any failure the drained rows are restored and no
+        ε is spent.
+        """
+        with self._advance_lock:
+            return self._advance_locked()
+
+    def _advance_locked(self) -> ShardEpochRecord | None:
+        epoch = self.lineage.next_epoch
+        epsilon = self.schedule.epsilon_for(epoch)
+        lifetime = max(self.lineage.spent_epsilon, self._budget.spent_epsilon)
+        if lifetime + epsilon > self._budget.total.epsilon + 1e-12:
+            raise PrivacyBudgetError(
+                f"epoch {epoch} would charge ε={epsilon:g}, but the stream "
+                f"has already spent ε={lifetime:g} of its lifetime "
+                f"{self._budget.total.epsilon:g} across its lineage"
+            )
+        if self._resume_unvalidated:
+            # Same stale-base refusal as the monolithic stream: building
+            # on counts that disagree with the lineage's row ledger would
+            # silently drop previously folded rows.
+            recorded = self.lineage.latest.total_rows
+            current = float(self._counts.sum())
+            if abs(current - recorded) > 0.5 + 1e-9 * abs(recorded):
+                raise ReproError(
+                    f"sharded stream {self.name!r} resumed at epoch "
+                    f"{self.lineage.latest.epoch} whose release covered "
+                    f"{recorded:g} rows, but the supplied counts hold "
+                    f"{current:g}; pass the stream's *current* database to "
+                    f"keep building"
+                )
+            self._resume_unvalidated = False
+        delta, rows = self._buffer.drain()
+        bootstrap = self._shard_releases is None
+        shard_rows = np.add.reduceat(delta, self.plan.starts)
+        if bootstrap:
+            refreshed = list(range(self.plan.num_shards))
+        else:
+            refreshed = [
+                s
+                for s in range(self.plan.num_shards)
+                if shard_rows[s] >= self.refresh_rows
+            ]
+        if not refreshed:
+            # Nothing crossed the threshold: no build, no charge; the
+            # backlog rides into a later epoch untouched.
+            self._buffer.restore(delta, rows)
+            return None
+        # Split the drained delta: refreshed shards fold now, the rest of
+        # the backlog goes straight back to the buffer.
+        fold = np.zeros_like(delta)
+        for s in refreshed:
+            piece = self.plan.slice_of(s)
+            fold[piece] = delta[piece]
+        ride_along = delta - fold
+        fold_rows = int(round(float(shard_rows[list(refreshed)].sum())))
+        if ride_along.any():
+            self._buffer.restore(ride_along, rows - fold_rows)
+        counts = self._counts + fold if fold.any() else self._counts
+        shard_counts = self.plan.split(counts)
+        keys = [
+            ReleaseKey(
+                dataset_fingerprint=fingerprint_counts(shard_counts[s]),
+                estimator=self.estimator,
+                epsilon=float(epsilon),
+                branching=self.branching,
+                seed=derive_shard_seed(self.base_seed, epoch, s),
+            )
+            for s in refreshed
+        ]
+        try:
+            fresh = build_shard_releases(
+                [shard_counts[s] for s in refreshed],
+                keys,
+                delta=self._budget.total.delta,
+                workers=self.workers,
+            )
+        except BaseException:
+            # Nothing was charged or cached; the folded rows rejoin the
+            # backlog for the next attempt.
+            self._buffer.restore(fold, fold_rows)
+            raise
+        # One εᵢ for the whole refresh set (parallel composition over the
+        # disjoint refreshed shards), only now that every build succeeded.
+        self._budget.spend(
+            epsilon,
+            label=(
+                f"epoch {epoch} sharded ({self.estimator}, "
+                f"{len(refreshed)}/{self.plan.num_shards} shards)"
+            ),
+        )
+        # In-memory publication cannot fail; the fallible store writes
+        # and the lineage append happen below, with restore-on-failure.
+        for key, release in zip(keys, fresh):
+            self.cache.put(key, release)
+        shard_releases = (
+            list(fresh)
+            if bootstrap
+            else list(self._shard_releases)
+        )
+        if not bootstrap:
+            for s, release in zip(refreshed, fresh):
+                shard_releases[s] = release
+        assembled = ShardedRelease(
+            self.plan,
+            shard_releases,
+            dataset_fingerprint=fingerprint_counts(counts),
+        )
+        record = ShardEpochRecord(
+            epoch=epoch,
+            epsilon=float(epsilon),
+            refreshed=tuple(refreshed),
+            shard_keys=assembled.shard_keys,
+            rows_ingested=fold_rows,
+            total_rows=float(counts.sum()),
+        )
+        try:
+            if self.cache.store is not None:
+                for release in fresh:
+                    self.cache.store.put(release)
+            self.lineage.append(record)
+        except BaseException:
+            # ε is charged (the releases exist in memory) but the epoch
+            # is not published: restore the rows so the next successful
+            # epoch re-releases them rather than losing them — the same
+            # documented residual as the monolithic stream.
+            self._buffer.restore(fold, fold_rows)
+            raise
+        self._counts = counts
+        with self._serve_lock:
+            self._shard_releases = shard_releases
+            self._current = (epoch, assembled, float(epsilon))
+            self.materializations += 1
+        return record
+
+    # -- serving ---------------------------------------------------------------
+
+    def submit(self, batch: QueryBatch | RangeWorkload) -> StreamBatchResult:
+        """Answer a batch from the latest published epoch (no torn reads)."""
+        if isinstance(batch, RangeWorkload):
+            batch = QueryBatch.from_workload(batch)
+        with self._serve_lock:
+            current = self._current
+        if current is None:
+            raise ReproError(
+                f"sharded stream {self.name!r} has no epoch yet; ingest data "
+                f"and advance an epoch first"
+            )
+        epoch, release, epoch_epsilon = current
+        start = perf_counter()
+        answers = self.router.answer(release, batch)
+        answer_seconds = perf_counter() - start
+        self.stats.record_batch(len(batch), answer_seconds)
+        return StreamBatchResult(
+            answers=answers,
+            epoch=epoch,
+            estimator=release.estimator,
+            epsilon=epoch_epsilon,
+            dataset_fingerprint=release.dataset_fingerprint,
+            answer_seconds=answer_seconds,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """No background resources to release; present for fleet symmetry."""
+
+    def __enter__(self) -> "ShardedStreamingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedStreamingEngine(name={self.name!r}, epoch={self.epoch}, "
+            f"num_shards={self.num_shards}, pending_rows={self.pending_rows}, "
+            f"spent_epsilon={self.spent_epsilon:g})"
+        )

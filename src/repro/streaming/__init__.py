@@ -19,6 +19,12 @@ while rows keep arriving, without ever weakening the privacy story:
   from one immutable epoch snapshot, and warm-restart from the stored
   lineage with zero ε (:mod:`repro.streaming.engine`).
 
+For massive domains the sharded sibling
+:class:`~repro.sharding.streaming.ShardedStreamingEngine` reuses this
+package's buffer, policies, and schedules but re-releases **only the
+shards whose ingest deltas cross the per-shard threshold** each epoch —
+see :mod:`repro.sharding`.
+
 **Epoch privacy accounting.**  Epoch ``i`` re-answers the query sequence
 on the updated instance with an ``εᵢ``-DP mechanism; by sequential
 composition (Section 2.1 of the paper) the whole stream of releases is

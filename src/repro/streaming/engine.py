@@ -30,8 +30,6 @@ epoch-based loop over live data:
 
 from __future__ import annotations
 
-import hashlib
-import re
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -50,7 +48,7 @@ from repro.serving.engine import HistogramEngine, canonical_estimator_name
 from repro.serving.planner import BatchQueryPlanner, QueryBatch
 from repro.serving.release import MaterializedRelease
 from repro.serving.stats import ServingStats
-from repro.serving.store import ReleaseStore
+from repro.serving.store import ReleaseStore, stream_ledger_path
 from repro.streaming.buffer import IngestBuffer
 from repro.streaming.lineage import EpochLineage, EpochRecord
 from repro.streaming.policy import (
@@ -61,9 +59,6 @@ from repro.streaming.policy import (
 from repro.utils.arrays import as_float_vector
 
 __all__ = ["StreamBatchResult", "StreamingHistogramEngine"]
-
-_SAFE_NAME = re.compile(r"[^A-Za-z0-9._~-]")
-
 
 @dataclass(frozen=True)
 class StreamBatchResult:
@@ -203,14 +198,7 @@ class StreamingHistogramEngine:
         store = self.cache.store
         if store is None:
             return EpochLineage()
-        # Sanitizing alone is not injective ("clicks/eu" and "clicks-eu"
-        # would share a ledger — and silently continue each other's ε
-        # schedule); a short hash of the exact name keeps distinct
-        # streams in distinct files, mirroring the store's artifact
-        # naming.
-        safe = _SAFE_NAME.sub("-", self.name)
-        digest = hashlib.sha256(self.name.encode("utf-8")).hexdigest()[:8]
-        return EpochLineage(store.root / "streams" / f"{safe}-{digest}.json")
+        return EpochLineage(stream_ledger_path(store.root, self.name))
 
     def _resume_from_lineage(self) -> None:
         """Warm restart: serve the latest recorded epoch, spending zero ε."""

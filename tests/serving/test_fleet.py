@@ -155,3 +155,59 @@ class TestFleetWarmStart:
         assert warm_a.from_cache and warm_b.from_cache
         assert np.array_equal(cold_a.answers, warm_a.answers)
         assert np.array_equal(cold_b.answers, warm_b.answers)
+
+
+class TestShardedTenants:
+    def test_register_sharded_routes_like_any_engine(self, counts_b):
+        fleet = EngineFleet()
+        engine = fleet.register_sharded("big", counts_b, 1.0, num_shards=4)
+        assert fleet.engine("big") is engine
+        assert "big" in fleet
+        batch = QueryBatch.random(counts_b.size, 500, rng=0)
+        result = fleet.submit("big", batch, "constrained", epsilon=0.2, seed=3)
+        assert result.num_queries == 500
+        assert engine.spent_epsilon == 0.2
+        stats = fleet.stats()
+        assert stats.datasets == 1
+        assert stats.materializations == 1
+        assert stats.spent_epsilon == 0.2
+
+    def test_sharded_and_monolithic_tenants_share_the_store(
+        self, counts_a, counts_b, tmp_path
+    ):
+        fleet = EngineFleet(store=ReleaseStore(tmp_path / "store"))
+        fleet.register("small", counts_a, 1.0)
+        sharded = fleet.register_sharded("big", counts_b, 1.0, num_shards=4)
+        fleet.materialize("small", "constrained", epsilon=0.1, seed=1)
+        fleet.materialize("big", "constrained", epsilon=0.1, seed=1)
+        store = fleet.cache.store
+        assert len(store) == 5  # 1 monolithic + 4 shard artifacts
+        for key in sharded.shard_keys("constrained", epsilon=0.1, seed=1):
+            assert key in store
+
+    def test_register_sharded_duplicate_name_rejected(self, counts_a, counts_b):
+        fleet = EngineFleet()
+        fleet.register("x", counts_a, 1.0)
+        with pytest.raises(ReproError, match="already registered"):
+            fleet.register_sharded("x", counts_b, 1.0, num_shards=2)
+
+    def test_register_sharded_stream_partial_refresh_via_fleet(self, counts_b):
+        from repro.streaming.policy import FixedEpsilonSchedule
+
+        fleet = EngineFleet()
+        stream = fleet.register_sharded_stream(
+            "live", counts_b, 1.0,
+            schedule=FixedEpsilonSchedule(0.1), num_shards=4,
+        )
+        assert fleet.stream("live") is stream
+        fleet.ingest("live", np.full(20, 0))
+        record = fleet.advance_epoch("live")
+        assert record.refreshed == (0,)
+        result = fleet.submit_stream("live", QueryBatch.random(counts_b.size, 100, rng=1))
+        assert result.epoch == 1
+        stats = fleet.stats()
+        assert stats.streams == 1
+        assert stats.epochs == 2
+        assert len(stats.stream_lineages["live"]) == 2
+        fleet.unregister("live")
+        assert "live" not in fleet

@@ -268,3 +268,123 @@ class TestEngineWarmStart:
                 cache=cache,
                 store=ReleaseStore(tmp_path),
             )
+
+
+class TestPrune:
+    def put_n(self, store: ReleaseStore, n: int) -> list[ReleaseKey]:
+        keys = [key(seed=i) for i in range(n)]
+        for k in keys:
+            store.put(release_for(k))
+        return keys
+
+    def test_prune_keeps_the_latest_k(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        keys = self.put_n(store, 5)
+        pruned = store.prune(keep_latest=2)
+        assert pruned == keys[:3]
+        assert store.keys() == keys[3:]
+        for k in keys[:3]:
+            assert k not in store
+        for k in keys[3:]:
+            assert store.get(k) is not None
+
+    def test_prune_deletes_artifact_files(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        self.put_n(store, 3)
+        artifacts = sorted((store.root / ARTIFACTS_DIR).iterdir())
+        assert len(artifacts) == 3
+        store.prune(keep_latest=1)
+        remaining = sorted((store.root / ARTIFACTS_DIR).iterdir())
+        assert len(remaining) == 1
+
+    def test_prune_survives_a_reload(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        keys = self.put_n(store, 4)
+        store.prune(keep_latest=2)
+        reloaded = ReleaseStore(tmp_path)
+        assert reloaded.keys() == keys[2:]
+        assert reloaded.get(keys[0]) is None
+
+    def test_reput_refreshes_recency(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        keys = self.put_n(store, 3)
+        store.put(release_for(keys[0]))  # oldest becomes newest
+        pruned = store.prune(keep_latest=2)
+        assert pruned == [keys[1]]
+        assert store.keys() == [keys[2], keys[0]]
+
+    def test_prune_zero_retires_everything_unreferenced(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        self.put_n(store, 3)
+        assert len(store.prune(keep_latest=0)) == 3
+        assert len(store) == 0
+
+    def test_prune_never_deletes_lineage_referenced_artifacts(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        keys = self.put_n(store, 4)
+        protected = keys[0]
+        streams = store.root / "streams"
+        streams.mkdir()
+        # Any stream lineage naming the key protects it — written here in
+        # the monolithic EpochLineage shape.
+        (streams / "clicks-abc123.json").write_text(
+            json.dumps(
+                {
+                    "lineage_format_version": 1,
+                    "epochs": [
+                        {
+                            "epoch": 0,
+                            "dataset_fingerprint": protected.dataset_fingerprint,
+                            "estimator": protected.estimator,
+                            "epsilon": protected.epsilon,
+                            "branching": protected.branching,
+                            "seed": protected.seed,
+                            "rows_ingested": 0,
+                            "total_rows": 28.0,
+                        }
+                    ],
+                }
+            )
+        )
+        pruned = store.prune(keep_latest=0)
+        assert protected not in pruned
+        assert store.get(protected) is not None
+        assert store.keys() == [protected]
+
+    def test_prune_protects_sharded_lineage_references(self, tmp_path):
+        import numpy as np  # noqa: F401 - parity with module imports
+
+        from repro.sharding.streaming import ShardedStreamingEngine
+        from repro.streaming.policy import FixedEpsilonSchedule
+
+        store_dir = tmp_path / "store"
+        engine = ShardedStreamingEngine(
+            np.arange(1, 41, dtype=float),
+            1.0,
+            FixedEpsilonSchedule(0.2),
+            num_shards=4,
+            store=ReleaseStore(store_dir),
+            name="s",
+        )
+        served = set(engine.lineage.latest.shard_keys)
+        store = ReleaseStore(store_dir)
+        # An unrelated old artifact should fall, the stream's must stay.
+        stale = key(fingerprint="stale")
+        store.put(release_for(stale))
+        # stale was put last, so protect nothing by recency: keep_latest=0.
+        pruned = store.prune(keep_latest=0)
+        assert pruned == [stale]
+        assert set(store.keys()) == served
+
+    def test_prune_rejects_negative_and_fails_on_corrupt_lineage(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        self.put_n(store, 2)
+        with pytest.raises(ReleaseStoreError, match=">= 0"):
+            store.prune(keep_latest=-1)
+        streams = store.root / "streams"
+        streams.mkdir()
+        (streams / "broken.json").write_text("{not json")
+        with pytest.raises(ReleaseStoreError, match="pruning"):
+            store.prune(keep_latest=0)
+        # Nothing was deleted under the failed prune.
+        assert len(store) == 2

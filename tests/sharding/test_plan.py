@@ -1,0 +1,107 @@
+"""Tests for the shard-plan geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.sharding.plan import DEFAULT_SHARD_SIZE, ShardPlan
+
+
+class TestConstruction:
+    def test_boundaries_are_frozen_and_copied(self):
+        bounds = np.array([0, 3, 7], dtype=np.int64)
+        plan = ShardPlan(bounds)
+        bounds[1] = 99
+        assert plan.boundaries[1] == 3
+        with pytest.raises(ValueError):
+            plan.boundaries[0] = 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [[0], [1, 5], [0, 5, 5], [0, 5, 3], [[0, 5]]],
+    )
+    def test_invalid_boundaries_rejected(self, bad):
+        with pytest.raises(DomainError):
+            ShardPlan(bad)
+
+    def test_uniform_splits_remainder_to_leading_shards(self):
+        plan = ShardPlan.uniform(10, 3)
+        assert plan.num_shards == 3
+        assert plan.domain_size == 10
+        assert plan.sizes.tolist() == [4, 3, 3]
+        assert plan.boundaries.tolist() == [0, 4, 7, 10]
+
+    def test_uniform_single_shard_and_full_split(self):
+        assert ShardPlan.uniform(5, 1).sizes.tolist() == [5]
+        assert ShardPlan.uniform(5, 5).sizes.tolist() == [1] * 5
+
+    @pytest.mark.parametrize("shards", [0, -1, 11])
+    def test_uniform_rejects_bad_shard_counts(self, shards):
+        with pytest.raises(DomainError):
+            ShardPlan.uniform(10, shards)
+
+    def test_with_shard_size_last_shard_may_be_narrow(self):
+        plan = ShardPlan.with_shard_size(10, 4)
+        assert plan.sizes.tolist() == [4, 4, 2]
+        assert ShardPlan.with_shard_size(8, 4).sizes.tolist() == [4, 4]
+
+    def test_with_shard_size_default_is_cache_resident(self):
+        plan = ShardPlan.with_shard_size(3 * DEFAULT_SHARD_SIZE)
+        assert plan.num_shards == 3
+        assert int(plan.sizes.max()) == DEFAULT_SHARD_SIZE
+
+    def test_with_shard_size_wider_than_domain(self):
+        assert ShardPlan.with_shard_size(10, 100).num_shards == 1
+
+
+class TestGeometry:
+    def test_shard_of_vectorized(self):
+        plan = ShardPlan([0, 4, 7, 10])
+        positions = np.arange(10)
+        expected = [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+        assert plan.shard_of(positions).tolist() == expected
+
+    def test_shard_of_rejects_out_of_domain(self):
+        plan = ShardPlan([0, 4, 10])
+        with pytest.raises(DomainError):
+            plan.shard_of([10])
+        with pytest.raises(DomainError):
+            plan.shard_of([-1])
+
+    def test_shard_of_prefix_clamps_the_domain_end(self):
+        plan = ShardPlan([0, 4, 10])
+        assert plan.shard_of_prefix([0, 3, 4, 9, 10]).tolist() == [0, 0, 1, 1, 1]
+        with pytest.raises(DomainError):
+            plan.shard_of_prefix([11])
+
+    def test_slice_of_and_split_are_views(self):
+        plan = ShardPlan([0, 4, 7, 10])
+        counts = np.arange(10, dtype=float)
+        pieces = plan.split(counts)
+        assert [p.tolist() for p in pieces] == [
+            [0, 1, 2, 3],
+            [4, 5, 6],
+            [7, 8, 9],
+        ]
+        counts[4] = -1
+        assert pieces[1][0] == -1  # views, not copies
+
+    def test_split_rejects_mismatched_counts(self):
+        with pytest.raises(DomainError):
+            ShardPlan([0, 4]).split(np.zeros(5))
+
+    def test_slice_of_checks_shard_index(self):
+        plan = ShardPlan([0, 4, 10])
+        assert plan.slice_of(1) == slice(4, 10)
+        with pytest.raises(DomainError):
+            plan.slice_of(2)
+
+    def test_equality_and_hash(self):
+        a = ShardPlan([0, 4, 10])
+        b = ShardPlan(np.array([0, 4, 10]))
+        c = ShardPlan([0, 5, 10])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len(a) == 2
