@@ -62,6 +62,37 @@ class ReleaseKey:
     branching: int
     seed: int
 
+    def to_json(self) -> dict:
+        """The key as a plain JSON-ready dict (one field per identity part)."""
+        return {
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "estimator": self.estimator,
+            "epsilon": self.epsilon,
+            "branching": self.branching,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, entry: dict) -> "ReleaseKey":
+        """Rebuild a key from :meth:`to_json` output (extra fields ignored).
+
+        Raises :class:`~repro.exceptions.ReproError` on missing or
+        mistyped fields, so every ledger that embeds keys fails loudly on
+        a malformed entry instead of serving a half-parsed identity.
+        """
+        try:
+            return cls(
+                dataset_fingerprint=str(entry["dataset_fingerprint"]),
+                estimator=str(entry["estimator"]),
+                epsilon=float(entry["epsilon"]),
+                branching=int(entry["branching"]),
+                seed=int(entry["seed"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(
+                f"malformed release key entry {entry!r}: {error}"
+            ) from error
+
 
 class MaterializedRelease:
     """An immutable consistent-histogram release with an O(1) range index.
@@ -140,6 +171,17 @@ class MaterializedRelease:
     def unit_counts(self) -> np.ndarray:
         """The released unit estimates (copy)."""
         return self._leaves.copy()
+
+    def unit_counts_view(self) -> np.ndarray:
+        """The released unit estimates as a read-only view (no copy).
+
+        For bulk consumers (sharded assembly stitches many releases per
+        epoch) where the defensive copy of :meth:`unit_counts` would
+        double the transient memory.  A slice view, not the owning
+        array: ``setflags(write=True)`` on it raises, so callers cannot
+        re-enable writes and mutate the served release.
+        """
+        return self._leaves[:]
 
     def total(self) -> float:
         """Estimate of the total number of records."""

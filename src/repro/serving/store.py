@@ -333,7 +333,9 @@ class ReleaseStore:
         with self._lock:
             protected = self._lineage_referenced_ids()
             entries = list(self._manifest.items())
-            window = entries[len(entries) - keep_latest :] if keep_latest else []
+            # A negative slice clamps at the list start, so keeping more
+            # than exists is a no-op rather than a wrap-around deletion.
+            window = entries[-keep_latest:] if keep_latest else []
             kept_ids = {key_id for key_id, _ in window}
             doomed = [
                 (key_id, entry)

@@ -33,7 +33,7 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.exceptions import ReleaseStoreError
+from repro.exceptions import ReleaseStoreError, ReproError
 from repro.serving.release import ReleaseKey
 from repro.serving.store import _atomic_write_bytes
 
@@ -41,31 +41,6 @@ __all__ = ["ShardEpochRecord", "ShardedLineage", "SHARDED_LINEAGE_FORMAT_VERSION
 
 #: Version of the sharded lineage file schema; bump when it changes.
 SHARDED_LINEAGE_FORMAT_VERSION = 1
-
-
-def _key_to_json(key: ReleaseKey) -> dict:
-    return {
-        "dataset_fingerprint": key.dataset_fingerprint,
-        "estimator": key.estimator,
-        "epsilon": key.epsilon,
-        "branching": key.branching,
-        "seed": key.seed,
-    }
-
-
-def _key_from_json(entry: dict) -> ReleaseKey:
-    try:
-        return ReleaseKey(
-            dataset_fingerprint=str(entry["dataset_fingerprint"]),
-            estimator=str(entry["estimator"]),
-            epsilon=float(entry["epsilon"]),
-            branching=int(entry["branching"]),
-            seed=int(entry["seed"]),
-        )
-    except (KeyError, TypeError, ValueError) as error:
-        raise ReleaseStoreError(
-            f"malformed shard key entry {entry!r}: {error}"
-        ) from error
 
 
 @dataclass(frozen=True)
@@ -90,7 +65,7 @@ class ShardEpochRecord:
             "epoch": self.epoch,
             "epsilon": self.epsilon,
             "refreshed": list(self.refreshed),
-            "shards": [_key_to_json(key) for key in self.shard_keys],
+            "shards": [key.to_json() for key in self.shard_keys],
             "rows_ingested": self.rows_ingested,
             "total_rows": self.total_rows,
         }
@@ -106,11 +81,11 @@ class ShardEpochRecord:
                 epoch=int(entry["epoch"]),
                 epsilon=float(entry["epsilon"]),
                 refreshed=tuple(int(s) for s in refreshed),
-                shard_keys=tuple(_key_from_json(k) for k in shards),
+                shard_keys=tuple(ReleaseKey.from_json(k) for k in shards),
                 rows_ingested=int(entry["rows_ingested"]),
                 total_rows=float(entry["total_rows"]),
             )
-        except (KeyError, TypeError, ValueError) as error:
+        except (KeyError, TypeError, ValueError, ReproError) as error:
             raise ReleaseStoreError(
                 f"malformed sharded epoch lineage entry: {error}"
             ) from error

@@ -112,7 +112,13 @@ class ShardedRelease:
         self.epsilon = max(release.epsilon for release in shards)
         self.branching = first.branching
         self.dataset_fingerprint = str(dataset_fingerprint)
-        leaves = np.concatenate([r.unit_counts() for r in shards])
+        # Fill a preallocated array from each shard's read-only view: one
+        # copy per shard instead of unit_counts()'s defensive copy plus
+        # the concatenate copy (this runs on every epoch publish).
+        leaves = np.empty(plan.domain_size, dtype=np.float64)
+        for s, release in enumerate(shards):
+            lo = int(plan.boundaries[s])
+            leaves[lo : lo + release.domain_size] = release.unit_counts_view()
         leaves.setflags(write=False)
         self._leaves = leaves
         # The exact arithmetic MaterializedRelease uses for its index, so

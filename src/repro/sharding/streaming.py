@@ -199,6 +199,48 @@ class ShardedStreamingEngine:
                 f"with {self.plan.num_shards}; the plan is part of the "
                 f"stream's identity"
             )
+        # The strategy (estimator, branching), the seed schedule, and the
+        # ε schedule are part of the stream's identity exactly like the
+        # plan: a resume with different parameters must fail here, before
+        # any epoch can charge ε against releases it could never assemble
+        # or extend (or extend the lineage with off-schedule charges).
+        last_refresh: list[int | None] = [None] * self.plan.num_shards
+        for record in self.lineage.records:
+            for s in record.refreshed:
+                last_refresh[s] = record.epoch
+        for s, key in enumerate(latest.shard_keys):
+            if key.estimator != self.estimator or key.branching != self.branching:
+                raise ReproError(
+                    f"sharded stream {self.name!r} was built with "
+                    f"({key.estimator}, b={key.branching}) but the engine "
+                    f"was constructed with ({self.estimator}, "
+                    f"b={self.branching}); the estimator and branching are "
+                    f"part of the stream's identity"
+                )
+            if last_refresh[s] is None:
+                raise ReproError(
+                    f"sharded stream {self.name!r} has a malformed lineage: "
+                    f"shard {s} carries a key but no epoch ever refreshed it"
+                )
+            expected = derive_shard_seed(self.base_seed, last_refresh[s], s)
+            if key.seed != expected:
+                raise ReproError(
+                    f"sharded stream {self.name!r} was built under a "
+                    f"different base seed: shard {s} (last refreshed in "
+                    f"epoch {last_refresh[s]}) carries seed {key.seed}, but "
+                    f"base seed {self.base_seed} derives {expected}; the "
+                    f"seed schedule is part of the stream's identity"
+                )
+            scheduled = float(self.schedule.epsilon_for(last_refresh[s]))
+            if key.epsilon != scheduled:
+                raise ReproError(
+                    f"sharded stream {self.name!r} was built under a "
+                    f"different ε schedule: shard {s} (last refreshed in "
+                    f"epoch {last_refresh[s]}) was charged ε={key.epsilon:g} "
+                    f"but the supplied schedule prescribes ε={scheduled:g} "
+                    f"for that epoch; the ε schedule is part of the "
+                    f"stream's identity"
+                )
         releases = []
         for s, key in enumerate(latest.shard_keys):
             release = self.cache.get(key)
@@ -290,13 +332,6 @@ class ShardedStreamingEngine:
     def _advance_locked(self) -> ShardEpochRecord | None:
         epoch = self.lineage.next_epoch
         epsilon = self.schedule.epsilon_for(epoch)
-        lifetime = max(self.lineage.spent_epsilon, self._budget.spent_epsilon)
-        if lifetime + epsilon > self._budget.total.epsilon + 1e-12:
-            raise PrivacyBudgetError(
-                f"epoch {epoch} would charge ε={epsilon:g}, but the stream "
-                f"has already spent ε={lifetime:g} of its lifetime "
-                f"{self._budget.total.epsilon:g} across its lineage"
-            )
         if self._resume_unvalidated:
             # Same stale-base refusal as the monolithic stream: building
             # on counts that disagree with the lineage's row ledger would
@@ -328,13 +363,25 @@ class ShardedStreamingEngine:
             # backlog rides into a later epoch untouched.
             self._buffer.restore(delta, rows)
             return None
+        # The epoch will actually build and charge: enforce the lifetime
+        # budget only now, so an exhausted stream polled with an empty or
+        # sub-threshold backlog stays a free no-op (the documented
+        # contract) instead of raising on every tick.
+        lifetime = max(self.lineage.spent_epsilon, self._budget.spent_epsilon)
+        if lifetime + epsilon > self._budget.total.epsilon + 1e-12:
+            self._buffer.restore(delta, rows)
+            raise PrivacyBudgetError(
+                f"epoch {epoch} would charge ε={epsilon:g}, but the stream "
+                f"has already spent ε={lifetime:g} of its lifetime "
+                f"{self._budget.total.epsilon:g} across its lineage"
+            )
         # Split the drained delta: refreshed shards fold now, the rest of
         # the backlog goes straight back to the buffer.
-        fold = np.zeros_like(delta)
-        for s in refreshed:
-            piece = self.plan.slice_of(s)
-            fold[piece] = delta[piece]
-        ride_along = delta - fold
+        refresh_mask = np.zeros(self.plan.num_shards, dtype=bool)
+        refresh_mask[refreshed] = True
+        fold_mask = np.repeat(refresh_mask, self.plan.sizes)
+        fold = np.where(fold_mask, delta, 0.0)
+        ride_along = np.where(fold_mask, 0.0, delta)
         fold_rows = int(round(float(shard_rows[list(refreshed)].sum())))
         if ride_along.any():
             self._buffer.restore(ride_along, rows - fold_rows)
@@ -371,41 +418,42 @@ class ShardedStreamingEngine:
                 f"{len(refreshed)}/{self.plan.num_shards} shards)"
             ),
         )
-        # In-memory publication cannot fail; the fallible store writes
-        # and the lineage append happen below, with restore-on-failure.
-        for key, release in zip(keys, fresh):
-            self.cache.put(key, release)
-        shard_releases = (
-            list(fresh)
-            if bootstrap
-            else list(self._shard_releases)
-        )
-        if not bootstrap:
-            for s, release in zip(refreshed, fresh):
-                shard_releases[s] = release
-        assembled = ShardedRelease(
-            self.plan,
-            shard_releases,
-            dataset_fingerprint=fingerprint_counts(counts),
-        )
-        record = ShardEpochRecord(
-            epoch=epoch,
-            epsilon=float(epsilon),
-            refreshed=tuple(refreshed),
-            shard_keys=assembled.shard_keys,
-            rows_ingested=fold_rows,
-            total_rows=float(counts.sum()),
-        )
         try:
+            # Everything between the charge and publication — cache
+            # fills, assembly (which re-validates shard agreement), the
+            # store writes, and the lineage append — restores on failure:
+            # ε is charged (the releases exist in memory) but the epoch
+            # is not published, so the next successful epoch re-releases
+            # the rows rather than losing them — the same documented
+            # residual as the monolithic stream.
+            for key, release in zip(keys, fresh):
+                self.cache.put(key, release)
+            shard_releases = (
+                list(fresh)
+                if bootstrap
+                else list(self._shard_releases)
+            )
+            if not bootstrap:
+                for s, release in zip(refreshed, fresh):
+                    shard_releases[s] = release
+            assembled = ShardedRelease(
+                self.plan,
+                shard_releases,
+                dataset_fingerprint=fingerprint_counts(counts),
+            )
+            record = ShardEpochRecord(
+                epoch=epoch,
+                epsilon=float(epsilon),
+                refreshed=tuple(refreshed),
+                shard_keys=assembled.shard_keys,
+                rows_ingested=fold_rows,
+                total_rows=float(counts.sum()),
+            )
             if self.cache.store is not None:
                 for release in fresh:
                     self.cache.store.put(release)
             self.lineage.append(record)
         except BaseException:
-            # ε is charged (the releases exist in memory) but the epoch
-            # is not published: restore the rows so the next successful
-            # epoch re-releases them rather than losing them — the same
-            # documented residual as the monolithic stream.
             self._buffer.restore(fold, fold_rows)
             raise
         self._counts = counts

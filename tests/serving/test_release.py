@@ -61,6 +61,14 @@ class TestConstruction:
         copy = release.unit_counts()
         copy[0] = 99.0
         assert release.range_sum(0, 0) == 1.0
+        # unit_counts_view is zero-copy but tamper-proof: it is a view,
+        # so writes cannot be re-enabled on it.
+        view = release.unit_counts_view()
+        assert np.array_equal(view, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            view[0] = 5.0
+        with pytest.raises(ValueError):
+            view.setflags(write=True)
 
     def test_rejects_empty_and_bad_parameters(self):
         with pytest.raises(ReproError):

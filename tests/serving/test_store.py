@@ -288,6 +288,17 @@ class TestPrune:
         for k in keys[3:]:
             assert store.get(k) is not None
 
+    def test_prune_keeping_at_least_everything_is_a_noop(self, tmp_path):
+        store = ReleaseStore(tmp_path)
+        keys = self.put_n(store, 3)
+        # keep_latest beyond the store size must not wrap around into a
+        # deletion (a negative slice start would).
+        for keep in (3, 4, 5, 100):
+            assert store.prune(keep_latest=keep) == []
+        assert store.keys() == keys
+        for k in keys:
+            assert store.get(k) is not None
+
     def test_prune_deletes_artifact_files(self, tmp_path):
         store = ReleaseStore(tmp_path)
         self.put_n(store, 3)

@@ -119,6 +119,21 @@ class TestAccountingAndFailure:
         assert engine.pending_rows == 10
         assert engine.epoch == 0
 
+    def test_exhausted_budget_advance_with_no_refresh_stays_a_free_no_op(
+        self, counts
+    ):
+        engine = engine_for(
+            counts, total_epsilon=0.4, schedule=FixedEpsilonSchedule(0.4)
+        )
+        assert engine.spent_epsilon == 0.4  # lifetime exhausted by epoch 0
+        # A periodic poll with an empty (or sub-threshold) backlog charges
+        # nothing, so it must return None per the contract, not raise.
+        assert engine.advance_epoch() is None
+        engine.ingest(np.full(10, 0))
+        with pytest.raises(PrivacyBudgetError, match="lifetime"):
+            engine.advance_epoch()
+        assert engine.pending_rows == 10
+
     def test_failed_build_restores_rows_and_charges_nothing(self, counts, monkeypatch):
         engine = engine_for(counts)
         engine.ingest(np.full(10, 0))
@@ -141,6 +156,30 @@ class TestAccountingAndFailure:
     def test_refresh_rows_validated(self, counts):
         with pytest.raises(ReproError, match="refresh_rows"):
             engine_for(counts, refresh_rows=0)
+
+    def test_post_spend_failure_restores_rows_for_the_next_epoch(
+        self, counts, monkeypatch
+    ):
+        engine = engine_for(counts)
+        engine.ingest(np.full(10, 0))
+
+        import repro.sharding.streaming as streaming_module
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("assembly exploded")
+
+        monkeypatch.setattr(streaming_module, "ShardedRelease", boom)
+        with pytest.raises(RuntimeError):
+            engine.advance_epoch()
+        # ε was charged (the documented residual), but the epoch was not
+        # published and the folded rows rejoined the backlog.
+        assert engine.spent_epsilon == pytest.approx(0.4 + 0.2)
+        assert engine.pending_rows == 10
+        assert engine.epoch == 0
+        monkeypatch.undo()
+        record = engine.advance_epoch()
+        assert record.epoch == 1
+        assert record.rows_ingested == 10
 
 
 class TestDurability:
@@ -186,6 +225,39 @@ class TestDurability:
         engine_for(counts, tmp_path)
         with pytest.raises(ReproError, match="shards"):
             engine_for(counts, tmp_path, num_shards=8)
+
+    def test_resume_requires_matching_estimator(self, counts, tmp_path):
+        engine_for(counts, tmp_path)
+        with pytest.raises(ReproError, match="estimator and branching"):
+            engine_for(counts, tmp_path, estimator="hierarchical")
+
+    def test_resume_requires_matching_branching(self, counts, tmp_path):
+        engine_for(counts, tmp_path)
+        with pytest.raises(ReproError, match="estimator and branching"):
+            engine_for(counts, tmp_path, branching=4)
+
+    def test_resume_requires_matching_base_seed(self, counts, tmp_path):
+        engine_for(counts, tmp_path)
+        with pytest.raises(ReproError, match="seed schedule"):
+            engine_for(counts, tmp_path, seed=4)
+
+    def test_resume_requires_matching_epsilon_schedule(self, counts, tmp_path):
+        engine_for(counts, tmp_path)  # geometric 0.4 * 0.5^i
+        with pytest.raises(ReproError, match="schedule"):
+            engine_for(counts, tmp_path, schedule=FixedEpsilonSchedule(0.3))
+
+    def test_resume_validates_against_each_shards_refresh_epoch(
+        self, counts, tmp_path
+    ):
+        # A partial refresh leaves shards whose seeds derive from
+        # *different* epochs; a matching resume must accept the mix.
+        engine = engine_for(counts, tmp_path)
+        engine.ingest(np.full(30, 10))  # refresh only shard 0 in epoch 1
+        assert engine.advance_epoch().refreshed == (0,)
+        current = counts.copy()
+        current[10] += 30
+        resumed = engine_for(current, tmp_path)
+        assert resumed.epoch == 1
 
     def test_missing_shard_artifact_fails_loudly(self, counts, tmp_path):
         from repro.serving.store import _key_id
