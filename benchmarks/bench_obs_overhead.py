@@ -1,0 +1,195 @@
+"""Observability overhead: instrumented serving must stay within 5% of bare.
+
+The no-op fast path claims a *disabled* deployment pays one module
+attribute read and a branch per instrumented site (proved allocation-free
+in ``tests/obs/test_noop_fastpath.py``).  This benchmark pins down the
+other side: with observability **enabled**, the counters, histograms,
+and spans on the warm serving path must cost less than 5% of 100k-query
+batch throughput.
+
+Two gates:
+
+* answers from the instrumented engine are **bit-identical** to the bare
+  engine's — enforced at every scale, including the tiny CI smoke;
+* enabled-vs-bare wall-clock overhead on the warm submit loop is < 5% —
+  enforced at the full 100k-query size.  ``REPRO_OBS_BENCH_QUERIES``
+  shrinks the batch for the CI smoke, where microsecond-scale loops are
+  dominated by scheduler noise, so only the exactness gate applies.
+
+Methodology: the *same* engine is timed in short alternating rounds with
+only the obs flag toggled (order swapped every pair), and the overhead
+is the median of the paired per-round deltas over the median bare round
+— a statistic that survives CPU-frequency drift and noisy neighbours
+where a plain before/after split does not.  Because the instrumentation
+cost is tens of microseconds against a sub-millisecond submit, a single
+attempt can still land in a bad scheduling window, so the gate takes the
+best of up to three attempts; a real regression fails all of them.
+
+Results land in ``results/BENCH_obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.data.nettrace import NetTraceGenerator
+from repro.serving import HistogramEngine, QueryBatch
+
+NUM_QUERIES = 100_000
+#: warm submits per timed round; short rounds land in clean scheduler windows
+SUBMITS_PER_ROUND = 5
+#: alternating bare/instrumented round pairs per attempt
+ROUNDS = 40
+#: measurement attempts; the gate takes the best (noise passes, regressions fail)
+ATTEMPTS = 3
+EPSILON = 0.25
+SEED = 7
+OVERHEAD_LIMIT = 0.05
+
+
+def _query_count() -> tuple[int, bool]:
+    """The benchmark batch size and whether the CI override shrank it."""
+    raw = os.environ.get("REPRO_OBS_BENCH_QUERIES")
+    if raw is None:
+        return NUM_QUERIES, False
+    try:
+        count = int(raw)
+    except ValueError:
+        raise RuntimeError(
+            f"REPRO_OBS_BENCH_QUERIES must be an integer, got {raw!r}"
+        ) from None
+    if count < 1:
+        raise RuntimeError(
+            f"REPRO_OBS_BENCH_QUERIES must be positive, got {count}"
+        )
+    return count, True
+
+
+@pytest.fixture(scope="module")
+def counts(scale):
+    generator = NetTraceGenerator(
+        num_active_hosts=scale.nettrace_hosts,
+        domain_bits=scale.universal_domain_bits,
+    )
+    return generator.generate(np.random.default_rng(0)).counts
+
+
+def _measure_overhead(warm_round) -> tuple[float, float, float]:
+    """One attempt: ``(overhead_fraction, bare_seconds, delta_seconds)``.
+
+    Alternating paired rounds on the same engine, toggling only the obs
+    flag; the paired delta cancels any disturbance slower than a round,
+    and the median discards rounds a scheduler tick landed in.  Assumes
+    an enclosing ``obs.session()``; leaves observability enabled.
+    """
+    bares, deltas = [], []
+    for round_index in range(ROUNDS):
+        if round_index % 2 == 0:
+            obs.disable()
+            bare = warm_round()
+            obs.enable()
+            instrumented = warm_round()
+        else:
+            obs.enable()
+            instrumented = warm_round()
+            obs.disable()
+            bare = warm_round()
+        obs.enable()
+        bares.append(bare)
+        deltas.append(instrumented - bare)
+    median_bare = statistics.median(bares)
+    median_delta = statistics.median(deltas)
+    return median_delta / median_bare, median_bare, median_delta
+
+
+def test_instrumented_overhead_under_five_percent(counts, report, report_json):
+    """Enabled observability costs < 5% on the warm 100k-query loop."""
+    num_queries, overridden = _query_count()
+    batch = QueryBatch.random(counts.size, num_queries, rng=1)
+    bare_engine = HistogramEngine(counts, total_epsilon=1.0)
+    obs_engine = HistogramEngine(counts, total_epsilon=1.0)
+
+    # Pay the cold build for both engines outside the timed loops, and
+    # pin the exactness contract: same seed, bit-identical answers
+    # whether or not telemetry is recording.
+    assert not obs.enabled()
+    bare_cold = bare_engine.submit(batch, "constrained", epsilon=EPSILON, seed=SEED)
+    with obs.session():
+        obs_cold = obs_engine.submit(
+            batch, "constrained", epsilon=EPSILON, seed=SEED
+        )
+    assert np.array_equal(bare_cold.answers, obs_cold.answers)
+
+    def warm_round() -> float:
+        start = time.perf_counter()
+        for _ in range(SUBMITS_PER_ROUND):
+            obs_engine.submit(batch, "constrained", epsilon=EPSILON, seed=SEED)
+        return (time.perf_counter() - start) / SUBMITS_PER_ROUND
+
+    overhead = float("inf")
+    bare_seconds = delta_seconds = 0.0
+    attempts = 0
+    with obs.session() as (registry, _):
+        for _ in range(ATTEMPTS):
+            attempts += 1
+            measured, bare, delta = _measure_overhead(warm_round)
+            if measured < overhead:
+                overhead, bare_seconds, delta_seconds = measured, bare, delta
+            if overhead < OVERHEAD_LIMIT:
+                break
+        warm = obs_engine.submit(batch, "constrained", epsilon=EPSILON, seed=SEED)
+        recorded = registry.value("repro_serve_queries_total", engine="histogram")
+    # The instrumented rounds must actually have been recording — a
+    # mis-scoped session would otherwise time the bare path twice.
+    assert recorded >= num_queries * SUBMITS_PER_ROUND * ROUNDS
+    assert np.array_equal(warm.answers, bare_cold.answers)
+
+    instrumented_seconds = bare_seconds + delta_seconds
+    rows = [
+        {
+            "path": "bare",
+            "seconds_per_submit": round(bare_seconds, 6),
+            "qps": int(num_queries / bare_seconds),
+        },
+        {
+            "path": "instrumented",
+            "seconds_per_submit": round(instrumented_seconds, 6),
+            "qps": int(num_queries / instrumented_seconds),
+        },
+    ]
+    report(
+        "obs_overhead",
+        rows,
+        title=(
+            f"Warm serving of {num_queries} queries, observability off vs on "
+            f"(overhead {overhead * 100:+.2f}%)"
+        ),
+    )
+    report_json(
+        "obs_overhead",
+        {
+            "num_queries": num_queries,
+            "submits_per_round": SUBMITS_PER_ROUND,
+            "rounds": ROUNDS,
+            "attempts_used": attempts,
+            "bare_seconds_per_submit": round(bare_seconds, 6),
+            "instrumented_seconds_per_submit": round(instrumented_seconds, 6),
+            "delta_seconds_per_submit": round(delta_seconds, 6),
+            "bare_qps": int(num_queries / bare_seconds),
+            "instrumented_qps": int(num_queries / instrumented_seconds),
+            "overhead_fraction": round(overhead, 4),
+            "limit_fraction": OVERHEAD_LIMIT,
+            "timing_gate_enforced": not overridden,
+        },
+    )
+    if not overridden:
+        assert overhead < OVERHEAD_LIMIT, (
+            f"enabled observability costs {overhead * 100:.2f}% on the warm "
+            f"submit loop (limit {OVERHEAD_LIMIT * 100:.0f}%)"
+        )

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -31,6 +33,50 @@ import pytest
 from repro.analysis.tables import render_table, write_csv
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Version of the shared ``BENCH_*.json`` report envelope; bump on layout
+#: changes so trajectory tooling can dispatch on it.
+REPORT_SCHEMA_VERSION = 1
+
+
+def _git_rev() -> str:
+    """The current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def report_envelope(name: str, payload: dict) -> dict:
+    """Wrap one benchmark's metrics in the shared report envelope.
+
+    Every ``results/BENCH_*.json`` carries the same outer shape — schema
+    version, benchmark name, git revision, and machine info — so
+    cross-PR trajectory tooling can diff runs without per-benchmark
+    parsing. The benchmark's own metrics live under ``results``.
+    """
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "benchmark": name,
+        "git_rev": _git_rev(),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "processor": platform.processor(),
+        },
+        "results": payload,
+    }
 
 
 @dataclass(frozen=True)
@@ -109,13 +155,18 @@ def report_json():
 
     Writes ``results/BENCH_<name>.json`` so successive PRs can track the
     repo's performance trajectory (wall-clock, throughput, speedups)
-    without parsing the human-oriented text tables.
+    without parsing the human-oriented text tables.  The payload is
+    wrapped in :func:`report_envelope` (schema version, git revision,
+    machine info) with the benchmark's metrics under ``results``.
     """
 
     def _report_json(name: str, payload: dict) -> Path:
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         path = RESULTS_DIR / f"BENCH_{name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        path.write_text(
+            json.dumps(report_envelope(name, payload), indent=2, sort_keys=True)
+            + "\n"
+        )
         print(f"\n[bench] wrote {path}")
         return path
 

@@ -58,12 +58,24 @@ with zero ε after a restart::
 The stream directory holds *true, un-noised* data (the owner's current
 counts and pending arrivals) and must stay in the owner's trust domain;
 the store and lineage hold only ε-charged releases and are safe to share.
+
+The observability commands (:mod:`repro.obs`) run an instrumented mixed
+workload — a static engine served cold then warm, one sharded build,
+and one stream epoch — under a scoped metrics/tracing session:
+``stats`` prints the per-tenant rollup, span timings, and ε-ledger;
+``export-metrics`` emits the same telemetry as Prometheus text
+exposition (default) or JSON, with every ledger total bit-equal to the
+privacy accountants' own sums::
+
+    python -m repro.cli stats --store releases/
+    python -m repro.cli export-metrics --format json --out metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
+import json
 import re
 import sys
 from pathlib import Path
@@ -71,12 +83,14 @@ from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.tables import render_table, write_csv
 from repro.core.tasks import UnattributedHistogramTask, UniversalHistogramTask
 from repro.data.registry import default_registry
 from repro.data.synthetic import arrival_stream
 from repro.db.histogram import delta_counts
 from repro.exceptions import ReproError
+from repro.obs import EpsilonLedgerExporter
 from repro.serving import (
     ESTIMATOR_NAMES,
     BatchQueryPlanner,
@@ -247,6 +261,73 @@ def _write_answers(batch: QueryBatch, answers: np.ndarray, out: str | None) -> N
         print(f"estimates: {preview}{suffix}")
 
 
+# -- unified serving stats -----------------------------------------------------
+
+
+def _registry_serving_stats(kind: str) -> dict:
+    """Per-process serving figures for one engine kind, read back from the
+    metrics-registry JSON snapshot.
+
+    The ``serve-store`` / ``serve-stream`` / ``serve-sharded`` stats
+    block is rendered from the same counters and histograms that
+    ``export-metrics`` publishes, so the human-readable output and the
+    machine exposition cannot drift apart.
+    """
+    snapshot = obs.registry().snapshot()
+
+    def sample(section: str, name: str) -> dict | None:
+        family = snapshot.get(section, {}).get(name)
+        if family is None:
+            return None
+        for candidate in family["samples"]:
+            if candidate["labels"] == {"engine": kind}:
+                return candidate
+        return None
+
+    def counter(name: str) -> float:
+        found = sample("counters", name)
+        return found["value"] if found else 0.0
+
+    def histogram_sum(name: str) -> float:
+        found = sample("histograms", name)
+        return found["sum"] if found else 0.0
+
+    return {
+        "batches": int(counter("repro_serve_batches_total")),
+        "queries": int(counter("repro_serve_queries_total")),
+        "cold_builds": int(counter("repro_serve_cold_builds_total")),
+        "answer_seconds": histogram_sum("repro_serve_answer_seconds"),
+        "build_seconds": histogram_sum("repro_serve_build_seconds"),
+    }
+
+
+def _print_serving_stats(
+    kind: str,
+    batch_name: str,
+    *,
+    via: str = "",
+    build_note: bool = False,
+    epsilon_line: str | None = None,
+) -> None:
+    """The one snapshot renderer behind every ``serve-*`` subcommand."""
+    stats = _registry_serving_stats(kind)
+    seconds = stats["answer_seconds"]
+    rate = (
+        f"{stats['queries'] / seconds:,.0f} queries/s" if seconds > 0 else "instant"
+    )
+    build = (
+        f"; release resolution took {stats['build_seconds'] * 1e3:.2f} ms"
+        if build_note
+        else ""
+    )
+    print(
+        f"answered {stats['queries']} range queries ({batch_name}){via} in "
+        f"{seconds * 1e3:.2f} ms ({rate}){build}"
+    )
+    if epsilon_line is not None:
+        print(epsilon_line)
+
+
 def _cmd_serve_store(args: argparse.Namespace) -> int:
     counts = _load_counts(args, task="universal")
     total = args.total_epsilon if args.total_epsilon is not None else args.epsilon
@@ -257,31 +338,29 @@ def _cmd_serve_store(args: argparse.Namespace) -> int:
         store=ReleaseStore(args.store),
     )
     batch = _resolve_batch(args, engine.domain_size)
-    result = engine.submit(batch, args.estimator, epsilon=args.epsilon, seed=args.seed)
-    if engine.materializations == 0:
-        print(
-            f"warm start from {args.store}: release loaded from disk — "
-            "0 materializations, zero additional privacy cost"
+    with obs.session():
+        result = engine.submit(
+            batch, args.estimator, epsilon=args.epsilon, seed=args.seed
         )
-    else:
-        print(
-            f"cold start: materialized {result.estimator} (ε={result.epsilon:g}) "
-            f"and persisted it to {args.store}"
+        if engine.materializations == 0:
+            print(
+                f"warm start from {args.store}: release loaded from disk — "
+                "0 materializations, zero additional privacy cost"
+            )
+        else:
+            print(
+                f"cold start: materialized {result.estimator} (ε={result.epsilon:g}) "
+                f"and persisted it to {args.store}"
+            )
+        _print_serving_stats(
+            "histogram",
+            batch.name,
+            build_note=True,
+            epsilon_line=(
+                f"materializations this process: {engine.materializations}; "
+                f"ε spent this process: {engine.spent_epsilon:g}"
+            ),
         )
-    print(
-        f"materializations this process: {engine.materializations}; "
-        f"ε spent this process: {engine.spent_epsilon:g}"
-    )
-    rate = (
-        f"{result.queries_per_second:,.0f} queries/s"
-        if result.answer_seconds > 0
-        else "instant"
-    )
-    print(
-        f"answered {result.num_queries} range queries ({batch.name}) in "
-        f"{result.answer_seconds * 1e3:.2f} ms ({rate}); release resolution took "
-        f"{result.build_seconds * 1e3:.2f} ms"
-    )
     _write_answers(batch, result.answers, args.out)
     return 0
 
@@ -611,28 +690,24 @@ def _cmd_serve_stream(args: argparse.Namespace) -> int:
             engine.ingest(batch_indexes)
             engine.advance_epoch()
     batch = _resolve_batch(args, engine.domain_size)
-    result = engine.submit(batch)
-    if warm_started:
-        print(
-            f"warm start from {args.store}: serving epoch {engine.epoch} from "
-            "the stored lineage — zero ε spent at startup"
+    with obs.session():
+        result = engine.submit(batch)
+        if warm_started:
+            print(
+                f"warm start from {args.store}: serving epoch {engine.epoch} from "
+                "the stored lineage — zero ε spent at startup"
+            )
+        _print_lineage(engine)
+        _print_serving_stats(
+            "stream",
+            batch.name,
+            via=f" from epoch {result.epoch} (ε={result.epsilon:g})",
+            epsilon_line=(
+                f"ε spent this process: {engine.spent_epsilon:g}; stream total "
+                f"across epochs: {engine.lineage.spent_epsilon:g} "
+                f"(schedule limit {_stream_schedule(args).infinite_total:g})"
+            ),
         )
-    _print_lineage(engine)
-    rate = (
-        f"{result.queries_per_second:,.0f} queries/s"
-        if result.answer_seconds > 0
-        else "instant"
-    )
-    print(
-        f"answered {result.num_queries} range queries ({batch.name}) from "
-        f"epoch {result.epoch} (ε={result.epsilon:g}) in "
-        f"{result.answer_seconds * 1e3:.2f} ms ({rate})"
-    )
-    print(
-        f"ε spent this process: {engine.spent_epsilon:g}; stream total across "
-        f"epochs: {engine.lineage.spent_epsilon:g} "
-        f"(schedule limit {_stream_schedule(args).infinite_total:g})"
-    )
     _write_answers(batch, result.answers, args.out)
     return 0
 
@@ -694,18 +769,148 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
     counts = _load_counts(args, task="universal")
     engine = _sharded_engine(args, counts)
     batch = _resolve_batch(args, engine.domain_size)
-    result = engine.submit(batch, args.estimator, epsilon=args.epsilon, seed=args.seed)
-    _print_sharded_build(args, engine, result.build_seconds)
-    rate = (
-        f"{result.queries_per_second:,.0f} queries/s"
-        if result.answer_seconds > 0
-        else "instant"
-    )
-    print(
-        f"answered {result.num_queries} range queries ({batch.name}) through "
-        f"the shard router in {result.answer_seconds * 1e3:.2f} ms ({rate})"
-    )
+    with obs.session():
+        result = engine.submit(
+            batch, args.estimator, epsilon=args.epsilon, seed=args.seed
+        )
+        _print_sharded_build(args, engine, result.build_seconds)
+        _print_serving_stats("sharded", batch.name, via=" through the shard router")
     _write_answers(batch, result.answers, args.out)
+    return 0
+
+
+# -- observability commands ----------------------------------------------------
+
+
+def _obs_workload(args: argparse.Namespace) -> EngineFleet:
+    """The mixed serving workload the observability commands instrument.
+
+    One fleet exercises every tier: a static engine answers the same
+    batch cold then warm, a sharded engine performs one materialization
+    and routes a batch through the shard router, and a streaming tenant
+    ingests arrivals and advances one epoch.  Every ε is a negative
+    power of two, so float summation is exact and each ledger total in
+    the export is bit-equal to the accountants' own running sums.
+    """
+    rng = as_generator(args.seed)
+    static_counts = rng.poisson(3.0, size=512).astype(np.float64)
+    sharded_counts = rng.poisson(3.0, size=512).astype(np.float64)
+    stream_counts = rng.poisson(3.0, size=512).astype(np.float64)
+    store = ReleaseStore(args.store) if args.store else None
+    fleet = EngineFleet(store=store)
+    static = fleet.register("static", static_counts, 0.5)
+    batch = QueryBatch.random(static.domain_size, args.random, rng=args.query_seed)
+    fleet.submit("static", batch, "constrained", epsilon=0.25, seed=args.seed)
+    fleet.submit("static", batch, "constrained", epsilon=0.25, seed=args.seed)
+    fleet.register_sharded("sharded", sharded_counts, 0.5, num_shards=4)
+    fleet.submit("sharded", batch, "constrained", epsilon=0.5, seed=args.seed)
+    fleet.register_stream(
+        "stream",
+        stream_counts,
+        1.0,
+        schedule=GeometricEpsilonSchedule(0.25, decay=0.5),
+        seed=args.seed,
+    )
+    arrivals = next(arrival_stream(static.domain_size, 200, batches=1, rng=args.seed))
+    fleet.ingest("stream", arrivals)
+    fleet.advance_epoch("stream")
+    fleet.submit_stream("stream", batch)
+    return fleet
+
+
+def _checked_ledger(fleet: EngineFleet, stats) -> dict:
+    """The fleet's ε-ledger report, cross-checked against ``FleetStats``.
+
+    The exporter already audits each budget against its own history;
+    this adds the outer identity — the exported fleet total must be
+    bit-equal to the sum the serving rollup reports — so the CLI can
+    never publish telemetry that disagrees with the accounting.
+    """
+    ledger = EpsilonLedgerExporter().fleet_report(fleet)
+    if ledger["total_spent_epsilon"] != stats.spent_epsilon:
+        raise ReproError(
+            f"ε-ledger drift: exporter total {ledger['total_spent_epsilon']!r} "
+            f"!= fleet accounting {stats.spent_epsilon!r}"
+        )
+    return ledger
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with obs.session() as (registry, tracer):
+        fleet = _obs_workload(args)
+        stats = fleet.stats()  # publishes the per-tenant gauges
+        ledger = _checked_ledger(fleet, stats)
+        tenant_rows = [
+            {
+                "dataset": name,
+                "kind": report["kind"],
+                "requests": stats.per_dataset[name].requests,
+                "queries": stats.per_dataset[name].queries,
+                "cold_builds": stats.per_dataset[name].cold_builds,
+                "epsilon_spent": report["spent_epsilon"],
+                "epsilon_budget": report["total_epsilon"],
+            }
+            for name, report in sorted(ledger["datasets"].items())
+        ]
+        print(render_table(tenant_rows, title="Observed mixed workload (per tenant)"))
+        spans: dict[str, dict] = {}
+        for event in tracer.events():
+            entry = spans.setdefault(
+                event.name, {"span": event.name, "count": 0, "total_ms": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_ms"] += event.duration * 1e3
+        span_rows = [
+            {**entry, "total_ms": round(entry["total_ms"], 3)}
+            for _, entry in sorted(spans.items())
+        ]
+        print(render_table(span_rows, title="Span timings"))
+        counter_rows = [
+            {"counter": name, "labels": sample["labels"], "value": sample["value"]}
+            for name, family in registry.snapshot()["counters"].items()
+            for sample in family["samples"]
+        ]
+        print(render_table(counter_rows, title="Counters"))
+        print(
+            f"ε-ledger total: {ledger['total_spent_epsilon']:g} across "
+            f"{stats.datasets} tenants ({stats.streams} streams, "
+            f"{stats.epochs} epochs) — bit-equal to the fleet accounting"
+        )
+    return 0
+
+
+def _cmd_export_metrics(args: argparse.Namespace) -> int:
+    with obs.session() as (registry, tracer):
+        fleet = _obs_workload(args)
+        stats = fleet.stats()  # publishes the per-tenant gauges
+        ledger = _checked_ledger(fleet, stats)
+        if args.format == "json":
+            text = (
+                json.dumps(
+                    {
+                        "epsilon_ledger": ledger,
+                        "metrics": registry.snapshot(),
+                        "spans": [event.to_json() for event in tracer.events()],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        else:
+            text = registry.render_prometheus()
+    if args.out:
+        try:
+            Path(args.out).write_text(text)
+        except OSError as error:
+            raise ReproError(
+                f"cannot write metrics to {args.out}: {error}"
+            ) from error
+        # the exposition itself is the stdout payload, so chatter goes
+        # to stderr where it cannot corrupt a piped scrape
+        print(f"wrote {args.format} metrics to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -853,6 +1058,24 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--query-seed", type=int, default=0, help="seed for --random query generation"
+    )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Workload-shape options shared by the observability commands."""
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="optional release store directory shared by the workload "
+        "(a second run against it warm-starts every tenant)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--random", type=int, default=1000, metavar="N",
+        help="random ranges per submitted batch",
+    )
+    parser.add_argument(
+        "--query-seed", type=int, default=0, help="seed for query generation"
     )
 
 
@@ -1046,6 +1269,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_query_arguments(serve_stream)
     serve_stream.set_defaults(handler=_cmd_serve_stream)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="run an instrumented mixed workload and print the per-tenant "
+        "rollup, span timings, and ε-ledger",
+    )
+    _add_obs_arguments(stats)
+    stats.set_defaults(handler=_cmd_stats)
+
+    export_metrics = subparsers.add_parser(
+        "export-metrics",
+        help="run an instrumented mixed workload and export its metrics and "
+        "ε-ledger as Prometheus text or JSON",
+    )
+    _add_obs_arguments(export_metrics)
+    export_metrics.add_argument(
+        "--format",
+        default="prometheus",
+        choices=["prometheus", "json"],
+        help="output format: Prometheus text exposition (default) or a JSON "
+        "document with metrics, spans, and the full ε-ledger",
+    )
+    export_metrics.add_argument(
+        "--out", help="write the exposition to this path instead of stdout"
+    )
+    export_metrics.set_defaults(handler=_cmd_export_metrics)
 
     datasets = subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
     datasets.set_defaults(handler=_cmd_datasets)

@@ -1,0 +1,148 @@
+"""End-to-end observability: metrics, span tracing, and ε-ledger export.
+
+This package is the telemetry substrate of the serving stack.  It owns
+three independent primitives —
+
+* :class:`~repro.obs.metrics.MetricsRegistry`: thread-safe counters,
+  gauges, and fixed-bucket latency histograms, exportable as Prometheus
+  text exposition or JSON;
+* :class:`~repro.obs.trace.Tracer`: context-managed spans with monotonic
+  timings, per-thread nesting, a ring buffer, and an optional JSON-lines
+  file sink;
+* :class:`~repro.obs.ledger.EpsilonLedgerExporter`: machine-readable
+  audit reports of any :class:`~repro.privacy.budget.PrivacyBudget`
+  spend trail, cross-checked against the durable stream lineages —
+
+plus the module-level default registry/tracer the engines report into.
+
+**The no-op fast path is the contract.**  Observability is *disabled* by
+default; every instrumented call site in the serving, streaming, and
+sharding engines guards with ``if obs.enabled():`` before touching the
+registry or tracer, so a disabled deployment pays one module-attribute
+read and a branch per site — zero allocations, zero calls into the
+telemetry objects, and bit-identical answers.  Enabling at runtime
+(:func:`enable`, or the :func:`session` context manager the CLI uses)
+flips the single flag; nothing about the engines changes shape.
+
+This package must stay import-free of the engine layers (``serving``,
+``streaming``, ``sharding`` import *it*, never the reverse).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.ledger import LEDGER_REPORT_VERSION, EpsilonLedgerExporter
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from repro.obs.trace import SpanEvent, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "LEDGER_REPORT_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanEvent",
+    "Tracer",
+    "EpsilonLedgerExporter",
+    "parse_prometheus_text",
+    "enabled",
+    "enable",
+    "disable",
+    "registry",
+    "tracer",
+    "set_registry",
+    "set_tracer",
+    "reset",
+    "session",
+]
+
+_enabled: bool = False
+_registry: MetricsRegistry = MetricsRegistry()
+_tracer: Tracer = Tracer()
+
+
+def enabled() -> bool:
+    """Whether instrumented call sites should report (the hot-path gate)."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn on reporting into the current default registry and tracer."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn off reporting; the registry and tracer keep their contents."""
+    global _enabled
+    _enabled = False
+
+
+def registry() -> MetricsRegistry:
+    """The default registry instrumented call sites report into."""
+    return _registry
+
+
+def tracer() -> Tracer:
+    """The default tracer instrumented call sites open spans on."""
+    return _tracer
+
+
+def set_registry(new: MetricsRegistry) -> MetricsRegistry:
+    """Install ``new`` as the default registry, returning the previous one.
+
+    Independent of :func:`enabled` on purpose: tests install counting
+    doubles while observability stays disabled to prove the no-op fast
+    path really performs zero telemetry calls.
+    """
+    global _registry
+    previous, _registry = _registry, new
+    return previous
+
+
+def set_tracer(new: Tracer) -> Tracer:
+    """Install ``new`` as the default tracer, returning the previous one."""
+    global _tracer
+    previous, _tracer = _tracer, new
+    return previous
+
+
+def reset() -> None:
+    """Disable reporting and replace the defaults with fresh, empty ones."""
+    global _enabled, _registry, _tracer
+    _enabled = False
+    _registry = MetricsRegistry()
+    _tracer = Tracer()
+
+
+@contextmanager
+def session(trace_sink=None, trace_capacity: int = 4096):
+    """Enable observability into fresh defaults for one scoped workload.
+
+    Yields ``(registry, tracer)``; on exit the previous defaults and
+    enabled state are restored exactly, so a CLI command (or test) can
+    collect an isolated set of metrics without leaking state into the
+    process-wide defaults.
+    """
+    global _enabled
+    fresh_registry = MetricsRegistry()
+    fresh_tracer = Tracer(capacity=trace_capacity, sink=trace_sink)
+    previous_registry = set_registry(fresh_registry)
+    previous_tracer = set_tracer(fresh_tracer)
+    previous_enabled = _enabled
+    _enabled = True
+    try:
+        yield fresh_registry, fresh_tracer
+    finally:
+        _enabled = previous_enabled
+        set_registry(previous_registry)
+        set_tracer(previous_tracer)

@@ -1,0 +1,175 @@
+"""Machine-readable ε-ledger reports with built-in consistency audits.
+
+The privacy guarantee of a long-lived deployment *is* its spend trail:
+the interaction is (Σεᵢ)-DP for the εᵢ actually charged.  The
+:class:`EpsilonLedgerExporter` renders that trail — per budget, per
+stream (including the cross-restart lineage ledger), or across a whole
+fleet — as a plain-dict audit report, and refuses to export a ledger
+that fails its own cross-checks:
+
+* the budget's O(1) running total must be **bit-equal** to re-summing
+  its recorded history left to right (the
+  :func:`~repro.privacy.audit.audit_spend_trail` drift check);
+* a stream's in-process charges must match the tail of its durable
+  lineage ε-for-ε, with every label carrying the ``epoch`` prefix —
+  proving no epoch double-charged and no charge bypassed the lineage;
+* an explicit expected schedule, when supplied, is enforced exactly.
+
+Everything in a report is derived from accounting outputs (labels, ε
+values, lineage identities) — never from true counts — so reports are
+safe to persist, ship, and diff.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.exceptions import ExperimentError
+from repro.privacy.audit import audit_spend_trail
+
+__all__ = ["LEDGER_REPORT_VERSION", "EpsilonLedgerExporter"]
+
+#: Version of the ledger report schema; bump when the layout changes.
+LEDGER_REPORT_VERSION = 1
+
+
+class EpsilonLedgerExporter:
+    """Renders :class:`~repro.privacy.budget.PrivacyBudget` spend trails.
+
+    Stateless; every method takes the accountant (budget, stream, or
+    fleet) to export and returns a JSON-ready dict.
+    """
+
+    # -- single budget ---------------------------------------------------------
+
+    def budget_report(
+        self,
+        budget,
+        name: str = "budget",
+        expected_epsilons=None,
+        label_prefix: str | None = None,
+    ) -> dict:
+        """One budget's full spend trail, cross-checked before export.
+
+        ``expected_epsilons`` / ``label_prefix`` forward to
+        :func:`~repro.privacy.audit.audit_spend_trail` for an exact
+        schedule audit; without them only the running-total drift check
+        runs.  Raises :class:`~repro.exceptions.ExperimentError` on any
+        discrepancy — a ledger that fails its own audit must never be
+        exported as if it were sound.
+        """
+        history = budget.history
+        checks = ["running-total"]
+        if expected_epsilons is not None:
+            audit_spend_trail(budget, expected_epsilons, label_prefix=label_prefix)
+            checks.append("schedule")
+        resummed = 0.0
+        for spend in history:
+            resummed += spend.epsilon
+        if resummed != budget.spent_epsilon:
+            raise ExperimentError(
+                f"budget {name!r} reports spent ε={budget.spent_epsilon!r} but "
+                f"its history re-sums to {resummed!r}; refusing to export a "
+                f"drifted ledger"
+            )
+        return {
+            "kind": "budget",
+            "name": name,
+            "total_epsilon": budget.total.epsilon,
+            "delta": budget.total.delta,
+            "spent_epsilon": budget.spent_epsilon,
+            "remaining_epsilon": budget.remaining_epsilon,
+            "spends": [
+                {"label": spend.label, "epsilon": spend.epsilon}
+                for spend in history
+            ],
+            "checks": checks,
+        }
+
+    # -- streams ---------------------------------------------------------------
+
+    def stream_report(self, stream, name: str | None = None) -> dict:
+        """A streaming tenant's ledger: lineage plus in-process budget.
+
+        Works for both the monolithic and the sharded streaming engine
+        (anything exposing ``name``, ``budget``, and ``lineage`` with
+        epoch records).  The in-process spends are audited against the
+        *tail* of the lineage — after a warm restart the process budget
+        holds only the epochs built since, and each must match its
+        lineage record's ε exactly under an ``epoch`` label prefix.
+        """
+        name = stream.name if name is None else name
+        records = stream.lineage.records
+        history = stream.budget.history
+        if len(history) > len(records):
+            raise ExperimentError(
+                f"stream {name!r} charged {len(history)} epochs in-process but "
+                f"its lineage records only {len(records)}; a charge bypassed "
+                f"the lineage"
+            )
+        tail = [record.epsilon for record in records[len(records) - len(history):]]
+        report = self.budget_report(
+            stream.budget,
+            name=name,
+            expected_epsilons=tail,
+            label_prefix="epoch" if history else None,
+        )
+        report["kind"] = "stream"
+        report["checks"].append("lineage-tail")
+        report["lifetime_spent_epsilon"] = stream.lineage.spent_epsilon
+        report["epochs"] = [self._epoch_entry(record) for record in records]
+        return report
+
+    @staticmethod
+    def _epoch_entry(record) -> dict:
+        entry = {
+            "epoch": record.epoch,
+            "epsilon": record.epsilon,
+            "rows_ingested": record.rows_ingested,
+            "total_rows": record.total_rows,
+        }
+        refreshed = getattr(record, "refreshed", None)
+        if refreshed is not None:
+            entry["refreshed_shards"] = list(refreshed)
+        return entry
+
+    # -- fleets ----------------------------------------------------------------
+
+    def fleet_report(self, fleet) -> dict:
+        """Every tenant's ledger plus fleet-wide totals.
+
+        Tenants are reported in sorted-name order; the fleet totals sum
+        the per-tenant totals in that same order, so the report is a
+        deterministic function of the fleet's accounting state.
+        """
+        stream_names = set(fleet.stream_names())
+        datasets = {}
+        spent = 0.0
+        total = 0.0
+        for name in fleet.names():
+            if name in stream_names:
+                datasets[name] = self.stream_report(fleet.stream(name))
+            else:
+                datasets[name] = self.budget_report(
+                    fleet.engine(name).budget, name=name
+                )
+            spent += datasets[name]["spent_epsilon"]
+            total += datasets[name]["total_epsilon"]
+        return {
+            "report": "epsilon-ledger",
+            "version": LEDGER_REPORT_VERSION,
+            "datasets": datasets,
+            "total_spent_epsilon": spent,
+            "total_budget_epsilon": total,
+        }
+
+    # -- rendering -------------------------------------------------------------
+
+    @staticmethod
+    def render_json(report: dict) -> str:
+        """A report as deterministic, bit-faithful JSON text.
+
+        ``json`` round-trips float64 exactly (repr-based), so the ε
+        totals a consumer parses back are bit-equal to the accountant's.
+        """
+        return json.dumps(report, indent=2, sort_keys=True)

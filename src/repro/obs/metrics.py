@@ -1,0 +1,460 @@
+"""Thread-safe metric families: counters, gauges, latency histograms.
+
+A :class:`MetricsRegistry` owns a set of named metric *families*, each
+holding one sample per label combination.  Families are created lazily
+(``registry.counter("repro_cache_hits_total")`` returns the existing
+family or registers it) and every mutation is lock-protected, so hot
+paths on many threads can share one default registry.
+
+Two export surfaces, both read-consistent per family:
+
+* :meth:`MetricsRegistry.render_prometheus` — the text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  histogram ``_bucket``/``_sum``/``_count`` series with a ``+Inf``
+  bucket);
+* :meth:`MetricsRegistry.snapshot` — a plain-dict JSON document, the
+  machine-readable twin the CLI's unified stats renderer consumes.
+
+:func:`parse_prometheus_text` is the validating inverse used by the
+tests and the CI gate: it parses an exposition document back into
+samples and raises :class:`ValueError` on any malformed line.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+]
+
+#: Default histogram buckets (seconds): sub-millisecond serving latencies
+#: through multi-second cold builds, plus the implicit +Inf bucket.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _validate_name(name: str) -> str:
+    if not _METRIC_NAME.match(name or ""):
+        raise ReproError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: dict) -> tuple:
+    """Canonical (sorted) label tuple; validates names, stringifies values."""
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_NAME.match(key):
+            raise ReproError(f"invalid label name {key!r}")
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(label_items: tuple, extra: tuple = ()) -> str:
+    pairs = [*label_items, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+class _Family:
+    """Shared plumbing: name, help text, lock, per-label-set samples.
+
+    The first observation fixes the family's label-name set; later
+    observations with a different set raise, matching the Prometheus rule
+    that one family exposes one label schema.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _validate_name(name)
+        self.help = str(help)
+        self._lock = threading.Lock()
+        self._samples: dict = {}
+        self._label_names: tuple | None = None
+        #: raw kwargs-item tuple -> validated sample key; instrumented hot
+        #: paths pass the same literal labels every call, so resolution is
+        #: one dict hit instead of sort + regex + stringify per update
+        self._resolve_cache: dict = {}
+
+    def _resolve(self, labels: dict) -> tuple:
+        try:
+            cache_key = tuple(labels.items())
+            cached = self._resolve_cache.get(cache_key)
+        except TypeError:  # unhashable label value; take the slow path
+            cache_key = None
+            cached = None
+        if cached is not None:
+            return cached
+        key = _label_key(labels)
+        names = tuple(name for name, _ in key)
+        if self._label_names is None:
+            self._label_names = names
+        elif names != self._label_names:
+            raise ReproError(
+                f"metric {self.name!r} expects labels {self._label_names}, "
+                f"got {names}"
+            )
+        if cache_key is not None and len(self._resolve_cache) < 4096:
+            self._resolve_cache[cache_key] = key
+        return key
+
+    def labelsets(self) -> list:
+        with self._lock:
+            return list(self._samples)
+
+
+class Counter(_Family):
+    """A monotonically increasing sum, per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (>= 0) to the labeled sample."""
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        with self._lock:
+            key = self._resolve(labels)
+            self._samples[key] = self._samples.get(key, 0.0) + float(amount)
+
+    def value(self, **labels) -> float:
+        """The labeled sample's current value (0 before any increment)."""
+        with self._lock:
+            return float(self._samples.get(_label_key(labels), 0.0))
+
+
+class Gauge(_Family):
+    """A value that can go up and down, per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labeled sample to ``value``."""
+        with self._lock:
+            key = self._resolve(labels)
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (may be negative) to the labeled sample."""
+        with self._lock:
+            key = self._resolve(labels)
+            self._samples[key] = self._samples.get(key, 0.0) + float(amount)
+
+    def value(self, **labels) -> float:
+        """The labeled sample's current value (0 before any set)."""
+        with self._lock:
+            return float(self._samples.get(_label_key(labels), 0.0))
+
+
+class Histogram(_Family):
+    """Fixed-bucket cumulative histogram (latencies by default).
+
+    Each labeled sample keeps one count per finite bucket upper bound
+    plus the implicit ``+Inf`` bucket, a running sum, and a total count —
+    exactly the ``_bucket`` / ``_sum`` / ``_count`` series Prometheus
+    expects.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets=None) -> None:
+        super().__init__(name, help)
+        bounds = tuple(
+            float(b) for b in (DEFAULT_LATENCY_BUCKETS if buckets is None else buckets)
+        )
+        if not bounds:
+            raise ReproError(f"histogram {name!r} needs at least one bucket")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ReproError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the labeled sample."""
+        value = float(value)
+        with self._lock:
+            key = self._resolve(labels)
+            sample = self._samples.get(key)
+            if sample is None:
+                sample = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+                self._samples[key] = sample
+            # first bound >= value, or the +Inf slot past the last bound
+            placed = bisect_left(self.buckets, value)
+            sample["counts"][placed] += 1
+            sample["sum"] += value
+            sample["count"] += 1
+
+    def count(self, **labels) -> int:
+        """Total observations recorded for the labeled sample."""
+        with self._lock:
+            sample = self._samples.get(_label_key(labels))
+            return int(sample["count"]) if sample is not None else 0
+
+    def sum(self, **labels) -> float:
+        """Sum of all observed values for the labeled sample."""
+        with self._lock:
+            sample = self._samples.get(_label_key(labels))
+            return float(sample["sum"]) if sample is not None else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of metric families with two export formats."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, **kwargs)
+                self._families[name] = family
+                return family
+        if not isinstance(family, cls):
+            raise ReproError(
+                f"metric {name!r} is a {family.kind}, not a {cls.kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter family named ``name``, registering it if new."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge family named ``name``, registering it if new."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "", buckets=None) -> Histogram:
+        """The histogram family named ``name``, registering it if new."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def families(self) -> list[_Family]:
+        """Registered families, sorted by name."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def value(self, name: str, default: float = 0.0, **labels) -> float:
+        """Counter/gauge convenience lookup; ``default`` when unregistered."""
+        with self._lock:
+            family = self._families.get(name)
+        if family is None:
+            return default
+        if not isinstance(family, (Counter, Gauge)):
+            raise ReproError(f"metric {name!r} is a {family.kind}, not scalar")
+        return family.value(**labels)
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Every family's samples as a JSON-ready document."""
+        document: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for family in self.families():
+            with family._lock:
+                samples = {key: value for key, value in family._samples.items()}
+            if isinstance(family, Histogram):
+                document["histograms"][family.name] = {
+                    "help": family.help,
+                    "buckets": list(family.buckets),
+                    "samples": [
+                        {
+                            "labels": dict(key),
+                            "counts": list(sample["counts"]),
+                            "sum": sample["sum"],
+                            "count": sample["count"],
+                        }
+                        for key, sample in samples.items()
+                    ],
+                }
+            else:
+                section = "counters" if isinstance(family, Counter) else "gauges"
+                document[section][family.name] = {
+                    "help": family.help,
+                    "samples": [
+                        {"labels": dict(key), "value": value}
+                        for key, value in samples.items()
+                    ],
+                }
+        return document
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            with family._lock:
+                samples = {key: value for key, value in family._samples.items()}
+            if isinstance(family, Histogram):
+                for key, sample in samples.items():
+                    cumulative = 0
+                    for bound, count in zip(
+                        (*family.buckets, math.inf), sample["counts"]
+                    ):
+                        cumulative += count
+                        labels = _render_labels(
+                            key, (("le", _format_value(bound)),)
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{labels} {cumulative}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(key)} "
+                        f"{_format_value(sample['sum'])}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(key)} "
+                        f"{sample['count']}"
+                    )
+            else:
+                for key, value in samples.items():
+                    lines.append(
+                        f"{family.name}{_render_labels(key)} "
+                        f"{_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>.*)"$')
+
+
+def _split_label_body(body: str) -> list[str]:
+    """Split a label body on commas that are outside quoted values."""
+    pairs, current, in_quotes, escaped = [], [], False, False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        if char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return [pair.strip() for pair in pairs if pair.strip()]
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse (and validate) a Prometheus text exposition document.
+
+    Returns ``{(name, ((label, value), ...)): float}`` with labels in
+    document order.  Raises :class:`ValueError` on any line that is not a
+    valid comment, sample, or blank — the teeth behind the CI gate that
+    ``export-metrics`` output really is exposition format.
+    """
+    samples: dict = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(
+                    f"line {lineno}: malformed comment {raw!r} "
+                    f"(expected '# HELP name ...' or '# TYPE name kind')"
+                )
+            if parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in (
+                    "counter",
+                    "gauge",
+                    "histogram",
+                    "summary",
+                    "untyped",
+                ):
+                    raise ValueError(
+                        f"line {lineno}: unknown metric type in {raw!r}"
+                    )
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        labels = []
+        body = match.group("labels")
+        if body:
+            for pair in _split_label_body(body):
+                pair_match = _LABEL_PAIR.match(pair)
+                if pair_match is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed label pair {pair!r}"
+                    )
+                labels.append(
+                    (pair_match.group("name"), pair_match.group("value"))
+                )
+        value_text = match.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError as error:
+            raise ValueError(
+                f"line {lineno}: malformed value {value_text!r}"
+            ) from error
+        samples[(match.group("name"), tuple(labels))] = value
+    if not samples:
+        raise ValueError("document contains no samples")
+    return samples

@@ -1,0 +1,161 @@
+"""Span-based tracing with monotonic timings and a bounded event buffer.
+
+A :class:`Tracer` hands out context-managed *spans*::
+
+    with tracer.span("build_release", estimator="H_bar", shard=3):
+        ...
+
+Each span records a monotonic (``perf_counter``) start offset and
+duration, its nesting depth and parent (tracked per thread, so
+concurrent builds do not interleave each other's stacks), and arbitrary
+key/value attributes.  Closed spans become immutable
+:class:`SpanEvent` rows in a ring buffer (``deque(maxlen=...)``: old
+events fall off, tracing never grows without bound) and, when a file
+sink is attached, one JSON line per event — the JSON-lines stream a log
+shipper tails.
+
+Spans whose body raises still close (and are flagged ``error=True``),
+so a failed epoch build leaves the same timing evidence as a successful
+one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+
+__all__ = ["SpanEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One closed span: identity, nesting, monotonic timing, attributes."""
+
+    span_id: int
+    name: str
+    #: span id of the enclosing span on the same thread, or ``None``
+    parent_id: int | None
+    #: nesting depth on the recording thread (0 for a root span)
+    depth: int
+    #: monotonic seconds since the tracer was created
+    start_offset: float
+    duration: float
+    thread: str
+    error: bool = False
+    attributes: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_offset": self.start_offset,
+            "duration": self.duration,
+            "thread": self.thread,
+            "error": self.error,
+            "attributes": self.attributes,
+        }
+
+
+class Tracer:
+    """Thread-safe span recorder: ring buffer plus optional JSON-lines sink.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained in memory; older events are dropped
+        oldest-first (the file sink, when present, keeps everything).
+    sink:
+        Optional path of a JSON-lines file; every closed span is appended
+        as one JSON object per line.
+    """
+
+    def __init__(self, capacity: int = 4096, sink=None) -> None:
+        self.capacity = int(capacity)
+        self.sink = Path(sink) if sink is not None else None
+        self._origin = perf_counter()
+        self._events: deque[SpanEvent] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a named span; closes (and records) when the block exits."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack()
+        parent_id = stack[-1] if stack else None
+        depth = len(stack)
+        stack.append(span_id)
+        start = perf_counter()
+        error = False
+        try:
+            yield
+        except BaseException:
+            error = True
+            raise
+        finally:
+            duration = perf_counter() - start
+            stack.pop()
+            event = SpanEvent(
+                span_id=span_id,
+                name=str(name),
+                parent_id=parent_id,
+                depth=depth,
+                start_offset=start - self._origin,
+                duration=duration,
+                thread=threading.current_thread().name,
+                error=error,
+                attributes=dict(attributes),
+            )
+            self._record(event)
+
+    def _record(self, event: SpanEvent) -> None:
+        line = None
+        if self.sink is not None:
+            line = json.dumps(event.to_json(), sort_keys=True)
+        with self._lock:
+            self._events.append(event)
+            if line is not None:
+                with open(self.sink, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+
+    # -- introspection ---------------------------------------------------------
+
+    def events(self, name: str | None = None) -> list[SpanEvent]:
+        """Retained events oldest-first, optionally filtered by span name."""
+        with self._lock:
+            events = list(self._events)
+        if name is not None:
+            events = [event for event in events if event.name == name]
+        return events
+
+    def clear(self) -> None:
+        """Drop every retained event (the file sink is left untouched)."""
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Tracer(events={len(self)}, capacity={self.capacity}, "
+            f"sink={str(self.sink) if self.sink else None!r})"
+        )

@@ -32,6 +32,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro import obs
 from repro.exceptions import ReproError
 from repro.serving.release import MaterializedRelease, ReleaseKey
 
@@ -98,13 +99,23 @@ class ReleaseCache:
             release = self._entries.get(key)
             if release is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return release
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        if obs.enabled():
+            if release is None:
+                obs.registry().counter(
+                    "repro_cache_misses_total", "Release cache misses"
+                ).inc()
+            else:
+                obs.registry().counter(
+                    "repro_cache_hits_total", "Release cache hits"
+                ).inc()
+        return release
 
     def put(self, key: ReleaseKey, release: MaterializedRelease) -> None:
         """Insert (or refresh) a release, evicting the LRU entry if full."""
+        evicted_now = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -113,6 +124,11 @@ class ReleaseCache:
                 evicted, _ = self._entries.popitem(last=False)
                 self._unpersisted.discard(evicted)
                 self._evictions += 1
+                evicted_now += 1
+        if evicted_now and obs.enabled():
+            obs.registry().counter(
+                "repro_cache_evictions_total", "In-memory releases evicted"
+            ).inc(evicted_now)
 
     def get_or_build(
         self, key: ReleaseKey, builder: Callable[[], MaterializedRelease]
@@ -154,11 +170,17 @@ class ReleaseCache:
                     self._retry_persist(key, release)
                     return release
                 with self._lock:
-                    if self._build_locks.get(key) is not build_lock:
-                        # The build we were waiting on failed and retired
-                        # this lock; re-coordinate through the registry so
-                        # we never build alongside a newcomer's lock.
-                        continue
+                    stale_lock = self._build_locks.get(key) is not build_lock
+                if stale_lock:
+                    # The build we were waiting on failed and retired
+                    # this lock; re-coordinate through the registry so
+                    # we never build alongside a newcomer's lock.
+                    if obs.enabled():
+                        obs.registry().counter(
+                            "repro_cache_lock_retries_total",
+                            "Build-lock re-coordinations after a failed build",
+                        ).inc()
+                    continue
                 from_store = False
                 try:
                     release = self.store.get(key) if self.store is not None else None
@@ -179,6 +201,11 @@ class ReleaseCache:
                 if from_store:
                     with self._lock:
                         self._store_hits += 1
+                    if obs.enabled():
+                        obs.registry().counter(
+                            "repro_cache_store_hits_total",
+                            "Misses answered from the durable store (zero ε)",
+                        ).inc()
                 return release
 
     def _persist(self, key: ReleaseKey, release: MaterializedRelease) -> None:

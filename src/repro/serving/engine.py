@@ -32,6 +32,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.core.pipeline import PrivateSession
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
@@ -58,8 +59,62 @@ __all__ = [
     "canonical_estimator_name",
     "resolve_estimator",
     "compute_release_leaves",
+    "record_submit_metrics",
     "HistogramEngine",
 ]
+
+
+#: (registry, handles) pair backing :func:`record_submit_metrics`; the
+#: serve families are resolved once per registry instead of five
+#: get-or-create lookups per answered batch.  Racy rebuilds are benign
+#: (both threads compute the same handles for the same registry).
+_submit_metric_handles: tuple = (None, None)
+
+
+def _submit_handles(registry):
+    global _submit_metric_handles
+    cached_registry, handles = _submit_metric_handles
+    if cached_registry is not registry:
+        handles = (
+            registry.counter("repro_serve_batches_total", "Query batches answered"),
+            registry.counter("repro_serve_queries_total", "Range queries answered"),
+            registry.histogram(
+                "repro_serve_answer_seconds", "Batch answer latency (seconds)"
+            ),
+            registry.histogram(
+                "repro_serve_build_seconds",
+                "Release resolution latency per batch (seconds)",
+            ),
+            registry.counter(
+                "repro_serve_cold_builds_total",
+                "Batches whose release was built cold (charged ε)",
+            ),
+        )
+        _submit_metric_handles = (registry, handles)
+    return handles
+
+
+def record_submit_metrics(
+    engine_kind: str,
+    num_queries: int,
+    answer_seconds: float,
+    build_seconds: float = 0.0,
+    built: bool = False,
+) -> None:
+    """Report one answered batch into the default metrics registry.
+
+    Shared by every submit path (monolithic, sharded, streaming) so the
+    serve metric families carry one consistent ``engine`` label.  Callers
+    gate on :func:`repro.obs.enabled` — this function assumes reporting
+    is on.
+    """
+    batches, queries, answer, build, cold = _submit_handles(obs.registry())
+    batches.inc(engine=engine_kind)
+    queries.inc(num_queries, engine=engine_kind)
+    answer.observe(answer_seconds, engine=engine_kind)
+    build.observe(build_seconds, engine=engine_kind)
+    if built:
+        cold.inc(engine=engine_kind)
 
 #: CLI-friendly aliases accepted anywhere an estimator name is expected,
 #: mapped to the canonical paper names used in cache keys and releases.
@@ -312,7 +367,19 @@ class HistogramEngine:
                 f"{self.budget.remaining_epsilon:g} of "
                 f"{self.budget.total.epsilon:g} remains"
             )
-        leaves = self._compute_leaves(key)
+        if obs.enabled():
+            with obs.tracer().span(
+                "serve.build_release",
+                estimator=key.estimator,
+                epsilon=key.epsilon,
+            ):
+                leaves = self._compute_leaves(key)
+            obs.registry().counter(
+                "repro_release_builds_total",
+                "Cold private releases computed (ε charged)",
+            ).inc(estimator=key.estimator)
+        else:
+            leaves = self._compute_leaves(key)
         # ε is charged only once the release exists: a mechanism or
         # inference failure above spends nothing, and if a concurrent
         # build exhausted the budget meanwhile the freshly computed leaves
@@ -373,6 +440,10 @@ class HistogramEngine:
         self.stats.record_batch(
             len(batch), answer_seconds, build_seconds=build_seconds, cold=built
         )
+        if obs.enabled():
+            record_submit_metrics(
+                "histogram", len(batch), answer_seconds, build_seconds, built
+            )
         return BatchResult(
             answers=answers,
             estimator=release.estimator,

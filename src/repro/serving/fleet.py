@@ -34,13 +34,14 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import TYPE_CHECKING, Mapping
 
+from repro import obs
 from repro.exceptions import ReproError
 from repro.queries.workload import RangeWorkload
 from repro.serving.cache import ReleaseCache
 from repro.serving.engine import HistogramEngine
 from repro.serving.planner import BatchResult, QueryBatch
 from repro.serving.release import MaterializedRelease
-from repro.serving.stats import ServingStats, StatsSnapshot
+from repro.serving.stats import StatsSnapshot, combine_snapshots
 from repro.serving.store import ReleaseStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
@@ -441,7 +442,15 @@ class EngineFleet:
     # -- telemetry -------------------------------------------------------------
 
     def stats(self) -> FleetStats:
-        """Aggregate serving stats across every registered engine and stream."""
+        """Aggregate serving stats across every registered engine and stream.
+
+        The rollup is a pure fold over immutable per-tenant snapshots
+        (:func:`~repro.serving.stats.combine_snapshots` — no shared
+        accumulator, no extra lock).  When observability is enabled the
+        same per-tenant figures are published as gauges on the default
+        registry, so the exported metrics and this snapshot can never
+        disagree.
+        """
         with self._lock:
             engines = dict(self._engines)
             streams = dict(self._streams)
@@ -449,15 +458,12 @@ class EngineFleet:
         per_dataset.update(
             {name: stream.stats.snapshot() for name, stream in streams.items()}
         )
-        total = ServingStats()
-        for snapshot in per_dataset.values():
-            total.merge_snapshot(snapshot)
         lineages = {
             name: tuple(stream.lineage.records) for name, stream in streams.items()
         }
-        return FleetStats(
+        stats = FleetStats(
             datasets=len(engines) + len(streams),
-            total=total.snapshot(),
+            total=combine_snapshots(per_dataset.values()),
             per_dataset=MappingProxyType(per_dataset),
             materializations=sum(e.materializations for e in engines.values())
             + sum(s.materializations for s in streams.values()),
@@ -467,6 +473,44 @@ class EngineFleet:
             epochs=sum(len(records) for records in lineages.values()),
             stream_lineages=MappingProxyType(lineages),
         )
+        if obs.enabled():
+            self._publish_tenant_gauges(engines, streams, per_dataset, stats)
+        return stats
+
+    @staticmethod
+    def _publish_tenant_gauges(engines, streams, per_dataset, stats) -> None:
+        """Mirror the per-tenant rollup onto the default metrics registry."""
+        registry = obs.registry()
+        requests = registry.gauge(
+            "repro_tenant_requests", "Batches answered per tenant"
+        )
+        queries = registry.gauge(
+            "repro_tenant_queries", "Queries answered per tenant"
+        )
+        cold = registry.gauge(
+            "repro_tenant_cold_builds", "Cold-built batches per tenant"
+        )
+        spent = registry.gauge(
+            "repro_tenant_spent_epsilon", "ε spent per tenant (this process)"
+        )
+        accountants = {**engines, **streams}
+        for name, snapshot in per_dataset.items():
+            requests.set(snapshot.requests, dataset=name)
+            queries.set(snapshot.queries, dataset=name)
+            cold.set(snapshot.cold_builds, dataset=name)
+            spent.set(accountants[name].spent_epsilon, dataset=name)
+        registry.gauge(
+            "repro_fleet_datasets", "Tenants registered in the fleet"
+        ).set(stats.datasets)
+        registry.gauge(
+            "repro_fleet_streams", "Streaming tenants registered"
+        ).set(stats.streams)
+        registry.gauge(
+            "repro_fleet_epochs", "Epochs recorded across every stream lineage"
+        ).set(stats.epochs)
+        registry.gauge(
+            "repro_fleet_spent_epsilon", "ε spent fleet-wide (this process)"
+        ).set(stats.spent_epsilon)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EngineFleet(datasets={self.names()})"

@@ -13,15 +13,23 @@ durations with very different economics:
 
 Counters are protected by a lock so concurrent submissions from multiple
 threads are tallied correctly, and snapshots are plain dataclasses safe
-to hand to logging or monitoring code.
+to hand to logging or monitoring code.  Both :meth:`ServingStats.snapshot`
+and :meth:`ServingStats.merge_snapshot` hold that one lock for their whole
+operation, so a reader can never observe a torn state (a queries count
+from one batch paired with seconds from another).
+
+Aggregation across accumulators is a pure fold: :func:`combine_snapshots`
+combines immutable snapshots without any shared lock, which is how the
+fleet rolls up per-tenant telemetry.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Iterable
 
-__all__ = ["StatsSnapshot", "ServingStats"]
+__all__ = ["StatsSnapshot", "ServingStats", "combine_snapshots"]
 
 
 @dataclass(frozen=True)
@@ -55,6 +63,44 @@ class StatsSnapshot:
     def mean_batch_seconds(self) -> float:
         """Average wall-clock answer latency of one submitted batch."""
         return self.total_seconds / self.requests if self.requests else 0.0
+
+
+def combine_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
+    """Fold immutable snapshots into one aggregate, lock-free.
+
+    Pure function of its inputs: min/max are taken over the non-idle
+    snapshots, ``last_batch_seconds`` is the last non-idle snapshot's (the
+    fold-order semantics the fleet's per-engine merge always had), and
+    every total is summed left to right.
+    """
+    requests = 0
+    queries = 0
+    total_seconds = 0.0
+    min_seconds = float("inf")
+    max_seconds = 0.0
+    last_seconds = 0.0
+    build_seconds = 0.0
+    cold_builds = 0
+    for snapshot in snapshots:
+        requests += snapshot.requests
+        queries += snapshot.queries
+        total_seconds += snapshot.total_seconds
+        build_seconds += snapshot.total_build_seconds
+        cold_builds += snapshot.cold_builds
+        if snapshot.requests:
+            min_seconds = min(min_seconds, snapshot.min_batch_seconds)
+            max_seconds = max(max_seconds, snapshot.max_batch_seconds)
+            last_seconds = snapshot.last_batch_seconds
+    return StatsSnapshot(
+        requests=requests,
+        queries=queries,
+        total_seconds=total_seconds,
+        min_batch_seconds=0.0 if requests == 0 else min_seconds,
+        max_batch_seconds=max_seconds,
+        last_batch_seconds=last_seconds,
+        total_build_seconds=build_seconds,
+        cold_builds=cold_builds,
+    )
 
 
 class ServingStats:

@@ -42,6 +42,7 @@ import tempfile
 import threading
 from pathlib import Path
 
+from repro import obs
 from repro.exceptions import ReleaseStoreError
 from repro.serving.release import FORMAT_VERSION, MaterializedRelease, ReleaseKey
 
@@ -244,6 +245,10 @@ class ReleaseStore:
                 else:
                     self._manifest[key_id] = previous
                 raise
+        if obs.enabled():
+            obs.registry().counter(
+                "repro_store_writes_total", "Release artifacts persisted"
+            ).inc()
         return path
 
     def get(self, key: ReleaseKey) -> MaterializedRelease | None:
@@ -275,6 +280,10 @@ class ReleaseStore:
                 f"artifact {path} holds release {release.key}, not the "
                 f"requested {key}; refusing to serve a mismatched release"
             )
+        if obs.enabled():
+            obs.registry().counter(
+                "repro_store_loads_total", "Release artifacts loaded from disk"
+            ).inc()
         return release
 
     # -- maintenance -----------------------------------------------------------
@@ -358,7 +367,16 @@ class ReleaseStore:
             for _, entry in doomed:
                 artifact = self.root / str(entry.get("artifact", ""))
                 artifact.unlink(missing_ok=True)
-            return [self._entry_key(entry) for _, entry in doomed]
+            pruned = [self._entry_key(entry) for _, entry in doomed]
+        if obs.enabled():
+            registry = obs.registry()
+            registry.counter(
+                "repro_store_prunes_total", "Prune passes that retired artifacts"
+            ).inc()
+            registry.counter(
+                "repro_store_pruned_releases_total", "Release artifacts pruned"
+            ).inc(len(pruned))
+        return pruned
 
     # -- introspection ---------------------------------------------------------
 

@@ -47,6 +47,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 
+from repro import obs
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
 from repro.exceptions import PrivacyBudgetError, ReproError
@@ -54,7 +55,11 @@ from repro.privacy.budget import PrivacyBudget
 from repro.privacy.definitions import PrivacyParameters
 from repro.queries.workload import RangeWorkload
 from repro.serving.cache import ReleaseCache
-from repro.serving.engine import canonical_estimator_name, compute_release_leaves
+from repro.serving.engine import (
+    canonical_estimator_name,
+    compute_release_leaves,
+    record_submit_metrics,
+)
 from repro.serving.planner import BatchResult, QueryBatch
 from repro.serving.release import MaterializedRelease, ReleaseKey, fingerprint_counts
 from repro.serving.stats import ServingStats
@@ -139,7 +144,23 @@ def build_shard_releases(
 
     def build_one(index: int) -> MaterializedRelease:
         key = shard_keys[index]
-        leaves = compute_release_leaves(shard_counts[index], key, delta=delta)
+        if obs.enabled():
+            shard_start = perf_counter()
+            with obs.tracer().span(
+                "shard.build", shard=index, estimator=key.estimator
+            ):
+                leaves = compute_release_leaves(
+                    shard_counts[index], key, delta=delta
+                )
+            registry = obs.registry()
+            registry.histogram(
+                "repro_shard_build_seconds", "Per-shard release build latency"
+            ).observe(perf_counter() - shard_start)
+            registry.counter(
+                "repro_shard_builds_total", "Individual shard releases built"
+            ).inc()
+        else:
+            leaves = compute_release_leaves(shard_counts[index], key, delta=delta)
         return MaterializedRelease(
             leaves,
             estimator=key.estimator,
@@ -370,12 +391,26 @@ class ShardedHistogramEngine:
                         f"{self._budget.remaining_epsilon:g} of "
                         f"{self._budget.total.epsilon:g} remains"
                     )
-                fresh = build_shard_releases(
-                    [self._shard_counts[s] for s in cold],
-                    [keys[s] for s in cold],
-                    delta=self._budget.total.delta,
-                    workers=self.workers,
-                )
+                if obs.enabled():
+                    with obs.tracer().span(
+                        "shard.materialize",
+                        estimator=keys[0].estimator,
+                        cold_shards=len(cold),
+                        num_shards=self.plan.num_shards,
+                    ):
+                        fresh = build_shard_releases(
+                            [self._shard_counts[s] for s in cold],
+                            [keys[s] for s in cold],
+                            delta=self._budget.total.delta,
+                            workers=self.workers,
+                        )
+                else:
+                    fresh = build_shard_releases(
+                        [self._shard_counts[s] for s in cold],
+                        [keys[s] for s in cold],
+                        delta=self._budget.total.delta,
+                        workers=self.workers,
+                    )
                 # One ε for the whole sharded release, by parallel
                 # composition over the disjoint shards — charged only now
                 # that every shard's computation has succeeded, and
@@ -466,6 +501,10 @@ class ShardedHistogramEngine:
         self.stats.record_batch(
             len(batch), answer_seconds, build_seconds=build_seconds, cold=built
         )
+        if obs.enabled():
+            record_submit_metrics(
+                "sharded", len(batch), answer_seconds, build_seconds, built
+            )
         return BatchResult(
             answers=answers,
             estimator=release.estimator,

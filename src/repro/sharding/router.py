@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import QueryError
 from repro.serving.planner import QueryBatch
 from repro.sharding.plan import ShardPlan
@@ -157,11 +158,21 @@ class ShardRouter:
             sorted_shards, np.arange(plan.num_shards + 1)
         )
         starts = plan.boundaries
-        for shard in np.unique(sorted_shards):
+        touched = np.unique(sorted_shards)
+        for shard in touched:
             lo, hi = group_starts[shard], group_starts[shard + 1]
             index = release.shard_index(shard)
             local = sorted_positions[lo:hi] - starts[shard]
             gathered[order[lo:hi]] = index[local]
+        if obs.enabled():
+            registry = obs.registry()
+            registry.counter(
+                "repro_router_batches_total", "Batches routed across shards"
+            ).inc()
+            registry.counter(
+                "repro_router_gather_groups_total",
+                "Per-shard vectorized gathers performed",
+            ).inc(int(touched.size))
         q = len(batch)
         return gathered[q:] - gathered[:q]
 

@@ -43,6 +43,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
 from repro.exceptions import PrivacyBudgetError, ReproError
@@ -50,7 +51,7 @@ from repro.privacy.budget import PrivacyBudget
 from repro.privacy.definitions import PrivacyParameters
 from repro.queries.workload import RangeWorkload
 from repro.serving.cache import ReleaseCache
-from repro.serving.engine import canonical_estimator_name
+from repro.serving.engine import canonical_estimator_name, record_submit_metrics
 from repro.serving.planner import QueryBatch
 from repro.serving.release import MaterializedRelease, ReleaseKey, fingerprint_counts
 from repro.serving.stats import ServingStats
@@ -295,11 +296,21 @@ class ShardedStreamingEngine:
 
     def ingest(self, indexes) -> int:
         """Ingest rows given as domain indexes (buffered until an epoch)."""
-        return self._buffer.add(indexes)
+        rows = self._buffer.add(indexes)
+        self._record_ingest(rows)
+        return rows
 
     def ingest_counts(self, delta) -> int:
         """Ingest a pre-aggregated delta count vector."""
-        return self._buffer.add_counts(delta)
+        rows = self._buffer.add_counts(delta)
+        self._record_ingest(rows)
+        return rows
+
+    def _record_ingest(self, rows: int) -> None:
+        if obs.enabled():
+            obs.registry().counter(
+                "repro_stream_ingest_rows_total", "Rows ingested into streams"
+            ).inc(rows, stream=self.name)
 
     def pending_rows_per_shard(self) -> np.ndarray:
         """Pending backlog split by shard (what the threshold is judged on)."""
@@ -369,7 +380,7 @@ class ShardedStreamingEngine:
         # contract) instead of raising on every tick.
         lifetime = max(self.lineage.spent_epsilon, self._budget.spent_epsilon)
         if lifetime + epsilon > self._budget.total.epsilon + 1e-12:
-            self._buffer.restore(delta, rows)
+            self._restore_backlog(delta, rows)
             raise PrivacyBudgetError(
                 f"epoch {epoch} would charge ε={epsilon:g}, but the stream "
                 f"has already spent ε={lifetime:g} of its lifetime "
@@ -398,16 +409,42 @@ class ShardedStreamingEngine:
             for s in refreshed
         ]
         try:
-            fresh = build_shard_releases(
-                [shard_counts[s] for s in refreshed],
-                keys,
-                delta=self._budget.total.delta,
-                workers=self.workers,
-            )
+            if obs.enabled():
+                build_start = perf_counter()
+                with obs.tracer().span(
+                    "stream.advance_epoch",
+                    stream=self.name,
+                    epoch=epoch,
+                    epsilon=epsilon,
+                    refreshed_shards=len(refreshed),
+                ):
+                    fresh = build_shard_releases(
+                        [shard_counts[s] for s in refreshed],
+                        keys,
+                        delta=self._budget.total.delta,
+                        workers=self.workers,
+                    )
+                registry = obs.registry()
+                registry.histogram(
+                    "repro_stream_epoch_build_seconds",
+                    "Epoch build latency (seconds)",
+                ).observe(perf_counter() - build_start, stream=self.name)
+                registry.histogram(
+                    "repro_stream_refresh_shards",
+                    "Shards re-released per epoch (refresh-set size)",
+                    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+                ).observe(len(refreshed), stream=self.name)
+            else:
+                fresh = build_shard_releases(
+                    [shard_counts[s] for s in refreshed],
+                    keys,
+                    delta=self._budget.total.delta,
+                    workers=self.workers,
+                )
         except BaseException:
             # Nothing was charged or cached; the folded rows rejoin the
             # backlog for the next attempt.
-            self._buffer.restore(fold, fold_rows)
+            self._restore_backlog(fold, fold_rows)
             raise
         # One εᵢ for the whole refresh set (parallel composition over the
         # disjoint refreshed shards), only now that every build succeeded.
@@ -454,14 +491,27 @@ class ShardedStreamingEngine:
                     self.cache.store.put(release)
             self.lineage.append(record)
         except BaseException:
-            self._buffer.restore(fold, fold_rows)
+            self._restore_backlog(fold, fold_rows)
             raise
         self._counts = counts
         with self._serve_lock:
             self._shard_releases = shard_releases
             self._current = (epoch, assembled, float(epsilon))
             self.materializations += 1
+        if obs.enabled():
+            obs.registry().counter(
+                "repro_stream_epochs_total", "Epochs built and published"
+            ).inc(stream=self.name)
         return record
+
+    def _restore_backlog(self, delta, rows: int) -> None:
+        """Return a drained delta to the buffer, counting the restore."""
+        self._buffer.restore(delta, rows)
+        if obs.enabled():
+            obs.registry().counter(
+                "repro_stream_buffer_restores_total",
+                "Drained deltas restored after a failed epoch",
+            ).inc(stream=self.name)
 
     # -- serving ---------------------------------------------------------------
 
@@ -481,6 +531,8 @@ class ShardedStreamingEngine:
         answers = self.router.answer(release, batch)
         answer_seconds = perf_counter() - start
         self.stats.record_batch(len(batch), answer_seconds)
+        if obs.enabled():
+            record_submit_metrics("sharded-stream", len(batch), answer_seconds)
         return StreamBatchResult(
             answers=answers,
             epoch=epoch,

@@ -37,6 +37,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
 from repro.exceptions import PrivacyBudgetError, ReproError
@@ -44,7 +45,11 @@ from repro.privacy.budget import PrivacyBudget
 from repro.privacy.definitions import PrivacyParameters
 from repro.queries.workload import RangeWorkload
 from repro.serving.cache import ReleaseCache
-from repro.serving.engine import HistogramEngine, canonical_estimator_name
+from repro.serving.engine import (
+    HistogramEngine,
+    canonical_estimator_name,
+    record_submit_metrics,
+)
 from repro.serving.planner import BatchQueryPlanner, QueryBatch
 from repro.serving.release import MaterializedRelease
 from repro.serving.stats import ServingStats
@@ -261,20 +266,29 @@ class StreamingHistogramEngine:
         again on the next explicit :meth:`advance_epoch`).
         """
         rows = self._buffer.add(indexes)
+        self._record_ingest(rows)
         self._maybe_refresh()
         return rows
 
     def ingest_counts(self, delta) -> int:
         """Ingest a pre-aggregated delta count vector; may trigger a refresh."""
         rows = self._buffer.add_counts(delta)
+        self._record_ingest(rows)
         self._maybe_refresh()
         return rows
 
     def ingest_relation(self, relation: Relation, attribute: str) -> int:
         """Ingest every tuple of a delta relation; may trigger a refresh."""
         rows = self._buffer.add_relation(relation, attribute)
+        self._record_ingest(rows)
         self._maybe_refresh()
         return rows
+
+    def _record_ingest(self, rows: int) -> None:
+        if obs.enabled():
+            obs.registry().counter(
+                "repro_stream_ingest_rows_total", "Rows ingested into streams"
+            ).inc(rows, stream=self.name)
 
     def _maybe_refresh(self) -> None:
         if not self.policy.should_refresh(self._buffer.pending_rows):
@@ -386,17 +400,37 @@ class StreamingHistogramEngine:
                 budget=self._budget,
                 spend_label=f"epoch {epoch} ({self.estimator})",
             )
-            release = builder.materialize(
-                self.estimator,
-                epsilon=epsilon,
-                branching=self.branching,
-                seed=self.base_seed + epoch,
-            )
+            if obs.enabled():
+                build_start = perf_counter()
+                with obs.tracer().span(
+                    "stream.advance_epoch",
+                    stream=self.name,
+                    epoch=epoch,
+                    epsilon=epsilon,
+                    rows=rows,
+                ):
+                    release = builder.materialize(
+                        self.estimator,
+                        epsilon=epsilon,
+                        branching=self.branching,
+                        seed=self.base_seed + epoch,
+                    )
+                obs.registry().histogram(
+                    "repro_stream_epoch_build_seconds",
+                    "Epoch build latency (seconds)",
+                ).observe(perf_counter() - build_start, stream=self.name)
+            else:
+                release = builder.materialize(
+                    self.estimator,
+                    epsilon=epsilon,
+                    branching=self.branching,
+                    seed=self.base_seed + epoch,
+                )
         except BaseException:
             # The build charged nothing (the engine charges only after a
             # successful computation) and must lose nothing: the drained
             # rows rejoin the backlog for the next attempt.
-            self._buffer.restore(delta, rows)
+            self._restore_backlog(delta, rows)
             raise
         record = EpochRecord(
             epoch=epoch,
@@ -411,13 +445,26 @@ class StreamingHistogramEngine:
             # The epoch's ε is already charged (the artifact exists), but
             # the epoch is not published: restore the rows so they are
             # re-released by the next successful epoch rather than lost.
-            self._buffer.restore(delta, rows)
+            self._restore_backlog(delta, rows)
             raise
         self._counts = counts
         with self._serve_lock:
             self._current = (epoch, release)
             self.materializations += builder.materializations
+        if obs.enabled():
+            obs.registry().counter(
+                "repro_stream_epochs_total", "Epochs built and published"
+            ).inc(stream=self.name)
         return record
+
+    def _restore_backlog(self, delta, rows: int) -> None:
+        """Return a drained delta to the buffer, counting the restore."""
+        self._buffer.restore(delta, rows)
+        if obs.enabled():
+            obs.registry().counter(
+                "repro_stream_buffer_restores_total",
+                "Drained deltas restored after a failed epoch",
+            ).inc(stream=self.name)
 
     def release_for_epoch(self, epoch: int) -> MaterializedRelease:
         """The immutable release a past epoch published (no ε, ever).
@@ -468,6 +515,8 @@ class StreamingHistogramEngine:
         answers = self.planner.answer(release, batch)
         answer_seconds = perf_counter() - start
         self.stats.record_batch(len(batch), answer_seconds)
+        if obs.enabled():
+            record_submit_metrics("stream", len(batch), answer_seconds)
         return StreamBatchResult(
             answers=answers,
             epoch=epoch,

@@ -1,0 +1,21 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts and ends with fresh, disabled defaults.
+
+    The obs module holds process-wide state (the default registry/tracer
+    and the enabled flag); resetting on both sides keeps tests order-
+    independent and stops a failing test from leaking instrumentation
+    into the rest of the suite.
+    """
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,175 @@
+"""End-to-end acceptance: exported telemetry agrees with the accountants.
+
+The ISSUE's bar for this layer: after a mixed workload (serving +
+streaming + sharding in one fleet), the exported ε-ledger totals are
+**bit-equal** to ``PrivacyBudget.spent_epsilon`` per tenant, and the
+exported counters are consistent with the engines' own ``FleetStats``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.data.synthetic import arrival_stream
+from repro.obs import EpsilonLedgerExporter, parse_prometheus_text
+from repro.serving import QueryBatch
+from repro.serving.fleet import EngineFleet
+from repro.streaming import GeometricEpsilonSchedule
+
+NUM_QUERIES = 40
+
+
+@pytest.fixture
+def fleet_and_batch(rng):
+    """A three-tenant fleet (static, sharded, stream) after a mixed workload."""
+    static_counts = rng.poisson(3.0, size=256).astype(float)
+    sharded_counts = rng.poisson(3.0, size=256).astype(float)
+    stream_counts = rng.poisson(3.0, size=256).astype(float)
+    fleet = EngineFleet()
+    static = fleet.register("static", static_counts, 0.5)
+    batch = QueryBatch.random(static.domain_size, NUM_QUERIES, rng=1)
+    fleet.submit("static", batch, epsilon=0.25, seed=2)  # cold: charges ε
+    fleet.submit("static", batch, epsilon=0.25, seed=2)  # warm: cached
+    fleet.register_sharded("sharded", sharded_counts, 0.5, num_shards=4)
+    fleet.submit("sharded", batch, epsilon=0.5, seed=2)
+    fleet.register_stream(
+        "stream",
+        stream_counts,
+        1.0,
+        schedule=GeometricEpsilonSchedule(0.25, decay=0.5),
+        seed=3,
+    )
+    arrivals = next(arrival_stream(static.domain_size, 200, batches=1, rng=5))
+    fleet.ingest("stream", arrivals)
+    fleet.advance_epoch("stream")
+    fleet.submit_stream("stream", batch)
+    return fleet, batch
+
+
+def test_ledger_totals_bit_equal_to_budget_accounting(fleet_and_batch):
+    fleet, _ = fleet_and_batch
+    ledger = EpsilonLedgerExporter().fleet_report(fleet)
+    stats = fleet.stats()
+    # powers-of-two ε values make the float sums exact, so the ledger's
+    # re-derived total must be *bit-equal* to the fleet's accounting
+    assert ledger["total_spent_epsilon"] == stats.spent_epsilon
+    for name in fleet.names():
+        if name in fleet.stream_names():
+            budget = fleet.stream(name).budget
+        else:
+            budget = fleet.engine(name).budget
+        assert ledger["datasets"][name]["spent_epsilon"] == budget.spent_epsilon
+
+
+def test_exported_counters_consistent_with_fleet_stats(rng):
+    with obs.session() as (registry, tracer):
+        static_counts = rng.poisson(3.0, size=256).astype(float)
+        fleet = EngineFleet()
+        static = fleet.register("static", static_counts, 0.5)
+        batch = QueryBatch.random(static.domain_size, NUM_QUERIES, rng=1)
+        fleet.submit("static", batch, epsilon=0.25, seed=2)
+        fleet.submit("static", batch, epsilon=0.25, seed=2)
+        stats = fleet.stats()
+
+        # counters on the serving path match the engines' own accounting
+        assert (
+            registry.value("repro_serve_queries_total", engine="histogram")
+            == stats.queries
+        )
+        assert (
+            registry.value("repro_serve_batches_total", engine="histogram")
+            == stats.requests
+        )
+        assert (
+            registry.value("repro_serve_cold_builds_total", engine="histogram")
+            == stats.total.cold_builds
+        )
+        # the second submit was a cache hit, the first a miss
+        assert registry.value("repro_cache_hits_total") == 1
+        assert registry.value("repro_cache_misses_total") == 1
+
+        # fleet.stats() mirrored the rollup onto gauges
+        assert registry.value("repro_tenant_queries", dataset="static") == (
+            stats.per_dataset["static"].queries
+        )
+        assert registry.value("repro_fleet_spent_epsilon") == stats.spent_epsilon
+        assert registry.value("repro_fleet_datasets") == stats.datasets
+
+        # the cold build left a span with its estimator attribute
+        (build,) = tracer.events("serve.build_release")
+        assert build.attributes["epsilon"] == 0.25
+        assert build.duration > 0
+
+
+def test_prometheus_export_of_a_mixed_workload_parses(fleet_and_batch):
+    fleet, batch = fleet_and_batch
+    with obs.session() as (registry, _):
+        fleet.submit("static", batch, epsilon=0.25, seed=2)
+        fleet.submit("sharded", batch, epsilon=0.5, seed=2)
+        fleet.submit_stream("stream", batch)
+        stats = fleet.stats()
+        samples = parse_prometheus_text(registry.render_prometheus())
+    for engine_kind in ("histogram", "sharded", "stream"):
+        assert (
+            samples[("repro_serve_queries_total", (("engine", engine_kind),))]
+            == NUM_QUERIES
+        )
+    assert samples[("repro_fleet_spent_epsilon", ())] == stats.spent_epsilon
+    assert samples[("repro_fleet_epochs", ())] == stats.epochs
+
+
+def test_stream_epoch_instrumentation(rng):
+    with obs.session() as (registry, tracer):
+        counts = rng.poisson(3.0, size=256).astype(float)
+        fleet = EngineFleet()
+        fleet.register_stream(
+            "stream",
+            counts,
+            1.0,
+            schedule=GeometricEpsilonSchedule(0.25, decay=0.5),
+            seed=3,
+        )
+        arrivals = next(arrival_stream(counts.size, 150, batches=1, rng=5))
+        ingested = fleet.ingest("stream", arrivals)
+        fleet.advance_epoch("stream")
+        assert (
+            registry.value("repro_stream_ingest_rows_total", stream="stream")
+            == ingested
+        )
+        # two epochs: registration builds epoch 0, then the explicit advance
+        assert registry.value("repro_stream_epochs_total", stream="stream") == 2
+        spans = tracer.events("stream.advance_epoch")
+        assert len(spans) == 2
+        assert all(span.attributes["stream"] == "stream" for span in spans)
+
+
+def test_sharded_build_spans_cover_every_shard(rng):
+    with obs.session() as (_, tracer):
+        counts = rng.poisson(3.0, size=256).astype(float)
+        fleet = EngineFleet()
+        # workers=1 keeps every shard build on this thread, so the spans
+        # nest deterministically under the materialization span
+        fleet.register_sharded("sharded", counts, 0.5, num_shards=4, workers=1)
+        batch = QueryBatch.random(256, NUM_QUERIES, rng=1)
+        fleet.submit("sharded", batch, epsilon=0.5, seed=2)
+        builds = tracer.events("shard.build")
+        assert sorted(event.attributes["shard"] for event in builds) == [0, 1, 2, 3]
+        (materialize,) = tracer.events("shard.materialize")
+        assert materialize.attributes["cold_shards"] == 4
+        assert all(event.parent_id == materialize.span_id for event in builds)
+
+
+def test_session_restores_previous_state(rng):
+    obs.enable()
+    outer_registry = obs.registry()
+    with obs.session() as (inner_registry, _):
+        assert obs.registry() is inner_registry
+        assert obs.enabled()
+    assert obs.registry() is outer_registry
+    assert obs.enabled()
+    obs.disable()
+    with obs.session():
+        assert obs.enabled()
+    assert not obs.enabled()

@@ -1,0 +1,150 @@
+"""Tests for the ε-ledger exporter: reports, cross-checks, and refusals."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import arrival_stream
+from repro.exceptions import ExperimentError
+from repro.obs import LEDGER_REPORT_VERSION, EpsilonLedgerExporter
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.definitions import PrivacyParameters
+from repro.serving.fleet import EngineFleet
+from repro.serving.planner import QueryBatch
+from repro.streaming import GeometricEpsilonSchedule, StreamingHistogramEngine
+
+
+@pytest.fixture
+def exporter() -> EpsilonLedgerExporter:
+    return EpsilonLedgerExporter()
+
+
+@pytest.fixture
+def counts(rng) -> np.ndarray:
+    return rng.poisson(3.0, size=128).astype(float)
+
+
+class TestBudgetReport:
+    def test_reports_the_full_spend_trail(self, exporter):
+        budget = PrivacyBudget(PrivacyParameters(epsilon=1.0))
+        budget.spend(0.25, label="epoch 1")
+        budget.spend(0.125, label="epoch 2")
+        report = exporter.budget_report(budget, name="flows")
+        assert report["kind"] == "budget"
+        assert report["name"] == "flows"
+        assert report["total_epsilon"] == 1.0
+        assert report["spent_epsilon"] == 0.375
+        assert report["remaining_epsilon"] == 0.625
+        assert report["spends"] == [
+            {"label": "epoch 1", "epsilon": 0.25},
+            {"label": "epoch 2", "epsilon": 0.125},
+        ]
+        assert report["checks"] == ["running-total"]
+
+    def test_schedule_audit_is_recorded_and_enforced(self, exporter):
+        budget = PrivacyBudget(PrivacyParameters(epsilon=1.0))
+        budget.spend(0.25, label="epoch 1")
+        report = exporter.budget_report(
+            budget, expected_epsilons=[0.25], label_prefix="epoch"
+        )
+        assert report["checks"] == ["running-total", "schedule"]
+        with pytest.raises(ExperimentError):
+            exporter.budget_report(budget, expected_epsilons=[0.5])
+
+    def test_refuses_a_drifted_running_total(self, exporter):
+        budget = PrivacyBudget(PrivacyParameters(epsilon=1.0))
+        budget.spend(0.25)
+        budget._spent_total = 0.2500000001  # simulate accounting drift
+        with pytest.raises(ExperimentError, match="refusing to export"):
+            exporter.budget_report(budget)
+
+    def test_report_json_is_bit_faithful(self, exporter):
+        budget = PrivacyBudget(PrivacyParameters(epsilon=1.0))
+        budget.spend(0.1)  # 0.1 is not exactly representable; repr survives
+        text = EpsilonLedgerExporter.render_json(exporter.budget_report(budget))
+        assert json.loads(text)["spent_epsilon"] == budget.spent_epsilon
+
+
+class TestStreamReport:
+    @pytest.fixture
+    def stream(self, counts) -> StreamingHistogramEngine:
+        engine = StreamingHistogramEngine(
+            counts,
+            1.0,
+            GeometricEpsilonSchedule(0.25, decay=0.5),
+            seed=3,
+        )
+        arrivals = next(arrival_stream(counts.size, 100, batches=1, rng=5))
+        engine.ingest(arrivals)
+        engine.advance_epoch()
+        return engine
+
+    def test_stream_report_includes_lineage(self, exporter, stream):
+        report = exporter.stream_report(stream)
+        assert report["kind"] == "stream"
+        assert report["checks"] == ["running-total", "schedule", "lineage-tail"]
+        assert report["lifetime_spent_epsilon"] == stream.lineage.spent_epsilon
+        assert [entry["epoch"] for entry in report["epochs"]] == [
+            record.epoch for record in stream.lineage.records
+        ]
+        assert report["spent_epsilon"] == stream.spent_epsilon
+
+    def test_refuses_a_charge_that_bypassed_the_lineage(self, exporter, stream):
+        stream.budget.spend(0.01, label="epoch 99 (rogue)")
+        with pytest.raises(ExperimentError):
+            exporter.stream_report(stream)
+
+    def test_refuses_more_charges_than_lineage_records(self, exporter, counts):
+        engine = StreamingHistogramEngine(
+            counts,
+            1.0,
+            GeometricEpsilonSchedule(0.25, decay=0.5),
+            seed=3,
+        )
+        # empty the lineage's view of the budget: charge without a record
+        engine.budget.spend(0.25, label="epoch 1")
+        engine.budget.spend(0.125, label="epoch 2")
+        with pytest.raises(ExperimentError, match="bypassed"):
+            exporter.stream_report(engine)
+
+
+class TestFleetReport:
+    def test_totals_cover_static_and_streaming_tenants(
+        self, exporter, counts, rng
+    ):
+        fleet = EngineFleet()
+        fleet.register("static", counts, 0.5)
+        batch = QueryBatch.random(counts.size, 20, rng=1)
+        fleet.submit("static", batch, epsilon=0.25, seed=2)
+        fleet.register_stream(
+            "stream",
+            rng.poisson(3.0, size=128).astype(float),
+            1.0,
+            schedule=GeometricEpsilonSchedule(0.25, decay=0.5),
+            seed=3,
+        )
+        arrivals = next(arrival_stream(counts.size, 100, batches=1, rng=5))
+        fleet.ingest("stream", arrivals)
+        fleet.advance_epoch("stream")
+
+        report = exporter.fleet_report(fleet)
+        assert report["report"] == "epsilon-ledger"
+        assert report["version"] == LEDGER_REPORT_VERSION
+        assert sorted(report["datasets"]) == ["static", "stream"]
+        assert report["datasets"]["static"]["kind"] == "budget"
+        assert report["datasets"]["stream"]["kind"] == "stream"
+        # powers of two keep the sums exact, so bit-equality is testable
+        assert report["total_spent_epsilon"] == fleet.stats().spent_epsilon
+        assert report["total_budget_epsilon"] == 1.5
+
+    def test_fleet_report_refuses_any_drifted_tenant(self, exporter, counts):
+        fleet = EngineFleet()
+        fleet.register("static", counts, 0.5)
+        batch = QueryBatch.random(counts.size, 20, rng=1)
+        fleet.submit("static", batch, epsilon=0.25, seed=2)
+        fleet.engine("static").budget._spent_total = 0.26
+        with pytest.raises(ExperimentError, match="refusing to export"):
+            exporter.fleet_report(fleet)

@@ -1,0 +1,247 @@
+"""Tests for the metric families, registry, and Prometheus round-trip."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("repro_things_total")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labeled_samples_are_independent(self):
+        counter = Counter("repro_things_total")
+        counter.inc(engine="histogram")
+        counter.inc(3, engine="sharded")
+        assert counter.value(engine="histogram") == 1.0
+        assert counter.value(engine="sharded") == 3.0
+        assert counter.value(engine="stream") == 0.0
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("repro_things_total")
+        with pytest.raises(ReproError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_rejects_invalid_metric_name(self):
+        with pytest.raises(ReproError, match="invalid metric name"):
+            Counter("0bad-name")
+
+    def test_rejects_invalid_label_name(self):
+        counter = Counter("repro_things_total")
+        with pytest.raises(ReproError, match="invalid label name"):
+            counter.inc(**{"bad-label": "x"})
+
+
+class TestLabelSchema:
+    def test_first_observation_fixes_label_names(self):
+        counter = Counter("repro_things_total")
+        counter.inc(engine="histogram")
+        with pytest.raises(ReproError, match="expects labels"):
+            counter.inc(shard="0")
+        with pytest.raises(ReproError, match="expects labels"):
+            counter.inc()
+
+    def test_label_order_does_not_matter(self):
+        counter = Counter("repro_things_total")
+        counter.inc(a="1", b="2")
+        counter.inc(b="2", a="1")
+        assert counter.value(a="1", b="2") == 2.0
+
+    def test_unhashable_label_values_take_the_slow_path(self):
+        # The resolve cache keys on the raw kwargs items; a list value is
+        # unhashable, so resolution must fall back to full validation
+        # (stringifying the value) rather than crash.
+        counter = Counter("repro_things_total")
+        counter.inc(tags=["a", "b"])
+        counter.inc(tags=["a", "b"])
+        assert counter.value(tags=["a", "b"]) == 2.0
+
+    def test_resolve_cache_returns_the_canonical_key(self):
+        counter = Counter("repro_things_total")
+        counter.inc(engine="histogram")
+        counter.inc(engine="histogram")  # second hit resolves via the cache
+        assert counter.labelsets() == [(("engine", "histogram"),)]
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("repro_level")
+        gauge.set(5.0)
+        gauge.inc(-2.0)
+        assert gauge.value() == 3.0
+
+    def test_labeled(self):
+        gauge = Gauge("repro_level")
+        gauge.set(1.5, dataset="flows")
+        gauge.set(2.5, dataset="pages")
+        assert gauge.value(dataset="flows") == 1.5
+        assert gauge.value(dataset="pages") == 2.5
+
+
+class TestHistogram:
+    def test_bucket_placement_is_first_bound_geq_value(self):
+        histogram = Histogram("repro_seconds", buckets=(0.1, 1.0, 10.0))
+        histogram.observe(0.1)  # exactly on a bound -> that bucket
+        histogram.observe(0.05)
+        histogram.observe(5.0)
+        histogram.observe(100.0)  # past the last bound -> +Inf slot
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(105.15)
+
+    def test_default_buckets_cover_latencies(self):
+        histogram = Histogram("repro_seconds")
+        assert histogram.buckets == DEFAULT_LATENCY_BUCKETS
+        histogram.observe(0.0003)
+        assert histogram.count() == 1
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ReproError, match="strictly increasing"):
+            Histogram("repro_seconds", buckets=(1.0, 0.5))
+        with pytest.raises(ReproError, match="strictly increasing"):
+            Histogram("repro_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(ReproError, match="at least one bucket"):
+            Histogram("repro_seconds", buckets=())
+
+    def test_cumulative_buckets_in_render(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_seconds", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(9.0)
+        samples = parse_prometheus_text(registry.render_prometheus())
+        assert samples[("repro_seconds_bucket", (("le", "1.0"),))] == 1
+        assert samples[("repro_seconds_bucket", (("le", "2.0"),))] == 2
+        assert samples[("repro_seconds_bucket", (("le", "+Inf"),))] == 3
+        assert samples[("repro_seconds_count", ())] == 3
+        assert samples[("repro_seconds_sum", ())] == pytest.approx(11.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_a_total") is registry.counter("repro_a_total")
+
+    def test_kind_mismatch_is_refused(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total")
+        with pytest.raises(ReproError, match="is a counter, not a gauge"):
+            registry.gauge("repro_a_total")
+
+    def test_value_lookup(self):
+        registry = MetricsRegistry()
+        assert registry.value("repro_missing_total", default=7.0) == 7.0
+        registry.counter("repro_a_total").inc(2, engine="x")
+        assert registry.value("repro_a_total", engine="x") == 2.0
+        registry.histogram("repro_h_seconds").observe(1.0)
+        with pytest.raises(ReproError, match="not scalar"):
+            registry.value("repro_h_seconds")
+
+    def test_snapshot_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "help a").inc(engine="x")
+        registry.gauge("repro_g").set(4.0)
+        registry.histogram("repro_h_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["repro_a_total"]["samples"] == [
+            {"labels": {"engine": "x"}, "value": 1.0}
+        ]
+        assert snapshot["gauges"]["repro_g"]["samples"][0]["value"] == 4.0
+        histogram = snapshot["histograms"]["repro_h_seconds"]
+        assert histogram["buckets"] == [1.0]
+        assert histogram["samples"][0]["counts"] == [1, 0]
+        assert histogram["samples"][0]["count"] == 1
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits_total")
+        per_thread, num_threads = 2000, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc(engine="histogram")
+
+        threads = [threading.Thread(target=hammer) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(engine="histogram") == per_thread * num_threads
+
+
+class TestPrometheusRoundTrip:
+    def test_render_parses_back_with_exact_values(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "things done").inc(3, engine="x")
+        registry.gauge("repro_spent_epsilon").set(1.125)
+        text = registry.render_prometheus()
+        assert "# HELP repro_a_total things done" in text
+        assert "# TYPE repro_a_total counter" in text
+        samples = parse_prometheus_text(text)
+        assert samples[("repro_a_total", (("engine", "x"),))] == 3.0
+        # repr-based formatting keeps float64 values bit-faithful
+        assert samples[("repro_spent_epsilon", ())] == 1.125
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(path='a"b\\c\nd')
+        samples = parse_prometheus_text(registry.render_prometheus())
+        ((name, labels),) = list(samples)
+        assert name == "repro_a_total"
+        assert labels[0][0] == "path"
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_infinity_formatting(self):
+        assert math.isinf(
+            parse_prometheus_text('repro_g{le="+Inf"} +Inf')[
+                ("repro_g", (("le", "+Inf"),))
+            ]
+        )
+
+
+class TestParserValidation:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("this is not a metric line")
+
+    def test_rejects_malformed_comment(self):
+        with pytest.raises(ValueError, match="malformed comment"):
+            parse_prometheus_text("# NOPE repro_a_total")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_prometheus_text("# TYPE repro_a_total widget")
+
+    def test_rejects_malformed_value(self):
+        with pytest.raises(ValueError, match="malformed value"):
+            parse_prometheus_text("repro_a_total pickles")
+
+    def test_rejects_malformed_label_pair(self):
+        with pytest.raises(ValueError, match="malformed label pair"):
+            parse_prometheus_text("repro_a_total{engine=x} 1")
+
+    def test_rejects_empty_document(self):
+        with pytest.raises(ValueError, match="no samples"):
+            parse_prometheus_text("# TYPE repro_a_total counter\n")
+
+    def test_commas_inside_quoted_values(self):
+        samples = parse_prometheus_text('repro_a_total{k="a,b",j="c"} 2')
+        assert samples[("repro_a_total", (("k", "a,b"), ("j", "c")))] == 2.0

@@ -1,0 +1,129 @@
+"""The disabled fast path performs *zero* telemetry calls.
+
+``set_registry``/``set_tracer`` work independently of the enabled flag
+precisely so these tests can install counting doubles while observability
+stays disabled: if any instrumented call site forgets its
+``if obs.enabled():`` guard, a double's call counter moves and the test
+fails.  The flip side — the same workload with observability enabled must
+produce bit-identical answers — is checked here too, at test scale (the
+full-size timing gate lives in ``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.data.synthetic import arrival_stream
+from repro.obs import MetricsRegistry, Tracer
+from repro.serving import HistogramEngine, QueryBatch
+from repro.serving.fleet import EngineFleet
+from repro.serving.store import ReleaseStore
+from repro.sharding import ShardedHistogramEngine
+from repro.streaming import GeometricEpsilonSchedule, StreamingHistogramEngine
+
+
+class CountingRegistry(MetricsRegistry):
+    """A registry that counts every family lookup."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.calls = 0
+
+    def _get_or_create(self, cls, name, help, **kwargs):
+        self.calls += 1
+        return super()._get_or_create(cls, name, help, **kwargs)
+
+
+class CountingTracer(Tracer):
+    """A tracer that counts every opened span."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.calls = 0
+
+    def span(self, name, **attributes):
+        self.calls += 1
+        return super().span(name, **attributes)
+
+
+@pytest.fixture
+def doubles():
+    registry = CountingRegistry()
+    tracer = CountingTracer()
+    obs.set_registry(registry)
+    obs.set_tracer(tracer)
+    return registry, tracer
+
+
+@pytest.fixture
+def counts(rng) -> np.ndarray:
+    return rng.poisson(3.0, size=256).astype(float)
+
+
+def run_mixed_workload(counts, store_root=None):
+    """Serving + streaming + sharding exercise touching every hot path."""
+    store = ReleaseStore(store_root) if store_root is not None else None
+    fleet = EngineFleet(store=store)
+    fleet.register("static", counts, 0.5)
+    batch = QueryBatch.random(counts.size, 50, rng=1)
+    answers = [fleet.submit("static", batch, epsilon=0.25, seed=2).answers]
+    answers.append(fleet.submit("static", batch, epsilon=0.25, seed=2).answers)
+
+    sharded = ShardedHistogramEngine(counts, total_epsilon=0.5, num_shards=4)
+    answers.append(sharded.submit(batch, epsilon=0.5, seed=2).answers)
+
+    stream = StreamingHistogramEngine(
+        counts,
+        1.0,
+        GeometricEpsilonSchedule(0.25, decay=0.5),
+        seed=3,
+        name="stream",
+    )
+    arrivals = next(arrival_stream(counts.size, 100, batches=1, rng=5))
+    stream.ingest(arrivals)
+    stream.advance_epoch()
+    answers.append(stream.submit(batch).answers)
+
+    fleet.stats()
+    return answers
+
+
+def test_disabled_workload_makes_zero_telemetry_calls(doubles, counts, tmp_path):
+    registry, tracer = doubles
+    assert not obs.enabled()
+    run_mixed_workload(counts, store_root=tmp_path / "releases")
+    assert registry.calls == 0
+    assert tracer.calls == 0
+
+
+def test_enabling_the_same_doubles_records_calls(doubles, counts):
+    # the control arm: the doubles do count when the flag is on, so the
+    # zeros above prove gating rather than broken instrumentation
+    registry, tracer = doubles
+    obs.enable()
+    run_mixed_workload(counts)
+    assert registry.calls > 0
+    assert tracer.calls > 0
+    assert registry.value("repro_serve_queries_total", engine="histogram") > 0
+
+
+def test_answers_are_bit_identical_with_and_without_telemetry(counts):
+    bare = run_mixed_workload(counts)
+    with obs.session():
+        instrumented = run_mixed_workload(counts)
+    assert len(bare) == len(instrumented)
+    for bare_answers, instrumented_answers in zip(bare, instrumented):
+        np.testing.assert_array_equal(bare_answers, instrumented_answers)
+
+
+def test_engine_answers_unchanged_by_enable_disable_midstream(counts):
+    engine = HistogramEngine(counts, total_epsilon=1.0)
+    batch = QueryBatch.random(counts.size, 50, rng=1)
+    baseline = engine.submit(batch, "constrained", epsilon=0.25, seed=7).answers
+    with obs.session():
+        enabled = engine.submit(batch, "constrained", epsilon=0.25, seed=7).answers
+    after = engine.submit(batch, "constrained", epsilon=0.25, seed=7).answers
+    np.testing.assert_array_equal(baseline, enabled)
+    np.testing.assert_array_equal(baseline, after)

@@ -1,0 +1,150 @@
+"""Tests for the span tracer: nesting, errors, ring buffer, file sink."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestSpans:
+    def test_span_records_timing_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("serve.build_release", estimator="constrained"):
+            pass
+        (event,) = tracer.events()
+        assert event.name == "serve.build_release"
+        assert event.attributes == {"estimator": "constrained"}
+        assert event.duration >= 0.0
+        assert event.start_offset >= 0.0
+        assert event.depth == 0
+        assert event.parent_id is None
+        assert event.error is False
+
+    def test_nested_spans_record_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events("inner")[0], tracer.events("outer")[0]
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert outer.depth == 0
+        # inner closed first, so it is recorded first
+        assert tracer.events()[0].name == "inner"
+
+    def test_error_spans_still_close_and_are_flagged(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("stream.advance_epoch"):
+                raise RuntimeError("boom")
+        (event,) = tracer.events()
+        assert event.error is True
+        # the stack unwound: the next span is a root again
+        with tracer.span("after"):
+            pass
+        assert tracer.events("after")[0].depth == 0
+
+    def test_sibling_spans_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+            with tracer.span("child"):
+                pass
+        first, second = tracer.events("child")
+        parent = tracer.events("parent")[0]
+        assert first.parent_id == parent.span_id
+        assert second.parent_id == parent.span_id
+        assert first.span_id != second.span_id
+
+    def test_per_thread_stacks_do_not_interleave(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(label: str) -> None:
+            with tracer.span("outer", worker=label):
+                barrier.wait(timeout=10)
+                with tracer.span("inner", worker=label):
+                    barrier.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=worker, args=(str(i),), name=f"w{i}")
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # both threads' outer spans were open simultaneously, yet each
+        # inner span's parent is its own thread's outer span
+        outers = {
+            event.attributes["worker"]: event for event in tracer.events("outer")
+        }
+        for inner in tracer.events("inner"):
+            assert inner.parent_id == outers[inner.attributes["worker"]].span_id
+            assert inner.depth == 1
+            assert inner.thread == outers[inner.attributes["worker"]].thread
+
+
+class TestRingBuffer:
+    def test_old_events_fall_off(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"span-{index}"):
+                pass
+        assert len(tracer) == 3
+        assert [event.name for event in tracer.events()] == [
+            "span-2",
+            "span-3",
+            "span-4",
+        ]
+
+    def test_clear_drops_events(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.events() == []
+
+
+class TestSink:
+    def test_events_append_as_json_lines(self, tmp_path):
+        sink = tmp_path / "spans.jsonl"
+        tracer = Tracer(sink=sink)
+        with tracer.span("outer", shard=3):
+            with tracer.span("inner"):
+                pass
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 2
+        rows = [json.loads(line) for line in lines]
+        assert rows[0]["name"] == "inner"
+        assert rows[1]["name"] == "outer"
+        assert rows[1]["attributes"] == {"shard": 3}
+        assert rows[0]["parent_id"] == rows[1]["span_id"]
+        # the sink outlives the ring buffer
+        tracer.clear()
+        assert len(sink.read_text().splitlines()) == 2
+
+    def test_sink_survives_ring_buffer_eviction(self, tmp_path):
+        sink = tmp_path / "spans.jsonl"
+        tracer = Tracer(capacity=1, sink=sink)
+        for index in range(4):
+            with tracer.span(f"span-{index}"):
+                pass
+        assert len(tracer) == 1
+        assert len(sink.read_text().splitlines()) == 4
+
+    def test_to_json_matches_event_fields(self):
+        tracer = Tracer()
+        with tracer.span("a", epsilon=0.25):
+            pass
+        (event,) = tracer.events()
+        row = event.to_json()
+        assert row["span_id"] == event.span_id
+        assert row["name"] == "a"
+        assert row["attributes"] == {"epsilon": 0.25}
+        json.dumps(row)  # JSON-serializable as-is

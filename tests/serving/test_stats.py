@@ -1,0 +1,183 @@
+"""Tests for the serving stats accumulator and its snapshot consistency."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.stats import ServingStats, StatsSnapshot, combine_snapshots
+
+
+class TestRecordBatch:
+    def test_accumulates_all_counters(self):
+        stats = ServingStats()
+        stats.record_batch(10, 0.5, build_seconds=0.25, cold=True)
+        stats.record_batch(30, 1.5)
+        snapshot = stats.snapshot()
+        assert snapshot.requests == 2
+        assert snapshot.queries == 40
+        assert snapshot.total_seconds == 2.0
+        assert snapshot.min_batch_seconds == 0.5
+        assert snapshot.max_batch_seconds == 1.5
+        assert snapshot.last_batch_seconds == 1.5
+        assert snapshot.total_build_seconds == 0.25
+        assert snapshot.cold_builds == 1
+        assert snapshot.queries_per_second == 20.0
+        assert snapshot.mean_batch_seconds == 1.0
+
+    def test_idle_snapshot_is_all_zero(self):
+        snapshot = ServingStats().snapshot()
+        assert snapshot.requests == 0
+        assert snapshot.min_batch_seconds == 0.0
+        assert snapshot.queries_per_second == 0.0
+        assert snapshot.mean_batch_seconds == 0.0
+
+    def test_rejects_negative_inputs(self):
+        stats = ServingStats()
+        for bad in [(-1, 0.1), (1, -0.1)]:
+            with pytest.raises(ValueError, match="non-negative"):
+                stats.record_batch(*bad)
+        with pytest.raises(ValueError, match="non-negative"):
+            stats.record_batch(1, 0.1, build_seconds=-0.1)
+
+
+class TestSnapshotConsistency:
+    def test_snapshot_is_never_torn_under_concurrent_recording(self):
+        """A reader must never see queries from one batch with seconds from
+        another: every batch records the same fixed (queries, seconds)
+        pair, so any consistent snapshot satisfies exact invariants."""
+        # a power-of-two duration keeps the float sum exact, so the
+        # seconds invariant below can demand bit-equality
+        queries_per_batch, seconds_per_batch = 32, 2.0**-9
+        batches_per_thread, num_writers = 400, 4
+        stats = ServingStats()
+        stop = threading.Event()
+        violations = []
+
+        def writer():
+            for _ in range(batches_per_thread):
+                stats.record_batch(
+                    queries_per_batch, seconds_per_batch, build_seconds=0.0005
+                )
+
+        def reader():
+            while not stop.is_set():
+                snapshot = stats.snapshot()
+                if snapshot.queries != snapshot.requests * queries_per_batch:
+                    violations.append(("queries", snapshot))
+                if snapshot.total_seconds != snapshot.requests * seconds_per_batch:
+                    violations.append(("seconds", snapshot))
+                if snapshot.requests and (
+                    snapshot.min_batch_seconds != seconds_per_batch
+                    or snapshot.max_batch_seconds != seconds_per_batch
+                ):
+                    violations.append(("bounds", snapshot))
+
+        writers = [threading.Thread(target=writer) for _ in range(num_writers)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+
+        assert violations == []
+        final = stats.snapshot()
+        assert final.requests == batches_per_thread * num_writers
+        assert final.queries == final.requests * queries_per_batch
+
+    def test_merge_snapshot_folds_once_atomically(self):
+        stats = ServingStats()
+        stats.record_batch(10, 1.0, cold=True)
+        other = StatsSnapshot(
+            requests=3,
+            queries=30,
+            total_seconds=0.3,
+            min_batch_seconds=0.05,
+            max_batch_seconds=2.0,
+            last_batch_seconds=0.1,
+            total_build_seconds=0.5,
+            cold_builds=2,
+        )
+        stats.merge_snapshot(other)
+        merged = stats.snapshot()
+        assert merged.requests == 4
+        assert merged.queries == 40
+        assert merged.min_batch_seconds == 0.05
+        assert merged.max_batch_seconds == 2.0
+        assert merged.last_batch_seconds == 0.1
+        assert merged.total_build_seconds == 0.5
+        assert merged.cold_builds == 3
+
+    def test_merging_an_idle_snapshot_changes_nothing(self):
+        stats = ServingStats()
+        stats.record_batch(10, 1.0)
+        before = stats.snapshot()
+        stats.merge_snapshot(ServingStats().snapshot())
+        assert stats.snapshot() == before
+
+
+class TestCombineSnapshots:
+    def test_empty_iterable_is_the_idle_snapshot(self):
+        combined = combine_snapshots([])
+        assert combined == ServingStats().snapshot()
+
+    def test_idle_snapshots_do_not_disturb_extrema(self):
+        busy = StatsSnapshot(
+            requests=2,
+            queries=20,
+            total_seconds=1.0,
+            min_batch_seconds=0.4,
+            max_batch_seconds=0.6,
+            last_batch_seconds=0.6,
+        )
+        idle = ServingStats().snapshot()
+        combined = combine_snapshots([idle, busy, idle])
+        assert combined.min_batch_seconds == 0.4
+        assert combined.max_batch_seconds == 0.6
+        # the last *non-idle* snapshot wins
+        assert combined.last_batch_seconds == 0.6
+
+    def test_totals_sum_left_to_right(self):
+        parts = [
+            StatsSnapshot(
+                requests=1,
+                queries=index,
+                total_seconds=0.1 * index,
+                min_batch_seconds=0.1 * index,
+                max_batch_seconds=0.1 * index,
+                last_batch_seconds=0.1 * index,
+                total_build_seconds=0.01,
+                cold_builds=1,
+            )
+            for index in (1, 2, 3)
+        ]
+        combined = combine_snapshots(parts)
+        assert combined.requests == 3
+        assert combined.queries == 6
+        assert combined.total_seconds == pytest.approx(0.6)
+        assert combined.min_batch_seconds == pytest.approx(0.1)
+        assert combined.max_batch_seconds == pytest.approx(0.3)
+        assert combined.last_batch_seconds == pytest.approx(0.3)
+        assert combined.total_build_seconds == pytest.approx(0.03)
+        assert combined.cold_builds == 3
+
+    def test_matches_sequential_merge_snapshot(self):
+        parts = [
+            StatsSnapshot(
+                requests=2,
+                queries=10 * index,
+                total_seconds=0.2 * index,
+                min_batch_seconds=0.05 * index,
+                max_batch_seconds=0.15 * index,
+                last_batch_seconds=0.1 * index,
+            )
+            for index in (1, 2)
+        ]
+        accumulator = ServingStats()
+        for part in parts:
+            accumulator.merge_snapshot(part)
+        assert combine_snapshots(parts) == accumulator.snapshot()

@@ -535,3 +535,72 @@ class TestShardedCommands:
                 ["serve-sharded", "--store", "s",
                  "--dataset", "searchlogs", "--domain-bits", "12"]
             )
+
+
+class TestObservabilityCommands:
+    def test_stats_reports_a_bit_equal_ledger(self, capsys):
+        assert main(["stats"]) == 0
+        output = capsys.readouterr().out
+        assert "ε-ledger total: 1.125 across 3 tenants" in output
+        assert "bit-equal to the fleet accounting" in output
+        # one row per tenant of the mixed workload
+        for name in ("static", "sharded", "stream"):
+            assert name in output
+        # the span timing table saw the cold builds and epoch advances
+        assert "serve.build_release" in output
+        assert "stream.advance_epoch" in output
+
+    def test_stats_with_a_store_persists_releases(self, tmp_path, capsys):
+        store = tmp_path / "releases"
+        assert main(["stats", "--store", str(store)]) == 0
+        assert store.is_dir()
+        assert "ε-ledger total: 1.125" in capsys.readouterr().out
+
+    def test_export_metrics_prometheus_stdout_parses(self, capsys):
+        from repro.obs import parse_prometheus_text
+
+        assert main(["export-metrics"]) == 0
+        output = capsys.readouterr().out
+        samples = parse_prometheus_text(output)
+        assert samples[("repro_fleet_spent_epsilon", ())] == 1.125
+        assert samples[("repro_fleet_datasets", ())] == 3
+        # nothing but exposition format on stdout (pipeable to a scraper)
+        assert output.lstrip().startswith("#")
+
+    def test_export_metrics_json_document(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "metrics.json"
+        assert main(["export-metrics", "--format", "json", "--out", str(out_file)]) == 0
+        assert f"wrote json metrics to {out_file}" in capsys.readouterr().err
+        document = json.loads(out_file.read_text())
+        assert set(document) == {"epsilon_ledger", "metrics", "spans"}
+        ledger = document["epsilon_ledger"]
+        assert ledger["total_spent_epsilon"] == 1.125
+        assert sorted(ledger["datasets"]) == ["sharded", "static", "stream"]
+        assert document["spans"], "expected at least one recorded span"
+        counters = document["metrics"]["counters"]
+        assert "repro_serve_queries_total" in counters
+
+    def test_export_metrics_out_file_prometheus(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text
+
+        out_file = tmp_path / "metrics.prom"
+        assert main(["export-metrics", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        samples = parse_prometheus_text(out_file.read_text())
+        assert samples[("repro_fleet_spent_epsilon", ())] == 1.125
+
+    def test_obs_commands_leave_defaults_untouched(self):
+        from repro import obs
+
+        obs.reset()
+        baseline_registry = obs.registry()
+        assert main(["stats"]) == 0
+        assert not obs.enabled()
+        assert obs.registry() is baseline_registry
+        assert baseline_registry.families() == []
+
+    def test_export_metrics_unwritable_out_errors_cleanly(self, capsys):
+        assert main(["export-metrics", "--out", "/nonexistent-dir/x.prom"]) == 2
+        assert "cannot write metrics" in capsys.readouterr().err

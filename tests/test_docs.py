@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 import repro
+import repro.obs
 import repro.serving
 import repro.sharding
 from repro.cli import build_parser
@@ -25,7 +26,7 @@ from repro.cli import build_parser
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS_DIR = REPO_ROOT / "docs"
 
-AUDITED_PACKAGES = [repro.serving, repro.sharding]
+AUDITED_PACKAGES = [repro.obs, repro.serving, repro.sharding]
 
 
 def submodules(package):
@@ -110,7 +111,13 @@ class TestLinkIntegrity:
         return [*files, REPO_ROOT / "README.md"]
 
     def test_docs_exist(self):
-        for name in ("index.md", "architecture.md", "paper-map.md", "cli.md"):
+        for name in (
+            "index.md",
+            "architecture.md",
+            "paper-map.md",
+            "cli.md",
+            "observability.md",
+        ):
             assert (DOCS_DIR / name).is_file(), f"docs/{name} is missing"
 
     def test_internal_links_resolve(self):
