@@ -100,7 +100,7 @@ from repro.serving import (
     QueryBatch,
     ReleaseStore,
 )
-from repro.serving.store import _atomic_write_bytes
+from repro.utils.io_atomic import atomic_write_bytes
 from repro.sharding import ShardedHistogramEngine
 from repro.streaming import GeometricEpsilonSchedule, StreamingHistogramEngine
 from repro.utils.random import as_generator
@@ -273,7 +273,9 @@ def _registry_serving_stats(kind: str) -> dict:
     ``export-metrics`` publishes, so the human-readable output and the
     machine exposition cannot drift apart.
     """
-    snapshot = obs.registry().snapshot()
+    # Caller-gated: the serve commands call this inside `with
+    # obs.session():`, which enables observability for its extent.
+    snapshot = obs.registry().snapshot()  # statan: ignore[OBS001]
 
     def sample(section: str, name: str) -> dict | None:
         family = snapshot.get(section, {}).get(name)
@@ -453,7 +455,7 @@ def _parse_pending(raw: bytes, domain_size: int) -> np.ndarray:
 def _drop_pending_prefix(pending_path: Path, consumed_bytes: int) -> None:
     """Atomically remove the consumed prefix, preserving any appended tail."""
     tail = _read_pending_bytes(pending_path)[consumed_bytes:]
-    _atomic_write_bytes(pending_path, lambda handle: handle.write(tail))
+    atomic_write_bytes(pending_path, lambda handle: handle.write(tail))
 
 
 def _write_stream_counts(
@@ -465,7 +467,7 @@ def _write_stream_counts(
     lines.extend(f"{value:.1f}" for value in counts)
     payload = ("\n".join(lines) + "\n").encode("utf-8")
     path.parent.mkdir(parents=True, exist_ok=True)
-    _atomic_write_bytes(path, lambda handle: handle.write(payload))
+    atomic_write_bytes(path, lambda handle: handle.write(payload))
 
 
 def _load_stream_counts(
@@ -914,6 +916,26 @@ def _cmd_export_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Deferred import: the linter is a dev-facing tool and must not tax
+    # the serving commands' startup path.
+    from repro.statan.driver import run as statan_run
+
+    argv: list[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_passes:
+        argv.append("--list-passes")
+    return statan_run(argv)
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     registry = default_registry()
     rows = [
@@ -1298,6 +1320,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     datasets = subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
     datasets.set_defaults(handler=_cmd_datasets)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro.statan invariant linter over the source tree",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format (default: human)",
+    )
+    lint.add_argument(
+        "--baseline", help="baseline file of accepted findings"
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings into the baseline file",
+    )
+    lint.add_argument(
+        "--select", help="comma-separated finding codes to run (e.g. EPS001,DET001)"
+    )
+    lint.add_argument(
+        "--list-passes", action="store_true",
+        help="list the registered passes and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -84,10 +84,14 @@ class DataOwner:
                 f"query expects domain size {query.domain_size}, "
                 f"data has {self._counts.size}"
             )
-        params: PrivacyParameters = self.budget.spend(
-            epsilon, label=label or type(query).__name__
-        )
-        return query.randomize(self._counts, params, rng=rng)
+        # Charge-after-success: draw the noisy answer first, debit ε only
+        # once the fallible randomize step has produced it, so a failed
+        # build can never leak budget.  The un-released draw is harmless —
+        # it never leaves this method.
+        params = PrivacyParameters(epsilon, self.budget.total.delta)
+        answer = query.randomize(self._counts, params, rng=rng)
+        self.budget.spend(epsilon, label=label or type(query).__name__)
+        return answer
 
 
 class Analyst:

@@ -115,14 +115,14 @@ class _Family:
         self.name = _validate_name(name)
         self.help = str(help)
         self._lock = threading.Lock()
-        self._samples: dict = {}
-        self._label_names: tuple | None = None
+        self._samples: dict = {}  # guarded-by: _lock
+        self._label_names: tuple | None = None  # guarded-by: _lock
         #: raw kwargs-item tuple -> validated sample key; instrumented hot
         #: paths pass the same literal labels every call, so resolution is
         #: one dict hit instead of sort + regex + stringify per update
-        self._resolve_cache: dict = {}
+        self._resolve_cache: dict = {}  # guarded-by: _lock
 
-    def _resolve(self, labels: dict) -> tuple:
+    def _resolve_locked(self, labels: dict) -> tuple:
         try:
             cache_key = tuple(labels.items())
             cached = self._resolve_cache.get(cache_key)
@@ -161,7 +161,7 @@ class Counter(_Family):
                 f"counter {self.name!r} cannot decrease (amount={amount})"
             )
         with self._lock:
-            key = self._resolve(labels)
+            key = self._resolve_locked(labels)
             self._samples[key] = self._samples.get(key, 0.0) + float(amount)
 
     def value(self, **labels) -> float:
@@ -178,13 +178,13 @@ class Gauge(_Family):
     def set(self, value: float, **labels) -> None:
         """Set the labeled sample to ``value``."""
         with self._lock:
-            key = self._resolve(labels)
+            key = self._resolve_locked(labels)
             self._samples[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         """Add ``amount`` (may be negative) to the labeled sample."""
         with self._lock:
-            key = self._resolve(labels)
+            key = self._resolve_locked(labels)
             self._samples[key] = self._samples.get(key, 0.0) + float(amount)
 
     def value(self, **labels) -> float:
@@ -221,7 +221,7 @@ class Histogram(_Family):
         """Record one observation into the labeled sample."""
         value = float(value)
         with self._lock:
-            key = self._resolve(labels)
+            key = self._resolve_locked(labels)
             sample = self._samples.get(key)
             if sample is None:
                 sample = {
@@ -254,7 +254,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._families: dict[str, _Family] = {}
+        self._families: dict[str, _Family] = {}  # guarded-by: _lock
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Family:
         with self._lock:

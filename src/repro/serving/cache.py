@@ -80,16 +80,16 @@ class ReleaseCache:
             raise ReproError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self.store = store
-        self._entries: "OrderedDict[ReleaseKey, MaterializedRelease]" = OrderedDict()
         self._lock = threading.RLock()
-        self._build_locks: dict[ReleaseKey, threading.Lock] = {}
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._store_hits = 0
+        self._entries: "OrderedDict[ReleaseKey, MaterializedRelease]" = OrderedDict()  # guarded-by: _lock
+        self._build_locks: dict[ReleaseKey, threading.Lock] = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._store_hits = 0  # guarded-by: _lock
         #: keys whose release is cached but whose store write failed; the
         #: persist is retried on the next request for the key.
-        self._unpersisted: set[ReleaseKey] = set()
+        self._unpersisted: set[ReleaseKey] = set()  # guarded-by: _lock
 
     # -- lookups ---------------------------------------------------------------
 

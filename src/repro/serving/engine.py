@@ -108,7 +108,9 @@ def record_submit_metrics(
     gate on :func:`repro.obs.enabled` — this function assumes reporting
     is on.
     """
-    batches, queries, answer, build, cold = _submit_handles(obs.registry())
+    # Caller-gated contract (docstring above): every submit path checks
+    # obs.enabled() before calling in, keeping the hot path boolean-only.
+    batches, queries, answer, build, cold = _submit_handles(obs.registry())  # statan: ignore[OBS001]
     batches.inc(engine=engine_kind)
     queries.inc(num_queries, engine=engine_kind)
     answer.observe(answer_seconds, engine=engine_kind)
@@ -265,7 +267,7 @@ class HistogramEngine:
         #: number of times an actual private release was computed by *this*
         #: engine (charging its budget); cache and store hits leave it
         #: untouched, which is what the warm-start benchmarks assert.
-        self.materializations = 0
+        self.materializations = 0  # guarded-by: _materializations_lock
         self._materializations_lock = threading.Lock()
 
     # -- budget ----------------------------------------------------------------

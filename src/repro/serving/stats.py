@@ -108,14 +108,14 @@ class ServingStats:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._requests = 0
-        self._queries = 0
-        self._total_seconds = 0.0
-        self._min_seconds = float("inf")
-        self._max_seconds = 0.0
-        self._last_seconds = 0.0
-        self._build_seconds = 0.0
-        self._cold_builds = 0
+        self._requests = 0  # guarded-by: _lock
+        self._queries = 0  # guarded-by: _lock
+        self._total_seconds = 0.0  # guarded-by: _lock
+        self._min_seconds = float("inf")  # guarded-by: _lock
+        self._max_seconds = 0.0  # guarded-by: _lock
+        self._last_seconds = 0.0  # guarded-by: _lock
+        self._build_seconds = 0.0  # guarded-by: _lock
+        self._cold_builds = 0  # guarded-by: _lock
 
     def record_batch(
         self,

@@ -36,15 +36,14 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import re
-import tempfile
 import threading
 from pathlib import Path
 
 from repro import obs
 from repro.exceptions import ReleaseStoreError
 from repro.serving.release import FORMAT_VERSION, MaterializedRelease, ReleaseKey
+from repro.utils.io_atomic import atomic_write_bytes, atomic_write_json
 
 __all__ = ["ReleaseStore", "STORE_FORMAT_VERSION", "stream_ledger_path"]
 
@@ -100,26 +99,6 @@ def stream_ledger_path(root, name: str, suffix: str = ".json") -> Path:
     safe = _SAFE.sub("-", name)
     digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:8]
     return Path(root) / STREAMS_DIR / f"{safe}-{digest}{suffix}"
-
-
-def _atomic_write_bytes(path: Path, write) -> None:
-    """Run ``write(handle)`` against a temp file, then rename onto ``path``.
-
-    The single implementation of the write-then-rename crash-safety
-    protocol; the streaming tier's :mod:`repro.streaming.lineage` and the
-    CLI's owner-side stream state reuse it rather than re-implementing.
-    """
-    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
-    tmp = Path(tmp_name)
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            write(handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
 
 
 class ReleaseStore:
@@ -181,9 +160,8 @@ class ReleaseStore:
             "store_format_version": STORE_FORMAT_VERSION,
             "releases": self._manifest,
         }
-        payload = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
         try:
-            _atomic_write_bytes(self.manifest_path, lambda handle: handle.write(payload))
+            atomic_write_json(self.manifest_path, document)
         except OSError as error:
             raise ReleaseStoreError(
                 f"cannot write store manifest {self.manifest_path}: {error}"
@@ -220,7 +198,7 @@ class ReleaseStore:
         path = self.root / ARTIFACTS_DIR / _artifact_name(key)
         with self._lock:
             try:
-                _atomic_write_bytes(path, release._write_npz)
+                atomic_write_bytes(path, release._write_npz)
             except OSError as error:
                 raise ReleaseStoreError(
                     f"cannot persist release to {path}: {error}"

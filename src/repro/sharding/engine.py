@@ -258,15 +258,15 @@ class ShardedHistogramEngine:
         self.stats = ServingStats()
         #: sharded materializations that actually charged ε in this
         #: process; all-warm resolutions leave it untouched.
-        self.materializations = 0
+        self.materializations = 0  # guarded-by: _materialize_lock
         #: individual shard releases built cold by this engine.
-        self.shard_builds = 0
+        self.shard_builds = 0  # guarded-by: _materialize_lock
         self._materialize_lock = threading.Lock()
-        self._releases: dict[tuple, ShardedRelease] = {}
+        self._releases: dict[tuple, ShardedRelease] = {}  # guarded-by: _materialize_lock
         #: freshly built shard releases whose store write failed; the
         #: persist is retried on the next materialize/submit (ε for them
         #: was charged exactly once and is never re-spent).
-        self._unpersisted: list[MaterializedRelease] = []
+        self._unpersisted: list[MaterializedRelease] = []  # guarded-by: _materialize_lock
         self._shard_counts = self.plan.split(counts)
         self._shard_fingerprints = [
             fingerprint_counts(sub) for sub in self._shard_counts
@@ -356,17 +356,19 @@ class ShardedHistogramEngine:
         # Lock-free warm path: an identity this engine already assembled
         # is served without touching the build lock, so warm traffic is
         # never stalled behind another identity's multi-second cold build.
-        assembled = self._releases.get(identity)
+        # Reads are benign races on a dict that only ever grows: a miss
+        # falls through to the locked double-check below.
+        assembled = self._releases.get(identity)  # statan: ignore[LOCK001]
         if assembled is not None:
-            if self._unpersisted:
+            if self._unpersisted:  # statan: ignore[LOCK001] racy peek; locked flush re-checks
                 with self._materialize_lock:
-                    self._flush_unpersisted()
+                    self._flush_unpersisted_locked()
             return assembled, False
         with self._materialize_lock:
             assembled = self._releases.get(identity)
             if assembled is not None:
                 return assembled, False
-            self._flush_unpersisted()
+            self._flush_unpersisted_locked()
             shard_releases: list[MaterializedRelease | None] = []
             cold: list[int] = []
             for s, key in enumerate(keys):
@@ -440,10 +442,10 @@ class ShardedHistogramEngine:
             )
             self._releases[identity] = assembled
             if fresh:
-                self._persist_shards(fresh)
+                self._persist_shards_locked(fresh)
             return assembled, built
 
-    def _persist_shards(self, releases: list[MaterializedRelease]) -> None:
+    def _persist_shards_locked(self, releases: list[MaterializedRelease]) -> None:
         """Write fresh shard artifacts to the store, queueing failures.
 
         A failing write raises (durability loss must be loud) but the
@@ -462,16 +464,16 @@ class ShardedHistogramEngine:
                 raise
             pending.pop(0)
 
-    def _flush_unpersisted(self) -> None:
+    def _flush_unpersisted_locked(self) -> None:
         """Retry store writes that failed after their ε was charged.
 
         The caller must hold the materialize lock; a failing retry
-        re-parks the remainder (via :meth:`_persist_shards`) and raises.
+        re-parks the remainder (via :meth:`_persist_shards_locked`) and raises.
         """
         if not self._unpersisted:
             return
         pending, self._unpersisted = self._unpersisted, []
-        self._persist_shards(pending)
+        self._persist_shards_locked(pending)
 
     # -- serving ---------------------------------------------------------------
 

@@ -35,7 +35,7 @@ from pathlib import Path
 
 from repro.exceptions import ReleaseStoreError, ReproError
 from repro.serving.release import ReleaseKey
-from repro.serving.store import _atomic_write_bytes
+from repro.utils.io_atomic import atomic_write_json
 
 __all__ = ["ShardEpochRecord", "ShardedLineage", "SHARDED_LINEAGE_FORMAT_VERSION"]
 
@@ -139,9 +139,7 @@ class ShardedLineage:
             "sharded_lineage_format_version": SHARDED_LINEAGE_FORMAT_VERSION,
             "epochs": [record.to_json() for record in self._records],
         }
-        payload = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        _atomic_write_bytes(self.path, lambda handle: handle.write(payload))
+        atomic_write_json(self.path, document)
 
     # -- appends ---------------------------------------------------------------
 

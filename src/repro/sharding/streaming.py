@@ -139,7 +139,9 @@ class ShardedStreamingEngine:
             raise ReproError(
                 f"refresh_rows threshold must be >= 1, got {refresh_rows}"
             )
-        self._counts = counts
+        self._counts = counts  # guarded-by: _advance_lock
+        #: immutable after construction; serves lock-free domain_size reads
+        self._domain_size = int(counts.size)
         self.schedule = schedule
         self.refresh_rows = int(refresh_rows)
         self.estimator = canonical_estimator_name(estimator)
@@ -159,18 +161,19 @@ class ShardedStreamingEngine:
         self._buffer = IngestBuffer(counts.size)
         self.router = ShardRouter()
         self.stats = ServingStats()
-        #: epochs built (and charged) by this process.
-        self.materializations = 0
         self._advance_lock = threading.Lock()
         self._serve_lock = threading.Lock()
-        self._resume_unvalidated = False
+        #: epochs built (and charged) by this process.
+        self.materializations = 0  # guarded-by: _serve_lock
+        self._resume_unvalidated = False  # guarded-by: _advance_lock
         #: (epoch, assembled release, that epoch's scheduled εᵢ)
-        self._current: tuple[int, ShardedRelease, float] | None = None
+        self._current: tuple[int, ShardedRelease, float] | None = None  # guarded-by: _serve_lock
         #: per-shard releases currently served, refreshed selectively.
-        self._shard_releases: list[MaterializedRelease] | None = None
+        self._shard_releases: list[MaterializedRelease] | None = None  # guarded-by: _serve_lock
         self.lineage = self._open_lineage()
         if len(self.lineage):
-            self._resume_from_lineage()
+            with self._advance_lock:
+                self._resume_from_lineage_locked()
         elif build_first_epoch:
             self.advance_epoch()
 
@@ -184,8 +187,12 @@ class ShardedStreamingEngine:
             stream_ledger_path(store.root, self.name, ".sharded.json")
         )
 
-    def _resume_from_lineage(self) -> None:
-        """Warm restart: re-assemble the latest epoch, spending zero ε."""
+    def _resume_from_lineage_locked(self) -> None:
+        """Warm restart: re-assemble the latest epoch, spending zero ε.
+
+        Caller holds ``_advance_lock`` (the ``_locked`` convention); the
+        re-assembled release is still published under ``_serve_lock``.
+        """
         latest = self.lineage.latest
         store = self.cache.store
         if store is None:
@@ -261,8 +268,9 @@ class ShardedStreamingEngine:
             releases,
             dataset_fingerprint=fingerprint_counts(self._counts),
         )
-        self._shard_releases = releases
-        self._current = (latest.epoch, assembled, latest.epsilon)
+        with self._serve_lock:
+            self._shard_releases = releases
+            self._current = (latest.epoch, assembled, latest.epsilon)
         self._resume_unvalidated = True
 
     # -- budget ----------------------------------------------------------------
@@ -284,7 +292,7 @@ class ShardedStreamingEngine:
 
     @property
     def domain_size(self) -> int:
-        return int(self._counts.size)
+        return self._domain_size
 
     @property
     def num_shards(self) -> int:

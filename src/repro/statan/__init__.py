@@ -1,0 +1,65 @@
+"""statan — the repo's custom AST-based invariant linter.
+
+The stack's correctness rests on conventions that runtime tests can only
+probe, never prove: ε is charged exactly once and only *after* a
+successful build (charge-after-success), shared state is touched only
+under its guarding lock, every telemetry call is gated on
+``obs.enabled()``, imports respect the layer DAG, and the bit-equality
+kernels stay free of wall clocks and unseeded randomness.  ``statan``
+makes those conventions *static*: five passes walk the stdlib ``ast`` of
+every module and fail CI the moment a call site violates one.
+
+The pass catalog (see :doc:`docs/static-analysis.md` for the full
+contract of each):
+
+``EPS001``
+    ε-flow — every call path that can reach a noise sampler in
+    :mod:`repro.privacy.laplace` / :mod:`repro.privacy.geometric` must be
+    dominated by a :class:`~repro.privacy.budget.PrivacyBudget` charge,
+    and ``spend()`` may never precede the fallible noisy build call
+    inside one function.
+``LOCK001`` / ``LOCK002``
+    guarded-by discipline — attributes annotated ``# guarded-by: _lock``
+    may only be touched inside ``with self._lock``, and no blocking file
+    I/O (per :mod:`repro.utils.io_atomic`'s catalog) may run while such
+    a lock is held.
+``OBS001``
+    obs gating — every ``obs.registry()`` / ``obs.tracer()`` call outside
+    :mod:`repro.obs` must sit under an ``obs.enabled()`` guard or inside
+    ``with obs.session()``.
+``ARCH001``
+    layer DAG — imports must respect the layered architecture
+    (db → privacy → … → serving → streaming → sharding → cli) with no
+    module-level cycles.
+``DET001``
+    determinism — no ``time.time()``, stdlib ``random``, or unseeded
+    ``np.random`` inside the bit-equality kernel modules listed in the
+    pass's manifest.
+
+Findings can be suppressed per line with ``# statan: ignore[CODE]``
+pragmas or per project with the checked-in ``statan-baseline.json``; the
+shipped baseline is empty for ``src/repro`` — real findings get fixed,
+not baselined.  Run via ``python -m repro.statan src/repro`` or the
+``lint`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from repro.statan.core import (
+    Finding,
+    LintPass,
+    Program,
+    SourceModule,
+    registered_passes,
+)
+from repro.statan.driver import main, run
+
+__all__ = [
+    "Finding",
+    "LintPass",
+    "Program",
+    "SourceModule",
+    "registered_passes",
+    "main",
+    "run",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.statan`` — run the invariant linter."""
+
+from repro.statan.driver import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Baseline (suppression) files for statan runs.
+
+A baseline is a checked-in JSON file listing findings that are
+*accepted* — typically legacy debt in ``tests/`` or ``benchmarks/``
+while it is being paid down.  Entries match on the finding fingerprint
+``(code, path, message)``; line numbers are deliberately excluded so an
+edit above a baselined finding does not resurrect it.  Project policy
+(enforced by review, stated in ``docs/static-analysis.md``): the
+baseline must stay **empty for src/repro** — production findings get
+fixed or carry an inline pragma with a written justification, never a
+baseline entry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.statan.core import Finding, StatanError
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "split_by_baseline",
+]
+
+#: Schema version of the baseline file; bump when the layout changes.
+BASELINE_VERSION = 1
+
+#: The conventional baseline filename, looked up in the working
+#: directory when ``--baseline`` is not given.
+DEFAULT_BASELINE_NAME = "statan-baseline.json"
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """The set of accepted finding fingerprints recorded at ``path``."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise StatanError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(document, dict):
+        raise StatanError(
+            f"baseline {path} must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    version = document.get("statan_baseline_version")
+    if not isinstance(version, int) or version > BASELINE_VERSION:
+        raise StatanError(
+            f"baseline {path} has version {version!r}, newer than the "
+            f"supported {BASELINE_VERSION}"
+        )
+    entries = document.get("findings")
+    if not isinstance(entries, list):
+        raise StatanError(f"baseline {path} has no findings list")
+    fingerprints = set()
+    for entry in entries:
+        try:
+            fingerprints.add(
+                (str(entry["code"]), str(entry["path"]), str(entry["message"]))
+            )
+        except (KeyError, TypeError) as error:
+            raise StatanError(
+                f"malformed baseline entry {entry!r}: {error}"
+            ) from error
+    return fingerprints
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Record ``findings`` as the accepted baseline at ``path``."""
+    document = {
+        "statan_baseline_version": BASELINE_VERSION,
+        "findings": [
+            {"code": f.code, "path": f.path, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def split_by_baseline(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding]]:
+    """``(new, baselined)`` partition of ``findings`` against ``baseline``."""
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in findings:
+        (accepted if finding.fingerprint() in baseline else new).append(finding)
+    return new, accepted

@@ -1,0 +1,175 @@
+"""A name-based, project-wide call graph for flow-sensitive passes.
+
+Python cannot be statically resolved precisely without type inference,
+so statan uses the classic conservative approximation: every function
+definition (including methods and nested functions) is a node, and a
+call site ``f(...)`` / ``x.f(...)`` creates an edge to *every* function
+whose bare name is ``f``.  That over-approximates edges (unrelated
+``get``/``answer`` methods merge), which is the safe direction for
+EPS001: a noise-reaching path can gain spurious protection but never
+disappear.  Calls into functions the program does not define (``np.*``,
+stdlib) resolve by name only — the sampler and charge-call name sets are
+therefore meaningful even when :mod:`repro.privacy` itself is outside
+the analyzed file set (as in test fixtures).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.statan.core import Program, SourceModule
+
+__all__ = ["CallSite", "FunctionInfo", "CallGraph", "SAMPLER_NAMES"]
+
+#: The noise samplers of :mod:`repro.privacy.laplace` and
+#: :mod:`repro.privacy.geometric` — the roots of the EPS001 analysis.
+#: Any call path that reaches one of these draws mechanism noise and so
+#: must be dominated by a ``PrivacyBudget`` charge.
+SAMPLER_NAMES = frozenset(
+    {
+        "laplace_noise",
+        "laplace_noise_matrix",
+        "two_sided_geometric_noise",
+        "two_sided_geometric_noise_matrix",
+    }
+)
+
+
+class CallSite(NamedTuple):
+    """One call expression inside a function body."""
+
+    name: str
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method/nested-function definition node."""
+
+    index: int
+    module: SourceModule
+    node: ast.AST
+    bare_name: str
+    qualname: str
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def called_names(self) -> set[str]:
+        return {site.name for site in self.calls}
+
+
+def _call_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        # Calls on lock objects (self._serve_lock.release(), …) are lock
+        # protocol, not project functions; without this the ``release``
+        # method of a lock would name-merge with the DP release methods.
+        receiver = func.value
+        receiver_name = None
+        if isinstance(receiver, ast.Attribute):
+            receiver_name = receiver.attr
+        elif isinstance(receiver, ast.Name):
+            receiver_name = receiver.id
+        if receiver_name is not None and receiver_name.lower().endswith("lock"):
+            return None
+        return func.attr
+    return None
+
+
+def _collect_own_calls(fn_node: ast.AST) -> list[CallSite]:
+    """Call sites lexically in ``fn_node``, excluding nested function bodies.
+
+    Nested ``def``s are separate call-graph nodes, so only their
+    decorators belong to the enclosing function; lambda bodies stay
+    attributed to the enclosing function (conservative and simple).
+    """
+    sites: list[CallSite] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for decorator in child.decorator_list:
+                    visit(decorator)
+                continue
+            if isinstance(child, ast.Call):
+                name = _call_name(child)
+                if name is not None:
+                    sites.append(CallSite(name, child.lineno, child.col_offset))
+            visit(child)
+
+    visit(fn_node)
+    return sites
+
+
+class CallGraph:
+    """Functions plus name-merged caller/callee edges for a program."""
+
+    def __init__(self, functions: list[FunctionInfo]) -> None:
+        self.functions = functions
+        self.by_bare_name: dict[str, list[FunctionInfo]] = {}
+        for info in functions:
+            self.by_bare_name.setdefault(info.bare_name, []).append(info)
+        #: name -> indices of functions whose body calls that name
+        self.callers_of_name: dict[str, set[int]] = {}
+        for info in functions:
+            for name in info.called_names:
+                self.callers_of_name.setdefault(name, set()).add(info.index)
+
+    @classmethod
+    def build(cls, program: Program) -> "CallGraph":
+        """Collect every function definition across ``program``."""
+        functions: list[FunctionInfo] = []
+        for module in program.modules:
+            stack: list[str] = []
+
+            def visit(node: ast.AST) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qual = ".".join([*stack, child.name])
+                        info = FunctionInfo(
+                            index=len(functions),
+                            module=module,
+                            node=child,
+                            bare_name=child.name,
+                            qualname=f"{module.name}:{qual}",
+                        )
+                        info.calls = _collect_own_calls(child)
+                        functions.append(info)
+                        stack.append(child.name)
+                        visit(child)
+                        stack.pop()
+                    elif isinstance(child, ast.ClassDef):
+                        stack.append(child.name)
+                        visit(child)
+                        stack.pop()
+                    else:
+                        visit(child)
+
+            visit(module.tree)
+        return cls(functions)
+
+    def defs_named(self, name: str) -> list[FunctionInfo]:
+        """Every definition whose bare name is ``name``."""
+        return self.by_bare_name.get(name, [])
+
+    def callers_of(self, info: FunctionInfo) -> set[int]:
+        """Indices of functions containing a call spelled ``info.bare_name``."""
+        return self.callers_of_name.get(info.bare_name, set())
+
+    def transitive_callers(self, start: FunctionInfo) -> set[int]:
+        """All functions that can (by name) reach ``start``, excluding it."""
+        seen: set[int] = set()
+        frontier = list(self.callers_of(start))
+        while frontier:
+            index = frontier.pop()
+            if index in seen or index == start.index:
+                continue
+            seen.add(index)
+            frontier.extend(self.callers_of(self.functions[index]))
+        seen.discard(start.index)
+        return seen

@@ -1,0 +1,237 @@
+"""Core statan infrastructure: findings, modules, programs, pass registry.
+
+Everything pass-agnostic lives here.  A :class:`SourceModule` is one
+parsed file (source, AST, dotted module name, and its inline-pragma
+table); a :class:`Program` is the set of modules analyzed together plus
+lazily built shared facts (the project call graph).  Passes subclass
+:class:`LintPass` and self-register via the :func:`register` decorator;
+the driver materializes them with :func:`registered_passes`.
+
+Module identity is derived from the file path by locating the last
+``repro`` path component — ``src/repro/serving/engine.py`` becomes
+``repro.serving.engine``, and a test fixture checked in under
+``tests/statan/fixtures/eps001/bad/repro/serving/x.py`` becomes
+``repro.serving.x``.  That one rule lets the layer- and scope-sensitive
+passes treat fixture trees exactly like the real source tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "Program",
+    "LintPass",
+    "StatanError",
+    "register",
+    "registered_passes",
+    "module_name_for_path",
+]
+
+#: Inline suppression pragma: ``# statan: ignore[EPS001]`` or
+#: ``# statan: ignore[LOCK001,LOCK002]``, optionally followed by a
+#: free-text justification.
+PRAGMA = re.compile(r"#\s*statan:\s*ignore\[([A-Z0-9_,\s]+)\]")
+
+
+class StatanError(Exception):
+    """A statan run could not complete (unreadable or unparsable input)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordered by ``(path, line, col, code)`` so reports are stable across
+    runs; the :meth:`fingerprint` deliberately excludes line/col so a
+    baseline entry survives unrelated edits above the finding.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    pass_name: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """The identity used for baseline matching: (code, path, message)."""
+        return (self.code, self.path, self.message)
+
+    def to_json(self) -> dict:
+        """The finding as a JSON-report object."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "pass": self.pass_name,
+        }
+
+
+def module_name_for_path(path: Path) -> str:
+    """The dotted module name for ``path``, anchored at its ``repro`` part.
+
+    Falls back to the bare stem for files outside any ``repro`` package
+    (such files still get the location-free passes, but no layer rank).
+    """
+    parts = list(path.parts)
+    stem = path.stem
+    if "repro" not in parts[:-1]:
+        return stem
+    anchor = len(parts) - 1 - parts[:-1][::-1].index("repro") - 1
+    dotted = list(parts[anchor:-1])
+    if stem != "__init__":
+        dotted.append(stem)
+    return ".".join(dotted)
+
+
+class SourceModule:
+    """One parsed source file plus its statan-specific metadata."""
+
+    def __init__(self, path: Path, source: str) -> None:
+        self.path = Path(path)
+        self.name = module_name_for_path(self.path)
+        self.source = source
+        self.lines = source.splitlines()
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            raise StatanError(f"cannot parse {path}: {error}") from error
+        self.ignores: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = PRAGMA.search(line)
+            if match:
+                codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+                self.ignores.setdefault(lineno, set()).update(codes)
+
+    def is_ignored(self, line: int, code: str) -> bool:
+        """True when ``line`` carries an ``ignore`` pragma covering ``code``."""
+        return code in self.ignores.get(line, ())
+
+    def comment_on_line(self, lineno: int) -> str:
+        """The raw text of source line ``lineno`` (1-based), or ``""``."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SourceModule({self.name!r}, {str(self.path)!r})"
+
+
+class Program:
+    """The set of modules analyzed together, plus shared lazy facts."""
+
+    def __init__(self, modules: list[SourceModule]) -> None:
+        self.modules = modules
+        self.by_name = {module.name: module for module in modules}
+        self._callgraph = None
+
+    @classmethod
+    def load(cls, files: list[Path]) -> "Program":
+        """Parse ``files`` into a program; raises :class:`StatanError`."""
+        modules = []
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as error:
+                raise StatanError(f"cannot read {path}: {error}") from error
+            modules.append(SourceModule(path, source))
+        return cls(modules)
+
+    def callgraph(self):
+        """The project-wide name-based call graph, built once per run."""
+        if self._callgraph is None:
+            from repro.statan.callgraph import CallGraph
+
+            self._callgraph = CallGraph.build(self)
+        return self._callgraph
+
+
+class LintPass:
+    """Base class for statan passes.
+
+    Subclasses set ``name`` (stable identifier), ``codes`` (the finding
+    codes they may emit), and ``description`` (one line for
+    ``--list-passes``), then implement :meth:`run`.
+    """
+
+    name: str = ""
+    codes: tuple[str, ...] = ()
+    description: str = ""
+
+    def run(self, program: Program) -> list[Finding]:
+        """All findings for ``program``; pure — no I/O, no mutation."""
+        raise NotImplementedError
+
+    def finding(
+        self, module: SourceModule, node: ast.AST, code: str, message: str
+    ) -> Finding:
+        """A :class:`Finding` at ``node``'s location in ``module``."""
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+            pass_name=self.name,
+        )
+
+
+_REGISTRY: dict[str, type[LintPass]] = {}
+
+
+def register(pass_cls: type[LintPass]) -> type[LintPass]:
+    """Class decorator adding a pass to the global registry."""
+    if not pass_cls.name:
+        raise ValueError(f"{pass_cls.__name__} must set a pass name")
+    _REGISTRY[pass_cls.name] = pass_cls
+    return pass_cls
+
+
+def registered_passes() -> list[LintPass]:
+    """Fresh instances of every registered pass, in registration order.
+
+    Importing :mod:`repro.statan.driver` (or any pass module) populates
+    the registry; callers embedding statan should import the passes they
+    want first.
+    """
+    return [pass_cls() for pass_cls in _REGISTRY.values()]
+
+
+def walk_with_stack(tree: ast.AST):
+    """Yield ``(node, ancestors)`` pairs, ancestors outermost-first."""
+    stack: list[ast.AST] = []
+
+    def visit(node: ast.AST):
+        yield node, tuple(stack)
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        stack.pop()
+
+    yield from visit(tree)
+
+
+def dotted_call_name(func: ast.AST) -> str | None:
+    """``"os.replace"`` for ``os.replace(...)``, ``"open"`` for ``open(...)``.
+
+    Returns the dotted name when the callee is a plain name or attribute
+    chain rooted at a name, else ``None`` (computed callees are opaque to
+    every pass).
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,144 @@
+"""DET001 — bit-equality kernels stay clock-free and seed-disciplined.
+
+The repo's equivalence suites (batched-vs-scalar, sharded-vs-monolithic,
+store round-trips) all assert *bit-identical* outputs under a shared
+seed schedule.  That property survives only while the kernel modules —
+the samplers, estimators, inference, query evaluation, and release
+construction — draw every random number from an explicitly seeded
+generator and never read a wall clock.  This pass bans, inside the
+manifested kernel modules:
+
+* ``time.time()`` / ``time.time_ns()`` (wall clocks; ``perf_counter``
+  does not appear in kernels either, but only value-affecting calls are
+  banned),
+* any use of the stdlib ``random`` module (global, unseedable-per-call
+  state),
+* NumPy *global-state* randomness (``np.random.rand`` …,
+  ``np.random.seed``) and **unseeded** ``np.random.default_rng()`` —
+  seeded ``default_rng(seed)`` and the ``SeedSequence``/``Generator``
+  machinery are exactly what kernels should use.
+
+The manifest is a tuple of module-name prefixes; modules outside it
+(data synthesis, benchmarks, the CLI's timing paths) may use clocks
+freely.  The one sanctioned exception inside the manifest —
+``as_generator(None)``'s fresh-entropy fallback in
+:mod:`repro.utils.random` — carries an inline pragma naming its
+contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.statan.core import Finding, LintPass, Program, register
+
+__all__ = ["DeterminismPass", "KERNEL_MODULE_PREFIXES"]
+
+#: The bit-equality kernel manifest: module-name prefixes whose code must
+#: be deterministic given (inputs, seed).
+KERNEL_MODULE_PREFIXES = (
+    "repro.privacy.laplace",
+    "repro.privacy.geometric",
+    "repro.privacy.mechanism",
+    "repro.queries",
+    "repro.inference",
+    "repro.estimators",
+    "repro.db.histogram",
+    "repro.utils.random",
+    "repro.utils.arrays",
+    "repro.serving.release",
+    "repro.sharding.release",
+    "repro.sharding.plan",
+    "repro.sharding.router",
+)
+
+_WALL_CLOCKS = frozenset({"time.time", "time.time_ns"})
+_NP_ROOTS = frozenset({"np", "numpy"})
+
+
+def _dotted(func: ast.AST) -> list[str]:
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+@register
+class DeterminismPass(LintPass):
+    """No wall clocks, stdlib random, or unseeded np.random in kernels."""
+
+    name = "determinism"
+    codes = ("DET001",)
+    description = (
+        "kernel modules in the bit-equality manifest use no time.time(), "
+        "stdlib random, or unseeded/global numpy randomness"
+    )
+
+    def run(self, program: Program) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in program.modules:
+            if not module.name.startswith(KERNEL_MODULE_PREFIXES):
+                continue
+            imported_random_names = self._from_random_imports(module)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                parts = _dotted(node.func)
+                if not parts:
+                    continue
+                dotted = ".".join(parts)
+                message = None
+                if dotted in _WALL_CLOCKS:
+                    message = (
+                        f"{dotted}() reads the wall clock inside a "
+                        f"bit-equality kernel module"
+                    )
+                elif parts[0] == "random":
+                    message = (
+                        f"stdlib random call {dotted}() uses global RNG "
+                        f"state inside a bit-equality kernel module"
+                    )
+                elif len(parts) == 1 and parts[0] in imported_random_names:
+                    message = (
+                        f"{dotted}() (imported from stdlib random) uses "
+                        f"global RNG state inside a bit-equality kernel "
+                        f"module"
+                    )
+                elif (
+                    len(parts) >= 3
+                    and parts[0] in _NP_ROOTS
+                    and parts[1] == "random"
+                ):
+                    if parts[2] == "default_rng":
+                        if not node.args and not node.keywords:
+                            message = (
+                                "np.random.default_rng() without a seed is "
+                                "nondeterministic; pass an explicit seed or "
+                                "SeedSequence in kernel modules"
+                            )
+                    elif parts[2] not in {"Generator", "SeedSequence", "PCG64"}:
+                        message = (
+                            f"{dotted}() uses numpy's global RNG state; "
+                            f"kernels must draw from an explicitly seeded "
+                            f"Generator"
+                        )
+                if message is not None:
+                    findings.append(
+                        self.finding(module, node, "DET001", message)
+                    )
+        return findings
+
+    @staticmethod
+    def _from_random_imports(module) -> set[str]:
+        """Names bound by ``from random import ...`` in ``module``."""
+        names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+        return names

@@ -1,0 +1,180 @@
+"""The ``python -m repro.statan`` command-line driver.
+
+Collects ``.py`` files from the given paths, runs every registered pass
+(or a ``--select``-ed subset), applies inline pragmas and the baseline,
+renders the report, and exits 0 (clean), 1 (findings), or 2 (unusable
+input — unreadable file, syntax error, bad baseline).  The ``lint`` CLI
+subcommand is a thin wrapper over :func:`run`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Importing the pass modules populates the registry.
+from repro.statan import determinism  # noqa: F401
+from repro.statan import eps_flow  # noqa: F401
+from repro.statan import layers  # noqa: F401
+from repro.statan import locks  # noqa: F401
+from repro.statan import obs_gate  # noqa: F401
+from repro.statan.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    split_by_baseline,
+    write_baseline,
+)
+from repro.statan.core import Program, StatanError, registered_passes
+from repro.statan.report import RunResult, render_human, render_json
+
+__all__ = ["build_arg_parser", "run", "main"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The driver's argument parser (exposed for the CLI subcommand)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.statan",
+        description=(
+            "statan: AST-based invariant linter for ε-flow, lock "
+            "discipline, obs gating, layer boundaries, and determinism"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            f"baseline file of accepted findings (default: "
+            f"{DEFAULT_BASELINE_NAME} in the working directory, if present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: rewrite the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated finding codes to run (default: all passes)",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list registered passes and their finding codes, then exit",
+    )
+    return parser
+
+
+def _collect_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise StatanError(f"no such file or directory: {path}")
+    return files
+
+
+def run(argv: list[str] | None = None) -> int:
+    """Execute one lint run; returns the process exit code (0/1/2)."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    passes = registered_passes()
+    if args.list_passes:
+        for lint_pass in passes:
+            codes = ", ".join(lint_pass.codes)
+            print(f"{lint_pass.name} [{codes}]: {lint_pass.description}")
+        return 0
+
+    if args.select:
+        wanted = {code.strip().upper() for code in args.select.split(",")}
+        passes = [p for p in passes if wanted & set(p.codes)]
+        if not passes:
+            print(f"statan: no pass emits any of {sorted(wanted)}", file=sys.stderr)
+            return 2
+
+    try:
+        files = _collect_files(args.paths)
+        program = Program.load(files)
+
+        findings = []
+        for lint_pass in passes:
+            findings.extend(lint_pass.run(program))
+
+        visible = []
+        pragma_suppressed = 0
+        for finding in findings:
+            module = next(
+                (m for m in program.modules if str(m.path) == finding.path),
+                None,
+            )
+            if module is not None and module.is_ignored(
+                finding.line, finding.code
+            ):
+                pragma_suppressed += 1
+            else:
+                visible.append(finding)
+
+        baseline_path = None
+        if not args.no_baseline:
+            if args.baseline is not None:
+                baseline_path = Path(args.baseline)
+            elif Path(DEFAULT_BASELINE_NAME).is_file():
+                baseline_path = Path(DEFAULT_BASELINE_NAME)
+
+        if args.write_baseline:
+            target = Path(args.baseline or DEFAULT_BASELINE_NAME)
+            write_baseline(target, visible)
+            print(f"statan: wrote {len(visible)} finding(s) to {target}")
+            return 0
+
+        baseline_suppressed = 0
+        if baseline_path is not None:
+            baseline = load_baseline(baseline_path)
+            visible, accepted = split_by_baseline(visible, baseline)
+            baseline_suppressed = len(accepted)
+    except StatanError as error:
+        print(f"statan: error: {error}", file=sys.stderr)
+        return 2
+
+    result = RunResult(
+        findings=visible,
+        pragma_suppressed=pragma_suppressed,
+        baseline_suppressed=baseline_suppressed,
+        files_analyzed=len(program.modules),
+        passes=[p.name for p in passes],
+    )
+    renderer = render_json if args.format == "json" else render_human
+    print(renderer(result))
+    return result.exit_code
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Console entry point: :func:`run` + ``sys.exit``."""
+    sys.exit(run(argv))

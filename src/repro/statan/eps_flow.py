@@ -1,0 +1,146 @@
+"""EPS001 — ε-flow: noise must be charge-dominated, and charged *after*.
+
+Two rules, both rooted in the accounting contract the serving tiers have
+carried since the cache/engine PRs:
+
+**Rule A (charge-after-success, intra-function).**  In any function that
+both charges a budget (``spend`` / ``spend_fraction``) and makes a
+noise-reaching call, the first charge must come *after* the first noisy
+call.  Charging first means a failed build (dataset mismatch, store
+error, estimator bug) leaks ε that bought nothing; the repo's idiom is
+build-then-charge, with the charge as the last fallible step.
+
+**Rule B (charge domination, inter-procedural).**  For functions defined
+in the accounting tiers (``repro.serving``, ``repro.streaming``,
+``repro.sharding``), no function may be *exposed* — able to reach a
+sampler along a call path with no ``spend()`` on it — unless some
+transitive caller charges.  Charging functions absorb exposure: a path
+that passes through ``spend()`` is dominated by that charge.  An exposed
+function with no charging caller is a path that draws mechanism noise
+without any ``PrivacyBudget`` ever being debited — the exact shape of
+the budget-leak bugs the threaded ε-accounting tests were written
+against.
+
+The analysis rides the name-merged call graph
+(:mod:`repro.statan.callgraph`): edges are resolved by bare name, which
+over-approximates reachability — noisy paths can never vanish, though
+unrelated same-named methods may merge.  The analysis/core/CLI tiers are
+deliberately out of Rule B's scope: the experiment harness measures
+error against *known* true counts and reports ε rather than enforcing a
+budget, and its accounting is covered by the protocol tests instead.
+"""
+
+from __future__ import annotations
+
+from repro.statan.callgraph import SAMPLER_NAMES
+from repro.statan.core import Finding, LintPass, Program, register
+
+__all__ = ["EpsilonFlowPass", "CHARGE_NAMES", "RULE_B_SCOPE"]
+
+#: Call names that debit a :class:`~repro.privacy.budget.PrivacyBudget`.
+CHARGE_NAMES = frozenset({"spend", "spend_fraction"})
+
+#: Module-name prefixes whose functions must be charge-dominated (Rule B).
+RULE_B_SCOPE = ("repro.serving", "repro.streaming", "repro.sharding")
+
+
+@register
+class EpsilonFlowPass(LintPass):
+    """Charge-after-success ordering and charge domination of noise paths."""
+
+    name = "eps-flow"
+    codes = ("EPS001",)
+    description = (
+        "noise-reaching calls must be dominated by a PrivacyBudget charge, "
+        "and spend() must follow the fallible build call"
+    )
+
+    def run(self, program: Program) -> list[Finding]:
+        graph = program.callgraph()
+        functions = graph.functions
+
+        charging = {
+            info.index for info in functions if info.called_names & CHARGE_NAMES
+        }
+
+        # -- exposure: reaches a sampler along a charge-free path --------
+        # A function is *exposed* when it can reach a sampler without any
+        # charging function on the way: direct sampler callers that do
+        # not charge seed the set, and exposure propagates to callers
+        # that do not charge themselves.  Charging functions absorb
+        # exposure (paths through them are dominated by their charge), so
+        # name-merged recursion cannot deadlock the fixpoint.
+        exposed: set[int] = set()
+        frontier: list[int] = []
+        for info in functions:
+            if (
+                info.called_names & SAMPLER_NAMES
+                and info.index not in charging
+            ):
+                exposed.add(info.index)
+                frontier.append(info.index)
+        while frontier:
+            index = frontier.pop()
+            for caller in graph.callers_of(functions[index]):
+                if caller not in exposed and caller not in charging:
+                    exposed.add(caller)
+                    frontier.append(caller)
+
+        def noisy_sites(info):
+            """Call sites in ``info`` that draw (or may resolve to) noise."""
+            sites = []
+            for site in info.calls:
+                if site.name in SAMPLER_NAMES or any(
+                    d.index in exposed for d in graph.defs_named(site.name)
+                ):
+                    sites.append(site)
+            return sites
+
+        findings: list[Finding] = []
+        for info in functions:
+            sites = noisy_sites(info)
+
+            # Rule A: first charge must not precede the first noisy call.
+            if info.index in charging and sites:
+                charge_sites = [
+                    s for s in info.calls if s.name in CHARGE_NAMES
+                ]
+                first_charge = min((s.line, s.col) for s in charge_sites)
+                first_noisy = min((s.line, s.col) for s in sites)
+                if first_charge < first_noisy:
+                    line, col = first_charge
+                    findings.append(
+                        Finding(
+                            path=str(info.module.path),
+                            line=line,
+                            col=col,
+                            code="EPS001",
+                            message=(
+                                f"{info.qualname} charges the budget before "
+                                f"its noise-producing build call; charge "
+                                f"after the fallible build succeeds so a "
+                                f"failed build cannot leak ε"
+                            ),
+                            pass_name=self.name,
+                        )
+                    )
+
+            # Rule B: accounting-tier noise must be charge-dominated.
+            if info.index in exposed and info.module.name.startswith(
+                RULE_B_SCOPE
+            ):
+                ancestors = graph.transitive_callers(info)
+                if not (ancestors & charging):
+                    findings.append(
+                        self.finding(
+                            info.module,
+                            info.node,
+                            "EPS001",
+                            f"{info.qualname} can reach a noise sampler but "
+                            f"no PrivacyBudget charge dominates the path "
+                            f"(neither this function, any function on the "
+                            f"sampler path, nor any transitive caller calls "
+                            f"spend())",
+                        )
+                    )
+        return findings

@@ -1,0 +1,248 @@
+"""LOCK001/LOCK002 — guarded-by discipline for shared mutable state.
+
+The concurrent subsystems annotate their shared attributes at the point
+of initialization::
+
+    self._entries: dict[ReleaseKey, MaterializedRelease] = {}  # guarded-by: _lock
+
+(the comment may also sit on the line directly above when the
+assignment is long).  The annotations are the pass's ground truth:
+
+**LOCK001** — inside the class, every load or store of an annotated
+``self.<attr>`` must be lexically inside ``with self.<lock>:`` for the
+annotated lock.  Two documented escape hatches reflect real idioms
+rather than weaken the rule: ``__init__`` is exempt (the object is not
+yet shared), and methods whose name ends in ``_locked`` are exempt (the
+repo-wide convention that the caller already holds the lock — the
+callers themselves remain checked).  Deliberate lock-free fast paths
+(e.g. the sharded engine's warm read) carry an explicit
+``# statan: ignore[LOCK001]`` pragma with a justification.
+
+**LOCK002** — no blocking file I/O while holding an annotated lock.
+"Blocking I/O" is the canonical catalog exported by
+:mod:`repro.utils.io_atomic` (``open``, ``os.replace``, ``np.save`` …,
+plus ``Path`` method names), extended transitively through same-module
+helper functions.  Cross-module method calls (``self.store.put``) are
+not resolved — the durable tier (store, lineages) deliberately
+serializes its writes under its own single-writer lock, and its
+discipline is covered by the crash-safety tests; what LOCK002 polices is
+the serve-path classes, whose hot locks must never be held across a
+file operation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.statan.core import (
+    Finding,
+    LintPass,
+    Program,
+    SourceModule,
+    dotted_call_name,
+    register,
+)
+from repro.utils.io_atomic import BLOCKING_CALL_NAMES, BLOCKING_PATH_METHODS
+
+__all__ = ["LockDisciplinePass", "GUARDED_BY"]
+
+#: The annotation grammar: ``# guarded-by: _lock`` (trailing text allowed).
+GUARDED_BY = re.compile(r"#.*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``"x"`` when ``node`` is ``self.x``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _with_locks(node: ast.With) -> set[str]:
+    """Lock attribute names acquired by ``with self.<name>`` items."""
+    held: set[str] = set()
+    for item in node.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None:
+            held.add(attr)
+    return held
+
+
+def _collect_annotations(
+    module: SourceModule, class_node: ast.ClassDef
+) -> dict[str, str]:
+    """``{attr: lock}`` from guarded-by comments inside ``class_node``."""
+    guards: dict[str, str] = {}
+    for node in ast.walk(class_node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                for lineno in (node.lineno, node.lineno - 1):
+                    match = GUARDED_BY.search(module.comment_on_line(lineno))
+                    if match:
+                        guards[attr] = match.group(1)
+                        break
+    return guards
+
+
+def _local_callee_name(call: ast.Call) -> str | None:
+    """Callee name when the call can target a same-module function.
+
+    Only bare names (``helper(...)``) and self-method calls
+    (``self.helper(...)``) can resolve to functions defined in this
+    module.  An attribute call on any other receiver —
+    ``self._entries.append(...)`` — targets a foreign object, which the
+    name merge must not conflate with a local helper of the same name.
+    """
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return _self_attr(call.func)
+
+
+def _local_io_functions(module: SourceModule) -> set[str]:
+    """Bare names of same-module functions that (transitively) do file I/O."""
+    bodies: dict[str, list[ast.AST]] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bodies.setdefault(node.name, []).append(node)
+
+    def direct_io(fn: ast.AST) -> bool:
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Call) and _is_blocking_call(sub):
+                return True
+        return False
+
+    io_names = {name for name, fns in bodies.items() if any(map(direct_io, fns))}
+    changed = True
+    while changed:
+        changed = False
+        for name, fns in bodies.items():
+            if name in io_names:
+                continue
+            for fn in fns:
+                for sub in ast.walk(fn):
+                    if isinstance(sub, ast.Call):
+                        callee = _local_callee_name(sub)
+                        if callee in io_names and callee in bodies:
+                            io_names.add(name)
+                            changed = True
+                            break
+                if name in io_names:
+                    break
+    return io_names
+
+
+def _is_blocking_call(call: ast.Call) -> bool:
+    name = dotted_call_name(call.func)
+    if name is None:
+        return False
+    if name in BLOCKING_CALL_NAMES:
+        return True
+    tail = name.rsplit(".", 2)
+    if len(tail) >= 2 and ".".join(tail[-2:]) in BLOCKING_CALL_NAMES:
+        return True
+    return name.rsplit(".", 1)[-1] in BLOCKING_PATH_METHODS
+
+
+@register
+class LockDisciplinePass(LintPass):
+    """Annotated attributes stay under their lock; no I/O under a lock."""
+
+    name = "lock-discipline"
+    codes = ("LOCK001", "LOCK002")
+    description = (
+        "guarded-by annotated attributes are touched only under their lock, "
+        "and no blocking file I/O runs while an annotated lock is held"
+    )
+
+    def run(self, program: Program) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in program.modules:
+            io_functions = None  # built lazily, only for annotated classes
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                guards = _collect_annotations(module, node)
+                if not guards:
+                    continue
+                if io_functions is None:
+                    io_functions = _local_io_functions(module)
+                lock_names = set(guards.values())
+                for method in node.body:
+                    if not isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    exempt = (
+                        method.name == "__init__"
+                        or method.name.endswith("_locked")
+                    )
+                    self._check_method(
+                        module,
+                        method,
+                        guards,
+                        lock_names,
+                        io_functions,
+                        findings,
+                        check_access=not exempt,
+                    )
+        return findings
+
+    def _check_method(
+        self,
+        module: SourceModule,
+        method: ast.AST,
+        guards: dict[str, str],
+        lock_names: set[str],
+        io_functions: set[str],
+        findings: list[Finding],
+        check_access: bool,
+    ) -> None:
+        def visit(node: ast.AST, held: frozenset[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_held = held
+                if isinstance(child, ast.With):
+                    acquired = _with_locks(child) & lock_names
+                    if acquired:
+                        child_held = held | acquired
+                attr = _self_attr(child)
+                if check_access and attr is not None and attr in guards:
+                    required = guards[attr]
+                    if required not in held:
+                        findings.append(
+                            self.finding(
+                                module,
+                                child,
+                                "LOCK001",
+                                f"attribute 'self.{attr}' is guarded by "
+                                f"'self.{required}' but is accessed here "
+                                f"without holding it",
+                            )
+                        )
+                if isinstance(child, ast.Call) and held:
+                    blocking = _is_blocking_call(child)
+                    if not blocking:
+                        blocking = _local_callee_name(child) in io_functions
+                    if blocking:
+                        findings.append(
+                            self.finding(
+                                module,
+                                child,
+                                "LOCK002",
+                                f"blocking file I/O while holding "
+                                f"{sorted(held)}: move the I/O outside the "
+                                f"lock or stage it through io_atomic first",
+                            )
+                        )
+                visit(child, child_held)
+
+        visit(method, frozenset())

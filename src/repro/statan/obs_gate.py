@@ -1,0 +1,123 @@
+"""OBS001 — every telemetry call must be gated on ``obs.enabled()``.
+
+The observability layer's headline contract (PR 6) is the no-op fast
+path: with observability off, the serving tiers make *zero* registry or
+tracer calls — benchmarked at <5% overhead precisely because every call
+site pays one cheap boolean before touching the instrumentation.  This
+pass makes the convention structural: any ``obs.registry(...)`` or
+``obs.tracer(...)`` call outside :mod:`repro.obs` itself must be
+lexically inside either
+
+* the body of an ``if`` whose test contains ``obs.enabled()`` (directly
+  or as an ``and`` conjunct — ``if found and obs.enabled():``), or
+* a ``with obs.session():`` block (the CLI idiom: the session scopes a
+  fresh registry *and* enables observability for its extent).
+
+Helpers that are documented as caller-gated (their contract says "the
+caller checks ``obs.enabled()``") carry a per-line
+``# statan: ignore[OBS001]`` pragma naming that contract; everything
+else must carry its own guard.  Calls to ``obs.enabled`` /
+``obs.session`` and the test-harness setters are exempt — they *are*
+the gate.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.statan.core import Finding, LintPass, Program, register
+
+__all__ = ["ObsGatePass", "GATED_OBS_ATTRS"]
+
+#: ``obs.<attr>`` calls that must sit under a gate.
+GATED_OBS_ATTRS = frozenset({"registry", "tracer"})
+
+#: Module-name prefixes exempt from the pass (the layer itself).
+EXEMPT_PREFIXES = ("repro.obs", "repro.statan")
+
+
+def _is_obs_call(node: ast.AST, attrs: frozenset[str]) -> bool:
+    """True for ``obs.<attr>(...)`` with ``<attr>`` in ``attrs``."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in attrs
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "obs"
+    )
+
+
+def _test_is_enabled_guard(test: ast.AST) -> bool:
+    """True when ``test`` guarantees ``obs.enabled()`` held in the body.
+
+    Accepts ``obs.enabled()`` itself and any ``and``-conjunction with it
+    as a direct conjunct.  Negations and ``or``s do not guard.
+    """
+    candidates = [test]
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        candidates = list(test.values)
+    return any(
+        _is_obs_call(value, frozenset({"enabled"})) for value in candidates
+    )
+
+
+def _with_is_session(node: ast.With) -> bool:
+    return any(
+        _is_obs_call(item.context_expr, frozenset({"session"}))
+        for item in node.items
+    )
+
+
+@register
+class ObsGatePass(LintPass):
+    """obs.registry()/obs.tracer() calls must sit under an enabled() gate."""
+
+    name = "obs-gate"
+    codes = ("OBS001",)
+    description = (
+        "every obs.registry()/obs.tracer() call outside repro.obs sits "
+        "under an obs.enabled() guard or a with obs.session() block"
+    )
+
+    def run(self, program: Program) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in program.modules:
+            if module.name.startswith(EXEMPT_PREFIXES):
+                continue
+            self._check_module(module, findings)
+        return findings
+
+    def _check_module(self, module, findings: list[Finding]) -> None:
+        def visit(node: ast.AST, guarded: bool) -> None:
+            if isinstance(node, ast.If):
+                body_guarded = guarded or _test_is_enabled_guard(node.test)
+                visit(node.test, guarded)
+                for child in node.body:
+                    visit(child, body_guarded)
+                for child in node.orelse:
+                    visit(child, guarded)
+                return
+            if isinstance(node, ast.With) and _with_is_session(node):
+                for item in node.items:
+                    visit(item, guarded)
+                for child in node.body:
+                    visit(child, True)
+                return
+            if _is_obs_call(node, GATED_OBS_ATTRS) and not guarded:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "OBS001",
+                        f"obs.{node.func.attr}() call is not under an "
+                        f"obs.enabled() guard or obs.session() scope; the "
+                        f"no-op fast path requires every telemetry call "
+                        f"site to be gated",
+                    )
+                )
+            for child in ast.iter_child_nodes(node):
+                visit(child, guarded)
+
+        visit(module.tree, False)
+    # Functions defined inside a guarded region inherit the lexical
+    # guard, which matches how the engines nest their helper closures.

@@ -1,0 +1,65 @@
+"""Human and machine-readable rendering of a statan run.
+
+The human format is one ``path:line:col: CODE message`` line per finding
+(clickable in editors and CI logs) plus a summary; the JSON format is a
+versioned envelope consumed by the CI step and the schema test.  Both
+render the same :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.statan.core import Finding
+
+__all__ = ["REPORT_VERSION", "RunResult", "render_human", "render_json"]
+
+#: Schema version of the JSON report envelope; bump when it changes.
+REPORT_VERSION = 1
+
+
+@dataclass
+class RunResult:
+    """Everything one statan invocation produced."""
+
+    findings: list[Finding]
+    pragma_suppressed: int
+    baseline_suppressed: int
+    files_analyzed: int
+    passes: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no unsuppressed findings remain, 1 otherwise."""
+        return 1 if self.findings else 0
+
+
+def render_human(result: RunResult) -> str:
+    """The editor/CI-log friendly rendering of ``result``."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}"
+        for f in sorted(result.findings)
+    ]
+    lines.append(
+        f"statan: {len(result.findings)} finding(s) in "
+        f"{result.files_analyzed} file(s) "
+        f"[{result.pragma_suppressed} pragma-suppressed, "
+        f"{result.baseline_suppressed} baselined] "
+        f"passes: {', '.join(result.passes)}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: RunResult) -> str:
+    """The versioned JSON envelope for ``result``."""
+    document = {
+        "statan_report_version": REPORT_VERSION,
+        "passes": result.passes,
+        "files_analyzed": result.files_analyzed,
+        "findings": [f.to_json() for f in sorted(result.findings)],
+        "pragma_suppressed": result.pragma_suppressed,
+        "baseline_suppressed": result.baseline_suppressed,
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

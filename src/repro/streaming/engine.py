@@ -159,7 +159,10 @@ class StreamingHistogramEngine:
             raise ReproError(
                 f"schedule must implement epsilon_for(epoch), got {schedule!r}"
             )
-        self._counts = counts
+        self._counts = counts  # guarded-by: _advance_lock
+        #: immutable after construction; lets lock-free monitoring paths
+        #: read the domain size without touching the guarded counts
+        self._domain_size = int(counts.size)
         self.estimator = canonical_estimator_name(estimator)
         self.branching = int(branching)
         self.base_seed = int(seed)
@@ -178,22 +181,23 @@ class StreamingHistogramEngine:
         self._buffer = IngestBuffer(counts.size)
         self.planner = BatchQueryPlanner()
         self.stats = ServingStats()
-        self.materializations = 0
         #: the exception the most recent policy-triggered auto-refresh
         #: failed with, or ``None``; explicit advance_epoch() calls raise
         #: instead of recording here.
         self.last_refresh_error: BaseException | None = None
         self._advance_lock = threading.Lock()
         self._serve_lock = threading.Lock()
+        self.materializations = 0  # guarded-by: _serve_lock
         #: set on warm restart; the first epoch build validates the base
         #: counts against the lineage ledger before proceeding
-        self._resume_unvalidated = False
-        self._current: tuple[int, MaterializedRelease] | None = None
-        self._executor: ThreadPoolExecutor | None = None
+        self._resume_unvalidated = False  # guarded-by: _advance_lock
+        self._current: tuple[int, MaterializedRelease] | None = None  # guarded-by: _serve_lock
+        self._executor: ThreadPoolExecutor | None = None  # guarded-by: _executor_lock
         self._executor_lock = threading.Lock()
         self.lineage = self._open_lineage()
         if len(self.lineage):
-            self._resume_from_lineage()
+            with self._advance_lock:
+                self._resume_from_lineage_locked()
         elif build_first_epoch:
             self.advance_epoch()
 
@@ -205,8 +209,12 @@ class StreamingHistogramEngine:
             return EpochLineage()
         return EpochLineage(stream_ledger_path(store.root, self.name))
 
-    def _resume_from_lineage(self) -> None:
-        """Warm restart: serve the latest recorded epoch, spending zero ε."""
+    def _resume_from_lineage_locked(self) -> None:
+        """Warm restart: serve the latest recorded epoch, spending zero ε.
+
+        Caller holds ``_advance_lock`` (the ``_locked`` convention); the
+        published release is still swapped in under ``_serve_lock``.
+        """
         latest = self.lineage.latest
         store = self.cache.store
         release = store.get(latest.key) if store is not None else None
@@ -216,7 +224,8 @@ class StreamingHistogramEngine:
                 f"but its release artifact is missing from the store"
             )
         self.cache.put(latest.key, release)
-        self._current = (latest.epoch, release)
+        with self._serve_lock:
+            self._current = (latest.epoch, release)
         # Serving resumed releases needs no counts at all, but *building*
         # on stale base counts would silently rebase the stream and drop
         # every previously folded row — so the first build after a resume
@@ -244,7 +253,7 @@ class StreamingHistogramEngine:
 
     @property
     def domain_size(self) -> int:
-        return int(self._counts.size)
+        return self._domain_size
 
     @property
     def pending_rows(self) -> int:

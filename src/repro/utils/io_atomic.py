@@ -1,0 +1,126 @@
+"""Atomic file writes and the canonical blocking-I/O call catalog.
+
+This module is the single home of the write-then-rename crash-safety
+protocol used by every durable surface in the repo — the release store's
+artifacts and manifest (:mod:`repro.serving.store`), the monolithic and
+sharded stream lineages (:mod:`repro.streaming.lineage`,
+:mod:`repro.sharding.lineage`), and the CLI's owner-side stream state.
+Each write lands in a temporary file in the *same directory* as the
+target (so the final ``os.replace`` is a same-filesystem rename, which
+POSIX guarantees to be atomic), is flushed and fsynced, and only then
+renamed onto the destination.  A crash mid-write therefore leaves either
+the old file or the new file, never a truncation.
+
+It also exports :data:`BLOCKING_CALL_NAMES` and
+:data:`BLOCKING_PATH_METHODS` — the allowlist of call shapes that the
+``LOCK002`` static-analysis pass (:mod:`repro.statan.locks`) treats as
+blocking file I/O.  Keeping the catalog next to the helpers means a new
+I/O primitive added here is automatically policed at every lock-holding
+call site.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "BLOCKING_CALL_NAMES",
+    "BLOCKING_PATH_METHODS",
+]
+
+#: Bare and dotted call names (as they appear in source) that perform
+#: blocking file I/O.  Consumed by statan's LOCK002 pass: none of these
+#: may be called while a ``# guarded-by:`` lock is held.
+BLOCKING_CALL_NAMES = frozenset(
+    {
+        "open",
+        "atomic_write_bytes",
+        "atomic_write_json",
+        "io_atomic.atomic_write_bytes",
+        "io_atomic.atomic_write_json",
+        "os.replace",
+        "os.rename",
+        "os.fsync",
+        "os.fdopen",
+        "os.remove",
+        "os.unlink",
+        "os.makedirs",
+        "tempfile.mkstemp",
+        "tempfile.mkdtemp",
+        "json.dump",
+        "json.load",
+        "np.save",
+        "np.savez",
+        "np.savez_compressed",
+        "np.load",
+        "numpy.save",
+        "numpy.savez",
+        "numpy.savez_compressed",
+        "numpy.load",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.move",
+        "shutil.rmtree",
+    }
+)
+
+#: Method names that perform blocking file I/O when invoked on a
+#: :class:`~pathlib.Path`.  Kept separate from the dotted names because
+#: a static pass can only see the attribute name, not the receiver type;
+#: the list deliberately omits ambiguous names (``replace`` is also a
+#: ``str`` method) — the dotted ``os.replace`` form covers those.
+BLOCKING_PATH_METHODS = frozenset(
+    {
+        "read_text",
+        "read_bytes",
+        "write_text",
+        "write_bytes",
+        "mkdir",
+        "rmdir",
+        "touch",
+    }
+)
+
+
+def atomic_write_bytes(path: Path, write) -> None:
+    """Run ``write(handle)`` against a temp file, then rename onto ``path``.
+
+    ``write`` receives a binary file handle; whatever it writes becomes
+    the complete new content of ``path``.  The temp file is created in
+    ``path``'s directory so the final ``os.replace`` is an atomic
+    same-filesystem rename; on any failure the temp file is removed and
+    the original ``path`` (if any) is left untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_json(path: Path, document) -> None:
+    """Atomically serialize ``document`` as stable, readable JSON at ``path``.
+
+    The shared implementation behind every JSON ledger in the repo (store
+    manifest, stream lineages): ``indent=2`` + ``sort_keys=True`` keeps
+    the on-disk form diff-friendly and byte-stable for identical
+    documents, and parent directories are created on demand.
+    """
+    path = Path(path)
+    payload = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_bytes(path, lambda handle: handle.write(payload))

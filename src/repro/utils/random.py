@@ -24,7 +24,10 @@ def as_generator(rng: np.random.Generator | int | None = None) -> np.random.Gene
     callers sharing one generator consume a single stream.
     """
     if rng is None:
-        return np.random.default_rng()
+        # The documented fresh-entropy contract of rng=None: callers who
+        # need bit-reproducibility pass a seed; unseeded is the explicit
+        # opt-out, so DET001's no-unseeded-rng rule does not apply here.
+        return np.random.default_rng()  # statan: ignore[DET001]
     if isinstance(rng, np.random.Generator):
         return rng
     if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):

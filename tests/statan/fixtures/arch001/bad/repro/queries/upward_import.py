@@ -1,0 +1,11 @@
+"""ARCH001 fixture: a query-layer module importing the serving layer.
+
+The layer DAG orders queries (rank 3) strictly below serving (rank 9);
+an import-time dependency in this direction inverts the architecture.
+"""
+
+from repro.serving.engine import HistogramEngine
+
+
+def engine_for(counts, epsilon):
+    return HistogramEngine(counts, epsilon)

@@ -1,0 +1,15 @@
+"""ARCH001 fixture: query-layer module with only downward imports."""
+
+from repro.privacy.definitions import PrivacyParameters
+
+
+def params_for(epsilon):
+    return PrivacyParameters(epsilon)
+
+
+def engine_for(counts, epsilon):
+    # Deferred imports are the sanctioned escape hatch for coordinator
+    # code: they do not execute at import time, so they create no edge.
+    from repro.serving.engine import HistogramEngine
+
+    return HistogramEngine(counts, epsilon)

@@ -1,0 +1,13 @@
+"""DET001 fixture: nondeterminism inside a kernel-manifest module."""
+
+import time
+
+import numpy as np
+
+
+def jittered_estimate(values):
+    # Violations: a wall-clock read and global-state numpy randomness in
+    # a module covered by the bit-equality manifest.
+    started = time.time()
+    noise = np.random.rand(len(values))
+    return values + noise, started

@@ -1,0 +1,9 @@
+"""DET001 fixture: kernel module drawing only from seeded generators."""
+
+import numpy as np
+
+
+def seeded_estimate(values, seed):
+    rng = np.random.default_rng(seed)
+    noise = rng.standard_normal(len(values))
+    return values + noise

@@ -1,0 +1,24 @@
+"""EPS001 fixture: both ε-flow rules violated.
+
+``charge_then_build`` debits the budget *before* the fallible noise draw
+(Rule A); ``serve_noisy`` reaches a sampler with no charge anywhere on
+its caller chain (Rule B).
+"""
+
+from repro.privacy.laplace import laplace_noise
+
+
+class Owner:
+    def __init__(self, budget, counts):
+        self.budget = budget
+        self.counts = counts
+
+    def charge_then_build(self, epsilon):
+        # Rule A violation: spend() precedes the noise draw.
+        self.budget.spend(epsilon, label="fixture")
+        return laplace_noise(self.counts, epsilon)
+
+
+def serve_noisy(counts, epsilon):
+    # Rule B violation: exposed in repro.serving with no charging caller.
+    return laplace_noise(counts, epsilon)

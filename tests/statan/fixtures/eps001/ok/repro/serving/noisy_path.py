@@ -1,0 +1,16 @@
+"""EPS001 fixture: conforming charge-after-success ε-flow."""
+
+from repro.privacy.laplace import laplace_noise
+
+
+class Owner:
+    def __init__(self, budget, counts):
+        self.budget = budget
+        self.counts = counts
+
+    def build_then_charge(self, epsilon):
+        # Charge-after-success: the fallible draw happens first, the
+        # budget is debited only once it cannot fail anymore.
+        answer = laplace_noise(self.counts, epsilon)
+        self.budget.spend(epsilon, label="fixture")
+        return answer

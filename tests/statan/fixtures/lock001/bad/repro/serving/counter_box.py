@@ -1,0 +1,17 @@
+"""LOCK001 fixture: a guarded-by annotated attribute touched lock-free."""
+
+import threading
+
+
+class CounterBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        # Violation: the annotated counter is mutated without the lock.
+        self._count += 1
+
+    def value(self):
+        with self._lock:
+            return self._count

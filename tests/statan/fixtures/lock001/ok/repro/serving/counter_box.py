@@ -1,0 +1,22 @@
+"""LOCK001 fixture: every guarded access holds the annotated lock."""
+
+import threading
+
+
+class CounterBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def bump_locked(self):
+        # The _locked suffix documents the caller-holds-lock convention,
+        # which exempts the access from the lexical check.
+        self._count += 1
+
+    def value(self):
+        with self._lock:
+            return self._count

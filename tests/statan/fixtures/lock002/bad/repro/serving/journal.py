@@ -1,0 +1,17 @@
+"""LOCK002 fixture: blocking file I/O performed under an annotated lock."""
+
+import threading
+
+
+class Journal:
+    def __init__(self, path):
+        self._lock = threading.Lock()
+        self.path = path
+        self._entries = []  # guarded-by: _lock
+
+    def append(self, line):
+        with self._lock:
+            self._entries.append(line)
+            # Violation: a filesystem write while holding the lock stalls
+            # every reader behind disk latency.
+            self.path.write_text("\n".join(self._entries))

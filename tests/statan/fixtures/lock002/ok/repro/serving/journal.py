@@ -1,0 +1,16 @@
+"""LOCK002 fixture: the snapshot is taken under the lock, I/O outside it."""
+
+import threading
+
+
+class Journal:
+    def __init__(self, path):
+        self._lock = threading.Lock()
+        self.path = path
+        self._entries = []  # guarded-by: _lock
+
+    def append(self, line):
+        with self._lock:
+            self._entries.append(line)
+            snapshot = list(self._entries)
+        self.path.write_text("\n".join(snapshot))

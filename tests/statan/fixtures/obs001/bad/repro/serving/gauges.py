@@ -1,0 +1,9 @@
+"""OBS001 fixture: obs.registry() reached without an enabled() gate."""
+
+from repro import obs
+
+
+def publish(value):
+    # Violation: instantiates the process-wide registry even when
+    # observability is disabled.
+    obs.registry().gauge("fixture_value", "fixture").set(value)

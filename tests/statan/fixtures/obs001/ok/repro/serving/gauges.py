@@ -1,0 +1,13 @@
+"""OBS001 fixture: obs access gated on enabled() and session()."""
+
+from repro import obs
+
+
+def publish(value):
+    if obs.enabled():
+        obs.registry().gauge("fixture_value", "fixture").set(value)
+
+
+def publish_in_session(value):
+    with obs.session():
+        obs.registry().gauge("fixture_value", "fixture").set(value)

@@ -21,12 +21,13 @@ import repro
 import repro.obs
 import repro.serving
 import repro.sharding
+import repro.statan
 from repro.cli import build_parser
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS_DIR = REPO_ROOT / "docs"
 
-AUDITED_PACKAGES = [repro.obs, repro.serving, repro.sharding]
+AUDITED_PACKAGES = [repro.obs, repro.serving, repro.sharding, repro.statan]
 
 
 def submodules(package):
@@ -117,6 +118,7 @@ class TestLinkIntegrity:
             "paper-map.md",
             "cli.md",
             "observability.md",
+            "static-analysis.md",
         ):
             assert (DOCS_DIR / name).is_file(), f"docs/{name} is missing"
 
