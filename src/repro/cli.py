@@ -89,7 +89,12 @@ from repro.core.tasks import UnattributedHistogramTask, UniversalHistogramTask
 from repro.data.registry import default_registry
 from repro.data.synthetic import arrival_stream
 from repro.db.histogram import delta_counts
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    BudgetExhaustedError,
+    LineageConflictError,
+    ReproError,
+    StoreCorruptionError,
+)
 from repro.obs import EpsilonLedgerExporter
 from repro.serving import (
     ESTIMATOR_NAMES,
@@ -1358,12 +1363,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Exit codes for the failure classes scripts most often branch on.
+#: 2 stays the generic :class:`~repro.exceptions.ReproError` code (and is
+#: what argparse itself uses for bad usage); the specific codes let a
+#: caller distinguish "budget spent" (back off) from "store damaged"
+#: (operator attention) from "lineage conflict" (stale or forked state).
+EXIT_BUDGET_EXHAUSTED = 3
+EXIT_STORE_CORRUPTION = 4
+EXIT_LINEAGE_CONFLICT = 5
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.cli``."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except BudgetExhaustedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_BUDGET_EXHAUSTED
+    except StoreCorruptionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_STORE_CORRUPTION
+    except LineageConflictError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_LINEAGE_CONFLICT
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -29,8 +29,40 @@ class PrivacyBudgetError(ReproError):
     """An operation would exceed the available privacy budget."""
 
 
+class BudgetExhaustedError(PrivacyBudgetError):
+    """A charge was refused because it would exceed the remaining ε.
+
+    The *expected* budget failure (distinct from a misconfigured charge,
+    which stays a plain :class:`PrivacyBudgetError`): the caller asked
+    for more ε than the total leaves.  The CLI maps it to its own exit
+    code so operators can tell "budget spent" from "store broken".
+    """
+
+
 class ReleaseStoreError(ReproError):
     """A durable release store is missing, corrupt, or inconsistent."""
+
+
+class StoreCorruptionError(ReleaseStoreError):
+    """A store artifact or manifest failed an integrity check on load.
+
+    Raised when the damage cannot be isolated (a corrupt manifest);
+    per-artifact damage is instead *quarantined* by
+    :meth:`~repro.serving.store.ReleaseStore.get` (the artifact is
+    renamed to ``*.corrupt`` and the key falls through to a cold
+    rebuild), so one bad file never takes down the serve path.
+    """
+
+
+class LineageConflictError(ReleaseStoreError):
+    """A stream lineage disagrees with the engine or itself.
+
+    Covers out-of-order/gapped epoch appends, non-contiguous ledgers on
+    load, and warm-restart identity mismatches (plan, seed schedule,
+    ε schedule, estimator, or base counts that contradict the recorded
+    history) — all cases where continuing would corrupt the stream's
+    composition ledger.
+    """
 
 
 class SensitivityError(ReproError):

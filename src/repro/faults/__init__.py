@@ -1,0 +1,156 @@
+"""Deterministic fault injection, retry policies, and graceful degradation.
+
+This package is the robustness substrate of the serving stack, built
+from three independent pieces —
+
+* :mod:`repro.faults.injector`: a registry of named fault points
+  (``store.write``, ``lineage.append``, ``stream.epoch_build``, …) armed
+  with *seeded* schedules — fail the Nth invocation, fail with a seeded
+  probability, fail once then heal, or simulate a crash mid-write
+  through the :mod:`repro.utils.io_atomic` hooks — so every failure a
+  chaos test observes is reproducible from ``(schedule, seed)`` alone;
+* :mod:`repro.faults.retry`: :class:`~repro.faults.retry.RetryPolicy`,
+  exponential backoff with deterministic seeded jitter, bounded
+  attempts, and a per-attempt deadline — applied to store writes,
+  lineage appends, and per-shard builds, always *around* fallible I/O
+  and never around an ε charge, so a retry can never re-spend budget;
+* :mod:`repro.faults.degrade`: a per-tenant
+  :class:`~repro.faults.degrade.CircuitBreaker` for stale-serve mode —
+  a failed epoch refresh trips the breaker, the engine keeps answering
+  from the last published release with a ``degraded`` flag, and a
+  successful probe closes it —
+
+plus the module-level default injector the engines consult.
+
+**The no-op fast path is the contract**, exactly as for
+:mod:`repro.obs`: injection is *disabled* by default, and every
+instrumented call site guards with ``if faults.enabled():`` before
+calling :func:`check`, so a production deployment pays one
+module-attribute read and a branch per site — zero calls into the
+injector and bit-identical answers.  Tests prove this with a counting
+double installed via :func:`set_injector` while injection stays
+disabled.
+
+This package sits at the bottom of the layer DAG next to
+``repro.utils``: the storage and serving tiers import *it*, never the
+reverse (it depends only on :mod:`repro.exceptions`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Mapping
+
+from repro.faults.degrade import BreakerSnapshot, CircuitBreaker
+from repro.faults.injector import (
+    FAULT_POINTS,
+    CrashFault,
+    FailFirst,
+    FailNth,
+    FailWithProbability,
+    FaultError,
+    FaultInjector,
+    FaultSchedule,
+)
+from repro.faults.retry import RetryPolicy, run_with_retry
+
+__all__ = [
+    "FAULT_POINTS",
+    "BreakerSnapshot",
+    "CircuitBreaker",
+    "CrashFault",
+    "FailFirst",
+    "FailNth",
+    "FailWithProbability",
+    "FaultError",
+    "FaultInjector",
+    "FaultSchedule",
+    "RetryPolicy",
+    "run_with_retry",
+    "enabled",
+    "enable",
+    "disable",
+    "injector",
+    "set_injector",
+    "check",
+    "reset",
+    "session",
+]
+
+_enabled: bool = False
+_injector: FaultInjector = FaultInjector()
+
+
+def enabled() -> bool:
+    """Whether instrumented call sites should consult the injector.
+
+    The hot-path gate: every fault point in the storage and serving
+    tiers reads this one module attribute before doing anything else, so
+    the disabled path performs zero injector calls.
+    """
+    return _enabled
+
+
+def enable() -> None:
+    """Arm the current default injector's schedules at every fault point."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Disarm injection; the injector keeps its schedules and counters."""
+    global _enabled
+    _enabled = False
+
+
+def injector() -> FaultInjector:
+    """The default injector instrumented call sites consult."""
+    return _injector
+
+
+def set_injector(new: FaultInjector) -> FaultInjector:
+    """Install ``new`` as the default injector, returning the previous one.
+
+    Independent of :func:`enabled` on purpose: tests install counting
+    doubles while injection stays disabled to prove the no-op fast path
+    really performs zero fault-layer calls.
+    """
+    global _injector
+    previous, _injector = _injector, new
+    return previous
+
+
+def check(point: str) -> None:
+    """Consult the default injector at ``point`` (may raise a fault).
+
+    Call sites must gate with ``if faults.enabled():`` — calling this
+    unconditionally would defeat the zero-overhead contract.
+    """
+    _injector.check(point)
+
+
+def reset() -> None:
+    """Disable injection and replace the default injector with a fresh one."""
+    global _enabled, _injector
+    _enabled = False
+    _injector = FaultInjector()
+
+
+@contextmanager
+def session(schedules: "Mapping[str, FaultSchedule] | None" = None):
+    """Enable injection with a fresh injector for one scoped workload.
+
+    Yields the :class:`FaultInjector`; on exit the previous injector and
+    enabled state are restored exactly, so a chaos test can arm
+    schedules without leaking state into the process-wide defaults.
+    """
+    global _enabled
+    fresh = FaultInjector(schedules)
+    previous_injector = set_injector(fresh)
+    previous_enabled = _enabled
+    _enabled = True
+    try:
+        yield fresh
+    finally:
+        _enabled = previous_enabled
+        set_injector(previous_injector)

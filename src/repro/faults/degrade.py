@@ -1,0 +1,208 @@
+"""Per-tenant circuit breaking and the stale-serve degradation mode.
+
+When a stream's epoch build starts failing — disk trouble, an exhausted
+mechanism dependency, an injected chaos schedule — the worst response is
+to hammer the failing path on every ingest *or* to stop answering
+queries.  Neither is necessary: the last published release is immutable
+and still perfectly valid (it simply grows stale), and failures carry
+information worth surfacing.  :class:`CircuitBreaker` packages the
+standard pattern, deterministically:
+
+* every failed build is recorded; ``failure_threshold`` consecutive
+  failures *trip* the breaker (open state);
+* while open, the owning engine keeps serving the last published
+  release and flags every answer ``degraded=True``; policy-triggered
+  auto-refreshes are suppressed except for one deterministic *probe*
+  every ``probe_interval`` opportunities (explicit
+  ``advance_epoch()`` calls are always probes — an operator decision
+  outranks the breaker);
+* one successful build closes the breaker and clears the degradation
+  flag.
+
+The breaker is a pure counter machine — no wall clocks — so chaos tests
+replay identically: the same failure schedule produces the same trip,
+the same skipped refreshes, and the same healing probe every run.  The
+fleet surfaces every tenant's :class:`BreakerSnapshot` (state, trip
+count, last error) through ``FleetStats.stream_health`` and, when
+observability is enabled, as gauges on the default registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+__all__ = ["BreakerSnapshot", "CircuitBreaker"]
+
+#: Breaker states (plain strings so snapshots serialize trivially).
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+
+
+@dataclass(frozen=True)
+class BreakerSnapshot:
+    """A point-in-time, immutable view of one tenant's circuit breaker."""
+
+    name: str
+    state: str
+    degraded: bool
+    consecutive_failures: int
+    failure_threshold: int
+    trips: int
+    probes_allowed: int
+    refreshes_suppressed: int
+    last_error: str | None
+
+    def to_json(self) -> dict:
+        """A plain-dict form for reports and the CLI."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "degraded": self.degraded,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "trips": self.trips,
+            "probes_allowed": self.probes_allowed,
+            "refreshes_suppressed": self.refreshes_suppressed,
+            "last_error": self.last_error,
+        }
+
+
+class CircuitBreaker:
+    """Trip on consecutive failures; heal on one success; probe on a cadence.
+
+    Parameters
+    ----------
+    name:
+        The tenant this breaker protects (used in snapshots/telemetry).
+    failure_threshold:
+        Consecutive failures that trip the breaker (default 1: the first
+        failed refresh already degrades the tenant).
+    probe_interval:
+        While open, every ``probe_interval``-th :meth:`allow_probe` call
+        is allowed through as a half-open probe; the rest are suppressed.
+        Purely counter-based, so the cadence is deterministic.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        failure_threshold: int = 1,
+        probe_interval: int = 4,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if probe_interval < 1:
+            raise ReproError(
+                f"probe_interval must be >= 1, got {probe_interval}"
+            )
+        self.name = str(name)
+        self.failure_threshold = int(failure_threshold)
+        self.probe_interval = int(probe_interval)
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0  # guarded-by: _lock
+        self._open = False  # guarded-by: _lock
+        self._trips = 0  # guarded-by: _lock
+        self._probe_clock = 0  # guarded-by: _lock
+        self._probes_allowed = 0  # guarded-by: _lock
+        self._suppressed = 0  # guarded-by: _lock
+        self._last_error: str | None = None  # guarded-by: _lock
+
+    # -- outcomes --------------------------------------------------------------
+
+    def record_failure(self, error: BaseException | str) -> bool:
+        """Record one failed build; returns ``True`` when this trips it."""
+        if isinstance(error, BaseException):
+            message = str(error) or error.__class__.__name__
+        else:
+            message = str(error)
+        with self._lock:
+            self._last_error = message
+            self._consecutive_failures += 1
+            if self._open or self._consecutive_failures < self.failure_threshold:
+                return False
+            self._open = True
+            self._trips += 1
+            self._probe_clock = 0
+            return True
+
+    def record_success(self) -> bool:
+        """Record one successful build; returns ``True`` when this heals it."""
+        with self._lock:
+            healed = self._open
+            self._open = False
+            self._consecutive_failures = 0
+            self._last_error = None
+            self._probe_clock = 0
+            return healed
+
+    def allow_probe(self) -> bool:
+        """Whether an *automatic* refresh may run right now.
+
+        Closed: always ``True`` (normal operation).  Open: one call in
+        every :attr:`probe_interval` is let through as the half-open
+        probe; the others are suppressed (and counted), which is the
+        graceful part of the degradation — a failing build path is not
+        hammered on every ingest.  Explicit ``advance_epoch()`` calls
+        bypass this check entirely.
+        """
+        with self._lock:
+            if not self._open:
+                return True
+            self._probe_clock += 1
+            if self._probe_clock >= self.probe_interval:
+                self._probe_clock = 0
+                self._probes_allowed += 1
+                return True
+            self._suppressed += 1
+            return False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the tenant is currently serving stale answers."""
+        with self._lock:
+            return self._open
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return STATE_OPEN if self._open else STATE_CLOSED
+
+    @property
+    def last_error(self) -> str | None:
+        """The most recent failure message, or ``None`` after healing."""
+        with self._lock:
+            return self._last_error
+
+    @property
+    def trips(self) -> int:
+        with self._lock:
+            return self._trips
+
+    def snapshot(self) -> BreakerSnapshot:
+        """An immutable, consistent view of the breaker's counters."""
+        with self._lock:
+            return BreakerSnapshot(
+                name=self.name,
+                state=STATE_OPEN if self._open else STATE_CLOSED,
+                degraded=self._open,
+                consecutive_failures=self._consecutive_failures,
+                failure_threshold=self.failure_threshold,
+                trips=self._trips,
+                probes_allowed=self._probes_allowed,
+                refreshes_suppressed=self._suppressed,
+                last_error=self._last_error,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CircuitBreaker(name={self.name!r}, state={self.state!r}, "
+            f"trips={self.trips})"
+        )

@@ -1,0 +1,262 @@
+"""Named fault points with deterministic, seeded failure schedules.
+
+A *fault point* is a stable string name for one fallible operation in
+the storage and serving tiers (``store.write``, ``lineage.append``,
+``io.replace``, …; the closed catalog is :data:`FAULT_POINTS`).  The
+instrumented call sites consult the process-default
+:class:`FaultInjector` — behind the ``if faults.enabled():`` gate — and
+an armed schedule decides, from the point's invocation counter alone,
+whether that invocation fails.  Every schedule is a deterministic
+function of its construction arguments (including an explicit seed for
+the probabilistic one), so a chaos run is exactly reproducible and a
+shrinking failure can be replayed from its ``(point, schedule)`` pair.
+
+Two error shapes are injected:
+
+* :class:`FaultError` — an ordinary transient failure (the analogue of
+  a full disk or a flaky filesystem); callers see it where an
+  ``OSError`` would surface, and retry policies treat it as retryable;
+* :class:`CrashFault` — a simulated *process death* mid-operation; the
+  :mod:`repro.utils.io_atomic` hooks deliberately leave their temp file
+  behind on this one (a real crash cleans nothing), which is what the
+  crash-recovery tests sweep up.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Iterable, Mapping
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultError",
+    "CrashFault",
+    "FaultSchedule",
+    "FailNth",
+    "FailFirst",
+    "FailWithProbability",
+    "FaultInjector",
+]
+
+#: The closed catalog of fault-point names.  Arming an unknown name is a
+#: hard error — a typo must not silently produce a fault-free chaos run.
+FAULT_POINTS = frozenset(
+    {
+        # durable tier
+        "store.write",  # ReleaseStore.put: artifact + manifest persistence
+        "store.load",  # ReleaseStore.get: artifact load from disk
+        "lineage.append",  # Epoch/Sharded lineage: ledger persistence
+        "io.flush",  # io_atomic: flush/fsync of the temp file
+        "io.replace",  # io_atomic: the atomic rename (crash-mid-write)
+        # serving tier
+        "cache.fill",  # ReleaseCache.get_or_build: miss resolution
+        "shard.build",  # build_shard_releases: one shard's computation
+        "stream.epoch_build",  # streaming engines: the epoch build step
+    }
+)
+
+
+class FaultError(ReproError):
+    """An injected transient failure at a named fault point."""
+
+    def __init__(self, point: str, invocation: int, message: str | None = None):
+        self.point = point
+        self.invocation = invocation
+        super().__init__(
+            message
+            or f"injected fault at {point!r} (invocation {invocation})"
+        )
+
+
+class CrashFault(FaultError):
+    """An injected simulated crash: the operation dies mid-flight.
+
+    :func:`repro.utils.io_atomic.atomic_write_bytes` treats this one
+    specially — the temp file is left on disk exactly as a killed
+    process would leave it, so recovery paths are exercised for real.
+    """
+
+    def __init__(self, point: str, invocation: int):
+        super().__init__(
+            point,
+            invocation,
+            f"injected crash at {point!r} (invocation {invocation})",
+        )
+
+
+class FaultSchedule:
+    """Decides, per invocation, whether a fault point fails.
+
+    Subclasses implement :meth:`should_fail` as a deterministic function
+    of the 1-based invocation number (plus any seeded internal state
+    consumed in invocation order).  Set :attr:`crash` to inject
+    :class:`CrashFault` instead of :class:`FaultError`.
+    """
+
+    #: inject a simulated crash instead of a transient error
+    crash: bool = False
+
+    def should_fail(self, invocation: int) -> bool:
+        """Whether the ``invocation``-th check at this point fails."""
+        raise NotImplementedError
+
+    def make_error(self, point: str, invocation: int) -> FaultError:
+        """The exception to raise for a failing invocation."""
+        if self.crash:
+            return CrashFault(point, invocation)
+        return FaultError(point, invocation)
+
+
+class FailNth(FaultSchedule):
+    """Fail exactly the given 1-based invocation numbers.
+
+    ``FailNth(1)`` fails the first call only; ``FailNth((2, 3))`` the
+    second and third.  ``crash=True`` injects :class:`CrashFault`.
+    """
+
+    def __init__(self, nth: int | Iterable[int], *, crash: bool = False):
+        numbers = {nth} if isinstance(nth, int) else set(nth)
+        if not numbers or any(n < 1 for n in numbers):
+            raise ReproError(
+                f"FailNth needs 1-based invocation numbers, got {sorted(numbers)}"
+            )
+        self.numbers = frozenset(numbers)
+        self.crash = bool(crash)
+
+    def should_fail(self, invocation: int) -> bool:
+        return invocation in self.numbers
+
+
+class FailFirst(FaultSchedule):
+    """Fail the first ``count`` invocations, then heal permanently.
+
+    ``FailFirst(1)`` is the canonical fail-once-then-heal schedule: the
+    first attempt fails, every retry succeeds.
+    """
+
+    def __init__(self, count: int = 1, *, crash: bool = False):
+        if count < 1:
+            raise ReproError(f"FailFirst count must be >= 1, got {count}")
+        self.count = int(count)
+        self.crash = bool(crash)
+
+    def should_fail(self, invocation: int) -> bool:
+        return invocation <= self.count
+
+
+class FailWithProbability(FaultSchedule):
+    """Fail each invocation independently with seeded probability ``p``.
+
+    The draws come from a private ``random.Random(seed)`` consumed one
+    per invocation, so the exact failure pattern is a deterministic
+    function of ``(p, seed)`` and the invocation order — a chaos sweep
+    over seeds is reproducible bit-for-bit.
+    """
+
+    def __init__(self, p: float, seed: int, *, crash: bool = False):
+        if not 0.0 <= p <= 1.0:
+            raise ReproError(f"failure probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.seed = int(seed)
+        self.crash = bool(crash)
+        self._rng = random.Random(self.seed)
+
+    def should_fail(self, invocation: int) -> bool:
+        return self._rng.random() < self.p
+
+
+class FaultInjector:
+    """A thread-safe registry of armed fault schedules and counters.
+
+    Every :meth:`check` increments the point's invocation counter even
+    when no schedule is armed, so tests can assert exactly how many
+    times a code path consulted the layer (and — with a counting double
+    installed while injection is disabled — that the production path
+    performs *zero* such calls).
+    """
+
+    def __init__(
+        self, schedules: "Mapping[str, FaultSchedule] | None" = None
+    ) -> None:
+        self._lock = threading.Lock()
+        self._schedules: dict[str, FaultSchedule] = {}  # guarded-by: _lock
+        self._invocations: dict[str, int] = {}  # guarded-by: _lock
+        self._injected: dict[str, int] = {}  # guarded-by: _lock
+        if schedules:
+            for point, schedule in schedules.items():
+                self.arm(point, schedule)
+
+    @staticmethod
+    def _validate_point(point: str) -> str:
+        if point not in FAULT_POINTS:
+            raise ReproError(
+                f"unknown fault point {point!r}; known points: "
+                f"{sorted(FAULT_POINTS)}"
+            )
+        return point
+
+    def arm(self, point: str, schedule: FaultSchedule) -> None:
+        """Arm ``schedule`` at ``point`` (replacing any previous one)."""
+        self._validate_point(point)
+        if not isinstance(schedule, FaultSchedule):
+            raise ReproError(
+                f"schedule for {point!r} must be a FaultSchedule, "
+                f"got {schedule!r}"
+            )
+        with self._lock:
+            self._schedules[point] = schedule
+
+    def disarm(self, point: str) -> None:
+        """Remove any schedule at ``point`` (counters are preserved)."""
+        self._validate_point(point)
+        with self._lock:
+            self._schedules.pop(point, None)
+
+    def check(self, point: str) -> None:
+        """Count one invocation of ``point``; raise if its schedule fires."""
+        self._validate_point(point)
+        with self._lock:
+            invocation = self._invocations.get(point, 0) + 1
+            self._invocations[point] = invocation
+            schedule = self._schedules.get(point)
+            if schedule is None or not schedule.should_fail(invocation):
+                return
+            self._injected[point] = self._injected.get(point, 0) + 1
+            error = schedule.make_error(point, invocation)
+        raise error
+
+    # -- introspection ---------------------------------------------------------
+
+    def invocations(self, point: str | None = None) -> int:
+        """Checks seen at ``point`` (or across every point when ``None``)."""
+        with self._lock:
+            if point is None:
+                return sum(self._invocations.values())
+            return self._invocations.get(self._validate_point(point), 0)
+
+    def injected(self, point: str | None = None) -> int:
+        """Faults actually raised at ``point`` (or in total when ``None``)."""
+        with self._lock:
+            if point is None:
+                return sum(self._injected.values())
+            return self._injected.get(self._validate_point(point), 0)
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """``{point: {"invocations": n, "injected": m}}`` for touched points."""
+        with self._lock:
+            points = set(self._invocations) | set(self._injected)
+            return {
+                point: {
+                    "invocations": self._invocations.get(point, 0),
+                    "injected": self._injected.get(point, 0),
+                }
+                for point in sorted(points)
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        with self._lock:
+            armed = sorted(self._schedules)
+        return f"FaultInjector(armed={armed})"

@@ -1,0 +1,154 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+:class:`RetryPolicy` is the one retry implementation shared by the
+durable tier: the release store's artifact/manifest writes, the stream
+lineage appends, and the per-shard release builds all run through
+:func:`run_with_retry` when their owner was constructed with a policy.
+Three properties are deliberate:
+
+* **determinism** — backoff jitter comes from a private
+  ``random.Random(seed)`` created *per call*, so the same policy yields
+  the same delay sequence every time; a chaos run's timing behaviour is
+  a pure function of its configuration;
+* **ε-safety by placement** — retries wrap fallible *I/O and
+  computation that precedes the charge*, never a
+  :meth:`~repro.privacy.budget.PrivacyBudget.spend`.  A store write or
+  lineage append retried after its release was charged re-runs only the
+  persistence; a shard build retried before the charge re-runs only
+  pure computation.  Nothing in this module touches a budget;
+* **no sleeping under serve-path locks** — ``run_with_retry`` is in the
+  LOCK002 blocking-call catalog
+  (:data:`repro.utils.io_atomic.BLOCKING_WAIT_NAMES`), so statan
+  rejects any call site that would hold a ``# guarded-by:`` lock across
+  a backoff sleep.  The durable tier's own single-writer locks are
+  unannotated by design and may serialize over a retry.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from time import perf_counter, sleep
+from typing import Callable, Iterator
+
+from repro.exceptions import ReproError
+from repro.faults.injector import CrashFault, FaultError
+
+__all__ = ["RetryPolicy", "run_with_retry", "DEFAULT_RETRYABLE"]
+
+#: Exception classes retried by default: real filesystem trouble and the
+#: injected stand-ins for it.
+DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (OSError, FaultError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a fallible operation, and how to wait.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (``1`` disables retrying).
+    base_delay:
+        Backoff before the first retry, in seconds; retry ``k`` (1-based)
+        waits ``base_delay * multiplier**(k-1)``, capped at ``max_delay``.
+    multiplier / max_delay:
+        Exponential-backoff shape.
+    jitter:
+        Fraction of each delay randomized: the actual wait is drawn
+        uniformly from ``[delay * (1 - jitter), delay]``.  ``0`` disables
+        jitter entirely.
+    seed:
+        Seed for the jitter stream.  Each :func:`run_with_retry` call
+        builds a fresh ``random.Random(seed)``, so delay sequences are
+        identical across calls and runs — deterministic backoff.
+    attempt_deadline:
+        Optional per-attempt wall-clock budget in seconds.  An attempt
+        that *fails* after running longer than this is considered
+        hopeless (the failure mode is slowness, which backoff would only
+        compound) and is not retried; its exception propagates.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+    attempt_deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ReproError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.attempt_deadline is not None and self.attempt_deadline <= 0:
+            raise ReproError(
+                f"attempt_deadline must be positive, got {self.attempt_deadline}"
+            )
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic backoff delays, one per retry, in order."""
+        rng = random.Random(self.seed)
+        for k in range(self.max_attempts - 1):
+            delay = min(self.base_delay * self.multiplier**k, self.max_delay)
+            if self.jitter:
+                delay *= 1.0 - self.jitter * rng.random()
+            yield delay
+
+
+def run_with_retry(
+    policy: RetryPolicy,
+    operation: Callable[[], object],
+    *,
+    retry_on: tuple[type[BaseException], ...] = DEFAULT_RETRYABLE,
+    describe: str = "operation",
+    on_retry: Callable[[int, BaseException], None] | None = None,
+    wait: Callable[[float], None] = sleep,
+) -> object:
+    """Run ``operation`` under ``policy``, returning its result.
+
+    Only exceptions matching ``retry_on`` are retried; anything else
+    propagates immediately (a programming error must not be massaged by
+    backoff).  :class:`~repro.faults.injector.CrashFault` is the one
+    carve-out *inside* ``retry_on``: it simulates a hard process death,
+    which leaves nothing alive to retry, so it always propagates.  ``on_retry(attempt, error)`` is called before each
+    backoff wait, and ``wait`` is injectable so tests can run retry
+    schedules without real sleeping.  After the final attempt the last
+    exception propagates unchanged.
+
+    This function sleeps.  It is cataloged in
+    :data:`repro.utils.io_atomic.BLOCKING_WAIT_NAMES`, so LOCK002
+    forbids calling it while holding a ``# guarded-by:`` lock.
+    """
+    delays = policy.delays()
+    for attempt in range(1, policy.max_attempts + 1):
+        started = perf_counter()
+        try:
+            return operation()
+        except retry_on as error:
+            if isinstance(error, CrashFault):
+                # A simulated process death: a real crash leaves nothing
+                # to retry in-process, so the runner must not heal it.
+                raise
+            elapsed = perf_counter() - started
+            overran = (
+                policy.attempt_deadline is not None
+                and elapsed > policy.attempt_deadline
+            )
+            if attempt >= policy.max_attempts or overran:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            delay = next(delays)
+            if delay > 0:
+                wait(delay)
+    raise AssertionError(f"unreachable: {describe} exited the retry loop")

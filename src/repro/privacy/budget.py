@@ -12,7 +12,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-from repro.exceptions import PrivacyBudgetError
+from repro.exceptions import BudgetExhaustedError, PrivacyBudgetError
 from repro.privacy.definitions import PrivacyParameters
 
 __all__ = ["BudgetSpend", "PrivacyBudget"]
@@ -78,15 +78,16 @@ class PrivacyBudget:
     def spend(self, epsilon: float, label: str = "query") -> PrivacyParameters:
         """Charge ``epsilon``, returning the parameters for the sub-mechanism.
 
-        Raises :class:`PrivacyBudgetError` if the charge would exceed the
-        total; nothing is recorded in that case.
+        Raises :class:`BudgetExhaustedError` (a
+        :class:`~repro.exceptions.PrivacyBudgetError`) if the charge
+        would exceed the total; nothing is recorded in that case.
 
         The check-and-append is guarded by a lock so concurrent spenders
         (e.g. serving-engine threads) cannot jointly oversubscribe ε.
         """
         with self._lock:
             if not self.can_spend(epsilon):
-                raise PrivacyBudgetError(
+                raise BudgetExhaustedError(
                     f"cannot spend ε={epsilon:g}: only {self.remaining_epsilon:g} of "
                     f"{self.total.epsilon:g} remains"
                 )

@@ -32,7 +32,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from repro import obs
+from repro import faults, obs
 from repro.exceptions import ReproError
 from repro.serving.release import MaterializedRelease, ReleaseKey
 
@@ -183,6 +183,13 @@ class ReleaseCache:
                     continue
                 from_store = False
                 try:
+                    if faults.enabled():
+                        # An injected fill failure aborts before the
+                        # store consult or the builder: nothing is
+                        # charged, nothing is cached, and the failed
+                        # build's lock retirement (below) lets exactly
+                        # one retrier re-coordinate.
+                        faults.check("cache.fill")
                     release = self.store.get(key) if self.store is not None else None
                     if release is not None:
                         from_store = True

@@ -43,7 +43,7 @@ from repro.estimators.hierarchical import (
 )
 from repro.estimators.identity import IdentityLaplaceEstimator
 from repro.estimators.wavelet import WaveletEstimator
-from repro.exceptions import PrivacyBudgetError, ReproError
+from repro.exceptions import BudgetExhaustedError, PrivacyBudgetError, ReproError
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.definitions import PrivacyParameters
 from repro.queries.workload import RangeWorkload
@@ -364,7 +364,7 @@ class HistogramEngine:
         # mechanism-plus-inference compute cost; the authoritative check
         # is the atomic spend() below.
         if not self.budget.can_spend(key.epsilon):
-            raise PrivacyBudgetError(
+            raise BudgetExhaustedError(
                 f"cannot materialize {key.estimator} at ε={key.epsilon:g}: only "
                 f"{self.budget.remaining_epsilon:g} of "
                 f"{self.budget.total.epsilon:g} remains"

@@ -45,6 +45,7 @@ from repro.serving.stats import StatsSnapshot, combine_snapshots
 from repro.serving.store import ReleaseStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.faults.degrade import BreakerSnapshot
     from repro.sharding.engine import ShardedHistogramEngine
     from repro.sharding.streaming import ShardedStreamingEngine
     from repro.streaming.engine import StreamBatchResult, StreamingHistogramEngine
@@ -63,6 +64,12 @@ class FleetStats:
     tenants additionally surface their epoch lineage: ``epochs`` counts
     epochs built fleet-wide, and ``stream_lineages`` maps each stream to
     its full :class:`~repro.streaming.lineage.EpochRecord` history.
+
+    Health: ``stream_health`` maps each stream to its circuit breaker's
+    :class:`~repro.faults.degrade.BreakerSnapshot`, and
+    ``degraded_streams`` counts the tenants currently serving stale
+    answers (breaker open) — the fleet-level view of graceful
+    degradation, with each snapshot's ``last_error`` naming the cause.
     """
 
     datasets: int
@@ -78,6 +85,10 @@ class FleetStats:
     stream_lineages: Mapping[str, tuple["EpochRecord", ...]] = field(
         default_factory=dict
     )
+    #: streaming tenants whose circuit breaker is currently open
+    degraded_streams: int = 0
+    #: per-stream circuit-breaker snapshots (state, trips, last error)
+    stream_health: Mapping[str, "BreakerSnapshot"] = field(default_factory=dict)
 
     @property
     def requests(self) -> int:
@@ -461,6 +472,11 @@ class EngineFleet:
         lineages = {
             name: tuple(stream.lineage.records) for name, stream in streams.items()
         }
+        health = {
+            name: stream.breaker.snapshot()
+            for name, stream in streams.items()
+            if getattr(stream, "breaker", None) is not None
+        }
         stats = FleetStats(
             datasets=len(engines) + len(streams),
             total=combine_snapshots(per_dataset.values()),
@@ -472,6 +488,10 @@ class EngineFleet:
             streams=len(streams),
             epochs=sum(len(records) for records in lineages.values()),
             stream_lineages=MappingProxyType(lineages),
+            degraded_streams=sum(
+                1 for snapshot in health.values() if snapshot.degraded
+            ),
+            stream_health=MappingProxyType(health),
         )
         if obs.enabled():
             self._publish_tenant_gauges(engines, streams, per_dataset, stats)
@@ -515,6 +535,16 @@ class EngineFleet:
         registry.gauge(
             "repro_fleet_spent_epsilon", "ε spent fleet-wide (this process)"
         ).set(stats.spent_epsilon)
+        degraded = registry.gauge(
+            "repro_stream_degraded",
+            "1 while the stream's circuit breaker is open (stale-serve mode)",
+        )
+        for name, snapshot in stats.stream_health.items():
+            degraded.set(1.0 if snapshot.degraded else 0.0, stream=name)
+        registry.gauge(
+            "repro_fleet_degraded_streams",
+            "Streaming tenants currently serving stale answers",
+        ).set(stats.degraded_streams)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EngineFleet(datasets={self.names()})"

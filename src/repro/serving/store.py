@@ -27,9 +27,22 @@ Writes are atomic: artifacts and the manifest are written to a temporary
 file in the same directory and ``os.replace``-d into place, so a crash
 mid-write can never leave a truncated artifact behind a manifest entry.
 Loads verify that the artifact's stored identity (dataset fingerprint,
-estimator, ε, branching, seed) matches the requested key exactly; any
-mismatch or corruption raises :class:`ReleaseStoreError` rather than
-silently serving another dataset's release.
+estimator, ε, branching, seed) matches the requested key exactly.
+
+Failure handling draws a line between *transient* and *structural*
+damage.  Transient trouble — an ``OSError`` from the filesystem, or an
+injected :class:`~repro.faults.injector.FaultError` standing in for one
+— is retried under the store's :class:`~repro.faults.retry.RetryPolicy`
+(when configured) and, if it persists, raised as
+:class:`ReleaseStoreError`; nothing is deleted, because the artifact is
+presumed intact.  Structural damage — an artifact that no longer parses,
+or whose stored identity disagrees with its manifest entry — is
+*quarantined*: the file is renamed to ``*.corrupt``, its manifest entry
+is dropped, and :meth:`ReleaseStore.get` returns ``None`` so the caller
+falls through to a cold rebuild.  One bad file therefore costs one
+re-charge, never the serve path.  Only a manifest that itself cannot be
+trusted raises :class:`StoreCorruptionError` — damage that cannot be
+isolated to a single key must fail loudly.
 """
 
 from __future__ import annotations
@@ -40,8 +53,10 @@ import re
 import threading
 from pathlib import Path
 
-from repro import obs
-from repro.exceptions import ReleaseStoreError
+from repro import faults, obs
+from repro.exceptions import ReleaseStoreError, StoreCorruptionError
+from repro.faults.injector import CrashFault, FaultError
+from repro.faults.retry import RetryPolicy, run_with_retry
 from repro.serving.release import FORMAT_VERSION, MaterializedRelease, ReleaseKey
 from repro.utils.io_atomic import atomic_write_bytes, atomic_write_json
 
@@ -114,10 +129,18 @@ class ReleaseStore:
     root:
         The store directory; created (with its ``artifacts/`` subdir) if
         missing.
+    retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy` applied to
+        artifact writes, manifest writes, and artifact loads.  Retries
+        cover transient failures only (``OSError`` and injected
+        :class:`~repro.faults.injector.FaultError`); they never re-run
+        any ε-charged computation — the release being persisted was
+        charged exactly once before :meth:`put` was called.
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, *, retry: RetryPolicy | None = None) -> None:
         self.root = Path(root)
+        self.retry = retry
         self._lock = threading.RLock()
         try:
             (self.root / ARTIFACTS_DIR).mkdir(parents=True, exist_ok=True)
@@ -130,6 +153,19 @@ class ReleaseStore:
 
     # -- manifest --------------------------------------------------------------
 
+    def _run_durable(self, operation, describe: str):
+        """Run one fallible I/O step under the store's retry policy.
+
+        With no policy configured this is a plain call — zero overhead,
+        identical behaviour.  The store's own lock is a single-writer
+        serialization point, not a serve-path hot lock, so backing off
+        while holding it is acceptable (and is why it carries no
+        ``guarded-by`` annotation).
+        """
+        if self.retry is None:
+            return operation()
+        return run_with_retry(self.retry, operation, describe=describe)
+
     @property
     def manifest_path(self) -> Path:
         return self.root / MANIFEST_NAME
@@ -141,18 +177,20 @@ class ReleaseStore:
         try:
             document = json.loads(path.read_text())
         except (OSError, ValueError) as error:
-            raise ReleaseStoreError(
+            raise StoreCorruptionError(
                 f"cannot read store manifest {path}: {error}"
             ) from error
         version = document.get("store_format_version")
         if not isinstance(version, int) or version > STORE_FORMAT_VERSION:
-            raise ReleaseStoreError(
+            raise StoreCorruptionError(
                 f"store manifest {path} has format version {version!r}, "
                 f"newer than the supported {STORE_FORMAT_VERSION}"
             )
         releases = document.get("releases")
         if not isinstance(releases, dict):
-            raise ReleaseStoreError(f"store manifest {path} has no release table")
+            raise StoreCorruptionError(
+                f"store manifest {path} has no release table"
+            )
         self._manifest = releases
 
     def _write_manifest(self) -> None:
@@ -161,8 +199,13 @@ class ReleaseStore:
             "releases": self._manifest,
         }
         try:
-            atomic_write_json(self.manifest_path, document)
-        except OSError as error:
+            self._run_durable(
+                lambda: atomic_write_json(self.manifest_path, document),
+                describe="write store manifest",
+            )
+        except CrashFault:
+            raise  # a simulated process death must not be dressed up
+        except (OSError, FaultError) as error:
             raise ReleaseStoreError(
                 f"cannot write store manifest {self.manifest_path}: {error}"
             ) from error
@@ -178,7 +221,7 @@ class ReleaseStore:
                 seed=int(entry["seed"]),
             )
         except (KeyError, TypeError, ValueError) as error:
-            raise ReleaseStoreError(
+            raise StoreCorruptionError(
                 f"malformed manifest entry {entry!r}: {error}"
             ) from error
 
@@ -196,10 +239,18 @@ class ReleaseStore:
         key = release.key
         key_id = _key_id(key)
         path = self.root / ARTIFACTS_DIR / _artifact_name(key)
+
+        def write_artifact() -> None:
+            if faults.enabled():
+                faults.check("store.write")
+            atomic_write_bytes(path, release._write_npz)
+
         with self._lock:
             try:
-                atomic_write_bytes(path, release._write_npz)
-            except OSError as error:
+                self._run_durable(write_artifact, describe=f"persist {path.name}")
+            except CrashFault:
+                raise  # simulated process death: leave whatever a crash leaves
+            except (OSError, FaultError) as error:
                 raise ReleaseStoreError(
                     f"cannot persist release to {path}: {error}"
                 ) from error
@@ -232,37 +283,106 @@ class ReleaseStore:
     def get(self, key: ReleaseKey) -> MaterializedRelease | None:
         """The persisted release for ``key``, or ``None`` when absent.
 
-        Raises :class:`ReleaseStoreError` when the manifest names an
-        artifact that is missing, unreadable, or whose stored identity
-        (including the dataset fingerprint) disagrees with ``key`` — a
-        corrupt store must fail loudly, never answer for the wrong data.
+        Transient load failures (``OSError`` / injected faults) are
+        retried under the store's policy and, if they persist, raised as
+        :class:`ReleaseStoreError` — the artifact is presumed intact, so
+        nothing is deleted.  *Integrity* failures — an artifact that no
+        longer parses, or whose stored identity (including the dataset
+        fingerprint) disagrees with ``key`` — quarantine the artifact
+        (renamed to ``*.corrupt``, manifest entry dropped) and return
+        ``None``, so the caller rebuilds cold instead of serving, or
+        dying on, a damaged release.
         """
         with self._lock:
             entry = self._manifest.get(_key_id(key))
         if entry is None:
             return None
-        if self._entry_key(entry) != key:
-            raise ReleaseStoreError(
-                f"manifest entry for {key} records a different identity; "
-                f"the store at {self.root} is corrupt"
-            )
         path = self.root / str(entry.get("artifact", ""))
+        if self._entry_key(entry) != key:
+            return self._quarantine(
+                key,
+                path,
+                "manifest entry records a different identity than its key",
+            )
+
+        def load_artifact() -> MaterializedRelease:
+            if faults.enabled():
+                faults.check("store.load")
+            # ``MaterializedRelease.load`` wraps OSError, so probe for
+            # plain absence first: a missing file may be a transient
+            # mount problem — retryable and loud, never quarantined.
+            if not path.is_file():
+                raise FileNotFoundError(f"artifact {path} is missing")
+            return MaterializedRelease.load(path)
+
         try:
-            release = MaterializedRelease.load(path)
-        except Exception as error:
+            release = self._run_durable(
+                load_artifact, describe=f"load {path.name}"
+            )
+        except CrashFault:
+            raise
+        except FaultError as error:
+            # Injected trouble is transient by definition — it models a
+            # flaky disk, not a damaged artifact.  Quarantining here
+            # would throw away a perfectly good (ε-charged) release.
             raise ReleaseStoreError(
                 f"cannot load artifact {path} for {key}: {error}"
             ) from error
-        if release.key != key:
+        except OSError as error:
             raise ReleaseStoreError(
-                f"artifact {path} holds release {release.key}, not the "
-                f"requested {key}; refusing to serve a mismatched release"
+                f"cannot load artifact {path} for {key}: {error}"
+            ) from error
+        except Exception as error:
+            return self._quarantine(key, path, f"artifact unreadable: {error}")
+        if release.key != key:
+            return self._quarantine(
+                key,
+                path,
+                f"artifact holds release {release.key}, not the requested key",
             )
         if obs.enabled():
             obs.registry().counter(
                 "repro_store_loads_total", "Release artifacts loaded from disk"
             ).inc()
         return release
+
+    def _quarantine(self, key: ReleaseKey, path: Path, reason: str) -> None:
+        """Isolate a damaged artifact so the key rebuilds cold.
+
+        The manifest entry is dropped first (and persisted — the drop is
+        the authoritative act), then the artifact is renamed to
+        ``*.corrupt`` so an operator can post-mortem it.  The rename is
+        best-effort: a file that is also *missing* still quarantines
+        cleanly.  Returns ``None`` for the convenience of ``get``.
+        """
+        key_id = _key_id(key)
+        relative = f"{ARTIFACTS_DIR}/{path.name}"
+        with self._lock:
+            entry = self._manifest.pop(key_id, None)
+            if entry is not None:
+                try:
+                    self._write_manifest()
+                except BaseException:
+                    self._manifest[key_id] = entry
+                    raise
+            # A tampered manifest can point two entries at one file; if a
+            # surviving entry still claims this artifact, only the entry
+            # is dropped — renaming the file would damage the other key.
+            shared = any(
+                other.get("artifact") == relative
+                for other in self._manifest.values()
+            )
+        try:
+            if not shared and path.is_file():
+                path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass  # isolation is best-effort; the entry drop already took effect
+        if obs.enabled():
+            obs.registry().counter(
+                "repro_store_quarantines_total",
+                "Damaged artifacts quarantined (renamed *.corrupt)",
+            ).inc()
+        return None
 
     # -- maintenance -----------------------------------------------------------
 

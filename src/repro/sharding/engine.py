@@ -47,10 +47,11 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 
-from repro import obs
+from repro import faults, obs
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
-from repro.exceptions import PrivacyBudgetError, ReproError
+from repro.exceptions import BudgetExhaustedError, PrivacyBudgetError, ReproError
+from repro.faults.retry import RetryPolicy, run_with_retry
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.definitions import PrivacyParameters
 from repro.queries.workload import RangeWorkload
@@ -127,6 +128,7 @@ def build_shard_releases(
     *,
     delta: float = 0.0,
     workers: int = 1,
+    retry: RetryPolicy | None = None,
 ) -> list[MaterializedRelease]:
     """Compute one release per shard, in shard order, on a worker pool.
 
@@ -134,6 +136,13 @@ def build_shard_releases(
     sequence the ε charge *after* every shard has succeeded so a failure
     anywhere leaks nothing.  Results are deterministic functions of
     ``(counts, key)`` regardless of worker count or completion order.
+
+    With a ``retry`` policy, each shard's build is retried independently
+    on transient failure (the ``shard.build`` fault point injects here).
+    Retrying is safe for the same reason the function is pure: a
+    re-computed shard is bit-identical to the first attempt, and no ε
+    has been charged yet.  Workers hold no locks, so backing off inside
+    a worker never stalls a serve path.
     """
     shard_counts = list(shard_counts)
     shard_keys = list(shard_keys)
@@ -144,6 +153,10 @@ def build_shard_releases(
 
     def build_one(index: int) -> MaterializedRelease:
         key = shard_keys[index]
+        if faults.enabled():
+            # Before any mechanism work: an injected shard failure aborts
+            # the whole epoch/materialization pre-charge.
+            faults.check("shard.build")
         if obs.enabled():
             shard_start = perf_counter()
             with obs.tracer().span(
@@ -170,13 +183,20 @@ def build_shard_releases(
             seed=key.seed,
         )
 
+    def build_with_policy(index: int) -> MaterializedRelease:
+        if retry is None:
+            return build_one(index)
+        return run_with_retry(
+            retry, lambda: build_one(index), describe=f"build shard {index}"
+        )
+
     indexes = range(len(shard_keys))
     if workers <= 1:
-        return [build_one(i) for i in indexes]
+        return [build_with_policy(i) for i in indexes]
     with ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="shard-build"
     ) as pool:
-        return list(pool.map(build_one, indexes))
+        return list(pool.map(build_with_policy, indexes))
 
 
 class ShardedHistogramEngine:
@@ -205,6 +225,11 @@ class ShardedHistogramEngine:
         assembled releases, so cache evictions never force a re-charge.
     budget / spend_label:
         As for :class:`~repro.serving.engine.HistogramEngine`.
+    retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy` applied to
+        each cold shard build (pure recomputation, pre-charge — retries
+        never touch ε).  Store writes take their own policy on the
+        :class:`~repro.serving.store.ReleaseStore` itself.
     """
 
     def __init__(
@@ -224,6 +249,7 @@ class ShardedHistogramEngine:
         store: ReleaseStore | None = None,
         budget: PrivacyBudget | None = None,
         spend_label: str | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if isinstance(data, Relation):
             if attribute is None:
@@ -240,6 +266,7 @@ class ShardedHistogramEngine:
             counts.size, num_shards=num_shards, shard_size=shard_size, plan=plan
         )
         self.workers = resolve_workers(workers, self.plan.num_shards)
+        self.retry = retry
         if budget is not None:
             if total_epsilon is not None:
                 raise ReproError(
@@ -387,7 +414,7 @@ class ShardedHistogramEngine:
                 # Fail fast before the build; the authoritative check is
                 # the atomic spend() after it.
                 if not self._budget.can_spend(epsilon_value):
-                    raise PrivacyBudgetError(
+                    raise BudgetExhaustedError(
                         f"cannot materialize sharded {keys[0].estimator} at "
                         f"ε={epsilon_value:g}: only "
                         f"{self._budget.remaining_epsilon:g} of "
@@ -400,18 +427,24 @@ class ShardedHistogramEngine:
                         cold_shards=len(cold),
                         num_shards=self.plan.num_shards,
                     ):
-                        fresh = build_shard_releases(
+                        # statan: ignore[LOCK002] cold builds are serialized
+                        # under this lock by design (double-builds would
+                        # double-charge ε); warm reads use the lock-free
+                        # fast path above, so a backoff here stalls no one.
+                        fresh = build_shard_releases(  # statan: ignore[LOCK002]
                             [self._shard_counts[s] for s in cold],
                             [keys[s] for s in cold],
                             delta=self._budget.total.delta,
                             workers=self.workers,
+                            retry=self.retry,
                         )
                 else:
-                    fresh = build_shard_releases(
+                    fresh = build_shard_releases(  # statan: ignore[LOCK002]
                         [self._shard_counts[s] for s in cold],
                         [keys[s] for s in cold],
                         delta=self._budget.total.delta,
                         workers=self.workers,
+                        retry=self.retry,
                     )
                 # One ε for the whole sharded release, by parallel
                 # composition over the disjoint shards — charged only now

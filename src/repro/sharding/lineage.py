@@ -33,7 +33,10 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.exceptions import ReleaseStoreError, ReproError
+from repro import faults
+from repro.exceptions import LineageConflictError, ReleaseStoreError, ReproError
+from repro.faults.injector import CrashFault, FaultError
+from repro.faults.retry import RetryPolicy, run_with_retry
 from repro.serving.release import ReleaseKey
 from repro.utils.io_atomic import atomic_write_json
 
@@ -99,8 +102,9 @@ class ShardedLineage:
     failed persist rolls the in-memory append back.
     """
 
-    def __init__(self, path=None) -> None:
+    def __init__(self, path=None, *, retry: RetryPolicy | None = None) -> None:
         self.path = Path(path) if path is not None else None
+        self.retry = retry
         self._lock = threading.Lock()
         self._records: list[ShardEpochRecord] = []
         if self.path is not None and self.path.exists():
@@ -128,7 +132,7 @@ class ShardedLineage:
         records = [ShardEpochRecord.from_json(entry) for entry in epochs]
         for i, record in enumerate(records):
             if record.epoch != i:
-                raise ReleaseStoreError(
+                raise LineageConflictError(
                     f"sharded epoch lineage {self.path} is not contiguous: "
                     f"position {i} records epoch {record.epoch}"
                 )
@@ -139,7 +143,18 @@ class ShardedLineage:
             "sharded_lineage_format_version": SHARDED_LINEAGE_FORMAT_VERSION,
             "epochs": [record.to_json() for record in self._records],
         }
-        atomic_write_json(self.path, document)
+
+        def write() -> None:
+            if faults.enabled():
+                faults.check("lineage.append")
+            atomic_write_json(self.path, document)
+
+        if self.retry is None:
+            write()
+        else:
+            run_with_retry(
+                self.retry, write, describe=f"persist lineage {self.path.name}"
+            )
 
     # -- appends ---------------------------------------------------------------
 
@@ -148,7 +163,7 @@ class ShardedLineage:
         with self._lock:
             expected = len(self._records)
             if record.epoch != expected:
-                raise ReleaseStoreError(
+                raise LineageConflictError(
                     f"epoch {record.epoch} appended out of order; lineage "
                     f"expects epoch {expected} next"
                 )
@@ -156,7 +171,13 @@ class ShardedLineage:
             if self.path is not None:
                 try:
                     self._persist()
-                except OSError as error:
+                except CrashFault:
+                    # Simulated process death: roll the in-memory append
+                    # back so a surviving object matches the on-disk
+                    # ledger, which still ends at the previous epoch.
+                    self._records.pop()
+                    raise
+                except (OSError, FaultError) as error:
                     self._records.pop()
                     raise ReleaseStoreError(
                         f"cannot persist sharded epoch lineage to "

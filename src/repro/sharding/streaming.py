@@ -43,10 +43,17 @@ from time import perf_counter
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
-from repro.exceptions import PrivacyBudgetError, ReproError
+from repro.exceptions import (
+    BudgetExhaustedError,
+    LineageConflictError,
+    PrivacyBudgetError,
+    ReproError,
+)
+from repro.faults.degrade import CircuitBreaker
+from repro.faults.retry import RetryPolicy
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.definitions import PrivacyParameters
 from repro.queries.workload import RangeWorkload
@@ -99,6 +106,11 @@ class ShardedStreamingEngine:
     build_first_epoch:
         As for the monolithic streaming engine / sharded serving engine.
         Epoch 0 (when built) refreshes every shard.
+    retry / breaker:
+        As for the monolithic streaming engine: the retry policy wraps
+        per-shard builds and lineage persists (never an ε charge), and
+        the circuit breaker flags batches ``degraded=True`` while epoch
+        builds are failing, healing on the first success.
     """
 
     def __init__(
@@ -122,6 +134,8 @@ class ShardedStreamingEngine:
         cache_capacity: int | None = None,
         name: str = "sharded-stream",
         build_first_epoch: bool = True,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if isinstance(data, Relation):
             if attribute is None:
@@ -169,6 +183,8 @@ class ShardedStreamingEngine:
         #: (epoch, assembled release, that epoch's scheduled εᵢ)
         self._current: tuple[int, ShardedRelease, float] | None = None  # guarded-by: _serve_lock
         #: per-shard releases currently served, refreshed selectively.
+        self.retry = retry
+        self.breaker = breaker if breaker is not None else CircuitBreaker(name=self.name)
         self._shard_releases: list[MaterializedRelease] | None = None  # guarded-by: _serve_lock
         self.lineage = self._open_lineage()
         if len(self.lineage):
@@ -182,9 +198,10 @@ class ShardedStreamingEngine:
     def _open_lineage(self) -> ShardedLineage:
         store = self.cache.store
         if store is None:
-            return ShardedLineage()
+            return ShardedLineage(retry=self.retry)
         return ShardedLineage(
-            stream_ledger_path(store.root, self.name, ".sharded.json")
+            stream_ledger_path(store.root, self.name, ".sharded.json"),
+            retry=self.retry,
         )
 
     def _resume_from_lineage_locked(self) -> None:
@@ -201,7 +218,7 @@ class ShardedStreamingEngine:
                 f"load its shard artifacts from"
             )
         if latest.num_shards != self.plan.num_shards:
-            raise ReproError(
+            raise LineageConflictError(
                 f"sharded stream {self.name!r} was built with "
                 f"{latest.num_shards} shards but the engine was constructed "
                 f"with {self.plan.num_shards}; the plan is part of the "
@@ -218,7 +235,7 @@ class ShardedStreamingEngine:
                 last_refresh[s] = record.epoch
         for s, key in enumerate(latest.shard_keys):
             if key.estimator != self.estimator or key.branching != self.branching:
-                raise ReproError(
+                raise LineageConflictError(
                     f"sharded stream {self.name!r} was built with "
                     f"({key.estimator}, b={key.branching}) but the engine "
                     f"was constructed with ({self.estimator}, "
@@ -226,13 +243,13 @@ class ShardedStreamingEngine:
                     f"part of the stream's identity"
                 )
             if last_refresh[s] is None:
-                raise ReproError(
+                raise LineageConflictError(
                     f"sharded stream {self.name!r} has a malformed lineage: "
                     f"shard {s} carries a key but no epoch ever refreshed it"
                 )
             expected = derive_shard_seed(self.base_seed, last_refresh[s], s)
             if key.seed != expected:
-                raise ReproError(
+                raise LineageConflictError(
                     f"sharded stream {self.name!r} was built under a "
                     f"different base seed: shard {s} (last refreshed in "
                     f"epoch {last_refresh[s]}) carries seed {key.seed}, but "
@@ -241,7 +258,7 @@ class ShardedStreamingEngine:
                 )
             scheduled = float(self.schedule.epsilon_for(last_refresh[s]))
             if key.epsilon != scheduled:
-                raise ReproError(
+                raise LineageConflictError(
                     f"sharded stream {self.name!r} was built under a "
                     f"different ε schedule: shard {s} (last refreshed in "
                     f"epoch {last_refresh[s]}) was charged ε={key.epsilon:g} "
@@ -346,7 +363,16 @@ class ShardedStreamingEngine:
         ε is spent.
         """
         with self._advance_lock:
-            return self._advance_locked()
+            try:
+                record = self._advance_locked()
+            except Exception as error:
+                self.breaker.record_failure(error)
+                raise
+        if record is not None:
+            # A below-threshold no-op exercised no build path, so it
+            # neither heals nor harms the breaker.
+            self.breaker.record_success()
+        return record
 
     def _advance_locked(self) -> ShardEpochRecord | None:
         epoch = self.lineage.next_epoch
@@ -358,7 +384,7 @@ class ShardedStreamingEngine:
             recorded = self.lineage.latest.total_rows
             current = float(self._counts.sum())
             if abs(current - recorded) > 0.5 + 1e-9 * abs(recorded):
-                raise ReproError(
+                raise LineageConflictError(
                     f"sharded stream {self.name!r} resumed at epoch "
                     f"{self.lineage.latest.epoch} whose release covered "
                     f"{recorded:g} rows, but the supplied counts hold "
@@ -389,7 +415,7 @@ class ShardedStreamingEngine:
         lifetime = max(self.lineage.spent_epsilon, self._budget.spent_epsilon)
         if lifetime + epsilon > self._budget.total.epsilon + 1e-12:
             self._restore_backlog(delta, rows)
-            raise PrivacyBudgetError(
+            raise BudgetExhaustedError(
                 f"epoch {epoch} would charge ε={epsilon:g}, but the stream "
                 f"has already spent ε={lifetime:g} of its lifetime "
                 f"{self._budget.total.epsilon:g} across its lineage"
@@ -417,6 +443,10 @@ class ShardedStreamingEngine:
             for s in refreshed
         ]
         try:
+            if faults.enabled():
+                # Injected before any shard build: a failed epoch charges
+                # nothing and the folded rows are restored below.
+                faults.check("stream.epoch_build")
             if obs.enabled():
                 build_start = perf_counter()
                 with obs.tracer().span(
@@ -431,6 +461,7 @@ class ShardedStreamingEngine:
                         keys,
                         delta=self._budget.total.delta,
                         workers=self.workers,
+                        retry=self.retry,
                     )
                 registry = obs.registry()
                 registry.histogram(
@@ -448,6 +479,7 @@ class ShardedStreamingEngine:
                     keys,
                     delta=self._budget.total.delta,
                     workers=self.workers,
+                    retry=self.retry,
                 )
         except BaseException:
             # Nothing was charged or cached; the folded rows rejoin the
@@ -548,6 +580,7 @@ class ShardedStreamingEngine:
             epsilon=epoch_epsilon,
             dataset_fingerprint=release.dataset_fingerprint,
             answer_seconds=answer_seconds,
+            degraded=self.breaker.degraded,
         )
 
     # -- lifecycle -------------------------------------------------------------

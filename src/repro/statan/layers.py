@@ -4,7 +4,8 @@ The repo is layered so that every tier only builds on tiers below it;
 the rank table below *is* the architecture (see
 ``docs/architecture.md``)::
 
-    0  repro.exceptions, repro.utils     (leaf helpers, importable by all)
+    0  repro.exceptions, repro.utils,
+       repro.faults                      (leaf helpers, importable by all)
     1  repro.db                          (domains, relations, histograms)
     2  repro.privacy, repro.data         (mechanisms, budgets, datasets)
     3  repro.queries                     (range queries, workloads)
@@ -42,6 +43,7 @@ __all__ = ["LayerDagPass", "LAYER_RANKS", "rank_of"]
 LAYER_RANKS: dict[str, int] = {
     "repro.exceptions": 0,
     "repro.utils": 0,
+    "repro.faults": 0,
     "repro.db": 1,
     "repro.privacy": 2,
     "repro.data": 2,

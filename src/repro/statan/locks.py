@@ -18,16 +18,20 @@ callers themselves remain checked).  Deliberate lock-free fast paths
 (e.g. the sharded engine's warm read) carry an explicit
 ``# statan: ignore[LOCK001]`` pragma with a justification.
 
-**LOCK002** — no blocking file I/O while holding an annotated lock.
-"Blocking I/O" is the canonical catalog exported by
-:mod:`repro.utils.io_atomic` (``open``, ``os.replace``, ``np.save`` …,
-plus ``Path`` method names), extended transitively through same-module
-helper functions.  Cross-module method calls (``self.store.put``) are
-not resolved — the durable tier (store, lineages) deliberately
-serializes its writes under its own single-writer lock, and its
-discipline is covered by the crash-safety tests; what LOCK002 polices is
-the serve-path classes, whose hot locks must never be held across a
-file operation.
+**LOCK002** — no blocking call while holding an annotated lock.
+"Blocking" is the canonical catalog exported by
+:mod:`repro.utils.io_atomic`: file I/O (``open``, ``os.replace``,
+``np.save`` …, plus ``Path`` method names) *and* waits
+(``time.sleep``, the shared retry runner
+:func:`~repro.faults.retry.run_with_retry` — a backoff schedule held
+under a hot lock stalls every reader behind it), extended transitively
+through same-module helper functions.  Cross-module method calls
+(``self.store.put``) are not resolved — the durable tier (store,
+lineages) deliberately serializes its writes, and now its retries,
+under its own single-writer lock, and its discipline is covered by the
+crash-safety tests; what LOCK002 polices is the serve-path classes,
+whose hot locks must never be held across a file operation or a
+backoff sleep.
 """
 
 from __future__ import annotations
@@ -43,7 +47,11 @@ from repro.statan.core import (
     dotted_call_name,
     register,
 )
-from repro.utils.io_atomic import BLOCKING_CALL_NAMES, BLOCKING_PATH_METHODS
+from repro.utils.io_atomic import (
+    BLOCKING_CALL_NAMES,
+    BLOCKING_PATH_METHODS,
+    BLOCKING_WAIT_NAMES,
+)
 
 __all__ = ["LockDisciplinePass", "GUARDED_BY"]
 
@@ -145,10 +153,12 @@ def _is_blocking_call(call: ast.Call) -> bool:
     name = dotted_call_name(call.func)
     if name is None:
         return False
-    if name in BLOCKING_CALL_NAMES:
+    if name in BLOCKING_CALL_NAMES or name in BLOCKING_WAIT_NAMES:
         return True
     tail = name.rsplit(".", 2)
-    if len(tail) >= 2 and ".".join(tail[-2:]) in BLOCKING_CALL_NAMES:
+    if len(tail) >= 2 and ".".join(tail[-2:]) in (
+        BLOCKING_CALL_NAMES | BLOCKING_WAIT_NAMES
+    ):
         return True
     return name.rsplit(".", 1)[-1] in BLOCKING_PATH_METHODS
 
@@ -238,9 +248,10 @@ class LockDisciplinePass(LintPass):
                                 module,
                                 child,
                                 "LOCK002",
-                                f"blocking file I/O while holding "
-                                f"{sorted(held)}: move the I/O outside the "
-                                f"lock or stage it through io_atomic first",
+                                f"blocking call (file I/O or backoff wait) "
+                                f"while holding {sorted(held)}: move it "
+                                f"outside the lock or stage it through "
+                                f"io_atomic first",
                             )
                         )
                 visit(child, child_held)

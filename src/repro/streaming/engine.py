@@ -37,10 +37,17 @@ from time import perf_counter
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
-from repro.exceptions import PrivacyBudgetError, ReproError
+from repro.exceptions import (
+    BudgetExhaustedError,
+    LineageConflictError,
+    PrivacyBudgetError,
+    ReproError,
+)
+from repro.faults.degrade import CircuitBreaker
+from repro.faults.retry import RetryPolicy
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.definitions import PrivacyParameters
 from repro.queries.workload import RangeWorkload
@@ -79,6 +86,10 @@ class StreamBatchResult:
     epsilon: float
     dataset_fingerprint: str
     answer_seconds: float
+    #: the stream's circuit breaker was open when this batch was
+    #: answered: the answers are valid but come from the last epoch
+    #: published before refreshes started failing (stale-serve mode).
+    degraded: bool = False
 
     @property
     def num_queries(self) -> int:
@@ -127,6 +138,18 @@ class StreamingHistogramEngine:
     build_first_epoch:
         Build epoch 0 from the base data at construction (default).  Has
         no effect on a warm restart, which resumes from the lineage.
+    retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy` applied to the
+        lineage's per-append persist (the store takes its own policy at
+        construction).  Retries only re-run persistence — never the
+        ε-charged build.
+    breaker:
+        The stream's :class:`~repro.faults.degrade.CircuitBreaker`; a
+        default one (trip on first failure, probe every 4th suppressed
+        auto-refresh) is created when omitted.  While open, the engine
+        keeps answering from the last published epoch with
+        ``degraded=True`` on every batch, and one successful build heals
+        it.
     """
 
     def __init__(
@@ -146,6 +169,8 @@ class StreamingHistogramEngine:
         cache_capacity: int = 32,
         name: str = "stream",
         build_first_epoch: bool = True,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if isinstance(data, Relation):
             if attribute is None:
@@ -194,6 +219,8 @@ class StreamingHistogramEngine:
         self._current: tuple[int, MaterializedRelease] | None = None  # guarded-by: _serve_lock
         self._executor: ThreadPoolExecutor | None = None  # guarded-by: _executor_lock
         self._executor_lock = threading.Lock()
+        self.retry = retry
+        self.breaker = breaker if breaker is not None else CircuitBreaker(name=self.name)
         self.lineage = self._open_lineage()
         if len(self.lineage):
             with self._advance_lock:
@@ -206,8 +233,10 @@ class StreamingHistogramEngine:
     def _open_lineage(self) -> EpochLineage:
         store = self.cache.store
         if store is None:
-            return EpochLineage()
-        return EpochLineage(stream_ledger_path(store.root, self.name))
+            return EpochLineage(retry=self.retry)
+        return EpochLineage(
+            stream_ledger_path(store.root, self.name), retry=self.retry
+        )
 
     def _resume_from_lineage_locked(self) -> None:
         """Warm restart: serve the latest recorded epoch, spending zero ε.
@@ -307,13 +336,27 @@ class StreamingHistogramEngine:
         # under the lock — a concurrent ingest that lost the race finds
         # its rows already drained and must not charge a near-empty
         # epoch for them.  Pending rows simply ride into the next epoch.
+        if not self.breaker.allow_probe():
+            # Open breaker: keep serving the last published epoch (stale
+            # but valid) instead of hammering a failing build path on
+            # every ingest.  Every probe_interval-th opportunity is let
+            # through as the healing probe, and an explicit
+            # advance_epoch() always bypasses this gate.
+            if obs.enabled():
+                obs.registry().counter(
+                    "repro_stream_refreshes_suppressed_total",
+                    "Auto-refreshes suppressed by an open circuit breaker",
+                ).inc(stream=self.name)
+            return
         if not self._advance_lock.acquire(blocking=False):
             return
         try:
             if self.policy.should_refresh(self._buffer.pending_rows):
                 self._advance_locked()
+                self.breaker.record_success()
                 self.last_refresh_error = None
         except Exception as error:
+            self.breaker.record_failure(error)
             # The ingest itself succeeded — the rows are in the buffer and
             # a failed build restored its drained share — so raising here
             # would invite the caller to re-ingest the same batch and
@@ -343,7 +386,13 @@ class StreamingHistogramEngine:
         only after the release is computed — no ε is spent.
         """
         with self._advance_lock:
-            return self._advance_locked()
+            try:
+                record = self._advance_locked()
+            except Exception as error:
+                self.breaker.record_failure(error)
+                raise
+        self.breaker.record_success()
+        return record
 
     def advance_epoch_background(self) -> "Future[EpochRecord]":
         """Schedule :meth:`advance_epoch` on the build thread.
@@ -374,7 +423,7 @@ class StreamingHistogramEngine:
         # the documented residual of non-transactional store + lineage.
         lifetime = max(self.lineage.spent_epsilon, self._budget.spent_epsilon)
         if lifetime + epsilon > self._budget.total.epsilon + 1e-12:
-            raise PrivacyBudgetError(
+            raise BudgetExhaustedError(
                 f"epoch {epoch} would charge ε={epsilon:g}, but the stream "
                 f"has already spent ε={lifetime:g} of its lifetime "
                 f"{self._budget.total.epsilon:g} across its lineage"
@@ -388,7 +437,7 @@ class StreamingHistogramEngine:
             recorded = self.lineage.latest.total_rows
             current = float(self._counts.sum())
             if abs(current - recorded) > 0.5 + 1e-9 * abs(recorded):
-                raise ReproError(
+                raise LineageConflictError(
                     f"stream {self.name!r} resumed at epoch "
                     f"{self.lineage.latest.epoch} whose release covered "
                     f"{recorded:g} rows, but the supplied counts hold "
@@ -402,6 +451,10 @@ class StreamingHistogramEngine:
         # carry data that must reach the epoch.
         counts = self._counts + delta if delta.any() else self._counts
         try:
+            if faults.enabled():
+                # Injected before any mechanism work: a failed epoch
+                # charges nothing and the drained rows are restored.
+                faults.check("stream.epoch_build")
             builder = HistogramEngine(
                 counts,
                 branching=self.branching,
@@ -533,6 +586,7 @@ class StreamingHistogramEngine:
             epsilon=release.epsilon,
             dataset_fingerprint=release.dataset_fingerprint,
             answer_seconds=answer_seconds,
+            degraded=self.breaker.degraded,
         )
 
     # -- lifecycle -------------------------------------------------------------

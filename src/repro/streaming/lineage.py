@@ -26,7 +26,10 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.exceptions import ReleaseStoreError
+from repro import faults
+from repro.exceptions import LineageConflictError, ReleaseStoreError
+from repro.faults.injector import CrashFault, FaultError
+from repro.faults.retry import RetryPolicy, run_with_retry
 from repro.serving.release import ReleaseKey
 from repro.utils.io_atomic import atomic_write_json
 
@@ -89,10 +92,17 @@ class EpochLineage:
     path:
         When given, the lineage is loaded from (and persisted to) this
         JSON file; ``None`` keeps it in memory only.
+    retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy` for the
+        per-append persist.  The ε-charged build already happened by the
+        time an append runs, so retrying the persist never re-charges
+        anything — it only narrows the window in which a charge could be
+        orphaned by a transient disk error.
     """
 
-    def __init__(self, path=None) -> None:
+    def __init__(self, path=None, *, retry: RetryPolicy | None = None) -> None:
         self.path = Path(path) if path is not None else None
+        self.retry = retry
         self._lock = threading.Lock()
         self._records: list[EpochRecord] = []
         if self.path is not None and self.path.exists():
@@ -117,7 +127,7 @@ class EpochLineage:
         records = [EpochRecord.from_json(entry) for entry in epochs]
         for i, record in enumerate(records):
             if record.epoch != i:
-                raise ReleaseStoreError(
+                raise LineageConflictError(
                     f"epoch lineage {self.path} is not contiguous: position "
                     f"{i} records epoch {record.epoch}"
                 )
@@ -128,7 +138,18 @@ class EpochLineage:
             "lineage_format_version": LINEAGE_FORMAT_VERSION,
             "epochs": [record.to_json() for record in self._records],
         }
-        atomic_write_json(self.path, document)
+
+        def write() -> None:
+            if faults.enabled():
+                faults.check("lineage.append")
+            atomic_write_json(self.path, document)
+
+        if self.retry is None:
+            write()
+        else:
+            run_with_retry(
+                self.retry, write, describe=f"persist lineage {self.path.name}"
+            )
 
     # -- appends ---------------------------------------------------------------
 
@@ -137,7 +158,7 @@ class EpochLineage:
         with self._lock:
             expected = len(self._records)
             if record.epoch != expected:
-                raise ReleaseStoreError(
+                raise LineageConflictError(
                     f"epoch {record.epoch} appended out of order; lineage "
                     f"expects epoch {expected} next"
                 )
@@ -145,7 +166,14 @@ class EpochLineage:
             if self.path is not None:
                 try:
                     self._persist()
-                except OSError as error:
+                except CrashFault:
+                    # A simulated process death: in-memory state is about
+                    # to vanish anyway, and the on-disk ledger still
+                    # holds the previous epoch — exactly what a real
+                    # crash leaves for the restart path to resume from.
+                    self._records.pop()
+                    raise
+                except (OSError, FaultError) as error:
                     self._records.pop()
                     raise ReleaseStoreError(
                         f"cannot persist epoch lineage to {self.path}: {error}"

@@ -11,12 +11,21 @@ POSIX guarantees to be atomic), is flushed and fsynced, and only then
 renamed onto the destination.  A crash mid-write therefore leaves either
 the old file or the new file, never a truncation.
 
-It also exports :data:`BLOCKING_CALL_NAMES` and
-:data:`BLOCKING_PATH_METHODS` — the allowlist of call shapes that the
-``LOCK002`` static-analysis pass (:mod:`repro.statan.locks`) treats as
-blocking file I/O.  Keeping the catalog next to the helpers means a new
-I/O primitive added here is automatically policed at every lock-holding
+It also exports :data:`BLOCKING_CALL_NAMES`,
+:data:`BLOCKING_PATH_METHODS`, and :data:`BLOCKING_WAIT_NAMES` — the
+allowlist of call shapes that the ``LOCK002`` static-analysis pass
+(:mod:`repro.statan.locks`) treats as blocking (file I/O and backoff
+waits).  Keeping the catalog next to the helpers means a new I/O
+primitive added here is automatically policed at every lock-holding
 call site.
+
+The write path carries the repo's two crash-simulation fault points
+(``io.flush`` and ``io.replace``, consulted behind the
+``if faults.enabled():`` gate — zero overhead when injection is off).
+An injected :class:`~repro.faults.injector.CrashFault` at ``io.replace``
+deliberately leaves the temp file on disk, exactly as a process killed
+between fsync and rename would; the next write to the same path sweeps
+any such stale temp files before creating its own.
 """
 
 from __future__ import annotations
@@ -26,11 +35,15 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro import faults
+from repro.faults.injector import CrashFault
+
 __all__ = [
     "atomic_write_bytes",
     "atomic_write_json",
     "BLOCKING_CALL_NAMES",
     "BLOCKING_PATH_METHODS",
+    "BLOCKING_WAIT_NAMES",
 ]
 
 #: Bare and dotted call names (as they appear in source) that perform
@@ -86,6 +99,32 @@ BLOCKING_PATH_METHODS = frozenset(
     }
 )
 
+#: Call shapes that *wait* rather than touch the filesystem — backoff
+#: sleeps and the shared retry runner.  LOCK002 treats these exactly
+#: like blocking I/O: a ``# guarded-by:`` lock held across a retry wait
+#: stalls every reader behind the backoff schedule.
+BLOCKING_WAIT_NAMES = frozenset(
+    {
+        "sleep",
+        "time.sleep",
+        "run_with_retry",
+        "retry.run_with_retry",
+        "faults.run_with_retry",
+    }
+)
+
+
+def _sweep_stale_temps(path: Path) -> None:
+    """Remove temp files a crashed writer left next to ``path``.
+
+    A process killed between writing its temp file and the atomic rename
+    leaks one ``.{name}.XXXXXXXX.tmp`` sibling.  They are harmless to
+    correctness (the rename never happened, so ``path`` is intact) but
+    accumulate; the next writer owns the path and may clean them.
+    """
+    for stale in path.parent.glob(f".{path.name}.*.tmp"):
+        stale.unlink(missing_ok=True)
+
 
 def atomic_write_bytes(path: Path, write) -> None:
     """Run ``write(handle)`` against a temp file, then rename onto ``path``.
@@ -94,9 +133,13 @@ def atomic_write_bytes(path: Path, write) -> None:
     the complete new content of ``path``.  The temp file is created in
     ``path``'s directory so the final ``os.replace`` is an atomic
     same-filesystem rename; on any failure the temp file is removed and
-    the original ``path`` (if any) is left untouched.
+    the original ``path`` (if any) is left untouched.  The one
+    exception is an injected :class:`CrashFault` (chaos testing), which
+    simulates a hard process death: the temp file is left behind, and
+    swept up by the next write to the same path.
     """
     path = Path(path)
+    _sweep_stale_temps(path)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -104,9 +147,17 @@ def atomic_write_bytes(path: Path, write) -> None:
     try:
         with os.fdopen(fd, "wb") as handle:
             write(handle)
+            if faults.enabled():
+                faults.check("io.flush")
             handle.flush()
             os.fsync(handle.fileno())
+        if faults.enabled():
+            faults.check("io.replace")
         os.replace(tmp, path)
+    except CrashFault:
+        # A simulated crash cleans nothing up — that is the point: the
+        # recovery tests must see exactly what a killed process leaves.
+        raise
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise

@@ -1,0 +1,20 @@
+"""Shared fixtures for the fault-injection suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    """Every test starts and ends with injection disabled and a fresh injector.
+
+    The fault layer keeps process-wide module state by design (that is
+    what makes the production gate one attribute read); tests must never
+    leak an armed schedule into a neighbour.
+    """
+    faults.reset()
+    yield
+    faults.reset()

@@ -1,0 +1,86 @@
+"""Unit tests for the per-tenant circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.faults import CircuitBreaker
+from repro.faults.degrade import STATE_CLOSED, STATE_OPEN
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ReproError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ReproError, match="probe_interval"):
+            CircuitBreaker(probe_interval=0)
+
+    def test_starts_closed_and_healthy(self):
+        breaker = CircuitBreaker("tenant")
+        assert breaker.state == STATE_CLOSED
+        assert not breaker.degraded
+        assert breaker.last_error is None
+        assert breaker.allow_probe()  # closed: refreshes always run
+
+    def test_default_threshold_trips_on_first_failure(self):
+        breaker = CircuitBreaker("tenant")
+        assert breaker.record_failure(OSError("disk gone")) is True
+        assert breaker.degraded
+        assert breaker.state == STATE_OPEN
+        assert breaker.last_error == "disk gone"
+        assert breaker.trips == 1
+
+    def test_threshold_counts_consecutive_failures_only(self):
+        breaker = CircuitBreaker("tenant", failure_threshold=3)
+        assert breaker.record_failure("one") is False
+        assert breaker.record_failure("two") is False
+        breaker.record_success()  # resets the streak
+        assert breaker.record_failure("one again") is False
+        assert breaker.record_failure("two again") is False
+        assert breaker.record_failure("three") is True
+        assert breaker.degraded
+
+    def test_one_success_heals(self):
+        breaker = CircuitBreaker("tenant")
+        breaker.record_failure("boom")
+        assert breaker.record_success() is True  # healed
+        assert not breaker.degraded
+        assert breaker.last_error is None
+        assert breaker.record_success() is False  # already closed
+
+    def test_probe_cadence_is_deterministic(self):
+        breaker = CircuitBreaker("tenant", probe_interval=4)
+        breaker.record_failure("boom")
+        pattern = [breaker.allow_probe() for _ in range(8)]
+        assert pattern == [False, False, False, True] * 2
+        snapshot = breaker.snapshot()
+        assert snapshot.probes_allowed == 2
+        assert snapshot.refreshes_suppressed == 6
+
+    def test_repeated_failures_while_open_do_not_retrip(self):
+        breaker = CircuitBreaker("tenant")
+        breaker.record_failure("first")
+        breaker.record_failure("second")
+        breaker.record_failure("third")
+        assert breaker.trips == 1
+        assert breaker.last_error == "third"  # message tracks the newest
+
+    def test_error_message_falls_back_to_class_name(self):
+        breaker = CircuitBreaker("tenant")
+        breaker.record_failure(OSError())  # str(OSError()) == ""
+        assert breaker.last_error == "OSError"
+
+    def test_snapshot_round_trips_to_json(self):
+        breaker = CircuitBreaker("edge", failure_threshold=2)
+        breaker.record_failure("x")
+        breaker.record_failure("y")
+        breaker.allow_probe()
+        snapshot = breaker.snapshot()
+        assert snapshot.name == "edge"
+        assert snapshot.degraded and snapshot.state == STATE_OPEN
+        document = snapshot.to_json()
+        assert document["trips"] == 1
+        assert document["consecutive_failures"] == 2
+        assert document["last_error"] == "y"
+        assert document == breaker.snapshot().to_json()  # snapshot is stable

@@ -1,0 +1,140 @@
+"""Unit tests for the fault-point registry and its seeded schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.exceptions import ReproError
+from repro.faults import (
+    FAULT_POINTS,
+    CrashFault,
+    FailFirst,
+    FailNth,
+    FailWithProbability,
+    FaultError,
+    FaultInjector,
+)
+
+
+class TestSchedules:
+    def test_fail_nth_fails_exactly_the_named_invocations(self):
+        schedule = FailNth((2, 4))
+        fired = [n for n in range(1, 7) if schedule.should_fail(n)]
+        assert fired == [2, 4]
+
+    def test_fail_nth_rejects_non_positive_invocations(self):
+        with pytest.raises(ReproError, match="1-based"):
+            FailNth(0)
+
+    def test_fail_first_heals_permanently(self):
+        schedule = FailFirst(2)
+        fired = [n for n in range(1, 10) if schedule.should_fail(n)]
+        assert fired == [1, 2]
+
+    def test_fail_first_default_is_fail_once(self):
+        schedule = FailFirst()
+        assert schedule.should_fail(1)
+        assert not schedule.should_fail(2)
+
+    def test_probability_schedule_is_seed_deterministic(self):
+        def pattern(seed: int) -> list[bool]:
+            # one instance per run: the seeded stream is consumed in
+            # invocation order, exactly as the injector consumes it
+            schedule = FailWithProbability(0.5, seed=seed)
+            return [schedule.should_fail(n) for n in range(1, 41)]
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)  # a different seed, a different run
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_probability_bounds_are_validated(self):
+        with pytest.raises(ReproError, match=r"\[0, 1\]"):
+            FailWithProbability(1.5, seed=0)
+
+    def test_crash_flag_switches_the_error_shape(self):
+        plain = FailNth(1).make_error("store.write", 1)
+        crash = FailNth(1, crash=True).make_error("store.write", 1)
+        assert type(plain) is FaultError
+        assert isinstance(crash, CrashFault)
+        assert isinstance(crash, FaultError)  # crash is still a fault
+        assert crash.point == "store.write"
+        assert crash.invocation == 1
+
+
+class TestFaultInjector:
+    def test_unknown_point_is_a_hard_error(self):
+        injector = FaultInjector()
+        with pytest.raises(ReproError, match="unknown fault point"):
+            injector.arm("store.wrlte", FailNth(1))  # typo must not pass
+        with pytest.raises(ReproError, match="unknown fault point"):
+            injector.check("nope")
+
+    def test_catalog_covers_every_tier(self):
+        assert {"store.write", "store.load", "lineage.append"} <= FAULT_POINTS
+        assert {"io.flush", "io.replace"} <= FAULT_POINTS
+        assert {"cache.fill", "shard.build", "stream.epoch_build"} <= FAULT_POINTS
+
+    def test_check_counts_every_invocation_even_unarmed(self):
+        injector = FaultInjector()
+        for _ in range(3):
+            injector.check("store.load")
+        assert injector.invocations("store.load") == 3
+        assert injector.injected("store.load") == 0
+
+    def test_armed_schedule_fires_and_counts(self):
+        injector = FaultInjector({"store.write": FailNth(2)})
+        injector.check("store.write")
+        with pytest.raises(FaultError) as excinfo:
+            injector.check("store.write")
+        assert excinfo.value.invocation == 2
+        injector.check("store.write")  # healed again
+        assert injector.invocations("store.write") == 3
+        assert injector.injected("store.write") == 1
+
+    def test_disarm_keeps_counters(self):
+        injector = FaultInjector({"io.flush": FailFirst(10)})
+        with pytest.raises(FaultError):
+            injector.check("io.flush")
+        injector.disarm("io.flush")
+        injector.check("io.flush")  # no longer fails
+        assert injector.invocations("io.flush") == 2
+
+    def test_snapshot_reports_touched_points(self):
+        injector = FaultInjector({"store.load": FailNth(1)})
+        with pytest.raises(FaultError):
+            injector.check("store.load")
+        injector.check("cache.fill")
+        assert injector.snapshot() == {
+            "cache.fill": {"invocations": 1, "injected": 0},
+            "store.load": {"invocations": 1, "injected": 1},
+        }
+
+
+class TestModuleGate:
+    def test_disabled_by_default(self):
+        assert not faults.enabled()
+
+    def test_session_scopes_injector_and_flag(self):
+        outer = faults.injector()
+        with faults.session({"store.write": FailNth(1)}) as inj:
+            assert faults.enabled()
+            assert faults.injector() is inj
+            with pytest.raises(FaultError):
+                faults.check("store.write")
+        assert not faults.enabled()
+        assert faults.injector() is outer
+
+    def test_session_restores_state_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with faults.session():
+                raise RuntimeError("boom")
+        assert not faults.enabled()
+
+    def test_set_injector_returns_previous(self):
+        counting = FaultInjector()
+        previous = faults.set_injector(counting)
+        try:
+            assert faults.injector() is counting
+        finally:
+            faults.set_injector(previous)

@@ -1,0 +1,105 @@
+"""Crash-mid-write recovery tests for the atomic write protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import CrashFault, FailNth, FaultError
+from repro.utils.io_atomic import atomic_write_bytes, atomic_write_json
+
+
+def temp_files(path):
+    """The stale temp siblings a crashed writer would leave next to path."""
+    return sorted(path.parent.glob(f".{path.name}.*.tmp"))
+
+
+class TestCrashMidWrite:
+    def test_crash_before_replace_leaves_original_intact(self, tmp_path):
+        """A crash between fsync and rename must leave the old content as
+        the visible file and the half-written new content as a temp."""
+        target = tmp_path / "ledger.json"
+        atomic_write_json(target, {"epoch": 0})
+
+        with faults.session({"io.replace": FailNth(1, crash=True)}):
+            with pytest.raises(CrashFault):
+                atomic_write_json(target, {"epoch": 1})
+
+        # the visible file is exactly the pre-crash content
+        assert json.loads(target.read_text()) == {"epoch": 0}
+        # the killed writer's temp file is still there, like a real crash
+        leftovers = temp_files(target)
+        assert len(leftovers) == 1
+        assert json.loads(leftovers[0].read_text()) == {"epoch": 1}
+
+    def test_crash_at_flush_also_leaves_temp(self, tmp_path):
+        target = tmp_path / "ledger.json"
+        with faults.session({"io.flush": FailNth(1, crash=True)}):
+            with pytest.raises(CrashFault):
+                atomic_write_json(target, {"epoch": 0})
+        assert not target.exists()  # rename never happened
+        assert len(temp_files(target)) == 1
+
+    def test_next_write_sweeps_stale_temps_and_succeeds(self, tmp_path):
+        target = tmp_path / "ledger.json"
+        atomic_write_json(target, {"epoch": 0})
+        with faults.session({"io.replace": FailNth(1, crash=True)}):
+            with pytest.raises(CrashFault):
+                atomic_write_json(target, {"epoch": 1})
+        assert len(temp_files(target)) == 1
+
+        # the restarted process simply writes again: the stale temp is
+        # swept, the write lands, no debris remains
+        atomic_write_json(target, {"epoch": 1})
+        assert json.loads(target.read_text()) == {"epoch": 1}
+        assert temp_files(target) == []
+
+    def test_transient_fault_cleans_its_temp_up(self, tmp_path):
+        """A plain FaultError is an ordinary failure, not a crash: the
+        protocol removes its temp file, as for any exception."""
+        target = tmp_path / "ledger.json"
+        atomic_write_json(target, {"epoch": 0})
+        with faults.session({"io.replace": FailNth(1)}):
+            with pytest.raises(FaultError):
+                atomic_write_json(target, {"epoch": 1})
+        assert json.loads(target.read_text()) == {"epoch": 0}
+        assert temp_files(target) == []
+
+    def test_writer_exception_cleans_up_and_preserves_original(self, tmp_path):
+        target = tmp_path / "data.bin"
+        atomic_write_bytes(target, lambda handle: handle.write(b"v1"))
+
+        def exploding_writer(handle):
+            handle.write(b"partial")
+            raise RuntimeError("serialization bug")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_bytes(target, exploding_writer)
+        assert target.read_bytes() == b"v1"
+        assert temp_files(target) == []
+
+    def test_sweep_only_touches_own_temp_namespace(self, tmp_path):
+        """Sweeping before a write must not delete other files — only the
+        `.{name}.*.tmp` pattern belonging to this target."""
+        target = tmp_path / "a.json"
+        bystander = tmp_path / ".b.json.12345678.tmp"  # another target's temp
+        unrelated = tmp_path / "notes.tmp"
+        bystander.write_text("other writer's crash debris")
+        unrelated.write_text("keep me")
+        atomic_write_json(target, {"ok": True})
+        assert bystander.exists()
+        assert unrelated.exists()
+
+    def test_disabled_injection_means_no_fault_calls(self, tmp_path):
+        """The counting-double proof at the io_atomic layer: with
+        injection disabled, a write performs zero fault-layer calls."""
+        counting = faults.FaultInjector()
+        previous = faults.set_injector(counting)
+        try:
+            assert not faults.enabled()
+            atomic_write_json(tmp_path / "x.json", {"ok": True})
+        finally:
+            faults.set_injector(previous)
+        assert counting.invocations() == 0

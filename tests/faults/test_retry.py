@@ -1,0 +1,164 @@
+"""Unit tests for RetryPolicy and run_with_retry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.faults import CrashFault, FaultError, RetryPolicy, run_with_retry
+
+
+def no_wait(_delay: float) -> None:
+    """Test stand-in for time.sleep: retry schedules run instantly."""
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ReproError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReproError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ReproError, match="attempt_deadline"):
+            RetryPolicy(attempt_deadline=0.0)
+
+    def test_delays_are_deterministic_per_policy(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, seed=42)
+        assert list(policy.delays()) == list(policy.delays())
+
+    def test_delays_grow_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.01, multiplier=2.0, jitter=0.0
+        )
+        assert list(policy.delays()) == [0.01, 0.02, 0.04]
+
+    def test_delays_are_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.5, multiplier=10.0, max_delay=1.0,
+            jitter=0.0,
+        )
+        assert list(policy.delays()) == [0.5, 1.0, 1.0, 1.0, 1.0]
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.1, multiplier=1.0, jitter=0.5, seed=3
+        )
+        for delay in policy.delays():
+            assert 0.05 <= delay <= 0.1
+
+    def test_different_seeds_give_different_jitter(self):
+        a = RetryPolicy(max_attempts=6, seed=1)
+        b = RetryPolicy(max_attempts=6, seed=2)
+        assert list(a.delays()) != list(b.delays())
+
+
+class TestRunWithRetry:
+    def test_first_success_needs_no_waits(self):
+        waits: list[float] = []
+        result = run_with_retry(
+            RetryPolicy(max_attempts=3), lambda: "ok", wait=waits.append
+        )
+        assert result == "ok"
+        assert waits == []
+
+    def test_transient_failures_are_retried_to_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(len(attempts))
+            if len(attempts) < 3:
+                raise OSError("disk hiccup")
+            return "recovered"
+
+        waits: list[float] = []
+        result = run_with_retry(
+            RetryPolicy(max_attempts=3, jitter=0.0), flaky, wait=waits.append
+        )
+        assert result == "recovered"
+        assert len(attempts) == 3
+        assert waits == [0.01, 0.02]  # one backoff per retry, exponential
+
+    def test_exhausted_attempts_propagate_last_error(self):
+        def always_fails():
+            raise FaultError("store.write", 1)
+
+        with pytest.raises(FaultError):
+            run_with_retry(
+                RetryPolicy(max_attempts=3), always_fails, wait=no_wait
+            )
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise ValueError("a bug, not weather")
+
+        with pytest.raises(ValueError):
+            run_with_retry(RetryPolicy(max_attempts=5), broken, wait=no_wait)
+        assert len(attempts) == 1
+
+    def test_crash_fault_is_never_retried(self):
+        """A simulated process death must propagate on the first attempt —
+        an in-process retry would 'heal' a crash no real process survives."""
+        attempts = []
+
+        def crashes():
+            attempts.append(1)
+            raise CrashFault("io.replace", 1)
+
+        with pytest.raises(CrashFault):
+            run_with_retry(RetryPolicy(max_attempts=5), crashes, wait=no_wait)
+        assert len(attempts) == 1
+
+    def test_on_retry_observes_each_failure(self):
+        seen: list[tuple[int, str]] = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("again")
+            return "done"
+
+        run_with_retry(
+            RetryPolicy(max_attempts=3),
+            flaky,
+            on_retry=lambda attempt, error: seen.append((attempt, str(error))),
+            wait=no_wait,
+        )
+        assert [attempt for attempt, _ in seen] == [1, 2]
+
+    def test_deadline_overrun_is_not_retried(self):
+        attempts = []
+
+        def slow_failure():
+            attempts.append(1)
+            raise OSError("failed after crawling")
+
+        clock = iter([0.0, 10.0])  # the one attempt appears to take 10 s
+
+        import repro.faults.retry as retry_module
+
+        original = retry_module.perf_counter
+        retry_module.perf_counter = lambda: next(clock)
+        try:
+            with pytest.raises(OSError):
+                run_with_retry(
+                    RetryPolicy(max_attempts=5, attempt_deadline=1.0),
+                    slow_failure,
+                    wait=no_wait,
+                )
+        finally:
+            retry_module.perf_counter = original
+        assert len(attempts) == 1  # slowness is not healed by backoff
+
+    def test_max_attempts_one_disables_retrying(self):
+        attempts = []
+
+        def fails():
+            attempts.append(1)
+            raise OSError("nope")
+
+        with pytest.raises(OSError):
+            run_with_retry(RetryPolicy(max_attempts=1), fails, wait=no_wait)
+        assert len(attempts) == 1

@@ -211,3 +211,66 @@ class TestShardedTenants:
         assert len(stats.stream_lineages["live"]) == 2
         fleet.unregister("live")
         assert "live" not in fleet
+
+
+class TestStreamHealth:
+    def test_stats_surface_breaker_snapshots(self, counts_a):
+        from repro import faults
+        from repro.faults import FailFirst
+        from repro.streaming.policy import FixedEpsilonSchedule
+
+        fleet = EngineFleet()
+        stream = fleet.register_stream(
+            "clicks", counts_a, 1.0, schedule=FixedEpsilonSchedule(0.1)
+        )
+        healthy = fleet.stats()
+        assert healthy.degraded_streams == 0
+        assert healthy.stream_health["clicks"].state == "closed"
+
+        faults.reset()
+        stream.ingest(np.arange(8))
+        try:
+            with faults.session({"stream.epoch_build": FailFirst(1)}):
+                with pytest.raises(faults.FaultError):
+                    stream.advance_epoch()
+        finally:
+            faults.reset()
+
+        degraded = fleet.stats()
+        assert degraded.degraded_streams == 1
+        snapshot = degraded.stream_health["clicks"]
+        assert snapshot.degraded and snapshot.trips == 1
+        assert "injected fault" in snapshot.last_error
+        # serving still works, flagged, from the last published epoch
+        result = fleet.submit_stream(
+            "clicks", QueryBatch.random(counts_a.size, 8, rng=1)
+        )
+        assert result.degraded
+
+        stream.advance_epoch()  # heals: the buffered rows fold in
+        healed = fleet.stats()
+        assert healed.degraded_streams == 0
+        assert healed.stream_health["clicks"].last_error is None
+
+    def test_degraded_gauges_published_when_obs_enabled(self, counts_a):
+        from repro import faults, obs
+        from repro.faults import FailFirst
+        from repro.streaming.policy import FixedEpsilonSchedule
+
+        fleet = EngineFleet()
+        stream = fleet.register_stream(
+            "clicks", counts_a, 1.0, schedule=FixedEpsilonSchedule(0.1)
+        )
+        stream.ingest(np.arange(8))
+        faults.reset()
+        try:
+            with faults.session({"stream.epoch_build": FailFirst(1)}):
+                with pytest.raises(faults.FaultError):
+                    stream.advance_epoch()
+        finally:
+            faults.reset()
+
+        with obs.session() as (registry, _):
+            fleet.stats()
+            assert registry.value("repro_stream_degraded", stream="clicks") == 1.0
+            assert registry.value("repro_fleet_degraded_streams") == 1.0

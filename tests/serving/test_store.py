@@ -110,23 +110,33 @@ class TestDurability:
 
 
 class TestIntegrity:
-    def test_corrupt_artifact_raises(self, tmp_path):
+    def test_corrupt_artifact_is_quarantined(self, tmp_path):
+        """A damaged artifact is renamed ``*.corrupt`` and its key rebuilds cold."""
         store = ReleaseStore(tmp_path)
         k = key()
         path = store.put(release_for(k))
         path.write_bytes(b"not an npz archive")
-        with pytest.raises(ReleaseStoreError, match="cannot load artifact"):
-            store.get(k)
+        assert store.get(k) is None
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert k not in store
+        # The quarantine is durable: a reopened store agrees.
+        assert ReleaseStore(tmp_path).get(k) is None
+        # And the key is re-puttable (the cold-rebuild fall-through).
+        store.put(release_for(k))
+        assert store.get(k) is not None
 
     def test_missing_artifact_raises(self, tmp_path):
+        """A *missing* file may be transient (unmounted disk) — stay loud."""
         store = ReleaseStore(tmp_path)
         k = key()
         path = store.put(release_for(k))
         path.unlink()
         with pytest.raises(ReleaseStoreError):
             store.get(k)
+        assert k in store  # nothing was quarantined
 
-    def test_fingerprint_mismatch_is_refused(self, tmp_path):
+    def test_fingerprint_mismatch_is_quarantined(self, tmp_path):
         """A manifest rewired to another dataset's artifact must not serve it."""
         store = ReleaseStore(tmp_path)
         mine, theirs = key(fingerprint="mine"), key(fingerprint="theirs")
@@ -139,10 +149,12 @@ class TestIntegrity:
         entries[id_mine]["artifact"] = entries[id_theirs]["artifact"]
         store.manifest_path.write_text(json.dumps(manifest))
         tampered = ReleaseStore(tmp_path)
-        with pytest.raises(ReleaseStoreError, match="mismatched"):
-            tampered.get(mine)
+        # Never serves the wrong data: the rewired entry is quarantined
+        # and the key falls through to a cold rebuild instead.
+        assert tampered.get(mine) is None
+        assert mine not in tampered
 
-    def test_tampered_entry_identity_is_refused(self, tmp_path):
+    def test_tampered_entry_identity_is_quarantined(self, tmp_path):
         store = ReleaseStore(tmp_path)
         k = key()
         store.put(release_for(k))
@@ -150,8 +162,9 @@ class TestIntegrity:
         entry = next(iter(manifest["releases"].values()))
         entry["epsilon"] = 99.0
         store.manifest_path.write_text(json.dumps(manifest))
-        with pytest.raises(ReleaseStoreError, match="corrupt"):
-            ReleaseStore(tmp_path).get(k)
+        tampered = ReleaseStore(tmp_path)
+        assert tampered.get(k) is None
+        assert k not in tampered
 
     def test_future_manifest_version_rejected(self, tmp_path):
         store = ReleaseStore(tmp_path)

@@ -1,0 +1,25 @@
+"""LOCK002 fixture: backoff waits performed under an annotated lock."""
+
+import threading
+import time
+
+from repro.faults import RetryPolicy, run_with_retry
+
+
+class BackoffBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0  # guarded-by: _lock
+
+    def bump_with_sleep(self):
+        with self._lock:
+            # Violation: every reader stalls behind this wait for the
+            # whole backoff, not just the critical section.
+            time.sleep(0.05)
+            self._value += 1
+
+    def bump_with_retry(self, operation):
+        with self._lock:
+            # Violation: the retry runner sleeps between attempts while
+            # the lock is held — the catalogued wait shape.
+            self._value = run_with_retry(RetryPolicy(), operation)

@@ -1,0 +1,22 @@
+"""LOCK002 fixture (clean): waits staged outside the annotated lock."""
+
+import threading
+import time
+
+from repro.faults import RetryPolicy, run_with_retry
+
+
+class BackoffBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0  # guarded-by: _lock
+
+    def bump_with_sleep(self):
+        time.sleep(0.05)  # wait first; the lock is held only for the swap
+        with self._lock:
+            self._value += 1
+
+    def bump_with_retry(self, operation):
+        result = run_with_retry(RetryPolicy(), operation)
+        with self._lock:
+            self._value = result

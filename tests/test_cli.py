@@ -213,7 +213,7 @@ class TestCommands:
                 "--random", "10",
             ]
         )
-        assert code == 2
+        assert code == 3  # EXIT_BUDGET_EXHAUSTED: spent budget, not generic failure
         assert "cannot materialize" in capsys.readouterr().err
 
     def test_fleet_serves_multiple_datasets(self, tmp_path, capsys):
@@ -604,3 +604,49 @@ class TestObservabilityCommands:
     def test_export_metrics_unwritable_out_errors_cleanly(self, capsys):
         assert main(["export-metrics", "--out", "/nonexistent-dir/x.prom"]) == 2
         assert "cannot write metrics" in capsys.readouterr().err
+
+
+class TestFailureExitCodes:
+    """The typed failure classes map to distinct exit codes (docs/robustness.md)."""
+
+    @staticmethod
+    def _counts_file(tmp_path):
+        counts_file = tmp_path / "counts.txt"
+        rng = np.random.default_rng(4)
+        counts_file.write_text("\n".join(str(v) for v in rng.integers(0, 9, size=32)))
+        return str(counts_file)
+
+    def test_store_corruption_exits_4(self, tmp_path, capsys):
+        store_dir = tmp_path / "releases"
+        args = [
+            "serve-store", "--store", str(store_dir), "--dataset", "nettrace",
+            "--epsilon", "0.5", "--seed", "7", "--random", "10",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        (store_dir / "manifest.json").write_text("{ not json")
+        assert main(args) == 4  # EXIT_STORE_CORRUPTION: operator attention
+        assert "manifest" in capsys.readouterr().err
+
+    def test_lineage_conflict_exits_5(self, tmp_path, capsys):
+        import json as json_module
+
+        counts = self._counts_file(tmp_path)
+        stream_dir, store = str(tmp_path / "stream"), str(tmp_path / "store")
+        advance = [
+            "advance-epoch", "--stream-dir", stream_dir, "--store", store,
+            "--stream", "forked", "--counts-file", counts,
+            "--epsilon0", "0.4", "--decay", "0.5", "--seed", "7",
+        ]
+        assert main(advance) == 0
+        assert main(advance) == 0
+        capsys.readouterr()
+
+        # fork the ledger: renumber epoch 1 as epoch 5 (a gap)
+        (ledger,) = (tmp_path / "store" / "streams").glob("forked-*.json")
+        document = json_module.loads(ledger.read_text())
+        document["epochs"][1]["epoch"] = 5
+        ledger.write_text(json_module.dumps(document))
+
+        assert main(advance) == 5  # EXIT_LINEAGE_CONFLICT
+        assert "not contiguous" in capsys.readouterr().err

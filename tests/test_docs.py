@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 import repro
+import repro.faults
 import repro.obs
 import repro.serving
 import repro.sharding
@@ -27,7 +28,13 @@ from repro.cli import build_parser
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS_DIR = REPO_ROOT / "docs"
 
-AUDITED_PACKAGES = [repro.obs, repro.serving, repro.sharding, repro.statan]
+AUDITED_PACKAGES = [
+    repro.faults,
+    repro.obs,
+    repro.serving,
+    repro.sharding,
+    repro.statan,
+]
 
 
 def submodules(package):
@@ -118,6 +125,7 @@ class TestLinkIntegrity:
             "paper-map.md",
             "cli.md",
             "observability.md",
+            "robustness.md",
             "static-analysis.md",
         ):
             assert (DOCS_DIR / name).is_file(), f"docs/{name} is missing"
