@@ -31,6 +31,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.tables import render_table, write_csv
+from repro.sharding.pool import effective_cpu_count
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -73,6 +74,9 @@ def report_envelope(name: str, payload: dict) -> dict:
             "platform": platform.platform(),
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
+            # CPUs this process may actually use (affinity/cgroup aware)
+            # — worker-sweep results are uninterpretable without it.
+            "effective_cpus": effective_cpu_count(),
             "processor": platform.processor(),
         },
         "results": payload,

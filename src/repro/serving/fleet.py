@@ -211,6 +211,7 @@ class EngineFleet:
         num_shards: int | None = None,
         shard_size: int | None = None,
         workers: int | None = None,
+        worker_mode: str = "auto",
     ) -> "ShardedHistogramEngine":
         """Host a sharded massive-domain engine under ``name``.
 
@@ -239,6 +240,7 @@ class EngineFleet:
                 num_shards=num_shards,
                 shard_size=shard_size,
                 workers=workers,
+                worker_mode=worker_mode,
                 cache=self.cache,
             )
             with self._lock:
@@ -316,6 +318,7 @@ class EngineFleet:
         seed: int = 0,
         delta: float = 0.0,
         workers: int | None = None,
+        worker_mode: str = "auto",
         build_first_epoch: bool = True,
     ) -> "ShardedStreamingEngine":
         """Host a partial-refresh sharded streaming tenant under ``name``.
@@ -347,6 +350,7 @@ class EngineFleet:
                 seed=seed,
                 delta=delta,
                 workers=workers,
+                worker_mode=worker_mode,
                 cache=self.cache,
                 name=name,
                 build_first_epoch=build_first_epoch,

@@ -15,6 +15,10 @@ structure*:
   versioned store artifact under its own
   :class:`~repro.serving.release.ReleaseKey`
   (:mod:`repro.sharding.engine`);
+* the worker pool itself (:mod:`repro.sharding.pool`) — thread or
+  spawn-process execution behind a ``worker_mode`` knob; only the
+  process pool scales past one core (the build kernels hold the GIL),
+  and releases are bit-identical for any ``(workers, worker_mode)``;
 * :class:`ShardedRelease` — the assembled, immutable serving artifact:
   per-shard prefix indexes that bake in the cumulated totals of all
   preceding shards, so full-shard spans cost O(1)
@@ -83,6 +87,12 @@ from repro.sharding.engine import (
 )
 from repro.sharding.lineage import ShardedLineage, ShardEpochRecord
 from repro.sharding.plan import DEFAULT_SHARD_SIZE, ShardPlan, resolve_plan
+from repro.sharding.pool import (
+    WORKER_MODES,
+    effective_cpu_count,
+    resolve_worker_mode,
+    shutdown_worker_pools,
+)
 from repro.sharding.release import ShardedRelease
 from repro.sharding.router import ShardedQueryPlan, ShardRouter
 from repro.sharding.streaming import ShardedStreamingEngine
@@ -96,6 +106,10 @@ __all__ = [
     "ShardRouter",
     "build_shard_releases",
     "derive_shard_seed",
+    "WORKER_MODES",
+    "effective_cpu_count",
+    "resolve_worker_mode",
+    "shutdown_worker_pools",
     "ShardedHistogramEngine",
     "ShardedLineage",
     "ShardEpochRecord",

@@ -42,9 +42,7 @@ shard by shard.
 from __future__ import annotations
 
 import hashlib
-import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 
 from repro import faults, obs
@@ -66,6 +64,12 @@ from repro.serving.release import MaterializedRelease, ReleaseKey, fingerprint_c
 from repro.serving.stats import ServingStats
 from repro.serving.store import ReleaseStore
 from repro.sharding.plan import ShardPlan, resolve_plan
+from repro.sharding.pool import (
+    ShardBuildSpec,
+    effective_cpu_count,
+    resolve_worker_mode,
+    run_shard_builds,
+)
 from repro.sharding.release import ShardedRelease
 from repro.sharding.router import ShardRouter
 from repro.utils.arrays import as_float_vector
@@ -74,12 +78,18 @@ __all__ = ["derive_shard_seed", "build_shard_releases", "ShardedHistogramEngine"
 
 
 def resolve_workers(workers: int | None, num_shards: int) -> int:
-    """Worker-pool width: explicit, else one per core capped at the shards."""
+    """Worker-pool width: explicit, else one per *available* core.
+
+    The default sizes from the effective CPU budget
+    (:func:`~repro.sharding.pool.effective_cpu_count` — affinity mask /
+    cgroup aware), capped at the shard count.  Raw ``os.cpu_count()``
+    would oversubscribe a container pinned to a slice of the box.
+    """
     if workers is not None:
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
         return int(workers)
-    return max(1, min(num_shards, os.cpu_count() or 1))
+    return max(1, min(num_shards, effective_cpu_count()))
 
 
 def resolve_shard_cache(
@@ -128,6 +138,7 @@ def build_shard_releases(
     *,
     delta: float = 0.0,
     workers: int = 1,
+    worker_mode: str = "thread",
     retry: RetryPolicy | None = None,
 ) -> list[MaterializedRelease]:
     """Compute one release per shard, in shard order, on a worker pool.
@@ -135,14 +146,29 @@ def build_shard_releases(
     Pure computation: nothing is cached, persisted, or charged — callers
     sequence the ε charge *after* every shard has succeeded so a failure
     anywhere leaks nothing.  Results are deterministic functions of
-    ``(counts, key)`` regardless of worker count or completion order.
+    ``(counts, key)`` regardless of worker count, worker mode, or
+    completion order, and the pooled paths fail fast: the first shard
+    failure cancels every build not yet started
+    (:func:`~repro.sharding.pool.run_shard_builds`).
 
-    With a ``retry`` policy, each shard's build is retried independently
-    on transient failure (the ``shard.build`` fault point injects here).
-    Retrying is safe for the same reason the function is pure: a
-    re-computed shard is bit-identical to the first attempt, and no ε
-    has been charged yet.  Workers hold no locks, so backing off inside
-    a worker never stalls a serve path.
+    ``worker_mode`` selects the pool (``"thread"``, ``"process"``, or
+    ``"auto"`` by shard width — see
+    :func:`~repro.sharding.pool.resolve_worker_mode`).  The process pool
+    is the one that actually scales: the build kernels hold the GIL, so
+    threads add no cores.
+
+    **Fault and obs semantics are parent-side, for every mode.**  The
+    ``shard.build`` fault point is consulted here, in shard order, for
+    all shards *before* any build is dispatched — so an armed schedule
+    consumes one deterministic invocation sequence whether the builds
+    then run inline, on threads, or in worker processes, and an injected
+    failure aborts before any kernel work.  With a ``retry`` policy each
+    shard's fault check is retried independently (safe pre-charge: a
+    recomputed shard is bit-identical and no ε has been charged yet).
+    Metrics likewise: pooled workers return per-shard durations and the
+    parent records them; per-shard ``shard.build`` spans are emitted
+    only on the inline ``workers=1`` path (worker processes are bare —
+    see :mod:`repro.sharding.pool`).
     """
     shard_counts = list(shard_counts)
     shard_keys = list(shard_keys)
@@ -150,13 +176,36 @@ def build_shard_releases(
         raise ReproError(
             f"{len(shard_counts)} shard count vectors but {len(shard_keys)} keys"
         )
+    shard_width = max((counts.size for counts in shard_counts), default=0)
+    mode = resolve_worker_mode(worker_mode, workers=workers, shard_width=shard_width)
+
+    if faults.enabled():
+        # Before any mechanism work, for every shard, in shard order: an
+        # injected shard failure aborts the whole epoch/materialization
+        # pre-charge and pre-dispatch, and schedules see the same
+        # invocation sequence in every worker mode.
+        for index in range(len(shard_keys)):
+            if retry is None:
+                faults.check("shard.build")
+            else:
+                run_with_retry(
+                    retry,
+                    lambda: faults.check("shard.build"),
+                    describe=f"build shard {index}",
+                )
+
+    def assemble(key: ReleaseKey, leaves) -> MaterializedRelease:
+        return MaterializedRelease(
+            leaves,
+            estimator=key.estimator,
+            epsilon=key.epsilon,
+            dataset_fingerprint=key.dataset_fingerprint,
+            branching=key.branching,
+            seed=key.seed,
+        )
 
     def build_one(index: int) -> MaterializedRelease:
         key = shard_keys[index]
-        if faults.enabled():
-            # Before any mechanism work: an injected shard failure aborts
-            # the whole epoch/materialization pre-charge.
-            faults.check("shard.build")
         if obs.enabled():
             shard_start = perf_counter()
             with obs.tracer().span(
@@ -174,29 +223,31 @@ def build_shard_releases(
             ).inc()
         else:
             leaves = compute_release_leaves(shard_counts[index], key, delta=delta)
-        return MaterializedRelease(
-            leaves,
-            estimator=key.estimator,
-            epsilon=key.epsilon,
-            dataset_fingerprint=key.dataset_fingerprint,
-            branching=key.branching,
-            seed=key.seed,
-        )
+        return assemble(key, leaves)
 
-    def build_with_policy(index: int) -> MaterializedRelease:
-        if retry is None:
-            return build_one(index)
-        return run_with_retry(
-            retry, lambda: build_one(index), describe=f"build shard {index}"
-        )
+    if workers <= 1 or len(shard_keys) <= 1:
+        return [build_one(i) for i in range(len(shard_keys))]
 
-    indexes = range(len(shard_keys))
-    if workers <= 1:
-        return [build_with_policy(i) for i in indexes]
-    with ThreadPoolExecutor(
-        max_workers=workers, thread_name_prefix="shard-build"
-    ) as pool:
-        return list(pool.map(build_with_policy, indexes))
+    specs = [
+        ShardBuildSpec(shard_counts[i], shard_keys[i], delta)
+        for i in range(len(shard_keys))
+    ]
+    outcomes = run_shard_builds(specs, workers=workers, mode=mode)
+    if obs.enabled():
+        registry = obs.registry()
+        build_seconds = registry.histogram(
+            "repro_shard_build_seconds", "Per-shard release build latency"
+        )
+        builds_total = registry.counter(
+            "repro_shard_builds_total", "Individual shard releases built"
+        )
+        for outcome in outcomes:
+            build_seconds.observe(outcome.seconds)
+            builds_total.inc()
+    return [
+        assemble(key, outcome.leaves)
+        for key, outcome in zip(shard_keys, outcomes)
+    ]
 
 
 class ShardedHistogramEngine:
@@ -217,7 +268,15 @@ class ShardedHistogramEngine:
         is :data:`~repro.sharding.plan.DEFAULT_SHARD_SIZE`-wide shards.
     workers:
         Worker-pool width for parallel shard builds (default: one per
-        CPU core, capped at the shard count).
+        *available* CPU core — affinity/cgroup aware — capped at the
+        shard count).
+    worker_mode:
+        ``"thread"``, ``"process"``, or ``"auto"`` (default): how
+        parallel builds execute.  Only the process pool scales past one
+        core (the build kernels hold the GIL); ``"auto"`` picks it when
+        ``workers > 1`` and shards are wide enough that kernel time
+        dominates the pickle/IPC cost.  Bit-identity of releases and ε
+        accounting are mode-independent.
     cache / cache_capacity / store:
         As for :class:`~repro.serving.engine.HistogramEngine`; the
         default private cache is sized to hold at least two full shard
@@ -244,6 +303,7 @@ class ShardedHistogramEngine:
         shard_size: int | None = None,
         plan: ShardPlan | None = None,
         workers: int | None = None,
+        worker_mode: str = "auto",
         cache: ReleaseCache | None = None,
         cache_capacity: int | None = None,
         store: ReleaseStore | None = None,
@@ -266,6 +326,11 @@ class ShardedHistogramEngine:
             counts.size, num_shards=num_shards, shard_size=shard_size, plan=plan
         )
         self.workers = resolve_workers(workers, self.plan.num_shards)
+        self.worker_mode = resolve_worker_mode(
+            worker_mode,
+            workers=self.workers,
+            shard_width=int(self.plan.sizes.max()),
+        )
         self.retry = retry
         if budget is not None:
             if total_epsilon is not None:
@@ -436,6 +501,7 @@ class ShardedHistogramEngine:
                             [keys[s] for s in cold],
                             delta=self._budget.total.delta,
                             workers=self.workers,
+                            worker_mode=self.worker_mode,
                             retry=self.retry,
                         )
                 else:
@@ -444,6 +510,7 @@ class ShardedHistogramEngine:
                         [keys[s] for s in cold],
                         delta=self._budget.total.delta,
                         workers=self.workers,
+                        worker_mode=self.worker_mode,
                         retry=self.retry,
                     )
                 # One ε for the whole sharded release, by parallel
@@ -553,5 +620,6 @@ class ShardedHistogramEngine:
         return (
             f"ShardedHistogramEngine(domain_size={self.domain_size}, "
             f"num_shards={self.num_shards}, workers={self.workers}, "
+            f"worker_mode={self.worker_mode!r}, "
             f"spent_epsilon={self.spent_epsilon:g})"
         )

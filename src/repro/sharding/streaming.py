@@ -71,6 +71,7 @@ from repro.sharding.engine import (
 )
 from repro.sharding.lineage import ShardedLineage, ShardEpochRecord
 from repro.sharding.plan import ShardPlan, resolve_plan
+from repro.sharding.pool import resolve_worker_mode
 from repro.sharding.release import ShardedRelease
 from repro.sharding.router import ShardRouter
 from repro.streaming.buffer import IngestBuffer
@@ -102,10 +103,12 @@ class ShardedStreamingEngine:
     num_shards / shard_size / plan:
         Partition geometry, as for
         :class:`~repro.sharding.engine.ShardedHistogramEngine`.
-    estimator / branching / seed / workers / store / cache / name /
-    build_first_epoch:
+    estimator / branching / seed / workers / worker_mode / store /
+    cache / name / build_first_epoch:
         As for the monolithic streaming engine / sharded serving engine.
-        Epoch 0 (when built) refreshes every shard.
+        Epoch 0 (when built) refreshes every shard; ``worker_mode``
+        selects how refresh builds execute (thread/process/auto), with
+        epoch releases bit-identical in every mode.
     retry / breaker:
         As for the monolithic streaming engine: the retry policy wraps
         per-shard builds and lineage persists (never an ε charge), and
@@ -129,6 +132,7 @@ class ShardedStreamingEngine:
         seed: int = 0,
         delta: float = 0.0,
         workers: int | None = None,
+        worker_mode: str = "auto",
         store: ReleaseStore | None = None,
         cache: ReleaseCache | None = None,
         cache_capacity: int | None = None,
@@ -168,6 +172,11 @@ class ShardedStreamingEngine:
             counts.size, num_shards=num_shards, shard_size=shard_size, plan=plan
         )
         self.workers = resolve_workers(workers, self.plan.num_shards)
+        self.worker_mode = resolve_worker_mode(
+            worker_mode,
+            workers=self.workers,
+            shard_width=int(self.plan.sizes.max()),
+        )
         self.cache = resolve_shard_cache(
             cache, store, cache_capacity, self.plan.num_shards
         )
@@ -461,6 +470,7 @@ class ShardedStreamingEngine:
                         keys,
                         delta=self._budget.total.delta,
                         workers=self.workers,
+                        worker_mode=self.worker_mode,
                         retry=self.retry,
                     )
                 registry = obs.registry()
@@ -479,6 +489,7 @@ class ShardedStreamingEngine:
                     keys,
                     delta=self._budget.total.delta,
                     workers=self.workers,
+                    worker_mode=self.worker_mode,
                     retry=self.retry,
                 )
         except BaseException:

@@ -14,7 +14,10 @@ the rank table below *is* the architecture (see
     6  repro.analysis                    (error analysis, experiments)
     7  repro.core                        (end-to-end protocol, tasks)
     8  repro.obs                         (cross-cutting telemetry)
-    9  repro.serving                     (engines, cache, store, fleet)
+    9  repro.serving,
+       repro.sharding.pool               (engines, cache, store, fleet;
+                                          the shard-build worker pool —
+                                          a leaf carved out of sharding)
     10 repro.streaming                   (epoch refresh)
     11 repro.sharding                    (massive-domain sharding)
     12 repro.cli, repro.statan, repro    (entry points / whole-package)
@@ -54,6 +57,11 @@ LAYER_RANKS: dict[str, int] = {
     "repro.core": 7,
     "repro.obs": 8,
     "repro.serving": 9,
+    # The shard-build worker pool is a leaf under the sharding engines:
+    # it may reach serving's pure kernels (and the obs/faults leaves)
+    # but never back up into sharding's stateful tiers — longest-prefix
+    # match carves it out of the repro.sharding rank.
+    "repro.sharding.pool": 9,
     "repro.streaming": 10,
     "repro.sharding": 11,
     "repro.cli": 12,

@@ -110,6 +110,12 @@ BLOCKING_WAIT_NAMES = frozenset(
         "run_with_retry",
         "retry.run_with_retry",
         "faults.run_with_retry",
+        # Futures barriers: joining a worker pool while holding a lock
+        # stalls every reader behind the slowest outstanding build.
+        "wait",
+        "futures.wait",
+        "as_completed",
+        "futures.as_completed",
     }
 )
 

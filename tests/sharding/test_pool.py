@@ -1,0 +1,286 @@
+"""The shard-build worker pool: sizing, mode selection, dispatch, fail-fast.
+
+Covers :mod:`repro.sharding.pool` directly plus the two pool-shaped
+engine contracts that motivated it: the default worker count comes from
+the *effective* CPU budget (affinity/cgroup aware, not raw
+``os.cpu_count()``), and a shard failure cancels pending builds instead
+of letting the queue run to completion behind the raised error.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults, obs
+from repro.exceptions import ReproError
+from repro.faults.injector import FailNth, FaultError
+from repro.serving.release import ReleaseKey, fingerprint_counts
+from repro.sharding import pool
+from repro.sharding.engine import (
+    ShardedHistogramEngine,
+    derive_shard_seed,
+    resolve_workers,
+)
+from repro.sharding.pool import (
+    PROCESS_MODE_MIN_SHARD_WIDTH,
+    ShardBuildSpec,
+    build_spec_chunk,
+    chunk_slices,
+    effective_cpu_count,
+    resolve_worker_mode,
+    run_shard_builds,
+    shutdown_worker_pools,
+    warm_worker_pool,
+)
+
+
+def make_specs(num_shards: int = 6, width: int = 64, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    specs = []
+    for s in range(num_shards):
+        counts = rng.poisson(4.0, size=width).astype(float)
+        key = ReleaseKey(
+            dataset_fingerprint=fingerprint_counts(counts),
+            estimator="constrained",
+            epsilon=0.1,
+            branching=2,
+            seed=derive_shard_seed(11, s),
+        )
+        specs.append(ShardBuildSpec(counts, key, 0.0))
+    return specs
+
+
+class TestEffectiveCpuCount:
+    def test_prefers_process_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(
+            pool.os, "process_cpu_count", lambda: 3, raising=False
+        )
+        assert effective_cpu_count() == 3
+
+    def test_falls_back_to_affinity_mask(self, monkeypatch):
+        monkeypatch.delattr(pool.os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(
+            pool.os, "sched_getaffinity", lambda pid: {0, 2, 5}, raising=False
+        )
+        assert effective_cpu_count() == 3
+
+    def test_falls_back_to_cpu_count_last(self, monkeypatch):
+        monkeypatch.delattr(pool.os, "process_cpu_count", raising=False)
+        monkeypatch.delattr(pool.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(pool.os, "cpu_count", lambda: 7)
+        assert effective_cpu_count() == 7
+        monkeypatch.setattr(pool.os, "cpu_count", lambda: None)
+        assert effective_cpu_count() == 1
+
+    def test_matches_this_hosts_affinity(self):
+        # On Linux the affinity mask is the authoritative budget; the
+        # resolved count can never exceed the box.
+        counted = effective_cpu_count()
+        assert 1 <= counted <= (os.cpu_count() or 1)
+
+
+class TestResolveWorkersAffinity:
+    def test_default_pool_sized_from_effective_cpus(self, monkeypatch):
+        # The engine must size from the affinity/cgroup budget, not raw
+        # os.cpu_count(): a container pinned to 3 of 64 cores gets 3.
+        import repro.sharding.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "effective_cpu_count", lambda: 3)
+        assert resolve_workers(None, num_shards=16) == 3
+        assert resolve_workers(None, num_shards=2) == 2
+
+    def test_explicit_workers_pass_through(self):
+        assert resolve_workers(5, num_shards=2) == 5
+        with pytest.raises(ReproError):
+            resolve_workers(0, num_shards=2)
+
+
+class TestResolveWorkerMode:
+    def test_rejects_unknown_modes(self):
+        with pytest.raises(ReproError, match="worker_mode"):
+            resolve_worker_mode("fork", workers=2, shard_width=1 << 16)
+
+    def test_explicit_modes_pass_through(self):
+        for mode in ("thread", "process"):
+            assert resolve_worker_mode(mode, workers=1, shard_width=1) == mode
+
+    def test_auto_is_thread_for_single_worker(self):
+        assert (
+            resolve_worker_mode("auto", workers=1, shard_width=1 << 20)
+            == "thread"
+        )
+
+    def test_auto_is_thread_for_narrow_shards(self):
+        assert (
+            resolve_worker_mode(
+                "auto", workers=8, shard_width=PROCESS_MODE_MIN_SHARD_WIDTH - 1
+            )
+            == "thread"
+        )
+
+    def test_auto_is_process_for_wide_parallel_builds(self):
+        assert (
+            resolve_worker_mode(
+                "auto", workers=2, shard_width=PROCESS_MODE_MIN_SHARD_WIDTH
+            )
+            == "process"
+        )
+
+
+class TestChunking:
+    def test_covers_range_in_order_and_balanced(self):
+        spans = chunk_slices(10, 3)
+        flat = [i for start, stop in spans for i in range(start, stop)]
+        assert flat == list(range(10))
+        sizes = [stop - start for start, stop in spans]
+        assert max(sizes) - min(sizes) <= 1
+        assert len(spans) <= 3 * pool.CHUNKS_PER_WORKER
+
+    def test_small_counts_one_chunk_each(self):
+        assert chunk_slices(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_empty(self):
+        assert chunk_slices(0, 4) == []
+
+
+class TestRunShardBuilds:
+    def test_rejects_unresolved_mode_and_bad_workers(self):
+        specs = make_specs(2)
+        with pytest.raises(ReproError, match="concrete mode"):
+            run_shard_builds(specs, workers=2, mode="auto")
+        with pytest.raises(ReproError, match="workers"):
+            run_shard_builds(specs, workers=0, mode="thread")
+
+    def test_serial_fallback_matches_direct_chunk(self):
+        specs = make_specs(4)
+        serial = run_shard_builds(specs, workers=1, mode="thread")
+        direct = build_spec_chunk(specs)
+        for a, b in zip(serial, direct):
+            assert np.array_equal(a.leaves, b.leaves)
+            assert a.seconds >= 0.0
+
+    def test_thread_pool_bit_identical_to_serial(self):
+        specs = make_specs(7, seed=1)
+        serial = run_shard_builds(specs, workers=1, mode="thread")
+        pooled = run_shard_builds(specs, workers=3, mode="thread")
+        assert len(pooled) == len(specs)
+        for a, b in zip(pooled, serial):
+            assert np.array_equal(a.leaves, b.leaves)
+
+    def test_process_pool_bit_identical_to_serial(self):
+        specs = make_specs(5, seed=2)
+        serial = run_shard_builds(specs, workers=1, mode="thread")
+        pooled = run_shard_builds(specs, workers=2, mode="process")
+        assert len(pooled) == len(specs)
+        for a, b in zip(pooled, serial):
+            assert np.array_equal(a.leaves, b.leaves)
+
+    def test_first_failure_cancels_pending_chunks(self, monkeypatch):
+        # 12 specs on 2 workers dispatch as 8 chunks; the first chunk
+        # fails immediately while any concurrently running chunk sleeps.
+        # Fail-fast means the queued remainder is cancelled: far fewer
+        # chunk executions than the 8 the old pool.map semantics ran.
+        specs = make_specs(12, seed=3)
+        calls = []
+        real = build_spec_chunk
+
+        def instrumented(chunk):
+            calls.append(len(chunk))
+            if any(spec is specs[0] for spec in chunk):
+                raise ValueError("boom")
+            time.sleep(0.05)
+            return real(chunk)
+
+        monkeypatch.setattr(pool, "build_spec_chunk", instrumented)
+        with pytest.raises(ValueError, match="boom"):
+            run_shard_builds(specs, workers=2, mode="thread")
+        # The failing chunk plus at most one in-flight chunk per worker.
+        assert len(calls) <= 3
+
+    def test_submission_order_failure_wins(self, monkeypatch):
+        # Two chunks fail in the same round; the earlier one (in
+        # submission order) must be the error that surfaces, so failure
+        # reporting is deterministic under completion-order shuffles.
+        specs = make_specs(8, seed=4)
+        spans = chunk_slices(len(specs), 2)
+
+        def instrumented(chunk):
+            for index, (start, stop) in enumerate(spans):
+                if len(chunk) == stop - start and chunk[0] is specs[start]:
+                    raise ValueError(f"chunk-{index}")
+            raise AssertionError("unknown chunk")
+
+        monkeypatch.setattr(pool, "build_spec_chunk", instrumented)
+        with pytest.raises(ValueError, match="chunk-0"):
+            run_shard_builds(specs, workers=2, mode="thread")
+
+
+class TestProcessBoundarySemantics:
+    def test_children_are_bare_whatever_the_parent_enables(self):
+        # The defined semantics of module state across the process
+        # boundary: spawn children import fresh modules and see obs and
+        # faults disabled, even while the parent has both live.
+        with obs.session():
+            with faults.session({}):
+                assert obs.enabled() and faults.enabled()
+                executor = pool._process_executor(2)
+                state = executor.submit(pool._worker_runtime_state).result()
+        assert state["obs_enabled"] is False
+        assert state["faults_enabled"] is False
+        assert state["pid"] != os.getpid()
+
+    def test_warm_and_shutdown_are_safe_to_repeat(self):
+        warm_worker_pool(1)  # no-op
+        warm_worker_pool(2)
+        run = run_shard_builds(make_specs(3), workers=2, mode="process")
+        assert len(run) == 3
+        shutdown_worker_pools()
+        shutdown_worker_pools()  # idempotent
+        # A fresh pool is created transparently after a shutdown.
+        again = run_shard_builds(make_specs(3), workers=2, mode="process")
+        for a, b in zip(again, run):
+            assert np.array_equal(a.leaves, b.leaves)
+
+
+class TestEngineFailFast:
+    @pytest.mark.parametrize("worker_mode", ["thread", "process"])
+    def test_no_build_dispatched_after_shard_fault(
+        self, monkeypatch, worker_mode
+    ):
+        """The counting-double fail-fast contract: an injected failure at
+        shard 3 of 8 stops the fault sequence at exactly 3 invocations
+        and dispatches zero kernel builds — nothing runs to completion
+        behind the error, in any worker mode — and charges zero ε."""
+        counts = np.random.default_rng(5).poisson(3.0, size=512).astype(float)
+        dispatched = []
+
+        import repro.sharding.engine as engine_module
+
+        real = engine_module.run_shard_builds
+
+        def counting(specs, **kwargs):
+            dispatched.append(len(list(specs)))
+            return real(specs, **kwargs)
+
+        monkeypatch.setattr(engine_module, "run_shard_builds", counting)
+        engine = ShardedHistogramEngine(
+            counts, 1.0, num_shards=8, workers=4, worker_mode=worker_mode
+        )
+        with faults.session({"shard.build": FailNth(3)}) as injector:
+            with pytest.raises(FaultError):
+                engine.materialize("constrained", epsilon=0.2, seed=1)
+            assert injector.invocations("shard.build") == 3
+        assert dispatched == []
+        assert engine.spent_epsilon == 0.0
+        assert engine.materializations == 0
+        assert engine.shard_builds == 0
+        # The identical request succeeds cleanly afterwards: nothing
+        # about the failed attempt was cached or charged.
+        release = engine.materialize("constrained", epsilon=0.2, seed=1)
+        assert engine.spent_epsilon == 0.2
+        assert dispatched == [8]
+        assert release.num_shards == 8

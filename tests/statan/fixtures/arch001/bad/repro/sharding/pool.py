@@ -1,0 +1,13 @@
+"""ARCH001 fixture: the worker-pool leaf imports back up into sharding.
+
+``repro.sharding.pool`` is carved out of the sharding rank as a leaf
+(rank 9, beside serving): it may reach serving's pure kernels but never
+the stateful sharding engines above it — that edge would close a cycle
+through the layer that owns the pool.
+"""
+
+from repro.sharding.engine import build_shard_releases
+
+
+def rebuild(shard_counts, shard_keys):
+    return build_shard_releases(shard_counts, shard_keys)

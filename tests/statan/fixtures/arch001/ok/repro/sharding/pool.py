@@ -1,0 +1,12 @@
+"""ARCH001 fixture (clean): the worker-pool leaf imports only downward.
+
+Serving's pure kernels (same rank, 9) and the faults leaf (rank 0) are
+the pool's whole legal import surface.
+"""
+
+from repro import faults
+from repro.serving.release import ReleaseKey
+
+
+def describe(key: ReleaseKey) -> str:
+    return f"{key.estimator} (faults {'on' if faults.enabled() else 'off'})"

@@ -1,0 +1,27 @@
+"""LOCK002 fixture: futures barriers joined under an annotated lock."""
+
+import threading
+from concurrent.futures import FIRST_EXCEPTION, as_completed, wait
+
+
+class PoolBox:
+    def __init__(self, executor):
+        self._lock = threading.Lock()
+        self._executor = executor
+        self._results = []  # guarded-by: _lock
+
+    def gather_with_wait(self, tasks):
+        with self._lock:
+            futures = [self._executor.submit(task) for task in tasks]
+            # Violation: joining the pool under the lock stalls every
+            # reader behind the slowest outstanding build.
+            wait(futures, return_when=FIRST_EXCEPTION)
+            self._results = [future.result() for future in futures]
+
+    def gather_with_as_completed(self, tasks):
+        with self._lock:
+            futures = [self._executor.submit(task) for task in tasks]
+            # Violation: as_completed blocks between completions while
+            # the lock is held — the catalogued wait shape.
+            for future in as_completed(futures):
+                self._results.append(future.result())

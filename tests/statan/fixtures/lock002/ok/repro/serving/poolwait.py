@@ -1,0 +1,24 @@
+"""LOCK002 fixture (clean): futures joined outside the annotated lock."""
+
+import threading
+from concurrent.futures import FIRST_EXCEPTION, as_completed, wait
+
+
+class PoolBox:
+    def __init__(self, executor):
+        self._lock = threading.Lock()
+        self._executor = executor
+        self._results = []  # guarded-by: _lock
+
+    def gather_with_wait(self, tasks):
+        futures = [self._executor.submit(task) for task in tasks]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        gathered = [future.result() for future in futures]
+        with self._lock:  # held only for the swap
+            self._results = gathered
+
+    def gather_with_as_completed(self, tasks):
+        futures = [self._executor.submit(task) for task in tasks]
+        gathered = [future.result() for future in as_completed(futures)]
+        with self._lock:
+            self._results = gathered

@@ -16,6 +16,8 @@ from repro.statan.core import (
     StatanError,
     module_name_for_path,
 )
+from repro.statan.layers import rank_of
+from repro.utils.io_atomic import BLOCKING_WAIT_NAMES
 
 
 class TestModuleNames:
@@ -116,3 +118,24 @@ class TestCliLint:
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "eps-flow" in out
+
+
+class TestWorkerPoolCoverage:
+    """The tooling carve-outs that police ``repro.sharding.pool``."""
+
+    def test_pool_rank_is_carved_out_of_sharding(self):
+        # Longest-prefix match puts the worker-pool leaf beside serving
+        # (rank 9), below the stateful sharding engines it serves — so
+        # ARCH001 flags any pool -> sharding.engine import as upward.
+        assert rank_of("repro.sharding.pool") == 9
+        assert rank_of("repro.sharding.engine") == 11
+        assert rank_of("repro.sharding") == 11
+        assert rank_of("repro.serving.engine") == 9
+
+    def test_futures_barriers_are_catalogued_waits(self):
+        # LOCK002's wait catalog must cover the pool's join shapes:
+        # blocking on a worker pool under an annotated lock stalls every
+        # reader behind the slowest outstanding build.
+        assert "wait" in BLOCKING_WAIT_NAMES
+        assert "futures.wait" in BLOCKING_WAIT_NAMES
+        assert "as_completed" in BLOCKING_WAIT_NAMES
