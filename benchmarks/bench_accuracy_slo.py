@@ -1,0 +1,158 @@
+"""Adaptive vs uniform ε on a hot-set-drift stream, at equal total budget.
+
+The experiment the accuracy control plane exists for: a sharded stream
+under a *decaying* ε schedule faces drifting heavy-tailed arrivals.  The
+uniform policy rebuilds every shard the trickle touches, so cold shards'
+accurate early-ε releases keep getting replaced by noisy late-ε ones.
+The :class:`~repro.accuracy.schedule.AdaptiveEpsilonAllocator` spends
+the *same* per-epoch envelope on the hot set only — cold shards keep
+serving their accurate history — so at a bit-identical lifetime Σε the
+served answers track the true counts better.
+
+Reports mean absolute error against the true (noiseless) database, the
+reported CI halfwidths, and the per-tenant SLO satisfaction for both
+policies, and asserts the adaptive policy wins at equal charged budget.
+
+Emits ``results/BENCH_accuracy_slo.json`` via the shared ``report_json``
+envelope.  Smoke-scale overrides: ``REPRO_ACCURACY_BENCH_EPOCHS``,
+``REPRO_ACCURACY_BENCH_ROWS``, ``REPRO_ACCURACY_BENCH_QUERIES``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.accuracy import AccuracySLO, AdaptiveEpsilonAllocator
+from repro.data.synthetic import arrival_stream
+from repro.db.histogram import delta_counts
+from repro.obs.ledger import EpsilonLedgerExporter
+from repro.serving import QueryBatch
+from repro.sharding.streaming import ShardedStreamingEngine
+from repro.streaming import GeometricEpsilonSchedule
+
+EPOCHS = int(os.environ.get("REPRO_ACCURACY_BENCH_EPOCHS", "6"))
+ROWS_PER_EPOCH = int(os.environ.get("REPRO_ACCURACY_BENCH_ROWS", "20000"))
+NUM_QUERIES = int(os.environ.get("REPRO_ACCURACY_BENCH_QUERIES", "2000"))
+DOMAIN = 1024
+NUM_SHARDS = 16
+SEED = 7
+TARGET_HALFWIDTH = 120.0
+
+
+@pytest.fixture(scope="module")
+def base_counts():
+    rng = np.random.default_rng(0)
+    return rng.poisson(20.0, size=DOMAIN).astype(np.float64)
+
+
+def build_engine(base_counts, schedule, name):
+    return ShardedStreamingEngine(
+        base_counts.copy(),
+        GeometricEpsilonSchedule(0.4, decay=0.5).infinite_total,
+        schedule,
+        num_shards=NUM_SHARDS,
+        name=name,
+        seed=SEED,
+        estimator="identity",
+        slo=AccuracySLO(target_ci_halfwidth=TARGET_HALFWIDTH),
+    )
+
+
+def scorecard(engine, batch, truth_answers):
+    result = engine.submit(batch)
+    errors = np.abs(result.answers - truth_answers)
+    snapshot = engine.accuracy.snapshot()
+    return {
+        "mae": round(float(errors.mean()), 3),
+        "p95_abs_error": round(float(np.quantile(errors, 0.95)), 3),
+        "mean_ci_halfwidth": round(float(result.ci_halfwidths.mean()), 3),
+        "slo_satisfaction": round(snapshot.satisfaction, 4),
+    }
+
+
+def test_adaptive_beats_uniform_at_equal_total_epsilon(
+    base_counts, report, report_json
+):
+    envelope = GeometricEpsilonSchedule(0.4, decay=0.5)
+    uniform = build_engine(base_counts, envelope, "uniform")
+    adaptive = build_engine(
+        base_counts,
+        AdaptiveEpsilonAllocator(
+            GeometricEpsilonSchedule(0.4, decay=0.5), hot_fraction=0.25
+        ),
+        "adaptive",
+    )
+
+    truth = base_counts.copy()
+    arrivals = arrival_stream(
+        DOMAIN,
+        ROWS_PER_EPOCH,
+        batches=EPOCHS,
+        hot_fraction=0.05,
+        hot_weight=0.8,
+        drift=0.15,
+        rng=SEED,
+    )
+    for indexes in arrivals:
+        truth += delta_counts(indexes, DOMAIN)
+        for engine in (uniform, adaptive):
+            engine.ingest(indexes)
+            engine.advance_epoch()
+
+    # The non-negotiable invariant: the adaptive policy charged exactly
+    # the same lifetime ε, bit for bit, and both ledgers audit clean.
+    assert adaptive.spent_epsilon == uniform.spent_epsilon
+    assert adaptive.lineage.spent_epsilon == uniform.lineage.spent_epsilon
+    ledger = EpsilonLedgerExporter()
+    for engine in (uniform, adaptive):
+        assert "lineage-tail" in ledger.stream_report(engine)["checks"]
+
+    batch = QueryBatch.random(DOMAIN, NUM_QUERIES, rng=3)
+    prefix = np.concatenate([[0.0], np.cumsum(truth)])
+    truth_answers = prefix[batch.his + 1] - prefix[batch.los]
+    cards = {
+        "uniform": scorecard(uniform, batch, truth_answers),
+        "adaptive": scorecard(adaptive, batch, truth_answers),
+    }
+
+    rows = [{"policy": name, **card} for name, card in cards.items()]
+    report(
+        "accuracy_slo",
+        rows,
+        title=(
+            f"Adaptive vs uniform ε: {NUM_SHARDS} shards, {EPOCHS} epochs of "
+            f"hot-set drift at equal Σε={uniform.spent_epsilon:g}"
+        ),
+    )
+    report_json(
+        "accuracy_slo",
+        {
+            "benchmark": "accuracy_slo",
+            "epochs": EPOCHS,
+            "rows_per_epoch": ROWS_PER_EPOCH,
+            "num_queries": NUM_QUERIES,
+            "num_shards": NUM_SHARDS,
+            "domain_size": DOMAIN,
+            "target_ci_halfwidth": TARGET_HALFWIDTH,
+            "spent_epsilon": uniform.spent_epsilon,
+            "spent_epsilon_bit_equal": adaptive.spent_epsilon
+            == uniform.spent_epsilon,
+            "policies": cards,
+            "mae_improvement": round(
+                cards["uniform"]["mae"] / cards["adaptive"]["mae"], 3
+            )
+            if cards["adaptive"]["mae"]
+            else None,
+        },
+    )
+
+    # The headline claim.  Tiny smoke runs (<3 epochs) barely decay the
+    # schedule, so the policies converge there; the win is asserted at
+    # experiment scale.
+    if EPOCHS >= 3:
+        assert cards["adaptive"]["mae"] <= cards["uniform"]["mae"], (
+            f"adaptive ε lost to uniform at equal budget: {cards}"
+        )

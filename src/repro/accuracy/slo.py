@@ -1,0 +1,200 @@
+"""Accuracy SLOs: tenant-declared error-bar targets, checked per answer.
+
+A tenant declares *"I need ±`target_ci_halfwidth` rows at `confidence`"*
+once per engine or stream; every answered batch is then scored against
+the declaration using the exact uncertainty model of the release that
+served it.  The accumulated satisfaction statistics fold up through
+``FleetStats`` and the ``repro_accuracy_*`` metric families, and the
+observed slack feeds the adaptive ε allocator in
+:mod:`repro.accuracy.schedule`.
+
+The accumulator follows the :class:`repro.serving.stats.ServingStats`
+contract: one lock, snapshot-consistent reads, pure snapshot folding.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.accuracy.models import uncertainty_model_for
+from repro.exceptions import ReproError
+
+__all__ = [
+    "AccuracySLO",
+    "AccuracySnapshot",
+    "AccuracyStats",
+    "combine_accuracy_snapshots",
+    "required_epsilon",
+]
+
+#: Confidence used when a tenant requests error bars without an SLO.
+DEFAULT_CONFIDENCE = 0.95
+
+
+@dataclass(frozen=True)
+class AccuracySLO:
+    """A tenant's accuracy target for one engine or stream.
+
+    Parameters
+    ----------
+    target_ci_halfwidth:
+        The answer is *within SLO* when its CI halfwidth at
+        ``confidence`` is ``<=`` this many rows.
+    confidence:
+        Two-sided coverage level of the interval (default 95%).
+    workload_weight:
+        Relative weight of this tenant's workload when satisfaction is
+        folded across the fleet (a reporting weight, not an ε weight).
+    """
+
+    target_ci_halfwidth: float
+    confidence: float = DEFAULT_CONFIDENCE
+    workload_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.target_ci_halfwidth <= 0.0:
+            raise ReproError(
+                f"target_ci_halfwidth must be positive, got "
+                f"{self.target_ci_halfwidth}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ReproError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.workload_weight <= 0.0:
+            raise ReproError(
+                f"workload_weight must be positive, got "
+                f"{self.workload_weight}"
+            )
+
+
+@dataclass(frozen=True)
+class AccuracySnapshot:
+    """One consistent accuracy read-out; foldable across engines."""
+
+    answers: int = 0
+    within_slo: int = 0
+    weighted_answers: float = 0.0
+    weighted_within: float = 0.0
+    sum_halfwidth: float = 0.0
+    max_halfwidth: float = 0.0
+    sum_variance: float = 0.0
+
+    @property
+    def satisfaction(self) -> float:
+        """Fraction of answers within SLO (1.0 while idle)."""
+        if self.answers == 0:
+            return 1.0
+        return self.within_slo / self.answers
+
+    @property
+    def weighted_satisfaction(self) -> float:
+        """Workload-weighted satisfaction across folded snapshots."""
+        if self.weighted_answers == 0.0:
+            return 1.0
+        return self.weighted_within / self.weighted_answers
+
+    @property
+    def mean_halfwidth(self) -> float:
+        """Mean CI halfwidth over all scored answers (0.0 while idle)."""
+        if self.answers == 0:
+            return 0.0
+        return self.sum_halfwidth / self.answers
+
+
+def combine_accuracy_snapshots(snapshots) -> AccuracySnapshot:
+    """Pure fold of accuracy snapshots (sums and maxima)."""
+    total = AccuracySnapshot()
+    for snapshot in snapshots:
+        total = replace(
+            total,
+            answers=total.answers + snapshot.answers,
+            within_slo=total.within_slo + snapshot.within_slo,
+            weighted_answers=total.weighted_answers
+            + snapshot.weighted_answers,
+            weighted_within=total.weighted_within + snapshot.weighted_within,
+            sum_halfwidth=total.sum_halfwidth + snapshot.sum_halfwidth,
+            max_halfwidth=max(total.max_halfwidth, snapshot.max_halfwidth),
+            sum_variance=total.sum_variance + snapshot.sum_variance,
+        )
+    return total
+
+
+class AccuracyStats:
+    """Thread-safe accuracy accumulator for one engine or stream."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._answers = 0  # guarded-by: _lock
+        self._within = 0  # guarded-by: _lock
+        self._weighted_answers = 0.0  # guarded-by: _lock
+        self._weighted_within = 0.0  # guarded-by: _lock
+        self._sum_halfwidth = 0.0  # guarded-by: _lock
+        self._max_halfwidth = 0.0  # guarded-by: _lock
+        self._sum_variance = 0.0  # guarded-by: _lock
+
+    def record_batch(
+        self, halfwidths, variances, within=None, weight: float = 1.0
+    ) -> None:
+        """Fold one scored batch in; ``within`` is None without an SLO."""
+        halfwidths = np.asarray(halfwidths, dtype=np.float64)
+        count = int(halfwidths.size)
+        if count == 0:
+            return
+        met = count if within is None else int(np.count_nonzero(within))
+        sum_halfwidth = float(halfwidths.sum())
+        max_halfwidth = float(halfwidths.max())
+        sum_variance = float(np.asarray(variances, dtype=np.float64).sum())
+        with self._lock:
+            self._answers += count
+            self._within += met
+            self._weighted_answers += weight * count
+            self._weighted_within += weight * met
+            self._sum_halfwidth += sum_halfwidth
+            self._max_halfwidth = max(self._max_halfwidth, max_halfwidth)
+            self._sum_variance += sum_variance
+
+    def snapshot(self) -> AccuracySnapshot:
+        """One consistent read of every accuracy counter."""
+        with self._lock:
+            return AccuracySnapshot(
+                answers=self._answers,
+                within_slo=self._within,
+                weighted_answers=self._weighted_answers,
+                weighted_within=self._weighted_within,
+                sum_halfwidth=self._sum_halfwidth,
+                max_halfwidth=self._max_halfwidth,
+                sum_variance=self._sum_variance,
+            )
+
+
+def required_epsilon(
+    slo: AccuracySLO,
+    *,
+    estimator: str = "L~",
+    domain_size: int,
+    branching: int = 2,
+    range_length: int = 1,
+) -> float:
+    """Smallest ε whose ``range_length``-query halfwidth meets ``slo``.
+
+    Every estimator's variance scales as ``1/ε²`` (each release is one
+    Laplace invocation at scale ``sensitivity/ε``), so the halfwidth at
+    any ε is ``halfwidth(ε=1)/ε`` and the inversion is a single division.
+    Used by the adaptive allocator to spot shards whose last granted ε
+    can no longer honor the tenant's declaration.
+    """
+    if not 1 <= range_length <= domain_size:
+        raise ReproError(
+            f"range_length must be in [1, {domain_size}], got {range_length}"
+        )
+    model = uncertainty_model_for(
+        estimator, domain_size=domain_size, epsilon=1.0, branching=branching
+    )
+    halfwidth_at_unit_epsilon = float(
+        model.interval_halfwidths([0], [range_length - 1], slo.confidence)[0]
+    )
+    return halfwidth_at_unit_epsilon / slo.target_ci_halfwidth

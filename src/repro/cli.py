@@ -84,6 +84,7 @@ from time import perf_counter
 import numpy as np
 
 from repro import obs
+from repro.accuracy import AccuracySLO
 from repro.analysis.tables import render_table, write_csv
 from repro.core.tasks import UnattributedHistogramTask, UniversalHistogramTask
 from repro.data.registry import default_registry
@@ -343,6 +344,7 @@ def _cmd_serve_store(args: argparse.Namespace) -> int:
         total_epsilon=total,
         branching=args.branching,
         store=ReleaseStore(args.store),
+        slo=_resolve_slo(args),
     )
     batch = _resolve_batch(args, engine.domain_size)
     with obs.session():
@@ -368,6 +370,7 @@ def _cmd_serve_store(args: argparse.Namespace) -> int:
                 f"ε spent this process: {engine.spent_epsilon:g}"
             ),
         )
+        _print_accuracy_summary(engine)
     _write_answers(batch, result.answers, args.out)
     return 0
 
@@ -582,6 +585,7 @@ def _stream_engine(
         store=ReleaseStore(args.store),
         name=args.stream,
         build_first_epoch=build_first_epoch,
+        slo=_resolve_slo(args),
     )
 
 
@@ -715,6 +719,7 @@ def _cmd_serve_stream(args: argparse.Namespace) -> int:
                 f"(schedule limit {_stream_schedule(args).infinite_total:g})"
             ),
         )
+        _print_accuracy_summary(engine)
     _write_answers(batch, result.answers, args.out)
     return 0
 
@@ -733,6 +738,7 @@ def _sharded_engine(args: argparse.Namespace, counts: np.ndarray) -> ShardedHist
         workers=args.workers,
         worker_mode=args.worker_mode,
         store=ReleaseStore(args.store),
+        slo=_resolve_slo(args),
     )
 
 
@@ -784,6 +790,7 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         )
         _print_sharded_build(args, engine, result.build_seconds)
         _print_serving_stats("sharded", batch.name, via=" through the shard router")
+        _print_accuracy_summary(engine)
     _write_answers(batch, result.answers, args.out)
     return 0
 
@@ -807,7 +814,11 @@ def _obs_workload(args: argparse.Namespace) -> EngineFleet:
     stream_counts = rng.poisson(3.0, size=512).astype(np.float64)
     store = ReleaseStore(args.store) if args.store else None
     fleet = EngineFleet(store=store)
-    static = fleet.register("static", static_counts, 0.5)
+    # The static tenant carries an accuracy SLO so the workload also
+    # exercises per-answer scoring and the repro_accuracy_* gauges.
+    static = fleet.register(
+        "static", static_counts, 0.5, slo=AccuracySLO(target_ci_halfwidth=60.0)
+    )
     batch = QueryBatch.random(static.domain_size, args.random, rng=args.query_seed)
     fleet.submit("static", batch, "constrained", epsilon=0.25, seed=args.seed)
     fleet.submit("static", batch, "constrained", epsilon=0.25, seed=args.seed)
@@ -856,6 +867,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 "requests": stats.per_dataset[name].requests,
                 "queries": stats.per_dataset[name].queries,
                 "cold_builds": stats.per_dataset[name].cold_builds,
+                "p95_ms": round(
+                    stats.per_dataset[name].p95_batch_seconds * 1e3, 3
+                ),
+                "slo_ok": (
+                    f"{stats.accuracy[name].within_slo}"
+                    f"/{stats.accuracy[name].answers}"
+                    if name in stats.accuracy
+                    else "-"
+                ),
+                "ci_halfwidth": (
+                    round(stats.accuracy[name].mean_halfwidth, 2)
+                    if name in stats.accuracy
+                    else "-"
+                ),
                 "epsilon_spent": report["spent_epsilon"],
                 "epsilon_budget": report["total_epsilon"],
             }
@@ -1076,6 +1101,44 @@ def _add_sharded_arguments(parser: argparse.ArgumentParser, source_group) -> Non
     _add_estimator_arguments(parser)
 
 
+def _add_slo_arguments(parser: argparse.ArgumentParser) -> None:
+    """The accuracy-SLO options shared by every serving command."""
+    parser.add_argument(
+        "--slo-halfwidth", type=float, default=None, metavar="W",
+        help="accuracy SLO: target CI halfwidth per answer; enables "
+        "per-answer error bars and SLO accounting",
+    )
+    parser.add_argument(
+        "--slo-confidence", type=float, default=0.95, metavar="C",
+        help="confidence level of the SLO's intervals (default 0.95)",
+    )
+
+
+def _resolve_slo(args: argparse.Namespace) -> AccuracySLO | None:
+    # getattr: shared engine factories also serve commands that do not
+    # expose the SLO flags (e.g. advance-epoch, which answers nothing).
+    halfwidth = getattr(args, "slo_halfwidth", None)
+    if halfwidth is None:
+        return None
+    return AccuracySLO(
+        target_ci_halfwidth=halfwidth,
+        confidence=getattr(args, "slo_confidence", 0.95),
+    )
+
+
+def _print_accuracy_summary(engine) -> None:
+    """One accuracy line per served batch, for SLO-configured engines."""
+    if getattr(engine, "slo", None) is None:
+        return
+    snapshot = engine.accuracy.snapshot()
+    print(
+        f"accuracy: {snapshot.within_slo}/{snapshot.answers} answers within "
+        f"the ±{engine.slo.target_ci_halfwidth:g} SLO at "
+        f"{engine.slo.confidence:.0%} confidence (mean CI halfwidth "
+        f"{snapshot.mean_halfwidth:g}, worst {snapshot.max_halfwidth:g})"
+    )
+
+
 def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     """The query-selection group shared by every batch-answering command."""
     queries = parser.add_mutually_exclusive_group()
@@ -1199,6 +1262,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine's total budget (defaults to --epsilon)",
     )
     _add_query_arguments(serve_store)
+    _add_slo_arguments(serve_store)
     serve_store.set_defaults(handler=_cmd_serve_store)
 
     fleet = subparsers.add_parser(
@@ -1258,6 +1322,7 @@ def build_parser() -> argparse.ArgumentParser:
     source = _add_common_arguments(serve_sharded)
     _add_sharded_arguments(serve_sharded, source)
     _add_query_arguments(serve_sharded)
+    _add_slo_arguments(serve_sharded)
     serve_sharded.set_defaults(handler=_cmd_serve_sharded)
 
     ingest = subparsers.add_parser(
@@ -1306,6 +1371,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="synthetic arrivals per simulated epoch",
     )
     _add_query_arguments(serve_stream)
+    _add_slo_arguments(serve_stream)
     serve_stream.set_defaults(handler=_cmd_serve_stream)
 
     stats = subparsers.add_parser(

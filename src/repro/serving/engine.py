@@ -33,6 +33,8 @@ from time import perf_counter
 import numpy as np
 
 from repro import obs
+from repro.accuracy.models import UncertaintyModel, uncertainty_model_for
+from repro.accuracy.slo import DEFAULT_CONFIDENCE, AccuracySLO, AccuracyStats
 from repro.core.pipeline import PrivateSession
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
@@ -60,6 +62,8 @@ __all__ = [
     "resolve_estimator",
     "compute_release_leaves",
     "record_submit_metrics",
+    "record_accuracy_metrics",
+    "score_batch_accuracy",
     "HistogramEngine",
 ]
 
@@ -117,6 +121,84 @@ def record_submit_metrics(
     build.observe(build_seconds, engine=engine_kind)
     if built:
         cold.inc(engine=engine_kind)
+
+
+#: (registry, handles) cache for :func:`record_accuracy_metrics`,
+#: mirroring :func:`_submit_handles`; racy rebuilds are benign.
+_accuracy_metric_handles: tuple = (None, None)
+
+
+def _accuracy_handles(registry):
+    global _accuracy_metric_handles
+    cached_registry, handles = _accuracy_metric_handles
+    if cached_registry is not registry:
+        handles = (
+            registry.counter(
+                "repro_accuracy_answers_total",
+                "Answers scored against an uncertainty model",
+            ),
+            registry.counter(
+                "repro_accuracy_slo_misses_total",
+                "Scored answers whose CI halfwidth exceeded the SLO target",
+            ),
+        )
+        _accuracy_metric_handles = (registry, handles)
+    return handles
+
+
+def record_accuracy_metrics(
+    engine_kind: str, num_answers: int, num_misses: int
+) -> None:
+    """Report one accuracy-scored batch into the default registry.
+
+    Shared by every submit path so the ``repro_accuracy_*`` families
+    carry the same ``engine`` label as the serve families.  Callers gate
+    on :func:`repro.obs.enabled` — this function assumes reporting is on.
+    """
+    # Caller-gated contract (docstring above), same as record_submit_metrics.
+    answers, misses = _accuracy_handles(obs.registry())  # statan: ignore[OBS001]
+    answers.inc(num_answers, engine=engine_kind)
+    if num_misses:
+        misses.inc(num_misses, engine=engine_kind)
+
+
+def score_batch_accuracy(
+    model: UncertaintyModel,
+    batch: QueryBatch,
+    answers: np.ndarray,
+    slo: AccuracySLO | None,
+    accuracy_stats: AccuracyStats | None,
+    engine_kind: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Exact variances and CI bounds for one answered batch.
+
+    Evaluates ``model`` over the batch's ranges, checks the halfwidths
+    against ``slo`` (when declared), folds the outcome into
+    ``accuracy_stats``, and reports the ``repro_accuracy_*`` counters.
+    Returns ``(variances, ci_los, ci_his, confidence)`` for the engine to
+    attach to its result.  Shared by every submit path so scoring
+    semantics cannot drift between engines.
+    """
+    confidence = slo.confidence if slo is not None else DEFAULT_CONFIDENCE
+    variances = model.range_variances(batch.los, batch.his)
+    halfwidths = model.interval_halfwidths(
+        batch.los, batch.his, confidence, variances=variances
+    )
+    within = None
+    if slo is not None:
+        within = halfwidths <= slo.target_ci_halfwidth
+    if accuracy_stats is not None:
+        accuracy_stats.record_batch(
+            halfwidths,
+            variances,
+            within,
+            weight=slo.workload_weight if slo is not None else 1.0,
+        )
+    if obs.enabled():
+        misses = 0 if within is None else int(within.size - np.count_nonzero(within))
+        record_accuracy_metrics(engine_kind, int(halfwidths.size), misses)
+    return variances, answers - halfwidths, answers + halfwidths, confidence
+
 
 #: CLI-friendly aliases accepted anywhere an estimator name is expected,
 #: mapped to the canonical paper names used in cache keys and releases.
@@ -218,6 +300,14 @@ class HistogramEngine:
         Label recorded on the budget for each charge (defaults to
         ``"materialize <estimator>"``); the streaming tier stamps its
         epoch index here so the audit trail names every epoch.
+    slo:
+        Optional :class:`~repro.accuracy.slo.AccuracySLO`.  When set,
+        every submitted batch is scored against the release's exact
+        uncertainty model: results carry ``(variance, ci_lo, ci_hi)``
+        columns and the engine's ``accuracy`` statistics (surfaced via
+        ``FleetStats`` and ``repro_accuracy_*`` metrics) track SLO
+        satisfaction.  Without an SLO the scoring is off unless a submit
+        passes ``with_accuracy=True``.
     """
 
     def __init__(
@@ -233,6 +323,7 @@ class HistogramEngine:
         store: ReleaseStore | None = None,
         budget: PrivacyBudget | None = None,
         spend_label: str | None = None,
+        slo: AccuracySLO | None = None,
     ) -> None:
         if isinstance(data, Relation):
             if attribute is None:
@@ -269,6 +360,11 @@ class HistogramEngine:
         #: untouched, which is what the warm-start benchmarks assert.
         self.materializations = 0  # guarded-by: _materializations_lock
         self._materializations_lock = threading.Lock()
+        self.slo = slo
+        self.accuracy = AccuracyStats()
+        # Uncertainty models per (estimator, ε, branching); racy rebuilds
+        # are benign (same inputs produce an identical model).
+        self._uncertainty_models: dict[tuple, UncertaintyModel] = {}
 
     # -- budget ----------------------------------------------------------------
 
@@ -413,6 +509,22 @@ class HistogramEngine:
 
     # -- serving ---------------------------------------------------------------
 
+    def uncertainty_model(
+        self, estimator: str, epsilon: float, branching: int
+    ) -> UncertaintyModel:
+        """The (cached) exact uncertainty model for one release identity."""
+        key = (canonical_estimator_name(estimator), float(epsilon), int(branching))
+        model = self._uncertainty_models.get(key)
+        if model is None:
+            model = uncertainty_model_for(
+                key[0],
+                domain_size=self.domain_size,
+                epsilon=key[1],
+                branching=key[2],
+            )
+            self._uncertainty_models[key] = model
+        return model
+
     def submit(
         self,
         batch: QueryBatch | RangeWorkload,
@@ -421,6 +533,7 @@ class HistogramEngine:
         epsilon: float,
         branching: int | None = None,
         seed: int = 0,
+        with_accuracy: bool | None = None,
     ) -> BatchResult:
         """Answer a batch of range queries from the materialized release.
 
@@ -429,6 +542,9 @@ class HistogramEngine:
         prefix-sum speed.  ``BatchResult.build_seconds`` isolates that
         one-off resolution cost from ``answer_seconds``, so throughput
         figures reflect steady-state serving.
+
+        ``with_accuracy`` forces per-answer variance/CI scoring on (or
+        off); the default scores exactly when the engine has an SLO.
         """
         if isinstance(batch, RangeWorkload):
             batch = QueryBatch.from_workload(batch)
@@ -446,6 +562,12 @@ class HistogramEngine:
             record_submit_metrics(
                 "histogram", len(batch), answer_seconds, build_seconds, built
             )
+        variances = ci_los = ci_his = confidence = None
+        if with_accuracy or (with_accuracy is None and self.slo is not None):
+            model = self.uncertainty_model(key.estimator, key.epsilon, key.branching)
+            variances, ci_los, ci_his, confidence = score_batch_accuracy(
+                model, batch, answers, self.slo, self.accuracy, "histogram"
+            )
         return BatchResult(
             answers=answers,
             estimator=release.estimator,
@@ -453,4 +575,8 @@ class HistogramEngine:
             build_seconds=build_seconds,
             answer_seconds=answer_seconds,
             from_cache=not built,
+            variances=variances,
+            ci_los=ci_los,
+            ci_his=ci_his,
+            confidence=confidence,
         )

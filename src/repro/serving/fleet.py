@@ -35,6 +35,11 @@ from types import MappingProxyType
 from typing import TYPE_CHECKING, Mapping
 
 from repro import obs
+from repro.accuracy.slo import (
+    AccuracySLO,
+    AccuracySnapshot,
+    combine_accuracy_snapshots,
+)
 from repro.exceptions import ReproError
 from repro.queries.workload import RangeWorkload
 from repro.serving.cache import ReleaseCache
@@ -89,6 +94,11 @@ class FleetStats:
     degraded_streams: int = 0
     #: per-stream circuit-breaker snapshots (state, trips, last error)
     stream_health: Mapping[str, "BreakerSnapshot"] = field(default_factory=dict)
+    #: per-tenant accuracy rollups (answers scored against an SLO or an
+    #: explicit ``with_accuracy=True``); empty when nothing was scored
+    accuracy: Mapping[str, AccuracySnapshot] = field(default_factory=dict)
+    #: fleet-wide fold of every tenant's accuracy snapshot
+    accuracy_total: AccuracySnapshot = field(default_factory=AccuracySnapshot)
 
     @property
     def requests(self) -> int:
@@ -153,13 +163,15 @@ class EngineFleet:
         attribute: str | None = None,
         delta: float = 0.0,
         branching: int = 2,
+        slo: AccuracySLO | None = None,
     ) -> HistogramEngine:
         """Create and host an engine for ``name`` with its own ε budget.
 
         ``data``/``attribute``/``total_epsilon`` have the
-        :class:`HistogramEngine` semantics.  Registering an existing name
-        raises — budgets are load-bearing state that must not be silently
-        replaced.
+        :class:`HistogramEngine` semantics; ``slo`` opts the tenant into
+        per-answer accuracy scoring against its target.  Registering an
+        existing name raises — budgets are load-bearing state that must
+        not be silently replaced.
         """
         if not name:
             raise ReproError("a dataset name is required to register an engine")
@@ -175,6 +187,7 @@ class EngineFleet:
                 delta=delta,
                 branching=branching,
                 cache=self.cache,
+                slo=slo,
             )
             with self._lock:
                 self._engines[name] = engine
@@ -212,6 +225,7 @@ class EngineFleet:
         shard_size: int | None = None,
         workers: int | None = None,
         worker_mode: str = "auto",
+        slo: AccuracySLO | None = None,
     ) -> "ShardedHistogramEngine":
         """Host a sharded massive-domain engine under ``name``.
 
@@ -242,6 +256,7 @@ class EngineFleet:
                 workers=workers,
                 worker_mode=worker_mode,
                 cache=self.cache,
+                slo=slo,
             )
             with self._lock:
                 self._engines[name] = engine
@@ -264,6 +279,7 @@ class EngineFleet:
         seed: int = 0,
         delta: float = 0.0,
         build_first_epoch: bool = True,
+        slo: AccuracySLO | None = None,
     ) -> "StreamingHistogramEngine":
         """Host a continuously refreshed streaming tenant under ``name``.
 
@@ -294,6 +310,7 @@ class EngineFleet:
                 cache=self.cache,
                 name=name,
                 build_first_epoch=build_first_epoch,
+                slo=slo,
             )
             with self._lock:
                 self._streams[name] = stream
@@ -320,6 +337,7 @@ class EngineFleet:
         workers: int | None = None,
         worker_mode: str = "auto",
         build_first_epoch: bool = True,
+        slo: AccuracySLO | None = None,
     ) -> "ShardedStreamingEngine":
         """Host a partial-refresh sharded streaming tenant under ``name``.
 
@@ -354,6 +372,7 @@ class EngineFleet:
                 cache=self.cache,
                 name=name,
                 build_first_epoch=build_first_epoch,
+                slo=slo,
             )
             with self._lock:
                 self._streams[name] = stream
@@ -481,6 +500,17 @@ class EngineFleet:
             for name, stream in streams.items()
             if getattr(stream, "breaker", None) is not None
         }
+        accuracy = {
+            name: tenant.accuracy.snapshot()
+            for name, tenant in {**engines, **streams}.items()
+            if getattr(tenant, "accuracy", None) is not None
+        }
+        # Only tenants that actually scored answers appear in the rollup.
+        accuracy = {
+            name: snapshot
+            for name, snapshot in accuracy.items()
+            if snapshot.answers
+        }
         stats = FleetStats(
             datasets=len(engines) + len(streams),
             total=combine_snapshots(per_dataset.values()),
@@ -496,6 +526,8 @@ class EngineFleet:
                 1 for snapshot in health.values() if snapshot.degraded
             ),
             stream_health=MappingProxyType(health),
+            accuracy=MappingProxyType(accuracy),
+            accuracy_total=combine_accuracy_snapshots(accuracy.values()),
         )
         if obs.enabled():
             self._publish_tenant_gauges(engines, streams, per_dataset, stats)
@@ -545,6 +577,21 @@ class EngineFleet:
         )
         for name, snapshot in stats.stream_health.items():
             degraded.set(1.0 if snapshot.degraded else 0.0, stream=name)
+        satisfaction = registry.gauge(
+            "repro_accuracy_slo_satisfaction",
+            "Fraction of scored answers meeting the tenant's accuracy SLO",
+        )
+        halfwidth = registry.gauge(
+            "repro_accuracy_mean_ci_halfwidth",
+            "Mean CI halfwidth of scored answers per tenant",
+        )
+        for name, snapshot in stats.accuracy.items():
+            satisfaction.set(snapshot.satisfaction, dataset=name)
+            halfwidth.set(snapshot.mean_halfwidth, dataset=name)
+        registry.gauge(
+            "repro_fleet_accuracy_answers",
+            "Answers scored against an accuracy model fleet-wide",
+        ).set(stats.accuracy_total.answers)
         registry.gauge(
             "repro_fleet_degraded_streams",
             "Streaming tenants currently serving stale answers",

@@ -139,6 +139,13 @@ class BatchResult:
     release (a cold mechanism-plus-inference build, a store load, or just
     the cache lookup when warm) while ``answer_seconds`` is the vectorized
     answering pass alone.
+
+    When the engine scored the batch against an uncertainty model (a
+    configured :class:`repro.accuracy.slo.AccuracySLO`, or an explicit
+    ``with_accuracy=True``), every row also carries its exact variance
+    and a ``confidence``-level interval ``[ci_lo, ci_hi]`` around the
+    estimate; otherwise those fields are ``None`` and the hot path pays
+    nothing.
     """
 
     answers: np.ndarray
@@ -147,11 +154,22 @@ class BatchResult:
     build_seconds: float
     answer_seconds: float
     from_cache: bool
+    variances: np.ndarray | None = None
+    ci_los: np.ndarray | None = None
+    ci_his: np.ndarray | None = None
+    confidence: float | None = None
 
     @property
     def elapsed_seconds(self) -> float:
         """Total wall-clock time of the submission (build + answer)."""
         return self.build_seconds + self.answer_seconds
+
+    @property
+    def ci_halfwidths(self) -> np.ndarray | None:
+        """Per-answer CI halfwidths (None when accuracy was not scored)."""
+        if self.ci_his is None:
+            return None
+        return self.ci_his - self.answers
 
     @property
     def num_queries(self) -> int:

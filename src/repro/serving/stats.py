@@ -21,15 +21,34 @@ from one batch paired with seconds from another).
 Aggregation across accumulators is a pure fold: :func:`combine_snapshots`
 combines immutable snapshots without any shared lock, which is how the
 fleet rolls up per-tenant telemetry.
+
+Latency quantiles (p50/p95) come from a fixed log-spaced bucket
+histogram recorded under the same lock as every other counter: each
+snapshot carries the bucket counts, folds add them elementwise, and the
+quantile properties walk the cumulative counts — so percentiles survive
+aggregation across tenants, at the cost of bucket-boundary resolution
+(a factor-of-two grid from 1µs up).
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from bisect import bisect_left
+from dataclasses import dataclass, field
 from typing import Iterable
 
-__all__ = ["StatsSnapshot", "ServingStats", "combine_snapshots"]
+__all__ = [
+    "LATENCY_BUCKET_BOUNDS",
+    "StatsSnapshot",
+    "ServingStats",
+    "combine_snapshots",
+]
+
+#: Upper bounds (inclusive, seconds) of the latency histogram buckets:
+#: a factor-of-two grid from 1µs to ~134s, plus one implicit overflow
+#: bucket.  Fixed bounds make bucket counts elementwise-addable, which
+#: is what keeps quantiles foldable across snapshots.
+LATENCY_BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2**i for i in range(28))
 
 
 @dataclass(frozen=True)
@@ -48,6 +67,45 @@ class StatsSnapshot:
     #: requests whose release was built cold (charged ε) rather than
     #: served from the cache or store
     cold_builds: int = 0
+    #: answer-latency histogram: one count per
+    #: :data:`LATENCY_BUCKET_BOUNDS` bucket plus a trailing overflow
+    #: bucket; elementwise-addable, the basis of the p50/p95 properties
+    latency_buckets: tuple[int, ...] = field(
+        default_factory=lambda: (0,) * (len(LATENCY_BUCKET_BOUNDS) + 1)
+    )
+
+    def batch_seconds_quantile(self, q: float) -> float:
+        """Approximate answer-latency quantile from the bucket histogram.
+
+        Returns the upper bound of the bucket holding the ``q``-quantile
+        observation (clamped to the exact observed ``max_batch_seconds``),
+        so the estimate errs high by at most one factor-of-two bucket.
+        Idle snapshots report 0.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        total = sum(self.latency_buckets)
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for i, count in enumerate(self.latency_buckets):
+            cumulative += count
+            if cumulative >= target:
+                if i < len(LATENCY_BUCKET_BOUNDS):
+                    return min(LATENCY_BUCKET_BOUNDS[i], self.max_batch_seconds)
+                break
+        return self.max_batch_seconds
+
+    @property
+    def p50_batch_seconds(self) -> float:
+        """Median answer latency of one submitted batch (bucketed)."""
+        return self.batch_seconds_quantile(0.5)
+
+    @property
+    def p95_batch_seconds(self) -> float:
+        """95th-percentile answer latency of one submitted batch (bucketed)."""
+        return self.batch_seconds_quantile(0.95)
 
     @property
     def queries_per_second(self) -> float:
@@ -81,12 +139,15 @@ def combine_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
     last_seconds = 0.0
     build_seconds = 0.0
     cold_builds = 0
+    buckets = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
     for snapshot in snapshots:
         requests += snapshot.requests
         queries += snapshot.queries
         total_seconds += snapshot.total_seconds
         build_seconds += snapshot.total_build_seconds
         cold_builds += snapshot.cold_builds
+        for i, count in enumerate(snapshot.latency_buckets):
+            buckets[i] += count
         if snapshot.requests:
             min_seconds = min(min_seconds, snapshot.min_batch_seconds)
             max_seconds = max(max_seconds, snapshot.max_batch_seconds)
@@ -100,6 +161,7 @@ def combine_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
         last_batch_seconds=last_seconds,
         total_build_seconds=build_seconds,
         cold_builds=cold_builds,
+        latency_buckets=tuple(buckets),
     )
 
 
@@ -116,6 +178,7 @@ class ServingStats:
         self._last_seconds = 0.0  # guarded-by: _lock
         self._build_seconds = 0.0  # guarded-by: _lock
         self._cold_builds = 0  # guarded-by: _lock
+        self._latency_buckets = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)  # guarded-by: _lock
 
     def record_batch(
         self,
@@ -143,6 +206,7 @@ class ServingStats:
             self._max_seconds = max(self._max_seconds, float(seconds))
             self._last_seconds = float(seconds)
             self._build_seconds += float(build_seconds)
+            self._latency_buckets[bisect_left(LATENCY_BUCKET_BOUNDS, float(seconds))] += 1
             if cold:
                 self._cold_builds += 1
 
@@ -158,6 +222,8 @@ class ServingStats:
             self._total_seconds += other.total_seconds
             self._build_seconds += other.total_build_seconds
             self._cold_builds += other.cold_builds
+            for i, count in enumerate(other.latency_buckets):
+                self._latency_buckets[i] += count
             if other.requests:
                 self._min_seconds = min(self._min_seconds, other.min_batch_seconds)
                 self._max_seconds = max(self._max_seconds, other.max_batch_seconds)
@@ -175,4 +241,5 @@ class ServingStats:
                 last_batch_seconds=self._last_seconds,
                 total_build_seconds=self._build_seconds,
                 cold_builds=self._cold_builds,
+                latency_buckets=tuple(self._latency_buckets),
             )

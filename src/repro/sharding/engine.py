@@ -46,6 +46,8 @@ import threading
 from time import perf_counter
 
 from repro import faults, obs
+from repro.accuracy.models import UncertaintyModel, composite_uncertainty_model
+from repro.accuracy.slo import AccuracySLO, AccuracyStats
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
 from repro.exceptions import BudgetExhaustedError, PrivacyBudgetError, ReproError
@@ -58,6 +60,7 @@ from repro.serving.engine import (
     canonical_estimator_name,
     compute_release_leaves,
     record_submit_metrics,
+    score_batch_accuracy,
 )
 from repro.serving.planner import BatchResult, QueryBatch
 from repro.serving.release import MaterializedRelease, ReleaseKey, fingerprint_counts
@@ -310,6 +313,7 @@ class ShardedHistogramEngine:
         budget: PrivacyBudget | None = None,
         spend_label: str | None = None,
         retry: RetryPolicy | None = None,
+        slo: AccuracySLO | None = None,
     ) -> None:
         if isinstance(data, Relation):
             if attribute is None:
@@ -363,6 +367,11 @@ class ShardedHistogramEngine:
         self._shard_fingerprints = [
             fingerprint_counts(sub) for sub in self._shard_counts
         ]
+        self.slo = slo
+        self.accuracy = AccuracyStats()
+        # Composite uncertainty models per (estimator, shard ε's,
+        # branching); racy rebuilds are benign (identical inputs).
+        self._uncertainty_models: dict[tuple, UncertaintyModel] = {}
 
     # -- budget ----------------------------------------------------------------
 
@@ -577,6 +586,31 @@ class ShardedHistogramEngine:
 
     # -- serving ---------------------------------------------------------------
 
+    def uncertainty_model(
+        self, estimator: str, shard_epsilons, branching: int
+    ) -> UncertaintyModel:
+        """The (cached) composite uncertainty model for one shard set.
+
+        Variance composes across shard pieces exactly as counts do: each
+        shard's model covers its local domain at its own ε, and a query's
+        variance is the sum over the pieces the router would answer from.
+        Homogeneous additive shard models collapse to one global model,
+        making the reported variance independent of the shard count.
+        """
+        epsilons = tuple(float(value) for value in shard_epsilons)
+        key = (canonical_estimator_name(estimator), epsilons, int(branching))
+        model = self._uncertainty_models.get(key)
+        if model is None:
+            model = composite_uncertainty_model(
+                self.plan.starts,
+                self.domain_size,
+                key[0],
+                epsilons,
+                branching=key[2],
+            )
+            self._uncertainty_models[key] = model
+        return model
+
     def submit(
         self,
         batch: QueryBatch | RangeWorkload,
@@ -585,12 +619,15 @@ class ShardedHistogramEngine:
         epsilon: float,
         branching: int | None = None,
         seed: int = 0,
+        with_accuracy: bool | None = None,
     ) -> BatchResult:
         """Answer a batch of range queries through the shard router.
 
         Same contract as :meth:`HistogramEngine.submit`: the first
         submission for a release identity pays the ε and build cost,
-        every later one is pure post-processing at prefix-sum speed.
+        every later one is pure post-processing at prefix-sum speed, and
+        ``with_accuracy`` (or a configured SLO) attaches per-answer
+        variance/CI columns scored on the composite uncertainty model.
         """
         if isinstance(batch, RangeWorkload):
             batch = QueryBatch.from_workload(batch)
@@ -607,6 +644,14 @@ class ShardedHistogramEngine:
             record_submit_metrics(
                 "sharded", len(batch), answer_seconds, build_seconds, built
             )
+        variances = ci_los = ci_his = confidence = None
+        if with_accuracy or (with_accuracy is None and self.slo is not None):
+            model = self.uncertainty_model(
+                release.estimator, release.shard_epsilons, release.branching
+            )
+            variances, ci_los, ci_his, confidence = score_batch_accuracy(
+                model, batch, answers, self.slo, self.accuracy, "sharded"
+            )
         return BatchResult(
             answers=answers,
             estimator=release.estimator,
@@ -614,6 +659,10 @@ class ShardedHistogramEngine:
             build_seconds=build_seconds,
             answer_seconds=answer_seconds,
             from_cache=not built,
+            variances=variances,
+            ci_los=ci_los,
+            ci_his=ci_his,
+            confidence=confidence,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

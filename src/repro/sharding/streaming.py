@@ -44,6 +44,8 @@ from time import perf_counter
 import numpy as np
 
 from repro import faults, obs
+from repro.accuracy.models import UncertaintyModel, composite_uncertainty_model
+from repro.accuracy.slo import AccuracySLO, AccuracyStats
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
 from repro.exceptions import (
@@ -58,7 +60,11 @@ from repro.privacy.budget import PrivacyBudget
 from repro.privacy.definitions import PrivacyParameters
 from repro.queries.workload import RangeWorkload
 from repro.serving.cache import ReleaseCache
-from repro.serving.engine import canonical_estimator_name, record_submit_metrics
+from repro.serving.engine import (
+    canonical_estimator_name,
+    record_submit_metrics,
+    score_batch_accuracy,
+)
 from repro.serving.planner import QueryBatch
 from repro.serving.release import MaterializedRelease, ReleaseKey, fingerprint_counts
 from repro.serving.stats import ServingStats
@@ -114,6 +120,22 @@ class ShardedStreamingEngine:
         per-shard builds and lineage persists (never an ε charge), and
         the circuit breaker flags batches ``degraded=True`` while epoch
         builds are failing, healing on the first success.
+    slo:
+        Optional :class:`~repro.accuracy.slo.AccuracySLO`.  When set,
+        every answered batch is scored against the current epoch's
+        composite uncertainty model (per-answer variance and CI) and
+        folded into :attr:`accuracy`.
+
+    Adaptive schedules
+    ------------------
+    When ``schedule`` exposes ``allocates_per_shard = True`` (an
+    :class:`~repro.accuracy.schedule.AdaptiveEpsilonAllocator`), each
+    epoch asks the allocator which shards to refresh instead of applying
+    the uniform ``refresh_rows`` threshold.  Grants never exceed the
+    epoch's scheduled envelope ``εᵢ`` and refreshed shards hold disjoint
+    data, so the epoch still charges exactly ``εᵢ`` once (parallel
+    composition) — lifetime Σε accounting, lineage records, and the
+    ε-ledger audit stay bit-identical to a uniform schedule.
     """
 
     def __init__(
@@ -140,6 +162,7 @@ class ShardedStreamingEngine:
         build_first_epoch: bool = True,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        slo: AccuracySLO | None = None,
     ) -> None:
         if isinstance(data, Relation):
             if attribute is None:
@@ -194,6 +217,15 @@ class ShardedStreamingEngine:
         #: per-shard releases currently served, refreshed selectively.
         self.retry = retry
         self.breaker = breaker if breaker is not None else CircuitBreaker(name=self.name)
+        self.slo = slo
+        self.accuracy = AccuracyStats()
+        # Composite uncertainty models per epoch ε-vector; racy rebuilds
+        # are benign (same inputs build the same immutable model).
+        self._uncertainty_models: dict[tuple, UncertaintyModel] = {}
+        #: the schedule doubles as a per-shard allocator when it opts in.
+        self._allocator = (
+            schedule if getattr(schedule, "allocates_per_shard", False) else None
+        )
         self._shard_releases: list[MaterializedRelease] | None = None  # guarded-by: _serve_lock
         self.lineage = self._open_lineage()
         if len(self.lineage):
@@ -266,7 +298,20 @@ class ShardedStreamingEngine:
                     f"seed schedule is part of the stream's identity"
                 )
             scheduled = float(self.schedule.epsilon_for(last_refresh[s]))
-            if key.epsilon != scheduled:
+            if self._allocator is not None:
+                # An adaptive allocator grants per-shard ε anywhere in
+                # (0, εᵢ]; the epoch's envelope is the identity.
+                if not 0.0 < key.epsilon <= scheduled:
+                    raise LineageConflictError(
+                        f"sharded stream {self.name!r} was built under a "
+                        f"different ε schedule: shard {s} (last refreshed "
+                        f"in epoch {last_refresh[s]}) carries "
+                        f"ε={key.epsilon:g}, outside the envelope "
+                        f"ε={scheduled:g} the supplied schedule prescribes "
+                        f"for that epoch; the ε schedule is part of the "
+                        f"stream's identity"
+                    )
+            elif key.epsilon != scheduled:
                 raise LineageConflictError(
                     f"sharded stream {self.name!r} was built under a "
                     f"different ε schedule: shard {s} (last refreshed in "
@@ -404,7 +449,19 @@ class ShardedStreamingEngine:
         delta, rows = self._buffer.drain()
         bootstrap = self._shard_releases is None
         shard_rows = np.add.reduceat(delta, self.plan.starts)
-        if bootstrap:
+        grants = None
+        if self._allocator is not None:
+            # The allocator decides the refresh set and per-shard grants;
+            # every grant is bounded by this epoch's envelope εᵢ, so the
+            # single εᵢ charge below still covers the whole refresh set
+            # by parallel composition.
+            grants = self._allocator.allocate(
+                epoch, shard_rows, bootstrap=bootstrap
+            )
+            refreshed = [
+                s for s in range(self.plan.num_shards) if grants[s] > 0.0
+            ]
+        elif bootstrap:
             refreshed = list(range(self.plan.num_shards))
         else:
             refreshed = [
@@ -445,7 +502,7 @@ class ShardedStreamingEngine:
             ReleaseKey(
                 dataset_fingerprint=fingerprint_counts(shard_counts[s]),
                 estimator=self.estimator,
-                epsilon=float(epsilon),
+                epsilon=float(epsilon if grants is None else grants[s]),
                 branching=self.branching,
                 seed=derive_shard_seed(self.base_seed, epoch, s),
             )
@@ -584,6 +641,23 @@ class ShardedStreamingEngine:
         self.stats.record_batch(len(batch), answer_seconds)
         if obs.enabled():
             record_submit_metrics("sharded-stream", len(batch), answer_seconds)
+        variances = ci_los = ci_his = confidence = None
+        if self.slo is not None:
+            epsilons = tuple(float(e) for e in release.shard_epsilons)
+            model_key = (release.estimator, epsilons, release.branching)
+            model = self._uncertainty_models.get(model_key)
+            if model is None:
+                model = composite_uncertainty_model(
+                    self.plan.starts,
+                    self._domain_size,
+                    release.estimator,
+                    epsilons,
+                    branching=release.branching,
+                )
+                self._uncertainty_models[model_key] = model
+            variances, ci_los, ci_his, confidence = score_batch_accuracy(
+                model, batch, answers, self.slo, self.accuracy, "sharded-stream"
+            )
         return StreamBatchResult(
             answers=answers,
             epoch=epoch,
@@ -592,6 +666,10 @@ class ShardedStreamingEngine:
             dataset_fingerprint=release.dataset_fingerprint,
             answer_seconds=answer_seconds,
             degraded=self.breaker.degraded,
+            variances=variances,
+            ci_los=ci_los,
+            ci_his=ci_his,
+            confidence=confidence,
         )
 
     # -- lifecycle -------------------------------------------------------------

@@ -46,6 +46,7 @@ KERNEL_MODULE_PREFIXES = (
     "repro.db.histogram",
     "repro.utils.random",
     "repro.utils.arrays",
+    "repro.accuracy.models",
     "repro.serving.release",
     "repro.sharding.release",
     "repro.sharding.plan",

@@ -13,7 +13,9 @@ the rank table below *is* the architecture (see
     5  repro.estimators                  (paper estimators)
     6  repro.analysis                    (error analysis, experiments)
     7  repro.core                        (end-to-end protocol, tasks)
-    8  repro.obs                         (cross-cutting telemetry)
+    8  repro.obs, repro.accuracy         (cross-cutting telemetry; the
+                                          accuracy control plane's
+                                          uncertainty models and SLOs)
     9  repro.serving,
        repro.sharding.pool               (engines, cache, store, fleet;
                                           the shard-build worker pool —
@@ -56,6 +58,10 @@ LAYER_RANKS: dict[str, int] = {
     "repro.analysis": 6,
     "repro.core": 7,
     "repro.obs": 8,
+    # The accuracy control plane sits beside obs: pure uncertainty
+    # models over the query/analysis tiers, imported by every serving
+    # tier but never importing back up into them.
+    "repro.accuracy": 8,
     "repro.serving": 9,
     # The shard-build worker pool is a leaf under the sharding engines:
     # it may reach serving's pure kernels (and the obs/faults leaves)

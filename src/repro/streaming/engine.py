@@ -38,6 +38,8 @@ from time import perf_counter
 import numpy as np
 
 from repro import faults, obs
+from repro.accuracy.models import UncertaintyModel, uncertainty_model_for
+from repro.accuracy.slo import AccuracySLO, AccuracyStats
 from repro.db.histogram import HistogramBuilder
 from repro.db.relation import Relation
 from repro.exceptions import (
@@ -56,6 +58,7 @@ from repro.serving.engine import (
     HistogramEngine,
     canonical_estimator_name,
     record_submit_metrics,
+    score_batch_accuracy,
 )
 from repro.serving.planner import BatchQueryPlanner, QueryBatch
 from repro.serving.release import MaterializedRelease
@@ -90,10 +93,24 @@ class StreamBatchResult:
     #: answered: the answers are valid but come from the last epoch
     #: published before refreshes started failing (stale-serve mode).
     degraded: bool = False
+    #: per-answer accuracy columns, populated when the stream has an
+    #: :class:`~repro.accuracy.slo.AccuracySLO` (None otherwise — the
+    #: hot path pays nothing).
+    variances: np.ndarray | None = None
+    ci_los: np.ndarray | None = None
+    ci_his: np.ndarray | None = None
+    confidence: float | None = None
 
     @property
     def num_queries(self) -> int:
         return int(self.answers.size)
+
+    @property
+    def ci_halfwidths(self) -> np.ndarray | None:
+        """Per-answer CI halfwidths (None when accuracy was not scored)."""
+        if self.ci_his is None:
+            return None
+        return self.ci_his - self.answers
 
     @property
     def queries_per_second(self) -> float:
@@ -171,6 +188,7 @@ class StreamingHistogramEngine:
         build_first_epoch: bool = True,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        slo: AccuracySLO | None = None,
     ) -> None:
         if isinstance(data, Relation):
             if attribute is None:
@@ -221,6 +239,10 @@ class StreamingHistogramEngine:
         self._executor_lock = threading.Lock()
         self.retry = retry
         self.breaker = breaker if breaker is not None else CircuitBreaker(name=self.name)
+        self.slo = slo
+        self.accuracy = AccuracyStats()
+        # Uncertainty models per epoch ε; racy rebuilds are benign.
+        self._uncertainty_models: dict[tuple, UncertaintyModel] = {}
         self.lineage = self._open_lineage()
         if len(self.lineage):
             with self._advance_lock:
@@ -579,6 +601,21 @@ class StreamingHistogramEngine:
         self.stats.record_batch(len(batch), answer_seconds)
         if obs.enabled():
             record_submit_metrics("stream", len(batch), answer_seconds)
+        variances = ci_los = ci_his = confidence = None
+        if self.slo is not None:
+            model_key = (release.estimator, float(release.epsilon), release.branching)
+            model = self._uncertainty_models.get(model_key)
+            if model is None:
+                model = uncertainty_model_for(
+                    release.estimator,
+                    domain_size=self._domain_size,
+                    epsilon=release.epsilon,
+                    branching=release.branching,
+                )
+                self._uncertainty_models[model_key] = model
+            variances, ci_los, ci_his, confidence = score_batch_accuracy(
+                model, batch, answers, self.slo, self.accuracy, "stream"
+            )
         return StreamBatchResult(
             answers=answers,
             epoch=epoch,
@@ -587,6 +624,10 @@ class StreamingHistogramEngine:
             dataset_fingerprint=release.dataset_fingerprint,
             answer_seconds=answer_seconds,
             degraded=self.breaker.degraded,
+            variances=variances,
+            ci_los=ci_los,
+            ci_his=ci_his,
+            confidence=confidence,
         )
 
     # -- lifecycle -------------------------------------------------------------

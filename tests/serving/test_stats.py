@@ -73,6 +73,11 @@ class TestSnapshotConsistency:
                     or snapshot.max_batch_seconds != seconds_per_batch
                 ):
                     violations.append(("bounds", snapshot))
+                # The histogram lives under the same lock: a torn read
+                # would pair a requests count from one batch with bucket
+                # counts from another.
+                if sum(snapshot.latency_buckets) != snapshot.requests:
+                    violations.append(("buckets", snapshot))
 
         writers = [threading.Thread(target=writer) for _ in range(num_writers)]
         readers = [threading.Thread(target=reader) for _ in range(2)]
@@ -181,3 +186,75 @@ class TestCombineSnapshots:
         for part in parts:
             accumulator.merge_snapshot(part)
         assert combine_snapshots(parts) == accumulator.snapshot()
+
+
+class TestLatencyQuantiles:
+    def test_observations_land_in_the_right_buckets(self):
+        from repro.serving.stats import LATENCY_BUCKET_BOUNDS
+
+        stats = ServingStats()
+        stats.record_batch(1, 0.0)  # below the first bound
+        stats.record_batch(1, LATENCY_BUCKET_BOUNDS[3])  # inclusive bound
+        stats.record_batch(1, 1e9)  # overflow bucket
+        buckets = stats.snapshot().latency_buckets
+        assert len(buckets) == len(LATENCY_BUCKET_BOUNDS) + 1
+        assert buckets[0] == 1
+        assert buckets[3] == 1
+        assert buckets[-1] == 1
+        assert sum(buckets) == 3
+
+    def test_p50_p95_from_a_known_distribution(self):
+        stats = ServingStats()
+        for _ in range(90):
+            stats.record_batch(1, 0.001)
+        for _ in range(10):
+            stats.record_batch(1, 0.5)
+        snapshot = stats.snapshot()
+        # p50 reports the upper bound of 0.001's bucket (factor-2 grid
+        # from 1µs: 0.001 lands in (2^-10, 2^-9] ms terms -> 0.001024).
+        assert 0.001 <= snapshot.p50_batch_seconds <= 0.002
+        assert 0.5 <= snapshot.p95_batch_seconds <= 1.0
+
+    def test_quantile_clamps_to_the_observed_max(self):
+        stats = ServingStats()
+        stats.record_batch(1, 0.003)
+        snapshot = stats.snapshot()
+        # One observation: every quantile is that observation, not the
+        # (larger) bucket upper bound.
+        assert snapshot.p50_batch_seconds == 0.003
+        assert snapshot.p95_batch_seconds == 0.003
+        assert snapshot.batch_seconds_quantile(1.0) == 0.003
+
+    def test_idle_quantiles_are_zero(self):
+        snapshot = ServingStats().snapshot()
+        assert snapshot.p50_batch_seconds == 0.0
+        assert snapshot.p95_batch_seconds == 0.0
+
+    def test_quantile_argument_is_validated(self):
+        snapshot = ServingStats().snapshot()
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="quantile"):
+                snapshot.batch_seconds_quantile(bad)
+
+    def test_quantiles_survive_folding(self):
+        """The whole point of fixed buckets: fold == one big accumulator."""
+        parts = [ServingStats() for _ in range(3)]
+        whole = ServingStats()
+        durations = [0.0002 * (i + 1) for i in range(30)]
+        for i, seconds in enumerate(durations):
+            parts[i % 3].record_batch(1, seconds)
+            whole.record_batch(1, seconds)
+        folded = combine_snapshots(part.snapshot() for part in parts)
+        reference = whole.snapshot()
+        assert folded.latency_buckets == reference.latency_buckets
+        assert folded.p50_batch_seconds == reference.p50_batch_seconds
+        assert folded.p95_batch_seconds == reference.p95_batch_seconds
+
+    def test_merge_snapshot_accumulates_buckets(self):
+        stats = ServingStats()
+        stats.record_batch(1, 0.001)
+        other = ServingStats()
+        other.record_batch(1, 0.002)
+        other.record_batch(1, 0.004)
+        stats.merge_snapshot(other.snapshot())
+        assert sum(stats.snapshot().latency_buckets) == 3

@@ -1,0 +1,148 @@
+"""Monte-Carlo calibration of the per-answer confidence intervals.
+
+The accuracy plane's whole claim is that the interval ``estimate ±
+halfwidth`` covers the true range answer with the stated probability.
+This suite measures that empirically: ≥1000 independent releases per
+estimator (one batched ``fit_many`` call, so the trial axis is a matrix
+dimension, not a Python loop), true answers from the raw counts, and
+the observed coverage compared against the nominal level at 90/95/99%.
+
+Tolerance: coverage is an average of Bernoulli trials, so the observed
+rate must sit within ``4·√(c(1−c)/trials)`` of nominal (a four-sigma
+binomial band — false-alarm probability <1e-4 per check), plus a 0.02
+allowance for the Gaussian approximation of the interval itself (range
+errors are finite sums of Laplace draws; a wide range is CLT-Gaussian,
+but wavelet errors keep a few dominant Laplace components whose 99%
+coverage under a Gaussian quantile is ≈0.974).
+
+The suite is *powered*: the counter-test shows a variance mis-scaled by
+4× (halfwidths halved) lands at ≈0.67 coverage at the 95% level —
+dozens of sigma below the acceptance band — so a calibration bug of
+that size cannot pass by luck.
+
+Run standalone with ``pytest -m statistical``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accuracy.models import (
+    AdditiveUncertaintyModel,
+    uncertainty_model_for,
+)
+from repro.estimators.hierarchical import ConstrainedHierarchicalEstimator
+from repro.estimators.identity import IdentityLaplaceEstimator
+from repro.estimators.wavelet import WaveletEstimator
+
+pytestmark = pytest.mark.statistical
+
+DOMAIN = 256
+EPSILON = 1.0
+TRIALS = 1200
+CONFIDENCES = (0.90, 0.95, 0.99)
+SEEDS = (1, 2, 3)
+
+#: Unrounded estimators: the uncertainty models describe the raw noise
+#: law; the nonnegative-integer rounding step is a separate (variance
+#: *reducing*) post-process whose effect is bounded by the band anyway.
+ESTIMATORS = {
+    "L~": IdentityLaplaceEstimator(round_output=False),
+    "H_bar": ConstrainedHierarchicalEstimator(round_output=False),
+    "wavelet": WaveletEstimator(round_output=False),
+}
+
+
+def tolerance(confidence: float) -> float:
+    return 4.0 * np.sqrt(confidence * (1.0 - confidence) / TRIALS) + 0.02
+
+
+def dense_counts(rng) -> np.ndarray:
+    return rng.uniform(200.0, 400.0, size=DOMAIN).round()
+
+
+def wide_ranges(rng, count=40):
+    """Random ranges of length 32–128: wide enough for the CLT."""
+    lengths = rng.integers(32, 129, size=count)
+    los = rng.integers(0, DOMAIN - lengths + 1)
+    return los, los + lengths - 1
+
+
+def empirical_coverage(batch, counts, model, los, his, confidence):
+    """Fraction of (trial, query) cells whose interval covers the truth."""
+    prefix = np.concatenate(
+        [np.zeros((batch.trials, 1)), np.cumsum(batch.unit_estimates, axis=1)],
+        axis=1,
+    )
+    estimates = prefix[:, his + 1] - prefix[:, los]  # (trials, queries)
+    true_prefix = np.concatenate([[0.0], np.cumsum(counts)])
+    truth = true_prefix[his + 1] - true_prefix[los]
+    halfwidths = model.interval_halfwidths(los, his, confidence)
+    covered = np.abs(estimates - truth[None, :]) <= halfwidths[None, :]
+    return float(covered.mean())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", list(ESTIMATORS))
+def test_intervals_cover_at_the_nominal_rate(name, seed):
+    rng = np.random.default_rng(20100900 + seed)
+    counts = dense_counts(rng)
+    batch = ESTIMATORS[name].fit_many(counts, EPSILON, TRIALS, rng=rng)
+    model = uncertainty_model_for(name, domain_size=DOMAIN, epsilon=EPSILON)
+    los, his = wide_ranges(rng)
+    for confidence in CONFIDENCES:
+        coverage = empirical_coverage(
+            batch, counts, model, los, his, confidence
+        )
+        assert abs(coverage - confidence) <= tolerance(confidence), (
+            f"{name} at {confidence:.0%}: observed coverage {coverage:.4f} "
+            f"outside ±{tolerance(confidence):.4f}"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_leaf_intervals_use_the_exact_laplace_quantile(seed):
+    # Unit queries are pure Laplace, where the additive model switches
+    # from the Gaussian z to the exact quantile — coverage must hold
+    # without any CLT allowance (binomial band only).
+    rng = np.random.default_rng(20100950 + seed)
+    counts = dense_counts(rng)
+    batch = ESTIMATORS["L~"].fit_many(counts, EPSILON, TRIALS, rng=rng)
+    model = uncertainty_model_for("L~", domain_size=DOMAIN, epsilon=EPSILON)
+    los = np.arange(0, DOMAIN, 8)
+    for confidence in CONFIDENCES:
+        coverage = empirical_coverage(
+            batch, counts, model, los, los, confidence
+        )
+        band = 4.0 * np.sqrt(confidence * (1.0 - confidence) / TRIALS) + 0.005
+        assert abs(coverage - confidence) <= band
+
+
+def test_mis_scaled_variance_is_rejected():
+    """The powered counter-test: a 4×-too-small variance cannot pass.
+
+    Halving every halfwidth drops Gaussian coverage at the 95% level to
+    Φ(0.98)−Φ(−0.98) ≈ 0.673 — more than 25 binomial standard errors
+    below the acceptance band — so the suite has the power to detect a
+    calibration bug of this size with probability ≈ 1.
+    """
+    rng = np.random.default_rng(20100999)
+    counts = dense_counts(rng)
+    batch = ESTIMATORS["L~"].fit_many(counts, EPSILON, TRIALS, rng=rng)
+    good = uncertainty_model_for("L~", domain_size=DOMAIN, epsilon=EPSILON)
+    bad = AdditiveUncertaintyModel(
+        good.leaf_variance * 0.25, DOMAIN, kind="L~"
+    )
+    los, his = wide_ranges(rng)
+    confidence = 0.95
+    coverage = empirical_coverage(batch, counts, bad, los, his, confidence)
+    # Far outside the band the correct model is held to — and on the low
+    # side, so the check fails for the right reason.
+    assert coverage < confidence - 2.0 * tolerance(confidence)
+    assert coverage == pytest.approx(0.673, abs=0.05)
+    # The correct model passes on the very same draws.
+    good_coverage = empirical_coverage(
+        batch, counts, good, los, his, confidence
+    )
+    assert abs(good_coverage - confidence) <= tolerance(confidence)

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 import repro
+import repro.accuracy
 import repro.faults
 import repro.obs
 import repro.serving
@@ -29,6 +30,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS_DIR = REPO_ROOT / "docs"
 
 AUDITED_PACKAGES = [
+    repro.accuracy,
     repro.faults,
     repro.obs,
     repro.serving,
@@ -127,6 +129,7 @@ class TestLinkIntegrity:
             "observability.md",
             "robustness.md",
             "static-analysis.md",
+            "accuracy.md",
         ):
             assert (DOCS_DIR / name).is_file(), f"docs/{name} is missing"
 
